@@ -1,0 +1,89 @@
+// Command miralis boots a firmware (and, for SBI firmware, a guest kernel)
+// on the simulated platform, optionally under the virtual firmware
+// monitor, and reports the run's outcome, console output, and monitor
+// statistics.
+//
+// Usage:
+//
+//	miralis [flags]
+//
+//	-platform visionfive2|p550|rva23   hardware profile (default visionfive2)
+//	-firmware gosbi|minsbi|rtos        vendor firmware (default gosbi)
+//	-native                            run the firmware in physical M-mode
+//	-no-offload                        disable fast-path offloading
+//	-policy none|sandbox|keystone|ace  isolation policy (default sandbox)
+//	-harts N                           core count override
+//	-max-steps N                       step budget (default 2e9)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	govfm "govfm"
+)
+
+func main() {
+	platform := flag.String("platform", "visionfive2", "hardware profile")
+	fw := flag.String("firmware", "gosbi", "vendor firmware image")
+	native := flag.Bool("native", false, "run natively (no monitor)")
+	noOffload := flag.Bool("no-offload", false, "disable fast-path offloading")
+	policy := flag.String("policy", "sandbox", "isolation policy")
+	harts := flag.Int("harts", 1, "core count")
+	maxSteps := flag.Uint64("max-steps", 0, "step budget (0 = default)")
+	flag.Parse()
+
+	var pol govfm.Policy
+	switch *policy {
+	case "none":
+	case "sandbox":
+		pol = govfm.SandboxPolicy()
+	case "keystone":
+		pol = govfm.KeystonePolicy()
+	case "ace":
+		pol = govfm.ACEPolicy()
+	default:
+		fmt.Fprintf(os.Stderr, "miralis: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	sys, err := govfm.New(govfm.Config{
+		Platform:   govfm.Platform(*platform),
+		Firmware:   govfm.FirmwareKind(*fw),
+		Harts:      *harts,
+		Virtualize: !*native,
+		Offload:    !*noOffload,
+		Policy:     pol,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miralis: %v\n", err)
+		os.Exit(1)
+	}
+
+	halted, reason := sys.Run(*maxSteps)
+	fmt.Printf("console:\n%s\n", indent(sys.Console()))
+	fmt.Printf("halted: %v (%s)\n", halted, reason)
+	fmt.Printf("cycles: %d\n", sys.Cycles())
+	if !*native {
+		st := sys.Stats()
+		fmt.Printf("monitor: emulations=%d world-switches=%d fast-path=%d "+
+			"fw-traps=%d os-traps=%d virt-interrupts=%d\n",
+			st.Emulations, st.WorldSwitches, st.FastPathHits,
+			st.FirmwareTraps, st.OSTraps, st.VirtInterrupts)
+	}
+	if !halted || reason != "guest-exit-pass" {
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	out := "  "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "  "
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Command rvsim runs a raw binary image on the bare machine simulator —
+// no monitor, no default firmware — starting in M-mode at the image base.
+// It is the debugging workhorse for firmware and kernel images.
+//
+// Usage:
+//
+//	rvsim -image prog.bin [-base 0x80100000] [-platform visionfive2]
+//	      [-harts 1] [-max-steps N] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"govfm/internal/core"
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+func main() {
+	image := flag.String("image", "", "binary image file")
+	base := flag.Uint64("base", core.FirmwareBase, "load/entry address")
+	platform := flag.String("platform", "visionfive2", "hardware profile")
+	harts := flag.Int("harts", 1, "core count")
+	maxSteps := flag.Uint64("max-steps", 100_000_000, "step budget")
+	traceTraps := flag.Bool("trace", false, "print every trap")
+	flag.Parse()
+
+	if *image == "" {
+		fmt.Fprintln(os.Stderr, "rvsim: -image is required")
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(*image)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	mk, ok := hart.Profiles()[*platform]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rvsim: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	cfg := mk()
+	cfg.Harts = *harts
+	m, err := hart.NewMachine(cfg, core.DramSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := m.LoadImage(*base, img); err != nil {
+		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *traceTraps {
+		for _, h := range m.Harts {
+			h.OnTrap = func(t hart.TrapInfo) {
+				fmt.Printf("trap hart%d cycle=%d %s epc=%#x tval=%#x %v->%v\n",
+					t.Hart, t.Cycle, rv.CauseString(t.Cause), t.EPC, t.Tval,
+					t.FromMode, t.ToMode)
+			}
+		}
+	}
+	m.Reset(*base)
+	steps, halted := m.Run(*maxSteps)
+
+	fmt.Printf("console:\n%s\n", m.Uart.Output())
+	ok2, reason := m.Halted()
+	fmt.Printf("steps=%d halted=%v reason=%q\n", steps, ok2, reason)
+	for _, h := range m.Harts {
+		fmt.Printf("%v instret=%d\n", h, h.Instret)
+	}
+	if !halted || reason != "guest-exit-pass" {
+		os.Exit(1)
+	}
+}

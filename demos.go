@@ -1,0 +1,52 @@
+package govfm
+
+import (
+	"govfm/internal/core"
+	"govfm/internal/kernel"
+)
+
+// Demo images for the example applications: pre-built guest kernels that
+// drive the Keystone and ACE policies, with their result areas exposed so
+// callers can read back what happened.
+
+// DemoResultAddr is where the demo kernels record their step results
+// (eight 8-byte slots).
+const DemoResultAddr = kernel.DemoResultAddr
+
+// KeystoneDemo returns the host kernel and enclave payload for the enclave
+// example: the host creates an enclave over the payload, runs it (with
+// timer preemption when preempt is set), verifies isolation, and destroys
+// it. n is the enclave's workload size (it computes sum 1..n).
+func KeystoneDemo(n int, preempt bool) (host, enclave []byte, enclaveBase uint64) {
+	host = kernel.BuildKeystoneHost(core.OSBase, n, preempt)
+	enclave = kernel.BuildEnclavePayload(kernel.EnclaveBase, n)
+	return host, enclave, kernel.EnclaveBase
+}
+
+// ACEDemo returns the host kernel and confidential-VM guest for the CVM
+// example: the host promotes the guest region to a CVM, runs it, exchanges
+// data through a shared page, verifies confidentiality, and destroys it.
+func ACEDemo() (host, guest []byte, guestBase uint64) {
+	host = kernel.BuildACEHost(core.OSBase)
+	guest = kernel.BuildCVMGuest(kernel.CVMBase)
+	return host, guest, kernel.CVMBase
+}
+
+// LoadExtra loads an additional image (an enclave payload, a CVM guest)
+// into the system's RAM before running.
+func (s *System) LoadExtra(base uint64, img []byte) error {
+	return s.Machine.LoadImage(base, img)
+}
+
+// ReadMem reads a 64-bit word from the machine's physical memory (for
+// collecting demo results).
+func (s *System) ReadMem(addr uint64) (uint64, bool) {
+	return s.Machine.Bus.Load(addr, 8)
+}
+
+// BootTraceKernel builds the phased boot kernel (bootloader, early init,
+// idle timer ticks) used by the boot-time and Fig. 3 experiments; it is a
+// more realistic payload than the minimal boot kernel.
+func BootTraceKernel(idleTicks int) []byte {
+	return kernel.BuildBootTrace(core.OSBase, idleTicks)
+}

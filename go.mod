@@ -1,0 +1,3 @@
+module govfm
+
+go 1.22

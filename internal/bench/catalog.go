@@ -1,0 +1,137 @@
+package bench
+
+// The workload catalog: synthetic models of the paper's benchmark
+// applications. Each spec's compute/memory mix and trap mix is chosen so
+// the induced trap-to-M rate on the VisionFive 2 profile lands near the
+// rate the paper reports for the real application (§8.3.2-§8.3.3:
+// CoreMark-Pro ≈11k traps/s, Redis ≈272k/s, Memcached ≈388k/s), which is
+// the quantity that determines virtualization overhead.
+
+// CoreMarkPro returns the nine CoreMark-Pro-style CPU sub-benchmarks
+// (Fig. 10): compute- and memory-bound kernels with the low trap rate of a
+// CPU-bound process (timer ticks and occasional clock reads).
+func CoreMarkPro() []*WorkloadSpec {
+	mk := func(name string, compute, mem int, ws uint64) *WorkloadSpec {
+		return &WorkloadSpec{
+			Name:          "cmp-" + name,
+			Iterations:    300,
+			ComputeN:      compute,
+			MemN:          mem,
+			WorkingSet:    ws,
+			TimeReadEvery: 9, // scheduler clock reads: ~11k traps/s
+			TimerSetEvery: 97,
+		}
+	}
+	return []*WorkloadSpec{
+		mk("cjpeg", 1200, 120, 64<<10),
+		mk("core", 1800, 10, 4<<10),
+		mk("linear-alg", 600, 500, 256<<10),
+		mk("loops-all", 2000, 40, 16<<10),
+		mk("nnet", 800, 400, 128<<10),
+		mk("parser", 1000, 200, 32<<10),
+		mk("radix2", 500, 550, 256<<10),
+		mk("sha", 1900, 20, 4<<10),
+		mk("zip", 1100, 250, 64<<10),
+	}
+}
+
+// IOzone returns the disk-I/O workloads (Fig. 11): each iteration
+// processes one 128 KiB record through a copy loop, with the misaligned
+// accesses and clock reads a filesystem path induces.
+func IOzone() map[string]*WorkloadSpec {
+	mk := func(name string, compute int) *WorkloadSpec {
+		return &WorkloadSpec{
+			Name:            "iozone-" + name,
+			Iterations:      160,
+			ComputeN:        compute,
+			MemN:            2048, // 128 KiB record at 64-byte stride
+			WorkingSet:      128 << 10,
+			TimeReadEvery:   1, // completion timestamping per record
+			MisalignedEvery: 2, // unaligned buffer handling
+			TimerSetEvery:   40,
+		}
+	}
+	return map[string]*WorkloadSpec{
+		"read":  mk("read", 100),
+		"write": mk("write", 220), // write path does more bookkeeping
+	}
+}
+
+// RecordBytes is the IOzone record size (for throughput conversion).
+const RecordBytes = 128 << 10
+
+// Memcached returns the closed-loop key-value workload (Fig. 12): small
+// requests with two clock reads each (the network stack timestamps
+// receive and send), the paper's highest trap rate (≈388k traps/s).
+func Memcached() *WorkloadSpec {
+	return &WorkloadSpec{
+		Name:          "memcached",
+		Iterations:    4000,
+		ComputeN:      900,
+		MemN:          40,
+		WorkingSet:    512 << 10,
+		TimeReadEvery: 1, // every request reads the clock
+		IPIEvery:      67,
+		TimerSetEvery: 127,
+		Samples:       2000,
+	}
+}
+
+// Applications returns the Fig. 13 application set.
+func Applications() []*WorkloadSpec {
+	return []*WorkloadSpec{
+		{
+			// Redis: single-threaded event loop, ≈272k traps/s.
+			Name:          "redis",
+			Iterations:    2500,
+			ComputeN:      1500,
+			MemN:          60,
+			WorkingSet:    1 << 20,
+			TimeReadEvery: 1,
+			TimerSetEvery: 101,
+		},
+		Memcached(),
+		{
+			// MySQL: mixed CPU/disk/network transaction processing.
+			Name:            "mysql",
+			Iterations:      600,
+			ComputeN:        4000,
+			MemN:            700,
+			WorkingSet:      2 << 20,
+			TimeReadEvery:   1,
+			MisalignedEvery: 11,
+			RfenceEvery:     31,
+			TimerSetEvery:   53,
+		},
+		{
+			// GCC: compute-bound compilation with rare kernel interaction.
+			Name:          "gcc",
+			Iterations:    250,
+			ComputeN:      6000,
+			MemN:          600,
+			WorkingSet:    4 << 20,
+			TimeReadEvery: 17,
+			TimerSetEvery: 83,
+		},
+	}
+}
+
+// RV8 returns the RV8 benchmark suite (Fig. 14): pure compute/memory
+// kernels run natively and inside a Keystone enclave.
+func RV8() []*WorkloadSpec {
+	mk := func(name string, compute, mem int, ws uint64) *WorkloadSpec {
+		return &WorkloadSpec{
+			Name: "rv8-" + name, Iterations: 250,
+			ComputeN: compute, MemN: mem, WorkingSet: ws,
+		}
+	}
+	return []*WorkloadSpec{
+		mk("aes", 1500, 120, 16<<10),
+		mk("dhrystone", 1800, 60, 8<<10),
+		mk("miniz", 900, 420, 128<<10),
+		mk("norx", 1400, 150, 16<<10),
+		mk("primes", 2100, 8, 4<<10),
+		mk("qsort", 700, 500, 256<<10),
+		mk("sha512", 1900, 40, 8<<10),
+	}
+}

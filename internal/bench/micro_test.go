@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"govfm/internal/hart"
+)
+
+func TestTable4(t *testing.T) {
+	for name, mk := range map[string]func() *hart.Config{
+		"visionfive2": hart.VisionFive2, "p550": hart.PremierP550,
+	} {
+		r, err := Table4(mk)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: emulation=%.0f cycles, world switch=%.0f cycles",
+			name, r.EmulationCycles, r.WorldSwitchCycles)
+		if r.EmulationCycles < 100 || r.EmulationCycles > 2000 {
+			t.Errorf("%s: emulation cost %.0f out of plausible range", name, r.EmulationCycles)
+		}
+		if r.WorldSwitchCycles < r.EmulationCycles {
+			t.Errorf("%s: world switch must cost more than one emulation", name)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	vf2, err := Table4(hart.VisionFive2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p550, err := Table4(hart.PremierP550)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 4's inversion: the P550 emulates cheaper but world-
+	// switches dearer than the VisionFive 2.
+	if p550.EmulationCycles >= vf2.EmulationCycles {
+		t.Errorf("emulation: P550 (%.0f) must be cheaper than VF2 (%.0f)",
+			p550.EmulationCycles, vf2.EmulationCycles)
+	}
+	if p550.WorldSwitchCycles <= vf2.WorldSwitchCycles {
+		t.Errorf("world switch: P550 (%.0f) must be dearer than VF2 (%.0f)",
+			p550.WorldSwitchCycles, vf2.WorldSwitchCycles)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	r, err := Table5(hart.VisionFive2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("read time: native=%.0fns miralis=%.0fns no-offload=%.0fns",
+		r.ReadTime[Native], r.ReadTime[Miralis], r.ReadTime[MiralisNoOffload])
+	t.Logf("ipi:       native=%.0fns miralis=%.0fns no-offload=%.0fns",
+		r.IPI[Native], r.IPI[Miralis], r.IPI[MiralisNoOffload])
+	// Paper Table 5's shape: Miralis' fast path is at least as fast as the
+	// vendor firmware; disabling offload costs an order of magnitude.
+	if r.ReadTime[Miralis] > r.ReadTime[Native] {
+		t.Errorf("fast-path time read (%.0f) must beat native (%.0f)",
+			r.ReadTime[Miralis], r.ReadTime[Native])
+	}
+	if r.ReadTime[MiralisNoOffload] < 5*r.ReadTime[Miralis] {
+		t.Errorf("no-offload time read must be dramatically slower: %.0f vs %.0f",
+			r.ReadTime[MiralisNoOffload], r.ReadTime[Miralis])
+	}
+	if r.IPI[MiralisNoOffload] < 2*r.IPI[Miralis] {
+		t.Errorf("no-offload IPI must be much slower: %.0f vs %.0f",
+			r.IPI[MiralisNoOffload], r.IPI[Miralis])
+	}
+}

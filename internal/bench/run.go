@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"govfm/internal/core"
+	"govfm/internal/firmware"
+	"govfm/internal/hart"
+	"govfm/internal/kernel"
+	"govfm/internal/policy/sandbox"
+	"govfm/internal/trace"
+)
+
+// Mode selects the system configuration under test (the columns of the
+// paper's figures).
+type Mode int
+
+const (
+	Native Mode = iota // firmware in physical M-mode, no monitor
+	Miralis
+	MiralisNoOffload
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Native:
+		return "native"
+	case Miralis:
+		return "miralis"
+	case MiralisNoOffload:
+		return "miralis-no-offload"
+	}
+	return "?"
+}
+
+// Modes lists the three standard configurations.
+var Modes = []Mode{Native, Miralis, MiralisNoOffload}
+
+// Metrics is what one run yields.
+type Metrics struct {
+	Workload string
+	Platform string
+	Mode     Mode
+
+	Cycles   uint64  // hart-0 cycles to completion
+	Instret  uint64  // retired guest instructions
+	SimTime  float64 // seconds of simulated time (cycles / frequency)
+	TrapsToM uint64  // traps that entered M-mode
+	TrapRate float64 // traps to M per simulated second
+
+	WorldSwitches   uint64
+	WorldSwitchRate float64 // per simulated second
+	FastPathHits    uint64
+	Emulations      uint64
+	TopCauseShare   float64 // offloadable-cause share of traps (Fig. 3)
+	CauseCounts     map[string]uint64
+	LatencySamples  []uint64 // per-iteration cycles (when sampled)
+	Collector       *trace.Collector
+	Monitor         *core.Monitor
+	Machine         *hart.Machine
+}
+
+// Runner builds machines for one platform profile.
+type Runner struct {
+	NewConfig func() *hart.Config
+	// Sandbox attaches the firmware sandbox policy on monitored runs
+	// (the paper's default evaluation configuration).
+	Sandbox bool
+	// MaxSteps bounds a run (0 = a generous default).
+	MaxSteps uint64
+}
+
+// Run executes the workload in the given mode and returns its metrics.
+func (r *Runner) Run(w *WorkloadSpec, mode Mode) (*Metrics, error) {
+	cfg := r.NewConfig()
+	cfg.Harts = 1
+	m, err := hart.NewMachine(cfg, core.DramSize)
+	if err != nil {
+		return nil, err
+	}
+	fw := firmware.BuildGosbi(core.FirmwareBase, firmware.Options{
+		OSEntry: core.OSBase, Harts: 1, FirmwareSize: core.FirmwareSize,
+	})
+	if err := m.LoadImage(core.FirmwareBase, fw.Bytes); err != nil {
+		return nil, err
+	}
+	if err := m.LoadImage(core.OSBase, w.BuildKernel(core.OSBase)); err != nil {
+		return nil, err
+	}
+
+	col := trace.NewCollector(0, m.Clint.Time)
+	col.Attach(m.Harts[0])
+
+	var mon *core.Monitor
+	if mode != Native {
+		opts := core.Options{
+			Offload:       mode == Miralis,
+			FirmwareEntry: core.FirmwareBase,
+		}
+		if r.Sandbox {
+			opts.Policy = sandbox.New(sandbox.Options{})
+		}
+		mon, err = core.Attach(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		mon.Boot()
+	} else {
+		m.Reset(core.FirmwareBase)
+	}
+
+	maxSteps := r.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000_000
+	}
+	m.Run(maxSteps)
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		return nil, fmt.Errorf("bench %s/%s: run did not complete cleanly: %v %q (pc=%#x)",
+			w.Name, mode, ok, reason, m.Harts[0].PC)
+	}
+
+	h := m.Harts[0]
+	met := &Metrics{
+		Workload:    w.Name,
+		Platform:    cfg.Name,
+		Mode:        mode,
+		Cycles:      h.Cycles,
+		Instret:     h.Instret,
+		SimTime:     float64(h.Cycles) / (float64(cfg.FreqMHz) * 1e6),
+		TrapsToM:    col.TrapsToM,
+		Collector:   col,
+		Monitor:     mon,
+		Machine:     m,
+		CauseCounts: col.Total,
+	}
+	if met.SimTime > 0 {
+		met.TrapRate = float64(col.TrapsToM) / met.SimTime
+	}
+	met.TopCauseShare = col.TopShare()
+	if mon != nil {
+		st := mon.TotalStats()
+		met.WorldSwitches = st.WorldSwitches
+		met.FastPathHits = st.FastPathHits
+		met.Emulations = st.Emulations
+		if met.SimTime > 0 {
+			met.WorldSwitchRate = float64(st.WorldSwitches) / met.SimTime
+		}
+	}
+	if w.Samples > 0 {
+		met.LatencySamples = readSamples(m, w.Samples)
+	}
+	return met, nil
+}
+
+func readSamples(m *hart.Machine, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		v, ok := m.Bus.Load(sampleBufAddr+uint64(8*i), 8)
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of the samples.
+func Percentile(samples []uint64, p float64) uint64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// RelativeScore returns the workload's performance relative to a baseline:
+// baselineCycles / cycles (higher is better, 1.0 = parity), the metric of
+// Figs. 10, 13, and 14.
+func RelativeScore(baseline, measured *Metrics) float64 {
+	if measured.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(measured.Cycles)
+}
+
+// NsPerOp converts a cycles-per-op measurement to nanoseconds on the
+// platform.
+func NsPerOp(cfg *hart.Config, cycles float64) float64 {
+	return cycles / float64(cfg.FreqMHz) * 1000
+}
+
+// RunAll executes the workload in all three modes.
+func (r *Runner) RunAll(w *WorkloadSpec) (map[Mode]*Metrics, error) {
+	out := make(map[Mode]*Metrics, len(Modes))
+	for _, mode := range Modes {
+		met, err := r.Run(w, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[mode] = met
+	}
+	return out, nil
+}
+
+// BootWorkload returns the phased boot sequence used by the boot-time
+// experiment (§8.3.2) and Fig. 3: bootloader, early init, and a long idle
+// tail of timer ticks.
+func BootWorkload(harts int) []byte {
+	_ = harts
+	return kernel.BuildBootTrace(core.OSBase, 200)
+}

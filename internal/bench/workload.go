@@ -1,0 +1,231 @@
+// Package bench is the evaluation harness: workload generators whose trap
+// mix and rate reproduce the paper's application profiles, a scenario
+// runner that executes each workload Native / under Miralis / under
+// Miralis without fast-path offloading, and per-table/per-figure printers
+// that regenerate every row and series of the paper's evaluation section.
+package bench
+
+import (
+	"govfm/internal/asm"
+	"govfm/internal/core"
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+// WorkloadSpec describes a synthetic workload: per-iteration compute and
+// memory work plus the firmware-trap mix the real application induces.
+// The mix fractions are expressed as "one op every N iterations" (0 = never).
+type WorkloadSpec struct {
+	Name string
+
+	// Iterations of the outer loop ("requests", "records", "blocks").
+	Iterations int
+
+	// ComputeN is the inner arithmetic loop count per iteration.
+	ComputeN int
+	// MemN is the inner memory-op loop count per iteration (8-byte
+	// loads+stores over a working set).
+	MemN int
+	// WorkingSet is the buffer size in bytes for the memory loop.
+	WorkingSet uint64
+
+	// Trap mix: one op every N iterations (0 = never).
+	TimeReadEvery   int
+	TimerSetEvery   int // sbi set_timer + pending STI consumed by handler
+	MisalignedEvery int
+	IPIEvery        int // self-IPI: SSIP round trip through the handler
+	RfenceEvery     int
+	ConsoleEvery    int // debug-console byte (never offloaded)
+
+	// Latency sampling: when > 0, per-iteration cycle deltas are stored
+	// to the sample buffer (Fig. 12's latency distribution).
+	Samples int
+
+	// UseSstc programs timer deadlines through the stimecmp CSR instead
+	// of SBI set_timer — the RVA23-generation kernel behaviour that
+	// removes the dominant trap causes (§3.4).
+	UseSstc bool
+}
+
+// Workload memory layout inside the OS region.
+const (
+	workBufAddr   = core.OSBase + 0x20_0000 // working set
+	sampleBufAddr = core.OSBase + 0x40_0000 // latency samples (8 B each)
+	doneFlagAddr  = core.OSBase + 0x50_0000
+)
+
+// BuildKernel assembles the workload kernel at base.
+func (w *WorkloadSpec) BuildKernel(base uint64) []byte {
+	a := asm.New(base)
+	ws := w.WorkingSet
+	if ws == 0 {
+		ws = 64 << 10
+	}
+
+	a.Label("entry")
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+	// Enable the supervisor timer and software interrupts we may receive.
+	a.Li(asm.T0, 1<<rv.IntSTimer|1<<rv.IntSSoft)
+	a.Csrrs(asm.X0, rv.CSRSie, asm.T0)
+	a.Csrrsi(asm.X0, rv.CSRSstatus, 1<<rv.MstatusSIE)
+
+	a.Li(asm.S0, uint64(w.Iterations)) // outer counter (counts down)
+	a.Li(asm.S1, 0)                    // iteration index (counts up)
+	a.Li(asm.S2, workBufAddr)
+	a.Li(asm.S3, sampleBufAddr)
+
+	a.Label("outer")
+	if w.Samples > 0 {
+		a.Csrr(asm.S6, rv.CSRCycle)
+	}
+
+	// Compute kernel: dependent add/xor/mul chain.
+	if w.ComputeN > 0 {
+		a.Li(asm.T0, uint64(w.ComputeN))
+		a.Li(asm.T1, 0x9E3779B9)
+		a.Label("comp")
+		a.Add(asm.T2, asm.T2, asm.T1)
+		a.Xor(asm.T1, asm.T1, asm.T2)
+		a.Slli(asm.T3, asm.T2, 1)
+		a.Add(asm.T2, asm.T2, asm.T3)
+		a.Addi(asm.T0, asm.T0, -1)
+		a.Bnez(asm.T0, "comp")
+	}
+
+	// Memory kernel: strided load+store over the working set.
+	if w.MemN > 0 {
+		a.Li(asm.T0, uint64(w.MemN))
+		a.Li(asm.T4, 0) // offset
+		a.Li(asm.T5, ws-8)
+		a.Label("memloop")
+		a.Add(asm.T3, asm.S2, asm.T4)
+		a.Ld(asm.T2, asm.T3, 0)
+		a.Addi(asm.T2, asm.T2, 1)
+		a.Sd(asm.T2, asm.T3, 0)
+		a.Addi(asm.T4, asm.T4, 64) // cache-line stride
+		a.Bltu(asm.T4, asm.T5, "memok")
+		a.Li(asm.T4, 0)
+		a.Label("memok")
+		a.Addi(asm.T0, asm.T0, -1)
+		a.Bnez(asm.T0, "memloop")
+	}
+
+	// Trap mix, gated on the iteration index.
+	emitEvery := func(every int, label string, body func()) {
+		if every <= 0 {
+			return
+		}
+		a.Li(asm.T0, uint64(every))
+		a.Remu(asm.T1, asm.S1, asm.T0)
+		a.BnezFar(asm.T1, label+"_skip")
+		body()
+		a.Label(label + "_skip")
+	}
+	emitEvery(w.TimeReadEvery, "tr", func() {
+		a.Csrr(asm.T2, rv.CSRTime)
+	})
+	emitEvery(w.MisalignedEvery, "mis", func() {
+		a.Addi(asm.T3, asm.S2, 1)
+		a.Li(asm.T2, 0x1122334455667788)
+		a.Sd(asm.T2, asm.T3, 0)
+		a.Ld(asm.T2, asm.T3, 0)
+	})
+	emitEvery(w.TimerSetEvery, "tmr", func() {
+		// Arm a short deadline; the handler consumes the interrupt and
+		// quiesces the timer.
+		if w.UseSstc {
+			a.Csrr(asm.T2, rv.CSRTime)
+			a.Addi(asm.T2, asm.T2, 5)
+			a.Csrw(rv.CSRStimecmp, asm.T2)
+		} else {
+			a.Csrr(asm.A0, rv.CSRTime)
+			a.Addi(asm.A0, asm.A0, 5)
+			a.Li(asm.A7, rv.SBIExtTimer)
+			a.Li(asm.A6, rv.SBITimerSetTimer)
+			a.Ecall()
+		}
+	})
+	emitEvery(w.IPIEvery, "ipi", func() {
+		a.Li(asm.A0, 1) // self (hart 0)
+		a.Li(asm.A1, 0)
+		a.Li(asm.A7, rv.SBIExtIPI)
+		a.Li(asm.A6, rv.SBIIPISendIPI)
+		a.Ecall()
+	})
+	emitEvery(w.RfenceEvery, "rf", func() {
+		a.Li(asm.A0, ^uint64(0))
+		a.Li(asm.A1, 0)
+		a.Li(asm.A2, 0)
+		a.Li(asm.A3, ^uint64(0))
+		a.Li(asm.A7, rv.SBIExtRfence)
+		a.Li(asm.A6, rv.SBIRfenceSfenceVMA)
+		a.Ecall()
+	})
+	emitEvery(w.ConsoleEvery, "con", func() {
+		a.Li(asm.A0, '.')
+		a.Li(asm.A7, rv.SBIExtDebug)
+		a.Li(asm.A6, rv.SBIDebugWriteByte)
+		a.Ecall()
+	})
+
+	if w.Samples > 0 {
+		// Record the iteration's latency in cycles for the first Samples
+		// iterations.
+		a.Li(asm.T0, uint64(w.Samples))
+		a.BgeuFar(asm.S1, asm.T0, "nosample")
+		a.Csrr(asm.T1, rv.CSRCycle)
+		a.Sub(asm.T1, asm.T1, asm.S6)
+		a.Slli(asm.T2, asm.S1, 3)
+		a.Add(asm.T2, asm.S3, asm.T2)
+		a.Sd(asm.T1, asm.T2, 0)
+		a.Label("nosample")
+	}
+
+	a.Addi(asm.S1, asm.S1, 1)
+	a.Addi(asm.S0, asm.S0, -1)
+	a.BnezFar(asm.S0, "outer")
+
+	// Mark completion and shut down.
+	a.Li(asm.T0, doneFlagAddr)
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtReset)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Label("hang")
+	a.J("hang")
+
+	// Supervisor handler: quiesce timers, clear soft interrupts.
+	a.Label("strap")
+	a.Csrr(asm.T6, rv.CSRScause)
+	a.Slli(asm.T6, asm.T6, 1)
+	a.Srli(asm.T6, asm.T6, 1)
+	a.Li(asm.T5, rv.IntSTimer)
+	a.Beq(asm.T6, asm.T5, "strap_tmr")
+	a.Li(asm.T5, rv.IntSSoft)
+	a.Beq(asm.T6, asm.T5, "strap_sw")
+	// Unexpected trap: stop hard so bugs never masquerade as results.
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("strap_tmr")
+	if w.UseSstc {
+		a.Li(asm.T5, ^uint64(0))
+		a.Csrw(rv.CSRStimecmp, asm.T5)
+	} else {
+		a.Li(asm.A0, ^uint64(0))
+		a.Li(asm.A7, rv.SBIExtTimer)
+		a.Li(asm.A6, rv.SBITimerSetTimer)
+		a.Ecall()
+	}
+	a.Sret()
+	a.Label("strap_sw")
+	a.Li(asm.T5, 1<<rv.IntSSoft)
+	a.Csrrc(asm.X0, rv.CSRSip, asm.T5)
+	a.Sret()
+
+	return a.MustAssemble()
+}

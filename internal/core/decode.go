@@ -1,0 +1,129 @@
+package core
+
+import "govfm/internal/rv"
+
+// The monitor's own instruction decoder for the privileged subset it
+// emulates (paper Table 1 counts the decoder in the emulator subsystem;
+// paper §6.4 verifies it against the reference model's decoder).
+
+// EmuOp classifies an instruction the emulator understands.
+type EmuOp int
+
+const (
+	EmuIllegal EmuOp = iota
+	EmuCSRRW
+	EmuCSRRS
+	EmuCSRRC
+	EmuCSRRWI
+	EmuCSRRSI
+	EmuCSRRCI
+	EmuMRET
+	EmuSRET
+	EmuWFI
+	EmuECALL
+	EmuEBREAK
+	EmuSFENCE
+	EmuFENCE
+	EmuFENCEI
+	EmuLoad // for MPRV and MMIO emulation paths
+	EmuStore
+)
+
+// EmuInstr is a decoded instruction.
+type EmuInstr struct {
+	Op     EmuOp
+	Rd     uint32
+	Rs1    uint32
+	Rs2    uint32
+	CSR    uint16
+	Zimm   uint64
+	Imm    uint64 // sign-extended load/store offset
+	Size   int    // access width for loads/stores
+	Signed bool   // sign-extending load
+	Raw    uint32
+}
+
+// decode classifies raw. It accepts the privileged subset plus plain
+// loads/stores (needed to emulate firmware accesses to virtual MMIO and
+// MPRV windows); everything else is EmuIllegal and gets re-injected.
+func decode(raw uint32) EmuInstr {
+	ins := EmuInstr{Op: EmuIllegal, Raw: raw}
+	switch rv.OpcodeOf(raw) {
+	case rv.OpMiscMem:
+		switch rv.Funct3Of(raw) {
+		case 0:
+			ins.Op = EmuFENCE
+		case 1:
+			ins.Op = EmuFENCEI
+		}
+		return ins
+	case rv.OpLoad:
+		ins.Rd = rv.RdOf(raw)
+		ins.Rs1 = rv.Rs1Of(raw)
+		ins.Imm = rv.ImmI(raw)
+		switch rv.Funct3Of(raw) {
+		case 0:
+			ins.Op, ins.Size, ins.Signed = EmuLoad, 1, true
+		case 1:
+			ins.Op, ins.Size, ins.Signed = EmuLoad, 2, true
+		case 2:
+			ins.Op, ins.Size, ins.Signed = EmuLoad, 4, true
+		case 3:
+			ins.Op, ins.Size = EmuLoad, 8
+		case 4:
+			ins.Op, ins.Size = EmuLoad, 1
+		case 5:
+			ins.Op, ins.Size = EmuLoad, 2
+		case 6:
+			ins.Op, ins.Size = EmuLoad, 4
+		}
+		return ins
+	case rv.OpStore:
+		ins.Rs1 = rv.Rs1Of(raw)
+		ins.Rs2 = rv.Rs2Of(raw)
+		ins.Imm = rv.ImmS(raw)
+		if f3 := rv.Funct3Of(raw); f3 <= 3 {
+			ins.Op, ins.Size = EmuStore, 1<<f3
+		}
+		return ins
+	case rv.OpSystem:
+	default:
+		return ins
+	}
+
+	ins.Rd = rv.RdOf(raw)
+	ins.Rs1 = rv.Rs1Of(raw)
+	ins.Rs2 = rv.Rs2Of(raw)
+	ins.CSR = rv.CSROf(raw)
+	ins.Zimm = uint64(ins.Rs1)
+	switch rv.Funct3Of(raw) {
+	case rv.F3Priv:
+		switch {
+		case raw == rv.InstrEcall:
+			ins.Op = EmuECALL
+		case raw == rv.InstrEbreak:
+			ins.Op = EmuEBREAK
+		case raw == rv.InstrMret:
+			ins.Op = EmuMRET
+		case raw == rv.InstrSret:
+			ins.Op = EmuSRET
+		case raw == rv.InstrWfi:
+			ins.Op = EmuWFI
+		case rv.Funct7Of(raw) == rv.SfenceVMAFunct7 && ins.Rd == 0:
+			ins.Op = EmuSFENCE
+		}
+	case rv.F3Csrrw:
+		ins.Op = EmuCSRRW
+	case rv.F3Csrrs:
+		ins.Op = EmuCSRRS
+	case rv.F3Csrrc:
+		ins.Op = EmuCSRRC
+	case rv.F3Csrrwi:
+		ins.Op = EmuCSRRWI
+	case rv.F3Csrrsi:
+		ins.Op = EmuCSRRSI
+	case rv.F3Csrrci:
+		ins.Op = EmuCSRRCI
+	}
+	return ins
+}

@@ -1,0 +1,713 @@
+package core
+
+import (
+	"fmt"
+
+	"govfm/internal/mem"
+	"govfm/internal/mmu"
+	"govfm/internal/rv"
+)
+
+// The instruction emulator (paper §4.1): the biggest subsystem of the
+// monitor and the largest attack surface exposed to the firmware. It
+// executes privileged instructions on the virtual CSR shadow while the
+// firmware runs deprivileged. Every path here is covered by the
+// faithful-emulation differential tests in internal/verif.
+
+// emulate executes the instruction that trapped out of vM-mode and returns
+// the next virtual PC.
+func (m *Monitor) emulate(ctx *HartCtx, raw uint32, epc uint64) uint64 {
+	h := ctx.Hart
+	h.ChargeCycles(h.Cfg.Cost.EmuOp)
+	ctx.Stats.Emulations++
+
+	ins := decode(raw)
+	switch ins.Op {
+	case EmuMRET:
+		return m.emulateMRET(ctx, raw, epc)
+	case EmuSRET:
+		return m.emulateSRET(ctx, raw, epc)
+	case EmuWFI:
+		return m.emulateWFI(ctx, raw, epc)
+	case EmuSFENCE:
+		if ctx.VirtMode == rv.ModeU ||
+			(ctx.VirtMode == rv.ModeS && ctx.V.Mstatus&(1<<rv.MstatusTVM) != 0) {
+			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+		}
+		// Address-translation fence: nothing to do for the shadow state;
+		// charge the flush the real instruction would cost.
+		h.ChargeCycles(h.Cfg.Cost.TLBFlush)
+		return epc + 4
+	case EmuFENCE, EmuFENCEI:
+		return epc + 4
+	case EmuCSRRW, EmuCSRRS, EmuCSRRC, EmuCSRRWI, EmuCSRRSI, EmuCSRRCI:
+		return m.emulateCSR(ctx, ins, epc)
+	case EmuECALL:
+		cause := rv.ExcEcallFromU
+		switch ctx.VirtMode {
+		case rv.ModeS:
+			cause = rv.ExcEcallFromS
+		case rv.ModeM:
+			cause = rv.ExcEcallFromM
+		}
+		return m.injectVirtTrap(ctx, cause, 0, epc)
+	case EmuEBREAK:
+		return m.injectVirtTrap(ctx, rv.ExcBreakpoint, epc, epc)
+	default:
+		// Not a privileged instruction the virtual hardware implements:
+		// the reference machine would raise an illegal-instruction trap.
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+	}
+}
+
+// emulateMRET performs the virtual mret. When the virtual MPP is below M
+// this is a world switch: the firmware hands control to the OS.
+func (m *Monitor) emulateMRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
+	v := ctx.V
+	if ctx.VirtMode != rv.ModeM {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+	}
+	prev := v.MPP()
+	// Virtual interrupt-enable stack.
+	if v.Mstatus&(1<<7) != 0 { // MPIE
+		v.Mstatus |= 1 << 3
+	} else {
+		v.Mstatus &^= 1 << 3
+	}
+	v.Mstatus |= 1 << 7 // MPIE = 1
+	v.SetMPP(rv.ModeU)
+	if prev != rv.ModeM {
+		v.Mstatus &^= 1 << rv.MstatusMPRV
+	}
+	ctx.VirtMode = prev
+	return v.Mepc
+}
+
+// emulateSRET performs the virtual sret (vM-mode may execute it, as real
+// M-mode may).
+func (m *Monitor) emulateSRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
+	v := ctx.V
+	if ctx.VirtMode == rv.ModeU ||
+		(ctx.VirtMode == rv.ModeS && v.Mstatus&(1<<rv.MstatusTSR) != 0) {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+	}
+	prev := rv.Mode(v.Mstatus >> 8 & 1)
+	if v.Mstatus&(1<<5) != 0 { // SPIE
+		v.Mstatus |= 1 << 1 // SIE
+	} else {
+		v.Mstatus &^= 1 << 1
+	}
+	v.Mstatus |= 1 << 5  // SPIE = 1
+	v.Mstatus &^= 1 << 8 // SPP = U
+	v.Mstatus &^= 1 << rv.MstatusMPRV
+	ctx.VirtMode = prev
+	return v.Sepc
+}
+
+// emulateWFI puts the virtual firmware to sleep until a virtual interrupt
+// pends; the physical hart is parked in its own wait state so the machine
+// does not spin.
+func (m *Monitor) emulateWFI(ctx *HartCtx, raw uint32, epc uint64) uint64 {
+	if ctx.VirtMode == rv.ModeU ||
+		(ctx.VirtMode == rv.ModeS && ctx.V.Mstatus&(1<<rv.MstatusTW) != 0) {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+	}
+	ctx.VirtWaiting = true
+	// The physical hart waits too; the monitor's M-mode interrupt enables
+	// stay armed, so any hardware interrupt wakes it and re-enters the
+	// monitor, which re-evaluates virtual interrupts.
+	ctx.Hart.Waiting = true
+	return epc + 4
+}
+
+// emulateCSR executes a virtual CSR instruction.
+func (m *Monitor) emulateCSR(ctx *HartCtx, ins EmuInstr, epc uint64) uint64 {
+	h := ctx.Hart
+	wantWrite := true
+	wantRead := true
+	switch ins.Op {
+	case EmuCSRRW, EmuCSRRWI:
+		wantRead = ins.Rd != 0
+	case EmuCSRRS, EmuCSRRC, EmuCSRRSI, EmuCSRRCI:
+		wantWrite = ins.Rs1 != 0
+	}
+	if wantWrite && rv.CSRReadOnly(ins.CSR) {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
+	}
+	if !m.vcsrAccessible(ctx, ins.CSR) {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
+	}
+	old, ok := m.vcsrRead(ctx, ins.CSR)
+	if !ok {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
+	}
+	if wantWrite {
+		src := h.Reg(ins.Rs1)
+		if ins.Op >= EmuCSRRWI {
+			src = ins.Zimm
+		}
+		var newVal uint64
+		switch ins.Op {
+		case EmuCSRRW, EmuCSRRWI:
+			newVal = src
+		case EmuCSRRS, EmuCSRRSI:
+			newVal = old | src
+		case EmuCSRRC, EmuCSRRCI:
+			newVal = old &^ src
+		}
+		if !m.vcsrWrite(ctx, ins.CSR, newVal) {
+			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
+		}
+	}
+	if wantRead {
+		h.SetReg(ins.Rd, old)
+	}
+	return epc + 4
+}
+
+// vcsrAccessible checks the virtual privilege, existence, and gating
+// rules for a CSR access from the current virtual mode. In production the
+// emulator only ever runs for vM-mode (which passes every privilege
+// check), but the emulator is total over modes so the faithful-emulation
+// criterion holds state-for-state against the reference model.
+func (m *Monitor) vcsrAccessible(ctx *HartCtx, csr uint16) bool {
+	cfg := ctx.Hart.Cfg
+	v := ctx.V
+	if ctx.VirtMode < rv.CSRPriv(csr) {
+		return false
+	}
+	switch csr {
+	case rv.CSRCycle, rv.CSRTime, rv.CSRInstret:
+		bit := uint(csr - rv.CSRCycle)
+		if ctx.VirtMode < rv.ModeM && rv.Bit(v.Mcounteren, bit) == 0 {
+			return false
+		}
+		if ctx.VirtMode == rv.ModeU && rv.Bit(v.Scounteren, bit) == 0 {
+			return false
+		}
+	case rv.CSRSatp:
+		if ctx.VirtMode == rv.ModeS && v.Mstatus&(1<<rv.MstatusTVM) != 0 {
+			return false
+		}
+	}
+	switch csr {
+	case rv.CSRTime:
+		return cfg.HasTimeCSR
+	case rv.CSRStimecmp:
+		if !cfg.HasSstc {
+			return false
+		}
+		return ctx.VirtMode != rv.ModeS || m.sstcEnabled(ctx)
+	}
+	if i, ok := rv.IsPmpaddr(csr); ok {
+		return i < ctx.V.PMP.NumEntries()
+	}
+	if i, ok := rv.IsPmpcfg(csr); ok {
+		return i%2 == 0 && i*4 < ctx.V.PMP.NumEntries()
+	}
+	if vcsrIsH(csr) {
+		return cfg.HasH
+	}
+	if _, custom := ctx.V.Custom[csr]; custom {
+		return true
+	}
+	if cfg.HasCustomCSR(csr) {
+		return true
+	}
+	return vcsrKnown(csr)
+}
+
+// vcsrIsH reports whether csr belongs to the hypervisor-extension subset,
+// which exists only on platforms with H.
+func vcsrIsH(csr uint16) bool {
+	switch csr {
+	case rv.CSRHstatus, rv.CSRHedeleg, rv.CSRHideleg, rv.CSRHie,
+		rv.CSRHcounteren, rv.CSRHgeie, rv.CSRHtval, rv.CSRHip, rv.CSRHvip,
+		rv.CSRHtinst, rv.CSRHenvcfg, rv.CSRHgatp, rv.CSRHgeip,
+		rv.CSRMtinst, rv.CSRMtval2,
+		rv.CSRVsstatus, rv.CSRVsie, rv.CSRVstvec, rv.CSRVsscratch,
+		rv.CSRVsepc, rv.CSRVscause, rv.CSRVstval, rv.CSRVsip, rv.CSRVsatp:
+		return true
+	}
+	return false
+}
+
+// vcsrKnown enumerates the standard CSRs the virtual hardware implements.
+func vcsrKnown(csr uint16) bool {
+	switch csr {
+	case rv.CSRMstatus, rv.CSRMisa, rv.CSRMedeleg, rv.CSRMideleg, rv.CSRMie,
+		rv.CSRMtvec, rv.CSRMcounteren, rv.CSRMenvcfg, rv.CSRMcountinhibit,
+		rv.CSRMscratch, rv.CSRMepc, rv.CSRMcause, rv.CSRMtval, rv.CSRMip,
+		rv.CSRMseccfg, rv.CSRMvendorid, rv.CSRMarchid, rv.CSRMimpid,
+		rv.CSRMhartid, rv.CSRMconfigptr, rv.CSRMcycle, rv.CSRMinstret,
+		rv.CSRSstatus, rv.CSRSie, rv.CSRStvec, rv.CSRScounteren,
+		rv.CSRSenvcfg, rv.CSRSscratch, rv.CSRSepc, rv.CSRScause,
+		rv.CSRStval, rv.CSRSip, rv.CSRSatp, rv.CSRCycle, rv.CSRInstret,
+		rv.CSRHstatus, rv.CSRHedeleg, rv.CSRHideleg, rv.CSRHie,
+		rv.CSRHcounteren, rv.CSRHgeie, rv.CSRHtval, rv.CSRHip, rv.CSRHvip,
+		rv.CSRHtinst, rv.CSRHenvcfg, rv.CSRHgatp,
+		rv.CSRVsstatus, rv.CSRVsie, rv.CSRVstvec, rv.CSRVsscratch,
+		rv.CSRVsepc, rv.CSRVscause, rv.CSRVstval, rv.CSRVsip, rv.CSRVsatp:
+		return true
+	}
+	return rv.IsHpmcounter(csr)
+}
+
+// vcsrRead returns the virtual CSR value.
+func (m *Monitor) vcsrRead(ctx *HartCtx, csr uint16) (uint64, bool) {
+	v := ctx.V
+	h := ctx.Hart
+	switch csr {
+	case rv.CSRMstatus:
+		return v.Mstatus, true
+	case rv.CSRMisa:
+		misa := rv.MisaMXL64 | rv.MisaI | rv.MisaM | rv.MisaA | rv.MisaS | rv.MisaU
+		if h.Cfg.HasH {
+			misa |= rv.MisaH
+		}
+		return misa, true
+	case rv.CSRMedeleg:
+		return v.Medeleg, true
+	case rv.CSRMideleg:
+		return v.Mideleg, true
+	case rv.CSRMie:
+		return v.Mie, true
+	case rv.CSRMtvec:
+		return v.Mtvec, true
+	case rv.CSRMcounteren:
+		return v.Mcounteren, true
+	case rv.CSRMenvcfg:
+		return v.Menvcfg, true
+	case rv.CSRMcountinhibit:
+		return v.Mcountinhibit, true
+	case rv.CSRMscratch:
+		return v.Mscratch, true
+	case rv.CSRMepc:
+		return v.Mepc, true
+	case rv.CSRMcause:
+		return v.Mcause, true
+	case rv.CSRMtval:
+		return v.Mtval, true
+	case rv.CSRMip:
+		return m.virtMip(ctx), true
+	case rv.CSRMseccfg:
+		return v.Mseccfg, true
+	case rv.CSRMvendorid:
+		return h.Cfg.Mvendorid, true
+	case rv.CSRMarchid:
+		return h.Cfg.Marchid, true
+	case rv.CSRMimpid:
+		return h.Cfg.Mimpid, true
+	case rv.CSRMhartid:
+		return uint64(h.ID), true
+	case rv.CSRMconfigptr:
+		return 0, true
+	case rv.CSRMcycle, rv.CSRCycle:
+		return h.Cycles, true
+	case rv.CSRMinstret, rv.CSRInstret:
+		return h.Instret, true
+	case rv.CSRTime:
+		return h.Time(), true
+	case rv.CSRSstatus:
+		return v.sstatus(), true
+	case rv.CSRSie:
+		return v.Mie & v.Mideleg, true
+	case rv.CSRStvec:
+		return v.Stvec, true
+	case rv.CSRScounteren:
+		return v.Scounteren, true
+	case rv.CSRSenvcfg:
+		return v.Senvcfg, true
+	case rv.CSRSscratch:
+		return v.Sscratch, true
+	case rv.CSRSepc:
+		return v.Sepc, true
+	case rv.CSRScause:
+		return v.Scause, true
+	case rv.CSRStval:
+		return v.Stval, true
+	case rv.CSRSip:
+		return m.virtMip(ctx) & v.Mideleg, true
+	case rv.CSRSatp:
+		return v.Satp, true
+	case rv.CSRStimecmp:
+		return v.Stimecmp, true
+	case rv.CSRHstatus:
+		return v.Hstatus, true
+	case rv.CSRHedeleg:
+		return v.Hedeleg, true
+	case rv.CSRHideleg:
+		return v.Hideleg, true
+	case rv.CSRHie:
+		return v.Hie, true
+	case rv.CSRHcounteren:
+		return v.Hcounteren, true
+	case rv.CSRHgeie:
+		return v.Hgeie, true
+	case rv.CSRHtval:
+		return v.Htval, true
+	case rv.CSRHip:
+		return v.Hip, true
+	case rv.CSRHvip:
+		return v.Hvip, true
+	case rv.CSRHtinst:
+		return v.Htinst, true
+	case rv.CSRHenvcfg:
+		return v.Henvcfg, true
+	case rv.CSRHgatp:
+		return v.Hgatp, true
+	case rv.CSRHgeip:
+		return 0, true
+	case rv.CSRMtinst:
+		return v.Mtinst, true
+	case rv.CSRMtval2:
+		return v.Mtval2, true
+	case rv.CSRVsstatus:
+		return v.Vsstatus, true
+	case rv.CSRVsie:
+		return v.Vsie, true
+	case rv.CSRVstvec:
+		return v.Vstvec, true
+	case rv.CSRVsscratch:
+		return v.Vsscratch, true
+	case rv.CSRVsepc:
+		return v.Vsepc, true
+	case rv.CSRVscause:
+		return v.Vscause, true
+	case rv.CSRVstval:
+		return v.Vstval, true
+	case rv.CSRVsip:
+		return v.Vsip, true
+	case rv.CSRVsatp:
+		return v.Vsatp, true
+	}
+	if i, ok := rv.IsPmpaddr(csr); ok {
+		return v.PMP.Addr(i), true
+	}
+	if i, ok := rv.IsPmpcfg(csr); ok {
+		return v.PMP.CfgReg(i), true
+	}
+	if rv.IsHpmcounter(csr) {
+		return 0, true
+	}
+	if h.Cfg.HasCustomCSR(csr) {
+		return v.Custom[csr], true
+	}
+	return 0, false
+}
+
+// vcsrWrite stores into the virtual CSR, applying the virtual WARL rules.
+func (m *Monitor) vcsrWrite(ctx *HartCtx, csr uint16, val uint64) bool {
+	v := ctx.V
+	h := ctx.Hart
+	switch csr {
+	case rv.CSRMstatus:
+		v.writeMstatus(val)
+	case rv.CSRMisa:
+		// WARL; the virtual misa is hardwired.
+	case rv.CSRMedeleg:
+		v.Medeleg = val & vMedelegMask
+	case rv.CSRMideleg:
+		v.writeMideleg(val)
+	case rv.CSRMie:
+		v.Mie = val & vMieMask
+	case rv.CSRMtvec:
+		v.Mtvec = vLegalizeTvec(val)
+	case rv.CSRMcounteren:
+		v.Mcounteren = val & 0xFFFF_FFFF
+	case rv.CSRMenvcfg:
+		var mask uint64
+		if h.Cfg.HasSstc {
+			mask |= 1 << 63
+		}
+		v.Menvcfg = val & mask
+	case rv.CSRMcountinhibit:
+		v.Mcountinhibit = val & 0xFFFF_FFFD
+	case rv.CSRMscratch:
+		v.Mscratch = val
+	case rv.CSRMepc:
+		v.Mepc = vLegalizeEpc(val)
+	case rv.CSRMcause:
+		v.Mcause = val
+	case rv.CSRMtval:
+		v.Mtval = val
+	case rv.CSRMtinst:
+		v.Mtinst = val
+	case rv.CSRMtval2:
+		v.Mtval2 = val
+	case rv.CSRMip:
+		m.writeVirtMip(ctx, val)
+	case rv.CSRMseccfg:
+		v.Mseccfg = val & 7
+	case rv.CSRMcycle:
+		// The virtual cycle counter is the physical one; writes are
+		// filtered (the firmware must not warp the host's counters).
+	case rv.CSRMinstret:
+	case rv.CSRSstatus:
+		v.writeSstatus(val)
+	case rv.CSRSie:
+		v.Mie = v.Mie&^v.Mideleg | val&v.Mideleg
+	case rv.CSRStvec:
+		v.Stvec = vLegalizeTvec(val)
+	case rv.CSRScounteren:
+		v.Scounteren = val & 0xFFFF_FFFF
+	case rv.CSRSenvcfg:
+		v.Senvcfg = val & 1
+	case rv.CSRSscratch:
+		v.Sscratch = val
+	case rv.CSRSepc:
+		v.Sepc = vLegalizeEpc(val)
+	case rv.CSRScause:
+		v.Scause = val
+	case rv.CSRStval:
+		v.Stval = val
+	case rv.CSRSip:
+		if ctx.VirtMode == rv.ModeM {
+			m.writeVirtMip(ctx, val)
+		} else {
+			mask := v.Mideleg & (1 << rv.IntSSoft)
+			v.MipSW = v.MipSW&^mask | val&mask
+		}
+	case rv.CSRSatp:
+		v.writeSatp(val)
+	case rv.CSRStimecmp:
+		v.Stimecmp = val
+	case rv.CSRHstatus:
+		v.Hstatus = val
+	case rv.CSRHedeleg:
+		v.Hedeleg = val
+	case rv.CSRHideleg:
+		v.Hideleg = val
+	case rv.CSRHie:
+		v.Hie = val
+	case rv.CSRHcounteren:
+		v.Hcounteren = val & 0xFFFF_FFFF
+	case rv.CSRHgeie:
+		v.Hgeie = val
+	case rv.CSRHtval:
+		v.Htval = val
+	case rv.CSRHip:
+		v.Hip = val
+	case rv.CSRHvip:
+		v.Hvip = val
+	case rv.CSRHtinst:
+		v.Htinst = val
+	case rv.CSRHenvcfg:
+		v.Henvcfg = val
+	case rv.CSRHgatp:
+		v.Hgatp = val
+	case rv.CSRVsstatus:
+		v.Vsstatus = val
+	case rv.CSRVsie:
+		v.Vsie = val
+	case rv.CSRVstvec:
+		v.Vstvec = vLegalizeTvec(val)
+	case rv.CSRVsscratch:
+		v.Vsscratch = val
+	case rv.CSRVsepc:
+		v.Vsepc = vLegalizeEpc(val)
+	case rv.CSRVscause:
+		v.Vscause = val
+	case rv.CSRVstval:
+		v.Vstval = val
+	case rv.CSRVsip:
+		v.Vsip = val
+	case rv.CSRVsatp:
+		v.Vsatp = val
+	default:
+		if i, ok := rv.IsPmpaddr(csr); ok {
+			v.PMP.SetAddr(i, val)
+			m.syncPMPIfNeeded(ctx)
+			return true
+		}
+		if i, ok := rv.IsPmpcfg(csr); ok {
+			v.PMP.SetCfgReg(i, val)
+			m.syncPMPIfNeeded(ctx)
+			return true
+		}
+		if rv.IsHpmcounter(csr) {
+			return true
+		}
+		if h.Cfg.HasCustomCSR(csr) {
+			// Platform-custom CSRs are explicitly allow-listed and written
+			// through to the shadow (paper §8.2: the P550's documented
+			// speculation/error CSRs).
+			v.Custom[csr] = val
+			return true
+		}
+		return false
+	}
+	if csr == rv.CSRMstatus {
+		// MPRV may have toggled; resume() reinstalls the PMP window.
+		return true
+	}
+	return true
+}
+
+// syncPMPIfNeeded reinstalls the physical PMP file after a virtual PMP
+// write: locked virtual entries constrain vM-mode immediately, so the
+// change must be visible before the firmware resumes.
+func (m *Monitor) syncPMPIfNeeded(ctx *HartCtx) {
+	m.installPMP(ctx, ctx.World())
+	ctx.Hart.ChargeCycles(ctx.Hart.Cfg.Cost.TLBFlush)
+}
+
+// emulateMemTrap handles a load/store access fault from vM-mode: either a
+// virtual-device (CLINT) access or an MPRV-window access. Returns the next
+// virtual PC and whether the trap was consumed.
+func (m *Monitor) emulateMemTrap(ctx *HartCtx, code, addr, epc uint64) (uint64, bool) {
+	h := ctx.Hart
+	raw := m.fetchGuestInstr(ctx, epc)
+	ins := decode(raw)
+	if ins.Op != EmuLoad && ins.Op != EmuStore {
+		return 0, false
+	}
+	h.ChargeCycles(h.Cfg.Cost.EmuOp)
+
+	// Virtual CLINT MMIO?
+	if addr >= clintBase && addr < clintBase+clintSize {
+		ctx.Stats.MMIOEmulations++
+		off := addr - clintBase
+		if ins.Op == EmuLoad {
+			val, ok := m.vclint.Load(h.ID, off, ins.Size)
+			if !ok {
+				return m.injectVirtTrap(ctx, code, addr, epc), true
+			}
+			if ins.Signed {
+				val = rv.SignExtend(val, uint(8*ins.Size))
+			}
+			h.SetReg(ins.Rd, val)
+		} else {
+			if !m.vclint.Store(h.ID, off, ins.Size, h.Reg(ins.Rs2)) {
+				return m.injectVirtTrap(ctx, code, addr, epc), true
+			}
+			m.unmaskMTimer(ctx)
+		}
+		return epc + 4, true
+	}
+
+	// Virtual IOPMP window (§4.3)?
+	if addr >= iopmpBase && addr < iopmpBase+iopmpSize {
+		if vpc, ok := m.emulateIOPMPTrap(ctx, ins, addr, epc); ok {
+			return vpc, true
+		}
+		return m.injectVirtTrap(ctx, code, addr, epc), true
+	}
+
+	// Virtual PLIC window (experimental, §4.3)?
+	if addr >= plicBase && addr < plicBase+plicSize {
+		if vpc, ok := m.emulatePlicTrap(ctx, ins, addr, epc); ok {
+			return vpc, true
+		}
+		return m.injectVirtTrap(ctx, code, addr, epc), true
+	}
+
+	// MPRV emulation (paper §4.2): perform the access with the firmware's
+	// virtual privilege and page tables.
+	if ctx.mprvActive && ctx.mprvEmulationActive() {
+		return m.emulateMPRVAccess(ctx, ins, addr, epc)
+	}
+	return 0, false
+}
+
+// emulateMPRVAccess performs a load/store on behalf of the firmware with
+// MPRV semantics: the effective privilege is the virtual MPP, using the
+// virtual satp for translation — the monitor "installs the page tables and
+// performs the access on behalf of the firmware using MPRV itself"; here
+// the software page-table walk makes the equivalence explicit.
+func (m *Monitor) emulateMPRVAccess(ctx *HartCtx, ins EmuInstr, addr, epc uint64) (uint64, bool) {
+	h := ctx.Hart
+	v := ctx.V
+	acc := mem.Read
+	if ins.Op == EmuStore {
+		acc = mem.Write
+	}
+	env := &mmu.Env{
+		Bus:  h.Bus,
+		PMP:  v.PMP, // the *virtual* protections govern the firmware
+		Satp: v.Satp,
+		Priv: v.MPP(),
+		SUM:  v.Mstatus&(1<<rv.MstatusSUM) != 0,
+		MXR:  v.Mstatus&(1<<rv.MstatusMXR) != 0,
+	}
+	res := mmu.Translate(env, addr, acc)
+	if !res.OK {
+		return m.injectVirtTrap(ctx, res.Cause, addr, epc), true
+	}
+	if !v.PMP.Check(res.PA, ins.Size, acc, v.MPP()) {
+		cause := rv.ExcLoadAccessFault
+		if acc == mem.Write {
+			cause = rv.ExcStoreAccessFault
+		}
+		return m.injectVirtTrap(ctx, cause, addr, epc), true
+	}
+	// Policy PMP and self-protection still bind: the protection-only view
+	// excludes the MPRV trap window itself (on hardware the monitor would
+	// perform the access with its PMP reconfigured for exactly this).
+	if ctx.protFile != nil && !ctx.protFile.Check(res.PA, ins.Size, acc, v.MPP()) {
+		cause := rv.ExcLoadAccessFault
+		if acc == mem.Write {
+			cause = rv.ExcStoreAccessFault
+		}
+		if m.Policy.OnFirmwareTrap(ctx, cause, addr) == ActBlock {
+			m.halt(ctx, fmt.Sprintf("policy blocked MPRV access to %#x", res.PA))
+			return epc, true
+		}
+		return m.injectVirtTrap(ctx, cause, addr, epc), true
+	}
+	h.ChargeCycles(3 * h.Cfg.Cost.MemAccess) // walk + access
+	if acc == mem.Write {
+		if !h.Bus.Store(res.PA, ins.Size, h.Reg(ins.Rs2)) {
+			return m.injectVirtTrap(ctx, rv.ExcStoreAccessFault, addr, epc), true
+		}
+		return epc + 4, true
+	}
+	val, ok := h.Bus.Load(res.PA, ins.Size)
+	if !ok {
+		return m.injectVirtTrap(ctx, rv.ExcLoadAccessFault, addr, epc), true
+	}
+	if ins.Signed {
+		val = rv.SignExtend(val, uint(8*ins.Size))
+	}
+	h.SetReg(ins.Rd, val)
+	return epc + 4, true
+}
+
+// unmaskMTimer re-enables the machine timer interception after the
+// firmware reprogrammed its virtual comparator.
+func (m *Monitor) unmaskMTimer(ctx *HartCtx) {
+	ctx.Hart.CSR.Mie |= 1 << rv.IntMTimer
+}
+
+// sstcEnabled reports whether the virtual Sstc comparator is active.
+func (m *Monitor) sstcEnabled(ctx *HartCtx) bool {
+	return ctx.Hart.Cfg.HasSstc && ctx.V.Menvcfg>>63 != 0
+}
+
+// virtMip composes the virtual mip value: software-writable bits, the
+// virtual CLINT lines, and — under Sstc — the stimecmp comparator driving
+// a read-only STIP.
+func (m *Monitor) virtMip(ctx *HartCtx) uint64 {
+	v := ctx.V
+	val := v.MipSW | m.vclint.VirtPending(ctx.Hart.ID)
+	if m.vplic != nil {
+		val |= m.vplic.VirtPending(ctx.Hart.ID)
+	}
+	if m.sstcEnabled(ctx) {
+		val &^= 1 << rv.IntSTimer
+		if ctx.Hart.Time() >= v.Stimecmp {
+			val |= 1 << rv.IntSTimer
+		}
+	}
+	return val
+}
+
+// writeVirtMip applies an M-mode write to the virtual mip: SSIP, STIP,
+// and SEIP are writable, except STIP under Sstc.
+func (m *Monitor) writeVirtMip(ctx *HartCtx, val uint64) {
+	mask := vMipSWMask
+	if m.sstcEnabled(ctx) {
+		mask &^= 1 << rv.IntSTimer
+	}
+	ctx.V.MipSW = ctx.V.MipSW&^mask | val&mask
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"govfm/internal/dev/clint"
+	"govfm/internal/rv"
+)
+
+// VirtClint is Miralis's virtual CLINT (paper §4.3): it multiplexes the
+// physical timer and software-interrupt hardware between the monitor's two
+// consumers — the virtual firmware's own mtimecmp/msip registers and the
+// OS deadlines managed by the fast path — by programming the physical
+// mtimecmp to the earliest pending deadline.
+type VirtClint struct {
+	phys *clint.Clint
+
+	// vmtimecmp and vmsip are the virtual firmware's CLINT registers.
+	vmtimecmp []uint64
+	vmsip     []uint32
+
+	// osDeadline is the OS timer deadline managed by the fast path
+	// (all-ones = none).
+	osDeadline []uint64
+
+	// ipiReason records why msip was raised on a hart, so the receiving
+	// monitor knows whom to notify.
+	ipiReason []uint32
+}
+
+// IPI reasons (bitmask).
+const (
+	IPIReasonOS     = 1 << 0 // OS-requested IPI: convert to SSIP
+	IPIReasonRfence = 1 << 1 // remote fence request: flush and complete
+)
+
+// NewVirtClint creates the virtual CLINT over the physical one.
+func NewVirtClint(phys *clint.Clint, harts int) *VirtClint {
+	v := &VirtClint{
+		phys:       phys,
+		vmtimecmp:  make([]uint64, harts),
+		vmsip:      make([]uint32, harts),
+		osDeadline: make([]uint64, harts),
+		ipiReason:  make([]uint32, harts),
+	}
+	for i := range v.vmtimecmp {
+		v.vmtimecmp[i] = ^uint64(0)
+		v.osDeadline[i] = ^uint64(0)
+	}
+	return v
+}
+
+// Time returns the shared physical mtime (the virtual machine's time is
+// the host's — there is a single clock).
+func (v *VirtClint) Time() uint64 { return v.phys.Time() }
+
+// reprogram installs the earliest pending deadline for hart in the
+// physical comparator.
+func (v *VirtClint) reprogram(hartID int) {
+	d := v.vmtimecmp[hartID]
+	if v.osDeadline[hartID] < d {
+		d = v.osDeadline[hartID]
+	}
+	v.phys.SetMtimecmp(hartID, d)
+}
+
+// SetOSDeadline arms the fast-path timer for hart.
+func (v *VirtClint) SetOSDeadline(hartID int, deadline uint64) {
+	v.osDeadline[hartID] = deadline
+	v.reprogram(hartID)
+}
+
+// SetVirtMtimecmp handles the firmware's write to its virtual mtimecmp.
+func (v *VirtClint) SetVirtMtimecmp(hartID int, deadline uint64) {
+	v.vmtimecmp[hartID] = deadline
+	v.reprogram(hartID)
+}
+
+// VirtMtimecmp returns the firmware's virtual deadline.
+func (v *VirtClint) VirtMtimecmp(hartID int) uint64 { return v.vmtimecmp[hartID] }
+
+// OSDeadline returns the fast path's armed deadline (all-ones = none).
+func (v *VirtClint) OSDeadline(hartID int) uint64 { return v.osDeadline[hartID] }
+
+// OSDeadlineDue reports whether the OS deadline for hart has expired.
+func (v *VirtClint) OSDeadlineDue(hartID int) bool {
+	return v.phys.Time() >= v.osDeadline[hartID]
+}
+
+// ClearOSDeadline disarms the OS deadline after delivery.
+func (v *VirtClint) ClearOSDeadline(hartID int) {
+	v.osDeadline[hartID] = ^uint64(0)
+	v.reprogram(hartID)
+}
+
+// SetVirtMsip sets or clears the firmware's virtual software-interrupt bit
+// for a target hart, raising the physical msip so the target's monitor
+// gets control.
+func (v *VirtClint) SetVirtMsip(target int, set bool) {
+	if target < 0 || target >= len(v.vmsip) {
+		return
+	}
+	if set {
+		v.vmsip[target] = 1
+		v.phys.SetMsip(target, true)
+	} else {
+		v.vmsip[target] = 0
+	}
+}
+
+// RaiseIPI raises the physical msip on target with the given reason so the
+// target hart's monitor is interrupted.
+func (v *VirtClint) RaiseIPI(target int, reason uint32) {
+	if target < 0 || target >= len(v.ipiReason) {
+		return
+	}
+	v.ipiReason[target] |= reason
+	v.phys.SetMsip(target, true)
+}
+
+// TakeIPIReasons consumes and clears the pending IPI reasons for hart,
+// also clearing the physical msip line.
+func (v *VirtClint) TakeIPIReasons(hartID int) (reasons uint32, virtIPI bool) {
+	reasons = v.ipiReason[hartID]
+	v.ipiReason[hartID] = 0
+	virtIPI = v.vmsip[hartID] != 0
+	v.phys.SetMsip(hartID, false)
+	return reasons, virtIPI
+}
+
+// VirtPending returns the virtual CLINT's contribution to the virtual mip:
+// vMTIP when the firmware's deadline expired, vMSIP when its virtual
+// software-interrupt bit is set.
+func (v *VirtClint) VirtPending(hartID int) uint64 {
+	var p uint64
+	if v.phys.Time() >= v.vmtimecmp[hartID] {
+		p |= 1 << rv.IntMTimer
+	}
+	if v.vmsip[hartID] != 0 {
+		p |= 1 << rv.IntMSoft
+	}
+	return p
+}
+
+// MMIO emulation of the virtual CLINT: the firmware's loads and stores to
+// the (PMP-protected) CLINT region are decoded and applied to the virtual
+// registers.
+
+// Load emulates a firmware read at the given CLINT-relative offset.
+func (v *VirtClint) Load(hartID int, off uint64, size int) (uint64, bool) {
+	n := len(v.vmsip)
+	switch {
+	case off >= clint.MsipOff && off < clint.MsipOff+uint64(4*n):
+		if size != 4 || off%4 != 0 {
+			return 0, false
+		}
+		return uint64(v.vmsip[(off-clint.MsipOff)/4]), true
+	case off >= clint.MtimecmpOff && off < clint.MtimecmpOff+uint64(8*n):
+		return readVReg(v.vmtimecmp[(off-clint.MtimecmpOff)/8], off%8, size)
+	case off >= clint.MtimeOff && off < clint.MtimeOff+8:
+		return readVReg(v.phys.Time(), off-clint.MtimeOff, size)
+	}
+	return 0, false
+}
+
+// Store emulates a firmware write at the given CLINT-relative offset.
+func (v *VirtClint) Store(hartID int, off uint64, size int, val uint64) bool {
+	n := len(v.vmsip)
+	switch {
+	case off >= clint.MsipOff && off < clint.MsipOff+uint64(4*n):
+		if size != 4 || off%4 != 0 {
+			return false
+		}
+		v.SetVirtMsip(int((off-clint.MsipOff)/4), val&1 != 0)
+		return true
+	case off >= clint.MtimecmpOff && off < clint.MtimecmpOff+uint64(8*n):
+		hart := int((off - clint.MtimecmpOff) / 8)
+		cur := v.vmtimecmp[hart]
+		if !writeVReg(&cur, off%8, size, val) {
+			return false
+		}
+		v.SetVirtMtimecmp(hart, cur)
+		return true
+	case off >= clint.MtimeOff && off < clint.MtimeOff+8:
+		// Firmware writes to mtime are filtered: the monitor does not let
+		// deprivileged firmware warp the shared clock (access control per
+		// paper §3.3 — the write is accepted and ignored).
+		return true
+	}
+	return false
+}
+
+func readVReg(reg, off uint64, size int) (uint64, bool) {
+	switch {
+	case size == 8 && off == 0:
+		return reg, true
+	case size == 4 && off == 0:
+		return reg & 0xFFFF_FFFF, true
+	case size == 4 && off == 4:
+		return reg >> 32, true
+	}
+	return 0, false
+}
+
+func writeVReg(reg *uint64, off uint64, size int, v uint64) bool {
+	switch {
+	case size == 8 && off == 0:
+		*reg = v
+	case size == 4 && off == 0:
+		*reg = *reg&^uint64(0xFFFF_FFFF) | v&0xFFFF_FFFF
+	case size == 4 && off == 4:
+		*reg = *reg&0xFFFF_FFFF | v<<32
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"govfm/internal/dev/clint"
+	"govfm/internal/rv"
+)
+
+func newVClint() (*clint.Clint, *VirtClint) {
+	phys := clint.New(2)
+	return phys, NewVirtClint(phys, 2)
+}
+
+func TestVClintDeadlineMultiplexing(t *testing.T) {
+	phys, v := newVClint()
+	// The physical comparator must always hold the earliest deadline.
+	v.SetOSDeadline(0, 1000)
+	if phys.Mtimecmp(0) != 1000 {
+		t.Errorf("mtimecmp = %d", phys.Mtimecmp(0))
+	}
+	v.SetVirtMtimecmp(0, 500)
+	if phys.Mtimecmp(0) != 500 {
+		t.Errorf("mtimecmp = %d, want the earlier firmware deadline", phys.Mtimecmp(0))
+	}
+	v.SetVirtMtimecmp(0, 2000)
+	if phys.Mtimecmp(0) != 1000 {
+		t.Errorf("mtimecmp = %d, want the OS deadline again", phys.Mtimecmp(0))
+	}
+	v.ClearOSDeadline(0)
+	if phys.Mtimecmp(0) != 2000 {
+		t.Errorf("mtimecmp = %d after OS clear", phys.Mtimecmp(0))
+	}
+	// Per-hart independence.
+	if phys.Mtimecmp(1) != ^uint64(0) {
+		t.Error("hart 1 must be untouched")
+	}
+}
+
+func TestVClintOSDeadlineDue(t *testing.T) {
+	phys, v := newVClint()
+	v.SetOSDeadline(0, 100)
+	phys.SetTime(99)
+	if v.OSDeadlineDue(0) {
+		t.Error("not due yet")
+	}
+	phys.SetTime(100)
+	if !v.OSDeadlineDue(0) {
+		t.Error("due at the deadline")
+	}
+}
+
+func TestVClintVirtPending(t *testing.T) {
+	phys, v := newVClint()
+	if v.VirtPending(0) != 0 {
+		t.Error("nothing pending at reset")
+	}
+	v.SetVirtMtimecmp(0, 50)
+	phys.SetTime(50)
+	if v.VirtPending(0)&(1<<rv.IntMTimer) == 0 {
+		t.Error("vMTIP must assert at the firmware deadline")
+	}
+	v.SetVirtMsip(1, true)
+	if v.VirtPending(1)&(1<<rv.IntMSoft) == 0 {
+		t.Error("vMSIP must assert")
+	}
+	if !phys.Msip(1) {
+		t.Error("the physical msip line must rise so the target monitor runs")
+	}
+	v.SetVirtMsip(1, false)
+	if v.VirtPending(1)&(1<<rv.IntMSoft) != 0 {
+		t.Error("vMSIP must clear")
+	}
+}
+
+func TestVClintIPIReasons(t *testing.T) {
+	phys, v := newVClint()
+	v.RaiseIPI(1, IPIReasonOS)
+	v.RaiseIPI(1, IPIReasonRfence)
+	if !phys.Msip(1) {
+		t.Error("physical msip must rise")
+	}
+	reasons, virtIPI := v.TakeIPIReasons(1)
+	if reasons != IPIReasonOS|IPIReasonRfence {
+		t.Errorf("reasons = %#x", reasons)
+	}
+	if virtIPI {
+		t.Error("no firmware vMSIP was set")
+	}
+	if phys.Msip(1) {
+		t.Error("TakeIPIReasons must clear the physical line")
+	}
+	if r, _ := v.TakeIPIReasons(1); r != 0 {
+		t.Error("reasons must be consumed")
+	}
+	// Out-of-range targets are ignored.
+	v.RaiseIPI(7, IPIReasonOS)
+	v.SetVirtMsip(-1, true)
+}
+
+func TestVClintMMIO(t *testing.T) {
+	phys, v := newVClint()
+	phys.SetTime(0xAABBCCDD_00112233)
+	// mtime reads (full and halves).
+	if val, ok := v.Load(0, clint.MtimeOff, 8); !ok || val != 0xAABBCCDD_00112233 {
+		t.Errorf("mtime read %#x", val)
+	}
+	if val, _ := v.Load(0, clint.MtimeOff+4, 4); val != 0xAABBCCDD {
+		t.Errorf("mtime high half %#x", val)
+	}
+	// mtimecmp write through the virtual registers (halves).
+	if !v.Store(0, clint.MtimecmpOff, 4, 0x1111) {
+		t.Fatal("low half store")
+	}
+	if !v.Store(0, clint.MtimecmpOff+4, 4, 0x2222) {
+		t.Fatal("high half store")
+	}
+	if v.VirtMtimecmp(0) != 0x2222_0000_1111 {
+		t.Errorf("vmtimecmp = %#x", v.VirtMtimecmp(0))
+	}
+	// msip write routes to the virtual line of the addressed hart.
+	if !v.Store(0, clint.MsipOff+4, 4, 1) {
+		t.Fatal("msip store")
+	}
+	if v.VirtPending(1)&(1<<rv.IntMSoft) == 0 {
+		t.Error("virtual msip for hart 1")
+	}
+	if val, _ := v.Load(0, clint.MsipOff+4, 4); val != 1 {
+		t.Error("msip readback")
+	}
+	// Writes to mtime are filtered (accepted, ignored).
+	if !v.Store(0, clint.MtimeOff, 8, 42) {
+		t.Fatal("mtime store must be accepted")
+	}
+	if phys.Time() != 0xAABBCCDD_00112233 {
+		t.Error("mtime write must be filtered, not forwarded")
+	}
+	// Bad accesses rejected.
+	if _, ok := v.Load(0, 0x9000, 4); ok {
+		t.Error("hole must fail")
+	}
+	if v.Store(0, clint.MsipOff, 8, 1) {
+		t.Error("8-byte msip must fail")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// VirtCSRs is the shadow copy of the virtual machine's control and status
+// registers (paper §4.1: "Miralis maintains a shadow copy of the CSRs on
+// which the instruction emulator operates"). The virtual firmware only ever
+// sees and mutates these; the physical registers are configured separately
+// by the world-switch code.
+//
+// The WARL semantics implemented here are the monitor's own rendering of
+// the privileged specification — this is exactly the code verified against
+// internal/refmodel by the faithful-emulation tests.
+type VirtCSRs struct {
+	Mstatus       uint64
+	Medeleg       uint64
+	Mideleg       uint64 // S bits hardwired 1: Miralis forces delegation (§4.3)
+	Mie           uint64
+	Mtvec         uint64
+	Mcounteren    uint64
+	Menvcfg       uint64
+	Mcountinhibit uint64
+	Mscratch      uint64
+	Mepc          uint64
+	Mcause        uint64
+	Mtval         uint64
+	Mtinst        uint64
+	Mtval2        uint64
+	Mseccfg       uint64
+
+	Stvec      uint64
+	Scounteren uint64
+	Senvcfg    uint64
+	Sscratch   uint64
+	Sepc       uint64
+	Scause     uint64
+	Stval      uint64
+	Satp       uint64
+	Stimecmp   uint64
+
+	// Hypervisor shadow state (present when the platform has H).
+	Hstatus, Hedeleg, Hideleg, Hie, Hcounteren, Hgeie uint64
+	Htval, Hip, Hvip, Htinst, Hgatp, Henvcfg          uint64
+	Vsstatus, Vsie, Vstvec, Vsscratch                 uint64
+	Vsepc, Vscause, Vstval, Vsip, Vsatp               uint64
+
+	Custom map[uint16]uint64
+
+	// MipSW holds the software-writable virtual pending bits; the virtual
+	// CLINT contributes vMSIP/vMTIP on reads (see VirtClint).
+	MipSW uint64
+
+	// PMP is the virtual PMP file exposed to the firmware.
+	PMP *pmp.File
+
+	// Counter state for the virtual machine.
+	Mcycle, Minstret uint64
+}
+
+// Writable-field masks, written out independently of internal/hart (these
+// are the monitor's own reading of the spec and are cross-checked against
+// the reference model).
+const (
+	vMstatusWritable = uint64(1)<<1 | 1<<3 | 1<<5 | 1<<7 | 1<<8 |
+		3<<11 | 1<<17 | 1<<18 | 1<<19 | 1<<20 | 1<<21 | 1<<22
+	vMedelegMask = uint64(0xB3FF)
+	vMieMask     = uint64(0xAAA)
+	vMipSWMask   = uint64(0x222)
+	vUXLFixed    = uint64(2)<<32 | uint64(2)<<34
+	vSstatusMask = uint64(1)<<1 | 1<<5 | 1<<8 | 1<<18 | 1<<19 | uint64(3)<<32 | 1<<63
+)
+
+func newVirtCSRs(nvpmp int) *VirtCSRs {
+	return &VirtCSRs{
+		Mstatus: vUXLFixed,
+		Mideleg: 0x222, // forced delegation of all S interrupts
+		Custom:  make(map[uint16]uint64),
+		PMP:     pmp.NewFile(nvpmp),
+	}
+}
+
+// writeMstatus applies the virtual mstatus WARL rules.
+func (v *VirtCSRs) writeMstatus(val uint64) {
+	next := v.Mstatus&^vMstatusWritable | val&vMstatusWritable
+	if mpp := next >> 11 & 3; mpp == 2 {
+		next = next&^(3<<11) | v.Mstatus&(3<<11)
+	}
+	v.Mstatus = next&^(uint64(3)<<32|uint64(3)<<34) | vUXLFixed
+}
+
+func (v *VirtCSRs) sstatus() uint64 { return v.Mstatus & vSstatusMask }
+
+func (v *VirtCSRs) writeSstatus(val uint64) {
+	v.writeMstatus(v.Mstatus&^vSstatusMask | val&vSstatusMask)
+}
+
+func (v *VirtCSRs) writeMideleg(val uint64) {
+	// The S-interrupt bits are hardwired to 1 (forced delegation); other
+	// writable bits do not exist, so mideleg is effectively constant.
+	v.Mideleg = 0x222 | val&0
+}
+
+func vLegalizeTvec(val uint64) uint64 {
+	if val&3 > 1 {
+		return val &^ 3
+	}
+	return val
+}
+
+func vLegalizeEpc(val uint64) uint64 { return val &^ 3 }
+
+func (v *VirtCSRs) writeSatp(val uint64) {
+	if m := val >> 60; m == 0 || m == 8 {
+		v.Satp = val
+	}
+}
+
+// MPP returns the virtual mstatus.MPP as a mode.
+func (v *VirtCSRs) MPP() rv.Mode { return rv.Mode(v.Mstatus >> 11 & 3) }
+
+// SetMPP overwrites the virtual MPP field.
+func (v *VirtCSRs) SetMPP(m rv.Mode) {
+	v.Mstatus = v.Mstatus&^(3<<11) | uint64(m)<<11
+}
+
+// MIE reports the virtual global machine-interrupt enable.
+func (v *VirtCSRs) MIE() bool { return v.Mstatus&(1<<3) != 0 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+func rvMode(m uint64) rv.Mode { return rv.Mode(m) }
+
+// Property tests on the virtual CSR shadow: whatever is written, the
+// stored state stays architecturally legal — the invariant the emulator's
+// faithful-emulation proof relies on.
+
+func TestWriteMstatusAlwaysLegal(t *testing.T) {
+	f := func(v1, v2 uint64) bool {
+		vc := newVirtCSRs(4)
+		vc.writeMstatus(v1)
+		vc.writeMstatus(v2)
+		// MPP is never the reserved value 2.
+		if vc.Mstatus>>11&3 == 2 {
+			return false
+		}
+		// UXL/SXL are pinned to 64-bit.
+		if vc.Mstatus>>32&3 != 2 || vc.Mstatus>>34&3 != 2 {
+			return false
+		}
+		// Non-writable bits stay clear (FS/VS/XS, MBE/SBE, SD...).
+		if vc.Mstatus&^(vMstatusWritable|vUXLFixed) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteMstatusIdempotent(t *testing.T) {
+	f := func(v uint64) bool {
+		vc := newVirtCSRs(4)
+		vc.writeMstatus(v)
+		once := vc.Mstatus
+		vc.writeMstatus(once)
+		return vc.Mstatus == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSstatusViewRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		vc := newVirtCSRs(4)
+		vc.writeSstatus(v)
+		view := vc.sstatus()
+		vc.writeSstatus(view)
+		return vc.sstatus() == view
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidelegHardwired(t *testing.T) {
+	f := func(v uint64) bool {
+		vc := newVirtCSRs(4)
+		vc.writeMideleg(v)
+		return vc.Mideleg == 0x222
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPPHelpers(t *testing.T) {
+	vc := newVirtCSRs(4)
+	for _, m := range []uint64{0, 1, 3} {
+		vc.SetMPP(rvMode(m))
+		if uint64(vc.MPP()) != m {
+			t.Errorf("MPP round trip %d", m)
+		}
+	}
+	if !func() bool { vc.Mstatus |= 1 << 3; return vc.MIE() }() {
+		t.Error("MIE getter")
+	}
+}
+
+// TestVirtualCSRCount pins the size of the virtual CSR surface: the paper
+// reports support for 84 CSRs; this implementation's virtual hardware
+// must expose at least that many (the exact count varies with the
+// platform's PMP entries, custom CSRs, and the H extension).
+func TestVirtualCSRCount(t *testing.T) {
+	count := func(mk func() *hart.Config) int {
+		cfg := mk()
+		cfg.Harts = 1
+		m, err := hart.NewMachine(cfg, DramSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := Attach(m, Options{FirmwareEntry: FirmwareBase})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon.Boot()
+		ctx := mon.Ctx[0]
+		n := 0
+		for csr := 0; csr < 0x1000; csr++ {
+			if mon.vcsrAccessible(ctx, uint16(csr)) {
+				n++
+			}
+		}
+		return n
+	}
+	vf2 := count(hart.VisionFive2)
+	p550 := count(hart.PremierP550)
+	t.Logf("virtual CSRs: visionfive2=%d p550=%d (paper: 84)", vf2, p550)
+	if vf2 < 84 {
+		t.Errorf("VF2 virtual CSR surface %d < 84", vf2)
+	}
+	if p550 <= vf2 || p550 > vf2+60 {
+		t.Errorf("the P550 surface (%d) must add exactly the H subset and "+
+			"custom CSRs over the VF2's (%d)", p550, vf2)
+	}
+}

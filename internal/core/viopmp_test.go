@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+
+	"govfm/internal/asm"
+	"govfm/internal/dev/iopmp"
+	"govfm/internal/firmware"
+	"govfm/internal/hart"
+	"govfm/internal/kernel"
+	"govfm/internal/rv"
+)
+
+// buildIOPMPMachine creates a machine with an IOPMP. Silicon shipping an
+// IOPMP would be newer than the VisionFive 2, so the profile also carries
+// 16 PMP entries — with the IOPMP MMIO window consuming one, the firmware
+// still sees a workable virtual PMP file.
+func buildIOPMPMachine(t *testing.T) *hart.Machine {
+	t.Helper()
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	cfg.NumPMP = 16
+	cfg.HasIOPMP = true
+	m, err := hart.NewMachine(cfg, DramSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestIOPMPBlocksEvilDMA: with a virtualized IOPMP the policy leaves the
+// DMA controller reachable, but its IOPMP rule stops the copy — the attack
+// fails silently (DMA status 2) instead of stopping the machine, and the
+// run completes. (The sandbox-policy variant of this scenario lives in
+// internal/policy to avoid an import cycle.)
+func TestIOPMPBlocksEvilDMA(t *testing.T) {
+	m := buildIOPMPMachine(t)
+	fw := firmware.BuildGosbi(FirmwareBase, firmware.Options{
+		OSEntry: OSBase, Harts: 1, FirmwareSize: FirmwareSize,
+		EvilMode: "dma",
+	})
+	if err := m.LoadImage(FirmwareBase, fw.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(OSBase, kernel.BuildEvilTrigger(OSBase)); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a marker in OS memory the DMA attack would exfiltrate.
+	if !m.Bus.Store(OSBase+0x8000, 8, 0x5EC4E7) {
+		t.Fatal("marker store failed")
+	}
+	mon, err := Attach(m, Options{
+		Policy: &dmaDenyPolicy{}, Offload: true, FirmwareEntry: FirmwareBase,
+		VirtualizeIOPMP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Boot()
+	m.Run(10_000_000)
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		t.Fatalf("run must complete (the attack fails silently): %v %q", ok, reason)
+	}
+	// The DMA engine must have reported the IOPMP denial.
+	if st, _ := m.Bus.Load(hart.DMABase+hart.DMAStat, 8); st != 2 {
+		t.Errorf("DMA status = %d, want 2 (IOPMP denial)", st)
+	}
+	if m.IOPMP.Denials == 0 {
+		t.Error("the IOPMP must have recorded denials")
+	}
+	// The firmware scratch area must not contain the marker.
+	scratch := fw.Symbols["scratch"]
+	if v, _ := m.Bus.Load(scratch, 8); v == 0x5EC4E7 {
+		t.Error("OS memory leaked into the firmware via DMA")
+	}
+}
+
+// buildIOPMPFirmware: a firmware that programs its virtual IOPMP to allow
+// DMA within its own region, performs a legitimate copy there, attempts a
+// forbidden copy from OS memory, records both statuses, and exits.
+func buildIOPMPFirmware(base uint64, osBase uint64) []byte {
+	a := asm.New(base)
+	a.Label("start")
+	// Virtual IOPMP entry 0: allow RW over the firmware region.
+	a.Li(asm.T0, hart.IOPMPBase+iopmp.AddrOff)
+	a.Li(asm.T1, base>>2|(0x10_0000/8-1)) // NAPOT over 1 MiB
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Li(asm.T0, hart.IOPMPBase+iopmp.CfgOff)
+	a.Li(asm.T1, 0x1B) // R|W|NAPOT
+	a.Sd(asm.T1, asm.T0, 0)
+	// Seed a source value.
+	a.La(asm.T0, "src")
+	a.Li(asm.T1, 0xD0D0)
+	a.Sd(asm.T1, asm.T0, 0)
+	// Legitimate DMA: src -> dst inside the firmware region.
+	a.Li(asm.S0, hart.DMABase)
+	a.La(asm.T1, "src")
+	a.Sd(asm.T1, asm.S0, 0x00)
+	a.La(asm.T1, "dst")
+	a.Sd(asm.T1, asm.S0, 0x08)
+	a.Li(asm.T1, 8)
+	a.Sd(asm.T1, asm.S0, 0x10)
+	a.Sd(asm.X0, asm.S0, 0x18) // trigger
+	a.Ld(asm.T2, asm.S0, 0x20) // status
+	a.La(asm.T3, "stat_ok")
+	a.Sd(asm.T2, asm.T3, 0)
+	// Forbidden DMA: OS memory -> firmware.
+	a.Li(asm.T1, osBase)
+	a.Sd(asm.T1, asm.S0, 0x00)
+	a.Sd(asm.X0, asm.S0, 0x18) // trigger
+	a.Ld(asm.T2, asm.S0, 0x20)
+	a.La(asm.T3, "stat_bad")
+	a.Sd(asm.T2, asm.T3, 0)
+	// Exit.
+	a.Li(asm.T0, hart.ExitBase)
+	a.Li(asm.T1, hart.ExitPass)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Label("hang")
+	a.J("hang")
+	a.Align(8)
+	a.Label("src")
+	a.Space(8)
+	a.Label("dst")
+	a.Space(8)
+	a.Label("stat_ok")
+	a.Space(8)
+	a.Label("stat_bad")
+	a.Space(8)
+	return a.MustAssemble()
+}
+
+// TestIOPMPVirtualProgramming: the firmware's virtual IOPMP entries work
+// for its own region while the policy rule still denies OS memory.
+func TestIOPMPVirtualProgramming(t *testing.T) {
+	m := buildIOPMPMachine(t)
+	img := buildIOPMPFirmware(FirmwareBase, OSBase)
+	if err := m.LoadImage(FirmwareBase, img); err != nil {
+		t.Fatal(err)
+	}
+	// A sandbox-like DMA rule without the full sandbox: use a policy that
+	// denies OS memory to DMA from the start.
+	pol := &dmaDenyPolicy{}
+	mon, err := Attach(m, Options{
+		Policy: pol, FirmwareEntry: FirmwareBase, VirtualizeIOPMP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Boot()
+	m.Run(5_000_000)
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		t.Fatalf("%v %q (pc=%#x)", ok, reason, m.Harts[0].PC)
+	}
+	read := func(label string, off uint64) uint64 {
+		v, _ := m.Bus.Load(FirmwareBase+uint64(len(img))-32+off, 8)
+		_ = label
+		return v
+	}
+	if v := read("src", 0); v != 0xD0D0 {
+		t.Fatalf("src = %#x", v)
+	}
+	if v := read("dst", 8); v != 0xD0D0 {
+		t.Errorf("legitimate DMA inside the firmware region must copy: dst=%#x", v)
+	}
+	if v := read("stat_ok", 16); v != 0 {
+		t.Errorf("legitimate DMA status = %d, want 0", v)
+	}
+	if v := read("stat_bad", 24); v != 2 {
+		t.Errorf("forbidden DMA status = %d, want 2 (IOPMP denial)", v)
+	}
+	if mon.viopmp.Writes == 0 {
+		t.Error("virtual IOPMP writes must be mediated")
+	}
+}
+
+// dmaDenyPolicy carries only an IOPMP rule: no DMA into OS memory.
+type dmaDenyPolicy struct{ BasePolicy }
+
+func (dmaDenyPolicy) Name() string { return "dma-deny" }
+
+func (dmaDenyPolicy) PolicyIOPMP(c *HartCtx) PMPRule {
+	return PMPRule{
+		Cfg:  0x18, // NAPOT, no permissions
+		Addr: OSBase>>2 | (OSSize/8 - 1),
+	}
+}
+
+// TestIOPMPWindowCostsOneVPMP: like the vPLIC, the IOPMP MMIO window
+// consumes one virtual PMP entry.
+func TestIOPMPWindowCostsOneVPMP(t *testing.T) {
+	m := buildIOPMPMachine(t)
+	base, err := Attach(m, Options{FirmwareEntry: FirmwareBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := buildIOPMPMachine(t)
+	with, err := Attach(m2, Options{FirmwareEntry: FirmwareBase, VirtualizeIOPMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.NumVirtPMP() != base.NumVirtPMP()-1 {
+		t.Errorf("vIOPMP must cost one virtual PMP: %d vs %d",
+			with.NumVirtPMP(), base.NumVirtPMP())
+	}
+}
+
+// TestIOPMPRequiresHardware: virtualizing a nonexistent IOPMP is an error.
+func TestIOPMPRequiresHardware(t *testing.T) {
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	m, _ := hart.NewMachine(cfg, DramSize)
+	if _, err := Attach(m, Options{FirmwareEntry: FirmwareBase, VirtualizeIOPMP: true}); err == nil {
+		t.Error("VirtualizeIOPMP without hardware must fail")
+	}
+}
+
+// TestIOPMPNeverAllowsMonitorMemory: even if the firmware programs an
+// allow-all virtual entry, DMA into monitor memory stays blocked.
+func TestIOPMPNeverAllowsMonitorMemory(t *testing.T) {
+	m := buildIOPMPMachine(t)
+	mon, err := Attach(m, Options{FirmwareEntry: FirmwareBase, VirtualizeIOPMP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Boot()
+	// Firmware programs allow-all through the virtual file.
+	mon.viopmp.Virt().SetAddr(0, rv.Mask(54))
+	mon.viopmp.Virt().SetCfg(0, 0x1B) // R|W|NAPOT
+	mon.installIOPMP(mon.Ctx[0])
+	if m.IOPMP.Check(MiralisBase+0x100, 8, true) {
+		t.Error("DMA into monitor memory must always be denied")
+	}
+	if !m.IOPMP.Check(OSBase, 8, true) {
+		t.Error("the allow-all virtual entry must apply elsewhere")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"govfm/internal/asm"
+	"govfm/internal/dev/plic"
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+// buildPlicFirmware assembles a firmware that routes PLIC source 5 to its
+// machine context, waits for the external interrupt, claims it, records
+// the claimed source, completes it, and exits.
+func buildPlicFirmware(base uint64) []byte {
+	a := asm.New(base)
+	a.Label("start")
+	a.La(asm.T0, "trap")
+	a.Csrw(rv.CSRMtvec, asm.T0)
+	// priority[5] = 3
+	a.Li(asm.T0, hart.PlicBase+4*5)
+	a.Li(asm.T1, 3)
+	a.Sw(asm.T1, asm.T0, 0)
+	// enable source 5 in hart 0's M context
+	a.Li(asm.T0, hart.PlicBase+plic.EnableOff)
+	a.Li(asm.T1, 1<<5)
+	a.Sw(asm.T1, asm.T0, 0)
+	// MEIE + global MIE
+	a.Li(asm.T0, 1<<rv.IntMExt)
+	a.Csrw(rv.CSRMie, asm.T0)
+	a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+	a.Label("wait")
+	a.Wfi()
+	a.J("wait")
+	a.Label("trap")
+	// claim
+	a.Li(asm.T0, hart.PlicBase+plic.ContextOff+4)
+	a.Lw(asm.T1, asm.T0, 0)
+	a.La(asm.T2, "result")
+	a.Sd(asm.T1, asm.T2, 0)
+	// complete
+	a.Sw(asm.T1, asm.T0, 0)
+	// exit pass
+	a.Li(asm.T0, hart.ExitBase)
+	a.Li(asm.T1, hart.ExitPass)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Label("hang")
+	a.J("hang")
+	a.Align(8)
+	a.Label("result")
+	a.Space(8)
+	return a.MustAssemble()
+}
+
+// runPlicFirmware executes the PLIC firmware (native or under the monitor
+// with the virtual PLIC) and returns the recorded claim plus the monitor.
+func runPlicFirmware(t *testing.T, virtualize bool) (uint64, *Monitor) {
+	t.Helper()
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	m, err := hart.NewMachine(cfg, DramSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := buildPlicFirmware(FirmwareBase)
+	if err := m.LoadImage(FirmwareBase, img); err != nil {
+		t.Fatal(err)
+	}
+	var mon *Monitor
+	if virtualize {
+		mon, err = Attach(m, Options{
+			FirmwareEntry: FirmwareBase, VirtualizePLIC: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon.Boot()
+	} else {
+		m.Reset(FirmwareBase)
+	}
+	// Let the firmware set up and park, then assert the device line.
+	m.Run(5000)
+	if ok, _ := m.Halted(); ok {
+		t.Fatal("machine halted before the interrupt fired")
+	}
+	m.Plic.Raise(5)
+	m.Run(500_000)
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		t.Fatalf("virtualize=%v: %v %q (pc=%#x)", virtualize, ok, reason, m.Harts[0].PC)
+	}
+	// The result lives right after the code in the firmware image.
+	resultAddr := FirmwareBase + uint64(len(img)) - 8
+	v, okLoad := m.Bus.Load(resultAddr, 8)
+	if !okLoad {
+		t.Fatal("result unreadable")
+	}
+	return v, mon
+}
+
+func TestVirtualPLICNative(t *testing.T) {
+	claimed, _ := runPlicFirmware(t, false)
+	if claimed != 5 {
+		t.Errorf("native claim = %d, want 5", claimed)
+	}
+}
+
+func TestVirtualPLICVirtualized(t *testing.T) {
+	claimed, mon := runPlicFirmware(t, true)
+	if claimed != 5 {
+		t.Errorf("virtualized claim = %d, want 5", claimed)
+	}
+	if mon.vplic.Loads == 0 || mon.vplic.Writes == 0 {
+		t.Error("firmware PLIC accesses must be mediated by the virtual PLIC")
+	}
+	if mon.TotalStats().VirtInterrupts == 0 {
+		t.Error("the external interrupt must be injected virtually")
+	}
+}
+
+func TestVirtualPLICCostsOneVPMP(t *testing.T) {
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	m, _ := hart.NewMachine(cfg, DramSize)
+	base, err := Attach(m, Options{FirmwareEntry: FirmwareBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := hart.VisionFive2()
+	cfg2.Harts = 1
+	m2, _ := hart.NewMachine(cfg2, DramSize)
+	withPlic, err := Attach(m2, Options{FirmwareEntry: FirmwareBase, VirtualizePLIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPlic.NumVirtPMP() != base.NumVirtPMP()-1 {
+		t.Errorf("vPLIC must cost exactly one virtual PMP entry: %d vs %d",
+			withPlic.NumVirtPMP(), base.NumVirtPMP())
+	}
+}
+
+// TestVirtualPLICFiltersCrossHartWrites: the mediation filter must drop a
+// firmware write to another hart's machine context.
+func TestVirtualPLICFiltersCrossHartWrites(t *testing.T) {
+	cfg := hart.VisionFive2()
+	cfg.Harts = 2
+	m, _ := hart.NewMachine(cfg, DramSize)
+	mon, err := Attach(m, Options{FirmwareEntry: FirmwareBase, VirtualizePLIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := mon.vplic
+	// Hart 0 writing hart 1's M-context enable word (context 2).
+	off := uint64(plic.EnableOff + 2*0x80)
+	if !vp.Store(0, off, 4, 1<<7) {
+		t.Fatal("filtered store must still be accepted")
+	}
+	if v, _ := m.Plic.Load(off, 4); v != 0 {
+		t.Error("cross-hart M-context write must be filtered, not forwarded")
+	}
+	// Its own context is forwarded.
+	if !vp.Store(0, plic.EnableOff, 4, 1<<7) {
+		t.Fatal("own-context store failed")
+	}
+	if v, _ := m.Plic.Load(plic.EnableOff, 4); v != 1<<7 {
+		t.Error("own-context write must be forwarded")
+	}
+}

@@ -1,0 +1,124 @@
+package clint
+
+import (
+	"testing"
+
+	"govfm/internal/rv"
+)
+
+func TestResetState(t *testing.T) {
+	c := New(4)
+	if c.NumHarts() != 4 {
+		t.Fatal("hart count")
+	}
+	for h := 0; h < 4; h++ {
+		if c.Msip(h) {
+			t.Errorf("hart %d msip set at reset", h)
+		}
+		if c.Mtimecmp(h) != ^uint64(0) {
+			t.Errorf("hart %d mtimecmp not 'never' at reset", h)
+		}
+		if c.Pending(h) != 0 {
+			t.Errorf("hart %d pending at reset: %#x", h, c.Pending(h))
+		}
+	}
+}
+
+func TestMsipMMIO(t *testing.T) {
+	c := New(2)
+	if !c.Store(MsipOff+4, 4, 1) {
+		t.Fatal("msip store failed")
+	}
+	if !c.Msip(1) || c.Msip(0) {
+		t.Error("msip bit routing wrong")
+	}
+	if c.Pending(1)&(1<<rv.IntMSoft) == 0 {
+		t.Error("MSIP must assert machine software interrupt")
+	}
+	v, ok := c.Load(MsipOff+4, 4)
+	if !ok || v != 1 {
+		t.Error("msip readback")
+	}
+	// Only bit 0 is writable.
+	c.Store(MsipOff, 4, 0xFFFF_FFFE)
+	if c.Msip(0) {
+		t.Error("msip must mask to bit 0")
+	}
+	// Misaligned and wrong-size accesses rejected.
+	if _, ok := c.Load(MsipOff+2, 4); ok {
+		t.Error("misaligned msip load must fail")
+	}
+	if _, ok := c.Load(MsipOff, 8); ok {
+		t.Error("8-byte msip load must fail")
+	}
+}
+
+func TestMtimecmpMMIO(t *testing.T) {
+	c := New(2)
+	if !c.Store(MtimecmpOff+8, 8, 0x1122334455667788) {
+		t.Fatal("mtimecmp store failed")
+	}
+	if c.Mtimecmp(1) != 0x1122334455667788 {
+		t.Error("mtimecmp value")
+	}
+	// 32-bit halves, as 32-bit-era firmware writes them.
+	c.Store(MtimecmpOff, 4, 0xAAAAAAAA)
+	c.Store(MtimecmpOff+4, 4, 0xBBBBBBBB)
+	if c.Mtimecmp(0) != 0xBBBBBBBB_AAAAAAAA {
+		t.Errorf("mtimecmp halves: %#x", c.Mtimecmp(0))
+	}
+	lo, _ := c.Load(MtimecmpOff, 4)
+	hi, _ := c.Load(MtimecmpOff+4, 4)
+	if lo != 0xAAAAAAAA || hi != 0xBBBBBBBB {
+		t.Error("mtimecmp half loads")
+	}
+}
+
+func TestMtimeAndTimerInterrupt(t *testing.T) {
+	c := New(1)
+	c.SetMtimecmp(0, 100)
+	c.SetTime(99)
+	if c.Pending(0)&(1<<rv.IntMTimer) != 0 {
+		t.Error("timer must not fire before deadline")
+	}
+	c.Advance(1)
+	if c.Pending(0)&(1<<rv.IntMTimer) == 0 {
+		t.Error("timer must fire at deadline (mtime >= mtimecmp)")
+	}
+	// Writing a later deadline clears the interrupt.
+	c.Store(MtimecmpOff, 8, 1000)
+	if c.Pending(0)&(1<<rv.IntMTimer) != 0 {
+		t.Error("raising deadline must clear MTIP")
+	}
+	// mtime MMIO access.
+	v, ok := c.Load(MtimeOff, 8)
+	if !ok || v != 100 {
+		t.Errorf("mtime load: %d", v)
+	}
+	c.Store(MtimeOff, 8, 5000)
+	if c.Time() != 5000 {
+		t.Error("mtime store")
+	}
+	if c.Pending(0)&(1<<rv.IntMTimer) == 0 {
+		t.Error("mtime jump past deadline must set MTIP")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	c := New(1)
+	if _, ok := c.Load(MsipOff+4, 4); ok {
+		t.Error("msip for nonexistent hart must fail")
+	}
+	if c.Store(MtimecmpOff+8, 8, 0); false {
+		t.Error("unreachable")
+	}
+	if ok := c.Store(MtimecmpOff+8, 8, 0); ok {
+		t.Error("mtimecmp for nonexistent hart must fail")
+	}
+	if _, ok := c.Load(0x9000, 4); ok {
+		t.Error("hole in register map must fail")
+	}
+	if c.Name() != "clint" {
+		t.Error("name")
+	}
+}

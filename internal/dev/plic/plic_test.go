@@ -1,0 +1,135 @@
+package plic
+
+import (
+	"testing"
+
+	"govfm/internal/rv"
+)
+
+// enable turns on source irq for context ctx via MMIO.
+func enable(t *testing.T, p *Plic, ctx, irq int) {
+	t.Helper()
+	v, _ := p.Load(EnableOff+uint64(0x80*ctx), 4)
+	if !p.Store(EnableOff+uint64(0x80*ctx), 4, v|1<<irq) {
+		t.Fatal("enable store failed")
+	}
+}
+
+func TestClaimCompleteFlow(t *testing.T) {
+	p := New(1)
+	sCtx := 1
+	if !p.Store(PriorityOff+4*5, 4, 7) { // source 5, priority 7
+		t.Fatal("priority store failed")
+	}
+	enable(t, p, sCtx, 5)
+	p.Raise(5)
+
+	if p.Pending(0)&(1<<rv.IntSExt) == 0 {
+		t.Fatal("SEIP must assert after raise")
+	}
+	if p.Pending(0)&(1<<rv.IntMExt) != 0 {
+		t.Fatal("MEIP must not assert: M context has source disabled")
+	}
+	// Claim.
+	irq, ok := p.Load(ContextOff+uint64(sCtx*ContextSize)+4, 4)
+	if !ok || irq != 5 {
+		t.Fatalf("claim returned %d", irq)
+	}
+	// While claimed, line deasserts even though still pending.
+	if p.Pending(0)&(1<<rv.IntSExt) != 0 {
+		t.Error("SEIP must deassert while claimed")
+	}
+	// Second claim gets nothing.
+	irq2, _ := p.Load(ContextOff+uint64(sCtx*ContextSize)+4, 4)
+	if irq2 != 0 {
+		t.Errorf("second claim returned %d", irq2)
+	}
+	p.Lower(5)
+	// Complete.
+	if !p.Store(ContextOff+uint64(sCtx*ContextSize)+4, 4, 5) {
+		t.Fatal("complete failed")
+	}
+	if p.Pending(0) != 0 {
+		t.Error("all quiet after lower+complete")
+	}
+}
+
+func TestThresholdMasksLowPriority(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*3, 4, 2)
+	enable(t, p, 0, 3)
+	p.Raise(3)
+	if p.Pending(0)&(1<<rv.IntMExt) == 0 {
+		t.Fatal("MEIP should assert with threshold 0")
+	}
+	p.Store(ContextOff, 4, 2) // M context threshold = 2 >= priority
+	if p.Pending(0)&(1<<rv.IntMExt) != 0 {
+		t.Error("priority <= threshold must be masked")
+	}
+	p.Store(PriorityOff+4*3, 4, 3)
+	if p.Pending(0)&(1<<rv.IntMExt) == 0 {
+		t.Error("priority > threshold must assert")
+	}
+}
+
+func TestHighestPriorityWinsClaim(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*1, 4, 1)
+	p.Store(PriorityOff+4*2, 4, 5)
+	enable(t, p, 0, 1)
+	enable(t, p, 0, 2)
+	p.Raise(1)
+	p.Raise(2)
+	irq, _ := p.Load(ContextOff+4, 4)
+	if irq != 2 {
+		t.Errorf("claim returned %d, want highest-priority source 2", irq)
+	}
+}
+
+func TestPendingReadOnlyAndSourceZero(t *testing.T) {
+	p := New(1)
+	if p.Store(PendingOff, 4, 0xFFFF) {
+		t.Error("pending must be read-only")
+	}
+	p.Raise(0) // reserved source: no-op
+	if v, _ := p.Load(PendingOff, 4); v != 0 {
+		t.Error("source 0 must never pend")
+	}
+	p.Store(EnableOff, 4, 0xFFFF_FFFF)
+	v, _ := p.Load(EnableOff, 4)
+	if v&1 != 0 {
+		t.Error("source 0 enable bit must be hardwired 0")
+	}
+}
+
+func TestRejects(t *testing.T) {
+	p := New(1)
+	if _, ok := p.Load(PriorityOff, 8); ok {
+		t.Error("8-byte access must fail")
+	}
+	if _, ok := p.Load(PriorityOff+2, 4); ok {
+		t.Error("misaligned access must fail")
+	}
+	if _, ok := p.Load(ContextOff+uint64(5*ContextSize), 4); ok {
+		t.Error("out-of-range context must fail")
+	}
+	if p.Store(ContextOff+uint64(5*ContextSize), 4, 0) {
+		t.Error("out-of-range context store must fail")
+	}
+	if p.Name() != "plic" {
+		t.Error("name")
+	}
+}
+
+func TestPerHartContexts(t *testing.T) {
+	p := New(2)
+	p.Store(PriorityOff+4*7, 4, 1)
+	enable(t, p, 2, 7) // hart 1, M context
+	p.Raise(7)
+	if p.Pending(0) != 0 {
+		t.Error("hart 0 must be quiet")
+	}
+	if p.Pending(1)&(1<<rv.IntMExt) == 0 {
+		t.Error("hart 1 MEIP must assert")
+	}
+}

@@ -1,0 +1,84 @@
+// Package uart implements a minimal 8250-style console UART: a transmit
+// holding register, a receive buffer, and a line status register. Firmware
+// and kernels print through it (directly or via the SBI debug console), and
+// tests read back the accumulated output.
+package uart
+
+import "bytes"
+
+// Register offsets (8250 with byte-wide registers).
+const (
+	RBR  = 0 // receive buffer (read) / transmit holding (write)
+	IER  = 1
+	LSR  = 5
+	Size = 0x100
+)
+
+// LSR bits.
+const (
+	LSRDataReady = 1 << 0
+	LSRTxEmpty   = 1 << 5
+)
+
+// Uart is the console device.
+type Uart struct {
+	tx  bytes.Buffer
+	rx  []byte
+	ier byte
+}
+
+// New returns an idle UART.
+func New() *Uart { return &Uart{} }
+
+// Name implements mem.Device.
+func (u *Uart) Name() string { return "uart" }
+
+// Load implements mem.Device.
+func (u *Uart) Load(off uint64, size int) (uint64, bool) {
+	if size != 1 && size != 4 {
+		return 0, false
+	}
+	switch off {
+	case RBR:
+		if len(u.rx) == 0 {
+			return 0, true
+		}
+		b := u.rx[0]
+		u.rx = u.rx[1:]
+		return uint64(b), true
+	case IER:
+		return uint64(u.ier), true
+	case LSR:
+		v := uint64(LSRTxEmpty)
+		if len(u.rx) > 0 {
+			v |= LSRDataReady
+		}
+		return v, true
+	}
+	if off < Size {
+		return 0, true // unmodelled registers read zero
+	}
+	return 0, false
+}
+
+// Store implements mem.Device.
+func (u *Uart) Store(off uint64, size int, v uint64) bool {
+	if size != 1 && size != 4 {
+		return false
+	}
+	switch off {
+	case RBR:
+		u.tx.WriteByte(byte(v))
+		return true
+	case IER:
+		u.ier = byte(v)
+		return true
+	}
+	return off < Size // unmodelled registers swallow writes
+}
+
+// Output returns everything transmitted so far.
+func (u *Uart) Output() string { return u.tx.String() }
+
+// Feed queues input bytes for the receive path.
+func (u *Uart) Feed(p []byte) { u.rx = append(u.rx, p...) }

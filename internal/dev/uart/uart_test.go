@@ -1,0 +1,66 @@
+package uart
+
+import "testing"
+
+func TestTransmit(t *testing.T) {
+	u := New()
+	for _, b := range []byte("hello") {
+		if !u.Store(RBR, 1, uint64(b)) {
+			t.Fatal("tx store failed")
+		}
+	}
+	if u.Output() != "hello" {
+		t.Errorf("output = %q", u.Output())
+	}
+	if lsr, _ := u.Load(LSR, 1); lsr&LSRTxEmpty == 0 {
+		t.Error("LSR must always report tx empty")
+	}
+}
+
+func TestReceive(t *testing.T) {
+	u := New()
+	if lsr, _ := u.Load(LSR, 1); lsr&LSRDataReady != 0 {
+		t.Error("no data ready on empty rx")
+	}
+	if b, ok := u.Load(RBR, 1); !ok || b != 0 {
+		t.Error("empty RBR reads zero")
+	}
+	u.Feed([]byte{'a', 'b'})
+	if lsr, _ := u.Load(LSR, 1); lsr&LSRDataReady == 0 {
+		t.Error("data ready after feed")
+	}
+	b1, _ := u.Load(RBR, 1)
+	b2, _ := u.Load(RBR, 1)
+	if b1 != 'a' || b2 != 'b' {
+		t.Errorf("rx order: %c %c", rune(b1), rune(b2))
+	}
+	if lsr, _ := u.Load(LSR, 1); lsr&LSRDataReady != 0 {
+		t.Error("data drained")
+	}
+}
+
+func TestIERAndUnmodelled(t *testing.T) {
+	u := New()
+	u.Store(IER, 1, 0x5)
+	if v, _ := u.Load(IER, 1); v != 5 {
+		t.Error("IER readback")
+	}
+	if v, ok := u.Load(0x42, 1); !ok || v != 0 {
+		t.Error("unmodelled register must read zero")
+	}
+	if !u.Store(0x42, 1, 9) {
+		t.Error("unmodelled register must swallow writes")
+	}
+	if _, ok := u.Load(Size, 1); ok {
+		t.Error("out of range load must fail")
+	}
+	if u.Store(Size, 1, 0) {
+		t.Error("out of range store must fail")
+	}
+	if _, ok := u.Load(RBR, 2); ok {
+		t.Error("2-byte access must fail")
+	}
+	if u.Name() != "uart" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,805 @@
+// Package firmware builds synthetic vendor firmware images: real RV64
+// machine code assembled by internal/asm and executed instruction by
+// instruction by the simulator. The same binary image runs in physical
+// M-mode (the paper's "Native" baseline) and in virtual M-mode under the
+// monitor — the firmware is never modified, which is the paper's central
+// claim (§8.2, Q1).
+//
+// Three firmware are provided, mirroring the paper's evaluation set:
+//
+//   - gosbi: a full OpenSBI-like SBI firmware (timer, IPI, rfence, HSM,
+//     reset, console, time-CSR emulation, misaligned-access emulation via
+//     MPRV, PMP self-protection, trap redirection);
+//   - minsbi: a RustSBI-like minimal implementation;
+//   - rtos: a Zephyr-like M-mode RTOS with round-robin tasks and U-mode
+//     applications that never leaves machine mode.
+package firmware
+
+import (
+	"govfm/internal/asm"
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+// Options parameterizes a firmware build.
+type Options struct {
+	// OSEntry is the S-mode payload entry point jumped to by hart 0.
+	OSEntry uint64
+	// Harts is the number of harts the firmware serves.
+	Harts int
+	// FirmwareSize is the NAPOT size of the firmware's own region, used
+	// for its PMP self-protection (the image base must be size-aligned).
+	FirmwareSize uint64
+	// EvilMode, when non-empty, arms a malicious vendor extension (EID
+	// EvilEID) used by the sandbox-policy tests: "read-os" loads from OS
+	// memory, "write-os" stores to it, "dma" programs the DMA engine to
+	// exfiltrate OS memory, "echo-s7" leaks the caller's s7 register.
+	EvilMode string
+	// EvilTarget is the OS address the evil modes touch (default OSBase).
+	EvilTarget uint64
+}
+
+// EvilEID is the malicious vendor-extension ID armed by Options.EvilMode.
+const EvilEID = 0x09001234
+
+// Image is a built firmware binary plus its symbol table.
+type Image struct {
+	Base    uint64
+	Bytes   []byte
+	Symbols map[string]uint64
+}
+
+// Frame slot offset for register xi (i >= 1) in the trap frame.
+func frameOff(i int) int64 { return int64(8 * (i - 1)) }
+
+// sbiErr widens an SBI error code for Li (constant conversion of negative
+// values to uint64 is rejected at compile time).
+func sbiErr(e int64) uint64 { return uint64(e) }
+
+const (
+	clintBase = hart.ClintBase
+	uartBase  = hart.UartBase
+	exitBase  = hart.ExitBase
+)
+
+// BuildGosbi assembles the gosbi firmware at base.
+func BuildGosbi(base uint64, opt Options) Image {
+	a := asm.New(base)
+	nharts := opt.Harts
+	if nharts <= 0 {
+		nharts = 1
+	}
+	fwSize := opt.FirmwareSize
+	if fwSize == 0 {
+		fwSize = 0x10_0000
+	}
+
+	// --- Reset entry (all harts) ---
+	a.Label("start")
+	// mscratch = &scratch[hartid]; the trap frame lives there.
+	a.Csrr(asm.A0, rv.CSRMhartid)
+	a.La(asm.T0, "scratch")
+	a.Slli(asm.T1, asm.A0, 9) // 512 B per hart
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Csrw(rv.CSRMscratch, asm.T0)
+	a.La(asm.T0, "trap")
+	a.Csrw(rv.CSRMtvec, asm.T0)
+
+	// PMP self-protection: entry 0 denies S/U access to the firmware
+	// region; entry 1 opens the rest of the address space.
+	a.La(asm.T0, "start")
+	a.Srli(asm.T0, asm.T0, 2)
+	a.Li(asm.T1, fwSize/8-1)
+	a.Or(asm.T0, asm.T0, asm.T1)
+	a.Csrw(rv.CSRPmpaddr0, asm.T0)
+	a.Li(asm.T0, ^uint64(0))
+	a.Csrw(rv.CSRPmpaddr0+1, asm.T0)
+	a.Li(asm.T0, 0x1F18) // entry0: NAPOT no-perm; entry1: NAPOT RWX
+	a.Csrw(rv.CSRPmpcfg0, asm.T0)
+
+	// Delegation: the OpenSBI defaults — misaligned fetch, breakpoint,
+	// ecall-from-U, and page faults go straight to S-mode.
+	a.Li(asm.T0, 0xB109)
+	a.Csrw(rv.CSRMedeleg, asm.T0)
+	a.Li(asm.T0, 0x222)
+	a.Csrw(rv.CSRMideleg, asm.T0)
+	// Counters visible below M.
+	a.Li(asm.T0, ^uint64(0))
+	a.Csrw(rv.CSRMcounteren, asm.T0)
+	a.Csrw(rv.CSRScounteren, asm.T0)
+	// Machine timer and software interrupt sources armed.
+	a.Li(asm.T0, 1<<rv.IntMTimer|1<<rv.IntMSoft)
+	a.Csrw(rv.CSRMie, asm.T0)
+	// Enable the Sstc stimecmp comparator where the hardware implements
+	// it; on platforms without Sstc the menvcfg write legalizes to zero.
+	a.Li(asm.T0, 1)
+	a.Slli(asm.T0, asm.T0, 63)
+	a.Csrrs(asm.X0, rv.CSRMenvcfg, asm.T0)
+
+	// Hart 0 boots the payload; the others park until HSM start.
+	a.Csrr(asm.A0, rv.CSRMhartid)
+	a.Bnez(asm.A0, "park")
+
+	// Mark hart 0 started in the HSM table.
+	a.La(asm.T0, "hsm_state")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+
+	// Jump to the payload in S-mode: mepc=OSEntry, MPP=S, a0=hartid, a1=0.
+	a.Li(asm.T0, opt.OSEntry)
+	a.Csrw(rv.CSRMepc, asm.T0)
+	a.Li(asm.T1, 3<<11)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T1)
+	a.Li(asm.T1, 1<<11)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T1)
+	a.Csrr(asm.A0, rv.CSRMhartid)
+	a.Li(asm.A1, 0)
+	a.Mret()
+
+	// --- Secondary-hart parking loop ---
+	a.Label("park")
+	a.Wfi()
+	// Handle a pending remote-fence request even while parked.
+	a.Csrr(asm.S0, rv.CSRMhartid)
+	a.La(asm.T0, "mailbox")
+	a.Slli(asm.T1, asm.S0, 3)
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Ld(asm.T2, asm.T0, 0)
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Andi(asm.T3, asm.T2, 2)
+	a.Beqz(asm.T3, "park_no_fence")
+	a.SfenceVMA(asm.X0, asm.X0)
+	a.Label("park_no_fence")
+	// Acknowledge the IPI.
+	a.Li(asm.T0, clintBase)
+	a.Slli(asm.T1, asm.S0, 2)
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Sw(asm.X0, asm.T0, 0)
+	// HSM start requested?
+	a.La(asm.T0, "hsm_start")
+	a.Slli(asm.T1, asm.S0, 4) // 16 B per hart: start addr + opaque
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Ld(asm.T2, asm.T0, 0)
+	a.Beqz(asm.T2, "park")
+	// Start: clear the request, mark started, enter S-mode.
+	a.Ld(asm.A1, asm.T0, 8) // opaque
+	a.Sd(asm.X0, asm.T0, 0)
+	a.La(asm.T3, "hsm_state")
+	a.Slli(asm.T4, asm.S0, 3)
+	a.Add(asm.T3, asm.T3, asm.T4)
+	a.Li(asm.T4, 1)
+	a.Sd(asm.T4, asm.T3, 0)
+	a.Csrw(rv.CSRMepc, asm.T2)
+	a.Li(asm.T1, 3<<11)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T1)
+	a.Li(asm.T1, 1<<11)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T1)
+	a.Mv(asm.A0, asm.S0)
+	a.Mret()
+
+	buildGosbiTrapHandler(a, nharts, opt)
+	buildGosbiData(a, nharts)
+
+	return Image{Base: base, Bytes: a.MustAssemble(), Symbols: symbolTable(a,
+		"start", "trap", "scratch", "mailbox", "hsm_state", "hsm_start")}
+}
+
+func symbolTable(a *asm.Asm, names ...string) map[string]uint64 {
+	m := make(map[string]uint64, len(names))
+	for _, n := range names {
+		m[n] = a.Addr(n)
+	}
+	return m
+}
+
+// saveFrame emits the full trap-frame save: sp is swapped with mscratch,
+// x1 and x3..x31 are stored, and the original sp is recovered from
+// mscratch into its slot.
+func saveFrame(a *asm.Asm) {
+	a.Label("trap")
+	a.Csrrw(asm.SP, rv.CSRMscratch, asm.SP)
+	a.Sd(asm.RA, asm.SP, frameOff(1))
+	for i := 3; i <= 31; i++ {
+		a.Sd(i, asm.SP, frameOff(i))
+	}
+	a.Csrr(asm.T0, rv.CSRMscratch)
+	a.Sd(asm.T0, asm.SP, frameOff(2))
+}
+
+// restoreFrame emits the restore path and mret. x2 is restored by the
+// final csrrw (mscratch still holds the original sp).
+func restoreFrame(a *asm.Asm) {
+	a.Label("restore")
+	a.Ld(asm.RA, asm.SP, frameOff(1))
+	for i := 3; i <= 31; i++ {
+		a.Ld(i, asm.SP, frameOff(i))
+	}
+	a.Csrrw(asm.SP, rv.CSRMscratch, asm.SP)
+	a.Mret()
+}
+
+func buildGosbiTrapHandler(a *asm.Asm, nharts int, opt Options) {
+	saveFrame(a)
+
+	// Dispatch on mcause.
+	a.Csrr(asm.S0, rv.CSRMcause)
+	a.Blt(asm.S0, asm.X0, "interrupt")
+	a.Li(asm.T0, int64ToU(rv.ExcEcallFromS))
+	a.Beq(asm.S0, asm.T0, "ecall_s")
+	a.Li(asm.T0, int64ToU(rv.ExcIllegalInstr))
+	a.Beq(asm.S0, asm.T0, "illegal")
+	a.Li(asm.T0, int64ToU(rv.ExcLoadAddrMisaligned))
+	a.Beq(asm.S0, asm.T0, "mis_load")
+	a.Li(asm.T0, int64ToU(rv.ExcStoreAddrMisaligned))
+	a.Beq(asm.S0, asm.T0, "mis_store")
+	a.J("redirect")
+
+	// --- Interrupts ---
+	a.Label("interrupt")
+	a.Slli(asm.S1, asm.S0, 1)
+	a.Srli(asm.S1, asm.S1, 1)
+	a.Li(asm.T0, rv.IntMTimer)
+	a.Beq(asm.S1, asm.T0, "mtimer")
+	a.Li(asm.T0, rv.IntMSoft)
+	a.Beq(asm.S1, asm.T0, "msoft")
+	a.J("restore") // spurious / external: nothing to do
+
+	// M timer: hand the event to the supervisor (STIP) and silence MTIE
+	// until the next sbi_set_timer.
+	a.Label("mtimer")
+	a.Li(asm.T0, 1<<rv.IntSTimer)
+	a.Csrrs(asm.X0, rv.CSRMip, asm.T0)
+	a.Li(asm.T0, 1<<rv.IntMTimer)
+	a.Csrrc(asm.X0, rv.CSRMie, asm.T0)
+	a.J("restore")
+
+	// M software interrupt: consume the mailbox.
+	a.Label("msoft")
+	a.Csrr(asm.S2, rv.CSRMhartid)
+	// Acknowledge the IPI at the CLINT.
+	a.Li(asm.T0, clintBase)
+	a.Slli(asm.T1, asm.S2, 2)
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Sw(asm.X0, asm.T0, 0)
+	// Fetch and clear the mailbox word.
+	a.La(asm.T0, "mailbox")
+	a.Slli(asm.T1, asm.S2, 3)
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Ld(asm.S3, asm.T0, 0)
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Andi(asm.T2, asm.S3, 1)
+	a.Beqz(asm.T2, "msoft_no_ssip")
+	a.Li(asm.T2, 1<<rv.IntSSoft)
+	a.Csrrs(asm.X0, rv.CSRMip, asm.T2)
+	a.Label("msoft_no_ssip")
+	a.Andi(asm.T2, asm.S3, 2)
+	a.Beqz(asm.T2, "restore")
+	a.SfenceVMA(asm.X0, asm.X0)
+	a.J("restore")
+
+	buildGosbiSBI(a, nharts, opt)
+	buildGosbiIllegal(a)
+	buildGosbiExtWalk(a)
+	buildGosbiMisaligned(a)
+	buildGosbiRedirect(a)
+	restoreFrame(a)
+}
+
+// int64ToU converts a small cause constant for Li.
+func int64ToU(v uint64) uint64 { return v }
+
+const (
+	frameA0 = 8 * (10 - 1)
+	frameA1 = 8 * (11 - 1)
+)
+
+func buildGosbiSBI(a *asm.Asm, nharts int, opt Options) {
+	a.Label("ecall_s")
+	// Return past the ecall.
+	a.Csrr(asm.T0, rv.CSRMepc)
+	a.Addi(asm.T0, asm.T0, 4)
+	a.Csrw(rv.CSRMepc, asm.T0)
+	// OpenSBI-style extension lookup: walk the registered-extension table
+	// before dispatch. This indirect structure is what the paper blames
+	// for the vendor firmware's slightly slower hot paths compared to the
+	// monitor's fast-path implementation (§8.3.1).
+	a.Jal(asm.RA, "ext_walk")
+
+	a.Li(asm.T0, rv.SBIExtTimer)
+	a.Beq(asm.A7, asm.T0, "sbi_time")
+	a.Li(asm.T0, rv.SBIExtIPI)
+	a.Beq(asm.A7, asm.T0, "sbi_ipi")
+	a.Li(asm.T0, rv.SBIExtRfence)
+	a.Beq(asm.A7, asm.T0, "sbi_rfence")
+	a.Li(asm.T0, rv.SBIExtBase)
+	a.Beq(asm.A7, asm.T0, "sbi_base")
+	a.Li(asm.T0, rv.SBIExtHSM)
+	a.Beq(asm.A7, asm.T0, "sbi_hsm")
+	a.Li(asm.T0, rv.SBIExtReset)
+	a.Beq(asm.A7, asm.T0, "sbi_srst")
+	a.Li(asm.T0, rv.SBIExtDebug)
+	a.Beq(asm.A7, asm.T0, "sbi_dbcn")
+	a.Beqz(asm.A7, "sbi_time_leg") // legacy set_timer (EID 0)
+	a.Li(asm.T0, rv.SBILegacyConsolePut)
+	a.Beq(asm.A7, asm.T0, "sbi_putc_leg")
+	a.Li(asm.T0, rv.SBILegacyConsoleGet)
+	a.Beq(asm.A7, asm.T0, "sbi_getc_leg")
+	a.Li(asm.T0, rv.SBILegacyShutdown)
+	a.Beq(asm.A7, asm.T0, "sbi_srst")
+	if opt.EvilMode != "" {
+		a.Li(asm.T0, EvilEID)
+		a.Beq(asm.A7, asm.T0, "evil")
+	}
+	// Unknown extension.
+	a.Li(asm.T0, sbiErr(rv.SBIErrNotSupported))
+	a.Sd(asm.T0, asm.SP, frameA0)
+	a.Sd(asm.X0, asm.SP, frameA1)
+	a.J("restore")
+
+	// sbi_ok: success return (a0=0, a1=0).
+	a.Label("sbi_ok")
+	a.Sd(asm.X0, asm.SP, frameA0)
+	a.Sd(asm.X0, asm.SP, frameA1)
+	a.J("restore")
+
+	// sbi_ret_a1: success with value in s11.
+	a.Label("sbi_ok_val")
+	a.Sd(asm.X0, asm.SP, frameA0)
+	a.Sd(asm.S11, asm.SP, frameA1)
+	a.J("restore")
+
+	// --- TIME: set_timer(a0=deadline) ---
+	a.Label("sbi_time")
+	a.Bnez(asm.A6, "sbi_nosupport")
+	a.Label("sbi_time_leg")
+	a.Csrr(asm.T1, rv.CSRMhartid)
+	a.Slli(asm.T1, asm.T1, 3)
+	a.Li(asm.T2, clintBase+0x4000)
+	a.Add(asm.T2, asm.T2, asm.T1)
+	a.Sd(asm.A0, asm.T2, 0)
+	a.Li(asm.T0, 1<<rv.IntSTimer)
+	a.Csrrc(asm.X0, rv.CSRMip, asm.T0)
+	a.Li(asm.T0, 1<<rv.IntMTimer)
+	a.Csrrs(asm.X0, rv.CSRMie, asm.T0)
+	a.J("sbi_ok")
+
+	a.Label("sbi_nosupport")
+	a.Li(asm.T0, sbiErr(rv.SBIErrNotSupported))
+	a.Sd(asm.T0, asm.SP, frameA0)
+	a.Sd(asm.X0, asm.SP, frameA1)
+	a.J("restore")
+
+	// --- IPI: send_ipi(a0=mask, a1=base); also the rfence loop with the
+	// mailbox bit in s10. ---
+	a.Label("sbi_ipi")
+	a.Bnez(asm.A6, "sbi_nosupport")
+	a.Li(asm.S10, 1) // mailbox bit: SSIP request
+	a.J("ipi_common")
+	a.Label("sbi_rfence")
+	// All rfence functions share the remote-fence IPI path; fence locally
+	// first.
+	a.SfenceVMA(asm.X0, asm.X0)
+	a.Li(asm.S10, 2) // mailbox bit: fence request
+	a.Label("ipi_common")
+	a.Li(asm.S4, 0) // i
+	a.Li(asm.S5, uint64(nharts))
+	a.Label("ipi_loop")
+	a.Bge(asm.S4, asm.S5, "sbi_ok")
+	a.Sub(asm.T1, asm.S4, asm.A1) // i - base
+	a.Blt(asm.T1, asm.X0, "ipi_next")
+	a.Li(asm.T2, 63)
+	a.Blt(asm.T2, asm.T1, "ipi_next")
+	a.Srl(asm.T2, asm.A0, asm.T1)
+	a.Andi(asm.T2, asm.T2, 1)
+	a.Beqz(asm.T2, "ipi_next")
+	// mailbox[i] |= bit (atomically: other senders race with us).
+	a.La(asm.T3, "mailbox")
+	a.Slli(asm.T4, asm.S4, 3)
+	a.Add(asm.T3, asm.T3, asm.T4)
+	a.AmoorD(asm.X0, asm.T3, asm.S10)
+	// msip[i] = 1.
+	a.Li(asm.T3, clintBase)
+	a.Slli(asm.T4, asm.S4, 2)
+	a.Add(asm.T3, asm.T3, asm.T4)
+	a.Li(asm.T5, 1)
+	a.Sw(asm.T5, asm.T3, 0)
+	a.Label("ipi_next")
+	a.Addi(asm.S4, asm.S4, 1)
+	a.J("ipi_loop")
+
+	// --- BASE extension ---
+	a.Label("sbi_base")
+	a.Li(asm.T0, rv.SBIBaseGetSpecVersion)
+	a.Beq(asm.A6, asm.T0, "base_spec")
+	a.Li(asm.T0, rv.SBIBaseGetImplID)
+	a.Beq(asm.A6, asm.T0, "base_impl")
+	a.Li(asm.T0, rv.SBIBaseGetImplVersion)
+	a.Beq(asm.A6, asm.T0, "base_implver")
+	a.Li(asm.T0, rv.SBIBaseProbeExt)
+	a.Beq(asm.A6, asm.T0, "base_probe")
+	a.Li(asm.T0, rv.SBIBaseGetMvendorid)
+	a.Beq(asm.A6, asm.T0, "base_mvendor")
+	a.Li(asm.T0, rv.SBIBaseGetMarchid)
+	a.Beq(asm.A6, asm.T0, "base_march")
+	a.Li(asm.T0, rv.SBIBaseGetMimpid)
+	a.Beq(asm.A6, asm.T0, "base_mimp")
+	a.J("sbi_nosupport")
+	a.Label("base_spec")
+	a.Li(asm.S11, rv.SBISpecVersion)
+	a.J("sbi_ok_val")
+	a.Label("base_impl")
+	a.Li(asm.S11, rv.SBIImplIDGosbi)
+	a.J("sbi_ok_val")
+	a.Label("base_implver")
+	a.Li(asm.S11, 0x10003)
+	a.J("sbi_ok_val")
+	a.Label("base_mvendor")
+	a.Csrr(asm.S11, rv.CSRMvendorid)
+	a.J("sbi_ok_val")
+	a.Label("base_march")
+	a.Csrr(asm.S11, rv.CSRMarchid)
+	a.J("sbi_ok_val")
+	a.Label("base_mimp")
+	a.Csrr(asm.S11, rv.CSRMimpid)
+	a.J("sbi_ok_val")
+	a.Label("base_probe")
+	a.Li(asm.S11, 1)
+	a.Li(asm.T0, rv.SBIExtTimer)
+	a.Beq(asm.A0, asm.T0, "sbi_ok_val")
+	a.Li(asm.T0, rv.SBIExtIPI)
+	a.Beq(asm.A0, asm.T0, "sbi_ok_val")
+	a.Li(asm.T0, rv.SBIExtRfence)
+	a.Beq(asm.A0, asm.T0, "sbi_ok_val")
+	a.Li(asm.T0, rv.SBIExtHSM)
+	a.Beq(asm.A0, asm.T0, "sbi_ok_val")
+	a.Li(asm.T0, rv.SBIExtReset)
+	a.Beq(asm.A0, asm.T0, "sbi_ok_val")
+	a.Li(asm.T0, rv.SBIExtDebug)
+	a.Beq(asm.A0, asm.T0, "sbi_ok_val")
+	a.Li(asm.S11, 0)
+	a.J("sbi_ok_val")
+
+	// --- HSM ---
+	a.Label("sbi_hsm")
+	a.Li(asm.T0, rv.SBIHSMHartStart)
+	a.Beq(asm.A6, asm.T0, "hsm_do_start")
+	a.Li(asm.T0, rv.SBIHSMHartStatus)
+	a.Beq(asm.A6, asm.T0, "hsm_do_status")
+	a.J("sbi_nosupport")
+	a.Label("hsm_do_start")
+	// a0=hartid, a1=start_addr, a2=opaque.
+	a.Li(asm.T0, uint64(nharts))
+	a.Bge(asm.A0, asm.T0, "hsm_invalid")
+	a.La(asm.T0, "hsm_start")
+	a.Slli(asm.T1, asm.A0, 4)
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Sd(asm.A2, asm.T0, 8)
+	a.Sd(asm.A1, asm.T0, 0)
+	// Wake the target with an IPI (no mailbox bit: parking loop checks
+	// the HSM table on every wake).
+	a.Li(asm.T2, clintBase)
+	a.Slli(asm.T3, asm.A0, 2)
+	a.Add(asm.T2, asm.T2, asm.T3)
+	a.Li(asm.T4, 1)
+	a.Sw(asm.T4, asm.T2, 0)
+	a.J("sbi_ok")
+	a.Label("hsm_invalid")
+	a.Li(asm.T0, sbiErr(rv.SBIErrInvalidParam))
+	a.Sd(asm.T0, asm.SP, frameA0)
+	a.Sd(asm.X0, asm.SP, frameA1)
+	a.J("restore")
+	a.Label("hsm_do_status")
+	a.Li(asm.T0, uint64(nharts))
+	a.Bge(asm.A0, asm.T0, "hsm_invalid")
+	a.La(asm.T0, "hsm_state")
+	a.Slli(asm.T1, asm.A0, 3)
+	a.Add(asm.T0, asm.T0, asm.T1)
+	a.Ld(asm.T2, asm.T0, 0)
+	// state 1 (started) -> status 0; otherwise status 1 (stopped).
+	a.Li(asm.S11, 1)
+	a.Beqz(asm.T2, "sbi_ok_val")
+	a.Li(asm.S11, 0)
+	a.J("sbi_ok_val")
+
+	// --- SRST: system reset -> the platform test-finisher device ---
+	a.Label("sbi_srst")
+	a.Li(asm.T0, exitBase)
+	a.Li(asm.T1, hart.ExitPass)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.J("sbi_ok") // unreachable: the machine halts
+
+	// --- DBCN: debug console ---
+	a.Label("sbi_dbcn")
+	a.Li(asm.T0, rv.SBIDebugWriteByte)
+	a.Beq(asm.A6, asm.T0, "dbcn_byte")
+	a.Li(asm.T0, rv.SBIDebugWrite)
+	a.Beq(asm.A6, asm.T0, "dbcn_write")
+	a.J("sbi_nosupport")
+	a.Label("dbcn_byte")
+	a.Li(asm.T0, uartBase)
+	a.Sb(asm.A0, asm.T0, 0)
+	a.J("sbi_ok")
+	// dbcn_write: a0=len, a1=addr_lo. The buffer lives in OS memory, so
+	// each byte is read with MPRV (the firmware's only legitimate way to
+	// see through the OS's address space).
+	a.Label("dbcn_write")
+	a.Li(asm.T0, 256)
+	a.Blt(asm.T0, asm.A0, "hsm_invalid") // cap the length
+	a.Li(asm.S4, 0)                      // i
+	a.Li(asm.S6, uartBase)
+	a.Label("dbcn_loop")
+	a.Bge(asm.S4, asm.A0, "sbi_ok")
+	a.Add(asm.T1, asm.A1, asm.S4)
+	a.Li(asm.T2, 1<<rv.MstatusMPRV)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T2)
+	a.Lbu(asm.T3, asm.T1, 0)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T2)
+	a.Sb(asm.T3, asm.S6, 0)
+	a.Addi(asm.S4, asm.S4, 1)
+	a.J("dbcn_loop")
+
+	if opt.EvilMode != "" {
+		buildGosbiEvil(a, opt)
+	}
+
+	// --- Legacy console ---
+	a.Label("sbi_putc_leg")
+	a.Li(asm.T0, uartBase)
+	a.Sb(asm.A0, asm.T0, 0)
+	a.Sd(asm.X0, asm.SP, frameA0)
+	a.J("restore")
+	a.Label("sbi_getc_leg")
+	a.Li(asm.T0, uartBase+5) // LSR
+	a.Lbu(asm.T1, asm.T0, 0)
+	a.Andi(asm.T1, asm.T1, 1)
+	a.Li(asm.T2, ^uint64(0)) // -1: no data
+	a.Beqz(asm.T1, "getc_done")
+	a.Li(asm.T0, uartBase)
+	a.Lbu(asm.T2, asm.T0, 0)
+	a.Label("getc_done")
+	a.Sd(asm.T2, asm.SP, frameA0)
+	a.J("restore")
+}
+
+// buildGosbiIllegal emulates reads of the time CSR, the dominant trap
+// cause on platforms without a hardware time CSR (paper Fig. 3).
+func buildGosbiIllegal(a *asm.Asm) {
+	a.Label("illegal")
+	// The emulation-handler lookup goes through the same registration
+	// table as SBI dispatch (OpenSBI structures its CSR emulation the
+	// same way).
+	a.Jal(asm.RA, "ext_walk")
+	a.Csrr(asm.S1, rv.CSRMtval) // the trapping instruction's encoding
+	a.Andi(asm.T0, asm.S1, 127)
+	a.Li(asm.T1, int64ToU(uint64(rv.OpSystem)))
+	a.Bne(asm.T0, asm.T1, "redirect")
+	a.Srli(asm.T1, asm.S1, 20) // CSR number (raw is zero-extended 32-bit)
+	a.Li(asm.T2, uint64(rv.CSRTime))
+	a.Bne(asm.T1, asm.T2, "redirect")
+	a.Srli(asm.T3, asm.S1, 12)
+	a.Andi(asm.T3, asm.T3, 7)
+	a.Li(asm.T4, uint64(rv.F3Csrrs))
+	a.Bne(asm.T3, asm.T4, "redirect")
+	// rd-writeback into the trap frame.
+	a.Srli(asm.S2, asm.S1, 7)
+	a.Andi(asm.S2, asm.S2, 31)
+	a.Beqz(asm.S2, "illegal_done")
+	a.Li(asm.T5, clintBase+0xBFF8)
+	a.Ld(asm.S3, asm.T5, 0)
+	a.Slli(asm.T6, asm.S2, 3)
+	a.Addi(asm.T6, asm.T6, -8)
+	a.Add(asm.T6, asm.SP, asm.T6)
+	a.Sd(asm.S3, asm.T6, 0)
+	a.Label("illegal_done")
+	a.Csrr(asm.T0, rv.CSRMepc)
+	a.Addi(asm.T0, asm.T0, 4)
+	a.Csrw(rv.CSRMepc, asm.T0)
+	a.J("restore")
+}
+
+// buildGosbiMisaligned emulates misaligned loads and stores byte by byte,
+// reaching through the OS's address space with MPRV (paper §4.2 — this is
+// the path exercising the monitor's MPRV emulation).
+func buildGosbiMisaligned(a *asm.Asm) {
+	// Common prologue: s3 = fault address, s1 = instruction word.
+	a.Label("mis_load")
+	a.Li(asm.S7, 0) // 0 = load
+	a.J("mis_common")
+	a.Label("mis_store")
+	a.Li(asm.S7, 1)
+	a.Label("mis_common")
+	a.Csrr(asm.S3, rv.CSRMtval)
+	a.Csrr(asm.S4, rv.CSRMepc)
+	// Read the instruction through the OS address space (MPRV + MXR).
+	a.Li(asm.T0, 1<<rv.MstatusMPRV|1<<rv.MstatusMXR)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T0)
+	a.Lw(asm.S1, asm.S4, 0)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T0)
+	// size = 1 << (funct3 & 3).
+	a.Srli(asm.T1, asm.S1, 12)
+	a.Andi(asm.T1, asm.T1, 7)
+	a.Andi(asm.T2, asm.T1, 3)
+	a.Li(asm.S5, 1)
+	a.Sll(asm.S5, asm.S5, asm.T2)
+	a.Bnez(asm.S7, "mis_do_store")
+
+	// Load: gather bytes under one MPRV window.
+	a.Li(asm.S6, 0) // value
+	a.Li(asm.T3, 0) // i
+	a.Li(asm.T0, 1<<rv.MstatusMPRV)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T0)
+	a.Label("mis_ld_loop")
+	a.Bge(asm.T3, asm.S5, "mis_ld_done")
+	a.Add(asm.T4, asm.S3, asm.T3)
+	a.Lbu(asm.T5, asm.T4, 0)
+	a.Slli(asm.T6, asm.T3, 3)
+	a.Sll(asm.T5, asm.T5, asm.T6)
+	a.Or(asm.S6, asm.S6, asm.T5)
+	a.Addi(asm.T3, asm.T3, 1)
+	a.J("mis_ld_loop")
+	a.Label("mis_ld_done")
+	a.Li(asm.T0, 1<<rv.MstatusMPRV)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T0)
+	// Sign-extend when funct3 < 4.
+	a.Andi(asm.T2, asm.T1, 4)
+	a.Bnez(asm.T2, "mis_ld_wb")
+	a.Slli(asm.T2, asm.S5, 3)
+	a.Li(asm.T3, 64)
+	a.Sub(asm.T2, asm.T3, asm.T2)
+	a.Sll(asm.S6, asm.S6, asm.T2)
+	a.Sra(asm.S6, asm.S6, asm.T2)
+	a.Label("mis_ld_wb")
+	a.Srli(asm.S2, asm.S1, 7)
+	a.Andi(asm.S2, asm.S2, 31)
+	a.Beqz(asm.S2, "mis_fin")
+	a.Slli(asm.T6, asm.S2, 3)
+	a.Addi(asm.T6, asm.T6, -8)
+	a.Add(asm.T6, asm.SP, asm.T6)
+	a.Sd(asm.S6, asm.T6, 0)
+	a.J("mis_fin")
+
+	// Store: scatter bytes under one MPRV window; the source register's
+	// value comes from the trap frame.
+	a.Label("mis_do_store")
+	a.Srli(asm.S2, asm.S1, 20)
+	a.Andi(asm.S2, asm.S2, 31) // rs2
+	a.Li(asm.S6, 0)
+	a.Beqz(asm.S2, "mis_st_goloop")
+	a.Slli(asm.T6, asm.S2, 3)
+	a.Addi(asm.T6, asm.T6, -8)
+	a.Add(asm.T6, asm.SP, asm.T6)
+	a.Ld(asm.S6, asm.T6, 0)
+	a.Label("mis_st_goloop")
+	a.Li(asm.T3, 0)
+	a.Li(asm.T0, 1<<rv.MstatusMPRV)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T0)
+	a.Label("mis_st_loop")
+	a.Bge(asm.T3, asm.S5, "mis_st_done")
+	a.Add(asm.T4, asm.S3, asm.T3)
+	a.Slli(asm.T6, asm.T3, 3)
+	a.Srl(asm.T5, asm.S6, asm.T6)
+	a.Sb(asm.T5, asm.T4, 0)
+	a.Addi(asm.T3, asm.T3, 1)
+	a.J("mis_st_loop")
+	a.Label("mis_st_done")
+	a.Li(asm.T0, 1<<rv.MstatusMPRV)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T0)
+	a.Label("mis_fin")
+	a.Csrr(asm.T0, rv.CSRMepc)
+	a.Addi(asm.T0, asm.T0, 4)
+	a.Csrw(rv.CSRMepc, asm.T0)
+	a.J("restore")
+}
+
+// buildGosbiRedirect forwards an unhandled trap to supervisor mode, the
+// standard sbi_trap_redirect behaviour.
+func buildGosbiRedirect(a *asm.Asm) {
+	a.Label("redirect")
+	a.Csrr(asm.T0, rv.CSRMcause)
+	a.Csrw(rv.CSRScause, asm.T0)
+	a.Csrr(asm.T0, rv.CSRMepc)
+	a.Csrw(rv.CSRSepc, asm.T0)
+	a.Csrr(asm.T0, rv.CSRMtval)
+	a.Csrw(rv.CSRStval, asm.T0)
+	// sstatus.SPP = (MPP == S).
+	a.Csrr(asm.T1, rv.CSRMstatus)
+	a.Srli(asm.T2, asm.T1, 11)
+	a.Andi(asm.T2, asm.T2, 3)
+	a.Li(asm.T3, 1<<8)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+	a.Li(asm.T4, 1)
+	a.Bne(asm.T2, asm.T4, "redir_spp_done")
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+	a.Label("redir_spp_done")
+	// sstatus.SPIE = SIE; SIE = 0.
+	a.Csrr(asm.T1, rv.CSRMstatus)
+	a.Andi(asm.T5, asm.T1, 2)
+	a.Li(asm.T3, 1<<5)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+	a.Beqz(asm.T5, "redir_spie_done")
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+	a.Label("redir_spie_done")
+	a.Li(asm.T3, 2)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+	// Resume at stvec in S-mode.
+	a.Csrr(asm.T0, rv.CSRStvec)
+	a.Srli(asm.T0, asm.T0, 2)
+	a.Slli(asm.T0, asm.T0, 2)
+	a.Csrw(rv.CSRMepc, asm.T0)
+	a.Li(asm.T3, 3<<11)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+	a.Li(asm.T3, 1<<11)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+	a.J("restore")
+}
+
+// buildGosbiEvil emits the malicious vendor extension: the payloads the
+// sandbox policy must stop.
+func buildGosbiEvil(a *asm.Asm, opt Options) {
+	target := opt.EvilTarget
+	if target == 0 {
+		target = 0x8800_0000 // the default OS base
+	}
+	a.Label("evil")
+	switch opt.EvilMode {
+	case "read-os":
+		a.Li(asm.T0, target)
+		a.Ld(asm.T1, asm.T0, 0) // faults under the sandbox
+		a.Sd(asm.T1, asm.SP, frameA1)
+		a.Sd(asm.X0, asm.SP, frameA0)
+	case "write-os":
+		a.Li(asm.T0, target)
+		a.Li(asm.T1, 0xEEEE)
+		a.Sd(asm.T1, asm.T0, 0) // faults under the sandbox
+		a.Sd(asm.X0, asm.SP, frameA0)
+	case "dma":
+		// Exfiltrate OS memory into the firmware region via DMA, which
+		// bypasses PMP — unless the sandbox revoked the DMA MMIO window.
+		a.Li(asm.T0, hart.DMABase)
+		a.Li(asm.T1, target)
+		a.Sd(asm.T1, asm.T0, 0x00) // src
+		a.La(asm.T1, "scratch")
+		a.Sd(asm.T1, asm.T0, 0x08) // dst
+		a.Li(asm.T1, 64)
+		a.Sd(asm.T1, asm.T0, 0x10) // len
+		a.Sd(asm.X0, asm.T0, 0x18) // trigger
+		a.Sd(asm.X0, asm.SP, frameA0)
+	case "echo-s7":
+		// Leak the OS's s7 register from the trap frame (slot of x23).
+		a.Ld(asm.T1, asm.SP, 8*(23-1))
+		a.Sd(asm.T1, asm.SP, frameA1)
+		a.Sd(asm.X0, asm.SP, frameA0)
+	default:
+		a.Sd(asm.X0, asm.SP, frameA0)
+	}
+	a.J("restore")
+}
+
+// buildGosbiExtWalk emits the registered-extension table walk used by the
+// dispatchers.
+func buildGosbiExtWalk(a *asm.Asm) {
+	a.Label("ext_walk")
+	a.La(asm.T0, "ext_table")
+	a.Li(asm.T1, 8)
+	a.Label("ext_walk_loop")
+	a.Ld(asm.T2, asm.T0, 0)
+	a.Add(asm.X0, asm.X0, asm.T2) // consume the entry
+	a.Addi(asm.T0, asm.T0, 8)
+	a.Addi(asm.T1, asm.T1, -1)
+	a.Bnez(asm.T1, "ext_walk_loop")
+	a.Ret()
+}
+
+func buildGosbiData(a *asm.Asm, nharts int) {
+	a.Align(8)
+	a.Label("ext_table")
+	a.Space(8 * 8)
+	a.Label("scratch")
+	a.Space(uint64(nharts) * 512)
+	a.Label("mailbox")
+	a.Space(uint64(nharts) * 8)
+	a.Label("hsm_state")
+	a.Space(uint64(nharts) * 8)
+	a.Label("hsm_start")
+	a.Space(uint64(nharts) * 16)
+}

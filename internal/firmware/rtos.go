@@ -1,0 +1,257 @@
+package firmware
+
+import (
+	"govfm/internal/asm"
+	"govfm/internal/rv"
+)
+
+// BuildRTOS assembles rtos, a Zephyr-like real-time OS: an M-mode kernel
+// with its own test suite and a U-mode application, never leaving machine
+// mode for a separate OS. The paper runs Zephyr's test suite under the
+// monitor as part of its virtualization pipeline (§8.2); this image plays
+// that role: it prints one line per test to the UART and exits PASS only
+// if every test succeeded.
+//
+// Tests:
+//
+//	T1 timer     periodic machine-timer interrupts are delivered and counted
+//	T2 swint     a self-IPI through the CLINT arrives as an M interrupt
+//	T3 syscall   a U-mode application performs an ecall round trip
+//	T4 pmp       the U-mode application cannot read kernel memory
+//	T5 csr       mscratch and mstatus round-trip through CSR instructions
+func BuildRTOS(base uint64) Image {
+	a := asm.New(base)
+
+	a.Label("start")
+	a.Csrr(asm.A0, rv.CSRMhartid)
+	a.Bnez(asm.A0, "park_forever")
+	a.La(asm.T0, "scratch")
+	a.Csrw(rv.CSRMscratch, asm.T0)
+	a.La(asm.T0, "trap")
+	a.Csrw(rv.CSRMtvec, asm.T0)
+
+	// --- T5 first (pure CSR round trip, no interrupts involved) ---
+	a.Li(asm.T0, 0x1234_5678_9ABC_DEF0)
+	a.Csrw(rv.CSRMscratch+0, asm.T0) // NB: clobbers the frame pointer...
+	a.Csrr(asm.T1, rv.CSRMscratch)
+	a.BneFar(asm.T0, asm.T1, "fail")
+	// Restore the trap frame pointer.
+	a.La(asm.T0, "scratch")
+	a.Csrw(rv.CSRMscratch, asm.T0)
+	// mstatus MPRV toggle round trip.
+	a.Li(asm.T0, 1<<rv.MstatusMPRV)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T0)
+	a.Csrr(asm.T1, rv.CSRMstatus)
+	a.And(asm.T2, asm.T1, asm.T0)
+	a.BeqzFar(asm.T2, "fail")
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T0)
+	a.Jal(asm.RA, "print_t5")
+
+	// --- T1: count 3 timer ticks ---
+	a.La(asm.T0, "ticks")
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Li(asm.T0, 1<<rv.IntMTimer)
+	a.Csrw(rv.CSRMie, asm.T0)
+	a.Jal(asm.RA, "arm_timer")
+	a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+	a.Label("t1_wait")
+	a.Wfi()
+	a.La(asm.T0, "ticks")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Li(asm.T2, 3)
+	a.Blt(asm.T1, asm.T2, "t1_wait")
+	a.Csrrci(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+	a.Jal(asm.RA, "print_t1")
+
+	// --- T2: self software interrupt ---
+	a.La(asm.T0, "swint_seen")
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Li(asm.T0, 1<<rv.IntMSoft)
+	a.Csrw(rv.CSRMie, asm.T0)
+	a.Li(asm.T0, clintBase)
+	a.Li(asm.T1, 1)
+	a.Sw(asm.T1, asm.T0, 0)
+	a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+	a.Label("t2_wait")
+	a.La(asm.T0, "swint_seen")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Beqz(asm.T1, "t2_wait")
+	a.Csrrci(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+	a.Jal(asm.RA, "print_t2")
+
+	// --- T3 + T4: the U-mode application ---
+	// PMP: deny the kernel text/data to U, allow the app region and the
+	// rest of the address space.
+	a.La(asm.T0, "start")
+	a.Srli(asm.T0, asm.T0, 2)
+	a.Li(asm.T1, 0x1000/8-1) // protect the kernel's first page
+	a.Or(asm.T0, asm.T0, asm.T1)
+	a.Csrw(rv.CSRPmpaddr0, asm.T0)
+	a.Li(asm.T0, ^uint64(0))
+	a.Csrw(rv.CSRPmpaddr0+1, asm.T0)
+	a.Li(asm.T0, 0x1F18)
+	a.Csrw(rv.CSRPmpcfg0, asm.T0)
+	a.La(asm.T0, "syscall_seen")
+	a.Sd(asm.X0, asm.T0, 0)
+	a.La(asm.T0, "app")
+	a.Csrw(rv.CSRMepc, asm.T0)
+	a.Li(asm.T1, 3<<11)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T1) // MPP=U
+	a.Mret()
+	// The app ecalls back; the trap handler routes to "after_app".
+	a.Label("after_app")
+	a.La(asm.T0, "syscall_seen")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Li(asm.T2, 0xAB)
+	a.BneFar(asm.T1, asm.T2, "fail")
+	a.Jal(asm.RA, "print_t3")
+	a.La(asm.T0, "pmp_fault_seen")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.BeqzFar(asm.T1, "fail")
+	a.Jal(asm.RA, "print_t4")
+
+	// All tests passed.
+	a.Jal(asm.RA, "print_pass")
+	a.Li(asm.T0, exitBase)
+	a.Li(asm.T1, 0x5555)
+	a.Sd(asm.T1, asm.T0, 0)
+
+	a.Label("fail")
+	a.Li(asm.T0, exitBase)
+	a.Li(asm.T1, 0x3333)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Label("hang")
+	a.J("hang")
+
+	a.Label("park_forever")
+	a.Wfi()
+	a.J("park_forever")
+
+	// arm_timer: mtimecmp = mtime + 8 ticks.
+	a.Label("arm_timer")
+	a.Li(asm.T0, clintBase+0xBFF8)
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 8)
+	a.Li(asm.T0, clintBase+0x4000)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Ret()
+
+	// --- The U-mode application (T3/T4) ---
+	// It first probes kernel memory (expecting a PMP fault, which the
+	// kernel records and skips), then issues the syscall ecall.
+	a.Align(4096) // the app lives outside the PMP-protected kernel page
+	a.Label("app")
+	a.La(asm.T0, "start")
+	a.Lw(asm.T1, asm.T0, 0) // must fault: kernel memory
+	a.Li(asm.A0, 0xAB)
+	a.Li(asm.A7, 0x52544F53) // "RTOS": a private syscall namespace, so a
+	// stale a7 can never alias an SBI extension the monitor offloads
+	a.Ecall() // syscall: never returns here
+	a.Label("app_hang")
+	a.J("app_hang")
+
+	// --- Trap handler ---
+	// Minimal frame: the RTOS handler uses a dedicated register window
+	// saved into the scratch area.
+	a.Label("trap")
+	a.Csrrw(asm.SP, rv.CSRMscratch, asm.SP)
+	a.Sd(asm.T0, asm.SP, 0)
+	a.Sd(asm.T1, asm.SP, 8)
+	a.Sd(asm.T2, asm.SP, 16)
+	a.Csrr(asm.T0, rv.CSRMcause)
+	a.Blt(asm.T0, asm.X0, "trap_intr")
+	// Exceptions.
+	a.Li(asm.T1, rv.ExcEcallFromU)
+	a.Beq(asm.T0, asm.T1, "trap_syscall")
+	a.Li(asm.T1, rv.ExcLoadAccessFault)
+	a.Beq(asm.T0, asm.T1, "trap_pmp")
+	a.Li(asm.T1, rv.ExcInstrAccessFault)
+	a.Beq(asm.T0, asm.T1, "trap_pmp")
+	// Unexpected: fail hard.
+	a.Li(asm.T0, exitBase)
+	a.Li(asm.T1, 0x3333)
+	a.Sd(asm.T1, asm.T0, 0)
+
+	a.Label("trap_intr")
+	a.Slli(asm.T1, asm.T0, 1)
+	a.Srli(asm.T1, asm.T1, 1)
+	a.Li(asm.T2, rv.IntMTimer)
+	a.Beq(asm.T1, asm.T2, "trap_tick")
+	// Software interrupt: ack and record.
+	a.Li(asm.T0, clintBase)
+	a.Sw(asm.X0, asm.T0, 0)
+	a.La(asm.T0, "swint_seen")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.J("trap_out")
+	a.Label("trap_tick")
+	a.La(asm.T0, "ticks")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	// Rearm for the next tick (mtimecmp = mtime + 8).
+	a.Li(asm.T0, clintBase+0xBFF8)
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 8)
+	a.Li(asm.T0, clintBase+0x4000)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.J("trap_out")
+
+	// Syscall from the app: record a0 and return to the kernel flow.
+	a.Label("trap_syscall")
+	a.La(asm.T0, "syscall_seen")
+	a.Sd(asm.A0, asm.T0, 0)
+	a.La(asm.T0, "after_app")
+	a.Csrw(rv.CSRMepc, asm.T0)
+	// Return to M-mode: set MPP=M.
+	a.Li(asm.T1, 3<<11)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T1)
+	a.J("trap_out")
+
+	// PMP fault from the app: record and skip the faulting instruction.
+	a.Label("trap_pmp")
+	a.La(asm.T0, "pmp_fault_seen")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Csrr(asm.T1, rv.CSRMepc)
+	a.Addi(asm.T1, asm.T1, 4)
+	a.Csrw(rv.CSRMepc, asm.T1)
+	a.Label("trap_out")
+	a.Ld(asm.T0, asm.SP, 0)
+	a.Ld(asm.T1, asm.SP, 8)
+	a.Ld(asm.T2, asm.SP, 16)
+	a.Csrrw(asm.SP, rv.CSRMscratch, asm.SP)
+	a.Mret()
+
+	// --- Console helpers ---
+	emitPrint := func(label, text string) {
+		a.Label(label)
+		a.Li(asm.T0, uartBase)
+		for _, ch := range []byte(text) {
+			a.Li(asm.T1, uint64(ch))
+			a.Sb(asm.T1, asm.T0, 0)
+		}
+		a.Ret()
+	}
+	emitPrint("print_t1", "rtos: T1 timer ok\n")
+	emitPrint("print_t2", "rtos: T2 swint ok\n")
+	emitPrint("print_t3", "rtos: T3 syscall ok\n")
+	emitPrint("print_t4", "rtos: T4 pmp ok\n")
+	emitPrint("print_t5", "rtos: T5 csr ok\n")
+	emitPrint("print_pass", "rtos: all tests passed\n")
+
+	a.Align(8)
+	a.Label("scratch")
+	a.Space(64)
+	a.Label("ticks")
+	a.Space(8)
+	a.Label("swint_seen")
+	a.Space(8)
+	a.Label("syscall_seen")
+	a.Space(8)
+	a.Label("pmp_fault_seen")
+	a.Space(8)
+
+	return Image{Base: base, Bytes: a.MustAssemble(),
+		Symbols: symbolTable(a, "start", "trap", "app")}
+}

@@ -1,0 +1,167 @@
+package hart
+
+// CostModel maps simulated operations to cycles. The numbers are calibrated
+// per platform profile so that the monitor's measured costs land near the
+// paper's Table 4 (emulation ≈483/271 cycles, world switch ≈2704/4098
+// cycles on VisionFive 2 / Premier P550); everything downstream is emergent.
+type CostModel struct {
+	Instr     uint64 // base cost of any instruction
+	MemAccess uint64 // extra for loads/stores/amo
+	Branch    uint64 // extra for taken control transfers
+	MulDiv    uint64 // extra for M-extension ops
+	TrapEntry uint64 // hardware trap entry (mode switch, CSR latch)
+	XRet      uint64 // mret/sret
+	TLBFlush  uint64 // sfence.vma or PMP-induced flush
+	WFIIdle   uint64 // cycles consumed per idle WFI poll
+
+	// Monitor-side costs: the monitor is M-mode software whose own
+	// instruction stream consumes cycles. These model the cost of its
+	// straight-line Rust on each microarchitecture (the out-of-order P550
+	// executes the monitor's code much faster but pays more for traps and
+	// flushes, reproducing Table 4's inversion).
+	MonitorEntry uint64 // GPR save + dispatch on trap entry
+	MonitorExit  uint64 // GPR restore + return sequencing
+	EmuOp        uint64 // decode + emulate one privileged instruction
+	CSRXfer      uint64 // copy one CSR during a world switch
+	PMPWrite     uint64 // reprogram one physical PMP entry
+}
+
+// Config describes a platform profile: which optional hardware the CPU
+// implements and how expensive its microarchitectural operations are. The
+// two profiles mirror the paper's evaluation boards; rva23 models the
+// next-generation CPU the paper anticipates in §3.4.
+type Config struct {
+	Name  string
+	Harts int
+
+	// Optional architectural features.
+	NumPMP       int  // implemented PMP entries (8 or 16 on real parts)
+	HasSstc      bool // supervisor stimecmp CSR
+	HasTimeCSR   bool // hardware time CSR (reads do not trap)
+	HWMisaligned bool // hardware support for misaligned loads/stores
+	HasH         bool // hypervisor extension (P550)
+	HasIOPMP     bool // I/O PMP unit guarding DMA masters (§4.3)
+
+	// Machine identity, reported via mvendorid/marchid/mimpid.
+	Mvendorid uint64
+	Marchid   uint64
+	Mimpid    uint64
+
+	// CustomCSRs lists platform-specific M-mode CSRs (paper §8.2: the P550
+	// exposes four documented CSRs for speculation and error reporting).
+	CustomCSRs []uint16
+
+	// FreqMHz is the core clock; CyclesPerTick converts core cycles to
+	// CLINT mtime ticks (clock / timebase).
+	FreqMHz       uint64
+	CyclesPerTick uint64
+
+	Cost CostModel
+}
+
+// HasCustomCSR reports whether n is one of the platform's documented
+// custom CSRs.
+func (c *Config) HasCustomCSR(n uint16) bool {
+	for _, m := range c.CustomCSRs {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// VisionFive2 returns the profile of the StarFive VisionFive 2 board:
+// four in-order U74 cores at 1.5 GHz, 8 PMP entries, no Sstc, no hardware
+// time CSR, no hardware misaligned access support — so the OS traps to
+// firmware for all five of the paper's Fig. 3 trap causes.
+func VisionFive2() *Config {
+	return &Config{
+		Name:          "visionfive2",
+		Harts:         4,
+		NumPMP:        8,
+		Mvendorid:     0x489, // SiFive JEDEC (U74 core IP)
+		Marchid:       0x8000000000000007,
+		Mimpid:        0x4210427,
+		FreqMHz:       1500,
+		CyclesPerTick: 375, // 4 MHz timebase
+		Cost: CostModel{
+			Instr:     1,
+			MemAccess: 2,
+			Branch:    2,
+			MulDiv:    4,
+			TrapEntry: 38,
+			XRet:      24,
+			TLBFlush:  100,
+			WFIIdle:   16,
+
+			MonitorEntry: 120,
+			MonitorExit:  120,
+			EmuOp:        180,
+			CSRXfer:      2,
+			PMPWrite:     12,
+		},
+	}
+}
+
+// PremierP550 returns the profile of the SiFive HiFive Premier P550 board:
+// four out-of-order P550 cores at 1.8 GHz with the hypervisor extension,
+// 16 PMP entries, and four documented custom CSRs. Like the VisionFive 2
+// it lacks Sstc and a non-trapping time CSR.
+func PremierP550() *Config {
+	return &Config{
+		Name:   "p550",
+		Harts:  4,
+		NumPMP: 16,
+		HasH:   true,
+		CustomCSRs: []uint16{
+			0x7C0, 0x7C1, 0x7C2, 0x7C3,
+		},
+		Mvendorid:     0x489,
+		Marchid:       0x8000000000000008,
+		Mimpid:        0x10000,
+		FreqMHz:       1800,
+		CyclesPerTick: 450,
+		Cost: CostModel{
+			// Out-of-order core: cheaper straight-line emulation work but a
+			// costlier pipeline flush on traps and world switches (Table 4
+			// shows exactly this inversion: 271 vs 483 emulation, 4098 vs
+			// 2704 world switch).
+			Instr:     1,
+			MemAccess: 1,
+			Branch:    1,
+			MulDiv:    2,
+			TrapEntry: 95,
+			XRet:      60,
+			TLBFlush:  220,
+			WFIIdle:   16,
+
+			MonitorEntry: 45,
+			MonitorExit:  45,
+			EmuOp:        26,
+			CSRXfer:      7,
+			PMPWrite:     35,
+		},
+	}
+}
+
+// RVA23 returns a profile of a next-generation CPU implementing the RVA23
+// profile: hardware time CSR, Sstc, and misaligned access support. On this
+// profile the paper predicts fast-path offloading is unnecessary (§3.4).
+func RVA23() *Config {
+	c := VisionFive2()
+	c.Name = "rva23"
+	c.HasSstc = true
+	c.HasTimeCSR = true
+	c.HWMisaligned = true
+	c.NumPMP = 16
+	return c
+}
+
+// Profiles returns the built-in platform profiles by name.
+func Profiles() map[string]func() *Config {
+	return map[string]func() *Config{
+		"visionfive2": VisionFive2,
+		"p550":        PremierP550,
+		"rva23":       RVA23,
+	}
+}

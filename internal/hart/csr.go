@@ -1,0 +1,181 @@
+package hart
+
+import (
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// CSRFile holds the hart's control and status registers. WARL legalization
+// is applied on writes, so stored values are always architecturally legal.
+// mip is split into a software-writable part (mipSW) and hardware lines
+// (hwLines, driven by the CLINT/PLIC each step); reads compose the two.
+type CSRFile struct {
+	cfg *Config
+
+	Mstatus       uint64
+	Misa          uint64
+	Medeleg       uint64
+	Mideleg       uint64
+	Mie           uint64
+	Mtvec         uint64
+	Mcounteren    uint64
+	Menvcfg       uint64
+	Mscratch      uint64
+	Mepc          uint64
+	Mcause        uint64
+	Mtval         uint64
+	Mtinst        uint64
+	Mtval2        uint64
+	Mseccfg       uint64
+	Mcountinhibit uint64
+
+	Stvec      uint64
+	Scounteren uint64
+	Senvcfg    uint64
+	Sscratch   uint64
+	Sepc       uint64
+	Scause     uint64
+	Stval      uint64
+	Satp       uint64
+	Stimecmp   uint64
+
+	// Hypervisor-extension shadow state (P550 profile; used by the ACE
+	// policy for confidential-VM world switches).
+	Hstatus, Hedeleg, Hideleg, Hie, Hcounteren, Hgeie uint64
+	Htval, Hip, Hvip, Htinst, Hgatp, Henvcfg          uint64
+	Vsstatus, Vsie, Vstvec, Vsscratch                 uint64
+	Vsepc, Vscause, Vstval, Vsip, Vsatp               uint64
+
+	Custom map[uint16]uint64
+
+	mipSW   uint64 // software-writable mip bits (SSIP, STIP, SEIP)
+	hwLines uint64 // interrupt lines from CLINT/PLIC (MSIP, MTIP, MEIP, SEIP)
+
+	PMP *pmp.File
+}
+
+// Writable-bit masks.
+const (
+	mstatusWritable = uint64(1)<<rv.MstatusSIE | 1<<rv.MstatusMIE |
+		1<<rv.MstatusSPIE | 1<<rv.MstatusMPIE | 1<<rv.MstatusSPP |
+		3<<rv.MstatusMPPLo | 1<<rv.MstatusMPRV | 1<<rv.MstatusSUM |
+		1<<rv.MstatusMXR | 1<<rv.MstatusTVM | 1<<rv.MstatusTW |
+		1<<rv.MstatusTSR
+	medelegMask = uint64(0xB3FF) // all exceptions except 10, 11, 14
+	midelegMask = rv.SIntMask
+	mieMask     = rv.MIntMask | rv.SIntMask
+	mipSWMask   = rv.SIntMask // SSIP, STIP, SEIP writable by M-mode
+	uxlFixed    = uint64(2)<<rv.MstatusUXLLo | 2<<rv.MstatusSXLLo
+)
+
+func newCSRFile(cfg *Config) CSRFile {
+	misa := rv.MisaMXL64 | rv.MisaI | rv.MisaM | rv.MisaA | rv.MisaS | rv.MisaU
+	if cfg.HasH {
+		misa |= rv.MisaH
+	}
+	c := CSRFile{
+		cfg:     cfg,
+		Misa:    misa,
+		Mstatus: uxlFixed,
+		PMP:     pmp.NewFile(cfg.NumPMP),
+		Custom:  make(map[uint16]uint64),
+	}
+	for _, n := range cfg.CustomCSRs {
+		c.Custom[n] = 0
+	}
+	return c
+}
+
+// SetHWLines installs the interrupt lines asserted by the platform
+// interrupt controllers this cycle.
+func (c *CSRFile) SetHWLines(lines uint64) {
+	c.hwLines = lines & (rv.MIntMask | 1<<rv.IntSExt)
+}
+
+// HWLines returns the currently asserted lines.
+func (c *CSRFile) HWLines() uint64 { return c.hwLines }
+
+// Mip composes the architectural mip value. time is the current mtime,
+// needed for the Sstc comparator when enabled.
+func (c *CSRFile) Mip(time uint64) uint64 {
+	v := c.mipSW | c.hwLines
+	if c.SstcEnabled() {
+		v &^= 1 << rv.IntSTimer
+		if time >= c.Stimecmp {
+			v |= 1 << rv.IntSTimer
+		}
+	}
+	return v
+}
+
+// SetMip writes the software-writable mip bits (M-mode view).
+func (c *CSRFile) SetMip(v uint64) {
+	mask := mipSWMask
+	if c.SstcEnabled() {
+		mask &^= 1 << rv.IntSTimer // STIP is read-only under Sstc
+	}
+	c.mipSW = c.mipSW&^mask | v&mask
+}
+
+// SstcEnabled reports whether the Sstc stimecmp comparator is active.
+func (c *CSRFile) SstcEnabled() bool {
+	return c.cfg.HasSstc && c.Menvcfg&(1<<63) != 0
+}
+
+// WriteMstatus applies the WARL rules for mstatus.
+func (c *CSRFile) WriteMstatus(v uint64) {
+	next := c.Mstatus&^mstatusWritable | v&mstatusWritable
+	// MPP must hold a supported mode; an illegal write keeps the old value.
+	if !rv.MPP(next).Valid() {
+		next = rv.WithMPP(next, rv.MPP(c.Mstatus))
+	}
+	// UXL/SXL are read-only 64-bit; FS/VS/XS hardwired 0 (no F/V), so SD=0.
+	next = next&^(3<<rv.MstatusUXLLo|3<<rv.MstatusSXLLo) | uxlFixed
+	c.Mstatus = next
+}
+
+// WriteSstatus applies a supervisor-view write to mstatus.
+func (c *CSRFile) WriteSstatus(v uint64) {
+	c.WriteMstatus(c.Mstatus&^rv.SstatusMask | v&rv.SstatusMask)
+}
+
+// Sstatus returns the supervisor view of mstatus.
+func (c *CSRFile) Sstatus() uint64 { return c.Mstatus & rv.SstatusMask }
+
+// legalizeTvec masks a tvec write: only direct (0) and vectored (1) modes
+// are supported; reserved modes legalize to direct.
+func legalizeTvec(v uint64) uint64 {
+	if v&3 > 1 {
+		v &^= 3
+	}
+	return v
+}
+
+// legalizeEpc clears the low bits of an epc write (IALIGN=32).
+func legalizeEpc(v uint64) uint64 { return v &^ 3 }
+
+// WriteSatp applies the WARL rule: writes programming an unsupported mode
+// are ignored entirely.
+func (c *CSRFile) WriteSatp(v uint64) {
+	switch rv.SatpMode(v) {
+	case rv.SatpModeBare, rv.SatpModeSv39:
+		c.Satp = v
+	}
+}
+
+// Sie returns the supervisor view of mie.
+func (c *CSRFile) Sie() uint64 { return c.Mie & c.Mideleg }
+
+// WriteSie updates the delegated bits of mie.
+func (c *CSRFile) WriteSie(v uint64) {
+	c.Mie = c.Mie&^c.Mideleg | v&c.Mideleg
+}
+
+// Sip returns the supervisor view of mip.
+func (c *CSRFile) Sip(time uint64) uint64 { return c.Mip(time) & c.Mideleg }
+
+// WriteSip updates the S-writable bit of mip (only SSIP is S-writable).
+func (c *CSRFile) WriteSip(v uint64) {
+	mask := c.Mideleg & (1 << rv.IntSSoft)
+	c.mipSW = c.mipSW&^mask | v&mask
+}

@@ -1,0 +1,369 @@
+package hart
+
+import (
+	"govfm/internal/rv"
+)
+
+// csrExists reports whether the CSR is implemented on this platform.
+func (h *Hart) csrExists(n uint16) bool {
+	switch n {
+	case rv.CSRMstatus, rv.CSRMisa, rv.CSRMedeleg, rv.CSRMideleg, rv.CSRMie,
+		rv.CSRMtvec, rv.CSRMcounteren, rv.CSRMenvcfg, rv.CSRMscratch,
+		rv.CSRMepc, rv.CSRMcause, rv.CSRMtval, rv.CSRMip, rv.CSRMseccfg,
+		rv.CSRMvendorid, rv.CSRMarchid, rv.CSRMimpid, rv.CSRMhartid,
+		rv.CSRMconfigptr, rv.CSRMcycle, rv.CSRMinstret, rv.CSRMcountinhibit,
+		rv.CSRSstatus, rv.CSRSie, rv.CSRStvec, rv.CSRScounteren,
+		rv.CSRSenvcfg, rv.CSRSscratch, rv.CSRSepc, rv.CSRScause,
+		rv.CSRStval, rv.CSRSip, rv.CSRSatp,
+		rv.CSRCycle, rv.CSRInstret:
+		return true
+	case rv.CSRTime:
+		return h.Cfg.HasTimeCSR
+	case rv.CSRStimecmp:
+		return h.Cfg.HasSstc
+	case rv.CSRMtinst, rv.CSRMtval2,
+		rv.CSRHstatus, rv.CSRHedeleg, rv.CSRHideleg, rv.CSRHie,
+		rv.CSRHcounteren, rv.CSRHgeie, rv.CSRHtval, rv.CSRHip, rv.CSRHvip,
+		rv.CSRHtinst, rv.CSRHenvcfg, rv.CSRHgatp, rv.CSRHgeip,
+		rv.CSRVsstatus, rv.CSRVsie, rv.CSRVstvec, rv.CSRVsscratch,
+		rv.CSRVsepc, rv.CSRVscause, rv.CSRVstval, rv.CSRVsip, rv.CSRVsatp:
+		return h.Cfg.HasH
+	}
+	if i, ok := rv.IsPmpaddr(n); ok {
+		return i < h.Cfg.NumPMP
+	}
+	if i, ok := rv.IsPmpcfg(n); ok {
+		return i%2 == 0 && i*4 < h.Cfg.NumPMP
+	}
+	if rv.IsHpmcounter(n) {
+		return true // hardwired-zero counters
+	}
+	return h.Cfg.HasCustomCSR(n)
+}
+
+// csrPermitted checks the privilege and counter-enable gates for access.
+func (h *Hart) csrPermitted(n uint16) bool {
+	if h.Mode < rv.CSRPriv(n) {
+		return false
+	}
+	// Counter-enable gating for the unprivileged counters.
+	switch n {
+	case rv.CSRCycle, rv.CSRTime, rv.CSRInstret:
+		bit := uint(n - rv.CSRCycle)
+		if h.Mode < rv.ModeM && rv.Bit(h.CSR.Mcounteren, bit) == 0 {
+			return false
+		}
+		if h.Mode == rv.ModeU && rv.Bit(h.CSR.Scounteren, bit) == 0 {
+			return false
+		}
+	case rv.CSRSatp:
+		// TVM traps satp access from S-mode.
+		if h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTVM) != 0 {
+			return false
+		}
+	case rv.CSRStimecmp:
+		// Sstc access from S-mode requires menvcfg.STCE.
+		if h.Mode == rv.ModeS && !h.CSR.SstcEnabled() {
+			return false
+		}
+	}
+	return true
+}
+
+// csrRead returns the CSR value or an illegal-instruction exception.
+func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
+	if !h.csrExists(n) || !h.csrPermitted(n) {
+		return 0, exc(rv.ExcIllegalInstr, 0)
+	}
+	c := &h.CSR
+	switch n {
+	case rv.CSRMstatus:
+		return c.Mstatus, nil
+	case rv.CSRMisa:
+		return c.Misa, nil
+	case rv.CSRMedeleg:
+		return c.Medeleg, nil
+	case rv.CSRMideleg:
+		return c.Mideleg, nil
+	case rv.CSRMie:
+		return c.Mie, nil
+	case rv.CSRMtvec:
+		return c.Mtvec, nil
+	case rv.CSRMcounteren:
+		return c.Mcounteren, nil
+	case rv.CSRMenvcfg:
+		return c.Menvcfg, nil
+	case rv.CSRMscratch:
+		return c.Mscratch, nil
+	case rv.CSRMepc:
+		return c.Mepc, nil
+	case rv.CSRMcause:
+		return c.Mcause, nil
+	case rv.CSRMtval:
+		return c.Mtval, nil
+	case rv.CSRMip:
+		return c.Mip(h.Time()), nil
+	case rv.CSRMtinst:
+		return c.Mtinst, nil
+	case rv.CSRMtval2:
+		return c.Mtval2, nil
+	case rv.CSRMseccfg:
+		return c.Mseccfg, nil
+	case rv.CSRMvendorid:
+		return h.Cfg.Mvendorid, nil
+	case rv.CSRMarchid:
+		return h.Cfg.Marchid, nil
+	case rv.CSRMimpid:
+		return h.Cfg.Mimpid, nil
+	case rv.CSRMhartid:
+		return uint64(h.ID), nil
+	case rv.CSRMconfigptr:
+		return 0, nil
+	case rv.CSRMcycle, rv.CSRCycle:
+		return h.Cycles, nil
+	case rv.CSRMinstret, rv.CSRInstret:
+		return h.Instret, nil
+	case rv.CSRTime:
+		return h.Time(), nil
+	case rv.CSRMcountinhibit:
+		return c.Mcountinhibit, nil
+	case rv.CSRSstatus:
+		return c.Sstatus(), nil
+	case rv.CSRSie:
+		return c.Sie(), nil
+	case rv.CSRStvec:
+		return c.Stvec, nil
+	case rv.CSRScounteren:
+		return c.Scounteren, nil
+	case rv.CSRSenvcfg:
+		return c.Senvcfg, nil
+	case rv.CSRSscratch:
+		return c.Sscratch, nil
+	case rv.CSRSepc:
+		return c.Sepc, nil
+	case rv.CSRScause:
+		return c.Scause, nil
+	case rv.CSRStval:
+		return c.Stval, nil
+	case rv.CSRSip:
+		return c.Sip(h.Time()), nil
+	case rv.CSRSatp:
+		return c.Satp, nil
+	case rv.CSRStimecmp:
+		return c.Stimecmp, nil
+	case rv.CSRHstatus:
+		return c.Hstatus, nil
+	case rv.CSRHedeleg:
+		return c.Hedeleg, nil
+	case rv.CSRHideleg:
+		return c.Hideleg, nil
+	case rv.CSRHie:
+		return c.Hie, nil
+	case rv.CSRHcounteren:
+		return c.Hcounteren, nil
+	case rv.CSRHgeie:
+		return c.Hgeie, nil
+	case rv.CSRHtval:
+		return c.Htval, nil
+	case rv.CSRHip:
+		return c.Hip, nil
+	case rv.CSRHvip:
+		return c.Hvip, nil
+	case rv.CSRHtinst:
+		return c.Htinst, nil
+	case rv.CSRHenvcfg:
+		return c.Henvcfg, nil
+	case rv.CSRHgatp:
+		return c.Hgatp, nil
+	case rv.CSRHgeip:
+		return 0, nil
+	case rv.CSRVsstatus:
+		return c.Vsstatus, nil
+	case rv.CSRVsie:
+		return c.Vsie, nil
+	case rv.CSRVstvec:
+		return c.Vstvec, nil
+	case rv.CSRVsscratch:
+		return c.Vsscratch, nil
+	case rv.CSRVsepc:
+		return c.Vsepc, nil
+	case rv.CSRVscause:
+		return c.Vscause, nil
+	case rv.CSRVstval:
+		return c.Vstval, nil
+	case rv.CSRVsip:
+		return c.Vsip, nil
+	case rv.CSRVsatp:
+		return c.Vsatp, nil
+	}
+	if i, ok := rv.IsPmpaddr(n); ok {
+		return c.PMP.Addr(i), nil
+	}
+	if i, ok := rv.IsPmpcfg(n); ok {
+		return c.PMP.CfgReg(i), nil
+	}
+	if rv.IsHpmcounter(n) {
+		return 0, nil
+	}
+	if v, ok := c.Custom[n]; ok {
+		return v, nil
+	}
+	return 0, exc(rv.ExcIllegalInstr, 0)
+}
+
+// csrWrite stores a value into the CSR, applying WARL legalization, or
+// returns an illegal-instruction exception.
+func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
+	if !h.csrExists(n) || !h.csrPermitted(n) || rv.CSRReadOnly(n) {
+		return exc(rv.ExcIllegalInstr, 0)
+	}
+	c := &h.CSR
+	switch n {
+	case rv.CSRMstatus:
+		c.WriteMstatus(v)
+	case rv.CSRMisa:
+		// misa is WARL; this implementation hardwires it.
+	case rv.CSRMedeleg:
+		c.Medeleg = v & medelegMask
+	case rv.CSRMideleg:
+		c.Mideleg = v & midelegMask
+	case rv.CSRMie:
+		c.Mie = v & mieMask
+	case rv.CSRMtvec:
+		c.Mtvec = legalizeTvec(v)
+	case rv.CSRMcounteren:
+		c.Mcounteren = v & 0xFFFF_FFFF
+	case rv.CSRMenvcfg:
+		var mask uint64
+		if h.Cfg.HasSstc {
+			mask |= 1 << 63 // STCE
+		}
+		c.Menvcfg = v & mask
+	case rv.CSRMscratch:
+		c.Mscratch = v
+	case rv.CSRMepc:
+		c.Mepc = legalizeEpc(v)
+	case rv.CSRMcause:
+		c.Mcause = v
+	case rv.CSRMtval:
+		c.Mtval = v
+	case rv.CSRMip:
+		c.SetMip(v)
+	case rv.CSRMtinst:
+		c.Mtinst = v
+	case rv.CSRMtval2:
+		c.Mtval2 = v
+	case rv.CSRMseccfg:
+		c.Mseccfg = v & 0x7 // MML/MMWP/RLB only
+	case rv.CSRMcycle:
+		h.Cycles = v
+	case rv.CSRMinstret:
+		h.Instret = v
+	case rv.CSRMcountinhibit:
+		c.Mcountinhibit = v & 0xFFFF_FFFD // bit 1 (time) not inhibitable
+	case rv.CSRSstatus:
+		c.WriteSstatus(v)
+	case rv.CSRSie:
+		c.WriteSie(v)
+	case rv.CSRStvec:
+		c.Stvec = legalizeTvec(v)
+	case rv.CSRScounteren:
+		c.Scounteren = v & 0xFFFF_FFFF
+	case rv.CSRSenvcfg:
+		c.Senvcfg = v & 1 // FIOM only
+	case rv.CSRSscratch:
+		c.Sscratch = v
+	case rv.CSRSepc:
+		c.Sepc = legalizeEpc(v)
+	case rv.CSRScause:
+		c.Scause = v
+	case rv.CSRStval:
+		c.Stval = v
+	case rv.CSRSip:
+		if h.Mode == rv.ModeM {
+			c.SetMip(v) // M-mode writes through sip reach all SW bits
+		} else {
+			c.WriteSip(v)
+		}
+	case rv.CSRSatp:
+		c.WriteSatp(v)
+		h.charge(h.Cfg.Cost.TLBFlush)
+	case rv.CSRStimecmp:
+		c.Stimecmp = v
+	case rv.CSRHstatus:
+		c.Hstatus = v
+	case rv.CSRHedeleg:
+		c.Hedeleg = v
+	case rv.CSRHideleg:
+		c.Hideleg = v
+	case rv.CSRHie:
+		c.Hie = v
+	case rv.CSRHcounteren:
+		c.Hcounteren = v & 0xFFFF_FFFF
+	case rv.CSRHgeie:
+		c.Hgeie = v
+	case rv.CSRHtval:
+		c.Htval = v
+	case rv.CSRHip:
+		c.Hip = v
+	case rv.CSRHvip:
+		c.Hvip = v
+	case rv.CSRHtinst:
+		c.Htinst = v
+	case rv.CSRHenvcfg:
+		c.Henvcfg = v
+	case rv.CSRHgatp:
+		c.Hgatp = v
+	case rv.CSRVsstatus:
+		c.Vsstatus = v
+	case rv.CSRVsie:
+		c.Vsie = v
+	case rv.CSRVstvec:
+		c.Vstvec = legalizeTvec(v)
+	case rv.CSRVsscratch:
+		c.Vsscratch = v
+	case rv.CSRVsepc:
+		c.Vsepc = legalizeEpc(v)
+	case rv.CSRVscause:
+		c.Vscause = v
+	case rv.CSRVstval:
+		c.Vstval = v
+	case rv.CSRVsip:
+		c.Vsip = v
+	case rv.CSRVsatp:
+		c.Vsatp = v
+	default:
+		if i, ok := rv.IsPmpaddr(n); ok {
+			c.PMP.SetAddr(i, v)
+			h.charge(h.Cfg.Cost.TLBFlush)
+			return nil
+		}
+		if i, ok := rv.IsPmpcfg(n); ok {
+			c.PMP.SetCfgReg(i, v)
+			h.charge(h.Cfg.Cost.TLBFlush)
+			return nil
+		}
+		if rv.IsHpmcounter(n) {
+			return nil // hardwired zero
+		}
+		if _, ok := c.Custom[n]; ok {
+			c.Custom[n] = v
+			return nil
+		}
+		return exc(rv.ExcIllegalInstr, 0)
+	}
+	return nil
+}
+
+// CSRRead exposes CSR reads to the monitor (M-mode software view).
+func (h *Hart) CSRRead(n uint16) (uint64, bool) {
+	v, ei := h.csrRead(n)
+	return v, ei == nil
+}
+
+// CSRWrite exposes CSR writes to the monitor (M-mode software view).
+// The monitor calls this while the hart is in M-mode, so privilege checks
+// pass exactly as they would for Miralis's own csrw instructions.
+func (h *Hart) CSRWrite(n uint16, v uint64) bool {
+	return h.csrWrite(n, v) == nil
+}

@@ -1,0 +1,308 @@
+package hart
+
+import (
+	"testing"
+
+	"govfm/internal/asm"
+	"govfm/internal/rv"
+)
+
+// These tests pin down the trap-virtualization status bits (TSR, TW, TVM),
+// vectored trap entry, platform-custom CSRs, and the remaining A-extension
+// and counter corners.
+
+func TestTSRTrapsSretFromS(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		pmpOpen(a)
+		// Set TSR, drop to S, attempt sret.
+		a.Li(asm.T1, 1<<rv.MstatusTSR)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T1)
+		a.La(asm.T0, "svisor")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Li(asm.T3, 1<<11)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Mret()
+		a.Label("svisor")
+		a.Sret() // must trap: TSR
+		a.Label("handler")
+		a.Csrr(asm.S0, rv.CSRMcause)
+		a.Csrr(asm.S1, rv.CSRMtval)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcIllegalInstr {
+		t.Errorf("mcause %d", h.Regs[asm.S0])
+	}
+	if h.Regs[asm.S1] != uint64(rv.InstrSret) {
+		t.Errorf("mtval %#x", h.Regs[asm.S1])
+	}
+}
+
+func TestTWTrapsWfiFromS(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		pmpOpen(a)
+		a.Li(asm.T1, 1<<rv.MstatusTW)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T1)
+		a.La(asm.T0, "svisor")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Li(asm.T3, 1<<11)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Mret()
+		a.Label("svisor")
+		a.Wfi() // must trap: TW
+		a.Label("handler")
+		a.Csrr(asm.S0, rv.CSRMcause)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcIllegalInstr {
+		t.Errorf("mcause %d", h.Regs[asm.S0])
+	}
+}
+
+func TestTVMTrapsSatpAndSfence(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		pmpOpen(a)
+		a.Li(asm.T1, 1<<rv.MstatusTVM)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T1)
+		a.La(asm.T0, "svisor")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Li(asm.T3, 1<<11)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Li(asm.S2, 0) // trap counter
+		a.Mret()
+		a.Label("svisor")
+		a.Csrr(asm.T0, rv.CSRSatp)  // must trap: TVM
+		a.SfenceVMA(asm.X0, asm.X0) // must trap: TVM
+		a.Li(asm.T6, 1)
+		exit(a)
+		a.Label("handler")
+		// Count the trap, skip the instruction, return to S.
+		a.Addi(asm.S2, asm.S2, 1)
+		a.Csrr(asm.T4, rv.CSRMepc)
+		a.Addi(asm.T4, asm.T4, 4)
+		a.Csrw(rv.CSRMepc, asm.T4)
+		a.Mret()
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S2] != 2 {
+		t.Errorf("TVM must trap both satp access and sfence.vma, got %d traps", h.Regs[asm.S2])
+	}
+}
+
+func TestVectoredInterruptEntry(t *testing.T) {
+	m, h := run(t, 200000, func(a *asm.Asm) {
+		// mtvec vectored: base at "vtable", mode 1. The machine-timer
+		// entry is at base + 4*7.
+		a.La(asm.T0, "vtable")
+		a.Ori(asm.T0, asm.T0, 1)
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Li(asm.S1, ClintBase+0xBFF8)
+		a.Ld(asm.T1, asm.S1, 0)
+		a.Addi(asm.T1, asm.T1, 5)
+		a.Li(asm.S2, ClintBase+0x4000)
+		a.Sd(asm.T1, asm.S2, 0)
+		a.Li(asm.T2, 1<<rv.IntMTimer)
+		a.Csrw(rv.CSRMie, asm.T2)
+		a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+		a.Label("wait")
+		a.Wfi()
+		a.J("wait")
+		a.Align(128) // vector table alignment
+		a.Label("vtable")
+		for i := 0; i < 16; i++ {
+			if i == rv.IntMTimer {
+				a.J("timer_entry")
+			} else {
+				a.J("wrong_entry")
+			}
+		}
+		a.Label("timer_entry")
+		a.Li(asm.S3, 0x600D)
+		exit(a)
+		a.Label("wrong_entry")
+		a.Li(asm.T6, ExitBase)
+		a.Li(asm.T5, ExitFail)
+		a.Sd(asm.T5, asm.T6, 0)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S3] != 0x600D {
+		t.Error("vectored interrupt must land on the per-cause entry")
+	}
+}
+
+func TestVectoredExceptionsUseBase(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		a.La(asm.T0, "vtable")
+		a.Ori(asm.T0, asm.T0, 1)
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Word(0xFFFFFFFF) // illegal: exceptions vector to base even in vectored mode
+		a.Align(128)
+		a.Label("vtable")
+		a.Li(asm.S3, 0xBA5E)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S3] != 0xBA5E {
+		t.Error("exceptions must use the vector base")
+	}
+}
+
+func TestCustomCSRsOnP550(t *testing.T) {
+	cfg := PremierP550()
+	cfg.Harts = 1
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asm.New(DramBase)
+	// Write and read back a custom speculation-control CSR.
+	a.Li(asm.T0, 0x1234)
+	a.Csrw(0x7C0, asm.T0)
+	a.Csrr(asm.A0, 0x7C0)
+	a.Csrr(asm.A1, 0x7C3) // err_status reads back zero
+	exit(a)
+	if err := m.LoadImage(DramBase, a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(1000)
+	mustHalt(t, m)
+	if m.Harts[0].Regs[asm.A0] != 0x1234 {
+		t.Errorf("custom CSR readback %#x", m.Harts[0].Regs[asm.A0])
+	}
+	if m.Harts[0].Regs[asm.A1] != 0 {
+		t.Errorf("err_status = %#x", m.Harts[0].Regs[asm.A1])
+	}
+}
+
+func TestCustomCSRsAbsentOnVF2(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Csrr(asm.A0, 0x7C0) // not implemented on the VisionFive 2
+		a.Label("handler")
+		a.Csrr(asm.S0, rv.CSRMcause)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcIllegalInstr {
+		t.Errorf("mcause %d", h.Regs[asm.S0])
+	}
+}
+
+func TestLRSCReservationInvalidation(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.Li(asm.S0, DramBase+0x2000)
+		a.Li(asm.T0, 7)
+		a.Sd(asm.T0, asm.S0, 0)
+		// LR, then an intervening store to the same address kills the
+		// reservation: SC must fail.
+		a.LrD(asm.T1, asm.S0)
+		a.Li(asm.T2, 9)
+		a.Sd(asm.T2, asm.S0, 0)
+		a.Li(asm.T3, 11)
+		a.ScD(asm.A0, asm.S0, asm.T3) // a0 = 1 (failure)
+		a.Ld(asm.A1, asm.S0, 0)       // memory holds 9
+		// Word-sized LR/SC pair succeeds.
+		a.LrW(asm.T1, asm.S0)
+		a.Li(asm.T3, 13)
+		a.ScW(asm.A2, asm.S0, asm.T3) // a2 = 0 (success)
+		a.Lw(asm.A3, asm.S0, 0)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A0] != 1 {
+		t.Error("sc after intervening store must fail")
+	}
+	if h.Regs[asm.A1] != 9 {
+		t.Errorf("memory = %d", h.Regs[asm.A1])
+	}
+	if h.Regs[asm.A2] != 0 || h.Regs[asm.A3] != 13 {
+		t.Error("word-sized lr/sc pair must succeed")
+	}
+}
+
+func TestWordAMOs(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.Li(asm.S0, DramBase+0x2000)
+		a.Li(asm.T0, 0xFFFFFFFF) // -1 as a word
+		a.Sw(asm.T0, asm.S0, 0)
+		a.Li(asm.T1, 1)
+		a.AmoaddW(asm.A0, asm.S0, asm.T1) // returns sign-extended -1, mem=0
+		a.Lw(asm.A1, asm.S0, 0)
+		a.Li(asm.T2, 0x55)
+		a.AmoswapW(asm.A2, asm.S0, asm.T2) // returns 0, mem=0x55
+		a.Lw(asm.A3, asm.S0, 0)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A0] != ^uint64(0) {
+		t.Errorf("amoadd.w old value %#x, want sign-extended -1", h.Regs[asm.A0])
+	}
+	if h.Regs[asm.A1] != 0 {
+		t.Errorf("memory after amoadd.w = %#x", h.Regs[asm.A1])
+	}
+	if h.Regs[asm.A2] != 0 || h.Regs[asm.A3] != 0x55 {
+		t.Error("amoswap.w wrong")
+	}
+}
+
+func TestMisalignedAMOAlwaysTraps(t *testing.T) {
+	// AMOs require natural alignment even on HW-misaligned platforms.
+	cfg := RVA23()
+	cfg.Harts = 1
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asm.New(DramBase)
+	a.La(asm.T0, "handler")
+	a.Csrw(rv.CSRMtvec, asm.T0)
+	a.Li(asm.S0, DramBase+0x2001)
+	a.Li(asm.T1, 1)
+	a.AmoaddD(asm.A0, asm.S0, asm.T1)
+	a.Label("handler")
+	a.Csrr(asm.S1, rv.CSRMcause)
+	exit(a)
+	if err := m.LoadImage(DramBase, a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(1000)
+	mustHalt(t, m)
+	if m.Harts[0].Regs[asm.S1] != rv.ExcLoadAddrMisaligned {
+		t.Errorf("mcause %d, want misaligned", m.Harts[0].Regs[asm.S1])
+	}
+}
+
+func TestCounterWriteFromM(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.Li(asm.T0, 1_000_000)
+		a.Csrw(rv.CSRMcycle, asm.T0)
+		a.Csrr(asm.A0, rv.CSRMcycle)
+		a.Li(asm.T0, 500)
+		a.Csrw(rv.CSRMinstret, asm.T0)
+		a.Csrr(asm.A1, rv.CSRMinstret)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A0] < 1_000_000 {
+		t.Errorf("mcycle after write = %d", h.Regs[asm.A0])
+	}
+	if h.Regs[asm.A1] < 500 || h.Regs[asm.A1] > 520 {
+		t.Errorf("minstret after write = %d", h.Regs[asm.A1])
+	}
+}

@@ -1,0 +1,596 @@
+package hart
+
+import (
+	"govfm/internal/mem"
+	"govfm/internal/rv"
+)
+
+// execute decodes and executes one instruction. On success it retires the
+// instruction (PC and instret update); on an exception it performs trap
+// entry with the PC still pointing at the faulting instruction.
+func (h *Hart) execute(raw uint32) {
+	h.charge(h.Cfg.Cost.Instr)
+	next := h.PC + 4
+	var ei *Exc
+
+	op := rv.OpcodeOf(raw)
+	rd := rv.RdOf(raw)
+	rs1 := rv.Rs1Of(raw)
+	rs2 := rv.Rs2Of(raw)
+	f3 := rv.Funct3Of(raw)
+	f7 := rv.Funct7Of(raw)
+
+	switch op {
+	case rv.OpLui:
+		h.SetReg(rd, rv.ImmU(raw))
+	case rv.OpAuipc:
+		h.SetReg(rd, h.PC+rv.ImmU(raw))
+	case rv.OpJal:
+		h.SetReg(rd, h.PC+4)
+		next = h.PC + rv.ImmJ(raw)
+		h.charge(h.Cfg.Cost.Branch)
+	case rv.OpJalr:
+		if f3 != 0 {
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			break
+		}
+		t := h.Reg(rs1) + rv.ImmI(raw)
+		h.SetReg(rd, h.PC+4)
+		next = t &^ 1
+		h.charge(h.Cfg.Cost.Branch)
+	case rv.OpBranch:
+		a, b := h.Reg(rs1), h.Reg(rs2)
+		var take bool
+		switch f3 {
+		case 0:
+			take = a == b
+		case 1:
+			take = a != b
+		case 4:
+			take = int64(a) < int64(b)
+		case 5:
+			take = int64(a) >= int64(b)
+		case 6:
+			take = a < b
+		case 7:
+			take = a >= b
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+		if ei == nil && take {
+			next = h.PC + rv.ImmB(raw)
+			h.charge(h.Cfg.Cost.Branch)
+		}
+	case rv.OpLoad:
+		va := h.Reg(rs1) + rv.ImmI(raw)
+		var v uint64
+		switch f3 {
+		case 0: // lb
+			v, ei = h.loadExt(va, 1, true)
+		case 1: // lh
+			v, ei = h.loadExt(va, 2, true)
+		case 2: // lw
+			v, ei = h.loadExt(va, 4, true)
+		case 3: // ld
+			v, ei = h.loadExt(va, 8, false)
+		case 4: // lbu
+			v, ei = h.loadExt(va, 1, false)
+		case 5: // lhu
+			v, ei = h.loadExt(va, 2, false)
+		case 6: // lwu
+			v, ei = h.loadExt(va, 4, false)
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+		if ei == nil {
+			h.SetReg(rd, v)
+		}
+	case rv.OpStore:
+		va := h.Reg(rs1) + rv.ImmS(raw)
+		switch f3 {
+		case 0, 1, 2, 3:
+			_, ei = h.MemAccess(va, 1<<f3, mem.Write, h.Reg(rs2), false)
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+	case rv.OpImm:
+		imm := rv.ImmI(raw)
+		a := h.Reg(rs1)
+		switch f3 {
+		case 0:
+			h.SetReg(rd, a+imm)
+		case 1:
+			if raw>>26 != 0 {
+				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+				break
+			}
+			h.SetReg(rd, a<<(imm&63))
+		case 2:
+			h.SetReg(rd, boolTo64(int64(a) < int64(imm)))
+		case 3:
+			h.SetReg(rd, boolTo64(a < imm))
+		case 4:
+			h.SetReg(rd, a^imm)
+		case 5:
+			sh := imm & 63
+			switch raw >> 26 {
+			case 0:
+				h.SetReg(rd, a>>sh)
+			case 0x10:
+				h.SetReg(rd, uint64(int64(a)>>sh))
+			default:
+				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+		case 6:
+			h.SetReg(rd, a|imm)
+		case 7:
+			h.SetReg(rd, a&imm)
+		}
+	case rv.OpImm32:
+		imm := rv.ImmI(raw)
+		a := h.Reg(rs1)
+		switch f3 {
+		case 0: // addiw
+			h.SetReg(rd, rv.SignExtend(uint64(uint32(a+imm)), 32))
+		case 1: // slliw
+			if f7 != 0 {
+				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+				break
+			}
+			h.SetReg(rd, rv.SignExtend(uint64(uint32(a)<<(imm&31)), 32))
+		case 5:
+			sh := imm & 31
+			switch f7 {
+			case 0: // srliw
+				h.SetReg(rd, rv.SignExtend(uint64(uint32(a)>>sh), 32))
+			case 0x20: // sraiw
+				h.SetReg(rd, rv.SignExtend(uint64(int32(a)>>sh), 32))
+			default:
+				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+	case rv.OpReg:
+		a, b := h.Reg(rs1), h.Reg(rs2)
+		switch {
+		case f7 == 0x01: // M extension
+			h.charge(h.Cfg.Cost.MulDiv)
+			h.SetReg(rd, mulDiv64(f3, a, b))
+		case f7 == 0x00 || f7 == 0x20:
+			var v uint64
+			v, ei = aluOp(f3, f7, a, b, raw)
+			if ei == nil {
+				h.SetReg(rd, v)
+			}
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+	case rv.OpReg32:
+		a, b := h.Reg(rs1), h.Reg(rs2)
+		switch {
+		case f7 == 0x01: // M extension, word forms
+			h.charge(h.Cfg.Cost.MulDiv)
+			var v uint64
+			v, ei = mulDiv32(f3, a, b, raw)
+			if ei == nil {
+				h.SetReg(rd, v)
+			}
+		case f7 == 0x00 || f7 == 0x20:
+			var v uint64
+			v, ei = aluOp32(f3, f7, a, b, raw)
+			if ei == nil {
+				h.SetReg(rd, v)
+			}
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+	case rv.OpMiscMem:
+		switch f3 {
+		case 0: // fence: no-op in this memory model
+		case 1: // fence.i
+		default:
+			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+	case rv.OpAmo:
+		var v uint64
+		v, ei = h.amo(raw, f3, f7>>2, rs1, rs2)
+		if ei == nil {
+			h.SetReg(rd, v)
+		}
+	case rv.OpSystem:
+		next, ei = h.system(raw, f3, rd, rs1, rs2, f7, next)
+	default:
+		ei = exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+
+	if ei != nil {
+		h.Exception(ei.Cause, ei.Tval)
+		return
+	}
+	h.PC = next
+	h.Instret++
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (h *Hart) loadExt(va uint64, size int, signed bool) (uint64, *Exc) {
+	v, ei := h.MemAccess(va, size, mem.Read, 0, false)
+	if ei != nil {
+		return 0, ei
+	}
+	if signed {
+		v = rv.SignExtend(v, uint(8*size))
+	}
+	return v, nil
+}
+
+func aluOp(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
+	switch {
+	case f3 == 0 && f7 == 0:
+		return a + b, nil
+	case f3 == 0 && f7 == 0x20:
+		return a - b, nil
+	case f3 == 1 && f7 == 0:
+		return a << (b & 63), nil
+	case f3 == 2 && f7 == 0:
+		return boolTo64(int64(a) < int64(b)), nil
+	case f3 == 3 && f7 == 0:
+		return boolTo64(a < b), nil
+	case f3 == 4 && f7 == 0:
+		return a ^ b, nil
+	case f3 == 5 && f7 == 0:
+		return a >> (b & 63), nil
+	case f3 == 5 && f7 == 0x20:
+		return uint64(int64(a) >> (b & 63)), nil
+	case f3 == 6 && f7 == 0:
+		return a | b, nil
+	case f3 == 7 && f7 == 0:
+		return a & b, nil
+	}
+	return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+}
+
+func aluOp32(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
+	switch {
+	case f3 == 0 && f7 == 0:
+		return rv.SignExtend(uint64(uint32(a)+uint32(b)), 32), nil
+	case f3 == 0 && f7 == 0x20:
+		return rv.SignExtend(uint64(uint32(a)-uint32(b)), 32), nil
+	case f3 == 1 && f7 == 0:
+		return rv.SignExtend(uint64(uint32(a)<<(b&31)), 32), nil
+	case f3 == 5 && f7 == 0:
+		return rv.SignExtend(uint64(uint32(a)>>(b&31)), 32), nil
+	case f3 == 5 && f7 == 0x20:
+		return rv.SignExtend(uint64(int32(a)>>(b&31)), 32), nil
+	}
+	return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+}
+
+func mulDiv64(f3 uint32, a, b uint64) uint64 {
+	switch f3 {
+	case 0: // mul
+		return a * b
+	case 1: // mulh
+		return uint64(mulh64(int64(a), int64(b)))
+	case 2: // mulhsu
+		return mulhsu64(int64(a), b)
+	case 3: // mulhu
+		return mulhu64(a, b)
+	case 4: // div
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a // overflow: result = dividend
+		}
+		return uint64(int64(a) / int64(b))
+	case 5: // divu
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case 6: // rem
+		if b == 0 {
+			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case 7: // remu
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+	return 0
+}
+
+func mulDiv32(f3 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
+	x, y := int32(a), int32(b)
+	switch f3 {
+	case 0: // mulw
+		return rv.SignExtend(uint64(uint32(x*y)), 32), nil
+	case 4: // divw
+		if y == 0 {
+			return ^uint64(0), nil
+		}
+		if x == -1<<31 && y == -1 {
+			return rv.SignExtend(uint64(uint32(x)), 32), nil
+		}
+		return rv.SignExtend(uint64(uint32(x/y)), 32), nil
+	case 5: // divuw
+		if uint32(b) == 0 {
+			return ^uint64(0), nil
+		}
+		return rv.SignExtend(uint64(uint32(a)/uint32(b)), 32), nil
+	case 6: // remw
+		if y == 0 {
+			return rv.SignExtend(uint64(uint32(x)), 32), nil
+		}
+		if x == -1<<31 && y == -1 {
+			return 0, nil
+		}
+		return rv.SignExtend(uint64(uint32(x%y)), 32), nil
+	case 7: // remuw
+		if uint32(b) == 0 {
+			return rv.SignExtend(uint64(uint32(a)), 32), nil
+		}
+		return rv.SignExtend(uint64(uint32(a)%uint32(b)), 32), nil
+	}
+	return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+}
+
+// 128-bit high-multiply helpers.
+func mulhu64(a, b uint64) uint64 {
+	aLo, aHi := a&0xFFFFFFFF, a>>32
+	bLo, bHi := b&0xFFFFFFFF, b>>32
+	t := aLo*bLo>>32 + aHi*bLo
+	u := t&0xFFFFFFFF + aLo*bHi
+	return aHi*bHi + t>>32 + u>>32
+}
+
+func mulh64(a, b int64) int64 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := mulhu64(ua, ub), ua*ub
+	if neg {
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	return int64(hi)
+}
+
+func mulhsu64(a int64, b uint64) uint64 {
+	if a >= 0 {
+		return mulhu64(uint64(a), b)
+	}
+	ua := uint64(-a)
+	hi, lo := mulhu64(ua, b), ua*b
+	hi = ^hi
+	if lo == 0 {
+		hi++
+	}
+	return hi
+}
+
+// amo executes the A-extension instructions. AMOs and LR/SC require natural
+// alignment regardless of platform misaligned-access support.
+func (h *Hart) amo(raw, f3 uint32, f5 uint32, rs1, rs2 uint32) (uint64, *Exc) {
+	var size int
+	switch f3 {
+	case 2:
+		size = 4
+	case 3:
+		size = 8
+	default:
+		return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+	va := h.Reg(rs1)
+	switch f5 {
+	case 0x02: // lr
+		if rs2 != 0 {
+			return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+		}
+		v, ei := h.MemAccess(va, size, mem.Read, 0, true)
+		if ei != nil {
+			return 0, ei
+		}
+		h.resValid, h.resAddr = true, va
+		if size == 4 {
+			v = rv.SignExtend(v, 32)
+		}
+		return v, nil
+	case 0x03: // sc
+		if !h.resValid || h.resAddr != va {
+			h.resValid = false
+			// Still must be a valid access; probe alignment.
+			if va%uint64(size) != 0 {
+				return 0, exc(rv.ExcStoreAddrMisaligned, va)
+			}
+			return 1, nil // failure
+		}
+		h.resValid = false
+		_, ei := h.MemAccess(va, size, mem.Write, h.Reg(rs2), true)
+		if ei != nil {
+			return 0, ei
+		}
+		return 0, nil // success
+	}
+	// Read-modify-write AMOs.
+	old, ei := h.MemAccess(va, size, mem.Read, 0, true)
+	if ei != nil {
+		return 0, ei
+	}
+	sOld := old
+	if size == 4 {
+		sOld = rv.SignExtend(old, 32)
+	}
+	b := h.Reg(rs2)
+	var newVal uint64
+	switch f5 {
+	case 0x01: // amoswap
+		newVal = b
+	case 0x00: // amoadd
+		newVal = old + b
+	case 0x04: // amoxor
+		newVal = old ^ b
+	case 0x0C: // amoand
+		newVal = old & b
+	case 0x08: // amoor
+		newVal = old | b
+	case 0x10: // amomin
+		if cmpSigned(sOld, b, size) {
+			newVal = old
+		} else {
+			newVal = b
+		}
+	case 0x14: // amomax
+		if cmpSigned(sOld, b, size) {
+			newVal = b
+		} else {
+			newVal = old
+		}
+	case 0x18: // amominu
+		if cmpUnsigned(old, b, size) {
+			newVal = old
+		} else {
+			newVal = b
+		}
+	case 0x1C: // amomaxu
+		if cmpUnsigned(old, b, size) {
+			newVal = b
+		} else {
+			newVal = old
+		}
+	default:
+		return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+	if _, ei := h.MemAccess(va, size, mem.Write, newVal, true); ei != nil {
+		return 0, ei
+	}
+	return sOld, nil
+}
+
+// cmpSigned reports a < b at the given width (a pre-sign-extended).
+func cmpSigned(a, b uint64, size int) bool {
+	if size == 4 {
+		return int32(a) < int32(b)
+	}
+	return int64(a) < int64(b)
+}
+
+func cmpUnsigned(a, b uint64, size int) bool {
+	if size == 4 {
+		return uint32(a) < uint32(b)
+	}
+	return a < b
+}
+
+// system handles the SYSTEM opcode: CSR ops, ecall/ebreak, xRET, wfi, and
+// sfence.vma. It returns the next PC (xRET and traps redirect).
+func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uint64, *Exc) {
+	if f3 == rv.F3Priv {
+		switch {
+		case raw == rv.InstrEcall:
+			var cause uint64
+			switch h.Mode {
+			case rv.ModeU:
+				cause = rv.ExcEcallFromU
+			case rv.ModeS:
+				cause = rv.ExcEcallFromS
+			default:
+				cause = rv.ExcEcallFromM
+			}
+			return next, exc(cause, 0)
+		case raw == rv.InstrEbreak:
+			return next, exc(rv.ExcBreakpoint, h.PC)
+		case raw == rv.InstrMret:
+			if h.Mode != rv.ModeM {
+				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			h.ReturnMRET()
+			return h.PC, nil
+		case raw == rv.InstrSret:
+			if h.Mode == rv.ModeU ||
+				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTSR) != 0) {
+				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			h.returnSRET()
+			return h.PC, nil
+		case raw == rv.InstrWfi:
+			if h.Mode == rv.ModeU ||
+				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTW) != 0) {
+				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			h.Waiting = true
+			return next, nil
+		case f7 == rv.SfenceVMAFunct7 && rd == 0:
+			if h.Mode == rv.ModeU ||
+				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTVM) != 0) {
+				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			h.charge(h.Cfg.Cost.TLBFlush)
+			return next, nil
+		}
+		return next, exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+
+	// Zicsr.
+	csr := rv.CSROf(raw)
+	var wantWrite, wantRead bool
+	var operand uint64
+	switch f3 {
+	case rv.F3Csrrw, rv.F3Csrrwi:
+		wantWrite, wantRead = true, rd != 0
+	case rv.F3Csrrs, rv.F3Csrrc, rv.F3Csrrsi, rv.F3Csrrci:
+		wantWrite, wantRead = rs1 != 0, true
+	default:
+		return next, exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+	if f3 >= rv.F3Csrrwi {
+		operand = uint64(rs1) // zimm
+	} else {
+		operand = h.Reg(rs1)
+	}
+
+	if wantWrite && rv.CSRReadOnly(csr) {
+		return next, exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+	old, ei := h.csrRead(csr)
+	if ei != nil {
+		return next, exc(ei.Cause, uint64(raw))
+	}
+	if wantWrite {
+		var newVal uint64
+		switch f3 {
+		case rv.F3Csrrw, rv.F3Csrrwi:
+			newVal = operand
+		case rv.F3Csrrs, rv.F3Csrrsi:
+			newVal = old | operand
+		case rv.F3Csrrc, rv.F3Csrrci:
+			newVal = old &^ operand
+		}
+		if ei := h.csrWrite(csr, newVal); ei != nil {
+			return next, exc(ei.Cause, uint64(raw))
+		}
+	}
+	if wantRead {
+		h.SetReg(rd, old)
+	}
+	return next, nil
+}

@@ -1,0 +1,403 @@
+// Package hart implements the RV64IMA_Zicsr machine simulator at the heart
+// of this reproduction: privilege modes M/S/U, the full trap and interrupt
+// architecture with delegation, PMP enforcement on every access, Sv39
+// translation, and per-platform cycle accounting.
+//
+// The monitor hook is the load-bearing piece for the paper: when a Monitor
+// is installed, every trap that architecturally enters M-mode transfers
+// control to Go code instead of simulated code at mtvec — exactly the
+// position Miralis occupies on real hardware. With no monitor installed the
+// machine behaves natively (firmware handles its own M-mode traps), which
+// is the paper's "Native" baseline.
+package hart
+
+import (
+	"fmt"
+
+	"govfm/internal/mem"
+	"govfm/internal/mmu"
+	"govfm/internal/rv"
+)
+
+// Monitor is M-mode software implemented in Go. HandleMTrap is invoked
+// after the architectural M-mode trap entry has completed (mepc/mcause/
+// mtval latched, MPP/MPIE stacked, mode = M); the handler plays the role of
+// the code at mtvec and must leave the hart in a runnable state, typically
+// by emulating the trap and executing an mret via ReturnMRET.
+type Monitor interface {
+	HandleMTrap(h *Hart)
+}
+
+// TrapInfo describes a trap for tracing.
+type TrapInfo struct {
+	Hart     int
+	Cause    uint64
+	Tval     uint64
+	EPC      uint64
+	FromMode rv.Mode
+	ToMode   rv.Mode
+	Cycle    uint64
+}
+
+// Hart is one simulated core.
+type Hart struct {
+	ID  int
+	Cfg *Config
+	Bus *mem.Bus
+	CSR CSRFile
+
+	Regs [32]uint64
+	PC   uint64
+	Mode rv.Mode
+
+	Cycles  uint64
+	Instret uint64
+
+	// Waiting is set while the hart sleeps in WFI.
+	Waiting bool
+	// Stopped parks the hart entirely (HSM stopped state / not released).
+	Stopped bool
+	// Halted latches a permanent stop (test exit device, monitor panic).
+	Halted bool
+	// HaltReason records why the hart halted.
+	HaltReason string
+
+	// Monitor, when non-nil, receives all M-mode traps.
+	Monitor Monitor
+	// TimeFn supplies mtime for the time CSR and the Sstc comparator.
+	TimeFn func() uint64
+
+	// OnTrap, when non-nil, is called for every trap taken (tracing).
+	OnTrap func(TrapInfo)
+
+	// LR/SC reservation.
+	resValid bool
+	resAddr  uint64
+
+	// envCache is reused across memory accesses to keep the hot path
+	// allocation-free.
+	envCache mmu.Env
+}
+
+// New creates a hart with reset state: M-mode, all CSRs at reset values.
+func New(id int, cfg *Config, bus *mem.Bus) *Hart {
+	h := &Hart{
+		ID:   id,
+		Cfg:  cfg,
+		Bus:  bus,
+		Mode: rv.ModeM,
+		CSR:  newCSRFile(cfg),
+	}
+	h.TimeFn = func() uint64 { return 0 }
+	return h
+}
+
+// Reg reads GPR i (x0 always reads zero).
+func (h *Hart) Reg(i uint32) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return h.Regs[i]
+}
+
+// SetReg writes GPR i (writes to x0 are discarded).
+func (h *Hart) SetReg(i uint32, v uint64) {
+	if i != 0 {
+		h.Regs[i] = v
+	}
+}
+
+func (h *Hart) charge(cycles uint64) { h.Cycles += cycles }
+
+// ChargeCycles adds monitor-side work to the hart's cycle counter. The
+// Miralis cost model charges its emulation work through this.
+func (h *Hart) ChargeCycles(cycles uint64) { h.charge(cycles) }
+
+// Time returns the current mtime.
+func (h *Hart) Time() uint64 { return h.TimeFn() }
+
+// Halt permanently stops the hart.
+func (h *Hart) Halt(reason string) {
+	h.Halted = true
+	h.HaltReason = reason
+}
+
+// Exc carries a pending synchronous exception out of the execute path.
+type Exc struct {
+	Cause uint64
+	Tval  uint64
+}
+
+func exc(cause, tval uint64) *Exc { return &Exc{Cause: cause, Tval: tval} }
+
+// Exception takes a synchronous exception at the current PC.
+func (h *Hart) Exception(cause, tval uint64) {
+	h.trap(rv.Cause(cause, false), tval, h.PC)
+}
+
+// trap performs architectural trap entry for the given cause, routing to
+// S-mode when delegated, otherwise to M-mode.
+func (h *Hart) trap(cause, tval, epc uint64) {
+	code := rv.CauseCode(cause)
+	interrupt := rv.CauseIsInterrupt(cause)
+	toS := false
+	if h.Mode != rv.ModeM {
+		if interrupt {
+			toS = h.CSR.Mideleg&(1<<code) != 0
+		} else {
+			toS = h.CSR.Medeleg&(1<<code) != 0
+		}
+	}
+	h.charge(h.Cfg.Cost.TrapEntry)
+	from := h.Mode
+	if toS {
+		h.CSR.Scause = cause
+		h.CSR.Sepc = legalizeEpc(epc)
+		h.CSR.Stval = tval
+		st := h.CSR.Mstatus
+		st = rv.SetBit(st, rv.MstatusSPIE, rv.Bit(st, rv.MstatusSIE) != 0)
+		st = rv.SetBit(st, rv.MstatusSIE, false)
+		st = rv.SetBit(st, rv.MstatusSPP, from == rv.ModeS)
+		h.CSR.Mstatus = st
+		h.Mode = rv.ModeS
+		h.PC = vectorPC(h.CSR.Stvec, cause)
+		h.notifyTrap(cause, tval, epc, from, rv.ModeS)
+		return
+	}
+	h.CSR.Mcause = cause
+	h.CSR.Mepc = legalizeEpc(epc)
+	h.CSR.Mtval = tval
+	st := h.CSR.Mstatus
+	st = rv.SetBit(st, rv.MstatusMPIE, rv.Bit(st, rv.MstatusMIE) != 0)
+	st = rv.SetBit(st, rv.MstatusMIE, false)
+	st = rv.WithMPP(st, from)
+	h.CSR.Mstatus = st
+	h.Mode = rv.ModeM
+	h.PC = vectorPC(h.CSR.Mtvec, cause)
+	h.notifyTrap(cause, tval, epc, from, rv.ModeM)
+	if h.Monitor != nil {
+		h.Monitor.HandleMTrap(h)
+	}
+}
+
+func (h *Hart) notifyTrap(cause, tval, epc uint64, from, to rv.Mode) {
+	if h.OnTrap != nil {
+		h.OnTrap(TrapInfo{
+			Hart: h.ID, Cause: cause, Tval: tval, EPC: epc,
+			FromMode: from, ToMode: to, Cycle: h.Cycles,
+		})
+	}
+}
+
+func vectorPC(tvec, cause uint64) uint64 {
+	base := tvec &^ 3
+	if tvec&3 == 1 && rv.CauseIsInterrupt(cause) {
+		return base + 4*rv.CauseCode(cause)
+	}
+	return base
+}
+
+// ReturnMRET performs the mret state transition: restores the privilege
+// stack and jumps to mepc. Exposed for the monitor, which executes its
+// "mret" in Go.
+func (h *Hart) ReturnMRET() {
+	st := h.CSR.Mstatus
+	prev := rv.MPP(st)
+	st = rv.SetBit(st, rv.MstatusMIE, rv.Bit(st, rv.MstatusMPIE) != 0)
+	st = rv.SetBit(st, rv.MstatusMPIE, true)
+	st = rv.WithMPP(st, rv.ModeU)
+	if prev != rv.ModeM {
+		st = rv.SetBit(st, rv.MstatusMPRV, false)
+	}
+	h.CSR.Mstatus = st
+	h.Mode = prev
+	h.PC = h.CSR.Mepc
+	h.charge(h.Cfg.Cost.XRet)
+}
+
+// returnSRET performs the sret state transition.
+func (h *Hart) returnSRET() {
+	st := h.CSR.Mstatus
+	prev := rv.SPP(st)
+	st = rv.SetBit(st, rv.MstatusSIE, rv.Bit(st, rv.MstatusSPIE) != 0)
+	st = rv.SetBit(st, rv.MstatusSPIE, true)
+	st = rv.SetBit(st, rv.MstatusSPP, false)
+	if prev != rv.ModeM {
+		st = rv.SetBit(st, rv.MstatusMPRV, false)
+	}
+	h.CSR.Mstatus = st
+	h.Mode = prev
+	h.PC = h.CSR.Sepc
+	h.charge(h.Cfg.Cost.XRet)
+}
+
+// pendingInterrupt returns the cause of the highest-priority deliverable
+// interrupt, or 0,false. Priority order per the spec: MEI, MSI, MTI, SEI,
+// SSI, STI.
+func (h *Hart) pendingInterrupt() (uint64, bool) {
+	pending := h.CSR.Mip(h.Time()) & h.CSR.Mie
+	if pending == 0 {
+		return 0, false
+	}
+	mEnabled := h.Mode != rv.ModeM || rv.Bit(h.CSR.Mstatus, rv.MstatusMIE) != 0
+	sEnabled := h.Mode == rv.ModeU || (h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusSIE) != 0)
+
+	mPending := pending &^ h.CSR.Mideleg
+	if mEnabled && mPending != 0 {
+		for _, code := range []uint64{rv.IntMExt, rv.IntMSoft, rv.IntMTimer, rv.IntSExt, rv.IntSSoft, rv.IntSTimer} {
+			if mPending&(1<<code) != 0 {
+				return rv.Cause(code, true), true
+			}
+		}
+	}
+	sPending := pending & h.CSR.Mideleg
+	if h.Mode != rv.ModeM && sEnabled && sPending != 0 {
+		for _, code := range []uint64{rv.IntSExt, rv.IntSSoft, rv.IntSTimer} {
+			if sPending&(1<<code) != 0 {
+				return rv.Cause(code, true), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Step advances the hart by one instruction (or one interrupt/idle poll).
+// The caller (Machine) refreshes hardware interrupt lines beforehand.
+func (h *Hart) Step() {
+	if h.Stopped || h.Halted {
+		return
+	}
+	if cause, ok := h.pendingInterrupt(); ok {
+		h.Waiting = false
+		h.trap(cause, 0, h.PC)
+		return
+	}
+	if h.Waiting {
+		// WFI wakes when any enabled interrupt pends, regardless of global
+		// enables; that case was handled above only for *deliverable*
+		// interrupts, so also check the raw pending set.
+		if h.CSR.Mip(h.Time())&h.CSR.Mie != 0 {
+			h.Waiting = false
+		} else {
+			h.charge(h.Cfg.Cost.WFIIdle)
+			return
+		}
+	}
+	raw, ei := h.fetch()
+	if ei != nil {
+		h.Exception(ei.Cause, ei.Tval)
+		return
+	}
+	h.execute(raw)
+}
+
+// fetch reads the 32-bit instruction at PC.
+func (h *Hart) fetch() (uint32, *Exc) {
+	if h.PC&3 != 0 {
+		return 0, exc(rv.ExcInstrAddrMisaligned, h.PC)
+	}
+	// Fetch always uses the true privilege mode; MPRV affects data only.
+	env := h.mmuEnv(h.Mode)
+	res := mmu.Translate(env, h.PC, mem.Exec)
+	if !res.OK {
+		return 0, exc(res.Cause, h.PC)
+	}
+	if !h.CSR.PMP.Check(res.PA, 4, mem.Exec, h.Mode) {
+		return 0, exc(rv.ExcInstrAccessFault, h.PC)
+	}
+	v, ok := h.Bus.Load(res.PA, 4)
+	if !ok {
+		return 0, exc(rv.ExcInstrAccessFault, h.PC)
+	}
+	return uint32(v), nil
+}
+
+func (h *Hart) mmuEnv(priv rv.Mode) *mmu.Env {
+	e := &h.envCache
+	e.Bus = h.Bus
+	e.PMP = h.CSR.PMP
+	e.Satp = h.CSR.Satp
+	e.Priv = priv
+	e.SUM = rv.Bit(h.CSR.Mstatus, rv.MstatusSUM) != 0
+	e.MXR = rv.Bit(h.CSR.Mstatus, rv.MstatusMXR) != 0
+	return e
+}
+
+// effectivePriv returns the privilege mode governing a data access,
+// honouring mstatus.MPRV.
+func (h *Hart) effectivePriv() rv.Mode {
+	if rv.Bit(h.CSR.Mstatus, rv.MstatusMPRV) != 0 {
+		return rv.MPP(h.CSR.Mstatus)
+	}
+	return h.Mode
+}
+
+// misalignedCause maps an access type to its misaligned-exception cause.
+func misalignedCause(acc mem.AccessType) uint64 {
+	if acc == mem.Write {
+		return rv.ExcStoreAddrMisaligned
+	}
+	return rv.ExcLoadAddrMisaligned
+}
+
+func accessFaultCause(acc mem.AccessType) uint64 {
+	if acc == mem.Write {
+		return rv.ExcStoreAccessFault
+	}
+	return rv.ExcLoadAccessFault
+}
+
+// MemAccess performs a data access at virtual address va with full
+// architectural checking (alignment, translation, PMP). For writes, value
+// is stored and the returned value is 0. Exposed (capitalized) because the
+// monitor uses it to perform accesses on behalf of the firmware (MPRV
+// emulation) — with the *hart's* current state, exactly like hardware MPRV.
+func (h *Hart) MemAccess(va uint64, size int, acc mem.AccessType, value uint64, requireAligned bool) (uint64, *Exc) {
+	if va%uint64(size) != 0 {
+		if requireAligned || !h.Cfg.HWMisaligned {
+			return 0, exc(misalignedCause(acc), va)
+		}
+	}
+	priv := h.effectivePriv()
+	env := h.mmuEnv(priv)
+	res := mmu.Translate(env, va, acc)
+	if !res.OK {
+		return 0, exc(res.Cause, va)
+	}
+	if !h.CSR.PMP.Check(res.PA, size, acc, priv) {
+		return 0, exc(accessFaultCause(acc), va)
+	}
+	h.charge(h.Cfg.Cost.MemAccess)
+	if acc == mem.Write {
+		if !h.Bus.Store(res.PA, size, value) {
+			return 0, exc(rv.ExcStoreAccessFault, va)
+		}
+		// A store to the reservation's region kills it.
+		if h.resValid && res.PA&^7 == h.resAddr&^7 {
+			h.resValid = false
+		}
+		return 0, nil
+	}
+	v, ok := h.Bus.Load(res.PA, size)
+	if !ok {
+		return 0, exc(rv.ExcLoadAccessFault, va)
+	}
+	return v, nil
+}
+
+// Translate exposes address translation with the hart's current state; the
+// monitor uses it for MPRV emulation (software page-table walk on behalf of
+// the firmware).
+func (h *Hart) Translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *Exc) {
+	env := h.mmuEnv(priv)
+	res := mmu.Translate(env, va, acc)
+	if !res.OK {
+		return 0, exc(res.Cause, va)
+	}
+	return res.PA, nil
+}
+
+// String renders a one-line hart state summary for debugging.
+func (h *Hart) String() string {
+	return fmt.Sprintf("hart%d pc=%#x mode=%v cycles=%d", h.ID, h.PC, h.Mode, h.Cycles)
+}

@@ -1,0 +1,800 @@
+package hart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"govfm/internal/asm"
+	"govfm/internal/rv"
+)
+
+// run assembles body at DramBase on a single-hart VisionFive2-like machine,
+// executes until the machine halts or maxSteps elapse, and returns hart 0.
+func run(t *testing.T, maxSteps uint64, body func(a *asm.Asm)) (*Machine, *Hart) {
+	t.Helper()
+	cfg := VisionFive2()
+	cfg.Harts = 1
+	m, err := NewMachine(cfg, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asm.New(DramBase)
+	body(a)
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(DramBase, img); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(maxSteps)
+	return m, m.Harts[0]
+}
+
+// exit emits a store of ExitPass to the exit device.
+func exit(a *asm.Asm) {
+	a.Li(asm.T6, ExitBase)
+	a.Li(asm.T5, ExitPass)
+	a.Sd(asm.T5, asm.T6, 0)
+}
+
+// pmpOpen programs PMP entry 7 to grant RWX on all memory, the minimal
+// setup firmware performs before dropping below M-mode.
+func pmpOpen(a *asm.Asm) {
+	a.Li(asm.T6, ^uint64(0))
+	a.Csrw(rv.CSRPmpaddr0+7, asm.T6)
+	a.Li(asm.T6, 0x1F) // NAPOT | RWX
+	a.Slli(asm.T6, asm.T6, 56)
+	a.Csrw(rv.CSRPmpcfg0, asm.T6)
+}
+
+func mustHalt(t *testing.T, m *Machine) {
+	t.Helper()
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		t.Fatalf("machine did not exit cleanly: halted=%v reason=%q", ok, reason)
+	}
+}
+
+func TestALUBasics(t *testing.T) {
+	m, h := run(t, 1000, func(a *asm.Asm) {
+		a.Li(asm.A0, 40)
+		a.Li(asm.A1, 2)
+		a.Add(asm.A2, asm.A0, asm.A1)  // 42
+		a.Sub(asm.A3, asm.A0, asm.A1)  // 38
+		a.Xor(asm.A4, asm.A0, asm.A1)  // 42
+		a.Sltu(asm.A5, asm.A1, asm.A0) // 1
+		a.Slli(asm.A6, asm.A1, 10)     // 2048
+		a.Srai(asm.A7, asm.A0, 3)      // 5
+		exit(a)
+	})
+	mustHalt(t, m)
+	wants := map[int]uint64{asm.A2: 42, asm.A3: 38, asm.A4: 42, asm.A5: 1,
+		asm.A6: 2048, asm.A7: 5}
+	for r, want := range wants {
+		if h.Regs[r] != want {
+			t.Errorf("x%d = %d, want %d", r, h.Regs[r], want)
+		}
+	}
+}
+
+func TestLiProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		var got uint64
+		m, h := run(t, 1000, func(a *asm.Asm) {
+			a.Li(asm.A0, v)
+			exit(a)
+		})
+		if ok, _ := m.Halted(); !ok {
+			return false
+		}
+		got = h.Regs[asm.A0]
+		return got == v
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Edge values.
+	for _, v := range []uint64{0, 1, 0x7FF, 0x800, 0xFFF, 0x8000_0000,
+		0x7FFF_FFFF, 0xFFFF_FFFF, 1 << 63, ^uint64(0), 0x1234_5678_9ABC_DEF0} {
+		m, h := run(t, 1000, func(a *asm.Asm) {
+			a.Li(asm.A0, v)
+			exit(a)
+		})
+		mustHalt(t, m)
+		if h.Regs[asm.A0] != v {
+			t.Errorf("Li(%#x) loaded %#x", v, h.Regs[asm.A0])
+		}
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	m, h := run(t, 1000, func(a *asm.Asm) {
+		a.Li(asm.S0, DramBase+0x1000)
+		a.Li(asm.A0, 0x1122334455667788)
+		a.Sd(asm.A0, asm.S0, 0)
+		a.Ld(asm.A1, asm.S0, 0)
+		a.Lw(asm.A2, asm.S0, 4)  // sign-extended 0x11223344
+		a.Lwu(asm.A3, asm.S0, 0) // 0x55667788
+		a.Lb(asm.A4, asm.S0, 0)  // sign-extended 0x88 -> negative
+		a.Lbu(asm.A5, asm.S0, 0) // 0x88
+		a.Lh(asm.A6, asm.S0, 0)  // sign-extended 0x7788
+		a.Lhu(asm.A7, asm.S0, 0)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A1] != 0x1122334455667788 {
+		t.Errorf("ld %#x", h.Regs[asm.A1])
+	}
+	if h.Regs[asm.A2] != 0x11223344 {
+		t.Errorf("lw %#x", h.Regs[asm.A2])
+	}
+	if h.Regs[asm.A3] != 0x55667788 {
+		t.Errorf("lwu %#x", h.Regs[asm.A3])
+	}
+	if h.Regs[asm.A4] != rv.SignExtend(0x88, 8) {
+		t.Errorf("lb %#x", h.Regs[asm.A4])
+	}
+	if h.Regs[asm.A5] != 0x88 {
+		t.Errorf("lbu %#x", h.Regs[asm.A5])
+	}
+	if h.Regs[asm.A6] != 0x7788 {
+		t.Errorf("lh %#x", h.Regs[asm.A6])
+	}
+	if h.Regs[asm.A7] != 0x7788 {
+		t.Errorf("lhu %#x", h.Regs[asm.A7])
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	m, h := run(t, 5000, func(a *asm.Asm) {
+		// Sum 1..10 with a loop.
+		a.Li(asm.A0, 0)  // acc
+		a.Li(asm.T0, 1)  // i
+		a.Li(asm.T1, 10) // limit
+		a.Label("loop")
+		a.Add(asm.A0, asm.A0, asm.T0)
+		a.Addi(asm.T0, asm.T0, 1)
+		a.Bge(asm.T1, asm.T0, "loop")
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A0] != 55 {
+		t.Errorf("sum = %d", h.Regs[asm.A0])
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	m, h := run(t, 1000, func(a *asm.Asm) {
+		a.Li(asm.A0, 7)
+		a.Li(asm.A1, 6)
+		a.Mul(asm.A2, asm.A0, asm.A1) // 42
+		a.Li(asm.A3, 100)
+		a.Li(asm.A4, 7)
+		a.Div(asm.A5, asm.A3, asm.A4) // 14
+		a.Rem(asm.A6, asm.A3, asm.A4) // 2
+		a.Div(asm.A7, asm.A3, asm.X0) // div by zero -> -1
+		a.Rem(asm.S2, asm.A3, asm.X0) // rem by zero -> dividend
+		a.Li(asm.S3, 0xFFFFFFFFFFFFFFFF)
+		a.Mulhu(asm.S4, asm.S3, asm.S3) // (2^64-1)^2 >> 64 = 2^64-2
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A2] != 42 || h.Regs[asm.A5] != 14 || h.Regs[asm.A6] != 2 {
+		t.Error("mul/div/rem wrong")
+	}
+	if h.Regs[asm.A7] != ^uint64(0) {
+		t.Errorf("div by zero = %#x", h.Regs[asm.A7])
+	}
+	if h.Regs[asm.S2] != 100 {
+		t.Errorf("rem by zero = %d", h.Regs[asm.S2])
+	}
+	if h.Regs[asm.S4] != ^uint64(0)-1 {
+		t.Errorf("mulhu = %#x", h.Regs[asm.S4])
+	}
+}
+
+func TestMulh64Property(t *testing.T) {
+	// Cross-check mulh against big-integer arithmetic via mulhu identity.
+	f := func(x, y int64) bool {
+		got := mulh64(x, y)
+		// Reference via 32-bit decomposition in big.Int-free arithmetic:
+		// use Go's 128-bit-free check: (x*y) high bits via float is lossy,
+		// so verify the identity mulh(x,y) == mulhsu adjusted... Instead
+		// verify against mulhu with sign-correction identity:
+		// mulh(x,y) = mulhu(x,y) - (x<0 ? y : 0) - (y<0 ? x : 0)
+		ref := int64(mulhu64(uint64(x), uint64(y)))
+		if x < 0 {
+			ref -= y
+		}
+		if y < 0 {
+			ref -= x
+		}
+		return got == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAMOs(t *testing.T) {
+	m, h := run(t, 1000, func(a *asm.Asm) {
+		a.Li(asm.S0, DramBase+0x2000)
+		a.Li(asm.A0, 10)
+		a.Sd(asm.A0, asm.S0, 0)
+		a.Li(asm.A1, 32)
+		a.AmoaddD(asm.A2, asm.S0, asm.A1) // returns 10, mem=42
+		a.Ld(asm.A3, asm.S0, 0)           // 42
+		a.Li(asm.A4, 7)
+		a.AmoswapD(asm.A5, asm.S0, asm.A4) // returns 42, mem=7
+		a.Ld(asm.A6, asm.S0, 0)            // 7
+		// LR/SC success path.
+		a.LrD(asm.S2, asm.S0)
+		a.Li(asm.S3, 99)
+		a.ScD(asm.S4, asm.S0, asm.S3) // 0 = success
+		a.Ld(asm.S5, asm.S0, 0)       // 99
+		// SC without reservation fails.
+		a.ScD(asm.S6, asm.S0, asm.A0) // 1 = failure
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A2] != 10 || h.Regs[asm.A3] != 42 {
+		t.Error("amoadd wrong")
+	}
+	if h.Regs[asm.A5] != 42 || h.Regs[asm.A6] != 7 {
+		t.Error("amoswap wrong")
+	}
+	if h.Regs[asm.S4] != 0 || h.Regs[asm.S5] != 99 {
+		t.Error("lr/sc success path wrong")
+	}
+	if h.Regs[asm.S6] != 1 {
+		t.Error("sc without reservation must fail")
+	}
+}
+
+func TestCSRInstructions(t *testing.T) {
+	m, h := run(t, 1000, func(a *asm.Asm) {
+		a.Li(asm.A0, 0xABCD)
+		a.Csrw(rv.CSRMscratch, asm.A0)
+		a.Csrr(asm.A1, rv.CSRMscratch)
+		a.Csrrsi(asm.A2, rv.CSRMscratch, 2) // old value, set bit 1
+		a.Csrr(asm.A3, rv.CSRMscratch)
+		a.Csrrci(asm.A4, rv.CSRMscratch, 1) // clear bit 0
+		a.Csrr(asm.A5, rv.CSRMscratch)
+		a.Csrr(asm.A6, rv.CSRMhartid)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A1] != 0xABCD {
+		t.Errorf("csrr mscratch %#x", h.Regs[asm.A1])
+	}
+	if h.Regs[asm.A2] != 0xABCD || h.Regs[asm.A3] != 0xABCF {
+		t.Error("csrrsi semantics")
+	}
+	if h.Regs[asm.A4] != 0xABCF || h.Regs[asm.A5] != 0xABCE {
+		t.Error("csrrci semantics")
+	}
+	if h.Regs[asm.A6] != 0 {
+		t.Error("mhartid")
+	}
+}
+
+func TestEcallTrapAndMret(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		// M-mode sets up mtvec, drops to U-mode, U-mode ecalls, handler
+		// inspects mcause and exits.
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		pmpOpen(a)
+		a.La(asm.T0, "user")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3) // MPP=U
+		a.Mret()
+		a.Label("user")
+		a.Li(asm.A0, 77)
+		a.Ecall()
+		a.Label("handler")
+		a.Csrr(asm.S0, rv.CSRMcause)
+		a.Csrr(asm.S1, rv.CSRMepc)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcEcallFromU {
+		t.Errorf("mcause = %d", h.Regs[asm.S0])
+	}
+	if h.Regs[asm.A0] != 77 {
+		t.Error("user code did not run")
+	}
+	if h.Regs[asm.S1] == 0 {
+		t.Error("mepc not latched")
+	}
+	if h.Mode != rv.ModeM {
+		t.Error("handler must run in M-mode")
+	}
+}
+
+func TestDelegationToSMode(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		// Delegate ecall-from-U to S-mode; set stvec; drop to U via S.
+		a.Li(asm.T0, 1<<rv.ExcEcallFromU)
+		a.Csrw(rv.CSRMedeleg, asm.T0)
+		a.La(asm.T0, "shandler")
+		a.Csrw(rv.CSRStvec, asm.T0)
+		pmpOpen(a)
+		a.La(asm.T0, "user")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3) // MPP=U
+		a.Mret()
+		a.Label("user")
+		a.Ecall()
+		a.Label("shandler")
+		a.Csrr(asm.S0, rv.CSRScause)
+		a.Csrr(asm.S1, rv.CSRSepc)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcEcallFromU {
+		t.Errorf("scause = %d", h.Regs[asm.S0])
+	}
+	if h.Mode != rv.ModeS {
+		t.Errorf("delegated handler must run in S-mode, got %v", h.Mode)
+	}
+}
+
+func TestIllegalInstructionTval(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Word(0xFFFF_FFFF) // illegal
+		a.Label("handler")
+		a.Csrr(asm.S0, rv.CSRMcause)
+		a.Csrr(asm.S1, rv.CSRMtval)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcIllegalInstr {
+		t.Errorf("mcause %d", h.Regs[asm.S0])
+	}
+	if h.Regs[asm.S1] != 0xFFFF_FFFF {
+		t.Errorf("mtval %#x, want raw instruction", h.Regs[asm.S1])
+	}
+}
+
+func TestMisalignedLoadTraps(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Li(asm.S0, DramBase+0x1001)
+		a.Ld(asm.A0, asm.S0, 0) // misaligned
+		a.Label("handler")
+		a.Csrr(asm.S1, rv.CSRMcause)
+		a.Csrr(asm.S2, rv.CSRMtval)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S1] != rv.ExcLoadAddrMisaligned {
+		t.Errorf("mcause %d", h.Regs[asm.S1])
+	}
+	if h.Regs[asm.S2] != DramBase+0x1001 {
+		t.Errorf("mtval %#x", h.Regs[asm.S2])
+	}
+}
+
+func TestMisalignedOKWithHWSupport(t *testing.T) {
+	cfg := RVA23()
+	cfg.Harts = 1
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asm.New(DramBase)
+	a.Li(asm.S0, DramBase+0x1001)
+	a.Li(asm.A0, 0xDEAD)
+	a.Sd(asm.A0, asm.S0, 0)
+	a.Ld(asm.A1, asm.S0, 0)
+	exit(a)
+	if err := m.LoadImage(DramBase, a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(1000)
+	mustHalt(t, m)
+	if m.Harts[0].Regs[asm.A1] != 0xDEAD {
+		t.Error("misaligned access must succeed on RVA23 profile")
+	}
+}
+
+func TestTimerInterrupt(t *testing.T) {
+	m, h := run(t, 200000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		// Program mtimecmp = mtime + 10 via CLINT.
+		a.Li(asm.S1, ClintBase+0xBFF8)
+		a.Ld(asm.T1, asm.S1, 0)
+		a.Addi(asm.T1, asm.T1, 10)
+		a.Li(asm.S2, ClintBase+0x4000)
+		a.Sd(asm.T1, asm.S2, 0)
+		// Enable MTIE + MIE and wait.
+		a.Li(asm.T2, 1<<rv.IntMTimer)
+		a.Csrw(rv.CSRMie, asm.T2)
+		a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+		a.Label("wait")
+		a.Wfi()
+		a.J("wait")
+		a.Label("handler")
+		a.Csrr(asm.S3, rv.CSRMcause)
+		exit(a)
+	})
+	mustHalt(t, m)
+	want := rv.Cause(rv.IntMTimer, true)
+	if h.Regs[asm.S3] != want {
+		t.Errorf("mcause = %#x, want machine timer", h.Regs[asm.S3])
+	}
+}
+
+func TestSoftwareInterruptViaMsip(t *testing.T) {
+	m, h := run(t, 10000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Li(asm.T2, 1<<rv.IntMSoft)
+		a.Csrw(rv.CSRMie, asm.T2)
+		// Write own msip.
+		a.Li(asm.S0, ClintBase)
+		a.Li(asm.T3, 1)
+		a.Sw(asm.T3, asm.S0, 0)
+		// Enable interrupts; the IPI should fire immediately.
+		a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+		a.Nop()
+		a.Nop()
+		a.J("fail")
+		a.Label("handler")
+		a.Csrr(asm.S3, rv.CSRMcause)
+		exit(a)
+		a.Label("fail")
+		a.Li(asm.T6, ExitBase)
+		a.Li(asm.T5, ExitFail)
+		a.Sd(asm.T5, asm.T6, 0)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S3] != rv.Cause(rv.IntMSoft, true) {
+		t.Errorf("mcause %#x", h.Regs[asm.S3])
+	}
+}
+
+func TestPMPDeniesUser(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		// PMP entry 0: NAPOT over all memory, RWX -- but first entry 0 as
+		// a no-access window over DramBase+0x2000..0x3000.
+		a.Li(asm.T1, (DramBase+0x2000)>>2|(0x1000/8-1))
+		a.Csrw(rv.CSRPmpaddr0, asm.T1)
+		a.Li(asm.T1, ^uint64(0))
+		a.Csrw(rv.CSRPmpaddr0+1, asm.T1)
+		a.Li(asm.T2, 0x18|0x1F00) // entry0: NAPOT no-perm; entry1: NAPOT RWX... compute below
+		// cfg byte entry0 = A=NAPOT(3)<<3 = 0x18 (no RWX)
+		// cfg byte entry1 = 0x18 | R|W|X = 0x1F
+		a.Li(asm.T2, 0x1F18)
+		a.Csrw(rv.CSRPmpcfg0, asm.T2)
+		// Drop to U-mode at "user".
+		a.La(asm.T0, "user")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Mret()
+		a.Label("user")
+		a.Li(asm.S0, DramBase+0x2010)
+		a.Ld(asm.A0, asm.S0, 0) // must fault: no-perm PMP entry
+		a.Label("handler")
+		a.Csrr(asm.S1, rv.CSRMcause)
+		a.Csrr(asm.S2, rv.CSRMtval)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S1] != rv.ExcLoadAccessFault {
+		t.Errorf("mcause %d, want load access fault", h.Regs[asm.S1])
+	}
+	if h.Regs[asm.S2] != DramBase+0x2010 {
+		t.Errorf("mtval %#x", h.Regs[asm.S2])
+	}
+}
+
+func TestWFIWakesOnPendingEvenWhenDisabled(t *testing.T) {
+	// WFI must resume when an interrupt pends even with mstatus.MIE=0.
+	m, h := run(t, 200000, func(a *asm.Asm) {
+		a.Li(asm.S1, ClintBase+0xBFF8)
+		a.Ld(asm.T1, asm.S1, 0)
+		a.Addi(asm.T1, asm.T1, 5)
+		a.Li(asm.S2, ClintBase+0x4000)
+		a.Sd(asm.T1, asm.S2, 0)
+		a.Li(asm.T2, 1<<rv.IntMTimer)
+		a.Csrw(rv.CSRMie, asm.T2)
+		// MIE stays 0: wfi should still wake, and no trap is taken.
+		a.Wfi()
+		a.Li(asm.A0, 123)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.A0] != 123 {
+		t.Error("execution did not continue after wfi wake")
+	}
+}
+
+func TestCounterGating(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		// mcounteren = 0: U/S reads of cycle trap.
+		a.Csrw(rv.CSRMcounteren, asm.X0)
+		pmpOpen(a)
+		a.La(asm.T0, "user")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Mret()
+		a.Label("user")
+		a.Csrr(asm.A0, rv.CSRCycle) // must trap
+		a.Label("handler")
+		a.Csrr(asm.S1, rv.CSRMcause)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S1] != rv.ExcIllegalInstr {
+		t.Errorf("mcause %d, want illegal instruction", h.Regs[asm.S1])
+	}
+}
+
+func TestTimeCSRUnimplementedOnVF2(t *testing.T) {
+	// The VisionFive 2 profile has no time CSR: reads trap even in M-mode.
+	// This is the paper's dominant Fig. 3 trap cause.
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Csrr(asm.A0, rv.CSRTime)
+		a.Label("handler")
+		a.Csrr(asm.S1, rv.CSRMcause)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S1] != rv.ExcIllegalInstr {
+		t.Errorf("time CSR read must trap on VF2 profile, mcause %d", h.Regs[asm.S1])
+	}
+}
+
+func TestMretFromNonMTraps(t *testing.T) {
+	m, h := run(t, 2000, func(a *asm.Asm) {
+		a.La(asm.T0, "handler")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		pmpOpen(a)
+		a.La(asm.T0, "user")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Mret()
+		a.Label("user")
+		a.Mret() // illegal from U-mode -> this is how vM-mode firmware traps
+		a.Label("handler")
+		a.Csrr(asm.S1, rv.CSRMcause)
+		a.Csrr(asm.S2, rv.CSRMtval)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S1] != rv.ExcIllegalInstr {
+		t.Errorf("mret from U: mcause %d", h.Regs[asm.S1])
+	}
+	if h.Regs[asm.S2] != uint64(rv.InstrMret) {
+		t.Errorf("mtval %#x, want mret encoding", h.Regs[asm.S2])
+	}
+}
+
+type recordingMonitor struct {
+	traps []TrapInfo
+	hart  *Hart
+}
+
+func (r *recordingMonitor) HandleMTrap(h *Hart) {
+	r.traps = append(r.traps, TrapInfo{Cause: h.CSR.Mcause, EPC: h.CSR.Mepc})
+	// Emulate: skip the trapping instruction and return.
+	h.CSR.Mepc += 4
+	h.ReturnMRET()
+}
+
+func TestMonitorHookReceivesMTraps(t *testing.T) {
+	cfg := VisionFive2()
+	cfg.Harts = 1
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &recordingMonitor{}
+	m.Harts[0].Monitor = mon
+
+	a := asm.New(DramBase)
+	// From M-mode, drop to S and issue an ecall: it must reach the monitor,
+	// not simulated code (mtvec is never programmed).
+	pmpOpen(a)
+	a.La(asm.T0, "svisor")
+	a.Csrw(rv.CSRMepc, asm.T0)
+	a.Li(asm.T3, 3<<11)
+	a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+	a.Li(asm.T3, 1<<11)
+	a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3) // MPP=S
+	a.Mret()
+	a.Label("svisor")
+	a.Ecall()
+	exit(a)
+	if err := m.LoadImage(DramBase, a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(1000)
+	mustHalt(t, m)
+	if len(mon.traps) != 1 {
+		t.Fatalf("monitor saw %d traps, want 1", len(mon.traps))
+	}
+	if mon.traps[0].Cause != rv.ExcEcallFromS {
+		t.Errorf("monitor trap cause %d", mon.traps[0].Cause)
+	}
+}
+
+func TestMultiHartIPI(t *testing.T) {
+	cfg := VisionFive2()
+	cfg.Harts = 2
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asm.New(DramBase)
+	// Both harts start here; hart 1 waits for an IPI, hart 0 sends it.
+	a.Csrr(asm.T0, rv.CSRMhartid)
+	a.Bnez(asm.T0, "secondary")
+	// Hart 0: send IPI to hart 1 (msip[1] at clint+4).
+	a.Li(asm.S0, ClintBase+4)
+	a.Li(asm.T1, 1)
+	a.Sw(asm.T1, asm.S0, 0)
+	a.Label("spin") // wait for hart 1 to signal completion in RAM
+	a.Li(asm.S1, DramBase+0x3000)
+	a.Ld(asm.T2, asm.S1, 0)
+	a.Beqz(asm.T2, "spin")
+	exit(a)
+	a.Label("secondary")
+	a.La(asm.T0, "s_handler")
+	a.Csrw(rv.CSRMtvec, asm.T0)
+	a.Li(asm.T2, 1<<rv.IntMSoft)
+	a.Csrw(rv.CSRMie, asm.T2)
+	a.Csrrsi(asm.X0, rv.CSRMstatus, 1<<rv.MstatusMIE)
+	a.Label("s_wait")
+	a.Wfi()
+	a.J("s_wait")
+	a.Label("s_handler")
+	// Clear own msip, signal hart 0.
+	a.Li(asm.S0, ClintBase+4)
+	a.Sw(asm.X0, asm.S0, 0)
+	a.Li(asm.S1, DramBase+0x3000)
+	a.Li(asm.T3, 1)
+	a.Sd(asm.T3, asm.S1, 0)
+	a.Label("s_done")
+	a.Wfi()
+	a.J("s_done")
+	if err := m.LoadImage(DramBase, a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(100000)
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		t.Fatalf("IPI roundtrip did not complete: %v %q", ok, reason)
+	}
+}
+
+func TestDMAEngineBypassesPMP(t *testing.T) {
+	// DMA copies bypass PMP entirely — the property that motivates the
+	// sandbox policy's revocation of DMA MMIO access.
+	m, _ := run(t, 2000, func(a *asm.Asm) {
+		a.Li(asm.S0, DramBase+0x4000)
+		a.Li(asm.T0, 0xCAFE)
+		a.Sd(asm.T0, asm.S0, 0)
+		a.Li(asm.S1, DMABase)
+		a.Li(asm.T1, DramBase+0x4000)
+		a.Sd(asm.T1, asm.S1, DMASrc)
+		a.Li(asm.T1, DramBase+0x5000)
+		a.Sd(asm.T1, asm.S1, DMADst)
+		a.Li(asm.T1, 8)
+		a.Sd(asm.T1, asm.S1, DMALen)
+		a.Sd(asm.X0, asm.S1, DMACtl) // trigger
+		a.Li(asm.S2, DramBase+0x5000)
+		a.Ld(asm.A0, asm.S2, 0)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if m.Harts[0].Regs[asm.A0] != 0xCAFE {
+		t.Error("DMA copy did not happen")
+	}
+}
+
+func TestSretAndSPP(t *testing.T) {
+	m, h := run(t, 3000, func(a *asm.Asm) {
+		// M -> S -> U via sret; U ecall delegated to S.
+		a.Li(asm.T0, 1<<rv.ExcEcallFromU)
+		a.Csrw(rv.CSRMedeleg, asm.T0)
+		a.La(asm.T0, "strap")
+		a.Csrw(rv.CSRStvec, asm.T0)
+		pmpOpen(a)
+		a.La(asm.T0, "svisor")
+		a.Csrw(rv.CSRMepc, asm.T0)
+		a.Li(asm.T3, 3<<11)
+		a.Csrrc(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Li(asm.T3, 1<<11)
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T3)
+		a.Mret()
+		a.Label("svisor")
+		a.La(asm.T0, "user")
+		a.Csrw(rv.CSRSepc, asm.T0)
+		// sstatus.SPP=0 already (U).
+		a.Sret()
+		a.Label("user")
+		a.Ecall()
+		a.Label("strap")
+		a.Csrr(asm.S0, rv.CSRScause)
+		a.Csrr(asm.S1, rv.CSRSstatus)
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Regs[asm.S0] != rv.ExcEcallFromU {
+		t.Errorf("scause %d", h.Regs[asm.S0])
+	}
+	if rv.Bit(h.Regs[asm.S1], rv.MstatusSPP) != 0 {
+		t.Error("SPP must record U-mode")
+	}
+	if h.Mode != rv.ModeS {
+		t.Error("final mode")
+	}
+}
+
+func TestCyclesAdvanceAndTimeDerivation(t *testing.T) {
+	m, h := run(t, 5000, func(a *asm.Asm) {
+		for i := 0; i < 100; i++ {
+			a.Nop()
+		}
+		exit(a)
+	})
+	mustHalt(t, m)
+	if h.Cycles == 0 {
+		t.Error("cycles must advance")
+	}
+	if m.Clint.Time() == 0 && h.Cycles > m.Cfg.CyclesPerTick {
+		t.Error("mtime must advance with cycles")
+	}
+}
+
+func TestStimecmpOnRVA23(t *testing.T) {
+	cfg := RVA23()
+	cfg.Harts = 1
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asm.New(DramBase)
+	// Enable STCE, program stimecmp from M-mode, delegate STI to S,
+	// enable SIE+STIE in S... run in M for simplicity: STI is delegated, so
+	// check the pending bit appears in sip instead of taking the trap.
+	a.Li(asm.T0, 1)
+	a.Slli(asm.T0, asm.T0, 63)
+	a.Csrw(rv.CSRMenvcfg, asm.T0)  // STCE=1
+	a.Csrw(rv.CSRStimecmp, asm.X0) // deadline 0: always pending
+	a.Li(asm.T1, 1<<rv.IntSTimer)
+	a.Csrw(rv.CSRMideleg, asm.T1)
+	a.Csrr(asm.A0, rv.CSRSip)
+	exit(a)
+	if err := m.LoadImage(DramBase, a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.Run(1000)
+	mustHalt(t, m)
+	if m.Harts[0].Regs[asm.A0]&(1<<rv.IntSTimer) == 0 {
+		t.Error("Sstc comparator must assert STIP")
+	}
+}

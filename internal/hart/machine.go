@@ -1,0 +1,279 @@
+package hart
+
+import (
+	"fmt"
+
+	"govfm/internal/dev/clint"
+	"govfm/internal/dev/iopmp"
+	"govfm/internal/dev/plic"
+	"govfm/internal/dev/uart"
+	"govfm/internal/mem"
+)
+
+// Physical memory map of the simulated platforms (the usual RISC-V SoC
+// layout both evaluation boards follow).
+const (
+	ExitBase  = 0x0010_0000 // test-finisher device (QEMU sifive_test style)
+	ClintBase = 0x0200_0000
+	PlicBase  = 0x0C00_0000
+	UartBase  = 0x1000_0000
+	DMABase   = 0x3000_0000 // DMA-capable device (sandbox policy target)
+	IOPMPBase = 0x3100_0000 // IOPMP unit (when the platform has one)
+	DramBase  = 0x8000_0000
+)
+
+// Exit-device command values.
+const (
+	ExitPass = 0x5555
+	ExitFail = 0x3333
+)
+
+// exitDevice halts the machine when guest code stores a completion code,
+// standing in for the SiFive test finisher used to end QEMU runs.
+type exitDevice struct {
+	m *Machine
+}
+
+func (d *exitDevice) Name() string { return "exit" }
+
+func (d *exitDevice) Load(off uint64, size int) (uint64, bool) { return 0, true }
+
+func (d *exitDevice) Store(off uint64, size int, v uint64) bool {
+	switch uint32(v) & 0xFFFF {
+	case ExitPass:
+		d.m.halt("guest-exit-pass")
+	case ExitFail:
+		d.m.halt(fmt.Sprintf("guest-exit-fail(code=%d)", v>>16))
+	default:
+		d.m.halt(fmt.Sprintf("guest-exit(%#x)", v))
+	}
+	return true
+}
+
+// Machine is a full simulated platform: harts, DRAM, and devices, with a
+// deterministic round-robin scheduler and a shared mtime derived from
+// consumed cycles.
+type Machine struct {
+	Cfg   *Config
+	Bus   *mem.Bus
+	Harts []*Hart
+	Clint *clint.Clint
+	Plic  *plic.Plic
+	Uart  *uart.Uart
+	DMA   *DMAEngine
+	IOPMP *iopmp.IOPMP // non-nil when Cfg.HasIOPMP
+
+	DramSize uint64
+
+	halted     bool
+	haltReason string
+
+	timeRemainder uint64
+}
+
+// NewMachine builds a platform from a profile with the given DRAM size.
+func NewMachine(cfg *Config, dramSize uint64) (*Machine, error) {
+	m := &Machine{
+		Cfg:      cfg,
+		Bus:      mem.NewBus(),
+		Clint:    clint.New(cfg.Harts),
+		Plic:     plic.New(cfg.Harts),
+		Uart:     uart.New(),
+		DramSize: dramSize,
+	}
+	m.DMA = NewDMAEngine(m.Bus)
+	if err := m.Bus.AddRAM(DramBase, dramSize); err != nil {
+		return nil, err
+	}
+	for _, d := range []struct {
+		base, size uint64
+		dev        mem.Device
+	}{
+		{ExitBase, 0x1000, &exitDevice{m}},
+		{ClintBase, clint.Size, m.Clint},
+		{PlicBase, plic.Size, m.Plic},
+		{UartBase, uart.Size, m.Uart},
+		{DMABase, DMARegionSize, m.DMA},
+	} {
+		if err := m.Bus.AddDevice(d.base, d.size, d.dev); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.HasIOPMP {
+		m.IOPMP = iopmp.New(8)
+		if err := m.Bus.AddDevice(IOPMPBase, iopmp.Size, m.IOPMP); err != nil {
+			return nil, err
+		}
+		m.DMA.Check = m.IOPMP.Check
+	}
+	for i := 0; i < cfg.Harts; i++ {
+		h := New(i, cfg, m.Bus)
+		h.TimeFn = m.Clint.Time
+		m.Harts = append(m.Harts, h)
+	}
+	return m, nil
+}
+
+func (m *Machine) halt(reason string) {
+	m.halted = true
+	m.haltReason = reason
+}
+
+// Halted reports whether the machine has stopped, and why.
+func (m *Machine) Halted() (bool, string) { return m.halted, m.haltReason }
+
+// LoadImage copies a binary image into RAM at addr.
+func (m *Machine) LoadImage(addr uint64, img []byte) error {
+	return m.Bus.WriteBytes(addr, img)
+}
+
+// Reset puts every hart at the reset vector with a0 = hartid, the standard
+// RISC-V boot convention (a1, the devicetree pointer, is left zero).
+func (m *Machine) Reset(pc uint64) {
+	for _, h := range m.Harts {
+		h.PC = pc
+		h.Mode = 3
+		h.Regs = [32]uint64{}
+		h.Regs[10] = uint64(h.ID) // a0
+		h.Waiting = false
+		h.Stopped = false
+		h.Halted = false
+	}
+	m.halted = false
+	m.haltReason = ""
+}
+
+// Step advances every runnable hart by one instruction and the global time
+// by the cycles the slowest hart consumed (cores share a wall clock).
+func (m *Machine) Step() {
+	var maxConsumed uint64
+	for _, h := range m.Harts {
+		before := h.Cycles
+		h.CSR.SetHWLines(m.Clint.Pending(h.ID) | m.Plic.Pending(h.ID))
+		h.Step()
+		if c := h.Cycles - before; c > maxConsumed {
+			maxConsumed = c
+		}
+		if h.Halted && !m.halted {
+			m.halt("hart-halt: " + h.HaltReason)
+		}
+	}
+	m.timeRemainder += maxConsumed
+	if m.Cfg.CyclesPerTick > 0 {
+		m.Clint.Advance(m.timeRemainder / m.Cfg.CyclesPerTick)
+		m.timeRemainder %= m.Cfg.CyclesPerTick
+	}
+}
+
+// Run steps until the machine halts or maxSteps machine steps elapse.
+// It returns the number of steps taken and whether the machine halted.
+func (m *Machine) Run(maxSteps uint64) (uint64, bool) {
+	var steps uint64
+	for steps = 0; steps < maxSteps && !m.halted; steps++ {
+		m.Step()
+	}
+	return steps, m.halted
+}
+
+// RunUntil steps until cond returns true, the machine halts, or maxSteps
+// elapse; it reports whether cond was met.
+func (m *Machine) RunUntil(cond func() bool, maxSteps uint64) bool {
+	for steps := uint64(0); steps < maxSteps && !m.halted; steps++ {
+		if cond() {
+			return true
+		}
+		m.Step()
+	}
+	return cond()
+}
+
+// Cycles returns hart 0's cycle counter, the conventional clock for
+// single-workload measurements.
+func (m *Machine) Cycles() uint64 { return m.Harts[0].Cycles }
+
+// DMARegionSize is the size of the DMA engine's register window.
+const DMARegionSize = 0x1000
+
+// DMAEngine is a deliberately simple DMA-capable device: software programs
+// source, destination, and length, then writes the control register to
+// trigger a copy performed directly on the physical bus — bypassing PMP,
+// exactly the threat the paper's sandbox policy closes by revoking firmware
+// access to DMA-capable MMIO regions (§4.3, §7).
+type DMAEngine struct {
+	bus  *mem.Bus
+	src  uint64
+	dst  uint64
+	len  uint64
+	stat uint64 // 0 = idle/ok, 1 = error, 2 = IOPMP denial
+
+	// Check, when non-nil, is the IOPMP hook consulted before every
+	// master access.
+	Check func(addr uint64, size int, write bool) bool
+}
+
+// DMA register offsets.
+const (
+	DMASrc  = 0x00
+	DMADst  = 0x08
+	DMALen  = 0x10
+	DMACtl  = 0x18
+	DMAStat = 0x20
+)
+
+// NewDMAEngine returns a DMA engine operating on bus.
+func NewDMAEngine(bus *mem.Bus) *DMAEngine { return &DMAEngine{bus: bus} }
+
+// Name implements mem.Device.
+func (d *DMAEngine) Name() string { return "dma" }
+
+// Load implements mem.Device.
+func (d *DMAEngine) Load(off uint64, size int) (uint64, bool) {
+	if size != 8 {
+		return 0, false
+	}
+	switch off {
+	case DMASrc:
+		return d.src, true
+	case DMADst:
+		return d.dst, true
+	case DMALen:
+		return d.len, true
+	case DMAStat:
+		return d.stat, true
+	}
+	return 0, false
+}
+
+// Store implements mem.Device. Writing any value to DMACtl triggers the
+// copy.
+func (d *DMAEngine) Store(off uint64, size int, v uint64) bool {
+	if size != 8 {
+		return false
+	}
+	switch off {
+	case DMASrc:
+		d.src = v
+	case DMADst:
+		d.dst = v
+	case DMALen:
+		d.len = v
+	case DMACtl:
+		d.stat = 0
+		if d.Check != nil &&
+			(!d.Check(d.src, int(d.len), false) || !d.Check(d.dst, int(d.len), true)) {
+			d.stat = 2 // blocked by the IOPMP
+			return true
+		}
+		data, err := d.bus.ReadBytes(d.src, int(d.len))
+		if err != nil {
+			d.stat = 1
+			return true
+		}
+		if err := d.bus.WriteBytes(d.dst, data); err != nil {
+			d.stat = 1
+		}
+	default:
+		return false
+	}
+	return true
+}

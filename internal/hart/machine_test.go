@@ -1,0 +1,145 @@
+package hart
+
+import (
+	"strings"
+	"testing"
+
+	"govfm/internal/asm"
+)
+
+func newTestMachine(t *testing.T, harts int) *Machine {
+	t.Helper()
+	cfg := VisionFive2()
+	cfg.Harts = harts
+	m, err := NewMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExitFailDevice(t *testing.T) {
+	m := newTestMachine(t, 1)
+	a := asm.New(DramBase)
+	a.Li(asm.T0, ExitBase)
+	a.Li(asm.T1, uint64(7)<<16|ExitFail) // code 7
+	a.Sd(asm.T1, asm.T0, 0)
+	_ = m.LoadImage(DramBase, a.MustAssemble())
+	m.Reset(DramBase)
+	m.Run(100)
+	ok, reason := m.Halted()
+	if !ok || !strings.Contains(reason, "fail") || !strings.Contains(reason, "7") {
+		t.Errorf("halted=%v reason=%q", ok, reason)
+	}
+}
+
+func TestExitUnknownCode(t *testing.T) {
+	m := newTestMachine(t, 1)
+	a := asm.New(DramBase)
+	a.Li(asm.T0, ExitBase)
+	a.Li(asm.T1, 0x1234)
+	a.Sd(asm.T1, asm.T0, 0)
+	_ = m.LoadImage(DramBase, a.MustAssemble())
+	m.Reset(DramBase)
+	m.Run(100)
+	ok, reason := m.Halted()
+	if !ok || !strings.Contains(reason, "0x1234") {
+		t.Errorf("halted=%v reason=%q", ok, reason)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	m := newTestMachine(t, 1)
+	a := asm.New(DramBase)
+	a.Li(asm.S0, DramBase+0x1000)
+	a.Li(asm.T0, 1)
+	for i := 0; i < 50; i++ {
+		a.Nop()
+	}
+	a.Sd(asm.T0, asm.S0, 0)
+	a.Label("hang")
+	a.J("hang")
+	_ = m.LoadImage(DramBase, a.MustAssemble())
+	m.Reset(DramBase)
+	hit := m.RunUntil(func() bool {
+		v, _ := m.Bus.Load(DramBase+0x1000, 8)
+		return v == 1
+	}, 10_000)
+	if !hit {
+		t.Error("RunUntil must observe the store")
+	}
+	// A condition that never holds returns false.
+	if m.RunUntil(func() bool { return false }, 100) {
+		t.Error("impossible condition must report false")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := newTestMachine(t, 2)
+	h := m.Harts[1]
+	h.Regs[5] = 42
+	h.Waiting = true
+	h.Halted = true
+	m.halt("test")
+	m.Reset(DramBase)
+	if h.Regs[5] != 0 || h.Waiting || h.Halted {
+		t.Error("reset must clear hart state")
+	}
+	if h.Regs[10] != 1 {
+		t.Error("a0 must hold the hart id")
+	}
+	if ok, _ := m.Halted(); ok {
+		t.Error("reset must clear the halt latch")
+	}
+}
+
+func TestDMAErrorStatus(t *testing.T) {
+	m := newTestMachine(t, 1)
+	d := m.DMA
+	// Copy from unmapped memory: status 1.
+	d.Store(DMASrc, 8, 0x4000_0000)
+	d.Store(DMADst, 8, DramBase)
+	d.Store(DMALen, 8, 16)
+	d.Store(DMACtl, 8, 0)
+	if st, _ := d.Load(DMAStat, 8); st != 1 {
+		t.Errorf("status = %d, want 1 (bus error)", st)
+	}
+	// Copy into a device region: also an error.
+	d.Store(DMASrc, 8, DramBase)
+	d.Store(DMADst, 8, ClintBase)
+	d.Store(DMACtl, 8, 0)
+	if st, _ := d.Load(DMAStat, 8); st != 1 {
+		t.Errorf("status = %d, want 1", st)
+	}
+	// Register access constraints.
+	if _, ok := d.Load(DMASrc, 4); ok {
+		t.Error("4-byte DMA register access must fail")
+	}
+	if d.Store(0x99, 8, 0) {
+		t.Error("unknown register must fail")
+	}
+	if d.Name() != "dma" {
+		t.Error("name")
+	}
+}
+
+func TestTimeAdvancesAcrossHarts(t *testing.T) {
+	m := newTestMachine(t, 2)
+	a := asm.New(DramBase)
+	for i := 0; i < 2000; i++ {
+		a.Nop()
+	}
+	a.Li(asm.T0, ExitBase)
+	a.Li(asm.T1, ExitPass)
+	a.Sd(asm.T1, asm.T0, 0)
+	_ = m.LoadImage(DramBase, a.MustAssemble())
+	m.Reset(DramBase)
+	m.Run(3000)
+	if m.Clint.Time() == 0 {
+		t.Error("mtime must advance from consumed cycles")
+	}
+	// Both harts ran in lockstep.
+	if m.Harts[0].Instret == 0 || m.Harts[1].Instret == 0 {
+		t.Error("both harts must retire instructions")
+	}
+}

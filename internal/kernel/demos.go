@@ -1,0 +1,459 @@
+package kernel
+
+import (
+	"govfm/internal/asm"
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+// Demo kernels driving the isolation policies: a Keystone host + enclave
+// pair and an ACE host + confidential-VM pair. Both report progress
+// through a result area in OS memory so tests can assert each step.
+
+// Keystone/ACE demo memory layout (inside the OS region).
+const (
+	DemoResultAddr = 0x8840_0000 // 8 results x 8 bytes
+	EnclaveBase    = 0x8810_0000 // 64 KiB NAPOT region
+	EnclaveSize    = 0x1_0000
+	CVMBase        = 0x8820_0000 // 1 MiB NAPOT region
+	CVMSize        = 0x10_0000
+)
+
+// Keystone SBI numbers (mirrors internal/policy/keystone without importing
+// it: guest code is built from the architectural contract, not Go types).
+const (
+	keystoneEID = 0x08424b45
+	fnCreate    = 2001
+	fnDestroy   = 2002
+	fnRun       = 2003
+	fnResume    = 2005
+	fnExit      = 3006
+	interrupted = 100011
+)
+
+// BuildEnclavePayload assembles the enclave program: sums 1..n with a
+// deliberately long loop (preemptible by the host timer), then exits
+// through the security monitor with the result.
+func BuildEnclavePayload(base uint64, n int) []byte {
+	a := asm.New(base)
+	a.Li(asm.S0, 0) // acc
+	a.Li(asm.S1, 1) // i
+	a.Li(asm.S2, uint64(n))
+	a.Label("loop")
+	a.Add(asm.S0, asm.S0, asm.S1)
+	a.Addi(asm.S1, asm.S1, 1)
+	a.Bge(asm.S2, asm.S1, "loop")
+	a.Mv(asm.A0, asm.S0)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnExit)
+	a.Ecall()
+	a.Label("hang") // never reached
+	a.J("hang")
+	return a.MustAssemble()
+}
+
+// BuildKeystoneHost assembles the host kernel for the Keystone demo. Steps
+// recorded at DemoResultAddr:
+//
+//	[0] create return (enclave id, 0)
+//	[1] run/resume final return value (the enclave's sum)
+//	[2] number of timer preemptions observed
+//	[3] 1 if the post-run read of enclave memory faulted (it must)
+//	[4] destroy return (0)
+//	[5] value read from enclave memory after destroy (must be 0: scrubbed)
+func BuildKeystoneHost(base uint64, loopN int, preempt bool) []byte {
+	a := asm.New(base)
+	a.Label("entry")
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+	a.Li(asm.S8, DemoResultAddr)
+
+	// create(base, size, entry).
+	a.Li(asm.A0, EnclaveBase)
+	a.Li(asm.A1, EnclaveSize)
+	a.Li(asm.A2, EnclaveBase)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnCreate)
+	a.Ecall()
+	a.Sd(asm.A0, asm.S8, 0)
+	a.Mv(asm.S9, asm.A0) // enclave id
+
+	if preempt {
+		// Arm a timer so the enclave gets preempted at least once.
+		a.Csrr(asm.A0, rv.CSRTime)
+		a.Addi(asm.A0, asm.A0, 40)
+		a.Li(asm.A7, rv.SBIExtTimer)
+		a.Li(asm.A6, rv.SBITimerSetTimer)
+		a.Ecall()
+	}
+
+	a.Li(asm.S10, 0) // preemption count
+	// run(id).
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnRun)
+	a.Ecall()
+	a.Label("run_loop")
+	a.Li(asm.T0, interrupted)
+	a.BneFar(asm.A0, asm.T0, "run_done")
+	a.Addi(asm.S10, asm.S10, 1)
+	// Quiesce the timer, then resume the enclave.
+	a.Li(asm.A0, ^uint64(0))
+	a.Li(asm.A7, rv.SBIExtTimer)
+	a.Li(asm.A6, rv.SBITimerSetTimer)
+	a.Ecall()
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnResume)
+	a.Ecall()
+	a.J("run_loop")
+	a.Label("run_done")
+	a.Sd(asm.A0, asm.S8, 8)
+	a.Sd(asm.S10, asm.S8, 16)
+
+	// The enclave's memory must be unreadable from the host.
+	a.La(asm.T0, "fault_seen")
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Li(asm.T1, EnclaveBase)
+	a.Ld(asm.T2, asm.T1, 0) // must fault; handler sets fault_seen
+	a.La(asm.T0, "fault_seen")
+	a.Ld(asm.T2, asm.T0, 0)
+	a.Sd(asm.T2, asm.S8, 24)
+
+	// destroy(id): memory is scrubbed and returned.
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnDestroy)
+	a.Ecall()
+	a.Sd(asm.A0, asm.S8, 32)
+	a.Li(asm.T1, EnclaveBase)
+	a.Ld(asm.T2, asm.T1, 0) // now readable again, and zero
+	a.Sd(asm.T2, asm.S8, 40)
+
+	// Shutdown.
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtReset)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Label("fail")
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("hang")
+	a.J("hang")
+
+	// Supervisor trap handler: record access faults and skip the
+	// faulting instruction.
+	a.Label("strap")
+	a.Csrr(asm.T3, rv.CSRScause)
+	a.Li(asm.T4, rv.ExcLoadAccessFault)
+	a.Beq(asm.T3, asm.T4, "strap_fault")
+	a.Jal(asm.X0, "fail")
+	a.Label("strap_fault")
+	a.La(asm.T3, "fault_seen")
+	a.Li(asm.T4, 1)
+	a.Sd(asm.T4, asm.T3, 0)
+	a.Csrr(asm.T3, rv.CSRSepc)
+	a.Addi(asm.T3, asm.T3, 4)
+	a.Csrw(rv.CSRSepc, asm.T3)
+	a.Sret()
+
+	a.Align(8)
+	a.Label("fault_seen")
+	a.Space(8)
+	_ = loopN
+	return a.MustAssemble()
+}
+
+// ACE/CoVE SBI numbers (architectural contract).
+const (
+	covhEID        = 0x434F5648
+	covgEID        = 0x434F5647
+	fnPromote      = 0x10
+	fnDestroyCVM   = 0x11
+	fnRunCVM       = 0x12
+	fnGuestExit    = 0x20
+	fnGuestShare   = 0x21
+	cvmInterrupted = 0x0FF1
+)
+
+// BuildCVMGuest assembles the confidential VM's kernel: it writes a secret
+// into private memory, shares one page with the host, publishes a value
+// there, and exits.
+func BuildCVMGuest(base uint64) []byte {
+	a := asm.New(base)
+	// Private secret at base+0x2000.
+	a.Li(asm.T0, base+0x2000)
+	a.Li(asm.T1, 0x5EC2E7)
+	a.Sd(asm.T1, asm.T0, 0)
+	// Share the page at base+0x4000.
+	a.Li(asm.A0, base+0x4000)
+	a.Li(asm.A7, covgEID)
+	a.Li(asm.A6, fnGuestShare)
+	a.Ecall()
+	a.Bnez(asm.A0, "guest_fail")
+	// Publish through the shared page.
+	a.Li(asm.T0, base+0x4000)
+	a.Li(asm.T1, 0x9A9A9A)
+	a.Sd(asm.T1, asm.T0, 0)
+	// Exit with a status code.
+	a.Li(asm.A0, 0x600D)
+	a.Li(asm.A7, covgEID)
+	a.Li(asm.A6, fnGuestExit)
+	a.Ecall()
+	a.Label("guest_fail")
+	a.Li(asm.A0, 0xBAD)
+	a.Li(asm.A7, covgEID)
+	a.Li(asm.A6, fnGuestExit)
+	a.Ecall()
+	a.Label("hang")
+	a.J("hang")
+	return a.MustAssemble()
+}
+
+// BuildACEHost assembles the host (hypervisor-side) kernel for the ACE
+// demo. Results at DemoResultAddr:
+//
+//	[0] promote return (cvm id)
+//	[1] run return (guest exit value 0x600D)
+//	[2] value read from the shared page (0x9A9A9A)
+//	[3] 1 if reading the CVM's private memory faulted (it must)
+//	[4] destroy return (0)
+func BuildACEHost(base uint64) []byte {
+	a := asm.New(base)
+	a.Label("entry")
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+	a.Li(asm.S8, DemoResultAddr)
+
+	// promote(base, size, entry).
+	a.Li(asm.A0, CVMBase)
+	a.Li(asm.A1, CVMSize)
+	a.Li(asm.A2, CVMBase)
+	a.Li(asm.A7, covhEID)
+	a.Li(asm.A6, fnPromote)
+	a.Ecall()
+	a.Sd(asm.A0, asm.S8, 0)
+	a.Mv(asm.S9, asm.A0)
+
+	// run(id) until the guest exits voluntarily.
+	a.Label("run_again")
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, covhEID)
+	a.Li(asm.A6, fnRunCVM)
+	a.Ecall()
+	a.Li(asm.T0, cvmInterrupted)
+	a.Beq(asm.A0, asm.T0, "run_again")
+	a.Sd(asm.A0, asm.S8, 8)
+
+	// Read the shared page (allowed).
+	a.Li(asm.T1, CVMBase+0x4000)
+	a.Ld(asm.T2, asm.T1, 0)
+	a.Sd(asm.T2, asm.S8, 16)
+
+	// Read the private secret (must fault).
+	a.La(asm.T0, "fault_seen")
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Li(asm.T1, CVMBase+0x2000)
+	a.Ld(asm.T2, asm.T1, 0)
+	a.La(asm.T0, "fault_seen")
+	a.Ld(asm.T2, asm.T0, 0)
+	a.Sd(asm.T2, asm.S8, 24)
+
+	// destroy(id).
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, covhEID)
+	a.Li(asm.A6, fnDestroyCVM)
+	a.Ecall()
+	a.Sd(asm.A0, asm.S8, 32)
+
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtReset)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Label("fail")
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("hang")
+	a.J("hang")
+
+	a.Label("strap")
+	a.Csrr(asm.T3, rv.CSRScause)
+	a.Li(asm.T4, rv.ExcLoadAccessFault)
+	a.Beq(asm.T3, asm.T4, "strap_fault")
+	a.Jal(asm.X0, "fail")
+	a.Label("strap_fault")
+	a.La(asm.T3, "fault_seen")
+	a.Li(asm.T4, 1)
+	a.Sd(asm.T4, asm.T3, 0)
+	a.Csrr(asm.T3, rv.CSRSepc)
+	a.Addi(asm.T3, asm.T3, 4)
+	a.Csrw(rv.CSRSepc, asm.T3)
+	a.Sret()
+
+	a.Align(8)
+	a.Label("fault_seen")
+	a.Space(8)
+	return a.MustAssemble()
+}
+
+// BuildSecretCaller assembles a kernel that places a secret in s7 and
+// performs the malicious firmware's echo call, recording what came back —
+// the sandbox's GPR allow-list must prevent the leak.
+func BuildSecretCaller(base uint64, secret uint64) []byte {
+	a := asm.New(base)
+	a.Li(asm.S8, DemoResultAddr)
+	a.Li(asm.S7, secret)
+	a.Li(asm.A7, 0x09001234) // firmware.EvilEID
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Sd(asm.A1, asm.S8, 0) // what the firmware claims s7 was
+	a.Sd(asm.S7, asm.S8, 8) // s7 must be preserved across the call
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtReset)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Label("hang")
+	a.J("hang")
+	return a.MustAssemble()
+}
+
+// BuildEvilTrigger assembles a kernel that pokes the malicious firmware
+// extension once (triggering its OS-memory or DMA attack) and then exits.
+func BuildEvilTrigger(base uint64) []byte {
+	a := asm.New(base)
+	a.Li(asm.A7, 0x09001234)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Li(asm.S8, DemoResultAddr)
+	a.Sd(asm.A1, asm.S8, 0) // whatever the firmware exfiltrated
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtReset)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Label("hang")
+	a.J("hang")
+	return a.MustAssemble()
+}
+
+// BuildRV8Enclave assembles an RV8-style compute kernel as an enclave
+// payload: the same compute/memory loops the plain workload kernel runs,
+// with the result returned through the enclave exit call.
+func BuildRV8Enclave(base uint64, iterations, computeN, memN int) []byte {
+	a := asm.New(base)
+	a.Li(asm.S0, uint64(iterations))
+	a.Li(asm.S4, 0)      // checksum
+	a.Mv(asm.S2, asm.SP) // working buffer: below the stack top
+	a.Li(asm.T0, 0x8000)
+	a.Sub(asm.S2, asm.S2, asm.T0)
+	a.Label("outer")
+	if computeN > 0 {
+		a.Li(asm.T0, uint64(computeN))
+		a.Li(asm.T1, 0x9E3779B9)
+		a.Label("comp")
+		a.Add(asm.T2, asm.T2, asm.T1)
+		a.Xor(asm.T1, asm.T1, asm.T2)
+		a.Slli(asm.T3, asm.T2, 1)
+		a.Add(asm.T2, asm.T2, asm.T3)
+		a.Addi(asm.T0, asm.T0, -1)
+		a.Bnez(asm.T0, "comp")
+		a.Add(asm.S4, asm.S4, asm.T2)
+	}
+	if memN > 0 {
+		a.Li(asm.T0, uint64(memN))
+		a.Li(asm.T4, 0)
+		a.Li(asm.T5, 0x7000)
+		a.Label("memloop")
+		a.Add(asm.T3, asm.S2, asm.T4)
+		a.Ld(asm.T2, asm.T3, 0)
+		a.Addi(asm.T2, asm.T2, 1)
+		a.Sd(asm.T2, asm.T3, 0)
+		a.Addi(asm.T4, asm.T4, 64)
+		a.Bltu(asm.T4, asm.T5, "memok")
+		a.Li(asm.T4, 0)
+		a.Label("memok")
+		a.Addi(asm.T0, asm.T0, -1)
+		a.Bnez(asm.T0, "memloop")
+	}
+	a.Addi(asm.S0, asm.S0, -1)
+	a.BnezFar(asm.S0, "outer")
+	a.Mv(asm.A0, asm.S4)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnExit)
+	a.Ecall()
+	a.Label("hang")
+	a.J("hang")
+	return a.MustAssemble()
+}
+
+// BuildRV8Host assembles the Fig. 14 host: it creates the enclave, runs it
+// under a periodic preemption timer (rearmed on every Interrupted return),
+// and shuts down when the enclave completes.
+func BuildRV8Host(base, encBase, encSize uint64, tickDelta int64) []byte {
+	a := asm.New(base)
+	a.Label("entry")
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+	// create(base, size, entry).
+	a.Li(asm.A0, encBase)
+	a.Li(asm.A1, encSize)
+	a.Li(asm.A2, encBase)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnCreate)
+	a.Ecall()
+	a.BnezFar(asm.A0, "fail")
+	a.Mv(asm.S9, asm.A0)
+	// Arm the first tick and run.
+	a.Jal(asm.RA, "arm_tick")
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnRun)
+	a.Ecall()
+	a.Label("run_loop")
+	a.Li(asm.T0, interrupted)
+	a.BneFar(asm.A0, asm.T0, "run_done")
+	a.Jal(asm.RA, "arm_tick")
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, keystoneEID)
+	a.Li(asm.A6, fnResume)
+	a.Ecall()
+	a.J("run_loop")
+	a.Label("run_done")
+	a.Li(asm.S8, DemoResultAddr)
+	a.Sd(asm.A0, asm.S8, 0)
+	// Quiesce and shut down.
+	a.Li(asm.A0, ^uint64(0))
+	a.Li(asm.A7, rv.SBIExtTimer)
+	a.Li(asm.A6, rv.SBITimerSetTimer)
+	a.Ecall()
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtReset)
+	a.Li(asm.A6, 0)
+	a.Ecall()
+	a.Label("fail")
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("hang")
+	a.J("hang")
+	// arm_tick: set_timer(now + tickDelta).
+	a.Label("arm_tick")
+	a.Mv(asm.S6, asm.RA)
+	a.Csrr(asm.A0, rv.CSRTime)
+	a.Addi(asm.A0, asm.A0, tickDelta)
+	a.Li(asm.A7, rv.SBIExtTimer)
+	a.Li(asm.A6, rv.SBITimerSetTimer)
+	a.Ecall()
+	a.Jr(asm.S6)
+	// The host never enables SIE, so STIP stays pending until quiesced;
+	// the strap handler exists only for unexpected traps.
+	a.Label("strap")
+	a.Jal(asm.X0, "fail")
+	return a.MustAssemble()
+}

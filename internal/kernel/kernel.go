@@ -1,0 +1,365 @@
+// Package kernel builds synthetic S-mode guest kernels: real machine code
+// exercising exactly the OS-to-firmware interface the paper measures — SBI
+// calls, time-CSR reads, timer programming, misaligned accesses, IPIs and
+// remote fences — plus parameterized workload kernels whose trap mix and
+// rate reproduce the paper's application profiles (Figs. 10-13).
+package kernel
+
+import (
+	"govfm/internal/asm"
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+// BootOptions parameterizes the boot kernel.
+type BootOptions struct {
+	// Harts > 1 exercises HSM start, IPIs, and remote fences.
+	Harts int
+	// TimeReads/TimerSets/Misaligned are per-phase operation counts.
+	TimeReads  int
+	TimerSets  int
+	Misaligned int
+	// ScratchAddr is OS RAM the kernel may scribble on.
+	ScratchAddr uint64
+}
+
+// emitSBICall emits an ecall with ext/fn in a7/a6.
+func emitSBICall(a *asm.Asm, ext, fn uint64) {
+	a.Li(asm.A7, ext)
+	a.Li(asm.A6, fn)
+	a.Ecall()
+}
+
+// emitConsole emits a debug-console write of one byte.
+func emitConsole(a *asm.Asm, ch byte) {
+	a.Li(asm.A0, uint64(ch))
+	emitSBICall(a, rv.SBIExtDebug, rv.SBIDebugWriteByte)
+}
+
+// BuildBoot assembles the boot kernel at base. The kernel runs through a
+// boot sequence — console banner, SBI probes, time reads, a timer
+// interrupt round trip, misaligned accesses, secondary-hart bring-up with
+// IPI and remote-fence round trips — and shuts the machine down through
+// the SBI reset extension. Reaching the shutdown is the pass criterion:
+// any divergence wedges or faults the machine instead.
+func BuildBoot(base uint64, opt BootOptions) []byte {
+	a := asm.New(base)
+	nharts := opt.Harts
+	if nharts <= 0 {
+		nharts = 1
+	}
+	scratch := opt.ScratchAddr
+	if scratch == 0 {
+		scratch = base + 0x10_0000
+	}
+
+	a.Label("entry")
+	a.BnezFar(asm.A0, "secondary")
+
+	// Trap vector for supervisor interrupts.
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+
+	// Banner through the debug console.
+	for _, ch := range []byte("boot\n") {
+		emitConsole(a, ch)
+	}
+
+	// SBI base probes: spec version and TIME extension presence.
+	emitSBICall(a, rv.SBIExtBase, rv.SBIBaseGetSpecVersion)
+	a.BnezFar(asm.A0, "fail") // a0 = error code
+	a.Li(asm.A0, rv.SBIExtTimer)
+	emitSBICall(a, rv.SBIExtBase, rv.SBIBaseProbeExt)
+	a.BnezFar(asm.A0, "fail")
+	a.BeqzFar(asm.A1, "fail") // probe value must be 1
+
+	// Time reads: the dominant Fig. 3 cause. Values must be monotonic.
+	a.Csrr(asm.S0, rv.CSRTime)
+	for i := 0; i < opt.TimeReads; i++ {
+		a.Csrr(asm.S1, rv.CSRTime)
+		a.BltuFar(asm.S1, asm.S0, "fail") // time must not go backwards
+		a.Mv(asm.S0, asm.S1)
+	}
+
+	// Timer round trip: arm a deadline and wait for the S-timer interrupt.
+	for i := 0; i < opt.TimerSets; i++ {
+		a.Li(asm.S2, 0)
+		a.La(asm.T0, "tick_seen")
+		a.Sd(asm.X0, asm.T0, 0)
+		a.Csrr(asm.A0, rv.CSRTime)
+		a.Addi(asm.A0, asm.A0, 20)
+		emitSBICall(a, rv.SBIExtTimer, rv.SBITimerSetTimer)
+		a.BnezFar(asm.A0, "fail")
+		// Enable STIE + SIE and wait for the handler to set tick_seen.
+		a.Li(asm.T0, 1<<rv.IntSTimer)
+		a.Csrrs(asm.X0, rv.CSRSie, asm.T0)
+		a.Csrrsi(asm.X0, rv.CSRSstatus, 1<<rv.MstatusSIE)
+		a.Label(lbl(a, "tick_wait", i))
+		a.La(asm.T0, "tick_seen")
+		a.Ld(asm.T1, asm.T0, 0)
+		a.Beqz(asm.T1, lbl(a, "tick_wait", i))
+		a.Csrrci(asm.X0, rv.CSRSstatus, 1<<rv.MstatusSIE)
+	}
+
+	// Misaligned loads and stores (software-emulated by the firmware or
+	// the fast path).
+	a.Li(asm.S3, scratch+1) // odd address
+	a.Li(asm.T0, 0x1122334455667788)
+	for i := 0; i < opt.Misaligned; i++ {
+		a.Sd(asm.T0, asm.S3, 0)
+		a.Ld(asm.T1, asm.S3, 0)
+		a.BneFar(asm.T0, asm.T1, "fail")
+		a.Lw(asm.T2, asm.S3, 0) // sign-extended low word
+		a.Sext32(asm.T3, asm.T0)
+		a.BneFar(asm.T2, asm.T3, "fail")
+	}
+
+	if nharts > 1 {
+		// Start hart 1 through HSM, passing an opaque cookie.
+		a.La(asm.T0, "sec_flag")
+		a.Sd(asm.X0, asm.T0, 0)
+		a.Li(asm.A0, 1)
+		a.La(asm.A1, "secondary")
+		a.Li(asm.A2, 0xC00C1E)
+		emitSBICall(a, rv.SBIExtHSM, rv.SBIHSMHartStart)
+		a.BnezFar(asm.A0, "fail")
+		// Wait for the secondary to check in.
+		a.Label("sec_wait")
+		a.La(asm.T0, "sec_flag")
+		a.Ld(asm.T1, asm.T0, 0)
+		a.Beqz(asm.T1, "sec_wait")
+		// IPI round trip: the secondary sets ipi_flag from its handler.
+		a.La(asm.T0, "ipi_flag")
+		a.Sd(asm.X0, asm.T0, 0)
+		a.Li(asm.A0, 1<<1) // hart mask: hart 1
+		a.Li(asm.A1, 0)
+		emitSBICall(a, rv.SBIExtIPI, rv.SBIIPISendIPI)
+		a.BnezFar(asm.A0, "fail")
+		a.Label("ipi_wait")
+		a.La(asm.T0, "ipi_flag")
+		a.Ld(asm.T1, asm.T0, 0)
+		a.Beqz(asm.T1, "ipi_wait")
+		// Remote fence to everyone.
+		a.Li(asm.A0, ^uint64(0))
+		a.Li(asm.A1, 0)
+		a.Li(asm.A2, 0)
+		a.Li(asm.A3, ^uint64(0))
+		emitSBICall(a, rv.SBIExtRfence, rv.SBIRfenceSfenceVMA)
+		a.BnezFar(asm.A0, "fail")
+	}
+
+	for _, ch := range []byte("ok\n") {
+		emitConsole(a, ch)
+	}
+	// Clean shutdown through SBI SRST.
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	emitSBICall(a, rv.SBIExtReset, 0)
+	a.Label("fail")
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("hang")
+	a.J("hang")
+
+	// --- Supervisor trap handler (hart 0 + secondary) ---
+	a.Label("strap")
+	a.Csrr(asm.T0, rv.CSRScause)
+	a.Slli(asm.T2, asm.T0, 1)
+	a.Srli(asm.T2, asm.T2, 1)
+	a.Blt(asm.T0, asm.X0, "strap_intr")
+	// Unexpected synchronous trap.
+	a.Jal(asm.X0, "fail")
+	a.Label("strap_intr")
+	a.Li(asm.T1, rv.IntSTimer)
+	a.Beq(asm.T2, asm.T1, "strap_timer")
+	a.Li(asm.T1, rv.IntSSoft)
+	a.Beq(asm.T2, asm.T1, "strap_ssoft")
+	a.Jal(asm.X0, "fail")
+	a.Label("strap_timer")
+	// Stop the timer (deadline = infinity) and record the tick.
+	a.Li(asm.A0, ^uint64(0))
+	emitSBICall(a, rv.SBIExtTimer, rv.SBITimerSetTimer)
+	a.La(asm.T0, "tick_seen")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Sret()
+	a.Label("strap_ssoft")
+	// Clear SSIP and record the IPI.
+	a.Li(asm.T0, 1<<rv.IntSSoft)
+	a.Csrrc(asm.X0, rv.CSRSip, asm.T0)
+	a.La(asm.T0, "ipi_flag")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Sret()
+
+	// --- Secondary hart entry (S-mode, a0=hartid, a1=opaque) ---
+	a.Label("secondary")
+	a.Li(asm.T0, 0xC00C1E)
+	a.BneFar(asm.A1, asm.T0, "fail")
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+	a.Li(asm.T0, 1<<rv.IntSSoft)
+	a.Csrrs(asm.X0, rv.CSRSie, asm.T0)
+	a.Csrrsi(asm.X0, rv.CSRSstatus, 1<<rv.MstatusSIE)
+	a.La(asm.T0, "sec_flag")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Label("sec_idle")
+	a.Wfi()
+	a.J("sec_idle")
+
+	// --- Data ---
+	a.Align(8)
+	a.Label("tick_seen")
+	a.Space(8)
+	a.Label("sec_flag")
+	a.Space(8)
+	a.Label("ipi_flag")
+	a.Space(8)
+
+	return a.MustAssemble()
+}
+
+// lbl builds a unique loop label.
+func lbl(a *asm.Asm, prefix string, i int) string {
+	_ = a
+	return prefix + "_" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// BuildBootTrace assembles the Fig. 3 boot kernel: three phases shaped
+// like a real Linux bring-up — a console/misaligned-heavy bootloader
+// phase, a time-read/timer-heavy early-init phase, and a long idle phase
+// of timer-tick wakeups — so the windowed trap-cause distribution and the
+// boot-time comparison have realistic structure.
+func BuildBootTrace(base uint64, idleTicks int) []byte {
+	a := asm.New(base)
+	a.Label("entry")
+	a.La(asm.T0, "strap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+
+	// --- Phase A: bootloader (console output, misaligned accesses) ---
+	for _, ch := range []byte("B\n") {
+		emitConsole(a, ch)
+	}
+	a.Li(asm.S3, base+0x10_0001)
+	a.Li(asm.S4, 100)
+	a.Label("pha_mis")
+	a.Li(asm.T0, 0xABCD)
+	a.Sd(asm.T0, asm.S3, 0)
+	a.Ld(asm.T1, asm.S3, 0)
+	a.Csrr(asm.T2, rv.CSRTime)
+	a.Addi(asm.S4, asm.S4, -1)
+	a.Bnez(asm.S4, "pha_mis")
+
+	// --- Phase B: early kernel init (clock calibration, timers, fences) ---
+	a.Li(asm.S4, 200)
+	a.Label("phb_loop")
+	a.Csrr(asm.T0, rv.CSRTime)
+	a.Csrr(asm.T1, rv.CSRTime)
+	a.Csrr(asm.T2, rv.CSRTime)
+	// Every 20th round: a self-IPI and a remote fence.
+	a.Li(asm.T3, 20)
+	a.Remu(asm.T4, asm.S4, asm.T3)
+	a.BnezFar(asm.T4, "phb_skip")
+	a.Li(asm.A0, 1)
+	a.Li(asm.A1, 0)
+	a.Li(asm.A7, rv.SBIExtIPI)
+	a.Li(asm.A6, rv.SBIIPISendIPI)
+	a.Ecall()
+	a.Li(asm.T0, 1<<rv.IntSSoft)
+	a.Csrrc(asm.X0, rv.CSRSip, asm.T0)
+	a.Li(asm.A0, ^uint64(0))
+	a.Li(asm.A1, 0)
+	a.Li(asm.A2, 0)
+	a.Li(asm.A3, ^uint64(0))
+	a.Li(asm.A7, rv.SBIExtRfence)
+	a.Li(asm.A6, rv.SBIRfenceSfenceVMA)
+	a.Ecall()
+	a.Label("phb_skip")
+	a.Addi(asm.S4, asm.S4, -1)
+	a.BnezFar(asm.S4, "phb_loop")
+	for _, ch := range []byte("I\n") {
+		emitConsole(a, ch)
+	}
+
+	// --- Phase C: idle (periodic timer ticks, wfi in between) ---
+	a.Li(asm.T0, 1<<rv.IntSTimer)
+	a.Csrrs(asm.X0, rv.CSRSie, asm.T0)
+	a.Li(asm.S4, uint64(idleTicks))
+	a.Label("phc_loop")
+	a.La(asm.T0, "tick_seen")
+	a.Sd(asm.X0, asm.T0, 0)
+	a.Csrr(asm.A0, rv.CSRTime)
+	a.Addi(asm.A0, asm.A0, 500)
+	a.Li(asm.A7, rv.SBIExtTimer)
+	a.Li(asm.A6, rv.SBITimerSetTimer)
+	a.Ecall()
+	a.Csrrsi(asm.X0, rv.CSRSstatus, 1<<rv.MstatusSIE)
+	a.Label("phc_wait")
+	a.Wfi()
+	a.La(asm.T0, "tick_seen")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Beqz(asm.T1, "phc_wait")
+	a.Csrrci(asm.X0, rv.CSRSstatus, 1<<rv.MstatusSIE)
+	a.Csrr(asm.T2, rv.CSRTime) // the scheduler reads the clock per wakeup
+	a.Addi(asm.S4, asm.S4, -1)
+	a.BnezFar(asm.S4, "phc_loop")
+
+	// Login prompt: boot complete.
+	for _, ch := range []byte("L\n") {
+		emitConsole(a, ch)
+	}
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	emitSBICall(a, rv.SBIExtReset, 0)
+	a.Label("fail")
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("hang2")
+	a.J("hang2")
+
+	a.Label("strap")
+	a.Csrr(asm.T0, rv.CSRScause)
+	a.Slli(asm.T1, asm.T0, 1)
+	a.Srli(asm.T1, asm.T1, 1)
+	a.Blt(asm.T0, asm.X0, "strap_i")
+	a.Jal(asm.X0, "fail")
+	a.Label("strap_i")
+	a.Li(asm.T2, rv.IntSTimer)
+	a.Beq(asm.T1, asm.T2, "strap_t")
+	a.Li(asm.T2, rv.IntSSoft)
+	a.Beq(asm.T1, asm.T2, "strap_s")
+	a.Jal(asm.X0, "fail")
+	a.Label("strap_t")
+	a.Li(asm.A0, ^uint64(0))
+	emitSBICall(a, rv.SBIExtTimer, rv.SBITimerSetTimer)
+	a.La(asm.T0, "tick_seen")
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Sret()
+	a.Label("strap_s")
+	a.Li(asm.T0, 1<<rv.IntSSoft)
+	a.Csrrc(asm.X0, rv.CSRSip, asm.T0)
+	a.Sret()
+
+	a.Align(8)
+	a.Label("tick_seen")
+	a.Space(8)
+	return a.MustAssemble()
+}

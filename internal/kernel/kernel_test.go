@@ -1,0 +1,91 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"govfm/internal/core"
+	"govfm/internal/firmware"
+	"govfm/internal/hart"
+	"govfm/internal/kernel"
+)
+
+// The kernels are guest images; their deep behaviour is exercised by the
+// core, firmware, policy, and bench suites. These tests pin down the image
+// invariants and run each image once on a bare native stack.
+
+func TestImagesAssemble(t *testing.T) {
+	images := map[string][]byte{
+		"boot":      kernel.BuildBoot(core.OSBase, kernel.BootOptions{Harts: 2, TimeReads: 3, TimerSets: 1, Misaligned: 2}),
+		"boottrace": kernel.BuildBootTrace(core.OSBase, 10),
+		"keystone":  kernel.BuildKeystoneHost(core.OSBase, 10, true),
+		"enclave":   kernel.BuildEnclavePayload(kernel.EnclaveBase, 10),
+		"acehost":   kernel.BuildACEHost(core.OSBase),
+		"cvmguest":  kernel.BuildCVMGuest(kernel.CVMBase),
+		"secret":    kernel.BuildSecretCaller(core.OSBase, 42),
+		"evil":      kernel.BuildEvilTrigger(core.OSBase),
+		"rv8host":   kernel.BuildRV8Host(core.OSBase, kernel.EnclaveBase, kernel.EnclaveSize, 100),
+		"rv8enc":    kernel.BuildRV8Enclave(kernel.EnclaveBase, 10, 100, 10),
+	}
+	for name, img := range images {
+		if len(img) == 0 {
+			t.Errorf("%s: empty image", name)
+		}
+		if len(img)%4 != 0 {
+			t.Errorf("%s: image length %d not word-aligned", name, len(img))
+		}
+	}
+	// Parameterization must change the image.
+	a := kernel.BuildBoot(core.OSBase, kernel.BootOptions{Harts: 1, TimeReads: 3})
+	b := kernel.BuildBoot(core.OSBase, kernel.BootOptions{Harts: 1, TimeReads: 4})
+	if string(a) == string(b) {
+		t.Error("boot kernel must vary with its options")
+	}
+}
+
+func TestBootKernelDefaults(t *testing.T) {
+	// Zero options still produce a runnable kernel.
+	img := kernel.BuildBoot(core.OSBase, kernel.BootOptions{})
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	m, err := hart.NewMachine(cfg, core.DramSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := firmware.BuildGosbi(core.FirmwareBase, firmware.Options{
+		OSEntry: core.OSBase, Harts: 1, FirmwareSize: core.FirmwareSize,
+	})
+	_ = m.LoadImage(core.FirmwareBase, fw.Bytes)
+	_ = m.LoadImage(core.OSBase, img)
+	m.Reset(core.FirmwareBase)
+	m.Run(5_000_000)
+	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+		t.Fatalf("%v %q", ok, reason)
+	}
+}
+
+func TestBootTraceIdleScaling(t *testing.T) {
+	// More idle ticks must take longer (the phase machinery works).
+	run := func(ticks int) uint64 {
+		cfg := hart.VisionFive2()
+		cfg.Harts = 1
+		m, err := hart.NewMachine(cfg, core.DramSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw := firmware.BuildGosbi(core.FirmwareBase, firmware.Options{
+			OSEntry: core.OSBase, Harts: 1, FirmwareSize: core.FirmwareSize,
+		})
+		_ = m.LoadImage(core.FirmwareBase, fw.Bytes)
+		_ = m.LoadImage(core.OSBase, kernel.BuildBootTrace(core.OSBase, ticks))
+		m.Reset(core.FirmwareBase)
+		m.Run(50_000_000)
+		if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
+			t.Fatalf("ticks=%d: %v %q", ticks, ok, reason)
+		}
+		return m.Harts[0].Cycles
+	}
+	short, long := run(5), run(50)
+	if long < 2*short {
+		t.Errorf("idle phase must dominate: 5 ticks=%d cycles, 50 ticks=%d", short, long)
+	}
+}

@@ -1,0 +1,204 @@
+// Package mem implements the physical address space of the simulated
+// machine: a DRAM region plus memory-mapped I/O devices dispatched by
+// address range. All accesses are little-endian, as mandated for RISC-V
+// memory.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// AccessType distinguishes the three architectural access kinds, matching
+// the PMP permission bits and page-table permission checks.
+type AccessType uint8
+
+const (
+	Read AccessType = iota
+	Write
+	Exec
+)
+
+func (a AccessType) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Exec:
+		return "exec"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(a))
+	}
+}
+
+// Device is a memory-mapped peripheral. Offsets are relative to the device's
+// base address. Devices are accessed with naturally aligned widths of
+// 1, 2, 4, or 8 bytes; a device may reject an access by returning false.
+type Device interface {
+	// Name identifies the device in traces and error messages.
+	Name() string
+	// Load reads size bytes at offset.
+	Load(offset uint64, size int) (uint64, bool)
+	// Store writes size bytes at offset.
+	Store(offset uint64, size int, value uint64) bool
+}
+
+// Region is a mapped address range.
+type Region struct {
+	Base uint64
+	Size uint64
+	Dev  Device // nil for RAM regions
+	ram  []byte
+}
+
+// Contains reports whether addr (with an access of size bytes) falls fully
+// inside the region.
+func (r *Region) Contains(addr uint64, size int) bool {
+	return addr >= r.Base && addr-r.Base+uint64(size) <= r.Size
+}
+
+// Bus is the physical address space. It is not safe for concurrent use; the
+// machine serializes hart steps (see internal/hart.Machine).
+type Bus struct {
+	regions []*Region // sorted by base
+}
+
+// NewBus returns an empty address space.
+func NewBus() *Bus { return &Bus{} }
+
+// AddRAM maps size bytes of zeroed RAM at base.
+func (b *Bus) AddRAM(base, size uint64) error {
+	return b.add(&Region{Base: base, Size: size, ram: make([]byte, size)})
+}
+
+// AddDevice maps dev at [base, base+size).
+func (b *Bus) AddDevice(base, size uint64, dev Device) error {
+	return b.add(&Region{Base: base, Size: size, Dev: dev})
+}
+
+func (b *Bus) add(r *Region) error {
+	if r.Size == 0 {
+		return fmt.Errorf("mem: empty region at %#x", r.Base)
+	}
+	if r.Base+r.Size < r.Base {
+		return fmt.Errorf("mem: region at %#x wraps the address space", r.Base)
+	}
+	for _, o := range b.regions {
+		if r.Base < o.Base+o.Size && o.Base < r.Base+r.Size {
+			name := "ram"
+			if o.Dev != nil {
+				name = o.Dev.Name()
+			}
+			return fmt.Errorf("mem: region %#x+%#x overlaps %s at %#x", r.Base, r.Size, name, o.Base)
+		}
+	}
+	b.regions = append(b.regions, r)
+	sort.Slice(b.regions, func(i, j int) bool { return b.regions[i].Base < b.regions[j].Base })
+	return nil
+}
+
+// Regions returns the mapped regions in address order.
+func (b *Bus) Regions() []*Region { return b.regions }
+
+// find locates the region containing [addr, addr+size).
+func (b *Bus) find(addr uint64, size int) *Region {
+	// Binary search for the last region with Base <= addr.
+	i := sort.Search(len(b.regions), func(i int) bool { return b.regions[i].Base > addr })
+	if i == 0 {
+		return nil
+	}
+	r := b.regions[i-1]
+	if !r.Contains(addr, size) {
+		return nil
+	}
+	return r
+}
+
+// Load reads size bytes (1, 2, 4, or 8) at physical address addr.
+// The boolean result is false on an access fault (unmapped address or
+// device rejection) — the architectural equivalent of a bus error.
+func (b *Bus) Load(addr uint64, size int) (uint64, bool) {
+	r := b.find(addr, size)
+	if r == nil {
+		return 0, false
+	}
+	if r.Dev != nil {
+		return r.Dev.Load(addr-r.Base, size)
+	}
+	off := addr - r.Base
+	switch size {
+	case 1:
+		return uint64(r.ram[off]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(r.ram[off:])), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(r.ram[off:])), true
+	case 8:
+		return binary.LittleEndian.Uint64(r.ram[off:]), true
+	}
+	return 0, false
+}
+
+// Store writes size bytes (1, 2, 4, or 8) at physical address addr.
+func (b *Bus) Store(addr uint64, size int, value uint64) bool {
+	r := b.find(addr, size)
+	if r == nil {
+		return false
+	}
+	if r.Dev != nil {
+		return r.Dev.Store(addr-r.Base, size, value)
+	}
+	off := addr - r.Base
+	switch size {
+	case 1:
+		r.ram[off] = byte(value)
+	case 2:
+		binary.LittleEndian.PutUint16(r.ram[off:], uint16(value))
+	case 4:
+		binary.LittleEndian.PutUint32(r.ram[off:], uint32(value))
+	case 8:
+		binary.LittleEndian.PutUint64(r.ram[off:], value)
+	default:
+		return false
+	}
+	return true
+}
+
+// WriteBytes copies p into RAM starting at addr. It is used to load images
+// and fails if the range is not fully RAM-backed.
+func (b *Bus) WriteBytes(addr uint64, p []byte) error {
+	for len(p) > 0 {
+		r := b.find(addr, 1)
+		if r == nil || r.Dev != nil {
+			return fmt.Errorf("mem: WriteBytes: %#x is not RAM", addr)
+		}
+		off := addr - r.Base
+		n := copy(r.ram[off:], p)
+		p = p[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// ReadBytes copies n RAM bytes starting at addr into a fresh slice.
+func (b *Bus) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		r := b.find(addr, 1)
+		if r == nil || r.Dev != nil {
+			return nil, fmt.Errorf("mem: ReadBytes: %#x is not RAM", addr)
+		}
+		off := addr - r.Base
+		avail := int(r.Size - off)
+		take := n
+		if take > avail {
+			take = avail
+		}
+		out = append(out, r.ram[off:off+uint64(take)]...)
+		addr += uint64(take)
+		n -= take
+	}
+	return out, nil
+}

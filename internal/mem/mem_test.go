@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type stubDev struct {
+	name    string
+	lastOff uint64
+	val     uint64
+	reject  bool
+}
+
+func (d *stubDev) Name() string { return d.name }
+func (d *stubDev) Load(off uint64, size int) (uint64, bool) {
+	if d.reject {
+		return 0, false
+	}
+	d.lastOff = off
+	return d.val, true
+}
+func (d *stubDev) Store(off uint64, size int, v uint64) bool {
+	if d.reject {
+		return false
+	}
+	d.lastOff = off
+	d.val = v
+	return true
+}
+
+func TestRAMLoadStoreWidths(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x8000_0000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if size == 8 {
+			want = 0x1122334455667788
+		}
+		if !b.Store(0x8000_0100, size, 0x1122334455667788) {
+			t.Fatalf("store size %d failed", size)
+		}
+		got, ok := b.Load(0x8000_0100, size)
+		if !ok || got != want {
+			t.Errorf("size %d: got %#x want %#x", size, got, want)
+		}
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	b.Store(0, 4, 0xAABBCCDD)
+	lo, _ := b.Load(0, 1)
+	hi, _ := b.Load(3, 1)
+	if lo != 0xDD || hi != 0xAA {
+		t.Errorf("little endian violated: lo=%#x hi=%#x", lo, hi)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Load(0xFFF, 1); ok {
+		t.Error("load below region must fault")
+	}
+	if _, ok := b.Load(0x2000, 1); ok {
+		t.Error("load past region must fault")
+	}
+	// Straddling the end of the region must fault.
+	if _, ok := b.Load(0x1FFD, 8); ok {
+		t.Error("straddling load must fault")
+	}
+	if b.Store(0x2000, 1, 0) {
+		t.Error("store past region must fault")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRAM(0x1800, 0x1000); err == nil {
+		t.Error("overlapping RAM must be rejected")
+	}
+	if err := b.AddDevice(0x0, 0x1001, &stubDev{name: "d"}); err == nil {
+		t.Error("overlapping device must be rejected")
+	}
+	if err := b.AddRAM(0x3000, 0); err == nil {
+		t.Error("empty region must be rejected")
+	}
+	if err := b.AddRAM(^uint64(0)-10, 100); err == nil {
+		t.Error("wrapping region must be rejected")
+	}
+}
+
+func TestDeviceDispatch(t *testing.T) {
+	b := NewBus()
+	d := &stubDev{name: "clint"}
+	if err := b.AddDevice(0x200_0000, 0x1000, d); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Store(0x200_0BFF, 4, 42) {
+		t.Fatal("device store failed")
+	}
+	if d.lastOff != 0xBFF || d.val != 42 {
+		t.Errorf("device saw off=%#x val=%d", d.lastOff, d.val)
+	}
+	got, ok := b.Load(0x200_0BFF, 4)
+	if !ok || got != 42 {
+		t.Errorf("device load got %d", got)
+	}
+	d.reject = true
+	if _, ok := b.Load(0x200_0000, 4); ok {
+		t.Error("device rejection must propagate as fault")
+	}
+}
+
+func TestWriteReadBytes(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x8000_0000, 64); err != nil {
+		t.Fatal(err)
+	}
+	img := []byte{1, 2, 3, 4, 5}
+	if err := b.WriteBytes(0x8000_0010, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBytes(0x8000_0010, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img {
+		if got[i] != img[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], img[i])
+		}
+	}
+	if err := b.WriteBytes(0x8000_003E, img); err == nil {
+		t.Error("WriteBytes past RAM must fail")
+	}
+	if _, err := b.ReadBytes(0x9000_0000, 1); err == nil {
+		t.Error("ReadBytes of unmapped must fail")
+	}
+}
+
+func TestWriteBytesToDeviceFails(t *testing.T) {
+	b := NewBus()
+	if err := b.AddDevice(0x1000, 0x100, &stubDev{name: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBytes(0x1000, []byte{1}); err == nil {
+		t.Error("WriteBytes into a device must fail")
+	}
+}
+
+func TestLoadStoreRoundTripProperty(t *testing.T) {
+	b := NewBus()
+	const base, size = 0x8000_0000, 0x10000
+	if err := b.AddRAM(base, size); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32, v uint64, szSel uint8) bool {
+		sz := []int{1, 2, 4, 8}[szSel%4]
+		addr := base + uint64(off)%(size-8)
+		addr &^= uint64(sz - 1) // natural alignment
+		if !b.Store(addr, sz, v) {
+			return false
+		}
+		got, ok := b.Load(addr, sz)
+		if !ok {
+			return false
+		}
+		want := v
+		if sz < 8 {
+			want = v & (1<<(8*sz) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Exec.String() != "exec" {
+		t.Error("access type names")
+	}
+	if AccessType(9).String() != "AccessType(9)" {
+		t.Error("unknown access type")
+	}
+}
+
+func TestRegionsSorted(t *testing.T) {
+	b := NewBus()
+	_ = b.AddRAM(0x8000_0000, 0x1000)
+	_ = b.AddRAM(0x1000, 0x1000)
+	_ = b.AddDevice(0x200_0000, 0x1000, &stubDev{name: "d"})
+	rs := b.Regions()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Base >= rs[i].Base {
+			t.Fatal("regions not sorted")
+		}
+	}
+}

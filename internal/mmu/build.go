@@ -1,0 +1,121 @@
+package mmu
+
+import (
+	"fmt"
+
+	"govfm/internal/mem"
+	"govfm/internal/rv"
+)
+
+// Builder constructs Sv39 page tables directly in simulated RAM. It is used
+// by tests and by the synthetic kernels' setup code to create address
+// spaces without hand-assembling a page-table walker in guest code.
+type Builder struct {
+	bus  *mem.Bus
+	next uint64 // bump allocator for page-table pages
+	end  uint64
+	root uint64
+}
+
+// NewBuilder allocates page-table pages from [pool, pool+size), which must
+// be RAM. The root table is allocated immediately.
+func NewBuilder(bus *mem.Bus, pool, size uint64) (*Builder, error) {
+	if pool%PageSize != 0 || size < PageSize {
+		return nil, fmt.Errorf("mmu: pool must be page aligned and hold at least one page")
+	}
+	b := &Builder{bus: bus, next: pool, end: pool + size}
+	root, err := b.allocPage()
+	if err != nil {
+		return nil, err
+	}
+	b.root = root
+	return b, nil
+}
+
+// Root returns the physical address of the root page table.
+func (b *Builder) Root() uint64 { return b.root }
+
+// Satp returns the satp value activating this address space (ASID 0).
+func (b *Builder) Satp() uint64 { return rv.SatpModeSv39<<60 | b.root/PageSize }
+
+func (b *Builder) allocPage() (uint64, error) {
+	if b.next+PageSize > b.end {
+		return 0, fmt.Errorf("mmu: page-table pool exhausted")
+	}
+	p := b.next
+	b.next += PageSize
+	for off := uint64(0); off < PageSize; off += 8 {
+		if !b.bus.Store(p+off, 8, 0) {
+			return 0, fmt.Errorf("mmu: pool page %#x is not RAM", p)
+		}
+	}
+	return p, nil
+}
+
+// Map establishes a 4KiB mapping va -> pa with the given PTE permission
+// bits (PteR|PteW|..., PteV is implied). Existing intermediate tables are
+// reused.
+func (b *Builder) Map(va, pa uint64, flags uint64) error {
+	if va%PageSize != 0 || pa%PageSize != 0 {
+		return fmt.Errorf("mmu: Map requires page-aligned addresses")
+	}
+	if rv.SignExtend(va, 39) != va {
+		return fmt.Errorf("mmu: va %#x is not Sv39-canonical", va)
+	}
+	table := b.root
+	for level := 2; level > 0; level-- {
+		vpn := rv.Bits(va, uint(12+9*level+8), uint(12+9*level))
+		pteAddr := table + vpn*8
+		pte, ok := b.bus.Load(pteAddr, 8)
+		if !ok {
+			return fmt.Errorf("mmu: table page %#x unreadable", pteAddr)
+		}
+		if pte&PteV == 0 {
+			next, err := b.allocPage()
+			if err != nil {
+				return err
+			}
+			if !b.bus.Store(pteAddr, 8, next/PageSize<<10|PteV) {
+				return fmt.Errorf("mmu: table store failed")
+			}
+			table = next
+			continue
+		}
+		if pte&(PteR|PteX) != 0 {
+			return fmt.Errorf("mmu: va %#x already mapped by a superpage", va)
+		}
+		table = rv.Bits(pte, 53, 10) * PageSize
+	}
+	vpn0 := rv.Bits(va, 20, 12)
+	if !b.bus.Store(table+vpn0*8, 8, pa/PageSize<<10|flags|PteV) {
+		return fmt.Errorf("mmu: leaf store failed")
+	}
+	return nil
+}
+
+// MapRange maps size bytes starting at va to pa (both page-aligned) with
+// identical flags on every page.
+func (b *Builder) MapRange(va, pa, size uint64, flags uint64) error {
+	for off := uint64(0); off < size; off += PageSize {
+		if err := b.Map(va+off, pa+off, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapGiga installs a 1GiB superpage mapping (level-2 leaf).
+func (b *Builder) MapGiga(va, pa uint64, flags uint64) error {
+	const giga = 1 << 30
+	if va%giga != 0 || pa%giga != 0 {
+		return fmt.Errorf("mmu: MapGiga requires 1GiB alignment")
+	}
+	if rv.SignExtend(va, 39) != va {
+		return fmt.Errorf("mmu: va %#x is not Sv39-canonical", va)
+	}
+	vpn2 := rv.Bits(va, 38, 30)
+	if !b.bus.Store(b.root+vpn2*8, 8, pa/PageSize<<10|flags|PteV) {
+		return fmt.Errorf("mmu: root store failed")
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package mmu implements Sv39 virtual-address translation for the simulated
+// hart: the three-level page-table walk, permission checks (including SUM,
+// MXR, and the U bit), hardware A/D-bit update, and superpage alignment
+// rules. Page-table accesses are themselves checked against PMP, as the
+// privileged spec requires.
+package mmu
+
+import (
+	"govfm/internal/mem"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// PTE bits.
+const (
+	PteV = 1 << 0
+	PteR = 1 << 1
+	PteW = 1 << 2
+	PteX = 1 << 3
+	PteU = 1 << 4
+	PteG = 1 << 5
+	PteA = 1 << 6
+	PteD = 1 << 7
+)
+
+// PageSize is the base page size.
+const PageSize = 4096
+
+// Result of a translation attempt.
+type Result struct {
+	PA    uint64 // physical address; valid when Cause == 0 and OK
+	Cause uint64 // exception cause on failure
+	OK    bool
+}
+
+func fault(acc mem.AccessType, pageFault bool) Result {
+	var cause uint64
+	switch acc {
+	case mem.Read:
+		cause = rv.ExcLoadAccessFault
+		if pageFault {
+			cause = rv.ExcLoadPageFault
+		}
+	case mem.Write:
+		cause = rv.ExcStoreAccessFault
+		if pageFault {
+			cause = rv.ExcStorePageFault
+		}
+	case mem.Exec:
+		cause = rv.ExcInstrAccessFault
+		if pageFault {
+			cause = rv.ExcInstrPageFault
+		}
+	}
+	return Result{Cause: cause}
+}
+
+// Env carries the translation-relevant machine state.
+type Env struct {
+	Bus  *mem.Bus
+	PMP  *pmp.File
+	Satp uint64
+	Priv rv.Mode // effective privilege of the access (after MPRV)
+	SUM  bool
+	MXR  bool
+}
+
+// Active reports whether translation applies: Sv39 enabled and effective
+// privilege below M.
+func (e *Env) Active() bool {
+	return e.Priv != rv.ModeM && rv.SatpMode(e.Satp) == rv.SatpModeSv39
+}
+
+// Translate maps virtual address va for an access of the given type.
+// When translation is not active the address passes through unchanged
+// (PMP checking of the final access is the caller's job in both cases).
+func Translate(e *Env, va uint64, acc mem.AccessType) Result {
+	if !e.Active() {
+		return Result{PA: va, OK: true}
+	}
+	// Sv39 canonical check: bits 63:39 must equal bit 38.
+	if rv.SignExtend(va, 39) != va {
+		return fault(acc, true)
+	}
+	a := rv.SatpPPN(e.Satp) * PageSize
+	for level := 2; level >= 0; level-- {
+		vpn := rv.Bits(va, uint(12+9*level+8), uint(12+9*level))
+		pteAddr := a + vpn*8
+		// The walker's implicit accesses are checked against PMP with
+		// effective privilege S.
+		if !e.PMP.Check(pteAddr, 8, mem.Read, rv.ModeS) {
+			return fault(acc, false)
+		}
+		pte, ok := e.Bus.Load(pteAddr, 8)
+		if !ok {
+			return fault(acc, false)
+		}
+		if pte&PteV == 0 || (pte&PteR == 0 && pte&PteW != 0) {
+			return fault(acc, true)
+		}
+		if pte&(PteR|PteX) == 0 {
+			// Pointer to next level.
+			a = rv.Bits(pte, 53, 10) * PageSize
+			continue
+		}
+		// Leaf PTE.
+		if !leafPermits(pte, acc, e.Priv, e.SUM, e.MXR) {
+			return fault(acc, true)
+		}
+		ppn := rv.Bits(pte, 53, 10)
+		// Superpage alignment: low PPN fields must be zero.
+		if level > 0 && ppn&rv.Mask(uint(9*level)) != 0 {
+			return fault(acc, true)
+		}
+		// Hardware A/D update (Svadu-style behaviour).
+		newPte := pte | PteA
+		if acc == mem.Write {
+			newPte |= PteD
+		}
+		if newPte != pte {
+			if !e.PMP.Check(pteAddr, 8, mem.Write, rv.ModeS) {
+				return fault(acc, false)
+			}
+			if !e.Bus.Store(pteAddr, 8, newPte) {
+				return fault(acc, false)
+			}
+		}
+		pageMask := rv.Mask(uint(12 + 9*level))
+		pa := ppn*PageSize&^pageMask | va&pageMask
+		return Result{PA: pa, OK: true}
+	}
+	// All three levels were pointers: malformed tree.
+	return fault(acc, true)
+}
+
+func leafPermits(pte uint64, acc mem.AccessType, priv rv.Mode, sum, mxr bool) bool {
+	userPage := pte&PteU != 0
+	switch priv {
+	case rv.ModeU:
+		if !userPage {
+			return false
+		}
+	case rv.ModeS:
+		if userPage {
+			// S-mode may touch user data only with SUM, and never execute it.
+			if acc == mem.Exec || !sum {
+				return false
+			}
+		}
+	}
+	switch acc {
+	case mem.Read:
+		return pte&PteR != 0 || (mxr && pte&PteX != 0)
+	case mem.Write:
+		return pte&PteW != 0
+	case mem.Exec:
+		return pte&PteX != 0
+	}
+	return false
+}

@@ -1,0 +1,254 @@
+package mmu
+
+import (
+	"testing"
+
+	"govfm/internal/mem"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+const (
+	ramBase = 0x8000_0000
+	ramSize = 0x40_0000
+	ptPool  = ramBase + 0x10_0000
+)
+
+func newEnv(t *testing.T) (*mem.Bus, *Builder, *Env) {
+	t.Helper()
+	bus := mem.NewBus()
+	if err := bus.AddRAM(ramBase, ramSize); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder(bus, ptPool, 0x2_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{Bus: bus, PMP: pmp.NewFile(0), Satp: b.Satp(), Priv: rv.ModeS}
+	return bus, b, env
+}
+
+func TestBareModePassThrough(t *testing.T) {
+	bus := mem.NewBus()
+	_ = bus.AddRAM(ramBase, 0x1000)
+	env := &Env{Bus: bus, PMP: pmp.NewFile(0), Satp: 0, Priv: rv.ModeS}
+	r := Translate(env, 0x1234_5678, mem.Read)
+	if !r.OK || r.PA != 0x1234_5678 {
+		t.Error("bare mode must pass through")
+	}
+	// M-mode ignores satp even when Sv39 is programmed.
+	env.Satp = rv.SatpModeSv39 << 60
+	env.Priv = rv.ModeM
+	if r := Translate(env, 0x42, mem.Write); !r.OK || r.PA != 0x42 {
+		t.Error("M-mode must bypass translation")
+	}
+}
+
+func TestBasic4KMapping(t *testing.T) {
+	_, b, env := newEnv(t)
+	va, pa := uint64(0x4000_0000), uint64(ramBase+0x2000)
+	if err := b.Map(va, pa, PteR|PteW); err != nil {
+		t.Fatal(err)
+	}
+	r := Translate(env, va+0x123, mem.Read)
+	if !r.OK || r.PA != pa+0x123 {
+		t.Fatalf("got PA %#x cause %d", r.PA, r.Cause)
+	}
+	// Unmapped neighbour page faults.
+	r = Translate(env, va+PageSize, mem.Read)
+	if r.OK || r.Cause != rv.ExcLoadPageFault {
+		t.Errorf("unmapped page: cause %d", r.Cause)
+	}
+}
+
+func TestPermissionChecks(t *testing.T) {
+	_, b, env := newEnv(t)
+	va := uint64(0x4000_0000)
+	pa := uint64(ramBase + 0x3000)
+	if err := b.Map(va, pa, PteR); err != nil { // read-only
+		t.Fatal(err)
+	}
+	if r := Translate(env, va, mem.Write); r.OK || r.Cause != rv.ExcStorePageFault {
+		t.Error("write to read-only page must fault")
+	}
+	if r := Translate(env, va, mem.Exec); r.OK || r.Cause != rv.ExcInstrPageFault {
+		t.Error("exec of non-exec page must fault")
+	}
+	if r := Translate(env, va, mem.Read); !r.OK {
+		t.Error("read must pass")
+	}
+}
+
+func TestUserBitRules(t *testing.T) {
+	_, b, env := newEnv(t)
+	uva, sva := uint64(0x1000_0000), uint64(0x2000_0000)
+	_ = b.Map(uva, ramBase+0x4000, PteR|PteW|PteX|PteU)
+	_ = b.Map(sva, ramBase+0x5000, PteR|PteW|PteX)
+
+	env.Priv = rv.ModeU
+	if r := Translate(env, uva, mem.Exec); !r.OK {
+		t.Error("U-mode on U page must pass")
+	}
+	if r := Translate(env, sva, mem.Read); r.OK {
+		t.Error("U-mode on S page must fault")
+	}
+
+	env.Priv = rv.ModeS
+	if r := Translate(env, uva, mem.Read); r.OK {
+		t.Error("S-mode on U page without SUM must fault")
+	}
+	env.SUM = true
+	if r := Translate(env, uva, mem.Read); !r.OK {
+		t.Error("S-mode on U page with SUM must pass")
+	}
+	if r := Translate(env, uva, mem.Exec); r.OK {
+		t.Error("S-mode must never execute U pages, even with SUM")
+	}
+}
+
+func TestMXR(t *testing.T) {
+	_, b, env := newEnv(t)
+	va := uint64(0x3000_0000)
+	_ = b.Map(va, ramBase+0x6000, PteX) // execute-only
+	if r := Translate(env, va, mem.Read); r.OK {
+		t.Error("read of X-only page without MXR must fault")
+	}
+	env.MXR = true
+	if r := Translate(env, va, mem.Read); !r.OK {
+		t.Error("read of X-only page with MXR must pass")
+	}
+}
+
+func TestADBitsHardwareUpdate(t *testing.T) {
+	bus, b, env := newEnv(t)
+	va := uint64(0x5000_0000)
+	_ = b.Map(va, ramBase+0x7000, PteR|PteW)
+	// Locate the leaf PTE: walk manually.
+	if r := Translate(env, va, mem.Read); !r.OK {
+		t.Fatal("read failed")
+	}
+	pteAddr := findLeaf(t, bus, b.Root(), va)
+	pte, _ := bus.Load(pteAddr, 8)
+	if pte&PteA == 0 {
+		t.Error("A bit must be set after read")
+	}
+	if pte&PteD != 0 {
+		t.Error("D bit must not be set after read")
+	}
+	if r := Translate(env, va, mem.Write); !r.OK {
+		t.Fatal("write failed")
+	}
+	pte, _ = bus.Load(pteAddr, 8)
+	if pte&PteD == 0 {
+		t.Error("D bit must be set after write")
+	}
+}
+
+func findLeaf(t *testing.T, bus *mem.Bus, root, va uint64) uint64 {
+	t.Helper()
+	table := root
+	for level := 2; level > 0; level-- {
+		vpn := rv.Bits(va, uint(12+9*level+8), uint(12+9*level))
+		pte, _ := bus.Load(table+vpn*8, 8)
+		if pte&(PteR|PteX) != 0 {
+			return table + vpn*8
+		}
+		table = rv.Bits(pte, 53, 10) * PageSize
+	}
+	return table + rv.Bits(va, 20, 12)*8
+}
+
+func TestNonCanonicalFaults(t *testing.T) {
+	_, _, env := newEnv(t)
+	if r := Translate(env, 1<<40, mem.Read); r.OK || r.Cause != rv.ExcLoadPageFault {
+		t.Error("non-canonical va must page-fault")
+	}
+	if r := Translate(env, 1<<40, mem.Exec); r.OK || r.Cause != rv.ExcInstrPageFault {
+		t.Error("non-canonical fetch must page-fault")
+	}
+}
+
+func TestGigaPage(t *testing.T) {
+	_, b, env := newEnv(t)
+	if err := b.MapGiga(0, 0x8000_0000, PteR|PteW|PteX); err != nil {
+		t.Fatal(err)
+	}
+	r := Translate(env, 0x123456, mem.Read)
+	if !r.OK || r.PA != 0x8012_3456 {
+		t.Fatalf("giga mapping: PA %#x", r.PA)
+	}
+}
+
+func TestMisalignedSuperpageFaults(t *testing.T) {
+	bus, b, env := newEnv(t)
+	// Hand-craft a level-2 leaf with a misaligned PPN.
+	vpn2 := uint64(3)
+	badPPN := uint64(ramBase+0x8000) / PageSize // not 1GiB aligned
+	bus.Store(b.Root()+vpn2*8, 8, badPPN<<10|PteR|PteV)
+	r := Translate(env, vpn2<<30, mem.Read)
+	if r.OK || r.Cause != rv.ExcLoadPageFault {
+		t.Error("misaligned superpage must page-fault")
+	}
+}
+
+func TestReservedWOnlyPTE(t *testing.T) {
+	bus, b, env := newEnv(t)
+	vpn2 := uint64(4)
+	bus.Store(b.Root()+vpn2*8, 8, 0x80000<<10|PteW|PteV) // W without R: reserved
+	if r := Translate(env, vpn2<<30, mem.Read); r.OK || r.Cause != rv.ExcLoadPageFault {
+		t.Error("W-only PTE is reserved and must fault")
+	}
+}
+
+func TestPTWRespectsPMP(t *testing.T) {
+	_, b, env := newEnv(t)
+	_ = b.Map(0x4000_0000, ramBase+0x2000, PteR)
+	// Lock out the page-table pool with a no-permission locked entry.
+	f := pmp.NewFile(8)
+	f.SetAddr(0, pmp.NAPOTAddr(ptPool, 0x2_0000))
+	f.SetCfg(0, pmp.CfgL|pmp.ANapot<<3)
+	f.SetAddr(1, rv.Mask(54))
+	f.SetCfg(1, pmp.CfgR|pmp.CfgW|pmp.CfgX|pmp.ANapot<<3)
+	env.PMP = f
+	r := Translate(env, 0x4000_0000, mem.Read)
+	if r.OK || r.Cause != rv.ExcLoadAccessFault {
+		t.Errorf("PTW through PMP-denied table must access-fault, got cause %d", r.Cause)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	bus := mem.NewBus()
+	_ = bus.AddRAM(ramBase, 0x4000)
+	if _, err := NewBuilder(bus, ramBase+1, 0x2000); err == nil {
+		t.Error("misaligned pool must be rejected")
+	}
+	if _, err := NewBuilder(bus, ramBase, 0); err == nil {
+		t.Error("empty pool must be rejected")
+	}
+	b, err := NewBuilder(bus, ramBase, 0x1000) // room for root only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Map(0x4000_0000, ramBase, PteR); err == nil {
+		t.Error("pool exhaustion must surface")
+	}
+	if err := b.Map(0x123, ramBase, PteR); err == nil {
+		t.Error("misaligned va must be rejected")
+	}
+	if err := b.Map(1<<40, ramBase, PteR); err == nil {
+		t.Error("non-canonical va must be rejected")
+	}
+	if err := b.MapGiga(0x1000, 0, PteR); err == nil {
+		t.Error("misaligned giga va must be rejected")
+	}
+}
+
+func TestMapUnderSuperpageRejected(t *testing.T) {
+	_, b, _ := newEnv(t)
+	if err := b.MapGiga(1<<30, 0x4000_0000, PteR); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Map(1<<30|0x1000, ramBase, PteR); err == nil {
+		t.Error("mapping under an existing superpage must be rejected")
+	}
+}

@@ -1,0 +1,315 @@
+// Package pmp implements RISC-V Physical Memory Protection: decoding of
+// pmpcfg/pmpaddr CSRs, address matching (TOR, NA4, NAPOT), lock semantics,
+// WARL legalization of reserved permission combinations, and the access
+// check used on every load, store, and fetch of the simulated machine.
+//
+// The same File type backs the machine's physical PMP (internal/hart) and
+// Miralis's virtual PMP registers (internal/core); the reference model
+// (internal/refmodel) implements its own independent check used as the
+// verification oracle for "faithful execution".
+package pmp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"govfm/internal/mem"
+	"govfm/internal/rv"
+)
+
+// MaxEntries is the architectural maximum number of PMP entries.
+const MaxEntries = 64
+
+// pmpcfg bit layout.
+const (
+	CfgR = 1 << 0
+	CfgW = 1 << 1
+	CfgX = 1 << 2
+	CfgL = 1 << 7
+
+	// A field (bits 4:3) values.
+	AOff   = 0
+	ATor   = 1
+	ANa4   = 2
+	ANapot = 3
+)
+
+// AMode extracts the address-matching mode from a cfg byte.
+func AMode(cfg byte) byte { return cfg >> 3 & 3 }
+
+// WithAMode returns cfg with the address-matching mode replaced.
+func WithAMode(cfg, a byte) byte { return cfg&^0x18 | a<<3&0x18 }
+
+// LegalizeCfg applies the WARL rules for a pmpcfg byte: bits 5 and 6 are
+// hardwired to zero, and the reserved combination W=1,R=0 is legalized by
+// clearing W (the combination is reserved unless Smepmp's rule-locking is
+// active, which this machine does not implement). This is exactly the class
+// of legalization in which the paper reports finding a bug (§6.5).
+func LegalizeCfg(v byte) byte {
+	v &^= 0x60 // reserved bits
+	if v&CfgW != 0 && v&CfgR == 0 {
+		v &^= CfgW
+	}
+	return v
+}
+
+// File is a set of PMP entries. The zero value has zero implemented
+// entries, which performs no checking.
+type File struct {
+	n    int
+	cfg  [MaxEntries]byte
+	addr [MaxEntries]uint64
+
+	// Decoded-region cache for the access-check hot path; rebuilt lazily
+	// after any register write.
+	regLo    [MaxEntries]uint64
+	regLast  [MaxEntries]uint64
+	regOK    [MaxEntries]bool
+	regDirty bool
+}
+
+// NewFile returns a PMP file with n implemented entries (0..64).
+func NewFile(n int) *File {
+	if n < 0 || n > MaxEntries {
+		panic(fmt.Sprintf("pmp: invalid entry count %d", n))
+	}
+	return &File{n: n, regDirty: true}
+}
+
+// NumEntries returns the number of implemented entries.
+func (f *File) NumEntries() int { return f.n }
+
+// Cfg returns the cfg byte of entry i (zero for unimplemented entries).
+func (f *File) Cfg(i int) byte {
+	if i < 0 || i >= f.n {
+		return 0
+	}
+	return f.cfg[i]
+}
+
+// Addr returns the pmpaddr value of entry i (zero for unimplemented).
+func (f *File) Addr(i int) uint64 {
+	if i < 0 || i >= f.n {
+		return 0
+	}
+	return f.addr[i]
+}
+
+// Locked reports whether entry i is locked (L bit set).
+func (f *File) Locked(i int) bool { return f.Cfg(i)&CfgL != 0 }
+
+// SetCfg writes the cfg byte of entry i, honouring lock bits and WARL
+// legalization. Writes to locked or unimplemented entries are ignored, as
+// on hardware.
+func (f *File) SetCfg(i int, v byte) {
+	if i < 0 || i >= f.n || f.Locked(i) {
+		return
+	}
+	f.cfg[i] = LegalizeCfg(v)
+	f.regDirty = true
+}
+
+// ForceCfg writes entry i's cfg ignoring locks; this models machine reset
+// and is used by the monitor, never by guest-visible CSR writes.
+func (f *File) ForceCfg(i int, v byte) {
+	if i < 0 || i >= f.n {
+		return
+	}
+	f.cfg[i] = LegalizeCfg(v)
+	f.regDirty = true
+}
+
+// SetAddr writes pmpaddr[i]. The write is ignored if entry i is locked, or
+// if entry i+1 is locked in TOR mode (which freezes its base address).
+// pmpaddr registers hold bits 55:2 of the address; higher bits are WARL
+// zero.
+func (f *File) SetAddr(i int, v uint64) {
+	if i < 0 || i >= f.n || f.Locked(i) {
+		return
+	}
+	if i+1 < f.n && f.Locked(i+1) && AMode(f.cfg[i+1]) == ATor {
+		return
+	}
+	f.addr[i] = v & rv.Mask(54)
+	f.regDirty = true
+}
+
+// ForceAddr writes pmpaddr[i] ignoring locks (monitor/reset use only).
+func (f *File) ForceAddr(i int, v uint64) {
+	if i < 0 || i >= f.n {
+		return
+	}
+	f.addr[i] = v & rv.Mask(54)
+	f.regDirty = true
+}
+
+// CfgReg reads the packed pmpcfg register (reg must be even on RV64):
+// pmpcfg0 packs entries 0-7, pmpcfg2 packs 8-15, etc.
+func (f *File) CfgReg(reg int) uint64 {
+	var v uint64
+	for k := 0; k < 8; k++ {
+		v |= uint64(f.Cfg(reg*4+k)) << (8 * k)
+	}
+	return v
+}
+
+// SetCfgReg writes the packed pmpcfg register, byte by byte, applying
+// per-entry lock and WARL rules.
+func (f *File) SetCfgReg(reg int, v uint64) {
+	for k := 0; k < 8; k++ {
+		f.SetCfg(reg*4+k, byte(v>>(8*k)))
+	}
+}
+
+// Region decodes entry i into the inclusive physical range [lo, last].
+// ok is false when the entry is OFF or decodes to an empty range. The
+// inclusive representation lets an all-ones NAPOT entry cover the very
+// top of the address space without overflow.
+func (f *File) Region(i int) (lo, last uint64, ok bool) {
+	return decodeRegion(f.Cfg(i), f.Addr(i), f.prevAddr(i))
+}
+
+func (f *File) prevAddr(i int) uint64 {
+	if i == 0 {
+		return 0 // TOR base for entry 0 is hardwired to address 0
+	}
+	return f.Addr(i - 1)
+}
+
+func decodeRegion(cfg byte, addr, prevAddr uint64) (lo, last uint64, ok bool) {
+	switch AMode(cfg) {
+	case AOff:
+		return 0, 0, false
+	case ATor:
+		lo, top := prevAddr<<2, addr<<2
+		if lo >= top {
+			return 0, 0, false
+		}
+		return lo, top - 1, true
+	case ANa4:
+		lo = addr << 2
+		return lo, lo + 3, true
+	case ANapot:
+		ones := bits.TrailingZeros64(^addr)
+		if ones >= 54 {
+			// All-ones pmpaddr covers the whole address space.
+			return 0, ^uint64(0), true
+		}
+		size := uint64(8) << uint(ones)
+		lo = (addr &^ rv.Mask(uint(ones))) << 2
+		return lo, lo + size - 1, true
+	}
+	return 0, 0, false
+}
+
+// MatchResult describes how an access relates to a single PMP entry.
+type MatchResult int
+
+const (
+	NoMatch      MatchResult = iota // no byte of the access matches
+	FullMatch                       // every byte matches
+	PartialMatch                    // some but not all bytes match — always faults
+)
+
+// refreshRegions rebuilds the decoded-region cache.
+func (f *File) refreshRegions() {
+	for i := 0; i < f.n; i++ {
+		f.regLo[i], f.regLast[i], f.regOK[i] = f.Region(i)
+	}
+	f.regDirty = false
+}
+
+// matchEntry classifies an access of size bytes at addr against entry i.
+func (f *File) matchEntry(i int, addr uint64, size int) MatchResult {
+	if f.regDirty {
+		f.refreshRegions()
+	}
+	lo, last, ok := f.regLo[i], f.regLast[i], f.regOK[i]
+	if !ok {
+		return NoMatch
+	}
+	aLast := addr + uint64(size) - 1
+	if aLast < addr {
+		// The access itself wraps the address space: nothing sane matches
+		// fully, so any overlap is a faulting partial match.
+		if addr > last {
+			return NoMatch
+		}
+		return PartialMatch
+	}
+	if aLast < lo || addr > last {
+		return NoMatch
+	}
+	if addr >= lo && aLast <= last {
+		return FullMatch
+	}
+	return PartialMatch
+}
+
+// Check performs the architectural PMP check for an access of size bytes at
+// physical address addr, performed in the given privilege mode. It returns
+// true when the access is allowed.
+//
+// Rules (privileged spec §3.7):
+//   - entries are searched in priority order; the lowest-numbered matching
+//     entry determines the result;
+//   - a partial match always fails;
+//   - a matching unlocked entry does not constrain M-mode;
+//   - a matching locked entry constrains all modes, including M;
+//   - if no entry matches: M-mode succeeds, S/U fail when at least one
+//     entry is implemented.
+func (f *File) Check(addr uint64, size int, acc mem.AccessType, mode rv.Mode) bool {
+	for i := 0; i < f.n; i++ {
+		switch f.matchEntry(i, addr, size) {
+		case NoMatch:
+			continue
+		case PartialMatch:
+			return false
+		case FullMatch:
+			cfg := f.cfg[i]
+			if mode == rv.ModeM && cfg&CfgL == 0 {
+				return true
+			}
+			switch acc {
+			case mem.Read:
+				return cfg&CfgR != 0
+			case mem.Write:
+				return cfg&CfgW != 0
+			case mem.Exec:
+				return cfg&CfgX != 0
+			}
+			return false
+		}
+	}
+	if mode == rv.ModeM {
+		return true
+	}
+	return f.n == 0
+}
+
+// NAPOTAddr encodes the pmpaddr value covering the naturally aligned
+// power-of-two region [base, base+size). It panics if base/size do not
+// form a valid NAPOT region of at least 8 bytes.
+func NAPOTAddr(base, size uint64) uint64 {
+	if size < 8 || size&(size-1) != 0 || base&(size-1) != 0 {
+		panic(fmt.Sprintf("pmp: invalid NAPOT region base=%#x size=%#x", base, size))
+	}
+	return base>>2 | (size/8 - 1)
+}
+
+// Snapshot copies all implemented entries into caller-owned slices, in
+// entry order. Used for tracing and world-switch bookkeeping.
+func (f *File) Snapshot() (cfg []byte, addr []uint64) {
+	cfg = make([]byte, f.n)
+	addr = make([]uint64, f.n)
+	copy(cfg, f.cfg[:f.n])
+	copy(addr, f.addr[:f.n])
+	return cfg, addr
+}
+
+// Reset clears all entries, including locked ones (power-on reset).
+func (f *File) Reset() {
+	f.cfg = [MaxEntries]byte{}
+	f.addr = [MaxEntries]uint64{}
+	f.regDirty = true
+}

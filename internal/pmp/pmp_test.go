@@ -1,0 +1,322 @@
+package pmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"govfm/internal/mem"
+	"govfm/internal/rv"
+)
+
+func TestLegalizeCfg(t *testing.T) {
+	cases := []struct{ in, want byte }{
+		{CfgR | CfgW | CfgX, CfgR | CfgW | CfgX},
+		{CfgW, 0},           // W=1,R=0 reserved -> W cleared
+		{CfgW | CfgX, CfgX}, // same with X
+		{CfgL | CfgW, CfgL}, // lock preserved, W cleared
+		{0x60, 0},           // reserved bits cleared
+		{0xFF, CfgL | ANapot<<3 | CfgR | CfgW | CfgX},
+	}
+	for _, c := range cases {
+		if got := LegalizeCfg(c.in); got != c.want {
+			t.Errorf("LegalizeCfg(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNAPOTDecode(t *testing.T) {
+	f := NewFile(8)
+	// 4KiB region at 0x8000_0000.
+	f.SetAddr(0, NAPOTAddr(0x8000_0000, 0x1000))
+	f.SetCfg(0, CfgR|CfgW|ANapot<<3)
+	lo, last, ok := f.Region(0)
+	if !ok || lo != 0x8000_0000 || last != 0x8000_0FFF {
+		t.Errorf("NAPOT region = [%#x,%#x] ok=%v", lo, last, ok)
+	}
+	// Smallest NAPOT region: 8 bytes.
+	f.SetAddr(1, NAPOTAddr(0x1000, 8))
+	f.SetCfg(1, CfgR|ANapot<<3)
+	lo, last, ok = f.Region(1)
+	if !ok || lo != 0x1000 || last != 0x1007 {
+		t.Errorf("8-byte NAPOT = [%#x,%#x]", lo, last)
+	}
+	// All-ones address covers everything.
+	f.SetAddr(2, rv.Mask(54))
+	f.SetCfg(2, CfgR|ANapot<<3)
+	lo, last, ok = f.Region(2)
+	if !ok || lo != 0 || last != ^uint64(0) {
+		t.Errorf("all-ones NAPOT = [%#x,%#x]", lo, last)
+	}
+}
+
+func TestNAPOTAddrPanics(t *testing.T) {
+	for _, c := range []struct{ base, size uint64 }{
+		{0x1000, 4},  // too small
+		{0x1000, 24}, // not a power of two
+		{0x1004, 8},  // misaligned
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NAPOTAddr(%#x,%#x) must panic", c.base, c.size)
+				}
+			}()
+			NAPOTAddr(c.base, c.size)
+		}()
+	}
+}
+
+func TestTORDecode(t *testing.T) {
+	f := NewFile(8)
+	f.SetAddr(0, 0x8000_0000>>2)
+	f.SetAddr(1, 0x8800_0000>>2)
+	f.SetCfg(1, CfgR|CfgX|ATor<<3)
+	lo, last, ok := f.Region(1)
+	if !ok || lo != 0x8000_0000 || last != 0x87FF_FFFF {
+		t.Errorf("TOR region = [%#x,%#x]", lo, last)
+	}
+	// Entry 0 in TOR mode: base hardwired to 0.
+	f.SetCfg(0, CfgR|ATor<<3)
+	lo, last, ok = f.Region(0)
+	if !ok || lo != 0 || last != 0x7FFF_FFFF {
+		t.Errorf("TOR entry0 = [%#x,%#x]", lo, last)
+	}
+	// Empty TOR range (top <= base) never matches.
+	f.SetAddr(2, 0x100)
+	f.SetAddr(3, 0x100)
+	f.SetCfg(3, CfgR|ATor<<3)
+	if _, _, ok := f.Region(3); ok {
+		t.Error("empty TOR range must not decode")
+	}
+}
+
+func TestNA4Decode(t *testing.T) {
+	f := NewFile(8)
+	f.SetAddr(0, 0x2000>>2)
+	f.SetCfg(0, CfgR|ANa4<<3)
+	lo, last, ok := f.Region(0)
+	if !ok || lo != 0x2000 || last != 0x2003 {
+		t.Errorf("NA4 region = [%#x,%#x]", lo, last)
+	}
+}
+
+func TestCheckPriority(t *testing.T) {
+	f := NewFile(8)
+	// Entry 0: deny RW on [0x1000, 0x2000) for S/U.
+	f.SetAddr(0, NAPOTAddr(0x1000, 0x1000))
+	f.SetCfg(0, ANapot<<3) // no permissions
+	// Entry 1: allow all on [0, 0x4000_0000).
+	f.SetAddr(1, NAPOTAddr(0, 0x4000_0000))
+	f.SetCfg(1, CfgR|CfgW|CfgX|ANapot<<3)
+
+	if f.Check(0x1800, 8, mem.Read, rv.ModeS) {
+		t.Error("entry 0 must take priority and deny")
+	}
+	if !f.Check(0x2000, 8, mem.Read, rv.ModeS) {
+		t.Error("entry 1 must allow outside entry 0")
+	}
+	// M-mode ignores unlocked entries.
+	if !f.Check(0x1800, 8, mem.Write, rv.ModeM) {
+		t.Error("unlocked entry must not constrain M-mode")
+	}
+}
+
+func TestCheckLockedConstrainsM(t *testing.T) {
+	f := NewFile(8)
+	f.SetAddr(0, NAPOTAddr(0x8000_0000, 0x10000))
+	f.SetCfg(0, CfgL|ANapot<<3) // locked, no permissions: Miralis-style self-protection
+	if f.Check(0x8000_0100, 8, mem.Read, rv.ModeM) {
+		t.Error("locked no-permission entry must deny M-mode reads")
+	}
+	if f.Check(0x8000_0100, 4, mem.Exec, rv.ModeM) {
+		t.Error("locked no-permission entry must deny M-mode exec")
+	}
+	if !f.Check(0x8001_0000, 8, mem.Read, rv.ModeM) {
+		t.Error("M-mode must still access outside the locked region")
+	}
+}
+
+func TestCheckNoMatchDefaults(t *testing.T) {
+	f := NewFile(8)
+	if !f.Check(0x1234, 4, mem.Read, rv.ModeM) {
+		t.Error("M-mode default allow")
+	}
+	if f.Check(0x1234, 4, mem.Read, rv.ModeS) {
+		t.Error("S-mode with implemented entries and no match must deny")
+	}
+	if f.Check(0x1234, 4, mem.Exec, rv.ModeU) {
+		t.Error("U-mode with implemented entries and no match must deny")
+	}
+	empty := NewFile(0)
+	if !empty.Check(0x1234, 4, mem.Write, rv.ModeU) {
+		t.Error("zero implemented entries must allow everything")
+	}
+}
+
+func TestPartialMatchFaults(t *testing.T) {
+	f := NewFile(8)
+	f.SetAddr(0, NAPOTAddr(0x1000, 8))
+	f.SetCfg(0, CfgR|CfgW|ANapot<<3)
+	f.SetAddr(1, rv.Mask(54))
+	f.SetCfg(1, CfgR|CfgW|CfgX|ANapot<<3)
+	// 8-byte access straddling the end of entry 0 partially matches -> fault,
+	// even in M-mode for locked entries; here unlocked so M passes through to
+	// the PartialMatch rule. The spec says partial matches fail regardless of
+	// privilege only when the entry applies; for unlocked entries M-mode is
+	// not constrained... but priority matching happens first. We follow the
+	// spec: partial match fails for modes the entry applies to.
+	if f.Check(0x1004, 8, mem.Read, rv.ModeS) {
+		t.Error("partial match must fault for S-mode")
+	}
+	if !f.Check(0x1000, 8, mem.Read, rv.ModeS) {
+		t.Error("full match must pass")
+	}
+}
+
+func TestLockSemantics(t *testing.T) {
+	f := NewFile(8)
+	f.SetAddr(0, 0x111)
+	f.SetCfg(0, CfgL|CfgR|ANapot<<3)
+	f.SetCfg(0, CfgR|CfgW|CfgX|ANapot<<3) // ignored: locked
+	if f.Cfg(0) != CfgL|CfgR|ANapot<<3 {
+		t.Errorf("locked cfg overwritten: %#x", f.Cfg(0))
+	}
+	f.SetAddr(0, 0x222) // ignored: locked
+	if f.Addr(0) != 0x111 {
+		t.Errorf("locked addr overwritten: %#x", f.Addr(0))
+	}
+	// TOR lock freezes the previous address register.
+	g := NewFile(8)
+	g.SetAddr(2, 0x333)
+	g.SetCfg(3, CfgL|CfgR|ATor<<3)
+	g.SetAddr(2, 0x444) // ignored: entry 3 is locked TOR
+	if g.Addr(2) != 0x333 {
+		t.Errorf("TOR-locked base overwritten: %#x", g.Addr(2))
+	}
+	// ForceCfg bypasses locks (reset path).
+	f.ForceCfg(0, 0)
+	if f.Cfg(0) != 0 {
+		t.Error("ForceCfg must bypass locks")
+	}
+}
+
+func TestCfgRegPacking(t *testing.T) {
+	f := NewFile(16)
+	for i := 0; i < 16; i++ {
+		f.SetCfg(i, byte(CfgR|ANapot<<3))
+	}
+	want := uint64(0)
+	for k := 0; k < 8; k++ {
+		want |= uint64(CfgR|ANapot<<3) << (8 * k)
+	}
+	if f.CfgReg(0) != want || f.CfgReg(2) != want {
+		t.Errorf("CfgReg packing: %#x / %#x", f.CfgReg(0), f.CfgReg(2))
+	}
+	f.SetCfgReg(0, 0)
+	if f.CfgReg(0) != 0 {
+		t.Error("SetCfgReg(0,0) must clear entries 0-7")
+	}
+	if f.CfgReg(2) != want {
+		t.Error("SetCfgReg(0,..) must not touch entries 8-15")
+	}
+}
+
+func TestUnimplementedEntriesReadZeroIgnoreWrites(t *testing.T) {
+	f := NewFile(4)
+	f.SetCfg(5, 0xFF)
+	f.SetAddr(5, 0x123)
+	if f.Cfg(5) != 0 || f.Addr(5) != 0 {
+		t.Error("unimplemented entries must read zero")
+	}
+	if f.CfgReg(0)>>32 != 0 {
+		t.Error("unimplemented cfg bytes must read zero in packed reg")
+	}
+}
+
+func TestAddrWARLMask(t *testing.T) {
+	f := NewFile(1)
+	f.SetAddr(0, ^uint64(0))
+	if f.Addr(0) != rv.Mask(54) {
+		t.Errorf("pmpaddr must mask to 54 bits: %#x", f.Addr(0))
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	f := NewFile(4)
+	f.SetCfg(1, CfgR|ANa4<<3)
+	f.SetAddr(1, 0x99)
+	cfg, addr := f.Snapshot()
+	if len(cfg) != 4 || cfg[1] != CfgR|ANa4<<3 || addr[1] != 0x99 {
+		t.Error("snapshot content wrong")
+	}
+	cfg[1] = 0 // must not alias
+	if f.Cfg(1) == 0 {
+		t.Error("snapshot must not alias internal state")
+	}
+	f.SetCfg(2, CfgL|CfgR)
+	f.Reset()
+	if f.Cfg(2) != 0 || f.Cfg(1) != 0 || f.Addr(1) != 0 {
+		t.Error("reset must clear everything, including locked entries")
+	}
+}
+
+// Property: the first matching entry fully determines the verdict — adding
+// lower-priority entries after a full match never changes the outcome.
+func TestPriorityProperty(t *testing.T) {
+	f := func(addrSeed uint64, cfg0, cfg1 byte, acc8 uint8) bool {
+		acc := mem.AccessType(acc8 % 3)
+		pf := NewFile(2)
+		pf.SetAddr(0, rv.Mask(54)) // entry 0 matches everything (NAPOT all)
+		pf.SetCfg(0, WithAMode(cfg0, ANapot))
+		got1 := pf.Check(addrSeed%(1<<40), 4, acc, rv.ModeS)
+		pf.SetAddr(1, rv.Mask(54))
+		pf.SetCfg(1, WithAMode(cfg1, ANapot))
+		got2 := pf.Check(addrSeed%(1<<40), 4, acc, rv.ModeS)
+		return got1 == got2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Check never allows an S/U access that a no-permission
+// full-matching first entry denies.
+func TestDenyFirstEntryProperty(t *testing.T) {
+	f := func(off uint16, acc8 uint8) bool {
+		acc := mem.AccessType(acc8 % 3)
+		pf := NewFile(4)
+		pf.SetAddr(0, NAPOTAddr(0x10000, 0x10000))
+		pf.SetCfg(0, ANapot<<3)
+		pf.SetAddr(1, rv.Mask(54))
+		pf.SetCfg(1, CfgR|CfgW|CfgX|ANapot<<3)
+		addr := 0x10000 + uint64(off)%0xFFF8
+		return !pf.Check(addr, 4, acc, rv.ModeU)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopOfAddressSpace regression: the final bytes of the address space
+// must be matchable by an all-ones NAPOT entry (a wrap bug found by the
+// faithful-execution differential tests).
+func TestTopOfAddressSpace(t *testing.T) {
+	f := NewFile(2)
+	f.SetAddr(0, rv.Mask(54))
+	f.SetCfg(0, CfgR|CfgW|CfgX|ANapot<<3)
+	if !f.Check(^uint64(0)-7, 8, mem.Read, rv.ModeS) {
+		t.Error("top-of-space access must match the all-ones entry")
+	}
+	if !f.Check(^uint64(0), 1, mem.Write, rv.ModeU) {
+		t.Error("very last byte must match")
+	}
+}
+
+func TestNewFilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFile(65) must panic")
+		}
+	}()
+	NewFile(65)
+}

@@ -1,0 +1,379 @@
+// Package ace ports the ACE security monitor as a Miralis policy module
+// (paper §5.4): confidential VMs whose memory is inaccessible to the host
+// hypervisor/OS — and, unlike the original ACE, also to the vendor
+// firmware, which the policy removes from the TCB.
+//
+// The policy follows the paper's co-location approach: while the host or a
+// CVM runs, the ACE policy handles traps directly (its hooks fire before
+// the monitor's default handling) and yields to the monitor only for
+// firmware interactions. The CVM executes with its own complete supervisor
+// context; on platforms with the hypervisor extension the host's H-state
+// is shadowed away from the CVM on every switch (the paper's "saving and
+// restoring the new CSRs on world switches").
+package ace
+
+import (
+	"fmt"
+
+	"govfm/internal/core"
+	"govfm/internal/hart"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// COVH (host-side) function IDs, in the spirit of the CoVE spec.
+const (
+	FnPromoteToCVM = 0x10 // a0=base, a1=size, a2=entry -> cvm id
+	FnDestroyCVM   = 0x11
+	FnRunCVM       = 0x12 // a0=id
+)
+
+// COVG (guest-side) function IDs.
+const (
+	FnGuestExit      = 0x20 // a0=value: voluntary exit to host
+	FnGuestSharePage = 0x21 // a0=guest page addr: make one page host-visible
+)
+
+// Host return codes.
+const (
+	OK              = 0
+	ErrInvalidParam = ^uint64(0)
+	// Interrupted: the CVM was preempted; run again to resume.
+	Interrupted = 0x0FF1
+)
+
+// MaxCVMs bounds the CVM table (one policy slot is reserved for the
+// deny-all rule while a CVM executes).
+const MaxCVMs = 4
+
+type cvmState int
+
+const (
+	stFree cvmState = iota
+	stReady
+	stRunning
+)
+
+// sContext is a complete supervisor-mode register context.
+type sContext struct {
+	regs                                 [32]uint64
+	pc                                   uint64
+	stvec, sscratch, sepc, scause, stval uint64
+	satp, scounteren, senvcfg            uint64
+	sstatusBits                          uint64
+	sie                                  uint64
+}
+
+// cvm is one confidential VM.
+type cvm struct {
+	state      cvmState
+	base, size uint64
+	guest      sContext
+	started    bool
+	// sharedPage, when nonzero, is a single guest page the host may access
+	// (the CoVE shared-memory mechanism, minimally).
+	sharedPage uint64
+}
+
+// hostSlot remembers the host context while a CVM occupies a hart.
+type hostSlot struct {
+	host    sContext
+	medeleg uint64
+	mie     uint64
+	active  int
+	// hShadow holds the host's hypervisor CSRs, hidden from the CVM.
+	hShadow [21]uint64
+}
+
+// Policy is the ACE monitor as a policy module.
+type Policy struct {
+	core.BasePolicy
+	cvms [MaxCVMs]cvm
+	host map[int]*hostSlot
+}
+
+// New returns an empty ACE policy.
+func New() *Policy { return &Policy{host: make(map[int]*hostSlot)} }
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "ace" }
+
+func (p *Policy) running(hartID int) (*hostSlot, bool) {
+	s, ok := p.host[hartID]
+	return s, ok
+}
+
+// PolicyPMP implements core.Policy.
+func (p *Policy) PolicyPMP(c *core.HartCtx, w core.World) []core.PMPRule {
+	if hs, ok := p.running(c.Hart.ID); ok {
+		v := &p.cvms[hs.active]
+		return []core.PMPRule{
+			{Cfg: pmp.CfgR | pmp.CfgW | pmp.CfgX | pmp.ANapot<<3,
+				Addr: pmp.NAPOTAddr(v.base, v.size)},
+			{Cfg: pmp.ANapot << 3, Addr: rv.Mask(54)},
+		}
+	}
+	var rules []core.PMPRule
+	for i := range p.cvms {
+		v := &p.cvms[i]
+		if v.state == stFree {
+			continue
+		}
+		if v.sharedPage != 0 {
+			// The shared page is carved out with a higher-priority allow
+			// rule; the rest of the CVM stays dark to host and firmware.
+			rules = append(rules, core.PMPRule{
+				Cfg:  pmp.CfgR | pmp.CfgW | pmp.ANapot<<3,
+				Addr: pmp.NAPOTAddr(v.sharedPage, 4096),
+			})
+		}
+		rules = append(rules, core.PMPRule{
+			Cfg:  pmp.ANapot << 3,
+			Addr: pmp.NAPOTAddr(v.base, v.size),
+		})
+	}
+	if len(rules) > core.PolicySlots {
+		rules = rules[:core.PolicySlots]
+	}
+	return rules
+}
+
+// OnOSEcall implements core.Policy: COVH from the host, COVG from a CVM.
+func (p *Policy) OnOSEcall(c *core.HartCtx) core.Action {
+	h := c.Hart
+	ext := h.Regs[17]
+	if _, ok := p.running(h.ID); ok {
+		switch ext {
+		case rv.SBIExtCoveGuest:
+			return p.guestCall(c)
+		case rv.SBIExtTimer, rv.SBILegacySetTimer:
+			// CVMs may use the timer; the default (fast-path) handling
+			// applies.
+			return core.ActDefault
+		default:
+			// Everything else is denied inside a CVM.
+			h.Regs[10] = sbiErrDenied
+			return core.ActHandled
+		}
+	}
+	if ext != rv.SBIExtCoveHost {
+		return core.ActDefault
+	}
+	switch h.Regs[16] {
+	case FnPromoteToCVM:
+		h.Regs[10] = p.promote(c, h.Regs[10], h.Regs[11], h.Regs[12])
+	case FnDestroyCVM:
+		h.Regs[10] = p.destroy(c, h.Regs[10])
+	case FnRunCVM:
+		return p.run(c, h.Regs[10])
+	default:
+		h.Regs[10] = ErrInvalidParam
+	}
+	return core.ActHandled
+}
+
+// promote converts a host memory range into a confidential VM. The range
+// is scrubbed from host page-cache perspective by simply revoking access;
+// its contents (the guest image the host loaded) remain for the guest.
+func (p *Policy) promote(c *core.HartCtx, base, size, entry uint64) uint64 {
+	if size < 4096 || size&(size-1) != 0 || base&(size-1) != 0 {
+		return ErrInvalidParam
+	}
+	if entry < base || entry >= base+size {
+		return ErrInvalidParam
+	}
+	for i := range p.cvms {
+		v := &p.cvms[i]
+		if v.state == stFree {
+			*v = cvm{state: stReady, base: base, size: size}
+			v.guest.pc = entry
+			v.guest.regs[10] = uint64(i) // a0: cvm id
+			v.guest.regs[2] = base + size
+			for _, ctx := range c.Mon.Ctx {
+				c.Mon.ReinstallPMP(ctx)
+			}
+			return uint64(i)
+		}
+	}
+	return ErrInvalidParam
+}
+
+func (p *Policy) destroy(c *core.HartCtx, id uint64) uint64 {
+	if id >= MaxCVMs || p.cvms[id].state != stReady {
+		return ErrInvalidParam
+	}
+	v := &p.cvms[id]
+	for off := uint64(0); off < v.size; off += 8 {
+		c.Hart.Bus.Store(v.base+off, 8, 0)
+	}
+	*v = cvm{}
+	for _, ctx := range c.Mon.Ctx {
+		c.Mon.ReinstallPMP(ctx)
+	}
+	return OK
+}
+
+// saveS/loadS move a full supervisor context between the hart and a slot.
+func saveS(h *hart.Hart, s *sContext, pc uint64) {
+	s.regs = h.Regs
+	s.pc = pc
+	c := &h.CSR
+	s.stvec, s.sscratch, s.sepc = c.Stvec, c.Sscratch, c.Sepc
+	s.scause, s.stval, s.satp = c.Scause, c.Stval, c.Satp
+	s.scounteren, s.senvcfg = c.Scounteren, c.Senvcfg
+	s.sstatusBits = c.Sstatus()
+	s.sie = c.Sie()
+}
+
+func loadS(h *hart.Hart, s *sContext) {
+	h.Regs = s.regs
+	c := &h.CSR
+	c.Stvec, c.Sscratch, c.Sepc = s.stvec, s.sscratch, s.sepc
+	c.Scause, c.Stval = s.scause, s.stval
+	c.WriteSatp(s.satp)
+	c.Scounteren, c.Senvcfg = s.scounteren, s.senvcfg
+	c.WriteSstatus(s.sstatusBits)
+	c.WriteSie(s.sie)
+}
+
+// run enters (or re-enters) a CVM on this hart.
+func (p *Policy) run(c *core.HartCtx, id uint64) core.Action {
+	h := c.Hart
+	if _, busy := p.running(h.ID); busy || id >= MaxCVMs ||
+		p.cvms[id].state != stReady {
+		h.Regs[10] = ErrInvalidParam
+		return core.ActHandled
+	}
+	v := &p.cvms[id]
+	hs := &hostSlot{medeleg: h.CSR.Medeleg, mie: h.CSR.Mie, active: int(id)}
+	saveS(h, &hs.host, h.CSR.Mepc+4)
+	if h.Cfg.HasH {
+		p.stashHState(h, hs)
+	}
+	p.host[h.ID] = hs
+	// All CVM traps reach the security monitor.
+	h.CSR.Medeleg = 0
+	h.CSR.Mie = h.CSR.Mie & rv.MIntMask
+	loadS(h, &v.guest)
+	v.state = stRunning
+	v.started = true
+	c.VirtMode = rv.ModeS // the guest kernel runs at (virtual) S
+	c.Mon.ReinstallPMP(c)
+	c.OverrideResume(v.guest.pc)
+	return core.ActHandled
+}
+
+// leave returns to the host with retval in a0.
+func (p *Policy) leave(c *core.HartCtx, retval uint64) {
+	h := c.Hart
+	hs := p.host[h.ID]
+	delete(p.host, h.ID)
+	loadS(h, &hs.host)
+	h.Regs[10] = retval
+	h.CSR.Medeleg = hs.medeleg
+	h.CSR.Mie = hs.mie
+	if h.Cfg.HasH {
+		p.unstashHState(h, hs)
+	}
+	c.VirtMode = rv.ModeS
+	c.Mon.ReinstallPMP(c)
+	c.OverrideResume(hs.host.pc)
+}
+
+// guestCall dispatches COVG calls from a running CVM.
+func (p *Policy) guestCall(c *core.HartCtx) core.Action {
+	h := c.Hart
+	hs := p.host[h.ID]
+	v := &p.cvms[hs.active]
+	switch h.Regs[16] {
+	case FnGuestExit:
+		value := h.Regs[10]
+		saveS(h, &v.guest, h.CSR.Mepc+4)
+		v.state = stReady
+		p.leave(c, value)
+	case FnGuestSharePage:
+		page := h.Regs[10]
+		if page%4096 != 0 || page < v.base || page+4096 > v.base+v.size {
+			h.Regs[10] = ErrInvalidParam
+			return core.ActHandled
+		}
+		v.sharedPage = page
+		h.Regs[10] = OK
+		for _, ctx := range c.Mon.Ctx {
+			c.Mon.ReinstallPMP(ctx)
+		}
+	default:
+		h.Regs[10] = ErrInvalidParam
+	}
+	return core.ActHandled
+}
+
+// OnInterrupt implements core.Policy: preempt the CVM on machine
+// interrupts, return Interrupted to the host.
+func (p *Policy) OnInterrupt(c *core.HartCtx, code uint64) core.Action {
+	hs, ok := p.running(c.Hart.ID)
+	if !ok {
+		return core.ActDefault
+	}
+	v := &p.cvms[hs.active]
+	saveS(c.Hart, &v.guest, c.Hart.CSR.Mepc)
+	v.state = stReady
+	p.leave(c, Interrupted)
+	return core.ActDefault
+}
+
+// OnOSTrap implements core.Policy: a CVM fault terminates the run and
+// reports the cause to the host.
+func (p *Policy) OnOSTrap(c *core.HartCtx, cause, tval uint64) core.Action {
+	hs, ok := p.running(c.Hart.ID)
+	if !ok {
+		return core.ActDefault
+	}
+	v := &p.cvms[hs.active]
+	saveS(c.Hart, &v.guest, c.Hart.CSR.Mepc)
+	v.state = stReady
+	p.leave(c, 0xF000+cause)
+	return core.ActHandled
+}
+
+// stashHState hides the host's hypervisor CSRs from the CVM.
+func (p *Policy) stashHState(h *hart.Hart, hs *hostSlot) {
+	c := &h.CSR
+	src := []*uint64{
+		&c.Hstatus, &c.Hedeleg, &c.Hideleg, &c.Hie, &c.Hcounteren, &c.Hgeie,
+		&c.Htval, &c.Hip, &c.Hvip, &c.Htinst, &c.Hgatp, &c.Henvcfg,
+		&c.Vsstatus, &c.Vsie, &c.Vstvec, &c.Vsscratch, &c.Vsepc,
+		&c.Vscause, &c.Vstval, &c.Vsip, &c.Vsatp,
+	}
+	for i, reg := range src {
+		hs.hShadow[i] = *reg
+		*reg = 0
+	}
+}
+
+func (p *Policy) unstashHState(h *hart.Hart, hs *hostSlot) {
+	c := &h.CSR
+	dst := []*uint64{
+		&c.Hstatus, &c.Hedeleg, &c.Hideleg, &c.Hie, &c.Hcounteren, &c.Hgeie,
+		&c.Htval, &c.Hip, &c.Hvip, &c.Htinst, &c.Hgatp, &c.Henvcfg,
+		&c.Vsstatus, &c.Vsie, &c.Vstvec, &c.Vsscratch, &c.Vsepc,
+		&c.Vscause, &c.Vstval, &c.Vsip, &c.Vsatp,
+	}
+	for i, reg := range dst {
+		*reg = hs.hShadow[i]
+	}
+}
+
+// CVMState exposes lifecycle state for tests and tooling.
+func (p *Policy) CVMState(id int) (state int, shared uint64, err error) {
+	if id < 0 || id >= MaxCVMs {
+		return 0, 0, fmt.Errorf("ace: bad cvm id %d", id)
+	}
+	return int(p.cvms[id].state), p.cvms[id].sharedPage, nil
+}
+
+// sbiErrDenied widens the SBI denial code through a function call, since
+// converting a negative constant to uint64 is a compile-time error.
+var sbiErrDenied = widen(rv.SBIErrDenied)
+
+func widen(v int64) uint64 { return uint64(v) }

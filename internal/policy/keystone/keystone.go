@@ -1,0 +1,314 @@
+// Package keystone re-implements the Keystone security monitor as a
+// Miralis policy module (paper §5.3): enclaves — user-level TEEs protected
+// from both the OS and the (now untrusted) firmware — are created, run,
+// and destroyed through the same SBI extension ID the original Keystone
+// monitor exposes, and isolated with policy PMP entries that take priority
+// over the virtual PMPs.
+//
+// Deviation from the original, as in the paper: no attestation.
+package keystone
+
+import (
+	"fmt"
+
+	"govfm/internal/core"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// SBI function IDs on the Keystone extension (a6), following the original
+// monitor's host interface.
+const (
+	FnCreate  = 2001
+	FnDestroy = 2002
+	FnRun     = 2003
+	FnResume  = 2005
+	// Enclave-side calls (issued from within the enclave).
+	FnExit = 3006
+)
+
+// Host-visible return codes in a0.
+const (
+	OK              = 0
+	ErrInvalidParam = ^uint64(0)     // -1
+	ErrNoFreeSlot   = ^uint64(0) - 1 // -2
+	// Interrupted is returned from run/resume when the enclave was
+	// preempted by an interrupt; the host may call FnResume.
+	Interrupted = 100011
+)
+
+// MaxEnclaves bounds the enclave table.
+const MaxEnclaves = 8
+
+// enclaveState is the per-enclave lifecycle.
+type enclaveState int
+
+const (
+	stFree enclaveState = iota
+	stCreated
+	stRunning
+	stStopped // preempted, resumable
+)
+
+// enclave is one TEE instance.
+type enclave struct {
+	state      enclaveState
+	base, size uint64
+	entry      uint64
+
+	// Saved enclave execution context across preemptions.
+	regs [32]uint64
+	pc   uint64
+
+	// exitValue passed by FnExit.
+	exitValue uint64
+}
+
+// hostCtx is the host context saved while an enclave occupies the hart.
+type hostCtx struct {
+	regs    [32]uint64
+	pc      uint64
+	medeleg uint64
+	mie     uint64
+	active  int // running enclave id
+}
+
+// Policy is the Keystone security monitor as a policy module.
+type Policy struct {
+	core.BasePolicy
+	enclaves [MaxEnclaves]enclave
+	// host holds the saved host context per hart while an enclave runs
+	// (nil entry = no enclave on that hart).
+	host map[int]*hostCtx
+}
+
+// New returns an empty Keystone policy.
+func New() *Policy {
+	return &Policy{host: make(map[int]*hostCtx)}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "keystone" }
+
+// inEnclave reports whether hart id is currently executing an enclave.
+func (p *Policy) inEnclave(hartID int) (*hostCtx, bool) {
+	h, ok := p.host[hartID]
+	return h, ok
+}
+
+// PolicyPMP implements core.Policy.
+//
+// While an enclave runs, only its own region is accessible (everything
+// else is denied above the virtual PMPs); otherwise every created enclave
+// region is denied to the OS and the firmware alike.
+func (p *Policy) PolicyPMP(c *core.HartCtx, w core.World) []core.PMPRule {
+	if hc, ok := p.inEnclave(c.Hart.ID); ok {
+		e := &p.enclaves[hc.active]
+		return []core.PMPRule{
+			{Cfg: pmp.CfgR | pmp.CfgW | pmp.CfgX | pmp.ANapot<<3,
+				Addr: pmp.NAPOTAddr(e.base, e.size)},
+			{Cfg: pmp.ANapot << 3, Addr: rv.Mask(54)}, // deny the rest
+		}
+	}
+	// Protect every live enclave region. With PolicySlots slots, at most
+	// that many enclaves can exist concurrently; create enforces it.
+	var rules []core.PMPRule
+	for i := range p.enclaves {
+		e := &p.enclaves[i]
+		if e.state != stFree {
+			rules = append(rules, core.PMPRule{
+				Cfg:  pmp.ANapot << 3,
+				Addr: pmp.NAPOTAddr(e.base, e.size),
+			})
+		}
+	}
+	return rules
+}
+
+// OnOSEcall implements core.Policy: the Keystone host and enclave SBI.
+func (p *Policy) OnOSEcall(c *core.HartCtx) core.Action {
+	h := c.Hart
+	if h.Regs[17] != rv.SBIExtKeystone {
+		if _, ok := p.inEnclave(h.ID); ok {
+			// Enclaves may only talk to the security monitor; other SBI
+			// extensions return denied rather than leaking to firmware.
+			h.Regs[10] = sbiErrDenied
+			return core.ActHandled
+		}
+		return core.ActDefault
+	}
+	switch h.Regs[16] {
+	case FnCreate:
+		h.Regs[10] = p.create(h.Regs[10], h.Regs[11], h.Regs[12])
+	case FnDestroy:
+		h.Regs[10] = p.destroy(c, h.Regs[10])
+	case FnRun:
+		return p.enter(c, h.Regs[10], false)
+	case FnResume:
+		return p.enter(c, h.Regs[10], true)
+	case FnExit:
+		return p.exitEnclave(c, h.Regs[10])
+	default:
+		h.Regs[10] = ErrInvalidParam
+	}
+	return core.ActHandled
+}
+
+// create registers an enclave over [base, base+size) with the given entry.
+func (p *Policy) create(base, size, entry uint64) uint64 {
+	if size < 8 || size&(size-1) != 0 || base&(size-1) != 0 {
+		return ErrInvalidParam
+	}
+	if entry < base || entry >= base+size {
+		return ErrInvalidParam
+	}
+	live := 0
+	for i := range p.enclaves {
+		if p.enclaves[i].state != stFree {
+			live++
+		}
+	}
+	if live >= core.PolicySlots-1 {
+		// One slot is reserved for the deny-all rule during execution.
+		return ErrNoFreeSlot
+	}
+	for i := range p.enclaves {
+		e := &p.enclaves[i]
+		if e.state == stFree {
+			*e = enclave{state: stCreated, base: base, size: size, entry: entry}
+			return uint64(i)
+		}
+	}
+	return ErrNoFreeSlot
+}
+
+func (p *Policy) destroy(c *core.HartCtx, id uint64) uint64 {
+	if id >= MaxEnclaves || p.enclaves[id].state == stFree ||
+		p.enclaves[id].state == stRunning {
+		return ErrInvalidParam
+	}
+	// Scrub enclave memory before releasing it to the OS.
+	e := &p.enclaves[id]
+	for off := uint64(0); off < e.size; off += 8 {
+		c.Hart.Bus.Store(e.base+off, 8, 0)
+	}
+	*e = enclave{}
+	for _, ctx := range c.Mon.Ctx {
+		c.Mon.ReinstallPMP(ctx)
+	}
+	return OK
+}
+
+// enter switches the hart into the enclave (run or resume).
+func (p *Policy) enter(c *core.HartCtx, id uint64, resume bool) core.Action {
+	h := c.Hart
+	if _, busy := p.inEnclave(h.ID); busy || id >= MaxEnclaves {
+		h.Regs[10] = ErrInvalidParam
+		return core.ActHandled
+	}
+	e := &p.enclaves[id]
+	if (resume && e.state != stStopped) || (!resume && e.state != stCreated) {
+		h.Regs[10] = ErrInvalidParam
+		return core.ActHandled
+	}
+	hc := &hostCtx{
+		regs:    h.Regs,
+		pc:      h.CSR.Mepc + 4, // past the run/resume ecall
+		medeleg: h.CSR.Medeleg,
+		mie:     h.CSR.Mie,
+		active:  int(id),
+	}
+	p.host[h.ID] = hc
+	// While the enclave runs, every trap must reach the security monitor:
+	// nothing is delegated and no supervisor interrupt preempts silently.
+	h.CSR.Medeleg = 0
+	h.CSR.Mie &= rv.MIntMask
+	var entryPC uint64
+	if resume {
+		h.Regs = e.regs
+		entryPC = e.pc
+	} else {
+		h.Regs = [32]uint64{}
+		h.Regs[10] = id             // a0: enclave id
+		h.Regs[2] = e.base + e.size // sp: top of enclave memory
+		entryPC = e.entry
+	}
+	e.state = stRunning
+	c.VirtMode = rv.ModeU // enclaves execute in U-mode
+	c.Mon.ReinstallPMP(c)
+	c.OverrideResume(entryPC)
+	return core.ActHandled
+}
+
+// leave restores the host context; retval lands in the host's a0.
+func (p *Policy) leave(c *core.HartCtx, retval uint64) {
+	h := c.Hart
+	hc := p.host[h.ID]
+	delete(p.host, h.ID)
+	h.Regs = hc.regs
+	h.Regs[10] = retval
+	h.CSR.Medeleg = hc.medeleg
+	h.CSR.Mie = hc.mie
+	c.VirtMode = rv.ModeS
+	c.Mon.ReinstallPMP(c)
+	c.OverrideResume(hc.pc)
+}
+
+// exitEnclave handles the enclave's voluntary exit.
+func (p *Policy) exitEnclave(c *core.HartCtx, value uint64) core.Action {
+	hc, ok := p.inEnclave(c.Hart.ID)
+	if !ok {
+		c.Hart.Regs[10] = ErrInvalidParam
+		return core.ActHandled
+	}
+	e := &p.enclaves[hc.active]
+	e.state = stCreated // re-runnable
+	e.exitValue = value
+	p.leave(c, value)
+	return core.ActHandled
+}
+
+// OnInterrupt implements core.Policy: a machine interrupt while an enclave
+// runs preempts it — the enclave context is saved and the host resumes
+// with the Interrupted code, exactly the Keystone preemption contract.
+func (p *Policy) OnInterrupt(c *core.HartCtx, code uint64) core.Action {
+	hc, ok := p.inEnclave(c.Hart.ID)
+	if !ok {
+		return core.ActDefault
+	}
+	e := &p.enclaves[hc.active]
+	e.regs = c.Hart.Regs
+	e.pc = c.Hart.CSR.Mepc
+	e.state = stStopped
+	p.leave(c, Interrupted)
+	// Default handling still runs (the timer must reach the OS).
+	return core.ActDefault
+}
+
+// OnOSTrap implements core.Policy: an enclave fault (its own bug or an
+// attempted escape) terminates the enclave and returns the fault cause to
+// the host.
+func (p *Policy) OnOSTrap(c *core.HartCtx, cause, tval uint64) core.Action {
+	hc, ok := p.inEnclave(c.Hart.ID)
+	if !ok {
+		return core.ActDefault
+	}
+	e := &p.enclaves[hc.active]
+	e.state = stCreated
+	p.leave(c, 200000+cause)
+	return core.ActHandled
+}
+
+// EnclaveState exposes lifecycle state for tests and tooling.
+func (p *Policy) EnclaveState(id int) (state int, exitValue uint64, err error) {
+	if id < 0 || id >= MaxEnclaves {
+		return 0, 0, fmt.Errorf("keystone: bad enclave id %d", id)
+	}
+	return int(p.enclaves[id].state), p.enclaves[id].exitValue, nil
+}
+
+// sbiErrDenied widens the SBI denial code through a function call, since
+// converting a negative constant to uint64 is a compile-time error.
+var sbiErrDenied = widen(rv.SBIErrDenied)
+
+func widen(v int64) uint64 { return uint64(v) }

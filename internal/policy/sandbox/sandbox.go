@@ -1,0 +1,252 @@
+// Package sandbox implements the paper's firmware sandbox policy (§5.2):
+// it confines the virtual firmware to its own memory range, blocks its
+// access to OS memory and DMA-capable devices, scrubs general-purpose
+// registers on world switches using a per-SBI-call register allow-list
+// generated from the SBI specification, grants OS memory during the boot
+// window (until the first jump to S-mode) and then locks it down and
+// hashes the initial S-mode image.
+package sandbox
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"govfm/internal/core"
+	"govfm/internal/hart"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// Options configures the sandbox.
+type Options struct {
+	// OSBase/OSSize is the protected OS memory range (NAPOT).
+	OSBase, OSSize uint64
+	// FirmwareBase/FirmwareSize is the firmware's own allowed range.
+	FirmwareBase, FirmwareSize uint64
+	// HashWindow is how many bytes of the initial S-mode image are hashed
+	// at lockdown (0 means 64 KiB).
+	HashWindow uint64
+	// Report, when true, logs violations and returns to the OS instead of
+	// stopping the machine — the paper's envisioned production behaviour
+	// (§5.2: "log the invalid action and return arbitrary values").
+	Report bool
+	// Log receives violation reports (defaults to discarding them).
+	Log func(format string, args ...any)
+}
+
+// Policy is the firmware sandbox.
+type Policy struct {
+	core.BasePolicy
+	opt Options
+
+	// lockedDown flips when the firmware first enters S-mode; from then on
+	// firmware access to OS memory is a violation.
+	lockedDown bool
+	// BootHash is the FNV-64a hash of the initial S-mode image, computed
+	// at lockdown.
+	BootHash uint64
+
+	// saved per-hart GPR snapshots across firmware world entries.
+	saved map[int][32]uint64
+	// Violations counts blocked firmware actions (Report mode).
+	Violations uint64
+}
+
+// New builds a sandbox policy with the standard memory layout when fields
+// are zero.
+func New(opt Options) *Policy {
+	if opt.OSBase == 0 {
+		opt.OSBase, opt.OSSize = core.OSBase, core.OSSize
+	}
+	if opt.FirmwareBase == 0 {
+		opt.FirmwareBase, opt.FirmwareSize = core.FirmwareBase, core.FirmwareSize
+	}
+	if opt.HashWindow == 0 {
+		opt.HashWindow = 64 << 10
+	}
+	if opt.Log == nil {
+		opt.Log = func(string, ...any) {}
+	}
+	return &Policy{opt: opt, saved: make(map[int][32]uint64)}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "sandbox" }
+
+// PolicyPMP implements core.Policy: while the firmware runs (after
+// lockdown), OS memory and the DMA controller are inaccessible; while the
+// OS runs, the firmware's memory is inaccessible (defence in depth on top
+// of the firmware's own virtual PMP).
+func (p *Policy) PolicyPMP(c *core.HartCtx, w core.World) []core.PMPRule {
+	if w == core.WorldFirmware {
+		var rules []core.PMPRule
+		if !c.Mon.Opts.VirtualizeIOPMP {
+			// Without an IOPMP the only defence is revoking the DMA
+			// controller's MMIO window from the firmware (paper §4.3);
+			// with a virtualized IOPMP the firmware may drive DMA and the
+			// IOPMP rule below constrains where it can reach.
+			rules = append(rules, core.PMPRule{
+				Cfg:  pmp.ANapot << 3, // no permissions
+				Addr: pmp.NAPOTAddr(hart.DMABase, hart.DMARegionSize),
+			})
+		}
+		if p.lockedDown {
+			rules = append(rules, core.PMPRule{
+				Cfg:  pmp.ANapot << 3,
+				Addr: pmp.NAPOTAddr(p.opt.OSBase, p.opt.OSSize),
+			})
+		}
+		return rules
+	}
+	return []core.PMPRule{{
+		Cfg:  pmp.ANapot << 3,
+		Addr: pmp.NAPOTAddr(p.opt.FirmwareBase, p.opt.FirmwareSize),
+	}}
+}
+
+// OnWorldSwitch implements core.Policy: GPR scrubbing per direction and
+// the one-shot boot lockdown.
+func (p *Policy) OnWorldSwitch(c *core.HartCtx, to core.World) {
+	h := c.Hart
+	if to == core.WorldOS {
+		if !p.lockedDown {
+			p.lockdown(c)
+		}
+		p.restoreGPRs(c)
+		return
+	}
+	// Entering the firmware: snapshot all GPRs, then expose only the
+	// registers the SBI call legitimately consumes.
+	p.saved[h.ID] = h.Regs
+	cause := c.V.Mcause
+	if !rv.CauseIsInterrupt(cause) &&
+		(rv.CauseCode(cause) == rv.ExcEcallFromS || rv.CauseCode(cause) == rv.ExcEcallFromU) {
+		p.scrubForSBI(c)
+	} else {
+		p.scrubAll(c)
+	}
+}
+
+// scrubForSBI zeroes every register outside the per-call allow-list
+// derived from the SBI specification (rv.SBICallArgRegs).
+func (p *Policy) scrubForSBI(c *core.HartCtx) {
+	h := c.Hart
+	ext, fn := h.Regs[17], h.Regs[16] // a7, a6
+	nargs := rv.SBICallArgRegs(ext, fn)
+	for i := 1; i < 32; i++ {
+		switch {
+		case i == 17 || i == 16: // a7, a6: extension and function
+		case i >= 10 && i < 10+nargs: // allowed a0..a(n-1)
+		default:
+			h.Regs[i] = 0
+		}
+	}
+}
+
+func (p *Policy) scrubAll(c *core.HartCtx) {
+	h := c.Hart
+	for i := 1; i < 32; i++ {
+		h.Regs[i] = 0
+	}
+}
+
+// restoreGPRs reinstates the OS's registers on the way back, keeping a0/a1
+// (the SBI return values) from the firmware.
+func (p *Policy) restoreGPRs(c *core.HartCtx) {
+	h := c.Hart
+	snap, ok := p.saved[h.ID]
+	if !ok {
+		return
+	}
+	a0, a1 := h.Regs[10], h.Regs[11]
+	h.Regs = snap
+	cause := c.V.Mcause
+	if !rv.CauseIsInterrupt(cause) &&
+		(rv.CauseCode(cause) == rv.ExcEcallFromS || rv.CauseCode(cause) == rv.ExcEcallFromU) {
+		h.Regs[10], h.Regs[11] = a0, a1
+	}
+	delete(p.saved, h.ID)
+}
+
+// OnOSTrap implements core.Policy: the sandbox emulates misaligned loads
+// and stores itself (paper §5.2) — the confined firmware can no longer
+// reach through OS memory with MPRV to do it.
+func (p *Policy) OnOSTrap(c *core.HartCtx, cause, tval uint64) core.Action {
+	switch cause {
+	case rv.ExcLoadAddrMisaligned, rv.ExcStoreAddrMisaligned:
+		if vpc, ok := c.Mon.EmulateMisaligned(c, cause, tval, c.Hart.CSR.Mepc); ok {
+			c.OverrideResume(vpc)
+			return core.ActHandled
+		}
+	}
+	return core.ActDefault
+}
+
+// lockdown fires on the first firmware-to-OS transition: from here on the
+// firmware loses access to OS memory, and the initial S-mode image is
+// hashed for later attestation (paper §5.2).
+func (p *Policy) lockdown(c *core.HartCtx) {
+	p.lockedDown = true
+	img, err := c.Hart.Bus.ReadBytes(p.opt.OSBase, int(p.opt.HashWindow))
+	if err == nil {
+		fh := fnv.New64a()
+		fh.Write(img)
+		p.BootHash = fh.Sum64()
+	}
+	// Reinstall every hart's PMP so the lockdown applies machine-wide,
+	// and push the DMA rule into the (virtualized) IOPMP.
+	for _, ctx := range c.Mon.Ctx {
+		c.Mon.ReinstallPMP(ctx)
+	}
+	c.Mon.ReinstallIOPMP(c)
+}
+
+// OnFirmwareTrap implements core.Policy: a PMP fault from the firmware on
+// a sandboxed region is a violation.
+func (p *Policy) OnFirmwareTrap(c *core.HartCtx, cause, tval uint64) core.Action {
+	switch cause {
+	case rv.ExcLoadAccessFault, rv.ExcStoreAccessFault, rv.ExcInstrAccessFault:
+		if p.inSandboxedRange(c, tval) {
+			p.Violations++
+			p.opt.Log("sandbox: firmware %s at %#x blocked",
+				rv.CauseString(cause), tval)
+			if p.opt.Report {
+				// Production mode: skip the faulting instruction; loads see
+				// arbitrary (zero) values.
+				c.OverrideResume(c.Hart.CSR.Mepc + 4)
+				return core.ActHandled
+			}
+			return core.ActBlock
+		}
+	}
+	return core.ActDefault
+}
+
+func (p *Policy) inSandboxedRange(c *core.HartCtx, addr uint64) bool {
+	if p.lockedDown && addr >= p.opt.OSBase && addr < p.opt.OSBase+p.opt.OSSize {
+		return true
+	}
+	if c.Mon.Opts.VirtualizeIOPMP {
+		return false // the DMA window is mediated, not revoked
+	}
+	return addr >= hart.DMABase && addr < hart.DMABase+hart.DMARegionSize
+}
+
+// PolicyIOPMP implements core.DMAPolicy: once locked down, no DMA master
+// may touch OS memory regardless of how the firmware programs its virtual
+// IOPMP entries.
+func (p *Policy) PolicyIOPMP(c *core.HartCtx) core.PMPRule {
+	if !p.lockedDown {
+		return core.PMPRule{}
+	}
+	return core.PMPRule{
+		Cfg:  pmp.ANapot << 3,
+		Addr: pmp.NAPOTAddr(p.opt.OSBase, p.opt.OSSize),
+	}
+}
+
+// String summarizes the sandbox state for logs.
+func (p *Policy) String() string {
+	return fmt.Sprintf("sandbox{locked=%v hash=%#x violations=%d}",
+		p.lockedDown, p.BootHash, p.Violations)
+}

@@ -1,0 +1,181 @@
+package policy_test
+
+import (
+	"testing"
+
+	"govfm/internal/core"
+	"govfm/internal/hart"
+	"govfm/internal/policy/ace"
+	"govfm/internal/policy/keystone"
+	"govfm/internal/rv"
+)
+
+// Unit tests for the policy state machines' error paths, driven directly
+// through the hook interface on a bare monitor-attached machine.
+
+func bareMonitor(t *testing.T, pol core.Policy) (*core.Monitor, *core.HartCtx) {
+	t.Helper()
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	m, err := hart.NewMachine(cfg, core.DramSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := core.Attach(m, core.Options{Policy: pol, FirmwareEntry: core.FirmwareBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Boot()
+	ctx := mon.Ctx[0]
+	ctx.VirtMode = rv.ModeS // pretend the OS is running
+	return mon, ctx
+}
+
+// call performs an OS ecall with the given registers through the policy.
+func call(ctx *core.HartCtx, pol core.Policy, ext, fn, a0, a1, a2 uint64) uint64 {
+	h := ctx.Hart
+	h.Regs[17], h.Regs[16] = ext, fn
+	h.Regs[10], h.Regs[11], h.Regs[12] = a0, a1, a2
+	pol.OnOSEcall(ctx)
+	return h.Regs[10]
+}
+
+func TestKeystoneCreateValidation(t *testing.T) {
+	pol := keystone.New()
+	_, ctx := bareMonitor(t, pol)
+	const eid = rv.SBIExtKeystone
+
+	// Misaligned base.
+	if r := call(ctx, pol, eid, keystone.FnCreate, core.OSBase+4, 0x10000, core.OSBase+4); r != keystone.ErrInvalidParam {
+		t.Errorf("misaligned create returned %#x", r)
+	}
+	// Non-power-of-two size.
+	if r := call(ctx, pol, eid, keystone.FnCreate, core.OSBase, 0x18000, core.OSBase); r != keystone.ErrInvalidParam {
+		t.Errorf("odd-size create returned %#x", r)
+	}
+	// Entry outside the region.
+	if r := call(ctx, pol, eid, keystone.FnCreate, core.OSBase+0x10_0000, 0x10000, core.OSBase); r != keystone.ErrInvalidParam {
+		t.Errorf("bad-entry create returned %#x", r)
+	}
+	// A valid create.
+	if r := call(ctx, pol, eid, keystone.FnCreate, core.OSBase+0x10_0000, 0x10000, core.OSBase+0x10_0000); r != 0 {
+		t.Fatalf("valid create returned %#x", r)
+	}
+	// The policy-slot budget holds one enclave; a second is refused.
+	if r := call(ctx, pol, eid, keystone.FnCreate, core.OSBase+0x20_0000, 0x10000, core.OSBase+0x20_0000); r != keystone.ErrNoFreeSlot {
+		t.Errorf("second create returned %#x", r)
+	}
+	// Running a nonexistent enclave.
+	if r := call(ctx, pol, eid, keystone.FnRun, 5, 0, 0); r != keystone.ErrInvalidParam {
+		t.Errorf("run of bogus id returned %#x", r)
+	}
+	// Resume before any preemption.
+	if r := call(ctx, pol, eid, keystone.FnResume, 0, 0, 0); r != keystone.ErrInvalidParam {
+		t.Errorf("resume of non-stopped enclave returned %#x", r)
+	}
+	// Exit without being in an enclave.
+	if r := call(ctx, pol, eid, keystone.FnExit, 0, 0, 0); r != keystone.ErrInvalidParam {
+		t.Errorf("stray exit returned %#x", r)
+	}
+	// Unknown function.
+	if r := call(ctx, pol, eid, 9999, 0, 0, 0); r != keystone.ErrInvalidParam {
+		t.Errorf("unknown fn returned %#x", r)
+	}
+	// State inspection.
+	if st, _, err := pol.EnclaveState(0); err != nil || st == 0 {
+		t.Errorf("enclave 0 state: %d %v", st, err)
+	}
+	if _, _, err := pol.EnclaveState(99); err == nil {
+		t.Error("bad id must error")
+	}
+}
+
+func TestKeystoneDestroyRules(t *testing.T) {
+	pol := keystone.New()
+	_, ctx := bareMonitor(t, pol)
+	const eid = rv.SBIExtKeystone
+	if r := call(ctx, pol, eid, keystone.FnCreate, core.OSBase+0x10_0000, 0x10000, core.OSBase+0x10_0000); r != 0 {
+		t.Fatal("create failed")
+	}
+	// Destroy of a bogus id.
+	if r := call(ctx, pol, eid, keystone.FnDestroy, 7, 0, 0); r != keystone.ErrInvalidParam {
+		t.Errorf("bogus destroy returned %#x", r)
+	}
+	// Valid destroy.
+	if r := call(ctx, pol, eid, keystone.FnDestroy, 0, 0, 0); r != keystone.OK {
+		t.Errorf("destroy returned %#x", r)
+	}
+	// Double destroy.
+	if r := call(ctx, pol, eid, keystone.FnDestroy, 0, 0, 0); r != keystone.ErrInvalidParam {
+		t.Errorf("double destroy returned %#x", r)
+	}
+}
+
+func TestACEPromoteValidation(t *testing.T) {
+	pol := ace.New()
+	_, ctx := bareMonitor(t, pol)
+	const eid = rv.SBIExtCoveHost
+
+	if r := call(ctx, pol, eid, ace.FnPromoteToCVM, core.OSBase+4, 1<<20, core.OSBase+4); r != ace.ErrInvalidParam {
+		t.Errorf("misaligned promote returned %#x", r)
+	}
+	if r := call(ctx, pol, eid, ace.FnPromoteToCVM, core.OSBase, 100, core.OSBase); r != ace.ErrInvalidParam {
+		t.Errorf("tiny promote returned %#x", r)
+	}
+	if r := call(ctx, pol, eid, ace.FnPromoteToCVM, core.OSBase+0x10_0000, 1<<20, core.OSBase); r != ace.ErrInvalidParam {
+		t.Errorf("bad-entry promote returned %#x", r)
+	}
+	if r := call(ctx, pol, eid, ace.FnPromoteToCVM, core.OSBase+0x10_0000, 1<<20, core.OSBase+0x10_0000); r != 0 {
+		t.Fatalf("valid promote returned %#x", r)
+	}
+	if r := call(ctx, pol, eid, ace.FnRunCVM, 3, 0, 0); r != ace.ErrInvalidParam {
+		t.Errorf("run of bogus cvm returned %#x", r)
+	}
+	if r := call(ctx, pol, eid, ace.FnDestroyCVM, 0, 0, 0); r != ace.OK {
+		t.Errorf("destroy returned %#x", r)
+	}
+	if st, _, err := pol.CVMState(0); err != nil || st != 0 {
+		t.Errorf("cvm 0 must be free after destroy: %d %v", st, err)
+	}
+	if _, _, err := pol.CVMState(-1); err == nil {
+		t.Error("bad id must error")
+	}
+}
+
+func TestACESharePageValidation(t *testing.T) {
+	pol := ace.New()
+	mon, ctx := bareMonitor(t, pol)
+	const hostEID, guestEID = rv.SBIExtCoveHost, rv.SBIExtCoveGuest
+	base := uint64(core.OSBase + 0x10_0000)
+	if r := call(ctx, pol, hostEID, ace.FnPromoteToCVM, base, 1<<20, base); r != 0 {
+		t.Fatal("promote failed")
+	}
+	// Enter the CVM so guest calls are accepted.
+	ctx.Hart.CSR.Mepc = 0x1000
+	if r := call(ctx, pol, hostEID, ace.FnRunCVM, 0, 0, 0); r != 0 {
+		// run returns via OverrideResume; a0 holds the guest's a0 (= id 0)
+		_ = r
+	}
+	// Misaligned share from inside the CVM.
+	if r := call(ctx, pol, guestEID, ace.FnGuestSharePage, base+12, 0, 0); r != ace.ErrInvalidParam {
+		t.Errorf("misaligned share returned %#x", r)
+	}
+	// Out-of-region share.
+	if r := call(ctx, pol, guestEID, ace.FnGuestSharePage, core.OSBase, 0, 0); r != ace.ErrInvalidParam {
+		t.Errorf("foreign share returned %#x", r)
+	}
+	// Valid share.
+	if r := call(ctx, pol, guestEID, ace.FnGuestSharePage, base+0x4000, 0, 0); r != ace.OK {
+		t.Errorf("valid share returned %#x", r)
+	}
+	if _, shared, _ := pol.CVMState(0); shared != base+0x4000 {
+		t.Errorf("shared page = %#x", shared)
+	}
+	// Non-COVE SBI from inside the CVM is denied.
+	var deniedSigned int64 = rv.SBIErrDenied
+	denied := uint64(deniedSigned)
+	if r := call(ctx, pol, rv.SBIExtIPI, 0, 1, 0, 0); r != denied {
+		t.Errorf("foreign SBI inside CVM returned %#x", r)
+	}
+	_ = mon
+}

@@ -1,0 +1,463 @@
+package refmodel
+
+// CSR numbers are written literally in this file (as the Sail model spells
+// them) rather than shared with the simulator, keeping the two derivations
+// of the specification independent.
+
+// csrAccessOK performs the existence and privilege checks of the Zicsr
+// chapter: address-encoded minimum privilege, read-only top bits, counter
+// enables, TVM, and Sstc gating.
+func csrAccessOK(c *Config, s *State, csr uint16, write bool) bool {
+	if write && csr>>10&3 == 3 {
+		return false
+	}
+	minPriv := uint8(0)
+	switch csr >> 8 & 3 {
+	case 1, 2:
+		minPriv = S
+	case 3:
+		minPriv = M
+	}
+	if s.Priv < minPriv {
+		return false
+	}
+	if !csrExists(c, csr) {
+		return false
+	}
+	switch csr {
+	case 0xC00, 0xC01, 0xC02: // cycle, time, instret
+		bit := uint(csr - 0xC00)
+		if s.Priv < M && s.Mcounteren>>bit&1 == 0 {
+			return false
+		}
+		if s.Priv == U && s.Scounteren>>bit&1 == 0 {
+			return false
+		}
+	case 0x180: // satp
+		if s.Priv == S && s.Status.TVM {
+			return false
+		}
+	case 0x14D: // stimecmp
+		if s.Priv == S && s.Menvcfg>>63&1 == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func csrExists(c *Config, csr uint16) bool {
+	switch csr {
+	case 0x100, 0x104, 0x105, 0x106, 0x10A, // sstatus..senvcfg
+		0x140, 0x141, 0x142, 0x143, 0x144, // sscratch..sip
+		0x180, // satp
+		0x300, 0x301, 0x302, 0x303, 0x304, 0x305, 0x306, 0x30A,
+		0x320, // mcountinhibit
+		0x340, 0x341, 0x342, 0x343, 0x344,
+		0x747,        // mseccfg
+		0xB00, 0xB02, // mcycle, minstret
+		0xC00, 0xC02, // cycle, instret
+		0xF11, 0xF12, 0xF13, 0xF14, 0xF15:
+		return true
+	case 0xC01: // time
+		return c.HasTimeCSR
+	case 0x14D: // stimecmp
+		return c.HasSstc
+	case 0x600, 0x602, 0x603, 0x604, 0x606, 0x607, 0x60A, 0x643, 0x644,
+		0x645, 0x64A, 0x680, 0xE12, // hypervisor
+		0x200, 0x204, 0x205, 0x240, 0x241, 0x242, 0x243, 0x244, 0x280, // vs
+		0x34A, 0x34B: // mtinst, mtval2
+		return c.HasH
+	}
+	if csr >= 0x3A0 && csr < 0x3B0 { // pmpcfg0..15
+		return csr%2 == 0 && int(csr-0x3A0)*4 < c.PMPCount
+	}
+	if csr >= 0x3B0 && csr < 0x3F0 { // pmpaddr0..63
+		return int(csr-0x3B0) < c.PMPCount
+	}
+	if csr >= 0xB03 && csr <= 0xB1F { // mhpmcounters
+		return true
+	}
+	if csr >= 0xC03 && csr <= 0xC1F { // hpmcounters
+		return true
+	}
+	if csr >= 0x323 && csr <= 0x33F { // mhpmevents
+		return true
+	}
+	return c.HasCustom(csr)
+}
+
+// sstatus view: the subset of status fields visible to supervisor mode.
+func sstatusBits(m Mstatus) uint64 {
+	var v uint64
+	if m.SIE {
+		v |= 1 << 1
+	}
+	if m.SPIE {
+		v |= 1 << 5
+	}
+	v |= uint64(m.SPP&1) << 8
+	if m.SUM {
+		v |= 1 << 18
+	}
+	if m.MXR {
+		v |= 1 << 19
+	}
+	v |= 2 << 32 // UXL
+	return v
+}
+
+func legalizeMstatusWrite(old Mstatus, v uint64) Mstatus {
+	n := MstatusFromBits(v)
+	if v>>11&3 == 2 { // MPP=H is not a supported mode: keep the old value
+		n.MPP = old.MPP
+	}
+	return n
+}
+
+func legalizeSstatusWrite(old Mstatus, v uint64) Mstatus {
+	n := old
+	n.SIE = v>>1&1 != 0
+	n.SPIE = v>>5&1 != 0
+	n.SPP = uint8(v >> 8 & 1)
+	n.SUM = v>>18&1 != 0
+	n.MXR = v>>19&1 != 0
+	return n
+}
+
+func legalizeTvecWrite(v uint64) uint64 {
+	if v&3 >= 2 {
+		return v &^ 3
+	}
+	return v
+}
+
+func legalizeXepc(v uint64) uint64 { return v &^ 3 }
+
+// legalizePmpCfgByte implements the pmpcfg WARL rule: reserved bits clear,
+// and the reserved R=0/W=1 combination loses its W bit.
+func legalizePmpCfgByte(v uint8) uint8 {
+	v &= 0x9F
+	if v&2 != 0 && v&1 == 0 {
+		v &^= 2
+	}
+	return v
+}
+
+// readCSR returns the architectural value; access must already be checked.
+func readCSR(c *Config, s *State, csr uint16) uint64 {
+	switch csr {
+	case 0x100:
+		return sstatusBits(s.Status)
+	case 0x104:
+		return s.Mie & s.Mideleg
+	case 0x105:
+		return s.Stvec
+	case 0x106:
+		return s.Scounteren
+	case 0x10A:
+		return s.Senvcfg
+	case 0x140:
+		return s.Sscratch
+	case 0x141:
+		return s.Sepc
+	case 0x142:
+		return s.Scause
+	case 0x143:
+		return s.Stval
+	case 0x144:
+		return s.Mip(c) & s.Mideleg
+	case 0x14D:
+		return s.Stimecmp
+	case 0x180:
+		return s.Satp
+	case 0x300:
+		return s.Status.Bits()
+	case 0x301:
+		misa := uint64(2)<<62 | 1<<8 | 1<<12 | 1<<0 | 1<<18 | 1<<20
+		if c.HasH {
+			misa |= 1 << 7
+		}
+		return misa
+	case 0x302:
+		return s.Medeleg
+	case 0x303:
+		return s.Mideleg
+	case 0x304:
+		return s.Mie
+	case 0x305:
+		return s.Mtvec
+	case 0x306:
+		return s.Mcounteren
+	case 0x30A:
+		return s.Menvcfg
+	case 0x320:
+		return s.Mcountinhibit
+	case 0x340:
+		return s.Mscratch
+	case 0x341:
+		return s.Mepc
+	case 0x342:
+		return s.Mcause
+	case 0x343:
+		return s.Mtval
+	case 0x344:
+		return s.Mip(c)
+	case 0x747:
+		return s.Mseccfg
+	case 0xB00, 0xC00:
+		return s.Cycle
+	case 0xB02, 0xC02:
+		return s.Instret
+	case 0xC01:
+		return s.Time
+	case 0xF11:
+		return c.Mvendorid
+	case 0xF12:
+		return c.Marchid
+	case 0xF13:
+		return c.Mimpid
+	case 0xF14:
+		return c.Mhartid
+	case 0xF15:
+		return 0
+	case 0x34A:
+		return s.Mtinst
+	case 0x34B:
+		return s.Mtval2
+	case 0x600:
+		return s.Hstatus
+	case 0x602:
+		return s.Hedeleg
+	case 0x603:
+		return s.Hideleg
+	case 0x604:
+		return s.Hie
+	case 0x606:
+		return s.Hcounteren
+	case 0x607:
+		return s.Hgeie
+	case 0x60A:
+		return s.Henvcfg
+	case 0x643:
+		return s.Htval
+	case 0x644:
+		return s.Hip
+	case 0x645:
+		return s.Hvip
+	case 0x64A:
+		return s.Htinst
+	case 0x680:
+		return s.Hgatp
+	case 0xE12:
+		return 0 // hgeip: read-only, no guest external interrupts modelled
+	case 0x200:
+		return s.Vsstatus
+	case 0x204:
+		return s.Vsie
+	case 0x205:
+		return s.Vstvec
+	case 0x240:
+		return s.Vsscratch
+	case 0x241:
+		return s.Vsepc
+	case 0x242:
+		return s.Vscause
+	case 0x243:
+		return s.Vstval
+	case 0x244:
+		return s.Vsip
+	case 0x280:
+		return s.Vsatp
+	}
+	if csr >= 0x3A0 && csr < 0x3B0 {
+		reg := int(csr - 0x3A0)
+		var v uint64
+		for k := 0; k < 8; k++ {
+			i := reg*4 + k
+			if i < c.PMPCount {
+				v |= uint64(s.PmpCfg[i]) << (8 * k)
+			}
+		}
+		return v
+	}
+	if csr >= 0x3B0 && csr < 0x3F0 {
+		return s.PmpAddr[csr-0x3B0]
+	}
+	if v, ok := s.Custom[csr]; ok && c.HasCustom(csr) {
+		return v
+	}
+	return 0 // hardwired-zero hpm counters
+}
+
+// writeCSR applies the architectural write; access must already be checked.
+func writeCSR(c *Config, s *State, csr uint16, v uint64) {
+	switch csr {
+	case 0x100:
+		s.Status = legalizeSstatusWrite(s.Status, v)
+	case 0x104:
+		s.Mie = s.Mie&^s.Mideleg | v&s.Mideleg
+	case 0x105:
+		s.Stvec = legalizeTvecWrite(v)
+	case 0x106:
+		s.Scounteren = v & 0xFFFFFFFF
+	case 0x10A:
+		s.Senvcfg = v & 1
+	case 0x140:
+		s.Sscratch = v
+	case 0x141:
+		s.Sepc = legalizeXepc(v)
+	case 0x142:
+		s.Scause = v
+	case 0x143:
+		s.Stval = v
+	case 0x144:
+		if s.Priv == M {
+			writeMip(c, s, v)
+		} else {
+			mask := s.Mideleg & (1 << 1)
+			s.MipSW = s.MipSW&^mask | v&mask
+		}
+	case 0x14D:
+		s.Stimecmp = v
+	case 0x180:
+		if mode := v >> 60; mode == 0 || mode == 8 {
+			s.Satp = v
+		}
+	case 0x300:
+		s.Status = legalizeMstatusWrite(s.Status, v)
+	case 0x301:
+		// misa is hardwired in this model.
+	case 0x302:
+		s.Medeleg = v & 0xB3FF
+	case 0x303:
+		if c.MidelegForced {
+			s.Mideleg = 1<<1 | 1<<5 | 1<<9
+		} else {
+			s.Mideleg = v & (1<<1 | 1<<5 | 1<<9)
+		}
+	case 0x304:
+		s.Mie = v & 0xAAA
+	case 0x305:
+		s.Mtvec = legalizeTvecWrite(v)
+	case 0x306:
+		s.Mcounteren = v & 0xFFFFFFFF
+	case 0x30A:
+		var mask uint64
+		if c.HasSstc {
+			mask |= 1 << 63
+		}
+		s.Menvcfg = v & mask
+	case 0x320:
+		s.Mcountinhibit = v & 0xFFFFFFFD
+	case 0x340:
+		s.Mscratch = v
+	case 0x341:
+		s.Mepc = legalizeXepc(v)
+	case 0x342:
+		s.Mcause = v
+	case 0x343:
+		s.Mtval = v
+	case 0x344:
+		writeMip(c, s, v)
+	case 0x747:
+		s.Mseccfg = v & 7
+	case 0xB00:
+		s.Cycle = v
+	case 0xB02:
+		s.Instret = v
+	case 0x34A:
+		s.Mtinst = v
+	case 0x34B:
+		s.Mtval2 = v
+	case 0x600:
+		s.Hstatus = v
+	case 0x602:
+		s.Hedeleg = v
+	case 0x603:
+		s.Hideleg = v
+	case 0x604:
+		s.Hie = v
+	case 0x606:
+		s.Hcounteren = v & 0xFFFFFFFF
+	case 0x607:
+		s.Hgeie = v
+	case 0x60A:
+		s.Henvcfg = v
+	case 0x643:
+		s.Htval = v
+	case 0x644:
+		s.Hip = v
+	case 0x645:
+		s.Hvip = v
+	case 0x64A:
+		s.Htinst = v
+	case 0x680:
+		s.Hgatp = v
+	case 0x200:
+		s.Vsstatus = v
+	case 0x204:
+		s.Vsie = v
+	case 0x205:
+		s.Vstvec = legalizeTvecWrite(v)
+	case 0x240:
+		s.Vsscratch = v
+	case 0x241:
+		s.Vsepc = legalizeXepc(v)
+	case 0x242:
+		s.Vscause = v
+	case 0x243:
+		s.Vstval = v
+	case 0x244:
+		s.Vsip = v
+	case 0x280:
+		s.Vsatp = v
+	default:
+		if csr >= 0x3A0 && csr < 0x3B0 {
+			writePmpCfgReg(c, s, int(csr-0x3A0), v)
+			return
+		}
+		if csr >= 0x3B0 && csr < 0x3F0 {
+			writePmpAddr(c, s, int(csr-0x3B0), v)
+			return
+		}
+		if c.HasCustom(csr) {
+			s.Custom[csr] = v
+		}
+		// hpm counters: hardwired zero, writes discarded
+	}
+}
+
+func writeMip(c *Config, s *State, v uint64) {
+	mask := uint64(1<<1 | 1<<5 | 1<<9)
+	if c.HasSstc && s.Menvcfg>>63 != 0 {
+		mask &^= 1 << 5
+	}
+	s.MipSW = s.MipSW&^mask | v&mask
+}
+
+func writePmpCfgReg(c *Config, s *State, reg int, v uint64) {
+	for k := 0; k < 8; k++ {
+		i := reg*4 + k
+		if i >= c.PMPCount {
+			continue
+		}
+		if s.PmpCfg[i]&0x80 != 0 { // locked
+			continue
+		}
+		s.PmpCfg[i] = legalizePmpCfgByte(uint8(v >> (8 * k)))
+	}
+}
+
+func writePmpAddr(c *Config, s *State, i int, v uint64) {
+	if i >= c.PMPCount {
+		return
+	}
+	if s.PmpCfg[i]&0x80 != 0 {
+		return
+	}
+	// A TOR-locked successor freezes this address register.
+	if i+1 < c.PMPCount && s.PmpCfg[i+1]&0x80 != 0 && s.PmpCfg[i+1]>>3&3 == 1 {
+		return
+	}
+	s.PmpAddr[i] = v & (1<<54 - 1)
+}

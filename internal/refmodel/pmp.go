@@ -1,0 +1,94 @@
+package refmodel
+
+// This file is the model's independent rendering of the PMP chapter,
+// mirroring the Sail model's pmpCheck function. It is the oracle for the
+// "faithful execution" criterion (paper §6.3): loads and stores executed
+// directly by deprivileged firmware must see exactly the protection the
+// virtual PMP file specifies.
+
+// Access kinds for PMPCheck.
+const (
+	AccRead = iota
+	AccWrite
+	AccExec
+)
+
+// pmpMatchRange decodes entry i of the state's PMP file into the
+// inclusive range [lo, last]. The boolean is false for OFF or empty
+// ranges. Inclusive bounds avoid overflow for regions reaching the top of
+// the address space.
+func pmpMatchRange(s *State, i int) (uint64, uint64, bool) {
+	cfg := s.PmpCfg[i]
+	addr := s.PmpAddr[i]
+	switch cfg >> 3 & 3 {
+	case 0: // OFF
+		return 0, 0, false
+	case 1: // TOR
+		var base uint64
+		if i > 0 {
+			base = s.PmpAddr[i-1] << 2
+		}
+		top := addr << 2
+		if base >= top {
+			return 0, 0, false
+		}
+		return base, top - 1, true
+	case 2: // NA4
+		base := addr << 2
+		return base, base + 3, true
+	default: // NAPOT
+		// Count trailing ones without bits helpers, as the Sail code does
+		// with a recursive function.
+		g := 0
+		for addr>>uint(g)&1 == 1 && g < 54 {
+			g++
+		}
+		if g >= 54 {
+			return 0, ^uint64(0), true
+		}
+		size := uint64(8) << uint(g)
+		base := addr &^ (1<<uint(g) - 1) << 2
+		return base, base + size - 1, true
+	}
+}
+
+// PMPCheck reports whether an access of width bytes at physical address
+// addr, in privilege mode priv, passes the PMP file in s under config c.
+func PMPCheck(c *Config, s *State, addr uint64, width int, acc int, priv uint8) bool {
+	for i := 0; i < c.PMPCount; i++ {
+		lo, last, ok := pmpMatchRange(s, i)
+		if !ok {
+			continue
+		}
+		aLast := addr + uint64(width) - 1
+		if aLast < addr { // access wraps the address space
+			if addr > last {
+				continue
+			}
+			return false
+		}
+		if aLast < lo || addr > last {
+			continue // no overlap
+		}
+		if addr < lo || aLast > last {
+			return false // partial overlap always fails
+		}
+		cfg := s.PmpCfg[i]
+		locked := cfg&0x80 != 0
+		if priv == M && !locked {
+			return true
+		}
+		switch acc {
+		case AccRead:
+			return cfg&1 != 0
+		case AccWrite:
+			return cfg&2 != 0
+		default:
+			return cfg&4 != 0
+		}
+	}
+	if priv == M {
+		return true
+	}
+	return c.PMPCount == 0
+}

@@ -1,0 +1,197 @@
+// Package refmodel is an executable reference model of the RISC-V
+// privileged architecture, playing the role the official Sail model plays
+// in the paper's verification methodology (§6): an authoritative
+// specification hw : C × S × I → S against which the monitor's emulator is
+// checked for "faithful emulation", and whose PMPCheck function anchors
+// "faithful execution" of loads and stores.
+//
+// The model is written independently of internal/hart and internal/core —
+// different state representation (decomposed status fields, in the style
+// of Sail's Mstatus record), different decoder, different PMP matcher — so
+// that differential testing compares two genuinely separate derivations of
+// the specification.
+package refmodel
+
+// Mode numbers (avoid importing the simulator's types; the model stands
+// alone like the Sail spec does).
+const (
+	U = 0
+	S = 1
+	M = 3
+)
+
+// Config is the platform configuration C: which optional features exist
+// and how many PMP entries are implemented.
+type Config struct {
+	PMPCount   int
+	HasSstc    bool
+	HasTimeCSR bool
+	HasH       bool
+	// MidelegForced models a machine whose mideleg hardwires the three
+	// S-interrupt bits to 1 (WARL), which is how the monitor's virtual
+	// hardware forces delegation (paper §4.3).
+	MidelegForced bool
+	CustomCSRs    []uint16
+
+	Mvendorid uint64
+	Marchid   uint64
+	Mimpid    uint64
+	Mhartid   uint64
+}
+
+// HasCustom reports whether csr is a documented platform-custom CSR.
+func (c *Config) HasCustom(csr uint16) bool {
+	for _, n := range c.CustomCSRs {
+		if n == csr {
+			return true
+		}
+	}
+	return false
+}
+
+// Mstatus is the decomposed machine-status register, one field per
+// architectural field (the Sail representation).
+type Mstatus struct {
+	SIE, MIE     bool
+	SPIE, MPIE   bool
+	SPP          uint8 // 0 or 1
+	MPP          uint8 // 0, 1, or 3
+	MPRV         bool
+	SUM, MXR     bool
+	TVM, TW, TSR bool
+}
+
+// Bits reassembles the architectural mstatus value (RV64, UXL=SXL=2,
+// FS/VS/XS hardwired zero).
+func (m Mstatus) Bits() uint64 {
+	var v uint64
+	set := func(b bool, pos uint) {
+		if b {
+			v |= 1 << pos
+		}
+	}
+	set(m.SIE, 1)
+	set(m.MIE, 3)
+	set(m.SPIE, 5)
+	set(m.MPIE, 7)
+	v |= uint64(m.SPP&1) << 8
+	v |= uint64(m.MPP&3) << 11
+	set(m.MPRV, 17)
+	set(m.SUM, 18)
+	set(m.MXR, 19)
+	set(m.TVM, 20)
+	set(m.TW, 21)
+	set(m.TSR, 22)
+	v |= 2<<32 | 2<<34 // UXL, SXL
+	return v
+}
+
+// MstatusFromBits decomposes an architectural mstatus value. Unsupported
+// fields are dropped, mirroring the WARL behaviour of the modelled machine.
+func MstatusFromBits(v uint64) Mstatus {
+	get := func(pos uint) bool { return v&(1<<pos) != 0 }
+	m := Mstatus{
+		SIE:  get(1),
+		MIE:  get(3),
+		SPIE: get(5),
+		MPIE: get(7),
+		SPP:  uint8(v >> 8 & 1),
+		MPP:  uint8(v >> 11 & 3),
+		MPRV: get(17),
+		SUM:  get(18),
+		MXR:  get(19),
+		TVM:  get(20),
+		TW:   get(21),
+		TSR:  get(22),
+	}
+	if m.MPP == 2 {
+		m.MPP = U // never constructed by hardware; normalize
+	}
+	return m
+}
+
+// State is the machine state S the privileged specification operates on.
+type State struct {
+	Regs [32]uint64
+	PC   uint64
+	Priv uint8
+
+	Status Mstatus
+
+	Mie, Mideleg, Medeleg uint64
+	MipSW                 uint64 // software-writable pending bits
+	MipHW                 uint64 // hardware-driven lines (MSIP/MTIP/MEIP/SEIP)
+
+	Mtvec, Stvec           uint64
+	Mepc, Sepc             uint64
+	Mcause, Scause         uint64
+	Mtval, Stval           uint64
+	Mscratch, Sscratch     uint64
+	Mcounteren, Scounteren uint64
+	Menvcfg, Senvcfg       uint64
+	Mseccfg                uint64
+	Mcountinhibit          uint64
+	Satp                   uint64
+	Stimecmp               uint64
+	Mtinst, Mtval2         uint64
+
+	// Hypervisor-extension state (present when Config.HasH).
+	Hstatus, Hedeleg, Hideleg, Hie, Hcounteren, Hgeie uint64
+	Htval, Hip, Hvip, Htinst, Hgatp, Henvcfg          uint64
+	Vsstatus, Vsie, Vstvec, Vsscratch                 uint64
+	Vsepc, Vscause, Vstval, Vsip, Vsatp               uint64
+
+	PmpCfg  [64]uint8
+	PmpAddr [64]uint64
+
+	Custom map[uint16]uint64
+
+	Time    uint64
+	Cycle   uint64
+	Instret uint64
+
+	// WFI latches that the hart entered the wait state.
+	WFI bool
+}
+
+// NewState returns a reset-state machine.
+func NewState() *State {
+	return &State{Priv: M, Custom: make(map[uint16]uint64)}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	t := *s
+	t.Custom = make(map[uint16]uint64, len(s.Custom))
+	for k, v := range s.Custom {
+		t.Custom[k] = v
+	}
+	return &t
+}
+
+// Mip composes the architectural mip value, including the Sstc comparator.
+func (s *State) Mip(c *Config) uint64 {
+	v := s.MipSW | s.MipHW
+	if c.HasSstc && s.Menvcfg>>63 != 0 {
+		v &^= 1 << 5
+		if s.Time >= s.Stimecmp {
+			v |= 1 << 5
+		}
+	}
+	return v
+}
+
+// Reg reads a GPR with x0 hardwired to zero.
+func (s *State) Reg(i uint32) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return s.Regs[i]
+}
+
+// SetReg writes a GPR, discarding writes to x0.
+func (s *State) SetReg(i uint32, v uint64) {
+	if i != 0 {
+		s.Regs[i] = v
+	}
+}

@@ -1,0 +1,298 @@
+package refmodel
+
+// Event reports what a transition did, so differential tests can compare
+// control flow as well as state.
+type Event int
+
+const (
+	EvRetired Event = iota // instruction completed
+	EvTrap                 // synchronous exception taken
+	EvIntr                 // interrupt taken
+	EvWFI                  // entered wait-for-interrupt
+)
+
+// Op identifies a decoded privileged instruction.
+type Op int
+
+const (
+	OpIllegal Op = iota
+	OpCSRRW
+	OpCSRRS
+	OpCSRRC
+	OpCSRRWI
+	OpCSRRSI
+	OpCSRRCI
+	OpMRET
+	OpSRET
+	OpWFI
+	OpECALL
+	OpEBREAK
+	OpSFENCE
+	OpFENCE
+	OpFENCEI
+)
+
+// Instr is a decoded privileged instruction.
+type Instr struct {
+	Op   Op
+	Rd   uint32
+	Rs1  uint32
+	CSR  uint16
+	Zimm uint64
+	Raw  uint32
+}
+
+// Decode decodes the privileged-instruction subset. Anything else decodes
+// to OpIllegal (the reference model only specifies the instructions the
+// monitor emulates, mirroring the paper's scope).
+func Decode(raw uint32) Instr {
+	ins := Instr{Op: OpIllegal, Raw: raw}
+	opcode := raw & 0x7F
+	if opcode == 0x0F {
+		switch raw >> 12 & 7 {
+		case 0:
+			ins.Op = OpFENCE
+		case 1:
+			ins.Op = OpFENCEI
+		}
+		return ins
+	}
+	if opcode != 0x73 {
+		return ins
+	}
+	f3 := raw >> 12 & 7
+	ins.Rd = raw >> 7 & 0x1F
+	ins.Rs1 = raw >> 15 & 0x1F
+	ins.CSR = uint16(raw >> 20)
+	ins.Zimm = uint64(ins.Rs1)
+	switch f3 {
+	case 0:
+		switch {
+		case raw == 0x00000073:
+			ins.Op = OpECALL
+		case raw == 0x00100073:
+			ins.Op = OpEBREAK
+		case raw == 0x30200073:
+			ins.Op = OpMRET
+		case raw == 0x10200073:
+			ins.Op = OpSRET
+		case raw == 0x10500073:
+			ins.Op = OpWFI
+		case raw>>25 == 0x09 && ins.Rd == 0:
+			ins.Op = OpSFENCE
+		}
+	case 1:
+		ins.Op = OpCSRRW
+	case 2:
+		ins.Op = OpCSRRS
+	case 3:
+		ins.Op = OpCSRRC
+	case 5:
+		ins.Op = OpCSRRWI
+	case 6:
+		ins.Op = OpCSRRSI
+	case 7:
+		ins.Op = OpCSRRCI
+	}
+	return ins
+}
+
+// Exception cause numbers, spelled out as the spec tables do.
+const (
+	causeIllegal = 2
+	causeBreak   = 3
+	causeEcallU  = 8
+	causeEcallS  = 9
+	causeEcallM  = 11
+)
+
+// HW is the hardware transition function hw(c, s, i): execute the (decoded)
+// privileged instruction i from state s under configuration c. The state is
+// mutated in place; the returned Event classifies the outcome.
+func HW(c *Config, s *State, raw uint32) Event {
+	ins := Decode(raw)
+	switch ins.Op {
+	case OpIllegal:
+		return takeException(s, causeIllegal, uint64(raw))
+	case OpFENCE, OpFENCEI:
+		s.PC += 4
+		s.Instret++
+		return EvRetired
+	case OpECALL:
+		cause := uint64(causeEcallU)
+		switch s.Priv {
+		case S:
+			cause = causeEcallS
+		case M:
+			cause = causeEcallM
+		}
+		return takeException(s, cause, 0)
+	case OpEBREAK:
+		return takeException(s, causeBreak, s.PC)
+	case OpMRET:
+		if s.Priv != M {
+			return takeException(s, causeIllegal, uint64(raw))
+		}
+		execMRET(s)
+		s.Instret++
+		return EvRetired
+	case OpSRET:
+		if s.Priv == U || (s.Priv == S && s.Status.TSR) {
+			return takeException(s, causeIllegal, uint64(raw))
+		}
+		execSRET(s)
+		s.Instret++
+		return EvRetired
+	case OpWFI:
+		if s.Priv == U || (s.Priv == S && s.Status.TW) {
+			return takeException(s, causeIllegal, uint64(raw))
+		}
+		s.WFI = true
+		s.PC += 4
+		s.Instret++
+		return EvWFI
+	case OpSFENCE:
+		if s.Priv == U || (s.Priv == S && s.Status.TVM) {
+			return takeException(s, causeIllegal, uint64(raw))
+		}
+		s.PC += 4
+		s.Instret++
+		return EvRetired
+	}
+
+	// CSR instructions.
+	write, read := true, true
+	switch ins.Op {
+	case OpCSRRW, OpCSRRWI:
+		read = ins.Rd != 0
+	case OpCSRRS, OpCSRRC, OpCSRRSI, OpCSRRCI:
+		write = ins.Rs1 != 0
+	}
+	if !csrAccessOK(c, s, ins.CSR, write) {
+		return takeException(s, causeIllegal, uint64(raw))
+	}
+	old := readCSR(c, s, ins.CSR)
+	if write {
+		src := s.Reg(ins.Rs1)
+		if ins.Op >= OpCSRRWI {
+			src = ins.Zimm
+		}
+		var newVal uint64
+		switch ins.Op {
+		case OpCSRRW, OpCSRRWI:
+			newVal = src
+		case OpCSRRS, OpCSRRSI:
+			newVal = old | src
+		case OpCSRRC, OpCSRRCI:
+			newVal = old &^ src
+		}
+		writeCSR(c, s, ins.CSR, newVal)
+	}
+	if read {
+		s.SetReg(ins.Rd, old)
+	}
+	s.PC += 4
+	s.Instret++
+	return EvRetired
+}
+
+// takeException performs trap entry for a synchronous exception at the
+// current PC, honouring medeleg.
+func takeException(s *State, cause, tval uint64) Event {
+	deleg := s.Priv != M && s.Medeleg>>cause&1 != 0
+	enterTrap(s, cause, tval, deleg)
+	return EvTrap
+}
+
+// TakeInterrupt performs trap entry for interrupt code, honouring mideleg.
+// The caller is responsible for having checked deliverability (this is the
+// trap-entry half of the interrupt rules; PendingInterrupt is the check).
+func TakeInterrupt(s *State, code uint64) {
+	deleg := s.Priv != M && s.Mideleg>>code&1 != 0
+	enterTrap(s, code|1<<63, 0, deleg)
+}
+
+func enterTrap(s *State, cause, tval uint64, toS bool) {
+	if toS {
+		s.Scause = cause
+		s.Sepc = legalizeXepc(s.PC)
+		s.Stval = tval
+		s.Status.SPIE = s.Status.SIE
+		s.Status.SIE = false
+		s.Status.SPP = 0
+		if s.Priv == S {
+			s.Status.SPP = 1
+		}
+		s.Priv = S
+		s.PC = trapVector(s.Stvec, cause)
+		return
+	}
+	s.Mcause = cause
+	s.Mepc = legalizeXepc(s.PC)
+	s.Mtval = tval
+	s.Status.MPIE = s.Status.MIE
+	s.Status.MIE = false
+	s.Status.MPP = s.Priv
+	s.Priv = M
+	s.PC = trapVector(s.Mtvec, cause)
+}
+
+func trapVector(tvec, cause uint64) uint64 {
+	base := tvec &^ 3
+	if tvec&3 == 1 && cause>>63 != 0 {
+		return base + 4*(cause&^(1<<63))
+	}
+	return base
+}
+
+func execMRET(s *State) {
+	prev := s.Status.MPP
+	s.Status.MIE = s.Status.MPIE
+	s.Status.MPIE = true
+	s.Status.MPP = U
+	if prev != M {
+		s.Status.MPRV = false
+	}
+	s.Priv = prev
+	s.PC = s.Mepc
+}
+
+func execSRET(s *State) {
+	prev := s.Status.SPP
+	s.Status.SIE = s.Status.SPIE
+	s.Status.SPIE = true
+	s.Status.SPP = 0
+	if prev != M { // SPP can only be U or S, both below M
+		s.Status.MPRV = false
+	}
+	s.Priv = prev
+	s.PC = s.Sepc
+}
+
+// PendingInterrupt returns the interrupt code the machine would take from
+// state s, applying the priority and delegation rules of the privileged
+// spec, or -1 when none is deliverable.
+func PendingInterrupt(c *Config, s *State) int {
+	pending := s.Mip(c) & s.Mie
+	if pending == 0 {
+		return -1
+	}
+	mEnabled := s.Priv != M || s.Status.MIE
+	sEnabled := s.Priv == U || (s.Priv == S && s.Status.SIE)
+
+	if mPending := pending &^ s.Mideleg; mEnabled && mPending != 0 {
+		for _, code := range []int{11, 3, 7, 9, 1, 5} {
+			if mPending>>code&1 != 0 {
+				return code
+			}
+		}
+	}
+	if sPending := pending & s.Mideleg; s.Priv != M && sEnabled && sPending != 0 {
+		for _, code := range []int{9, 1, 5} {
+			if sPending>>code&1 != 0 {
+				return code
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,52 @@
+// Package rv defines RISC-V architectural constants shared by the machine
+// simulator, the reference model, and the Miralis monitor: CSR numbers and
+// field layouts, trap causes, privilege modes, and instruction encodings.
+//
+// The package is deliberately free of behaviour beyond pure bit manipulation
+// so that the simulator (internal/hart) and the verification oracle
+// (internal/refmodel) share *definitions* but not *semantics*.
+package rv
+
+// Bits extracts the inclusive bit range [lo, hi] from v, shifted down to
+// bit 0.
+func Bits(v uint64, hi, lo uint) uint64 {
+	if hi < lo || hi > 63 {
+		panic("rv: invalid bit range")
+	}
+	return (v >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+// Bit returns bit i of v as 0 or 1.
+func Bit(v uint64, i uint) uint64 { return (v >> i) & 1 }
+
+// SetBits returns v with the inclusive bit range [lo, hi] replaced by the low
+// bits of x.
+func SetBits(v uint64, hi, lo uint, x uint64) uint64 {
+	if hi < lo || hi > 63 {
+		panic("rv: invalid bit range")
+	}
+	mask := (uint64(1)<<(hi-lo+1) - 1) << lo
+	return (v &^ mask) | ((x << lo) & mask)
+}
+
+// SetBit returns v with bit i set to b.
+func SetBit(v uint64, i uint, b bool) uint64 {
+	if b {
+		return v | 1<<i
+	}
+	return v &^ (1 << i)
+}
+
+// SignExtend sign-extends the low `bits` bits of v to 64 bits.
+func SignExtend(v uint64, bits uint) uint64 {
+	shift := 64 - bits
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// Mask returns a mask with the low n bits set.
+func Mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<n - 1
+}

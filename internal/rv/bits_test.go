@@ -1,0 +1,154 @@
+package rv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		hi, lo uint
+		want   uint64
+	}{
+		{0xFF00, 15, 8, 0xFF},
+		{0xFF00, 7, 0, 0},
+		{^uint64(0), 63, 0, ^uint64(0)},
+		{^uint64(0), 63, 63, 1},
+		{0x12345678, 31, 28, 1},
+		{0b1010, 3, 1, 0b101},
+	}
+	for _, c := range cases {
+		if got := Bits(c.v, c.hi, c.lo); got != c.want {
+			t.Errorf("Bits(%#x,%d,%d) = %#x, want %#x", c.v, c.hi, c.lo, got, c.want)
+		}
+	}
+}
+
+func TestBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bits with hi<lo should panic")
+		}
+	}()
+	Bits(0, 1, 2)
+}
+
+func TestSetBitsRoundTrip(t *testing.T) {
+	f := func(v, x uint64, hi8, lo8 uint8) bool {
+		hi, lo := uint(hi8%64), uint(lo8%64)
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		out := SetBits(v, hi, lo, x)
+		// The written field reads back (truncated), other bits unchanged.
+		if Bits(out, hi, lo) != x&Mask(hi-lo+1) {
+			return false
+		}
+		mask := Mask(hi-lo+1) << lo
+		return out&^mask == v&^mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBit(t *testing.T) {
+	if got := SetBit(0, 5, true); got != 32 {
+		t.Errorf("SetBit(0,5,true) = %d", got)
+	}
+	if got := SetBit(0xFF, 0, false); got != 0xFE {
+		t.Errorf("SetBit(0xFF,0,false) = %#x", got)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		bits uint
+		want uint64
+	}{
+		{0x800, 12, 0xFFFFFFFFFFFFF800},
+		{0x7FF, 12, 0x7FF},
+		{0xFFFFFFFF, 32, 0xFFFFFFFFFFFFFFFF},
+		{0x7FFFFFFF, 32, 0x7FFFFFFF},
+		{1, 1, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.v, c.bits); got != c.want {
+			t.Errorf("SignExtend(%#x,%d) = %#x, want %#x", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 || Mask(1) != 1 || Mask(64) != ^uint64(0) || Mask(12) != 0xFFF {
+		t.Error("Mask basic values wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeU.String() != "U" || ModeS.String() != "S" || ModeM.String() != "M" {
+		t.Error("mode names wrong")
+	}
+	if Mode(2).Valid() {
+		t.Error("mode 2 must be invalid")
+	}
+	if Mode(2).String() != "Mode(2)" {
+		t.Error("invalid mode string")
+	}
+}
+
+func TestMPPRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeU, ModeS, ModeM} {
+		if got := MPP(WithMPP(0, m)); got != m {
+			t.Errorf("MPP round trip %v -> %v", m, got)
+		}
+	}
+	// WithMPP must not disturb other bits.
+	v := uint64(0xFFFF_FFFF_FFFF_FFFF)
+	out := WithMPP(v, ModeU)
+	if out != v&^(3<<MstatusMPPLo) {
+		t.Errorf("WithMPP disturbed other bits: %#x", out)
+	}
+}
+
+func TestCausePacking(t *testing.T) {
+	c := Cause(IntMTimer, true)
+	if !CauseIsInterrupt(c) || CauseCode(c) != IntMTimer {
+		t.Error("interrupt cause packing broken")
+	}
+	c = Cause(ExcIllegalInstr, false)
+	if CauseIsInterrupt(c) || CauseCode(c) != ExcIllegalInstr {
+		t.Error("exception cause packing broken")
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	cases := map[uint64]string{
+		Cause(ExcIllegalInstr, false): "illegal-instruction",
+		Cause(ExcEcallFromS, false):   "ecall-from-s",
+		Cause(IntMTimer, true):        "machine-timer-interrupt",
+		Cause(IntSExt, true):          "supervisor-external-interrupt",
+		Cause(63, false):              "exception(63)",
+		Cause(63, true):               "interrupt(63)",
+	}
+	for c, want := range cases {
+		if got := CauseString(c); got != want {
+			t.Errorf("CauseString(%#x) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestSatpFields(t *testing.T) {
+	satp := SatpModeSv39<<60 | 0x1234<<44 | 0x8_0000
+	if SatpMode(satp) != SatpModeSv39 {
+		t.Error("satp mode")
+	}
+	if SatpASID(satp) != 0x1234 {
+		t.Error("satp asid")
+	}
+	if SatpPPN(satp) != 0x8_0000 {
+		t.Error("satp ppn")
+	}
+}

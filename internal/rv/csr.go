@@ -1,0 +1,209 @@
+package rv
+
+import "fmt"
+
+// CSR numbers from the RISC-V privileged specification, plus the four
+// documented platform-custom CSRs exposed by the P550 platform profile
+// (speculation and error-reporting controls, cf. paper §8.2).
+const (
+	// Unprivileged counters/timers.
+	CSRCycle   uint16 = 0xC00
+	CSRTime    uint16 = 0xC01
+	CSRInstret uint16 = 0xC02
+
+	// Supervisor trap setup.
+	CSRSstatus    uint16 = 0x100
+	CSRSie        uint16 = 0x104
+	CSRStvec      uint16 = 0x105
+	CSRScounteren uint16 = 0x106
+	CSRSenvcfg    uint16 = 0x10A
+
+	// Supervisor trap handling.
+	CSRSscratch uint16 = 0x140
+	CSRSepc     uint16 = 0x141
+	CSRScause   uint16 = 0x142
+	CSRStval    uint16 = 0x143
+	CSRSip      uint16 = 0x144
+	CSRStimecmp uint16 = 0x14D // Sstc extension
+
+	// Supervisor protection and translation.
+	CSRSatp uint16 = 0x180
+
+	// Hypervisor CSRs (subset used by the ACE policy's shadow state).
+	CSRHstatus    uint16 = 0x600
+	CSRHedeleg    uint16 = 0x602
+	CSRHideleg    uint16 = 0x603
+	CSRHie        uint16 = 0x604
+	CSRHcounteren uint16 = 0x606
+	CSRHgeie      uint16 = 0x607
+	CSRHtval      uint16 = 0x643
+	CSRHip        uint16 = 0x644
+	CSRHvip       uint16 = 0x645
+	CSRHtinst     uint16 = 0x64A
+	CSRHenvcfg    uint16 = 0x60A
+	CSRHgatp      uint16 = 0x680
+	CSRHgeip      uint16 = 0xE12
+
+	// Virtual supervisor CSRs.
+	CSRVsstatus  uint16 = 0x200
+	CSRVsie      uint16 = 0x204
+	CSRVstvec    uint16 = 0x205
+	CSRVsscratch uint16 = 0x240
+	CSRVsepc     uint16 = 0x241
+	CSRVscause   uint16 = 0x242
+	CSRVstval    uint16 = 0x243
+	CSRVsip      uint16 = 0x244
+	CSRVsatp     uint16 = 0x280
+
+	// Machine information.
+	CSRMvendorid  uint16 = 0xF11
+	CSRMarchid    uint16 = 0xF12
+	CSRMimpid     uint16 = 0xF13
+	CSRMhartid    uint16 = 0xF14
+	CSRMconfigptr uint16 = 0xF15
+
+	// Machine trap setup.
+	CSRMstatus    uint16 = 0x300
+	CSRMisa       uint16 = 0x301
+	CSRMedeleg    uint16 = 0x302
+	CSRMideleg    uint16 = 0x303
+	CSRMie        uint16 = 0x304
+	CSRMtvec      uint16 = 0x305
+	CSRMcounteren uint16 = 0x306
+	CSRMenvcfg    uint16 = 0x30A
+
+	// Machine trap handling.
+	CSRMscratch uint16 = 0x340
+	CSRMepc     uint16 = 0x341
+	CSRMcause   uint16 = 0x342
+	CSRMtval    uint16 = 0x343
+	CSRMip      uint16 = 0x344
+	CSRMtinst   uint16 = 0x34A
+	CSRMtval2   uint16 = 0x34B
+
+	// Machine configuration.
+	CSRMseccfg uint16 = 0x747
+
+	// PMP configuration: pmpcfg0/pmpcfg2 (RV64 uses even indices only) and
+	// pmpaddr0..pmpaddr63.
+	CSRPmpcfg0   uint16 = 0x3A0
+	CSRPmpcfg2   uint16 = 0x3A2
+	CSRPmpaddr0  uint16 = 0x3B0
+	CSRPmpaddr63 uint16 = 0x3B0 + 63
+
+	// Machine counters.
+	CSRMcycle        uint16 = 0xB00
+	CSRMinstret      uint16 = 0xB02
+	CSRMhpmcounter3  uint16 = 0xB03
+	CSRMhpmcounter31 uint16 = 0xB1F
+	CSRMcountinhibit uint16 = 0x320
+	CSRMhpmevent3    uint16 = 0x323
+	CSRMhpmevent31   uint16 = 0x33F
+	CSRHpmcounter3   uint16 = 0xC03
+	CSRHpmcounter31  uint16 = 0xC1F
+
+	// Platform-custom CSRs (P550 profile): speculation & error reporting.
+	CSRCustomSpecCtl   uint16 = 0x7C0
+	CSRCustomSpecBar   uint16 = 0x7C1
+	CSRCustomErrInj    uint16 = 0x7C2
+	CSRCustomErrStatus uint16 = 0x7C3
+)
+
+// CSRPriv returns the minimum privilege mode required to access CSR number n,
+// per the standard address-space convention (bits 9:8).
+func CSRPriv(n uint16) Mode {
+	switch Bits(uint64(n), 9, 8) {
+	case 0:
+		return ModeU
+	case 1, 2: // hypervisor CSRs require (H)S privilege
+		return ModeS
+	default:
+		return ModeM
+	}
+}
+
+// CSRReadOnly reports whether CSR number n is read-only by address convention
+// (bits 11:10 == 3).
+func CSRReadOnly(n uint16) bool { return Bits(uint64(n), 11, 10) == 3 }
+
+// IsPmpaddr reports whether n addresses a pmpaddrN CSR, returning the index.
+func IsPmpaddr(n uint16) (int, bool) {
+	if n >= CSRPmpaddr0 && n <= CSRPmpaddr63 {
+		return int(n - CSRPmpaddr0), true
+	}
+	return 0, false
+}
+
+// IsPmpcfg reports whether n addresses a pmpcfgN CSR, returning the (even)
+// register index. On RV64 only even pmpcfg registers exist.
+func IsPmpcfg(n uint16) (int, bool) {
+	if n >= CSRPmpcfg0 && n < CSRPmpcfg0+16 {
+		return int(n - CSRPmpcfg0), true
+	}
+	return 0, false
+}
+
+// IsHpmcounter reports whether n is an mhpmcounter/hpmcounter/mhpmevent CSR.
+func IsHpmcounter(n uint16) bool {
+	return (n >= CSRMhpmcounter3 && n <= CSRMhpmcounter31) ||
+		(n >= CSRHpmcounter3 && n <= CSRHpmcounter31) ||
+		(n >= CSRMhpmevent3 && n <= CSRMhpmevent31)
+}
+
+var csrNames = map[uint16]string{
+	CSRCycle: "cycle", CSRTime: "time", CSRInstret: "instret",
+	CSRSstatus: "sstatus", CSRSie: "sie", CSRStvec: "stvec",
+	CSRScounteren: "scounteren", CSRSenvcfg: "senvcfg",
+	CSRSscratch: "sscratch", CSRSepc: "sepc", CSRScause: "scause",
+	CSRStval: "stval", CSRSip: "sip", CSRStimecmp: "stimecmp",
+	CSRSatp:    "satp",
+	CSRHstatus: "hstatus", CSRHedeleg: "hedeleg", CSRHideleg: "hideleg",
+	CSRHie: "hie", CSRHcounteren: "hcounteren", CSRHgeie: "hgeie",
+	CSRHtval: "htval", CSRHip: "hip", CSRHvip: "hvip", CSRHtinst: "htinst",
+	CSRHenvcfg: "henvcfg", CSRHgatp: "hgatp", CSRHgeip: "hgeip",
+	CSRVsstatus: "vsstatus", CSRVsie: "vsie", CSRVstvec: "vstvec",
+	CSRVsscratch: "vsscratch", CSRVsepc: "vsepc", CSRVscause: "vscause",
+	CSRVstval: "vstval", CSRVsip: "vsip", CSRVsatp: "vsatp",
+	CSRMvendorid: "mvendorid", CSRMarchid: "marchid", CSRMimpid: "mimpid",
+	CSRMhartid: "mhartid", CSRMconfigptr: "mconfigptr",
+	CSRMstatus: "mstatus", CSRMisa: "misa", CSRMedeleg: "medeleg",
+	CSRMideleg: "mideleg", CSRMie: "mie", CSRMtvec: "mtvec",
+	CSRMcounteren: "mcounteren", CSRMenvcfg: "menvcfg",
+	CSRMscratch: "mscratch", CSRMepc: "mepc", CSRMcause: "mcause",
+	CSRMtval: "mtval", CSRMip: "mip", CSRMtinst: "mtinst",
+	CSRMtval2: "mtval2", CSRMseccfg: "mseccfg",
+	CSRMcycle: "mcycle", CSRMinstret: "minstret",
+	CSRMcountinhibit:   "mcountinhibit",
+	CSRCustomSpecCtl:   "spec_ctl",
+	CSRCustomSpecBar:   "spec_bar",
+	CSRCustomErrInj:    "err_inj",
+	CSRCustomErrStatus: "err_status",
+}
+
+// CSRName renders a CSR number for logs, traces, and error messages.
+func CSRName(n uint16) string {
+	if s, ok := csrNames[n]; ok {
+		return s
+	}
+	if i, ok := IsPmpaddr(n); ok {
+		return fmt.Sprintf("pmpaddr%d", i)
+	}
+	if i, ok := IsPmpcfg(n); ok {
+		return fmt.Sprintf("pmpcfg%d", i)
+	}
+	if n >= CSRMhpmcounter3 && n <= CSRMhpmcounter31 {
+		return fmt.Sprintf("mhpmcounter%d", n-CSRMcycle)
+	}
+	if n >= CSRHpmcounter3 && n <= CSRHpmcounter31 {
+		return fmt.Sprintf("hpmcounter%d", n-CSRCycle)
+	}
+	if n >= CSRMhpmevent3 && n <= CSRMhpmevent31 {
+		return fmt.Sprintf("mhpmevent%d", n-0x320)
+	}
+	return fmt.Sprintf("csr#0x%03x", n)
+}
+
+// SstatusMask is the subset of mstatus bits visible through sstatus.
+const SstatusMask uint64 = 1<<MstatusSIE | 1<<MstatusSPIE | 1<<MstatusUBE |
+	1<<MstatusSPP | 3<<MstatusVSLo | 3<<MstatusFSLo | 3<<MstatusXSLo |
+	1<<MstatusSUM | 1<<MstatusMXR | 3<<MstatusUXLLo | 1<<MstatusSD

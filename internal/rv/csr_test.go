@@ -1,0 +1,170 @@
+package rv
+
+import "testing"
+
+func TestCSRPriv(t *testing.T) {
+	cases := []struct {
+		n    uint16
+		want Mode
+	}{
+		{CSRCycle, ModeU},
+		{CSRTime, ModeU},
+		{CSRSstatus, ModeS},
+		{CSRSatp, ModeS},
+		{CSRHstatus, ModeS},
+		{CSRVsatp, ModeS},
+		{CSRMstatus, ModeM},
+		{CSRPmpcfg0, ModeM},
+		{CSRPmpaddr0, ModeM},
+		{CSRMvendorid, ModeM},
+		{CSRMseccfg, ModeM},
+		{CSRCustomSpecCtl, ModeM},
+	}
+	for _, c := range cases {
+		if got := CSRPriv(c.n); got != c.want {
+			t.Errorf("CSRPriv(%s) = %v, want %v", CSRName(c.n), got, c.want)
+		}
+	}
+}
+
+func TestCSRReadOnly(t *testing.T) {
+	ro := []uint16{CSRCycle, CSRTime, CSRInstret, CSRMvendorid, CSRMarchid,
+		CSRMimpid, CSRMhartid, CSRHgeip}
+	rw := []uint16{CSRMstatus, CSRSstatus, CSRSatp, CSRMepc, CSRPmpcfg0,
+		CSRStimecmp, CSRMcycle}
+	for _, n := range ro {
+		if !CSRReadOnly(n) {
+			t.Errorf("%s should be read-only", CSRName(n))
+		}
+	}
+	for _, n := range rw {
+		if CSRReadOnly(n) {
+			t.Errorf("%s should be read-write", CSRName(n))
+		}
+	}
+}
+
+func TestIsPmpaddr(t *testing.T) {
+	if i, ok := IsPmpaddr(CSRPmpaddr0); !ok || i != 0 {
+		t.Error("pmpaddr0 not recognized")
+	}
+	if i, ok := IsPmpaddr(CSRPmpaddr0 + 17); !ok || i != 17 {
+		t.Error("pmpaddr17 not recognized")
+	}
+	if i, ok := IsPmpaddr(CSRPmpaddr63); !ok || i != 63 {
+		t.Error("pmpaddr63 not recognized")
+	}
+	if _, ok := IsPmpaddr(CSRPmpaddr63 + 1); ok {
+		t.Error("pmpaddr64 must not exist")
+	}
+	if _, ok := IsPmpaddr(CSRPmpcfg0); ok {
+		t.Error("pmpcfg0 is not a pmpaddr")
+	}
+}
+
+func TestIsPmpcfg(t *testing.T) {
+	if i, ok := IsPmpcfg(CSRPmpcfg0); !ok || i != 0 {
+		t.Error("pmpcfg0 not recognized")
+	}
+	if i, ok := IsPmpcfg(CSRPmpcfg2); !ok || i != 2 {
+		t.Error("pmpcfg2 not recognized")
+	}
+	if _, ok := IsPmpcfg(CSRPmpcfg0 + 16); ok {
+		t.Error("pmpcfg16 must not exist")
+	}
+}
+
+func TestCSRNameFallbacks(t *testing.T) {
+	cases := map[uint16]string{
+		CSRMstatus:       "mstatus",
+		CSRPmpaddr0 + 5:  "pmpaddr5",
+		CSRPmpcfg2:       "pmpcfg2",
+		CSRMhpmcounter3:  "mhpmcounter3",
+		CSRHpmcounter31:  "hpmcounter31",
+		CSRMhpmevent3:    "mhpmevent3",
+		0x123:            "csr#0x123",
+		CSRCustomSpecCtl: "spec_ctl",
+	}
+	for n, want := range cases {
+		if got := CSRName(n); got != want {
+			t.Errorf("CSRName(%#x) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSBICallArgRegs(t *testing.T) {
+	cases := []struct {
+		ext, fn uint64
+		want    int
+	}{
+		{SBIExtBase, SBIBaseGetSpecVersion, 0},
+		{SBIExtBase, SBIBaseProbeExt, 1},
+		{SBIExtTimer, SBITimerSetTimer, 1},
+		{SBIExtIPI, SBIIPISendIPI, 2},
+		{SBIExtRfence, SBIRfenceFenceI, 2},
+		{SBIExtRfence, SBIRfenceSfenceVMA, 4},
+		{SBIExtRfence, SBIRfenceSfenceVMAAsid, 5},
+		{SBIExtHSM, SBIHSMHartStart, 3},
+		{SBIExtHSM, SBIHSMHartStop, 0},
+		{SBIExtReset, 0, 2},
+		{SBIExtDebug, SBIDebugWriteByte, 1},
+		{SBIExtDebug, SBIDebugWrite, 3},
+		{SBILegacySetTimer, 0, 1},
+		{SBILegacyShutdown, 0, 0},
+		{0xDEAD, 0, 6},
+	}
+	for _, c := range cases {
+		if got := SBICallArgRegs(c.ext, c.fn); got != c.want {
+			t.Errorf("SBICallArgRegs(%#x,%d) = %d, want %d", c.ext, c.fn, got, c.want)
+		}
+	}
+}
+
+func TestImmediateDecoders(t *testing.T) {
+	// addi x1, x2, -1  => imm=0xFFF rs1=2 rd=1 f3=0 op=0x13
+	raw := uint32(0xFFF<<20 | 2<<15 | 0<<12 | 1<<7 | 0x13)
+	if ImmI(raw) != ^uint64(0) {
+		t.Errorf("ImmI = %#x", ImmI(raw))
+	}
+	if RdOf(raw) != 1 || Rs1Of(raw) != 2 || Funct3Of(raw) != 0 || OpcodeOf(raw) != 0x13 {
+		t.Error("field extraction broken")
+	}
+	// sd x3, -8(x4): imm = -8 = 0xFF8; imm[11:5]=0x7F, imm[4:0]=0x18
+	sraw := uint32(0x7F<<25 | 3<<20 | 4<<15 | 3<<12 | 0x18<<7 | 0x23)
+	if ImmS(sraw) != uint64(0xFFFFFFFFFFFFFFF8) {
+		t.Errorf("ImmS = %#x", ImmS(sraw))
+	}
+	// beq offset -2: imm=0x1FFE (13-bit) -> -2
+	var b uint32 = 0x63
+	imm := uint64(0x1FFE)
+	b |= uint32(imm>>12&1) << 31
+	b |= uint32(imm>>5&0x3F) << 25
+	b |= uint32(imm>>1&0xF) << 8
+	b |= uint32(imm>>11&1) << 7
+	if ImmB(b) != uint64(0xFFFFFFFFFFFFFFFE) {
+		t.Errorf("ImmB = %#x", ImmB(b))
+	}
+	// lui x1, 0x80000 -> sign-extended negative
+	lui := uint32(0x80000<<12 | 1<<7 | 0x37)
+	if ImmU(lui) != 0xFFFFFFFF80000000 {
+		t.Errorf("ImmU = %#x", ImmU(lui))
+	}
+	// jal offset -4: 21-bit imm 0x1FFFFC
+	var j uint32 = 0x6F
+	ji := uint64(0x1FFFFC)
+	j |= uint32(ji>>20&1) << 31
+	j |= uint32(ji>>1&0x3FF) << 21
+	j |= uint32(ji>>11&1) << 20
+	j |= uint32(ji>>12&0xFF) << 12
+	if ImmJ(j) != uint64(0xFFFFFFFFFFFFFFFC) {
+		t.Errorf("ImmJ = %#x", ImmJ(j))
+	}
+}
+
+func TestCSROf(t *testing.T) {
+	// csrrw x0, mscratch, x0
+	raw := uint32(uint32(CSRMscratch)<<20 | 0<<15 | F3Csrrw<<12 | 0<<7 | OpSystem)
+	if CSROf(raw) != CSRMscratch {
+		t.Errorf("CSROf = %#x", CSROf(raw))
+	}
+}

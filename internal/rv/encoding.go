@@ -1,0 +1,100 @@
+package rv
+
+// Major opcodes (bits 6:0 of a 32-bit instruction).
+const (
+	OpLoad    uint32 = 0x03
+	OpMiscMem uint32 = 0x0F
+	OpImm     uint32 = 0x13
+	OpAuipc   uint32 = 0x17
+	OpImm32   uint32 = 0x1B
+	OpStore   uint32 = 0x23
+	OpAmo     uint32 = 0x2F
+	OpReg     uint32 = 0x33
+	OpLui     uint32 = 0x37
+	OpReg32   uint32 = 0x3B
+	OpBranch  uint32 = 0x63
+	OpJalr    uint32 = 0x67
+	OpJal     uint32 = 0x6F
+	OpSystem  uint32 = 0x73
+)
+
+// SYSTEM funct3 values.
+const (
+	F3Priv   uint32 = 0 // ecall/ebreak/mret/sret/wfi/sfence.vma
+	F3Csrrw  uint32 = 1
+	F3Csrrs  uint32 = 2
+	F3Csrrc  uint32 = 3
+	F3Csrrwi uint32 = 5
+	F3Csrrsi uint32 = 6
+	F3Csrrci uint32 = 7
+)
+
+// Full 32-bit encodings of the zero-operand privileged instructions.
+const (
+	InstrEcall  uint32 = 0x00000073
+	InstrEbreak uint32 = 0x00100073
+	InstrSret   uint32 = 0x10200073
+	InstrMret   uint32 = 0x30200073
+	InstrWfi    uint32 = 0x10500073
+	InstrNop    uint32 = 0x00000013 // addi x0, x0, 0
+	InstrFence  uint32 = 0x0FF0000F // fence iorw, iorw
+	InstrFenceI uint32 = 0x0000100F
+)
+
+// SfenceVMAFunct7 is the funct7 of sfence.vma (rs1/rs2 vary).
+const SfenceVMAFunct7 uint32 = 0x09
+
+// HfenceVVMAFunct7 and HfenceGVMAFunct7 are the hypervisor fence funct7s.
+const (
+	HfenceVVMAFunct7 uint32 = 0x11
+	HfenceGVMAFunct7 uint32 = 0x31
+)
+
+// Field accessors on raw 32-bit instruction words.
+
+// OpcodeOf returns bits 6:0.
+func OpcodeOf(raw uint32) uint32 { return raw & 0x7F }
+
+// RdOf returns bits 11:7.
+func RdOf(raw uint32) uint32 { return raw >> 7 & 0x1F }
+
+// Funct3Of returns bits 14:12.
+func Funct3Of(raw uint32) uint32 { return raw >> 12 & 0x7 }
+
+// Rs1Of returns bits 19:15.
+func Rs1Of(raw uint32) uint32 { return raw >> 15 & 0x1F }
+
+// Rs2Of returns bits 24:20.
+func Rs2Of(raw uint32) uint32 { return raw >> 20 & 0x1F }
+
+// Funct7Of returns bits 31:25.
+func Funct7Of(raw uint32) uint32 { return raw >> 25 & 0x7F }
+
+// CSROf returns the CSR number field (bits 31:20) of a SYSTEM instruction.
+func CSROf(raw uint32) uint16 { return uint16(raw >> 20 & 0xFFF) }
+
+// ImmI returns the sign-extended I-type immediate.
+func ImmI(raw uint32) uint64 { return SignExtend(uint64(raw>>20), 12) }
+
+// ImmS returns the sign-extended S-type immediate.
+func ImmS(raw uint32) uint64 {
+	imm := uint64(raw>>25)<<5 | uint64(raw>>7&0x1F)
+	return SignExtend(imm, 12)
+}
+
+// ImmB returns the sign-extended B-type immediate.
+func ImmB(raw uint32) uint64 {
+	imm := uint64(raw>>31&1)<<12 | uint64(raw>>7&1)<<11 |
+		uint64(raw>>25&0x3F)<<5 | uint64(raw>>8&0xF)<<1
+	return SignExtend(imm, 13)
+}
+
+// ImmU returns the U-type immediate (upper 20 bits, sign-extended to 64).
+func ImmU(raw uint32) uint64 { return SignExtend(uint64(raw&0xFFFFF000), 32) }
+
+// ImmJ returns the sign-extended J-type immediate.
+func ImmJ(raw uint32) uint64 {
+	imm := uint64(raw>>31&1)<<20 | uint64(raw>>12&0xFF)<<12 |
+		uint64(raw>>20&1)<<11 | uint64(raw>>21&0x3FF)<<1
+	return SignExtend(imm, 21)
+}

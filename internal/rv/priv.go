@@ -1,0 +1,206 @@
+package rv
+
+import "fmt"
+
+// Mode is a RISC-V privilege mode. The encoding follows the privileged spec's
+// two-bit mode numbers as used in mstatus.MPP.
+type Mode uint8
+
+const (
+	ModeU Mode = 0 // user
+	ModeS Mode = 1 // supervisor
+	ModeM Mode = 3 // machine
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeU:
+		return "U"
+	case ModeS:
+		return "S"
+	case ModeM:
+		return "M"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is one of the three architected modes.
+func (m Mode) Valid() bool { return m == ModeU || m == ModeS || m == ModeM }
+
+// mstatus field positions (RV64).
+const (
+	MstatusSIE   = 1
+	MstatusMIE   = 3
+	MstatusSPIE  = 5
+	MstatusUBE   = 6
+	MstatusMPIE  = 7
+	MstatusSPP   = 8
+	MstatusVSLo  = 9 // VS[1:0] -> bits 10:9
+	MstatusVSHi  = 10
+	MstatusMPPLo = 11 // MPP[1:0] -> bits 12:11
+	MstatusMPPHi = 12
+	MstatusFSLo  = 13
+	MstatusFSHi  = 14
+	MstatusXSLo  = 15
+	MstatusXSHi  = 16
+	MstatusMPRV  = 17
+	MstatusSUM   = 18
+	MstatusMXR   = 19
+	MstatusTVM   = 20
+	MstatusTW    = 21
+	MstatusTSR   = 22
+	MstatusUXLLo = 32
+	MstatusUXLHi = 33
+	MstatusSXLLo = 34
+	MstatusSXLHi = 35
+	MstatusSBE   = 36
+	MstatusMBE   = 37
+	MstatusSD    = 63
+)
+
+// MPP extracts mstatus.MPP as a Mode.
+func MPP(mstatus uint64) Mode { return Mode(Bits(mstatus, MstatusMPPHi, MstatusMPPLo)) }
+
+// WithMPP returns mstatus with MPP set to m.
+func WithMPP(mstatus uint64, m Mode) uint64 {
+	return SetBits(mstatus, MstatusMPPHi, MstatusMPPLo, uint64(m))
+}
+
+// SPP extracts mstatus.SPP as a Mode (U or S).
+func SPP(mstatus uint64) Mode { return Mode(Bit(mstatus, MstatusSPP)) }
+
+// Interrupt bit positions in mip/mie/mideleg (and sip/sie).
+const (
+	IntSSoft  = 1  // supervisor software interrupt (SSIP/SSIE)
+	IntMSoft  = 3  // machine software interrupt (MSIP/MSIE)
+	IntSTimer = 5  // supervisor timer interrupt (STIP/STIE)
+	IntMTimer = 7  // machine timer interrupt (MTIP/MTIE)
+	IntSExt   = 9  // supervisor external interrupt (SEIP/SEIE)
+	IntMExt   = 11 // machine external interrupt (MEIP/MEIE)
+)
+
+// MIntMask is the set of M-mode interrupt bits; SIntMask the S-mode ones.
+const (
+	MIntMask uint64 = 1<<IntMSoft | 1<<IntMTimer | 1<<IntMExt
+	SIntMask uint64 = 1<<IntSSoft | 1<<IntSTimer | 1<<IntSExt
+)
+
+// Exception cause codes (mcause with interrupt bit clear).
+const (
+	ExcInstrAddrMisaligned uint64 = 0
+	ExcInstrAccessFault    uint64 = 1
+	ExcIllegalInstr        uint64 = 2
+	ExcBreakpoint          uint64 = 3
+	ExcLoadAddrMisaligned  uint64 = 4
+	ExcLoadAccessFault     uint64 = 5
+	ExcStoreAddrMisaligned uint64 = 6
+	ExcStoreAccessFault    uint64 = 7
+	ExcEcallFromU          uint64 = 8
+	ExcEcallFromS          uint64 = 9
+	ExcEcallFromM          uint64 = 11
+	ExcInstrPageFault      uint64 = 12
+	ExcLoadPageFault       uint64 = 13
+	ExcStorePageFault      uint64 = 15
+)
+
+// CauseInterruptBit is the top bit of mcause on RV64, set for interrupts.
+const CauseInterruptBit uint64 = 1 << 63
+
+// Cause packs an exception/interrupt code into an mcause value.
+func Cause(code uint64, interrupt bool) uint64 {
+	if interrupt {
+		return code | CauseInterruptBit
+	}
+	return code
+}
+
+// CauseIsInterrupt reports whether an mcause value denotes an interrupt.
+func CauseIsInterrupt(cause uint64) bool { return cause&CauseInterruptBit != 0 }
+
+// CauseCode strips the interrupt bit from an mcause value.
+func CauseCode(cause uint64) uint64 { return cause &^ CauseInterruptBit }
+
+// CauseString renders an mcause value for logs and traces.
+func CauseString(cause uint64) string {
+	code := CauseCode(cause)
+	if CauseIsInterrupt(cause) {
+		switch code {
+		case IntSSoft:
+			return "supervisor-software-interrupt"
+		case IntMSoft:
+			return "machine-software-interrupt"
+		case IntSTimer:
+			return "supervisor-timer-interrupt"
+		case IntMTimer:
+			return "machine-timer-interrupt"
+		case IntSExt:
+			return "supervisor-external-interrupt"
+		case IntMExt:
+			return "machine-external-interrupt"
+		}
+		return fmt.Sprintf("interrupt(%d)", code)
+	}
+	switch code {
+	case ExcInstrAddrMisaligned:
+		return "instr-addr-misaligned"
+	case ExcInstrAccessFault:
+		return "instr-access-fault"
+	case ExcIllegalInstr:
+		return "illegal-instruction"
+	case ExcBreakpoint:
+		return "breakpoint"
+	case ExcLoadAddrMisaligned:
+		return "load-addr-misaligned"
+	case ExcLoadAccessFault:
+		return "load-access-fault"
+	case ExcStoreAddrMisaligned:
+		return "store-addr-misaligned"
+	case ExcStoreAccessFault:
+		return "store-access-fault"
+	case ExcEcallFromU:
+		return "ecall-from-u"
+	case ExcEcallFromS:
+		return "ecall-from-s"
+	case ExcEcallFromM:
+		return "ecall-from-m"
+	case ExcInstrPageFault:
+		return "instr-page-fault"
+	case ExcLoadPageFault:
+		return "load-page-fault"
+	case ExcStorePageFault:
+		return "store-page-fault"
+	}
+	return fmt.Sprintf("exception(%d)", code)
+}
+
+// misa extension bits.
+const (
+	MisaA = 1 << 0
+	MisaC = 1 << 2
+	MisaD = 1 << 3
+	MisaF = 1 << 5
+	MisaH = 1 << 7
+	MisaI = 1 << 8
+	MisaM = 1 << 12
+	MisaS = 1 << 18
+	MisaU = 1 << 20
+)
+
+// MisaMXL64 encodes MXL=2 (XLEN=64) in misa[63:62].
+const MisaMXL64 uint64 = 2 << 62
+
+// satp fields (Sv39).
+const (
+	SatpModeBare uint64 = 0
+	SatpModeSv39 uint64 = 8
+)
+
+// SatpMode extracts satp.MODE (bits 63:60).
+func SatpMode(satp uint64) uint64 { return Bits(satp, 63, 60) }
+
+// SatpPPN extracts satp.PPN (bits 43:0).
+func SatpPPN(satp uint64) uint64 { return Bits(satp, 43, 0) }
+
+// SatpASID extracts satp.ASID (bits 59:44).
+func SatpASID(satp uint64) uint64 { return Bits(satp, 59, 44) }

@@ -1,0 +1,149 @@
+package rv
+
+// SBI extension IDs (a7 on ecall) from the RISC-V SBI specification. These
+// are used by the synthetic firmware, the guest kernels, Miralis's fast-path
+// offload, and the sandbox policy's per-call register allow-list.
+const (
+	SBIExtBase   uint64 = 0x10
+	SBIExtTimer  uint64 = 0x54494D45 // "TIME"
+	SBIExtIPI    uint64 = 0x735049   // "sPI"
+	SBIExtRfence uint64 = 0x52464E43 // "RFNC"
+	SBIExtHSM    uint64 = 0x48534D   // "HSM"
+	SBIExtReset  uint64 = 0x53525354 // "SRST"
+	SBIExtDebug  uint64 = 0x4442434E // "DBCN" debug console
+
+	// Legacy extensions (single-function, EID == function).
+	SBILegacySetTimer     uint64 = 0x00
+	SBILegacyConsolePut   uint64 = 0x01
+	SBILegacyConsoleGet   uint64 = 0x02
+	SBILegacyClearIPI     uint64 = 0x03
+	SBILegacySendIPI      uint64 = 0x04
+	SBILegacyRemoteFenceI uint64 = 0x05
+	SBILegacySfenceVMA    uint64 = 0x06
+	SBILegacyShutdown     uint64 = 0x08
+
+	// Vendor-specific experimental space used by the Keystone policy, same
+	// EID as the original Keystone security monitor.
+	SBIExtKeystone uint64 = 0x08424b45
+	// ACE's COVE-style extension IDs.
+	SBIExtCoveHost  uint64 = 0x434F5648 // "COVH"
+	SBIExtCoveGuest uint64 = 0x434F5647 // "COVG"
+)
+
+// SBI base-extension function IDs (a6).
+const (
+	SBIBaseGetSpecVersion uint64 = 0
+	SBIBaseGetImplID      uint64 = 1
+	SBIBaseGetImplVersion uint64 = 2
+	SBIBaseProbeExt       uint64 = 3
+	SBIBaseGetMvendorid   uint64 = 4
+	SBIBaseGetMarchid     uint64 = 5
+	SBIBaseGetMimpid      uint64 = 6
+)
+
+// Timer extension function IDs.
+const SBITimerSetTimer uint64 = 0
+
+// IPI extension function IDs.
+const SBIIPISendIPI uint64 = 0
+
+// Rfence extension function IDs.
+const (
+	SBIRfenceFenceI        uint64 = 0
+	SBIRfenceSfenceVMA     uint64 = 1
+	SBIRfenceSfenceVMAAsid uint64 = 2
+)
+
+// HSM extension function IDs.
+const (
+	SBIHSMHartStart   uint64 = 0
+	SBIHSMHartStop    uint64 = 1
+	SBIHSMHartStatus  uint64 = 2
+	SBIHSMHartSuspend uint64 = 3
+)
+
+// Debug-console function IDs.
+const (
+	SBIDebugWrite     uint64 = 0
+	SBIDebugRead      uint64 = 1
+	SBIDebugWriteByte uint64 = 2
+)
+
+// SBI error codes (a0 on return).
+const (
+	SBISuccess           int64 = 0
+	SBIErrFailed         int64 = -1
+	SBIErrNotSupported   int64 = -2
+	SBIErrInvalidParam   int64 = -3
+	SBIErrDenied         int64 = -4
+	SBIErrInvalidAddress int64 = -5
+	SBIErrAlreadyAvail   int64 = -6
+)
+
+// SBIImplIDGosbi identifies the synthetic gosbi firmware, in the spirit of
+// OpenSBI's implementation ID 1.
+const (
+	SBIImplIDGosbi  uint64 = 1
+	SBIImplIDMinsbi uint64 = 4       // RustSBI's registered ID
+	SBISpecVersion  uint64 = 2 << 24 // v2.0
+)
+
+// SBICallArgRegs returns how many argument registers (a0..) the given SBI
+// extension/function pair legitimately consumes, per the SBI specification.
+// The sandbox policy derives its register allow-list from this table
+// (paper §5.2: "automatically generate the per-SBI call register allow-list
+// from the SBI specification").
+func SBICallArgRegs(ext, fn uint64) int {
+	switch ext {
+	case SBIExtBase:
+		if fn == SBIBaseProbeExt {
+			return 1
+		}
+		return 0
+	case SBIExtTimer:
+		return 1 // stime_value
+	case SBIExtIPI:
+		return 2 // hart_mask, hart_mask_base
+	case SBIExtRfence:
+		switch fn {
+		case SBIRfenceFenceI:
+			return 2
+		case SBIRfenceSfenceVMA:
+			return 4 // mask, base, start, size
+		case SBIRfenceSfenceVMAAsid:
+			return 5
+		}
+		return 5
+	case SBIExtHSM:
+		switch fn {
+		case SBIHSMHartStart:
+			return 3 // hartid, start_addr, opaque
+		case SBIHSMHartStop:
+			return 0
+		case SBIHSMHartStatus:
+			return 1
+		case SBIHSMHartSuspend:
+			return 3
+		}
+		return 3
+	case SBIExtReset:
+		return 2 // type, reason
+	case SBIExtDebug:
+		switch fn {
+		case SBIDebugWriteByte:
+			return 1
+		default:
+			return 3 // len, addr_lo, addr_hi
+		}
+	case SBILegacySetTimer, SBILegacyConsolePut, SBILegacySendIPI:
+		return 1
+	case SBILegacyConsoleGet, SBILegacyClearIPI, SBILegacyRemoteFenceI,
+		SBILegacyShutdown:
+		return 0
+	case SBILegacySfenceVMA:
+		return 3
+	}
+	// Unknown extension: allow the full standard argument set; the firmware
+	// will reject the call itself.
+	return 6
+}

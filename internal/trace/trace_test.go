@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"govfm/internal/hart"
+	"govfm/internal/rv"
+)
+
+// fakeHart builds a hart whose traps we can synthesize.
+func fakeHart() *hart.Hart {
+	cfg := hart.VisionFive2()
+	return hart.New(0, cfg, nil)
+}
+
+func fire(h *hart.Hart, cause, tval uint64, from rv.Mode) {
+	h.OnTrap(hart.TrapInfo{
+		Cause: cause, Tval: tval, FromMode: from, ToMode: rv.ModeM,
+	})
+}
+
+func TestClassification(t *testing.T) {
+	var now uint64
+	c := NewCollector(0, func() uint64 { return now })
+	h := fakeHart()
+	c.Attach(h)
+
+	// Time-CSR read: illegal instruction whose tval encodes csrr rd, time.
+	timeRead := uint64(uint32(rv.CSRTime)<<20 | rv.F3Csrrs<<12 | 10<<7 | rv.OpSystem)
+	fire(h, rv.ExcIllegalInstr, timeRead, rv.ModeS)
+	// Other illegal instruction.
+	fire(h, rv.ExcIllegalInstr, 0xFFFF_FFFF, rv.ModeS)
+	// Misaligned.
+	fire(h, rv.ExcLoadAddrMisaligned, 0x1001, rv.ModeS)
+	fire(h, rv.ExcStoreAddrMisaligned, 0x1001, rv.ModeS)
+	// SBI calls classified by a7.
+	h.Regs[17] = rv.SBIExtTimer
+	fire(h, rv.ExcEcallFromS, 0, rv.ModeS)
+	h.Regs[17] = rv.SBIExtIPI
+	fire(h, rv.ExcEcallFromS, 0, rv.ModeS)
+	h.Regs[17] = rv.SBIExtRfence
+	fire(h, rv.ExcEcallFromS, 0, rv.ModeS)
+	h.Regs[17] = rv.SBIExtDebug
+	fire(h, rv.ExcEcallFromS, 0, rv.ModeS)
+	// Interrupts.
+	fire(h, rv.Cause(rv.IntMSoft, true), 0, rv.ModeS)
+	fire(h, rv.Cause(rv.IntMTimer, true), 0, rv.ModeS)
+	fire(h, rv.Cause(rv.IntMExt, true), 0, rv.ModeS)
+	// Traps already in M, or to S, are not counted.
+	fire(h, rv.ExcIllegalInstr, 0, rv.ModeM)
+	h.OnTrap(hart.TrapInfo{Cause: rv.ExcEcallFromU, FromMode: rv.ModeU, ToMode: rv.ModeS})
+
+	want := map[string]uint64{
+		CauseReadTime:   1,
+		CauseMisaligned: 2,
+		CauseSetTimer:   2, // SBI set_timer + M-timer interrupt
+		CauseIPI:        2, // SBI IPI + M-soft interrupt
+		CauseRfence:     1,
+		CauseOther:      3, // bad illegal, DBCN ecall, M-ext interrupt
+	}
+	for k, v := range want {
+		if c.Total[k] != v {
+			t.Errorf("%s = %d, want %d", k, c.Total[k], v)
+		}
+	}
+	if c.TrapsToM != 11 {
+		t.Errorf("TrapsToM = %d, want 11", c.TrapsToM)
+	}
+	wantShare := float64(11-3) / 11
+	if s := c.TopShare(); s != wantShare {
+		t.Errorf("TopShare = %f, want %f", s, wantShare)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	var now uint64
+	c := NewCollector(100, func() uint64 { return now })
+	h := fakeHart()
+	c.Attach(h)
+	fire(h, rv.ExcLoadAddrMisaligned, 0, rv.ModeS)
+	now = 50
+	fire(h, rv.ExcLoadAddrMisaligned, 0, rv.ModeS)
+	now = 150
+	fire(h, rv.ExcStoreAddrMisaligned, 0, rv.ModeS)
+	now = 310
+	fire(h, rv.ExcStoreAddrMisaligned, 0, rv.ModeS)
+	if len(c.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(c.Windows))
+	}
+	if c.Windows[0].StartTick != 0 || c.Windows[0].Counts[CauseMisaligned] != 2 {
+		t.Error("window 0 wrong")
+	}
+	if c.Windows[1].StartTick != 100 || c.Windows[1].Counts[CauseMisaligned] != 1 {
+		t.Error("window 1 wrong")
+	}
+	if c.Windows[2].StartTick != 300 {
+		t.Error("window 2 start")
+	}
+}
+
+func TestChainedOnTrap(t *testing.T) {
+	var called int
+	h := fakeHart()
+	h.OnTrap = func(hart.TrapInfo) { called++ }
+	c := NewCollector(0, func() uint64 { return 0 })
+	c.Attach(h)
+	fire(h, rv.ExcLoadAddrMisaligned, 0, rv.ModeS)
+	if called != 1 {
+		t.Error("existing OnTrap hook must still run")
+	}
+	if c.TrapsToM != 1 {
+		t.Error("collector must also run")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	c := NewCollector(0, func() uint64 { return 0 })
+	h := fakeHart()
+	c.Attach(h)
+	fire(h, rv.ExcLoadAddrMisaligned, 0, rv.ModeS)
+	out := c.Format()
+	if !strings.Contains(out, "misaligned") || !strings.Contains(out, "total") {
+		t.Errorf("format output: %q", out)
+	}
+	if empty := NewCollector(0, func() uint64 { return 0 }); empty.TopShare() != 0 {
+		t.Error("empty collector TopShare must be 0")
+	}
+}
