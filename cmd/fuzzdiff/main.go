@@ -1,0 +1,83 @@
+// Command fuzzdiff runs the differential lockstep fuzzer: randomized RV64
+// machine states and instruction streams executed simultaneously on a bare
+// simulated hart and a monitor-virtualized hart, with both checked against
+// the architectural reference model after every retired instruction. Any
+// disagreement is a finding; findings are minimized and written out as
+// self-contained reproducer test files.
+//
+// Usage:
+//
+//	go run ./cmd/fuzzdiff -smoke                 # fixed-seed CI gate
+//	go run ./cmd/fuzzdiff -budget 1000000        # long fuzzing run
+//	go run ./cmd/fuzzdiff -profile vf2 -seed 7   # one profile, chosen seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"govfm/internal/verif/fuzz"
+)
+
+var profileAlias = map[string][]string{
+	"vf2":  {"visionfive2"},
+	"p550": {"p550"},
+	"all":  {"visionfive2", "p550"},
+}
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "fuzzer seed")
+		budget  = flag.Int("budget", 200_000, "total lockstep steps per profile")
+		smoke   = flag.Bool("smoke", false, "fixed-seed smoke run: 100k+ steps across both profiles, used as a CI gate")
+		profile = flag.String("profile", "all", "platform profile: vf2, p550, or all")
+		repros  = flag.String("repros", "internal/verif/fuzz/testdata/repros", "directory for minimized reproducer files")
+	)
+	flag.Parse()
+
+	profiles, ok := profileAlias[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fuzzdiff: unknown profile %q (want vf2, p550, or all)\n", *profile)
+		os.Exit(2)
+	}
+	if *smoke {
+		*seed = 1
+		*budget = 60_000 // per profile; ≥100k total across both
+		profiles = profileAlias["all"]
+	}
+
+	totalFindings := 0
+	totalSteps := 0
+	start := time.Now()
+	for i, p := range profiles {
+		f, err := fuzz.NewFuzzer([]string{p}, *seed+int64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzzdiff: %v\n", err)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		findings := f.RunBudget(*budget, 5)
+		dt := time.Since(t0)
+		fmt.Printf("%-12s seed=%d cases=%d steps=%d coverage=%d corpus=%d findings=%d (%.1fs, %.0f steps/s)\n",
+			p, *seed+int64(i), f.Cases, f.Steps, f.Coverage(), f.CorpusSize(0),
+			len(findings), dt.Seconds(), float64(f.Steps)/dt.Seconds())
+		totalSteps += f.Steps
+		totalFindings += len(findings)
+		for _, fd := range findings {
+			fmt.Printf("\n=== DIVERGENCE (%s) ===\n%s\n", p, fd)
+			path, err := fuzz.WriteRepro(*repros, fd)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fuzzdiff: writing reproducer: %v\n", err)
+				continue
+			}
+			fmt.Printf("minimized reproducer written to %s\n", path)
+		}
+	}
+	fmt.Printf("total: %d lockstep steps across %d profile(s) in %.1fs, %d divergence(s)\n",
+		totalSteps, len(profiles), time.Since(start).Seconds(), totalFindings)
+	if totalFindings > 0 {
+		os.Exit(1)
+	}
+}

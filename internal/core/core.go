@@ -221,6 +221,23 @@ type Options struct {
 	FirmwareEntry uint64
 	// Trace, when non-nil, receives monitor events.
 	Trace func(event string, c *HartCtx)
+
+	// Divergence hooks for differential harnesses (internal/verif/fuzz):
+	// they observe the emulation path without perturbing it, letting a
+	// lockstep fuzzer attribute architectural-state changes to monitor
+	// decisions and feed its coverage signal.
+
+	// OnEmulate, when non-nil, is called after the monitor emulates a
+	// privileged instruction (or rejects it as illegal) for the virtual
+	// hart, with the raw encoding that trapped.
+	OnEmulate func(c *HartCtx, raw uint32)
+	// OnVirtTrap, when non-nil, is called on every virtual trap injection
+	// with the virtual cause and tval, before the entry mutates the
+	// virtual state.
+	OnVirtTrap func(c *HartCtx, cause, tval uint64)
+	// OnWorldSwitch, when non-nil, is called on every world switch with
+	// the world being entered (in addition to any Policy hook).
+	OnWorldSwitch func(c *HartCtx, to World)
 }
 
 // Stats aggregates per-hart monitor counters.

@@ -27,6 +27,7 @@ const (
 	EmuFENCEI
 	EmuLoad // for MPRV and MMIO emulation paths
 	EmuStore
+	EmuAmo // A-extension (AMO/LR/SC); funct5 lives in Raw bits 31:27
 )
 
 // EmuInstr is a decoded instruction.
@@ -84,6 +85,17 @@ func decode(raw uint32) EmuInstr {
 		ins.Imm = rv.ImmS(raw)
 		if f3 := rv.Funct3Of(raw); f3 <= 3 {
 			ins.Op, ins.Size = EmuStore, 1<<f3
+		}
+		return ins
+	case rv.OpAmo:
+		ins.Rd = rv.RdOf(raw)
+		ins.Rs1 = rv.Rs1Of(raw)
+		ins.Rs2 = rv.Rs2Of(raw)
+		switch rv.Funct3Of(raw) {
+		case 2:
+			ins.Op, ins.Size, ins.Signed = EmuAmo, 4, true
+		case 3:
+			ins.Op, ins.Size = EmuAmo, 8
 		}
 		return ins
 	case rv.OpSystem:

@@ -17,6 +17,14 @@ import (
 // emulate executes the instruction that trapped out of vM-mode and returns
 // the next virtual PC.
 func (m *Monitor) emulate(ctx *HartCtx, raw uint32, epc uint64) uint64 {
+	vpc := m.emulateInstr(ctx, raw, epc)
+	if m.Opts.OnEmulate != nil {
+		m.Opts.OnEmulate(ctx, raw)
+	}
+	return vpc
+}
+
+func (m *Monitor) emulateInstr(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	h := ctx.Hart
 	h.ChargeCycles(h.Cfg.Cost.EmuOp)
 	ctx.Stats.Emulations++
@@ -559,7 +567,7 @@ func (m *Monitor) emulateMemTrap(ctx *HartCtx, code, addr, epc uint64) (uint64, 
 	h := ctx.Hart
 	raw := m.fetchGuestInstr(ctx, epc)
 	ins := decode(raw)
-	if ins.Op != EmuLoad && ins.Op != EmuStore {
+	if ins.Op != EmuLoad && ins.Op != EmuStore && ins.Op != EmuAmo {
 		return 0, false
 	}
 	h.ChargeCycles(h.Cfg.Cost.EmuOp)
@@ -568,7 +576,8 @@ func (m *Monitor) emulateMemTrap(ctx *HartCtx, code, addr, epc uint64) (uint64, 
 	if addr >= clintBase && addr < clintBase+clintSize {
 		ctx.Stats.MMIOEmulations++
 		off := addr - clintBase
-		if ins.Op == EmuLoad {
+		switch ins.Op {
+		case EmuLoad:
 			val, ok := m.vclint.Load(h.ID, off, ins.Size)
 			if !ok {
 				return m.injectVirtTrap(ctx, code, addr, epc), true
@@ -577,11 +586,13 @@ func (m *Monitor) emulateMemTrap(ctx *HartCtx, code, addr, epc uint64) (uint64, 
 				val = rv.SignExtend(val, uint(8*ins.Size))
 			}
 			h.SetReg(ins.Rd, val)
-		} else {
+		case EmuStore:
 			if !m.vclint.Store(h.ID, off, ins.Size, h.Reg(ins.Rs2)) {
 				return m.injectVirtTrap(ctx, code, addr, epc), true
 			}
 			m.unmaskMTimer(ctx)
+		default: // EmuAmo
+			return m.emulateClintAmo(ctx, ins, off, code, addr, epc)
 		}
 		return epc + 4, true
 	}
@@ -618,10 +629,6 @@ func (m *Monitor) emulateMemTrap(ctx *HartCtx, code, addr, epc uint64) (uint64, 
 func (m *Monitor) emulateMPRVAccess(ctx *HartCtx, ins EmuInstr, addr, epc uint64) (uint64, bool) {
 	h := ctx.Hart
 	v := ctx.V
-	acc := mem.Read
-	if ins.Op == EmuStore {
-		acc = mem.Write
-	}
 	env := &mmu.Env{
 		Bus:  h.Bus,
 		PMP:  v.PMP, // the *virtual* protections govern the firmware
@@ -630,39 +637,26 @@ func (m *Monitor) emulateMPRVAccess(ctx *HartCtx, ins EmuInstr, addr, epc uint64
 		SUM:  v.Mstatus&(1<<rv.MstatusSUM) != 0,
 		MXR:  v.Mstatus&(1<<rv.MstatusMXR) != 0,
 	}
-	res := mmu.Translate(env, addr, acc)
-	if !res.OK {
-		return m.injectVirtTrap(ctx, res.Cause, addr, epc), true
+	if ins.Op == EmuAmo {
+		return m.emulateMPRVAmo(ctx, env, ins, addr, epc)
 	}
-	if !v.PMP.Check(res.PA, ins.Size, acc, v.MPP()) {
-		cause := rv.ExcLoadAccessFault
-		if acc == mem.Write {
-			cause = rv.ExcStoreAccessFault
-		}
-		return m.injectVirtTrap(ctx, cause, addr, epc), true
+	acc := mem.Read
+	if ins.Op == EmuStore {
+		acc = mem.Write
 	}
-	// Policy PMP and self-protection still bind: the protection-only view
-	// excludes the MPRV trap window itself (on hardware the monitor would
-	// perform the access with its PMP reconfigured for exactly this).
-	if ctx.protFile != nil && !ctx.protFile.Check(res.PA, ins.Size, acc, v.MPP()) {
-		cause := rv.ExcLoadAccessFault
-		if acc == mem.Write {
-			cause = rv.ExcStoreAccessFault
-		}
-		if m.Policy.OnFirmwareTrap(ctx, cause, addr) == ActBlock {
-			m.halt(ctx, fmt.Sprintf("policy blocked MPRV access to %#x", res.PA))
-			return epc, true
-		}
-		return m.injectVirtTrap(ctx, cause, addr, epc), true
+	pa, vpc, done := m.mprvCheck(ctx, env, addr, ins.Size, acc, epc)
+	if done {
+		return vpc, true
 	}
 	h.ChargeCycles(3 * h.Cfg.Cost.MemAccess) // walk + access
 	if acc == mem.Write {
-		if !h.Bus.Store(res.PA, ins.Size, h.Reg(ins.Rs2)) {
+		if !h.Bus.Store(pa, ins.Size, h.Reg(ins.Rs2)) {
 			return m.injectVirtTrap(ctx, rv.ExcStoreAccessFault, addr, epc), true
 		}
+		h.KillReservation(pa)
 		return epc + 4, true
 	}
-	val, ok := h.Bus.Load(res.PA, ins.Size)
+	val, ok := h.Bus.Load(pa, ins.Size)
 	if !ok {
 		return m.injectVirtTrap(ctx, rv.ExcLoadAccessFault, addr, epc), true
 	}
@@ -670,6 +664,145 @@ func (m *Monitor) emulateMPRVAccess(ctx *HartCtx, ins EmuInstr, addr, epc uint64
 		val = rv.SignExtend(val, uint(8*ins.Size))
 	}
 	h.SetReg(ins.Rd, val)
+	return epc + 4, true
+}
+
+// mprvCheck translates and permission-checks one access made on the
+// firmware's behalf. On a fault it injects the virtual trap (or halts per
+// policy) and reports done=true with the next virtual PC.
+func (m *Monitor) mprvCheck(ctx *HartCtx, env *mmu.Env, addr uint64, size int, acc mem.AccessType, epc uint64) (pa, vpc uint64, done bool) {
+	v := ctx.V
+	res := mmu.Translate(env, addr, acc)
+	if !res.OK {
+		return 0, m.injectVirtTrap(ctx, res.Cause, addr, epc), true
+	}
+	cause := rv.ExcLoadAccessFault
+	if acc == mem.Write {
+		cause = rv.ExcStoreAccessFault
+	}
+	if !v.PMP.Check(res.PA, size, acc, v.MPP()) {
+		return 0, m.injectVirtTrap(ctx, cause, addr, epc), true
+	}
+	// Policy PMP and self-protection still bind: the protection-only view
+	// excludes the MPRV trap window itself (on hardware the monitor would
+	// perform the access with its PMP reconfigured for exactly this).
+	if ctx.protFile != nil && !ctx.protFile.Check(res.PA, size, acc, v.MPP()) {
+		if m.Policy.OnFirmwareTrap(ctx, cause, addr) == ActBlock {
+			m.halt(ctx, fmt.Sprintf("policy blocked MPRV access to %#x", res.PA))
+			return 0, epc, true
+		}
+		return 0, m.injectVirtTrap(ctx, cause, addr, epc), true
+	}
+	return res.PA, 0, false
+}
+
+// emulateMPRVAmo mirrors Hart.amo for a trapped A-extension access: read
+// check + load, compute, write check + store, with LR/SC reservation
+// bookkeeping forwarded to the physical hart so mixed direct/emulated
+// sequences behave exactly as they would on bare hardware.
+func (m *Monitor) emulateMPRVAmo(ctx *HartCtx, env *mmu.Env, ins EmuInstr, addr, epc uint64) (uint64, bool) {
+	h := ctx.Hart
+	f5 := ins.Raw >> 27
+	switch f5 {
+	case rv.AmoLr: // load and acquire the reservation
+		pa, vpc, done := m.mprvCheck(ctx, env, addr, ins.Size, mem.Read, epc)
+		if done {
+			return vpc, true
+		}
+		h.ChargeCycles(3 * h.Cfg.Cost.MemAccess)
+		val, ok := h.Bus.Load(pa, ins.Size)
+		if !ok {
+			return m.injectVirtTrap(ctx, rv.ExcLoadAccessFault, addr, epc), true
+		}
+		h.SetReservation(addr)
+		if ins.Size == 4 {
+			val = rv.SignExtend(val, 32)
+		}
+		h.SetReg(ins.Rd, val)
+		return epc + 4, true
+	case rv.AmoSc:
+		// The hart only traps an SC whose reservation was valid (and it
+		// consumed the reservation on the way out), so the store proceeds.
+		pa, vpc, done := m.mprvCheck(ctx, env, addr, ins.Size, mem.Write, epc)
+		if done {
+			return vpc, true
+		}
+		h.ChargeCycles(3 * h.Cfg.Cost.MemAccess)
+		if !h.Bus.Store(pa, ins.Size, h.Reg(ins.Rs2)) {
+			return m.injectVirtTrap(ctx, rv.ExcStoreAccessFault, addr, epc), true
+		}
+		h.SetReg(ins.Rd, 0)
+		return epc + 4, true
+	}
+	// Read-modify-write AMO: read side first, as the hart does.
+	if _, ok := rv.AmoCompute(f5, ins.Size, 0, 0); !ok {
+		return 0, false // not an AMO the hart could have executed
+	}
+	pa, vpc, done := m.mprvCheck(ctx, env, addr, ins.Size, mem.Read, epc)
+	if done {
+		return vpc, true
+	}
+	old, ok := h.Bus.Load(pa, ins.Size)
+	if !ok {
+		return m.injectVirtTrap(ctx, rv.ExcLoadAccessFault, addr, epc), true
+	}
+	newVal, _ := rv.AmoCompute(f5, ins.Size, old, h.Reg(ins.Rs2))
+	wpa, vpc, done := m.mprvCheck(ctx, env, addr, ins.Size, mem.Write, epc)
+	if done {
+		return vpc, true
+	}
+	h.ChargeCycles(4 * h.Cfg.Cost.MemAccess)
+	if !h.Bus.Store(wpa, ins.Size, newVal) {
+		return m.injectVirtTrap(ctx, rv.ExcStoreAccessFault, addr, epc), true
+	}
+	h.KillReservation(wpa)
+	if ins.Size == 4 {
+		old = rv.SignExtend(old, 32)
+	}
+	h.SetReg(ins.Rd, old)
+	return epc + 4, true
+}
+
+// emulateClintAmo performs a trapped A-extension access to the virtual
+// CLINT, mirroring what the hart would do against the physical device.
+func (m *Monitor) emulateClintAmo(ctx *HartCtx, ins EmuInstr, off, code, addr, epc uint64) (uint64, bool) {
+	h := ctx.Hart
+	f5 := ins.Raw >> 27
+	switch f5 {
+	case rv.AmoLr:
+		val, ok := m.vclint.Load(h.ID, off, ins.Size)
+		if !ok {
+			return m.injectVirtTrap(ctx, code, addr, epc), true
+		}
+		h.SetReservation(addr)
+		if ins.Size == 4 {
+			val = rv.SignExtend(val, 32)
+		}
+		h.SetReg(ins.Rd, val)
+	case rv.AmoSc: // reservation validated and consumed by the hart
+		if !m.vclint.Store(h.ID, off, ins.Size, h.Reg(ins.Rs2)) {
+			return m.injectVirtTrap(ctx, code, addr, epc), true
+		}
+		m.unmaskMTimer(ctx)
+		h.SetReg(ins.Rd, 0)
+	default:
+		old, ok := m.vclint.Load(h.ID, off, ins.Size)
+		if !ok {
+			return m.injectVirtTrap(ctx, code, addr, epc), true
+		}
+		newVal, okc := rv.AmoCompute(f5, ins.Size, old, h.Reg(ins.Rs2))
+		if !okc {
+			return 0, false
+		}
+		if !m.vclint.Store(h.ID, off, ins.Size, newVal) {
+			return m.injectVirtTrap(ctx, code, addr, epc), true
+		}
+		m.unmaskMTimer(ctx)
+		if ins.Size == 4 {
+			old = rv.SignExtend(old, 32)
+		}
+		h.SetReg(ins.Rd, old)
+	}
 	return epc + 4, true
 }
 

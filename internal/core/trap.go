@@ -18,6 +18,14 @@ func (m *Monitor) handleTrap(ctx *HartCtx) {
 	h := ctx.Hart
 	h.ChargeCycles(h.Cfg.Cost.MonitorEntry)
 
+	// During direct execution the OS changes privilege without monitor
+	// involvement (delegated trap entry raises U to S, a native sret
+	// lowers S to U), so the virtual mode is resynchronized from the
+	// physical trap entry: mstatus.MPP holds the mode the trap came from.
+	if ctx.VirtMode != rv.ModeM {
+		ctx.VirtMode = rv.MPP(h.CSR.Mstatus)
+	}
+
 	prevWorld := ctx.World()
 	cause := h.CSR.Mcause
 	tval := h.CSR.Mtval
@@ -241,6 +249,9 @@ func (m *Monitor) checkVirtInterrupt(ctx *HartCtx, vpc uint64) uint64 {
 // virtual one — but the emulator is total so faithful emulation holds for
 // every state.)
 func (m *Monitor) injectVirtTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
+	if m.Opts.OnVirtTrap != nil {
+		m.Opts.OnVirtTrap(ctx, cause, tval)
+	}
 	v := ctx.V
 	if !rv.CauseIsInterrupt(cause) && ctx.VirtMode != rv.ModeM &&
 		v.Medeleg>>rv.CauseCode(cause)&1 != 0 {

@@ -52,6 +52,17 @@ func NewVirtClint(phys *clint.Clint, harts int) *VirtClint {
 // the host's — there is a single clock).
 func (v *VirtClint) Time() uint64 { return v.phys.Time() }
 
+// Reset rewinds hart's virtual CLINT registers to their power-on values
+// (no virtual deadline, no virtual IPI, no fast-path deadline) and
+// reprograms the physical comparator accordingly.
+func (v *VirtClint) Reset(hartID int) {
+	v.vmtimecmp[hartID] = ^uint64(0)
+	v.vmsip[hartID] = 0
+	v.osDeadline[hartID] = ^uint64(0)
+	v.ipiReason[hartID] = 0
+	v.reprogram(hartID)
+}
+
 // reprogram installs the earliest pending deadline for hart in the
 // physical comparator.
 func (v *VirtClint) reprogram(hartID int) {

@@ -1,5 +1,7 @@
 package core
 
+import "govfm/internal/rv"
+
 // Verification entry points (paper §6): internal/verif drives the
 // emulation and PMP-installation subsystems directly through these
 // wrappers, comparing every transition against the reference model. They
@@ -54,6 +56,40 @@ func (m *Monitor) ReinstallPMP(ctx *HartCtx) { m.installPMP(ctx, ctx.World()) }
 // has none or it is not virtualized); policies call it when their DMA rule
 // changes.
 func (m *Monitor) ReinstallIOPMP(ctx *HartCtx) { m.installIOPMP(ctx) }
+
+// VerifSyncVirtState refreshes the virtual CSR file from the physical hart
+// when the hart is executing in the OS world, exactly as the world-switch
+// save path would. At a step boundary this is idempotent (a pure
+// physical→virtual copy), so differential harnesses may call it after
+// every retired instruction to obtain the architectural virtual state.
+func (m *Monitor) VerifSyncVirtState(ctx *HartCtx) {
+	if ctx.World() == WorldOS {
+		m.saveOSState(ctx)
+	}
+}
+
+// VerifInstallState reinstalls the physical CSRs and PMP file for ctx's
+// current world, propagating virtual state that a harness wrote directly
+// into ctx.V onto the physical hart.
+func (m *Monitor) VerifInstallState(ctx *HartCtx) {
+	w := ctx.World()
+	m.installPhysCSRs(ctx, w)
+	m.installPMP(ctx, w)
+}
+
+// ResetVirt rewinds ctx's virtual hart to its power-on state: fresh
+// virtual CSRs, vM-mode, no pending virtual-device state. Differential
+// harnesses use it between test cases; Boot does not reset this state.
+func (m *Monitor) ResetVirt(ctx *HartCtx) {
+	ctx.V = newVirtCSRs(m.NumVirtPMP())
+	ctx.VirtMode = rv.ModeM
+	ctx.VirtWaiting = false
+	ctx.Stats = Stats{}
+	ctx.mprvActive = false
+	ctx.resumeOverride = nil
+	m.vclint.Reset(ctx.Hart.ID)
+	m.HaltedReason = ""
+}
 
 // EmulateMisaligned performs the monitor's misaligned load/store emulation
 // on behalf of a policy (paper §5.2: the sandbox policy implements

@@ -16,10 +16,19 @@ import (
 // intercepts all M-mode interrupts.
 const monitorMIE = rv.MIntMask
 
+// physTrapCtl is the set of mstatus trap-control bits the monitor mirrors
+// from the virtual mstatus into the physical one when entering the OS
+// world, so TVM/TW/TSR-gated supervisor instructions trap back to the
+// virtual firmware exactly as they would on the reference machine.
+const physTrapCtl = uint64(1)<<rv.MstatusTVM | 1<<rv.MstatusTW | 1<<rv.MstatusTSR
+
 // switchWorld performs the transition bookkeeping for entering `to`.
 func (m *Monitor) switchWorld(ctx *HartCtx, to World) {
 	ctx.Stats.WorldSwitches++
 	m.Policy.OnWorldSwitch(ctx, to)
+	if m.Opts.OnWorldSwitch != nil {
+		m.Opts.OnWorldSwitch(ctx, to)
+	}
 	if to == WorldFirmware {
 		m.saveOSState(ctx)
 	}
@@ -80,6 +89,7 @@ func (m *Monitor) installPhysCSRs(ctx *HartCtx, to World) {
 		// Clear the supervisor-visible status bits; firmware state is
 		// entirely virtual.
 		c.WriteSstatus(0)
+		c.Mstatus &^= physTrapCtl // physical U-mode traps regardless
 		c.SetMip(0)
 		return
 	}
@@ -97,6 +107,13 @@ func (m *Monitor) installPhysCSRs(ctx *HartCtx, to World) {
 		c.Menvcfg = v.Menvcfg & (1 << 63)
 	}
 	c.WriteSstatus(v.sstatus())
+	// The trap-control bits (TVM, TW, TSR) the firmware configured must
+	// bind the physical supervisor too: a virtual TSR=1 means the OS's
+	// sret has to reach the firmware, so the physical bit mirrors the
+	// virtual one. (Without this the OS would execute wfi/sret/satp
+	// accesses natively that the reference machine traps — a faithfulness
+	// gap the lockstep fuzzer flags immediately.)
+	c.Mstatus = c.Mstatus&^physTrapCtl | v.Mstatus&physTrapCtl
 	// Counter enables as the firmware configured them, so OS reads of
 	// cycle/instret run natively.
 	c.Mcounteren = v.Mcounteren

@@ -1,0 +1,114 @@
+package clint
+
+import (
+	"testing"
+
+	"govfm/internal/rv"
+)
+
+// TestAccessMatrix drives every register through a table of (offset, size,
+// value) accesses and checks acceptance and readback semantics in one
+// place: which combinations the device decodes, and what a read returns
+// after the write.
+func TestAccessMatrix(t *testing.T) {
+	tests := []struct {
+		name     string
+		off      uint64
+		size     int
+		val      uint64
+		storeOK  bool
+		readback uint64 // checked only when storeOK
+	}{
+		{"msip word", MsipOff, 4, 1, true, 1},
+		{"msip masks to bit0", MsipOff, 4, 0xFFFF_FFFF, true, 1},
+		{"msip hart1", MsipOff + 4, 4, 1, true, 1},
+		{"msip byte", MsipOff, 1, 1, false, 0},
+		{"msip dword", MsipOff, 8, 1, false, 0},
+		{"msip misaligned", MsipOff + 2, 4, 1, false, 0},
+		{"mtimecmp dword", MtimecmpOff, 8, 0xDEAD_BEEF_0BAD_F00D, true, 0xDEAD_BEEF_0BAD_F00D},
+		{"mtimecmp hart1", MtimecmpOff + 8, 8, 7, true, 7},
+		{"mtimecmp lo half", MtimecmpOff, 4, 0x1234_5678, true, 0x1234_5678},
+		{"mtimecmp hi half", MtimecmpOff + 4, 4, 0x9ABC_DEF0, true, 0x9ABC_DEF0},
+		{"mtimecmp byte", MtimecmpOff, 1, 1, false, 0},
+		{"mtimecmp misaligned dword", MtimecmpOff + 4, 8, 1, false, 0},
+		{"mtime dword", MtimeOff, 8, 42, true, 42},
+		{"mtime lo half", MtimeOff, 4, 9, true, 9},
+		{"mtime hi half", MtimeOff + 4, 4, 3, true, 3},
+		{"mtime word misaligned", MtimeOff + 2, 4, 1, false, 0},
+		{"map hole", 0x8000, 4, 1, false, 0},
+		{"past mtime", MtimeOff + 8, 8, 1, false, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(2)
+			ok := c.Store(tc.off, tc.size, tc.val)
+			if ok != tc.storeOK {
+				t.Fatalf("Store(%#x,%d) ok=%v, want %v", tc.off, tc.size, ok, tc.storeOK)
+			}
+			v, lok := c.Load(tc.off, tc.size)
+			if lok != tc.storeOK {
+				t.Fatalf("Load(%#x,%d) ok=%v, want %v", tc.off, tc.size, lok, tc.storeOK)
+			}
+			if ok && v != tc.readback {
+				t.Fatalf("readback %#x, want %#x", v, tc.readback)
+			}
+		})
+	}
+}
+
+// TestInterruptLevelSemantics pins the CLINT's level-triggered nature: both
+// mip bits track register state continuously rather than latching on an
+// edge.
+func TestInterruptLevelSemantics(t *testing.T) {
+	c := New(1)
+
+	// MSIP follows the register both ways.
+	c.Store(MsipOff, 4, 1)
+	if c.Pending(0)&(1<<rv.IntMSoft) == 0 {
+		t.Fatal("MSIP must assert while msip=1")
+	}
+	c.Store(MsipOff, 4, 0)
+	if c.Pending(0)&(1<<rv.IntMSoft) != 0 {
+		t.Fatal("MSIP must deassert when msip cleared")
+	}
+
+	// MTIP stays asserted as long as mtime >= mtimecmp — advancing further
+	// does not clear it, only moving the deadline or rewinding time does.
+	c.SetMtimecmp(0, 10)
+	c.SetTime(10)
+	for i := 0; i < 3; i++ {
+		if c.Pending(0)&(1<<rv.IntMTimer) == 0 {
+			t.Fatalf("MTIP must stay asserted at mtime=%d", c.Time())
+		}
+		c.Advance(100)
+	}
+	c.Store(MtimeOff, 8, 5) // rewind below the deadline
+	if c.Pending(0)&(1<<rv.IntMTimer) != 0 {
+		t.Fatal("MTIP must deassert when mtime drops below mtimecmp")
+	}
+	// Writing just the low half of mtimecmp can re-arm the comparator.
+	c.Store(MtimecmpOff, 4, 2)
+	if c.Pending(0)&(1<<rv.IntMTimer) == 0 {
+		t.Fatal("MTIP must assert after half-word mtimecmp write lowers deadline")
+	}
+}
+
+// TestCheckpointRestore verifies snapshots are deep copies: mutations after
+// Checkpoint must not leak into the saved state.
+func TestCheckpointRestore(t *testing.T) {
+	c := New(2)
+	c.SetMsip(0, true)
+	c.SetMtimecmp(1, 777)
+	c.SetTime(123)
+	snap := c.Checkpoint()
+
+	c.SetMsip(0, false)
+	c.SetMsip(1, true)
+	c.SetMtimecmp(1, 1)
+	c.Advance(1000)
+
+	c.Restore(snap)
+	if !c.Msip(0) || c.Msip(1) || c.Mtimecmp(1) != 777 || c.Time() != 123 {
+		t.Fatal("restore did not rewind to checkpoint")
+	}
+}

@@ -132,6 +132,29 @@ func (c *Clint) SetMsip(hart int, set bool) {
 	}
 }
 
+// Snapshot is a deep copy of the CLINT's register state.
+type Snapshot struct {
+	Msip     []uint32
+	Mtimecmp []uint64
+	Mtime    uint64
+}
+
+// Checkpoint captures the register state for later Restore.
+func (c *Clint) Checkpoint() Snapshot {
+	return Snapshot{
+		Msip:     append([]uint32(nil), c.msip...),
+		Mtimecmp: append([]uint64(nil), c.mtimecmp...),
+		Mtime:    c.mtime,
+	}
+}
+
+// Restore rewinds the CLINT to a checkpoint taken on it earlier.
+func (c *Clint) Restore(s Snapshot) {
+	copy(c.msip, s.Msip)
+	copy(c.mtimecmp, s.Mtimecmp)
+	c.mtime = s.Mtime
+}
+
 // Pending returns the mip bits (MTIP, MSIP) this CLINT asserts for hart.
 func (c *Clint) Pending(hart int) uint64 {
 	var p uint64

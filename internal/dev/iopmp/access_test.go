@@ -1,0 +1,130 @@
+package iopmp
+
+import (
+	"testing"
+
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// TestMMIOMatrix pins the register map decode: which (offset, size)
+// combinations the unit accepts, table-driven over cfg and addr rows.
+func TestMMIOMatrix(t *testing.T) {
+	tests := []struct {
+		name string
+		off  uint64
+		size int
+		ok   bool
+	}{
+		{"cfg reg0", CfgOff, 8, true},
+		{"cfg word", CfgOff, 4, false},
+		{"cfg misaligned", CfgOff + 4, 8, false},
+		{"cfg past entries", CfgOff + 8, 8, false}, // 8 entries pack into one reg
+		{"addr entry0", AddrOff, 8, true},
+		{"addr entry7", AddrOff + 8*7, 8, true},
+		{"addr entry8", AddrOff + 8*8, 8, false},
+		{"addr halfword", AddrOff, 2, false},
+		{"hole", 0x80, 8, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(8)
+			if _, ok := p.Load(tc.off, tc.size); ok != tc.ok {
+				t.Fatalf("Load(%#x,%d) ok=%v, want %v", tc.off, tc.size, ok, tc.ok)
+			}
+			if ok := p.Store(tc.off, tc.size, 0); ok != tc.ok {
+				t.Fatalf("Store(%#x,%d) ok=%v, want %v", tc.off, tc.size, ok, tc.ok)
+			}
+		})
+	}
+}
+
+// TestEntryPriorityOrder: like PMP, the lowest-numbered matching entry
+// decides — a deny placed before an allow wins, and the other way around.
+func TestEntryPriorityOrder(t *testing.T) {
+	region := pmp.NAPOTAddr(0x8000_0000, 4096)
+	allowAll := rv.Mask(54)
+
+	t.Run("deny shadows allow", func(t *testing.T) {
+		p := New(4)
+		p.Store(AddrOff, 8, region)
+		p.Store(AddrOff+8, 8, allowAll)
+		p.Store(CfgOff, 8, uint64(pmp.CfgR|pmp.CfgW|pmp.ANapot<<3)<<8|uint64(pmp.ANapot<<3))
+		if p.Check(0x8000_0010, 8, false) {
+			t.Error("entry 0 deny must shadow entry 1 allow")
+		}
+		if !p.Check(0x9000_0000, 8, true) {
+			t.Error("outside region falls through to allow-all")
+		}
+	})
+	t.Run("allow shadows deny", func(t *testing.T) {
+		p := New(4)
+		p.Store(AddrOff, 8, region)
+		p.Store(AddrOff+8, 8, allowAll)
+		p.Store(CfgOff, 8, uint64(pmp.ANapot<<3)<<8|uint64(pmp.CfgR|pmp.CfgW|pmp.ANapot<<3))
+		if !p.Check(0x8000_0010, 8, false) {
+			t.Error("entry 0 allow must shadow entry 1 deny")
+		}
+		if p.Check(0x9000_0000, 8, true) {
+			t.Error("outside region hits the deny backstop")
+		}
+	})
+}
+
+// TestPartialMatchFaults: a DMA burst straddling a region boundary must be
+// denied even when the matched portion is permitted.
+func TestPartialMatchFaults(t *testing.T) {
+	p := New(2)
+	f := p.File()
+	f.SetAddr(0, pmp.NAPOTAddr(0x8000_0000, 4096))
+	f.SetCfg(0, pmp.CfgR|pmp.CfgW|pmp.ANapot<<3)
+	f.SetAddr(1, rv.Mask(54))
+	f.SetCfg(1, pmp.CfgR|pmp.CfgW|pmp.ANapot<<3)
+	if !p.Check(0x8000_0FF8, 8, false) {
+		t.Fatal("fully inside the region must pass")
+	}
+	denials := p.Denials
+	if p.Check(0x8000_0FFC, 8, false) {
+		t.Fatal("burst straddling the region boundary must fault")
+	}
+	if p.Denials != denials+1 {
+		t.Fatalf("denial counter = %d, want %d", p.Denials, denials+1)
+	}
+}
+
+// TestTORViaMMIO programs a TOR pair through the bus interface and checks
+// the [addr0, addr1) window semantics masters observe.
+func TestTORViaMMIO(t *testing.T) {
+	p := New(2)
+	p.Store(AddrOff, 8, 0x8000_0000>>2)
+	p.Store(AddrOff+8, 8, 0x8001_0000>>2)
+	// Entry 0 OFF (its addr is the TOR base), entry 1 TOR RW.
+	p.Store(CfgOff, 8, uint64(pmp.CfgR|pmp.CfgW|pmp.ATor<<3)<<8)
+	if !p.Check(0x8000_0000, 8, true) || !p.Check(0x8000_FFF8, 8, false) {
+		t.Error("inside TOR window must pass")
+	}
+	if p.Check(0x7FFF_FFF8, 8, false) {
+		t.Error("below TOR base must fail (no backstop)")
+	}
+	if p.Check(0x8001_0000, 8, false) {
+		t.Error("at TOR top must fail")
+	}
+}
+
+// TestLockedEntryWARL: MMIO writes honor the underlying PMP file's lock
+// semantics — a locked cfg byte (and its addr register) become read-only.
+func TestLockedEntryWARL(t *testing.T) {
+	p := New(8)
+	locked := uint64(pmp.CfgL | pmp.CfgR | pmp.ANapot<<3)
+	p.Store(AddrOff, 8, pmp.NAPOTAddr(0x8000_0000, 4096))
+	p.Store(CfgOff, 8, locked)
+	p.Store(CfgOff, 8, uint64(pmp.CfgR|pmp.CfgW|pmp.ANapot<<3)) // attempt rewrite
+	if v, _ := p.Load(CfgOff, 8); v&0xFF != locked {
+		t.Fatalf("locked cfg byte rewritten: %#x", v)
+	}
+	before, _ := p.Load(AddrOff, 8)
+	p.Store(AddrOff, 8, 0)
+	if after, _ := p.Load(AddrOff, 8); after != before {
+		t.Fatal("locked entry's addr register must be read-only")
+	}
+}

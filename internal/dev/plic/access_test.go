@@ -1,0 +1,137 @@
+package plic
+
+import (
+	"testing"
+
+	"govfm/internal/rv"
+)
+
+// TestRegisterMatrix drives the register map through a table of accesses,
+// pinning which offsets decode and what they read back.
+func TestRegisterMatrix(t *testing.T) {
+	tests := []struct {
+		name     string
+		off      uint64
+		val      uint64
+		storeOK  bool
+		loadOK   bool
+		readback uint64
+	}{
+		{"priority src1", PriorityOff + 4, 5, true, true, 5},
+		{"priority src31", PriorityOff + 4*31, 9, true, true, 9},
+		{"priority src0 exists", PriorityOff, 1, true, true, 1},
+		{"pending read-only", PendingOff, 0xFF, false, true, 0},
+		{"enable ctx0", EnableOff, 0xF0, true, true, 0xF0},
+		{"enable ctx1", EnableOff + 0x80, 0xA0, true, true, 0xA0},
+		{"enable word1 ignored", EnableOff + 4, 0xFF, true, true, 0},
+		{"threshold ctx0", ContextOff, 6, true, true, 6},
+		{"threshold ctx1", ContextOff + ContextSize, 2, true, true, 2},
+		{"claim empty", ContextOff + 4, 0, true, true, 0}, // store = complete(0): no-op
+		{"ctx out of range", ContextOff + 2*ContextSize, 1, false, false, 0},
+		{"ctx hole", ContextOff + 8, 1, false, false, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(1)
+			if ok := p.Store(tc.off, 4, tc.val); ok != tc.storeOK {
+				t.Fatalf("Store ok=%v, want %v", ok, tc.storeOK)
+			}
+			v, ok := p.Load(tc.off, 4)
+			if ok != tc.loadOK {
+				t.Fatalf("Load ok=%v, want %v", ok, tc.loadOK)
+			}
+			if ok && v != tc.readback {
+				t.Fatalf("readback %#x, want %#x", v, tc.readback)
+			}
+		})
+	}
+}
+
+// TestPriorityTieBreaksLowestSource: with equal priorities the lowest
+// source number wins the claim (the scan must not prefer later sources on
+// ties).
+func TestPriorityTieBreaksLowestSource(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*3, 4, 4)
+	p.Store(PriorityOff+4*9, 4, 4)
+	p.Store(EnableOff, 4, 1<<3|1<<9)
+	p.Raise(3)
+	p.Raise(9)
+	if irq, _ := p.Load(ContextOff+4, 4); irq != 3 {
+		t.Fatalf("claim returned %d, want lowest tied source 3", irq)
+	}
+}
+
+// TestLevelSemantics pins the level-triggered source model: a source
+// lowered before being claimed simply disappears, and re-raising after
+// complete re-asserts.
+func TestLevelSemantics(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*2, 4, 1)
+	p.Store(EnableOff, 4, 1<<2)
+
+	p.Raise(2)
+	if p.Pending(0)&(1<<rv.IntMExt) == 0 {
+		t.Fatal("MEIP after raise")
+	}
+	p.Lower(2) // device deasserts before the hart claims
+	if p.Pending(0) != 0 {
+		t.Fatal("lowered source must deassert MEIP")
+	}
+	if irq, _ := p.Load(ContextOff+4, 4); irq != 0 {
+		t.Fatalf("claim after lower returned %d, want 0", irq)
+	}
+
+	// Full cycle: raise, claim, complete while still raised -> re-asserts.
+	p.Raise(2)
+	if irq, _ := p.Load(ContextOff+4, 4); irq != 2 {
+		t.Fatal("claim")
+	}
+	p.Store(ContextOff+4, 4, 2) // complete, line still high
+	if p.Pending(0)&(1<<rv.IntMExt) == 0 {
+		t.Fatal("still-raised source must re-assert after complete")
+	}
+}
+
+// TestCompleteOfUnclaimedSource: completing a source that was never
+// claimed (or an out-of-range one) must not corrupt claim state.
+func TestCompleteOfUnclaimedSource(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*1, 4, 1)
+	p.Store(EnableOff, 4, 1<<1)
+	p.Raise(1)
+	if !p.Store(ContextOff+4, 4, 31) { // spurious complete
+		t.Fatal("spurious complete must be accepted")
+	}
+	if !p.Store(ContextOff+4, 4, 99) { // out-of-range irq: ignored
+		t.Fatal("out-of-range complete must be accepted")
+	}
+	if irq, _ := p.Load(ContextOff+4, 4); irq != 1 {
+		t.Fatalf("claim after spurious completes returned %d, want 1", irq)
+	}
+}
+
+// TestMAndSContextsIndependent: the two per-hart contexts have separate
+// enables and thresholds over the same pending set.
+func TestMAndSContextsIndependent(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*6, 4, 3)
+	p.Store(EnableOff, 4, 1<<6)      // M context
+	p.Store(EnableOff+0x80, 4, 1<<6) // S context
+	p.Store(ContextOff, 4, 5)        // M threshold masks priority 3
+	p.Raise(6)
+	got := p.Pending(0)
+	if got&(1<<rv.IntMExt) != 0 {
+		t.Error("M context must be masked by its threshold")
+	}
+	if got&(1<<rv.IntSExt) == 0 {
+		t.Error("S context must assert independently")
+	}
+	// Claim through S; M stays quiet throughout.
+	if irq, _ := p.Load(ContextOff+ContextSize+4, 4); irq != 6 {
+		t.Error("S-context claim")
+	}
+	if p.Pending(0) != 0 {
+		t.Error("claimed source gates both contexts")
+	}
+}

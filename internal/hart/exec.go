@@ -432,73 +432,21 @@ func (h *Hart) amo(raw, f3 uint32, f5 uint32, rs1, rs2 uint32) (uint64, *Exc) {
 		return 0, nil // success
 	}
 	// Read-modify-write AMOs.
+	if _, ok := rv.AmoCompute(f5, size, 0, 0); !ok {
+		return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+	}
 	old, ei := h.MemAccess(va, size, mem.Read, 0, true)
 	if ei != nil {
 		return 0, ei
 	}
-	sOld := old
-	if size == 4 {
-		sOld = rv.SignExtend(old, 32)
-	}
-	b := h.Reg(rs2)
-	var newVal uint64
-	switch f5 {
-	case 0x01: // amoswap
-		newVal = b
-	case 0x00: // amoadd
-		newVal = old + b
-	case 0x04: // amoxor
-		newVal = old ^ b
-	case 0x0C: // amoand
-		newVal = old & b
-	case 0x08: // amoor
-		newVal = old | b
-	case 0x10: // amomin
-		if cmpSigned(sOld, b, size) {
-			newVal = old
-		} else {
-			newVal = b
-		}
-	case 0x14: // amomax
-		if cmpSigned(sOld, b, size) {
-			newVal = b
-		} else {
-			newVal = old
-		}
-	case 0x18: // amominu
-		if cmpUnsigned(old, b, size) {
-			newVal = old
-		} else {
-			newVal = b
-		}
-	case 0x1C: // amomaxu
-		if cmpUnsigned(old, b, size) {
-			newVal = b
-		} else {
-			newVal = old
-		}
-	default:
-		return 0, exc(rv.ExcIllegalInstr, uint64(raw))
-	}
+	newVal, _ := rv.AmoCompute(f5, size, old, h.Reg(rs2))
 	if _, ei := h.MemAccess(va, size, mem.Write, newVal, true); ei != nil {
 		return 0, ei
 	}
-	return sOld, nil
-}
-
-// cmpSigned reports a < b at the given width (a pre-sign-extended).
-func cmpSigned(a, b uint64, size int) bool {
 	if size == 4 {
-		return int32(a) < int32(b)
+		old = rv.SignExtend(old, 32)
 	}
-	return int64(a) < int64(b)
-}
-
-func cmpUnsigned(a, b uint64, size int) bool {
-	if size == 4 {
-		return uint32(a) < uint32(b)
-	}
-	return a < b
+	return old, nil
 }
 
 // system handles the SYSTEM opcode: CSR ops, ecall/ebreak, xRET, wfi, and

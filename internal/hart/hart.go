@@ -385,6 +385,22 @@ func (h *Hart) MemAccess(va uint64, size int, acc mem.AccessType, value uint64, 
 	return v, nil
 }
 
+// SetReservation registers an LR reservation at addr on behalf of the
+// hart. The monitor uses it when it emulates a trapped LR (MPRV or MMIO
+// window) so that a later, directly-executed SC still succeeds.
+func (h *Hart) SetReservation(addr uint64) {
+	h.resValid, h.resAddr = true, addr
+}
+
+// KillReservation invalidates the reservation if pa falls in its 8-byte
+// region, mirroring what a store through MemAccess does. The monitor calls
+// it after stores it performs on the hart's behalf.
+func (h *Hart) KillReservation(pa uint64) {
+	if h.resValid && pa&^7 == h.resAddr&^7 {
+		h.resValid = false
+	}
+}
+
 // Translate exposes address translation with the hart's current state; the
 // monitor uses it for MPRV emulation (software page-table walk on behalf of
 // the firmware).

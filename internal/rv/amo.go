@@ -1,0 +1,56 @@
+package rv
+
+// A-extension funct5 values (bits 31:27 of the instruction word).
+const (
+	AmoAdd  = 0x00
+	AmoSwap = 0x01
+	AmoLr   = 0x02
+	AmoSc   = 0x03
+	AmoXor  = 0x04
+	AmoOr   = 0x08
+	AmoAnd  = 0x0C
+	AmoMin  = 0x10
+	AmoMax  = 0x14
+	AmoMinu = 0x18
+	AmoMaxu = 0x1C
+)
+
+// AmoCompute returns the value a read-modify-write AMO stores back, given
+// its funct5, the access size in bytes (4 or 8), the old memory value, and
+// the rs2 operand. ok is false when funct5 does not name an RMW AMO
+// (including LR/SC, which have their own semantics). Shared by the hart
+// and by the monitor's trap-and-emulate paths so both worlds compute
+// identical results.
+func AmoCompute(f5 uint32, size int, old, b uint64) (newVal uint64, ok bool) {
+	switch f5 {
+	case AmoSwap:
+		return b, true
+	case AmoAdd:
+		return old + b, true
+	case AmoXor:
+		return old ^ b, true
+	case AmoAnd:
+		return old & b, true
+	case AmoOr:
+		return old | b, true
+	case AmoMin, AmoMax:
+		less := int64(old) < int64(b)
+		if size == 4 {
+			less = int32(old) < int32(b)
+		}
+		if less == (f5 == AmoMin) {
+			return old, true
+		}
+		return b, true
+	case AmoMinu, AmoMaxu:
+		less := old < b
+		if size == 4 {
+			less = uint32(old) < uint32(b)
+		}
+		if less == (f5 == AmoMinu) {
+			return old, true
+		}
+		return b, true
+	}
+	return 0, false
+}

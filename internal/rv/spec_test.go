@@ -1,0 +1,225 @@
+package rv
+
+// Specification conformance tests: immediates are checked by independent
+// bit-by-bit re-encoding over random sweeps (the directed examples live in
+// TestImmediateDecoders), and the architectural constants are compared
+// against the literal values in the privileged and SBI specifications.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// encodeI..encodeJ place a signed immediate into an instruction word
+// following the spec's field layout tables, written independently of the
+// decoders in encoding.go.
+func encodeI(imm int64) uint32 { return uint32(imm&0xFFF) << 20 }
+
+func encodeS(imm int64) uint32 {
+	return uint32(imm>>5&0x7F)<<25 | uint32(imm&0x1F)<<7
+}
+
+func encodeB(imm int64) uint32 {
+	return uint32(imm>>12&1)<<31 | uint32(imm>>5&0x3F)<<25 |
+		uint32(imm>>1&0xF)<<8 | uint32(imm>>11&1)<<7
+}
+
+func encodeU(imm int64) uint32 { return uint32(imm) & 0xFFFFF000 }
+
+func encodeJ(imm int64) uint32 {
+	return uint32(imm>>20&1)<<31 | uint32(imm>>1&0x3FF)<<21 |
+		uint32(imm>>11&1)<<20 | uint32(imm>>12&0xFF)<<12
+}
+
+// TestImmediateRoundTrip drives every decoder with encodings of the full
+// signed range of its immediate (corners plus a random sweep) and checks
+// the sign-extended value comes back exactly. Random bits are poured into
+// the non-immediate fields to prove the decoders mask correctly.
+func TestImmediateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name   string
+		bits   uint
+		stride int64 // immediate alignment the format can express
+		enc    func(int64) uint32
+		dec    func(uint32) uint64
+		noise  uint32 // word bits outside the immediate fields
+	}{
+		{"I", 12, 1, encodeI, ImmI, 0x000FFFFF},
+		{"S", 12, 1, encodeS, ImmS, 0x01FFF000},
+		{"B", 13, 2, encodeB, ImmB, 0x01FFF07F},
+		{"U", 32, 4096, encodeU, ImmU, 0x00000FFF},
+		{"J", 21, 2, encodeJ, ImmJ, 0x00000FFF},
+	}
+	for _, c := range cases {
+		lo := -(int64(1) << (c.bits - 1))
+		hi := int64(1)<<(c.bits-1) - c.stride
+		imms := []int64{lo, lo + c.stride, -c.stride, 0, c.stride, hi - c.stride, hi}
+		for i := 0; i < 2000; i++ {
+			imms = append(imms, (rng.Int63n(hi-lo+1)+lo)/c.stride*c.stride)
+		}
+		for _, imm := range imms {
+			raw := c.enc(imm) | rng.Uint32()&c.noise
+			if got := c.dec(raw); got != uint64(imm) {
+				t.Fatalf("Imm%s(%#08x) = %#x, want %#x (%d)", c.name, raw, got, uint64(imm), imm)
+			}
+		}
+	}
+}
+
+// TestFieldAccessorRoundTrip pours random values into every register and
+// function field position and checks each accessor recovers its own field
+// regardless of the others.
+func TestFieldAccessorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		op, rd, f3 := rng.Uint32()&0x7F, rng.Uint32()&0x1F, rng.Uint32()&0x7
+		rs1, rs2, f7 := rng.Uint32()&0x1F, rng.Uint32()&0x1F, rng.Uint32()&0x7F
+		raw := f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+		if OpcodeOf(raw) != op || RdOf(raw) != rd || Funct3Of(raw) != f3 ||
+			Rs1Of(raw) != rs1 || Rs2Of(raw) != rs2 || Funct7Of(raw) != f7 {
+			t.Fatalf("accessor mismatch on %#08x", raw)
+		}
+		if uint32(CSROf(raw)) != f7<<5|rs2 {
+			t.Fatalf("CSROf(%#08x) = %#x, want funct12 %#x", raw, CSROf(raw), f7<<5|rs2)
+		}
+	}
+}
+
+// TestInstrEncodings reassembles the fixed privileged encodings from their
+// spec fields (funct12 | rs1 | funct3 | rd | opcode).
+func TestInstrEncodings(t *testing.T) {
+	mk := func(funct12 uint32) uint32 { return funct12<<20 | OpSystem }
+	for _, c := range []struct {
+		name string
+		got  uint32
+		want uint32
+	}{
+		{"ecall", InstrEcall, mk(0x000)},
+		{"ebreak", InstrEbreak, mk(0x001)},
+		{"sret", InstrSret, mk(0x102)},
+		{"mret", InstrMret, mk(0x302)},
+		{"wfi", InstrWfi, mk(0x105)},
+		{"nop", InstrNop, 0x13}, // addi x0, x0, 0
+		{"fence iorw,iorw", InstrFence, 0xFF<<20 | OpMiscMem},
+		{"fence.i", InstrFenceI, 1<<12 | OpMiscMem},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s encoding %#08x, want %#08x", c.name, c.got, c.want)
+		}
+	}
+	if SfenceVMAFunct7 != 0x09 || HfenceVVMAFunct7 != 0x11 || HfenceGVMAFunct7 != 0x31 {
+		t.Error("fence funct7 constants disagree with the spec")
+	}
+}
+
+// TestPrivConstants pins the cause codes, interrupt numbers, and mstatus
+// bit positions to the privileged spec's tables.
+func TestPrivConstants(t *testing.T) {
+	excs := map[uint64]uint64{
+		ExcInstrAddrMisaligned: 0, ExcInstrAccessFault: 1, ExcIllegalInstr: 2,
+		ExcBreakpoint: 3, ExcLoadAddrMisaligned: 4, ExcLoadAccessFault: 5,
+		ExcStoreAddrMisaligned: 6, ExcStoreAccessFault: 7,
+		ExcEcallFromU: 8, ExcEcallFromS: 9, ExcEcallFromM: 11,
+		ExcInstrPageFault: 12, ExcLoadPageFault: 13, ExcStorePageFault: 15,
+	}
+	for got, want := range excs {
+		if got != want {
+			t.Errorf("exception code %d, spec says %d", got, want)
+		}
+	}
+	ints := map[int]int{IntSSoft: 1, IntMSoft: 3, IntSTimer: 5, IntMTimer: 7,
+		IntSExt: 9, IntMExt: 11}
+	for got, want := range ints {
+		if got != want {
+			t.Errorf("interrupt bit %d, spec says %d", got, want)
+		}
+	}
+	if MIntMask != 0x888 || SIntMask != 0x222 {
+		t.Errorf("interrupt masks M=%#x S=%#x, spec says 0x888/0x222", MIntMask, SIntMask)
+	}
+	mst := map[string][2]int{
+		"SIE": {MstatusSIE, 1}, "MIE": {MstatusMIE, 3}, "SPIE": {MstatusSPIE, 5},
+		"UBE": {MstatusUBE, 6}, "MPIE": {MstatusMPIE, 7}, "SPP": {MstatusSPP, 8},
+		"MPP.lo": {MstatusMPPLo, 11}, "MPP.hi": {MstatusMPPHi, 12},
+		"MPRV": {MstatusMPRV, 17}, "SUM": {MstatusSUM, 18}, "MXR": {MstatusMXR, 19},
+		"TVM": {MstatusTVM, 20}, "TW": {MstatusTW, 21}, "TSR": {MstatusTSR, 22},
+		"UXL.lo": {MstatusUXLLo, 32}, "SXL.lo": {MstatusSXLLo, 34}, "SD": {MstatusSD, 63},
+	}
+	for name, p := range mst {
+		if p[0] != p[1] {
+			t.Errorf("mstatus.%s at bit %d, spec says %d", name, p[0], p[1])
+		}
+	}
+	if ModeU != 0 || ModeS != 1 || ModeM != 3 {
+		t.Error("privilege mode encodings disagree with mstatus.MPP values")
+	}
+	if CauseInterruptBit != 1<<63 {
+		t.Error("mcause interrupt bit must be bit 63 on RV64")
+	}
+	if SatpModeBare != 0 || SatpModeSv39 != 8 {
+		t.Error("satp mode encodings disagree with the spec")
+	}
+	misa := map[uint64]uint{MisaA: 0, MisaC: 2, MisaD: 3, MisaF: 5, MisaH: 7,
+		MisaI: 8, MisaM: 12, MisaS: 18, MisaU: 20}
+	for got, bit := range misa {
+		if got != 1<<bit {
+			t.Errorf("misa bit %#x, spec says 1<<%d", got, bit)
+		}
+	}
+}
+
+// TestSBIConstants checks the ASCII-derived extension IDs byte by byte and
+// the error codes against the SBI spec table.
+func TestSBIConstants(t *testing.T) {
+	ascii := func(s string) uint64 {
+		var v uint64
+		for i := 0; i < len(s); i++ {
+			v = v<<8 | uint64(s[i])
+		}
+		return v
+	}
+	eids := map[string]struct {
+		got  uint64
+		name string
+	}{
+		"TIME": {SBIExtTimer, "timer"},
+		"sPI":  {SBIExtIPI, "ipi"},
+		"RFNC": {SBIExtRfence, "rfence"},
+		"HSM":  {SBIExtHSM, "hsm"},
+		"SRST": {SBIExtReset, "reset"},
+		"DBCN": {SBIExtDebug, "debug console"},
+		"COVH": {SBIExtCoveHost, "cove host"},
+		"COVG": {SBIExtCoveGuest, "cove guest"},
+	}
+	for s, c := range eids {
+		if c.got != ascii(s) {
+			t.Errorf("%s EID %#x, want ASCII %q = %#x", c.name, c.got, s, ascii(s))
+		}
+	}
+	if SBIExtBase != 0x10 {
+		t.Errorf("base EID %#x, spec says 0x10", SBIExtBase)
+	}
+	errs := map[int64]int64{SBISuccess: 0, SBIErrFailed: -1, SBIErrNotSupported: -2,
+		SBIErrInvalidParam: -3, SBIErrDenied: -4, SBIErrInvalidAddress: -5,
+		SBIErrAlreadyAvail: -6}
+	for got, want := range errs {
+		if got != want {
+			t.Errorf("SBI error code %d, spec says %d", got, want)
+		}
+	}
+	if SBISpecVersion != 2<<24 {
+		t.Errorf("SBI spec version %#x, want major 2 at bit 24", SBISpecVersion)
+	}
+	// Legacy EIDs are the function numbers 0..8 (7 reserved).
+	legacy := []uint64{SBILegacySetTimer, SBILegacyConsolePut, SBILegacyConsoleGet,
+		SBILegacyClearIPI, SBILegacySendIPI, SBILegacyRemoteFenceI, SBILegacySfenceVMA}
+	for i, got := range legacy {
+		if got != uint64(i) {
+			t.Errorf("legacy EID %d, spec says %d", got, i)
+		}
+	}
+	if SBILegacyShutdown != 8 {
+		t.Errorf("legacy shutdown EID %d, spec says 8", SBILegacyShutdown)
+	}
+}

@@ -1,0 +1,217 @@
+package fuzz
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"govfm/internal/refmodel"
+)
+
+// -seed overrides the deterministic default so failures can be replayed:
+//
+//	go test ./internal/verif/fuzz -run TestLockstepSmoke -seed 12345
+var seedFlag = flag.Int64("seed", 1, "fuzzer seed (failures print the seed to rerun)")
+
+var lockstepProfiles = []string{"visionfive2", "p550"}
+
+// TestLockstepSmoke fuzzes both board profiles for a fixed step budget and
+// requires zero divergences.
+func TestLockstepSmoke(t *testing.T) {
+	budget := 20000
+	if testing.Short() {
+		budget = 4000
+	}
+	f, err := NewFuzzer(lockstepProfiles, *seedFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := f.RunBudget(budget, 3)
+	for _, fd := range findings {
+		t.Errorf("seed %d: %s", *seedFlag, fd)
+	}
+	if t.Failed() {
+		t.Fatalf("seed %d: %d divergences in %d cases / %d steps (rerun with -seed %d)",
+			*seedFlag, len(findings), f.Cases, f.Steps, *seedFlag)
+	}
+	t.Logf("seed %d: %d cases, %d lockstep steps, %d coverage keys, 0 divergences",
+		*seedFlag, f.Cases, f.Steps, f.Coverage())
+}
+
+// TestEngineDeterministic re-runs one generated case and requires the
+// outcome (and step count) to be identical — the foundation minimization
+// and reproducers rest on.
+func TestEngineDeterministic(t *testing.T) {
+	e, err := NewEngine("visionfive2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seedFlag))
+	for i := 0; i < 20; i++ {
+		tc := e.GenCase(rng)
+		f1, n1 := e.Run(tc)
+		f2, n2 := e.Run(tc)
+		if n1 != n2 || (f1 == nil) != (f2 == nil) {
+			t.Fatalf("seed %d case %d: nondeterministic: steps %d vs %d, finding %v vs %v",
+				*seedFlag, i, n1, n2, f1, f2)
+		}
+		if f1 != nil && f2 != nil && (f1.Where != f2.Where || f1.Step != f2.Step) {
+			t.Fatalf("seed %d case %d: nondeterministic finding: %s vs %s",
+				*seedFlag, i, f1, f2)
+		}
+	}
+}
+
+// TestCanonicalizeIdempotent checks that canonicalization is a fixpoint:
+// legalizing a legalized state changes nothing. Run's install paths depend
+// on this (they copy canonical values verbatim).
+func TestCanonicalizeIdempotent(t *testing.T) {
+	for _, profile := range lockstepProfiles {
+		e, err := NewEngine(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(*seedFlag))
+		for i := 0; i < 50; i++ {
+			tc := e.GenCase(rng) // GenCase canonicalizes
+			once, err := tc.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.canonicalize(tc)
+			twice, _ := tc.Marshal()
+			if string(once) != string(twice) {
+				t.Fatalf("seed %d %s case %d: canonicalize not idempotent:\n%s\nvs\n%s",
+					*seedFlag, profile, i, once, twice)
+			}
+		}
+	}
+}
+
+// TestReplayJSONRoundTrip serializes a case and replays it through the
+// public JSON entry point used by reproducer files.
+func TestReplayJSONRoundTrip(t *testing.T) {
+	e, err := cachedEngine("visionfive2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seedFlag))
+	tc := e.GenCase(rng)
+	want, wantSteps := e.Run(tc)
+	data, err := tc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReplayJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (want == nil) != (got == nil) {
+		t.Fatalf("seed %d: replay disagrees: direct=%v replay=%v (steps %d)",
+			*seedFlag, want, got, wantSteps)
+	}
+}
+
+// TestMinimizeWith exercises the descent algorithm against a synthetic
+// predicate: the divergence depends on two instruction slots and one
+// register; everything else must be stripped.
+func TestMinimizeWith(t *testing.T) {
+	tc := &TestCase{Profile: "synthetic", Prog: make([]uint32, 32)}
+	tc.State = newSyntheticState()
+	for i := range tc.Prog {
+		tc.Prog[i] = 0x1000 + uint32(i)
+	}
+	tc.Prog[5] = 0xAAAA
+	tc.Prog[20] = 0xBBBB
+	tc.State.Regs[7] = 99
+
+	runs := 0
+	diverges := func(c *TestCase) bool {
+		runs++
+		has := func(w uint32) bool {
+			for _, x := range c.Prog {
+				if x == w {
+					return true
+				}
+			}
+			return false
+		}
+		return has(0xAAAA) && has(0xBBBB) && c.State.Regs[7] == 99
+	}
+	minimizeWith(diverges, tc)
+
+	for i, w := range tc.Prog {
+		switch i {
+		case 5:
+			if w != 0xAAAA {
+				t.Fatalf("slot 5 lost: %#x", w)
+			}
+		case 20:
+			if w != 0xBBBB {
+				t.Fatalf("slot 20 lost: %#x", w)
+			}
+		default:
+			if w != nop {
+				t.Errorf("slot %d not nopped: %#x", i, w)
+			}
+		}
+	}
+	if tc.State.Regs[7] != 99 {
+		t.Fatalf("x7 lost: %d", tc.State.Regs[7])
+	}
+	for i := 1; i < 32; i++ {
+		if i != 7 && tc.State.Regs[i] != 0 {
+			t.Errorf("x%d not zeroed: %d", i, tc.State.Regs[i])
+		}
+	}
+	if runs == 0 {
+		t.Fatal("predicate never consulted")
+	}
+}
+
+func newSyntheticState() *refmodel.State {
+	s := refmodel.NewState()
+	for i := 1; i < 32; i++ {
+		s.Regs[i] = uint64(i * 1111)
+	}
+	return s
+}
+
+// TestReplayRepros replays every checked-in reproducer under
+// testdata/repros. Committed reproducers are regressions for fixed bugs,
+// so each must replay with zero divergence.
+func TestReplayRepros(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repros", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no checked-in reproducers")
+	}
+	caseRE := regexp.MustCompile("(?s)const reproCase_[0-9a-f]+ = `(.*?)`")
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := caseRE.FindAllSubmatch(src, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s: no embedded case found", file)
+			}
+			for _, m := range ms {
+				f, err := ReplayJSON(m[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f != nil {
+					t.Errorf("regression reappeared:\n%s", f)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package verif
 
 import (
+	"flag"
 	"math/rand"
 	"testing"
 
@@ -16,6 +17,22 @@ import (
 // mret, sret, wfi, the instruction decoder, CSR reads, CSR writes, virtual
 // interrupts, and end-to-end emulation — plus faithful execution of loads
 // and stores (memory protection) and the §6.5 bug-class corpus.
+
+// seedFlag offsets every randomized suite's seed, so a sweep can be rerun
+// over fresh streams (-seed N) without losing per-suite determinism at the
+// default of 0.
+var seedFlag = flag.Int64("seed", 0, "offset added to each randomized suite's stream seed")
+
+// newRng returns the rng for one randomized suite. Each suite has its own
+// stream number so suites stay decorrelated; the effective seed is logged,
+// which the test runner surfaces on failure (and under -v) so any failing
+// run can be reproduced with -seed.
+func newRng(t *testing.T, stream int64) *rand.Rand {
+	seed := stream + *seedFlag
+	t.Logf("randomized suite: stream %d, effective seed %d (rerun with -seed %d)",
+		stream, seed, *seedFlag)
+	return rand.New(rand.NewSource(seed))
+}
 
 func newHarness(t *testing.T, cfg *hart.Config) *Harness {
 	t.Helper()
@@ -89,7 +106,7 @@ func TestFaithfulEmulationCSR(t *testing.T) {
 	for name, mk := range platforms() {
 		t.Run(name, func(t *testing.T) {
 			h := newHarness(t, mk())
-			rng := rand.New(rand.NewSource(1))
+			rng := newRng(t, 1)
 			csrs := interestingCSRs(h)
 			ops := []uint32{rv.F3Csrrw, rv.F3Csrrs, rv.F3Csrrc,
 				rv.F3Csrrwi, rv.F3Csrrsi, rv.F3Csrrci}
@@ -137,7 +154,7 @@ func TestFaithfulEmulationPrivOps(t *testing.T) {
 	for name, mk := range platforms() {
 		t.Run(name, func(t *testing.T) {
 			h := newHarness(t, mk())
-			rng := rand.New(rand.NewSource(2))
+			rng := newRng(t, 2)
 			for opName, raw := range ops {
 				for i := 0; i < 200; i++ {
 					s := h.GenState(rng)
@@ -165,7 +182,7 @@ func TestFaithfulEmulationPrivOps(t *testing.T) {
 // diverge in the resulting state).
 func TestFaithfulEmulationDecoder(t *testing.T) {
 	h := newHarness(t, hart.VisionFive2())
-	rng := rand.New(rand.NewSource(3))
+	rng := newRng(t, 3)
 	for i := 0; i < 30000; i++ {
 		s := h.GenState(rng)
 		raw := rng.Uint32()
@@ -188,7 +205,7 @@ func TestFaithfulEmulationVirtualInterrupts(t *testing.T) {
 	for name, mk := range platforms() {
 		t.Run(name, func(t *testing.T) {
 			h := newHarness(t, mk())
-			rng := rand.New(rand.NewSource(4))
+			rng := newRng(t, 4)
 			for i := 0; i < 5000; i++ {
 				s := h.GenState(rng)
 				if err := h.CheckInterruptInjection(s, 0x4000); err != nil {
@@ -203,7 +220,7 @@ func TestFaithfulEmulationVirtualInterrupts(t *testing.T) {
 // the reference trap-entry function for every exception cause.
 func TestFaithfulEmulationTrapEntry(t *testing.T) {
 	h := newHarness(t, hart.VisionFive2())
-	rng := rand.New(rand.NewSource(5))
+	rng := newRng(t, 5)
 	causes := []uint64{
 		rv.ExcInstrAddrMisaligned, rv.ExcInstrAccessFault, rv.ExcIllegalInstr,
 		rv.ExcBreakpoint, rv.ExcLoadAddrMisaligned, rv.ExcLoadAccessFault,
@@ -263,7 +280,7 @@ func refTakeException(s *refmodel.State, cause, tval uint64) {
 // TestTrapEntryHelperAgreesWithHW anchors refTakeException to the real
 // reference model through the causes HW can raise directly.
 func TestTrapEntryHelperAgreesWithHW(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := newRng(t, 6)
 	h := newHarness(t, hart.VisionFive2())
 	for i := 0; i < 500; i++ {
 		s := h.GenState(rng)
@@ -297,7 +314,7 @@ func TestFaithfulEmulationEndToEnd(t *testing.T) {
 	for name, mk := range platforms() {
 		t.Run(name, func(t *testing.T) {
 			h := newHarness(t, mk())
-			rng := rand.New(rand.NewSource(7))
+			rng := newRng(t, 7)
 			csrs := interestingCSRs(h)
 			privOps := []uint32{rv.InstrMret, rv.InstrSret, rv.InstrWfi,
 				rv.InstrEcall, rv.InstrEbreak, rv.InstrFence, rv.InstrFenceI,
@@ -354,7 +371,7 @@ func TestFaithfulExecutionPMP(t *testing.T) {
 	for name, mk := range platforms() {
 		t.Run(name, func(t *testing.T) {
 			h := newHarness(t, mk())
-			rng := rand.New(rand.NewSource(8))
+			rng := newRng(t, 8)
 			phys := h.Machine.Harts[0].CSR.PMP
 
 			addrCorpus := func(s *refmodel.State) []uint64 {
@@ -483,7 +500,7 @@ func decodeVirtRegion(s *refmodel.State, i int) (uint64, uint64, bool) {
 // the address space must wrap, not panic, and match the reference.
 func TestBugCorpusVirtualPCOverflow(t *testing.T) {
 	h := newHarness(t, hart.VisionFive2())
-	rng := rand.New(rand.NewSource(9))
+	rng := newRng(t, 9)
 	s := h.GenState(rng)
 	h.Ctx.VirtMode = rv.ModeM
 	s.Priv = refmodel.M
@@ -499,7 +516,7 @@ func TestBugCorpusVirtualPCOverflow(t *testing.T) {
 // virtual window.
 func TestBugCorpusVPMPOverrun(t *testing.T) {
 	h := newHarness(t, hart.VisionFive2())
-	rng := rand.New(rand.NewSource(10))
+	rng := newRng(t, 10)
 	s := h.GenState(rng)
 	h.Ctx.VirtMode = rv.ModeM
 	s.Priv = refmodel.M
@@ -519,7 +536,7 @@ func TestBugCorpusVPMPOverrun(t *testing.T) {
 // accepted into the virtual or physical PMP file.
 func TestBugCorpusReservedWR(t *testing.T) {
 	h := newHarness(t, hart.VisionFive2())
-	rng := rand.New(rand.NewSource(11))
+	rng := newRng(t, 11)
 	s := h.GenState(rng)
 	h.Ctx.VirtMode = rv.ModeM
 	s.Priv = refmodel.M
@@ -546,7 +563,7 @@ func TestBugCorpusReservedWR(t *testing.T) {
 // injection must follow MEI > MSI > MTI, matching the reference model.
 func TestBugCorpusInterruptPriority(t *testing.T) {
 	h := newHarness(t, hart.VisionFive2())
-	rng := rand.New(rand.NewSource(12))
+	rng := newRng(t, 12)
 	s := h.GenState(rng)
 	h.Ctx.VirtMode = rv.ModeM
 	s.Priv = refmodel.M
@@ -602,7 +619,7 @@ func TestBugCorpusInterruptLossAcrossWorldSwitch(t *testing.T) {
 // This is the substrate-level analog of faithful execution: the oracle
 // itself is cross-validated.
 func TestPMPImplementationsAgree(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
+	rng := newRng(t, 99)
 	for round := 0; round < 400; round++ {
 		n := 1 + rng.Intn(16)
 		f := pmp.NewFile(n)

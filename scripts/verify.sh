@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-2 verification gate: everything tier-1 runs (build + tests) plus
+# static analysis, the race detector, and a differential-fuzzer smoke run.
+#
+# The race pass uses -short because internal/bench honors testing.Short();
+# the full -race run takes ~2 minutes and is available via RACE_FULL=1.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race -short ./..."
+if [ "${RACE_FULL:-0}" = "1" ]; then
+    go test -race ./...
+else
+    go test -race -short ./...
+fi
+
+echo "== fuzzdiff smoke"
+go run ./cmd/fuzzdiff -smoke
+
+echo "verify: all gates passed"
