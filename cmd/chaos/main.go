@@ -1,0 +1,81 @@
+// Command chaos runs the fault-injection campaign: seeded, deterministic
+// faults (bit flips, spurious/lost interrupts, rogue-firmware behaviors,
+// MMIO errors) injected into monitored systems across every firmware ×
+// policy × platform combination, asserting the monitor's crash containment
+// contract — after every fault the guest resumes forward progress, or the
+// machine stops with a structured MonitorFault on record.
+//
+// Usage:
+//
+//	go run ./cmd/chaos -smoke              # fixed-seed CI gate (~2s)
+//	go run ./cmd/chaos -faults 50 -seed 7  # longer campaign, chosen seed
+//	go run ./cmd/chaos -profile vf2        # one platform only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"govfm/internal/inject"
+)
+
+var profileAlias = map[string][]string{
+	"vf2":  {"visionfive2"},
+	"p550": {"p550"},
+	"all":  {"visionfive2", "p550"},
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		faults  = flag.Int("faults", 12, "faults injected per combination")
+		smoke   = flag.Bool("smoke", false, "fixed-seed smoke campaign: every firmware x policy x platform, used as a CI gate")
+		profile = flag.String("profile", "all", "platform profile: vf2, p550, or all")
+		budget  = flag.Uint64("budget", 0, "watchdog cycle budget (0 = default)")
+	)
+	flag.Parse()
+
+	profiles, ok := profileAlias[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chaos: unknown profile %q (want vf2, p550, or all)\n", *profile)
+		return 2
+	}
+	if *smoke {
+		*seed = 1
+		*faults = 12
+		profiles = profileAlias["all"]
+	}
+
+	start := time.Now()
+	rep, err := inject.RunCampaign(inject.CampaignConfig{
+		Seed:           *seed,
+		Platforms:      profiles,
+		FaultsPerCombo: *faults,
+		WatchdogBudget: *budget,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 2
+	}
+	fmt.Print(rep.Format())
+	fmt.Printf("campaign: %d combos in %.1fs\n", len(rep.Results), time.Since(start).Seconds())
+	for _, r := range rep.Results {
+		for _, f := range r.Failures {
+			fmt.Printf("FAILURE %s/%s/%s: %s\n", r.Platform, r.Firmware, r.Policy, f)
+		}
+		if !r.HashIntact {
+			fmt.Printf("FAILURE %s/%s/%s: sandbox integrity hash changed\n",
+				r.Platform, r.Firmware, r.Policy)
+		}
+	}
+	for _, r := range rep.Results {
+		if len(r.Failures) > 0 || !r.HashIntact {
+			return 1
+		}
+	}
+	return 0
+}

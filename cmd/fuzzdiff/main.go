@@ -5,16 +5,24 @@
 // disagreement is a finding; findings are minimized and written out as
 // self-contained reproducer test files.
 //
+// With -inject N the same generator feeds the fault-injection engine
+// instead of the lockstep comparator: N randomized cases run with
+// containment armed while faults are injected, and the robustness contract
+// (no escaped panics, every monitor halt leaves a fault record) is
+// checked.
+//
 // Usage:
 //
 //	go run ./cmd/fuzzdiff -smoke                 # fixed-seed CI gate
 //	go run ./cmd/fuzzdiff -budget 1000000        # long fuzzing run
 //	go run ./cmd/fuzzdiff -profile vf2 -seed 7   # one profile, chosen seed
+//	go run ./cmd/fuzzdiff -inject 50             # fault-injection mode
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,20 +35,32 @@ var profileAlias = map[string][]string{
 	"all":  {"visionfive2", "p550"},
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the whole program; it returns the process exit code so tests can
+// drive it directly. 0 = clean, 1 = findings or injection failures,
+// 2 = usage/setup error. The exit code is derived from the raw finding
+// count, not the minimized list — minimization caps and failures must
+// never turn a red run green.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("fuzzdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		seed    = flag.Int64("seed", 1, "fuzzer seed")
-		budget  = flag.Int("budget", 200_000, "total lockstep steps per profile")
-		smoke   = flag.Bool("smoke", false, "fixed-seed smoke run: 100k+ steps across both profiles, used as a CI gate")
-		profile = flag.String("profile", "all", "platform profile: vf2, p550, or all")
-		repros  = flag.String("repros", "internal/verif/fuzz/testdata/repros", "directory for minimized reproducer files")
+		seed    = fs.Int64("seed", 1, "fuzzer seed")
+		budget  = fs.Int("budget", 200_000, "total lockstep steps per profile")
+		smoke   = fs.Bool("smoke", false, "fixed-seed smoke run: 100k+ steps across both profiles, used as a CI gate")
+		profile = fs.String("profile", "all", "platform profile: vf2, p550, or all")
+		repros  = fs.String("repros", "internal/verif/fuzz/testdata/repros", "directory for minimized reproducer files")
+		injectN = fs.Int("inject", 0, "fault-injection mode: run N randomized cases with containment armed instead of lockstep fuzzing")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	profiles, ok := profileAlias[*profile]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fuzzdiff: unknown profile %q (want vf2, p550, or all)\n", *profile)
-		os.Exit(2)
+		fmt.Fprintf(errw, "fuzzdiff: unknown profile %q (want vf2, p550, or all)\n", *profile)
+		return 2
 	}
 	if *smoke {
 		*seed = 1
@@ -48,36 +68,63 @@ func main() {
 		profiles = profileAlias["all"]
 	}
 
-	totalFindings := 0
+	if *injectN > 0 {
+		return runInject(profiles, *seed, *injectN, out, errw)
+	}
+
+	rawFindings := 0
 	totalSteps := 0
 	start := time.Now()
 	for i, p := range profiles {
 		f, err := fuzz.NewFuzzer([]string{p}, *seed+int64(i))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fuzzdiff: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+			return 2
 		}
 		t0 := time.Now()
 		findings := f.RunBudget(*budget, 5)
 		dt := time.Since(t0)
-		fmt.Printf("%-12s seed=%d cases=%d steps=%d coverage=%d corpus=%d findings=%d (%.1fs, %.0f steps/s)\n",
+		fmt.Fprintf(out, "%-12s seed=%d cases=%d steps=%d coverage=%d corpus=%d findings=%d (%.1fs, %.0f steps/s)\n",
 			p, *seed+int64(i), f.Cases, f.Steps, f.Coverage(), f.CorpusSize(0),
 			len(findings), dt.Seconds(), float64(f.Steps)/dt.Seconds())
 		totalSteps += f.Steps
-		totalFindings += len(findings)
+		rawFindings += len(f.Findings)
 		for _, fd := range findings {
-			fmt.Printf("\n=== DIVERGENCE (%s) ===\n%s\n", p, fd)
+			fmt.Fprintf(out, "\n=== DIVERGENCE (%s) ===\n%s\n", p, fd)
 			path, err := fuzz.WriteRepro(*repros, fd)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fuzzdiff: writing reproducer: %v\n", err)
+				fmt.Fprintf(errw, "fuzzdiff: writing reproducer: %v\n", err)
 				continue
 			}
-			fmt.Printf("minimized reproducer written to %s\n", path)
+			fmt.Fprintf(out, "minimized reproducer written to %s\n", path)
 		}
 	}
-	fmt.Printf("total: %d lockstep steps across %d profile(s) in %.1fs, %d divergence(s)\n",
-		totalSteps, len(profiles), time.Since(start).Seconds(), totalFindings)
-	if totalFindings > 0 {
-		os.Exit(1)
+	fmt.Fprintf(out, "total: %d lockstep steps across %d profile(s) in %.1fs, %d divergence(s)\n",
+		totalSteps, len(profiles), time.Since(start).Seconds(), rawFindings)
+	if rawFindings > 0 {
+		return 1
 	}
+	return 0
+}
+
+// runInject drives the fault-injection mode across the chosen profiles.
+func runInject(profiles []string, seed int64, cases int, out, errw io.Writer) int {
+	failed := false
+	for i, p := range profiles {
+		rep, err := fuzz.RunInjection(p, seed+int64(i), cases)
+		if err != nil {
+			fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "%-12s inject: cases=%d steps=%d faults-injected=%d monitor-halts=%d fault-records=%d failures=%d\n",
+			p, rep.Cases, rep.Steps, rep.Injected, rep.Halts, rep.Faults, len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintf(out, "  FAIL %s\n", f)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

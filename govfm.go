@@ -107,6 +107,16 @@ type Config struct {
 	// virtualizing.
 	Policy Policy
 
+	// Containment enables the monitor's crash containment and recovery:
+	// firmware double faults, lockups, and watchdog expiries restart the
+	// virtual firmware from its boot snapshot (or divert to degraded-mode
+	// SBI once the OS runs) instead of wedging the machine. Only
+	// meaningful when virtualizing.
+	Containment bool
+	// WatchdogBudget is the per-entry firmware cycle budget the watchdog
+	// enforces when Containment is on (0 disables the watchdog).
+	WatchdogBudget uint64
+
 	// VirtualizePLIC enables the experimental virtual PLIC (paper §4.3).
 	VirtualizePLIC bool
 	// IOPMP adds an IOPMP unit to the machine and virtualizes it (§4.3);
@@ -190,6 +200,8 @@ func New(cfg Config) (*System, error) {
 			FirmwareEntry:   core.FirmwareBase,
 			VirtualizePLIC:  cfg.VirtualizePLIC,
 			VirtualizeIOPMP: cfg.IOPMP,
+			Containment:     cfg.Containment,
+			WatchdogBudget:  cfg.WatchdogBudget,
 		})
 		if err != nil {
 			return nil, err

@@ -147,6 +147,14 @@ type Policy interface {
 	// monitor's own bookkeeping and before CSR installation; to is the
 	// world being entered.
 	OnWorldSwitch(c *HartCtx, to World)
+	// OnFirmwareMisbehavior runs when the monitor detects that the virtual
+	// firmware can no longer be trusted to make progress: watchdog budget
+	// exhaustion, a virtual double fault, a hopeless wfi, or a panic inside
+	// emulation performed on the firmware's behalf. ActDefault lets the
+	// monitor contain the fault (restart the firmware, or answer SBI calls
+	// itself in degraded mode); ActHandled claims the recovery (the budget
+	// is re-armed); ActBlock stops the machine.
+	OnFirmwareMisbehavior(c *HartCtx, f *MonitorFault) Action
 	// PolicyPMP returns the policy's physical PMP slots (at most
 	// PolicySlots rules) for the given world.
 	PolicyPMP(c *HartCtx, w World) []PMPRule
@@ -175,6 +183,9 @@ func (BasePolicy) OnInterrupt(*HartCtx, uint64) Action { return ActDefault }
 
 // OnWorldSwitch implements Policy.
 func (BasePolicy) OnWorldSwitch(*HartCtx, World) {}
+
+// OnFirmwareMisbehavior implements Policy.
+func (BasePolicy) OnFirmwareMisbehavior(*HartCtx, *MonitorFault) Action { return ActDefault }
 
 // PolicyPMP implements Policy.
 func (BasePolicy) PolicyPMP(*HartCtx, World) []PMPRule { return nil }
@@ -222,6 +233,24 @@ type Options struct {
 	// Trace, when non-nil, receives monitor events.
 	Trace func(event string, c *HartCtx)
 
+	// Containment enables crash containment and recovery: double faults
+	// and fatal conditions in the virtual firmware restart it from the
+	// boot snapshot (or divert to degraded-mode SBI once the OS runs)
+	// instead of wedging the simulation, and monitor panics become
+	// structured MonitorFaults. It is off by default because containment
+	// intentionally departs from faithful emulation — the lockstep fuzzer
+	// must see the reference machine's behaviour, wedges included.
+	Containment bool
+	// WatchdogBudget, when non-zero and Containment is on, is the cycle
+	// budget the firmware world may consume per entry before the watchdog
+	// declares it stuck and fires OnFirmwareMisbehavior. A firmware idling
+	// in wfi with a wakeup source armed re-arms the budget (it is waiting,
+	// not stuck).
+	WatchdogBudget uint64
+	// MaxRestarts caps containment-driven firmware reinitializations per
+	// hart before the monitor gives up and halts (0 means a default of 8).
+	MaxRestarts int
+
 	// Divergence hooks for differential harnesses (internal/verif/fuzz):
 	// they observe the emulation path without perturbing it, letting a
 	// lockstep fuzzer attribute architectural-state changes to monitor
@@ -249,6 +278,10 @@ type Stats struct {
 	FastPathHits   uint64 // traps absorbed by the fast path
 	VirtInterrupts uint64 // virtual interrupts injected into vM-mode
 	MMIOEmulations uint64 // virtual CLINT accesses emulated
+
+	FirmwareRestarts uint64 // containment-driven firmware reinitializations
+	WatchdogFires    uint64 // watchdog budget exhaustions
+	DegradedCalls    uint64 // SBI calls answered by the degraded-mode fallback
 }
 
 // HartCtx is the monitor's per-hart state.
@@ -281,6 +314,60 @@ type HartCtx struct {
 	// resumeOverride, when set by a policy hook that returns ActHandled,
 	// replaces the default resume PC for the current trap.
 	resumeOverride *uint64
+
+	// vTrapDepth counts nested virtual M-mode trap entries that have not
+	// been matched by a virtual mret: an exception from vM at depth ≥ 1 is
+	// a virtual double fault.
+	vTrapDepth int
+
+	// Degraded marks that the firmware has been written off: the monitor
+	// answers the OS's SBI calls itself and the firmware world is never
+	// re-entered.
+	Degraded bool
+
+	// osLive records that the firmware has handed control to the OS at
+	// least once; containment before that point restarts the firmware from
+	// boot, after it diverts to degraded mode.
+	osLive bool
+
+	// osEntry is where the OS resumes if the firmware dies while the
+	// monitor is in the firmware world: the OS PC and mode captured at the
+	// last OS→firmware switch.
+	osEntry osResume
+
+	// pendingSBI holds the OS's in-flight SBI call while the firmware
+	// services it, so containment can answer it in degraded mode.
+	pendingSBI *pendingCall
+
+	// fwEnterCycles is the hart cycle count when the firmware world was
+	// last entered (or the watchdog budget last re-armed).
+	fwEnterCycles uint64
+
+	// lastOSInstret / osProgressCycles drive the OS-starvation clock: once
+	// the OS is live, the watchdog charges its budget against cycles spent
+	// without a single instruction retired *in the OS world*, regardless
+	// of which world currently holds the hart. This catches livelocks no
+	// per-entry budget can: trap ping-pong between the worlds (each
+	// firmware entry is short, the OS never advances) and fully-delegated
+	// fault loops that never re-enter the monitor at all. lastOSInstret is
+	// a baseline of Hart.Instret resynced on every OS-world entry, so
+	// firmware-world retirement never masquerades as OS progress; the
+	// cycle clock only slides on retirement beyond that baseline.
+	lastOSInstret    uint64
+	osProgressCycles uint64
+}
+
+// osResume is the OS-side resume point captured at an OS→firmware switch.
+type osResume struct {
+	PC   uint64
+	Mode rv.Mode
+}
+
+// pendingCall is an OS SBI call the firmware was servicing.
+type pendingCall struct {
+	Cause uint64    // ecall-from-S or ecall-from-U
+	EPC   uint64    // the ecall's PC
+	Args  [8]uint64 // a0..a7 at the call
 }
 
 // OverrideResume makes the current trap resume at pc; meaningful only from
@@ -320,6 +407,21 @@ type Monitor struct {
 
 	// Halted latches a monitor-initiated stop (policy ActBlock).
 	HaltedReason string
+
+	// Faults is the bounded log of structured fault records (see fault.go);
+	// FaultCount is the unbounded total.
+	Faults     []*MonitorFault
+	FaultCount int
+
+	// forceOffload makes every fast path eligible regardless of Options,
+	// while the degraded-mode fallback answers an SBI call.
+	forceOffload bool
+
+	// Boot snapshot for crash containment: the firmware image bytes and
+	// per-hart state captured at Boot, restored when containment
+	// reinitializes a crashed firmware.
+	bootFW    []byte
+	bootSnaps []*hart.Snapshot
 }
 
 // Attach installs a monitor on every hart of the machine. The machine must
@@ -367,9 +469,22 @@ type hartMonitor struct {
 	ctx *HartCtx
 }
 
-// HandleMTrap implements hart.Monitor.
+// HandleMTrap implements hart.Monitor. It is the monitor's outermost panic
+// boundary: a Go panic anywhere in trap handling is converted into a
+// structured MonitorFault and a machine halt instead of killing the
+// process — the software analogue of a machine-check handler.
 func (hm *hartMonitor) HandleMTrap(h *hart.Hart) {
-	hm.mon.handleTrap(hm.ctx)
+	m, ctx := hm.mon, hm.ctx
+	if m.Opts.Containment {
+		defer func() {
+			if r := recover(); r != nil {
+				m.recordFault(m.newFault(ctx, FaultPanic,
+					fmt.Sprintf("panic in monitor trap handler: %v", r)))
+				m.halt(ctx, fmt.Sprintf("monitor panic: %v", r))
+			}
+		}()
+	}
+	m.handleTrap(ctx)
 }
 
 // NumVirtPMP returns the number of virtual PMP entries exposed to the
@@ -392,6 +507,20 @@ func (m *Monitor) Boot() {
 		m.installPMP(ctx, WorldFirmware)
 		m.installIOPMP(ctx)
 	}
+	if m.Opts.Containment {
+		// Capture the boot snapshot containment restores a crashed firmware
+		// from: the image bytes plus each hart's post-install state.
+		fw, err := m.Machine.Bus.ReadBytes(FirmwareBase, FirmwareSize)
+		if err == nil {
+			m.bootFW = fw
+		}
+		m.bootSnaps = m.bootSnaps[:0]
+		for _, ctx := range m.Ctx {
+			m.bootSnaps = append(m.bootSnaps, ctx.Hart.Checkpoint())
+			ctx.fwEnterCycles = ctx.Hart.Cycles
+			ctx.Hart.Watchdog = m.watchdogHook(ctx)
+		}
+	}
 }
 
 // trace emits a monitor event if tracing is enabled.
@@ -401,8 +530,13 @@ func (m *Monitor) trace(event string, ctx *HartCtx) {
 	}
 }
 
-// halt stops the machine with a monitor-attributed reason.
+// halt stops the machine with a monitor-attributed reason. Under
+// containment every monitor-initiated stop also leaves a structured fault
+// record (unless the triggering path just recorded one).
 func (m *Monitor) halt(ctx *HartCtx, reason string) {
+	if m.Opts.Containment && !m.faultJustRecorded(ctx) {
+		m.recordFault(m.newFault(ctx, FaultHalt, reason))
+	}
 	m.HaltedReason = reason
 	ctx.Hart.Halt("miralis: " + reason)
 }
@@ -418,6 +552,9 @@ func (m *Monitor) TotalStats() Stats {
 		t.FastPathHits += c.Stats.FastPathHits
 		t.VirtInterrupts += c.Stats.VirtInterrupts
 		t.MMIOEmulations += c.Stats.MMIOEmulations
+		t.FirmwareRestarts += c.Stats.FirmwareRestarts
+		t.WatchdogFires += c.Stats.WatchdogFires
+		t.DegradedCalls += c.Stats.DegradedCalls
 	}
 	return t
 }

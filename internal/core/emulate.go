@@ -15,9 +15,23 @@ import (
 // faithful-emulation differential tests in internal/verif.
 
 // emulate executes the instruction that trapped out of vM-mode and returns
-// the next virtual PC.
-func (m *Monitor) emulate(ctx *HartCtx, raw uint32, epc uint64) uint64 {
-	vpc := m.emulateInstr(ctx, raw, epc)
+// the next virtual PC. Under containment it is a panic boundary: the
+// emulator is the largest attack surface the firmware can reach, so a Go
+// panic here is converted into a MonitorFault and handled as firmware
+// misbehavior instead of killing the process.
+func (m *Monitor) emulate(ctx *HartCtx, raw uint32, epc uint64) (vpc uint64) {
+	if m.Opts.Containment {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			f := m.newFault(ctx, FaultPanic,
+				fmt.Sprintf("panic emulating %#08x: %v", raw, r))
+			vpc = m.misbehave(ctx, f, epc)
+		}()
+	}
+	vpc = m.emulateInstr(ctx, raw, epc)
 	if m.Opts.OnEmulate != nil {
 		m.Opts.OnEmulate(ctx, raw)
 	}
@@ -87,6 +101,9 @@ func (m *Monitor) emulateMRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	if prev != rv.ModeM {
 		v.Mstatus &^= 1 << rv.MstatusMPRV
 	}
+	if ctx.vTrapDepth > 0 {
+		ctx.vTrapDepth--
+	}
 	ctx.VirtMode = prev
 	return v.Mepc
 }
@@ -119,6 +136,15 @@ func (m *Monitor) emulateWFI(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	if ctx.VirtMode == rv.ModeU ||
 		(ctx.VirtMode == rv.ModeS && ctx.V.Mstatus&(1<<rv.MstatusTW) != 0) {
 		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+	}
+	if m.Opts.Containment && ctx.VirtMode == rv.ModeM &&
+		ctx.V.Mie&rv.MIntMask == 0 {
+		// No virtual M interrupt source is enabled: nothing can ever wake
+		// this wfi (checkVirtInterrupt wakes on pending & vmie only), so
+		// the firmware has locked itself up.
+		f := m.newFault(ctx, FaultLockup,
+			"wfi in vM-mode with all virtual M interrupts masked")
+		return m.misbehave(ctx, f, epc)
 	}
 	ctx.VirtWaiting = true
 	// The physical hart waits too; the monitor's M-mode interrupt enables

@@ -16,6 +16,10 @@ import (
 
 // offloads reports whether the given operation class is enabled.
 func (m *Monitor) offloads(op OffloadOp) bool {
+	if m.forceOffload {
+		// Degraded mode: the fast paths are the SBI implementation.
+		return true
+	}
 	if !m.Opts.Offload {
 		return false
 	}
@@ -157,7 +161,7 @@ func (m *Monitor) fastPathIllegal(ctx *HartCtx, raw uint32, epc uint64) (uint64,
 // byte by byte, as the vendor firmware's misaligned handler would.
 func (m *Monitor) fastPathMisaligned(ctx *HartCtx, code, addr, epc uint64) (uint64, bool) {
 	h := ctx.Hart
-	if m.Opts.Offload && !m.offloads(OffloadMisaligned) {
+	if m.Opts.Offload && !m.forceOffload && !m.offloads(OffloadMisaligned) {
 		return 0, false
 	}
 	raw := m.fetchOSInstr(ctx, epc)

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"govfm/internal/rv"
+)
+
+// Monitor fault records: every failure the monitor detects in the virtual
+// firmware — or in itself — is reported as a structured MonitorFault with a
+// full machine-state dump, whether the outcome is containment (restart the
+// firmware, enter degraded mode) or a halt. The chaos harness
+// (internal/inject) asserts that no injected fault ever escapes this
+// classification as a raw Go panic.
+
+// FaultKind classifies a monitor-detected failure.
+type FaultKind int
+
+const (
+	// FaultPanic is a Go panic caught at a monitor boundary (trap entry or
+	// emulation dispatch) — the software equivalent of a machine check.
+	FaultPanic FaultKind = iota
+	// FaultDoubleFault is an exception taken during virtual M-mode trap
+	// handling (or with an unprogrammed mtvec): the firmware can no longer
+	// make progress on its own.
+	FaultDoubleFault
+	// FaultWatchdog is a firmware-world residency past the configured
+	// cycle budget: the firmware is stuck or runaway.
+	FaultWatchdog
+	// FaultLockup is a virtual wfi with every virtual M interrupt masked:
+	// nothing can ever wake the firmware.
+	FaultLockup
+	// FaultHalt is a monitor-initiated machine stop (policy ActBlock or an
+	// unrecoverable condition).
+	FaultHalt
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultDoubleFault:
+		return "double-fault"
+	case FaultWatchdog:
+		return "watchdog"
+	case FaultLockup:
+		return "lockup"
+	case FaultHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// MonitorFault is the structured record of one detected failure.
+type MonitorFault struct {
+	Kind   FaultKind
+	Hart   int
+	Reason string
+
+	// Machine state at detection.
+	PC       uint64
+	VirtMode rv.Mode
+	Cycles   uint64
+
+	// Residency is the cycles spent in the firmware world when the fault
+	// was detected — for watchdog faults, the detection latency.
+	Residency uint64
+
+	// Contained reports whether the monitor recovered (firmware restarted
+	// or degraded mode entered) rather than halting the machine.
+	Contained bool
+
+	// Dump is the full machine-state dump at detection.
+	Dump string
+}
+
+// Error implements error.
+func (f *MonitorFault) Error() string {
+	return fmt.Sprintf("monitor fault [%s] hart%d at pc=%#x (v%s): %s",
+		f.Kind, f.Hart, f.PC, f.VirtMode, f.Reason)
+}
+
+// maxFaults bounds the fault log so a fault storm cannot exhaust memory;
+// FaultCount keeps the true total.
+const maxFaults = 256
+
+// newFault snapshots the machine state into a fault record.
+func (m *Monitor) newFault(ctx *HartCtx, kind FaultKind, reason string) *MonitorFault {
+	h := ctx.Hart
+	res := uint64(0)
+	if ctx.World() == WorldFirmware && h.Cycles >= ctx.fwEnterCycles {
+		res = h.Cycles - ctx.fwEnterCycles
+	}
+	return &MonitorFault{
+		Kind:      kind,
+		Hart:      h.ID,
+		Reason:    reason,
+		PC:        h.PC,
+		VirtMode:  ctx.VirtMode,
+		Cycles:    h.Cycles,
+		Residency: res,
+		Dump:      dumpState(ctx),
+	}
+}
+
+// recordFault appends to the bounded fault log.
+func (m *Monitor) recordFault(f *MonitorFault) {
+	m.FaultCount++
+	if len(m.Faults) < maxFaults {
+		m.Faults = append(m.Faults, f)
+	}
+}
+
+// faultJustRecorded reports whether the most recent fault was recorded on
+// this hart at the current cycle count — used by halt to avoid recording
+// the same event twice when a containment path escalates to a stop.
+func (m *Monitor) faultJustRecorded(ctx *HartCtx) bool {
+	if len(m.Faults) == 0 {
+		return false
+	}
+	last := m.Faults[len(m.Faults)-1]
+	return last.Hart == ctx.Hart.ID && last.Cycles == ctx.Hart.Cycles
+}
+
+// dumpState renders a full machine-state dump: physical hart, virtual CSR
+// shadow, and monitor bookkeeping.
+func dumpState(ctx *HartCtx) string {
+	h, v := ctx.Hart, ctx.V
+	var b strings.Builder
+	fmt.Fprintf(&b, "hart%d pc=%#x mode=%v vmode=%v world=%v cycles=%d instret=%d sinstret=%d\n",
+		h.ID, h.PC, h.Mode, ctx.VirtMode, ctx.World(), h.Cycles, h.Instret, h.SInstret)
+	fmt.Fprintf(&b, "flags: waiting=%v vwaiting=%v degraded=%v oslive=%v vtrapdepth=%d\n",
+		h.Waiting, ctx.VirtWaiting, ctx.Degraded, ctx.osLive, ctx.vTrapDepth)
+	for i := 0; i < 32; i += 4 {
+		fmt.Fprintf(&b, "x%-2d %016x %016x %016x %016x\n",
+			i, h.Regs[i], h.Regs[i+1], h.Regs[i+2], h.Regs[i+3])
+	}
+	c := &h.CSR
+	fmt.Fprintf(&b, "phys: mstatus=%#x mie=%#x mip=%#x mepc=%#x mcause=%#x mtval=%#x mtvec=%#x\n",
+		c.Mstatus, c.Mie, c.Mip(h.Time()), c.Mepc, c.Mcause, c.Mtval, c.Mtvec)
+	fmt.Fprintf(&b, "phys: medeleg=%#x mideleg=%#x satp=%#x stvec=%#x sepc=%#x scause=%#x\n",
+		c.Medeleg, c.Mideleg, c.Satp, c.Stvec, c.Sepc, c.Scause)
+	fmt.Fprintf(&b, "virt: mstatus=%#x mie=%#x mipSW=%#x mepc=%#x mcause=%#x mtval=%#x mtvec=%#x\n",
+		v.Mstatus, v.Mie, v.MipSW, v.Mepc, v.Mcause, v.Mtval, v.Mtvec)
+	fmt.Fprintf(&b, "virt: medeleg=%#x mscratch=%#x satp=%#x stvec=%#x sepc=%#x scause=%#x\n",
+		v.Medeleg, v.Mscratch, v.Satp, v.Stvec, v.Sepc, v.Scause)
+	for i := 0; i < v.PMP.NumEntries(); i++ {
+		if v.PMP.Cfg(i) != 0 || v.PMP.Addr(i) != 0 {
+			fmt.Fprintf(&b, "vpmp%d: cfg=%#x addr=%#x\n", i, v.PMP.Cfg(i), v.PMP.Addr(i))
+		}
+	}
+	return b.String()
+}

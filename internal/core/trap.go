@@ -111,14 +111,20 @@ func (m *Monitor) handleOSTrap(ctx *HartCtx, code, tval, epc uint64) uint64 {
 			m.halt(ctx, "policy blocked OS ecall")
 			return epc
 		}
+		if ctx.Degraded {
+			// The firmware has been written off: the monitor answers.
+			return m.degradedEcall(ctx, epc)
+		}
 		if m.Opts.Offload {
 			if vpc, ok := m.fastPathEcall(ctx, epc); ok {
 				ctx.Stats.FastPathHits++
 				return vpc
 			}
 		}
-		// Re-inject into the virtual firmware: a world switch.
+		// Re-inject into the virtual firmware: a world switch. Capture the
+		// call first so containment can answer it if the firmware dies.
 		cause := code
+		m.capturePendingSBI(ctx, cause, epc)
 		return m.injectVirtTrap(ctx, cause, 0, epc)
 	case rv.ExcIllegalInstr:
 		if m.Opts.Offload {
@@ -134,7 +140,7 @@ func (m *Monitor) handleOSTrap(ctx *HartCtx, code, tval, epc uint64) uint64 {
 			m.halt(ctx, "policy blocked OS illegal instruction")
 			return epc
 		}
-		return m.injectVirtTrap(ctx, code, tval, epc)
+		return m.rejectToFirmware(ctx, code, tval, epc)
 	case rv.ExcLoadAddrMisaligned, rv.ExcStoreAddrMisaligned:
 		if m.Opts.Offload {
 			if vpc, ok := m.fastPathMisaligned(ctx, code, tval, epc); ok {
@@ -149,7 +155,7 @@ func (m *Monitor) handleOSTrap(ctx *HartCtx, code, tval, epc uint64) uint64 {
 			m.halt(ctx, "policy blocked OS misaligned access")
 			return epc
 		}
-		return m.injectVirtTrap(ctx, code, tval, epc)
+		return m.rejectToFirmware(ctx, code, tval, epc)
 	default:
 		switch m.Policy.OnOSTrap(ctx, code, tval) {
 		case ActHandled:
@@ -158,7 +164,7 @@ func (m *Monitor) handleOSTrap(ctx *HartCtx, code, tval, epc uint64) uint64 {
 			m.halt(ctx, fmt.Sprintf("policy blocked OS trap %s", rv.CauseString(code)))
 			return epc
 		}
-		return m.injectVirtTrap(ctx, code, tval, epc)
+		return m.rejectToFirmware(ctx, code, tval, epc)
 	}
 }
 
@@ -217,6 +223,10 @@ func (m *Monitor) handleInterrupt(ctx *HartCtx, code, epc uint64) uint64 {
 // resume PC.
 func (m *Monitor) checkVirtInterrupt(ctx *HartCtx, vpc uint64) uint64 {
 	v := ctx.V
+	if ctx.Degraded {
+		// No firmware left to deliver to.
+		return vpc
+	}
 	pending := m.virtMip(ctx) & v.Mie & rv.MIntMask
 	if pending == 0 {
 		return vpc
@@ -256,23 +266,23 @@ func (m *Monitor) injectVirtTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
 	if !rv.CauseIsInterrupt(cause) && ctx.VirtMode != rv.ModeM &&
 		v.Medeleg>>rv.CauseCode(cause)&1 != 0 {
 		// Virtual supervisor trap entry.
-		v.Scause = cause
-		v.Sepc = vLegalizeEpc(epc)
-		v.Stval = tval
-		if v.Mstatus&(1<<1) != 0 { // SIE -> SPIE
-			v.Mstatus |= 1 << 5
-		} else {
-			v.Mstatus &^= 1 << 5
-		}
-		v.Mstatus &^= 1 << 1 // SIE = 0
-		if ctx.VirtMode == rv.ModeS {
-			v.Mstatus |= 1 << 8
-		} else {
-			v.Mstatus &^= 1 << 8
-		}
-		ctx.VirtMode = rv.ModeS
-		ctx.VirtWaiting = false
-		return v.Stvec &^ 3
+		return m.injectVirtSTrap(ctx, cause, tval, epc)
+	}
+	// Double-fault detection (containment only): an exception raised while
+	// the firmware is already handling a virtual M trap, or with no trap
+	// vector programmed, means the firmware cannot recover on its own —
+	// on hardware it would vector into its own fault path forever.
+	if m.Opts.Containment && !rv.CauseIsInterrupt(cause) && ctx.VirtMode == rv.ModeM &&
+		(ctx.vTrapDepth >= 1 || v.Mtvec&^3 == 0) {
+		f := m.newFault(ctx, FaultDoubleFault, fmt.Sprintf(
+			"virtual %s at depth %d (mtvec=%#x)",
+			rv.CauseString(rv.CauseCode(cause)), ctx.vTrapDepth, v.Mtvec))
+		return m.misbehave(ctx, f, epc)
+	}
+	if ctx.VirtMode == rv.ModeM {
+		ctx.vTrapDepth++
+	} else {
+		ctx.vTrapDepth = 1
 	}
 	v.Mcause = cause
 	v.Mepc = vLegalizeEpc(epc)

@@ -87,8 +87,18 @@ func (m *Monitor) ResetVirt(ctx *HartCtx) {
 	ctx.Stats = Stats{}
 	ctx.mprvActive = false
 	ctx.resumeOverride = nil
+	ctx.vTrapDepth = 0
+	ctx.Degraded = false
+	ctx.osLive = false
+	ctx.osEntry = osResume{}
+	ctx.pendingSBI = nil
+	ctx.fwEnterCycles = ctx.Hart.Cycles
+	ctx.lastOSInstret = ctx.Hart.Instret
+	ctx.osProgressCycles = ctx.Hart.Cycles
 	m.vclint.Reset(ctx.Hart.ID)
 	m.HaltedReason = ""
+	m.Faults = nil
+	m.FaultCount = 0
 }
 
 // EmulateMisaligned performs the monitor's misaligned load/store emulation

@@ -31,6 +31,26 @@ func (m *Monitor) switchWorld(ctx *HartCtx, to World) {
 	}
 	if to == WorldFirmware {
 		m.saveOSState(ctx)
+		// Arm the watchdog budget and remember where the OS resumes if the
+		// firmware never comes back: the trap entry latched the OS PC in
+		// mepc and its mode in MPP.
+		ctx.fwEnterCycles = ctx.Hart.Cycles
+		ctx.osEntry = osResume{
+			PC:   ctx.Hart.CSR.Mepc,
+			Mode: rv.MPP(ctx.Hart.CSR.Mstatus),
+		}
+	} else {
+		// Resync the OS-progress baseline so the firmware's own retirement
+		// is not mistaken for OS progress. The cycle clock is only armed on
+		// the first entry — sliding it per-entry would blind the watchdog
+		// to trap ping-pong, where the worlds alternate rapidly but the OS
+		// never retires an instruction.
+		ctx.lastOSInstret = ctx.Hart.Instret
+		if !ctx.osLive {
+			ctx.osLive = true
+			ctx.osProgressCycles = ctx.Hart.Cycles
+		}
+		ctx.pendingSBI = nil
 	}
 	m.installPhysCSRs(ctx, to)
 	m.installPMP(ctx, to)

@@ -1,0 +1,56 @@
+package clint
+
+import "testing"
+
+// TestErrorPaths: the CLINT rejects misaligned, wrong-size, and
+// out-of-range accesses, and rejected stores leave timer state untouched.
+func TestErrorPaths(t *testing.T) {
+	c := New(2)
+	c.SetMtimecmp(0, 0x1234)
+
+	rejects := []struct {
+		name string
+		off  uint64
+		size int
+	}{
+		{"msip misaligned", MsipOff + 2, 4},
+		{"msip wide", MsipOff, 8},
+		{"msip past harts", MsipOff + 4*2, 4},
+		{"mtimecmp halfword", MtimecmpOff, 2},
+		{"mtimecmp misaligned word", MtimecmpOff + 2, 4},
+		{"mtimecmp misaligned dword", MtimecmpOff + 4, 8},
+		{"mtimecmp past harts", MtimecmpOff + 8*2, 8},
+		{"gap between msip and mtimecmp", 0x1000, 4},
+		{"mtime misaligned dword", MtimeOff + 4, 8},
+		{"past mtime", MtimeOff + 8, 8},
+	}
+	for _, tc := range rejects {
+		if _, ok := c.Load(tc.off, tc.size); ok {
+			t.Errorf("%s: Load(%#x,%d) accepted", tc.name, tc.off, tc.size)
+		}
+		if ok := c.Store(tc.off, tc.size, ^uint64(0)); ok {
+			t.Errorf("%s: Store(%#x,%d) accepted", tc.name, tc.off, tc.size)
+		}
+	}
+	if c.Mtimecmp(0) != 0x1234 {
+		t.Errorf("mtimecmp changed by rejected stores: %#x", c.Mtimecmp(0))
+	}
+	if c.Msip(0) || c.Msip(1) {
+		t.Error("msip set by rejected stores")
+	}
+}
+
+// TestMsipWritableBit: only bit 0 of an msip word is writable; garbage in
+// the upper bits must not survive the WARL filter.
+func TestMsipWritableBit(t *testing.T) {
+	c := New(1)
+	if ok := c.Store(MsipOff, 4, 0xFFFF_FFFF); !ok {
+		t.Fatal("msip store rejected")
+	}
+	if v, _ := c.Load(MsipOff, 4); v != 1 {
+		t.Errorf("msip = %#x, want 1 (only bit 0 writable)", v)
+	}
+	if !c.Msip(0) {
+		t.Error("msip line not asserted")
+	}
+}

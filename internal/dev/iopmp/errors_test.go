@@ -1,0 +1,66 @@
+package iopmp
+
+import (
+	"testing"
+
+	"govfm/internal/pmp"
+)
+
+// TestErrorPaths: the IOPMP register file only decodes naturally-aligned
+// 64-bit accesses inside the cfg and addr windows; everything else is
+// refused, and refused stores leave the entry file untouched.
+func TestErrorPaths(t *testing.T) {
+	p := New(8)
+	p.Store(AddrOff, 8, 0xABCD)
+
+	rejects := []struct {
+		name string
+		off  uint64
+		size int
+	}{
+		{"cfg word", CfgOff, 4},
+		{"cfg byte", CfgOff, 1},
+		{"addr word", AddrOff, 4},
+		{"addr misaligned", AddrOff + 4, 8},
+		{"addr past entries", AddrOff + 8*8, 8},
+		{"gap between cfg and addr", CfgOff + 0x80, 8},
+		{"past device", Size, 8},
+	}
+	for _, tc := range rejects {
+		if _, ok := p.Load(tc.off, tc.size); ok {
+			t.Errorf("%s: Load(%#x,%d) accepted", tc.name, tc.off, tc.size)
+		}
+		if ok := p.Store(tc.off, tc.size, ^uint64(0)); ok {
+			t.Errorf("%s: Store(%#x,%d) accepted", tc.name, tc.off, tc.size)
+		}
+	}
+	if v, _ := p.Load(AddrOff, 8); v != 0xABCD {
+		t.Errorf("addr entry changed by rejected stores: %#x", v)
+	}
+	if v, _ := p.Load(CfgOff, 8); v != 0 {
+		t.Errorf("cfg changed by rejected stores: %#x", v)
+	}
+}
+
+// TestLockedEntryRejectsMMIOWrites: once an entry's lock bit is set, MMIO
+// stores to its cfg and addr are accepted by the decoder (the register
+// exists) but the WARL filter discards the new values.
+func TestLockedEntryRejectsMMIOWrites(t *testing.T) {
+	p := New(8)
+	p.Store(AddrOff, 8, 0x100)
+	p.Store(CfgOff, 8, uint64(pmp.CfgL|pmp.CfgR|pmp.ANapot<<3))
+	cfgBefore, _ := p.Load(CfgOff, 8)
+
+	if ok := p.Store(AddrOff, 8, 0x999); !ok {
+		t.Fatal("addr store rejected at decode")
+	}
+	if v, _ := p.Load(AddrOff, 8); v != 0x100 {
+		t.Errorf("locked addr overwritten: %#x", v)
+	}
+	if ok := p.Store(CfgOff, 8, 0); !ok {
+		t.Fatal("cfg store rejected at decode")
+	}
+	if v, _ := p.Load(CfgOff, 8); v != cfgBefore {
+		t.Errorf("locked cfg overwritten: %#x -> %#x", cfgBefore, v)
+	}
+}

@@ -1,0 +1,70 @@
+package plic
+
+import "testing"
+
+// TestErrorPaths pins the rejection behavior the bus relies on to raise
+// access faults: misaligned or wrong-size accesses, offsets outside any
+// register, and writes to read-only state must all return !ok — and a
+// rejected or read-only write must leave the device state untouched.
+func TestErrorPaths(t *testing.T) {
+	p := New(1) // one hart = two contexts (M and S)
+	p.Raise(3)
+	p.Store(PriorityOff+4*3, 4, 7)
+
+	rejects := []struct {
+		name string
+		off  uint64
+		size int
+	}{
+		{"misaligned priority", PriorityOff + 2, 4},
+		{"wide priority", PriorityOff, 8},
+		{"byte priority", PriorityOff, 1},
+		{"misaligned pending", PendingOff + 1, 4},
+		{"gap after pending", PendingOff + 8, 4},
+		{"gap before context", EnableOff + 0x80*2, 4},
+		{"context past last", ContextOff + 2*ContextSize, 4},
+		{"context hole", ContextOff + 8, 4},
+	}
+	for _, tc := range rejects {
+		if _, ok := p.Load(tc.off, tc.size); ok {
+			t.Errorf("%s: Load(%#x,%d) accepted", tc.name, tc.off, tc.size)
+		}
+		if ok := p.Store(tc.off, tc.size, ^uint64(0)); ok {
+			t.Errorf("%s: Store(%#x,%d) accepted", tc.name, tc.off, tc.size)
+		}
+	}
+
+	// Pending is read-only: the store must be refused and the bitmap keep
+	// the raised line.
+	if ok := p.Store(PendingOff, 4, 0); ok {
+		t.Error("store to read-only pending register accepted")
+	}
+	if v, _ := p.Load(PendingOff, 4); v != 1<<3 {
+		t.Errorf("pending changed by rejected store: %#x", v)
+	}
+	// And the rejected stores above must not have scribbled on priorities.
+	if v, _ := p.Load(PriorityOff+4*3, 4); v != 7 {
+		t.Errorf("priority changed by rejected store: %d", v)
+	}
+}
+
+// TestCompleteOutOfRangeSource: a claim/complete write naming a source
+// beyond the implemented range decodes (the register exists) but must not
+// touch the claim state.
+func TestCompleteOutOfRangeSource(t *testing.T) {
+	p := New(1)
+	p.Store(PriorityOff+4*3, 4, 5)
+	p.Store(EnableOff, 4, 1<<3)
+	p.Raise(3)
+	if irq, _ := p.Load(ContextOff+4, 4); irq != 3 {
+		t.Fatalf("claim = %d, want 3", irq)
+	}
+	// Complete a bogus source: accepted as a store, no effect.
+	if ok := p.Store(ContextOff+4, 4, uint64(MaxSources)+10); !ok {
+		t.Error("complete register write rejected")
+	}
+	// Source 3 is still claimed, so it must not be offered again.
+	if irq, _ := p.Load(ContextOff+4, 4); irq != 0 {
+		t.Errorf("claimed source re-offered after bogus complete: %d", irq)
+	}
+}

@@ -1,0 +1,44 @@
+package uart
+
+import "testing"
+
+// TestErrorPaths: accesses past the register window or with unsupported
+// widths are refused (the bus turns !ok into an access fault); writes to
+// the read-only LSR are swallowed without corrupting line status.
+func TestErrorPaths(t *testing.T) {
+	u := New()
+
+	for _, size := range []int{2, 8} {
+		if _, ok := u.Load(RBR, size); ok {
+			t.Errorf("Load(RBR,%d) accepted unsupported width", size)
+		}
+		if ok := u.Store(RBR, size, 'x'); ok {
+			t.Errorf("Store(RBR,%d) accepted unsupported width", size)
+		}
+	}
+	for _, off := range []uint64{Size, Size + 4, 1 << 20} {
+		if _, ok := u.Load(off, 1); ok {
+			t.Errorf("Load(%#x) accepted out-of-range offset", off)
+		}
+		if ok := u.Store(off, 1, 0); ok {
+			t.Errorf("Store(%#x) accepted out-of-range offset", off)
+		}
+	}
+
+	// A rejected store must not have transmitted anything.
+	if u.Output() != "" {
+		t.Errorf("rejected stores leaked into tx: %q", u.Output())
+	}
+
+	// LSR is read-only in effect: stores are swallowed and line status
+	// still reflects reality (tx empty, data ready once fed).
+	u.Store(LSR, 1, 0)
+	if v, _ := u.Load(LSR, 1); v&LSRTxEmpty == 0 {
+		t.Error("LSR store clobbered TxEmpty")
+	}
+	u.Feed([]byte{'a'})
+	u.Store(LSR, 1, 0)
+	if v, _ := u.Load(LSR, 1); v&LSRDataReady == 0 {
+		t.Error("LSR store clobbered DataReady")
+	}
+}

@@ -10,6 +10,7 @@ import (
 // entry with the PC still pointing at the faulting instruction.
 func (h *Hart) execute(raw uint32) {
 	h.charge(h.Cfg.Cost.Instr)
+	mode := h.Mode // retirement mode: sret/mret change h.Mode mid-execute
 	next := h.PC + 4
 	var ei *Exc
 
@@ -210,6 +211,9 @@ func (h *Hart) execute(raw uint32) {
 	}
 	h.PC = next
 	h.Instret++
+	if mode == rv.ModeS {
+		h.SInstret++
+	}
 }
 
 func boolTo64(b bool) uint64 {

@@ -12,12 +12,21 @@
 package hart
 
 import (
+	"errors"
 	"fmt"
 
 	"govfm/internal/mem"
 	"govfm/internal/mmu"
 	"govfm/internal/rv"
 )
+
+// ErrLockup is the halt reason for a hart sleeping in WFI with every
+// interrupt source masked (mie == 0): no event can ever wake it, so
+// continuing to simulate only burns the step budget. The condition is
+// checked on the idle poll, not at WFI retirement, so a wfi immediately
+// followed by an interrupt-enable update (checked by a re-entered monitor,
+// for example) is not misflagged.
+var ErrLockup = errors.New("wfi with all interrupts masked: no wakeup possible")
 
 // Monitor is M-mode software implemented in Go. HandleMTrap is invoked
 // after the architectural M-mode trap entry has completed (mepc/mcause/
@@ -52,6 +61,10 @@ type Hart struct {
 
 	Cycles  uint64
 	Instret uint64
+	// SInstret counts instructions retired in S-mode. It is the OS
+	// forward-progress signal the chaos harness asserts on: injected
+	// firmware faults must not stop it from increasing.
+	SInstret uint64
 
 	// Waiting is set while the hart sleeps in WFI.
 	Waiting bool
@@ -64,6 +77,10 @@ type Hart struct {
 
 	// Monitor, when non-nil, receives all M-mode traps.
 	Monitor Monitor
+	// Watchdog, when non-nil, runs after every machine step of this hart;
+	// the monitor uses it to charge the firmware's cycle budget outside
+	// the trap path (a runaway firmware takes no traps to observe).
+	Watchdog func(h *Hart)
 	// TimeFn supplies mtime for the time CSR and the Sstc comparator.
 	TimeFn func() uint64
 
@@ -279,6 +296,10 @@ func (h *Hart) Step() {
 		if h.CSR.Mip(h.Time())&h.CSR.Mie != 0 {
 			h.Waiting = false
 		} else {
+			if h.CSR.Mie == 0 {
+				h.Halt(ErrLockup.Error())
+				return
+			}
 			h.charge(h.Cfg.Cost.WFIIdle)
 			return
 		}

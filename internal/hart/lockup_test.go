@@ -1,0 +1,50 @@
+package hart
+
+import (
+	"strings"
+	"testing"
+
+	"govfm/internal/asm"
+	"govfm/internal/rv"
+)
+
+// TestWFILockupHalts: wfi with mie == 0 can never wake; the machine must
+// detect the lockup and halt with a diagnostic rather than spin forever.
+func TestWFILockupHalts(t *testing.T) {
+	m, h := run(t, 10_000, func(a *asm.Asm) {
+		a.Csrw(rv.CSRMie, asm.X0)
+		a.Wfi()
+		exit(a) // unreachable
+	})
+	halted, reason := m.Halted()
+	if !halted {
+		t.Fatal("machine did not halt on a hopeless wfi")
+	}
+	if !strings.Contains(reason, ErrLockup.Error()) {
+		t.Errorf("halt reason %q does not name the lockup", reason)
+	}
+	if reason == "guest-exit-pass" {
+		t.Error("the instruction after wfi must never execute")
+	}
+	if !h.Halted {
+		t.Error("hart not marked halted")
+	}
+}
+
+// TestWFIWithEnabledSourceDoesNotLockup: the lockup detector must not fire
+// when a wakeup source is armed — here a timer interrupt that eventually
+// pends and resumes execution (mstatus.MIE stays 0, so no trap is taken).
+func TestWFIWithEnabledSourceDoesNotLockup(t *testing.T) {
+	m, _ := run(t, 200_000, func(a *asm.Asm) {
+		a.Li(asm.S1, ClintBase+0xBFF8)
+		a.Ld(asm.T1, asm.S1, 0)
+		a.Addi(asm.T1, asm.T1, 20)
+		a.Li(asm.S2, ClintBase+0x4000)
+		a.Sd(asm.T1, asm.S2, 0)
+		a.Li(asm.T2, 1<<rv.IntMTimer)
+		a.Csrw(rv.CSRMie, asm.T2)
+		a.Wfi()
+		exit(a)
+	})
+	mustHalt(t, m)
+}

@@ -151,6 +151,9 @@ func (m *Machine) Step() {
 		before := h.Cycles
 		h.CSR.SetHWLines(m.Clint.Pending(h.ID) | m.Plic.Pending(h.ID))
 		h.Step()
+		if h.Watchdog != nil {
+			h.Watchdog(h)
+		}
 		if c := h.Cycles - before; c > maxConsumed {
 			maxConsumed = c
 		}

@@ -11,11 +11,12 @@ import (
 // test case, so each case starts from a bit-identical machine regardless
 // of what the previous case did.
 type Snapshot struct {
-	Regs    [32]uint64
-	PC      uint64
-	Mode    uint64
-	Cycles  uint64
-	Instret uint64
+	Regs     [32]uint64
+	PC       uint64
+	Mode     uint64
+	Cycles   uint64
+	Instret  uint64
+	SInstret uint64
 
 	Waiting    bool
 	Stopped    bool
@@ -51,6 +52,7 @@ func (h *Hart) Checkpoint() *Snapshot {
 		Mode:       uint64(h.Mode),
 		Cycles:     h.Cycles,
 		Instret:    h.Instret,
+		SInstret:   h.SInstret,
 		Waiting:    h.Waiting,
 		Stopped:    h.Stopped,
 		Halted:     h.Halted,
@@ -71,6 +73,7 @@ func (h *Hart) Restore(s *Snapshot) {
 	h.Mode = rv.Mode(s.Mode)
 	h.Cycles = s.Cycles
 	h.Instret = s.Instret
+	h.SInstret = s.SInstret
 	h.Waiting = s.Waiting
 	h.Stopped = s.Stopped
 	h.Halted = s.Halted

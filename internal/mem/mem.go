@@ -63,6 +63,24 @@ func (r *Region) Contains(addr uint64, size int) bool {
 // machine serializes hart steps (see internal/hart.Machine).
 type Bus struct {
 	regions []*Region // sorted by base
+
+	// failDev makes the next N device accesses return a bus error, as a
+	// flaky peripheral would. Fault-injection harnesses arm it through
+	// InjectDeviceFaults; RAM accesses are never affected.
+	failDev int
+}
+
+// InjectDeviceFaults arms the bus to reject the next n device (MMIO)
+// accesses as bus errors. RAM is unaffected. Passing 0 disarms.
+func (b *Bus) InjectDeviceFaults(n int) { b.failDev = n }
+
+// takeDevFault consumes one armed device fault, if any.
+func (b *Bus) takeDevFault() bool {
+	if b.failDev > 0 {
+		b.failDev--
+		return true
+	}
+	return false
 }
 
 // NewBus returns an empty address space.
@@ -125,6 +143,9 @@ func (b *Bus) Load(addr uint64, size int) (uint64, bool) {
 		return 0, false
 	}
 	if r.Dev != nil {
+		if b.takeDevFault() {
+			return 0, false
+		}
 		return r.Dev.Load(addr-r.Base, size)
 	}
 	off := addr - r.Base
@@ -148,6 +169,9 @@ func (b *Bus) Store(addr uint64, size int, value uint64) bool {
 		return false
 	}
 	if r.Dev != nil {
+		if b.takeDevFault() {
+			return false
+		}
 		return r.Dev.Store(addr-r.Base, size, value)
 	}
 	off := addr - r.Base

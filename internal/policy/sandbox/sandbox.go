@@ -222,6 +222,17 @@ func (p *Policy) OnFirmwareTrap(c *core.HartCtx, cause, tval uint64) core.Action
 	return core.ActDefault
 }
 
+// OnFirmwareMisbehavior implements core.Policy: a contained firmware fault
+// (double fault, lockup, watchdog expiry, monitor panic) counts as a
+// violation — the sandbox's job is to keep a misbehaving firmware from
+// taking the OS down with it, so the default containment (restart or
+// degraded mode) is exactly the right response.
+func (p *Policy) OnFirmwareMisbehavior(c *core.HartCtx, f *core.MonitorFault) core.Action {
+	p.Violations++
+	p.opt.Log("sandbox: firmware misbehavior: %v", f)
+	return core.ActDefault
+}
+
 func (p *Policy) inSandboxedRange(c *core.HartCtx, addr uint64) bool {
 	if p.lockedDown && addr >= p.opt.OSBase && addr < p.opt.OSBase+p.opt.OSSize {
 		return true

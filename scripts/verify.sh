@@ -26,4 +26,7 @@ fi
 echo "== fuzzdiff smoke"
 go run ./cmd/fuzzdiff -smoke
 
+echo "== chaos smoke"
+go run ./cmd/chaos -smoke
+
 echo "verify: all gates passed"
