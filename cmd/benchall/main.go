@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	benchall [-only fig3,table4,table5,fig10,fig11,fig12,fig13,fig14,boot,ablation,rva23]
+//	benchall [-only fig3,table4,table5,fig10,fig11,fig12,fig13,fig14,boot,ablation,rva23,simhost]
+//	         [-simhost-out BENCH_simhost.json] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"govfm/internal/bench"
@@ -20,7 +24,37 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments")
+	simhostOut := flag.String("simhost-out", "BENCH_simhost.json", "simhost JSON output path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -167,4 +201,55 @@ func main() {
 		fmt.Println("fast-path offloading on RVA23-class CPUs")
 		fmt.Println()
 	}
+
+	if sel("simhost") {
+		fmt.Println("================================================================")
+		fmt.Println("Simulator host throughput: fast paths off vs. on")
+		fmt.Printf("%-14s %-18s %10s %9s %9s %8s\n",
+			"platform", "workload", "instret", "MIPS-off", "MIPS-on", "speedup")
+		var all []*bench.SimHostResult
+		for _, mk := range []func() *hart.Config{hart.VisionFive2, hart.PremierP550} {
+			res, err := bench.SimHost(mk)
+			if err != nil {
+				fail(err)
+			}
+			for _, r := range res {
+				fmt.Printf("%-14s %-18s %10d %9.2f %9.2f %7.2fx\n",
+					r.Platform, r.Workload, r.Instret, r.MIPSOff, r.MIPSOn, r.Speedup)
+			}
+			all = append(all, res...)
+		}
+		fmt.Printf("geomean speedup: %.2fx (simulated cycles bit-identical in every row)\n", bench.GeomeanSpeedup(all))
+		if err := writeSimHostJSON(*simhostOut, all); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *simhostOut)
+		fmt.Println()
+	}
+}
+
+// writeSimHostJSON emits the simhost results as a JSON report for the
+// repository's BENCH_simhost.json artifact.
+func writeSimHostJSON(path string, results []*bench.SimHostResult) error {
+	report := struct {
+		Note           string                 `json:"note"`
+		GOOS           string                 `json:"goos"`
+		GOARCH         string                 `json:"goarch"`
+		NumCPU         int                    `json:"num_cpu"`
+		GeomeanSpeedup float64                `json:"geomean_speedup"`
+		Results        []*bench.SimHostResult `json:"results"`
+	}{
+		Note: "host throughput with acceleration caches off vs. on; " +
+			"cycles/instret are asserted bit-identical between settings",
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		GeomeanSpeedup: bench.GeomeanSpeedup(results),
+		Results:        results,
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -46,12 +46,14 @@ func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("fuzzdiff", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		seed    = fs.Int64("seed", 1, "fuzzer seed")
-		budget  = fs.Int("budget", 200_000, "total lockstep steps per profile")
-		smoke   = fs.Bool("smoke", false, "fixed-seed smoke run: 100k+ steps across both profiles, used as a CI gate")
-		profile = fs.String("profile", "all", "platform profile: vf2, p550, or all")
-		repros  = fs.String("repros", "internal/verif/fuzz/testdata/repros", "directory for minimized reproducer files")
-		injectN = fs.Int("inject", 0, "fault-injection mode: run N randomized cases with containment armed instead of lockstep fuzzing")
+		seed     = fs.Int64("seed", 1, "fuzzer seed")
+		budget   = fs.Int("budget", 200_000, "total lockstep steps per profile")
+		smoke    = fs.Bool("smoke", false, "fixed-seed smoke run: 100k+ steps across both profiles, used as a CI gate")
+		profile  = fs.String("profile", "all", "platform profile: vf2, p550, or all")
+		repros   = fs.String("repros", "internal/verif/fuzz/testdata/repros", "directory for minimized reproducer files")
+		injectN  = fs.Int("inject", 0, "fault-injection mode: run N randomized cases with containment armed instead of lockstep fuzzing")
+		fastpath = fs.String("fastpath", "on", "host acceleration caches: on, off, or both (both = equivalence mode, every case run fast and slow and compared)")
+		equivN   = fs.Int("equiv-cases", 1000, "cases per profile in -fastpath=both equivalence mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +72,16 @@ func run(args []string, out, errw io.Writer) int {
 
 	if *injectN > 0 {
 		return runInject(profiles, *seed, *injectN, out, errw)
+	}
+
+	switch *fastpath {
+	case "on", "off":
+		fuzz.DefaultFastPath = *fastpath == "on"
+	case "both":
+		return runEquiv(profiles, *seed, *equivN, out, errw)
+	default:
+		fmt.Fprintf(errw, "fuzzdiff: unknown -fastpath %q (want on, off, or both)\n", *fastpath)
+		return 2
 	}
 
 	rawFindings := 0
@@ -124,6 +136,27 @@ func runInject(profiles []string, seed int64, cases int, out, errw io.Writer) in
 		}
 	}
 	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runEquiv drives the fastpath-equivalence mode: each case runs twice, with
+// host caches on and off, and any architectural or cycle-count divergence
+// is a failure.
+func runEquiv(profiles []string, seed int64, cases int, out, errw io.Writer) int {
+	t0 := time.Now()
+	st, err := fuzz.RunEquivalence(profiles, seed, cases)
+	if err != nil {
+		fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "fastpath-equivalence: %d cases, %d lockstep steps, %d divergence(s) across %d profile(s) in %.1fs\n",
+		st.Cases, st.Steps, len(st.Mismatches), len(profiles), time.Since(t0).Seconds())
+	for _, m := range st.Mismatches {
+		fmt.Fprintf(out, "  DIVERGENCE %s\n", m)
+	}
+	if len(st.Mismatches) > 0 {
 		return 1
 	}
 	return 0

@@ -5,13 +5,16 @@
 // Usage:
 //
 //	rvsim -image prog.bin [-base 0x80100000] [-platform visionfive2]
-//	      [-harts 1] [-max-steps N] [-trace]
+//	      [-harts 1] [-max-steps N] [-trace] [-fastpath=true]
+//	      [-cpuprofile prof.out] [-memprofile heap.out]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"govfm/internal/core"
 	"govfm/internal/hart"
@@ -25,7 +28,23 @@ func main() {
 	harts := flag.Int("harts", 1, "core count")
 	maxSteps := flag.Uint64("max-steps", 100_000_000, "step budget")
 	traceTraps := flag.Bool("trace", false, "print every trap")
+	fastpath := flag.Bool("fastpath", true, "enable host acceleration caches")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *image == "" {
 		fmt.Fprintln(os.Stderr, "rvsim: -image is required")
@@ -63,6 +82,7 @@ func main() {
 		}
 	}
 	m.Reset(*base)
+	m.SetFastPath(*fastpath)
 	steps, halted := m.Run(*maxSteps)
 
 	fmt.Printf("console:\n%s\n", m.Uart.Output())
@@ -71,7 +91,20 @@ func main() {
 	for _, h := range m.Harts {
 		fmt.Printf("%v instret=%d\n", h, h.Instret)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 	if !halted || reason != "guest-exit-pass" {
+		pprof.StopCPUProfile() // flush before the non-deferred exit
 		os.Exit(1)
 	}
 }

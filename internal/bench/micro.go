@@ -124,25 +124,37 @@ func buildIPIKernel(base uint64, n int) []byte {
 	return a.MustAssemble()
 }
 
-// runFirmwareImage boots a raw firmware image (no OS) and returns hart-0
-// cycles at halt.
-func runFirmwareImage(cfg *hart.Config, img []byte, virtualize bool) (uint64, error) {
+// setupFirmwareImage builds a machine with a raw firmware image loaded
+// (no OS), booted through the monitor when virtualize is set, ready to run.
+// Construction is separated from execution so host-throughput measurements
+// can time the run loop alone.
+func setupFirmwareImage(cfg *hart.Config, img []byte, virtualize bool) (*hart.Machine, error) {
 	cfg.Harts = 1
 	m, err := hart.NewMachine(cfg, core.DramSize)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := m.LoadImage(core.FirmwareBase, img); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if virtualize {
 		mon, err := core.Attach(m, core.Options{FirmwareEntry: core.FirmwareBase})
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		mon.Boot()
 	} else {
 		m.Reset(core.FirmwareBase)
+	}
+	return m, nil
+}
+
+// runFirmwareImage boots a raw firmware image (no OS) and returns hart-0
+// cycles at halt.
+func runFirmwareImage(cfg *hart.Config, img []byte, virtualize bool) (uint64, error) {
+	m, err := setupFirmwareImage(cfg, img, virtualize)
+	if err != nil {
+		return 0, err
 	}
 	m.Run(500_000_000)
 	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
@@ -151,34 +163,44 @@ func runFirmwareImage(cfg *hart.Config, img []byte, virtualize bool) (uint64, er
 	return m.Harts[0].Cycles, nil
 }
 
-// runKernelImage boots gosbi + a kernel image in the given mode and
-// returns hart-0 cycles at halt.
-func runKernelImage(newCfg func() *hart.Config, kern []byte, mode Mode) (uint64, error) {
+// setupKernelImage builds a machine with gosbi + a kernel image loaded in
+// the given mode, ready to run.
+func setupKernelImage(newCfg func() *hart.Config, kern []byte, mode Mode) (*hart.Machine, error) {
 	cfg := newCfg()
 	cfg.Harts = 1
 	m, err := hart.NewMachine(cfg, core.DramSize)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	fw := firmware.BuildGosbi(core.FirmwareBase, firmware.Options{
 		OSEntry: core.OSBase, Harts: 1, FirmwareSize: core.FirmwareSize,
 	})
 	if err := m.LoadImage(core.FirmwareBase, fw.Bytes); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := m.LoadImage(core.OSBase, kern); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if mode != Native {
 		mon, err := core.Attach(m, core.Options{
 			Offload: mode == Miralis, FirmwareEntry: core.FirmwareBase,
 		})
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		mon.Boot()
 	} else {
 		m.Reset(core.FirmwareBase)
+	}
+	return m, nil
+}
+
+// runKernelImage boots gosbi + a kernel image in the given mode and
+// returns hart-0 cycles at halt.
+func runKernelImage(newCfg func() *hart.Config, kern []byte, mode Mode) (uint64, error) {
+	m, err := setupKernelImage(newCfg, kern, mode)
+	if err != nil {
+		return 0, err
 	}
 	m.Run(2_000_000_000)
 	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {

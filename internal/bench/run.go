@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"govfm/internal/core"
 	"govfm/internal/firmware"
@@ -46,6 +47,8 @@ type Metrics struct {
 	Cycles   uint64  // hart-0 cycles to completion
 	Instret  uint64  // retired guest instructions
 	SimTime  float64 // seconds of simulated time (cycles / frequency)
+	HostNs   int64   // host wall time of the run loop (excludes setup)
+	MIPS     float64 // host throughput: retired instructions / host µs
 	TrapsToM uint64  // traps that entered M-mode
 	TrapRate float64 // traps to M per simulated second
 
@@ -114,7 +117,9 @@ func (r *Runner) Run(w *WorkloadSpec, mode Mode) (*Metrics, error) {
 	if maxSteps == 0 {
 		maxSteps = 2_000_000_000
 	}
+	hostStart := time.Now()
 	m.Run(maxSteps)
+	hostNs := time.Since(hostStart).Nanoseconds()
 	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
 		return nil, fmt.Errorf("bench %s/%s: run did not complete cleanly: %v %q (pc=%#x)",
 			w.Name, mode, ok, reason, m.Harts[0].PC)
@@ -128,6 +133,7 @@ func (r *Runner) Run(w *WorkloadSpec, mode Mode) (*Metrics, error) {
 		Cycles:      h.Cycles,
 		Instret:     h.Instret,
 		SimTime:     float64(h.Cycles) / (float64(cfg.FreqMHz) * 1e6),
+		HostNs:      hostNs,
 		TrapsToM:    col.TrapsToM,
 		Collector:   col,
 		Monitor:     mon,
@@ -136,6 +142,9 @@ func (r *Runner) Run(w *WorkloadSpec, mode Mode) (*Metrics, error) {
 	}
 	if met.SimTime > 0 {
 		met.TrapRate = float64(col.TrapsToM) / met.SimTime
+	}
+	if hostNs > 0 {
+		met.MIPS = float64(h.Instret) * 1e3 / float64(hostNs)
 	}
 	met.TopCauseShare = col.TopShare()
 	if mon != nil {

@@ -55,7 +55,9 @@ func (m *Monitor) switchWorld(ctx *HartCtx, to World) {
 	m.installPhysCSRs(ctx, to)
 	m.installPMP(ctx, to)
 	ctx.Hart.ChargeCycles(ctx.Hart.Cfg.Cost.TLBFlush)
-	m.trace("world-switch:"+to.String(), ctx)
+	if m.Opts.Trace != nil { // skip building the event string when nobody listens
+		m.trace("world-switch:"+to.String(), ctx)
+	}
 }
 
 // saveOSState loads the physical S-mode CSRs into the virtual copies
@@ -285,8 +287,12 @@ func (m *Monitor) installPMP(ctx *HartCtx, to World) {
 
 	// Rebuild the protection-only view used by MPRV emulation: the same
 	// self/device/policy entries, backed by an allow-all entry so only the
-	// monitor's and policy's protections decide.
-	pf := pmp.NewFile(PolicySlots + 3)
+	// monitor's and policy's protections decide. The file is reused across
+	// world switches (every entry below is rewritten each time).
+	pf := ctx.protFile
+	if pf == nil {
+		pf = pmp.NewFile(PolicySlots + 3)
+	}
 	pf.ForceAddr(0, pmp.NAPOTAddr(MiralisBase, MiralisSize))
 	pf.ForceCfg(0, pmp.ANapot<<3)
 	pf.ForceAddr(1, pmp.NAPOTAddr(clintBase, clintSize))
@@ -295,6 +301,9 @@ func (m *Monitor) installPMP(ctx *HartCtx, to World) {
 		if i < len(rules) {
 			pf.ForceAddr(2+i, rules[i].Addr)
 			pf.ForceCfg(2+i, rules[i].Cfg)
+		} else {
+			pf.ForceCfg(2+i, 0)
+			pf.ForceAddr(2+i, 0)
 		}
 	}
 	pf.ForceAddr(2+PolicySlots, rv.Mask(54))

@@ -31,6 +31,14 @@ type Plic struct {
 	claimed   uint32
 	enable    []uint32 // one word per context
 	threshold []uint32
+
+	// Pending() runs before every machine step, so its per-hart result is
+	// memoized and invalidated on any state change (register write, claim,
+	// Raise/Lower). The cache is gated so a fastpath-off run keeps the
+	// original per-step scan as the timing-neutral reference behaviour.
+	cacheOn bool
+	pend    []uint64 // per hart
+	pendOK  []bool
 }
 
 // New returns a PLIC with two contexts (M and S) per hart.
@@ -40,6 +48,23 @@ func New(nHarts int) *Plic {
 		nCtx:      n,
 		enable:    make([]uint32, n),
 		threshold: make([]uint32, n),
+		cacheOn:   true,
+		pend:      make([]uint64, nHarts),
+		pendOK:    make([]bool, nHarts),
+	}
+}
+
+// SetCache enables or disables the Pending memoization (a host-side
+// accelerator with no architectural effect).
+func (p *Plic) SetCache(on bool) {
+	p.cacheOn = on
+	p.invalidate()
+}
+
+// invalidate drops all memoized Pending results.
+func (p *Plic) invalidate() {
+	for i := range p.pendOK {
+		p.pendOK[i] = false
 	}
 }
 
@@ -50,6 +75,7 @@ func (p *Plic) Name() string { return "plic" }
 func (p *Plic) Raise(irq int) {
 	if irq > 0 && irq < MaxSources {
 		p.pending |= 1 << irq
+		p.invalidate()
 	}
 }
 
@@ -57,6 +83,7 @@ func (p *Plic) Raise(irq int) {
 func (p *Plic) Lower(irq int) {
 	if irq > 0 && irq < MaxSources {
 		p.pending &^= 1 << irq
+		p.invalidate()
 	}
 }
 
@@ -75,12 +102,19 @@ func (p *Plic) best(ctx int) int {
 
 // Pending returns the mip bits (MEIP and/or SEIP) the PLIC asserts for hart.
 func (p *Plic) Pending(hart int) uint64 {
+	if p.cacheOn && hart < len(p.pendOK) && p.pendOK[hart] {
+		return p.pend[hart]
+	}
 	var bitsOut uint64
 	if 2*hart < p.nCtx && p.best(2*hart) != 0 {
 		bitsOut |= 1 << rv.IntMExt
 	}
 	if 2*hart+1 < p.nCtx && p.best(2*hart+1) != 0 {
 		bitsOut |= 1 << rv.IntSExt
+	}
+	if p.cacheOn && hart < len(p.pendOK) {
+		p.pend[hart] = bitsOut
+		p.pendOK[hart] = true
 	}
 	return bitsOut
 }
@@ -113,6 +147,7 @@ func (p *Plic) Load(off uint64, size int) (uint64, bool) {
 			irq := p.best(ctx)
 			if irq != 0 {
 				p.claimed |= 1 << irq
+				p.invalidate()
 			}
 			return uint64(irq), true
 		}
@@ -125,6 +160,7 @@ func (p *Plic) Store(off uint64, size int, v uint64) bool {
 	if size != 4 || off%4 != 0 {
 		return false
 	}
+	p.invalidate() // every successful store below can change Pending
 	switch {
 	case off < PriorityOff+4*MaxSources:
 		p.priority[off/4] = uint32(v)

@@ -791,7 +791,11 @@ func buildGosbiExtWalk(a *asm.Asm) {
 }
 
 func buildGosbiData(a *asm.Asm, nharts int) {
-	a.Align(8)
+	// Page-align the read-write data (the usual .text/.data split of a
+	// linker script): the trap frame is stored on every trap, and if it
+	// shared a 4KiB page with the handler text each save would invalidate
+	// the simulator's predecoded-page cache for the hottest code page.
+	a.Align(4096)
 	a.Label("ext_table")
 	a.Space(8 * 8)
 	a.Label("scratch")

@@ -73,7 +73,7 @@ func (h *Hart) csrPermitted(n uint16) bool {
 // csrRead returns the CSR value or an illegal-instruction exception.
 func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
 	if !h.csrExists(n) || !h.csrPermitted(n) {
-		return 0, exc(rv.ExcIllegalInstr, 0)
+		return 0, h.exc(rv.ExcIllegalInstr, 0)
 	}
 	c := &h.CSR
 	switch n {
@@ -208,14 +208,14 @@ func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
 	if v, ok := c.Custom[n]; ok {
 		return v, nil
 	}
-	return 0, exc(rv.ExcIllegalInstr, 0)
+	return 0, h.exc(rv.ExcIllegalInstr, 0)
 }
 
 // csrWrite stores a value into the CSR, applying WARL legalization, or
 // returns an illegal-instruction exception.
 func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
 	if !h.csrExists(n) || !h.csrPermitted(n) || rv.CSRReadOnly(n) {
-		return exc(rv.ExcIllegalInstr, 0)
+		return h.exc(rv.ExcIllegalInstr, 0)
 	}
 	c := &h.CSR
 	switch n {
@@ -288,6 +288,7 @@ func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
 	case rv.CSRSatp:
 		c.WriteSatp(v)
 		h.charge(h.Cfg.Cost.TLBFlush)
+		h.flushTLB()
 	case rv.CSRStimecmp:
 		c.Stimecmp = v
 	case rv.CSRHstatus:
@@ -350,7 +351,7 @@ func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
 			c.Custom[n] = v
 			return nil
 		}
-		return exc(rv.ExcIllegalInstr, 0)
+		return h.exc(rv.ExcIllegalInstr, 0)
 	}
 	return nil
 }

@@ -5,37 +5,40 @@ import (
 	"govfm/internal/rv"
 )
 
-// execute decodes and executes one instruction. On success it retires the
+// execute decodes and executes one instruction (the slow-path entry;
+// fetchFast hands exec a cached predecoded record directly).
+func (h *Hart) execute(raw uint32) {
+	d := rv.Decode(raw)
+	h.exec(&d)
+}
+
+// exec executes one predecoded instruction. On success it retires the
 // instruction (PC and instret update); on an exception it performs trap
 // entry with the PC still pointing at the faulting instruction.
-func (h *Hart) execute(raw uint32) {
+func (h *Hart) exec(d *rv.Decoded) {
 	h.charge(h.Cfg.Cost.Instr)
 	mode := h.Mode // retirement mode: sret/mret change h.Mode mid-execute
 	next := h.PC + 4
 	var ei *Exc
 
-	op := rv.OpcodeOf(raw)
-	rd := rv.RdOf(raw)
-	rs1 := rv.Rs1Of(raw)
-	rs2 := rv.Rs2Of(raw)
-	f3 := rv.Funct3Of(raw)
-	f7 := rv.Funct7Of(raw)
+	raw := d.Raw
+	op, rd, rs1, rs2, f3, f7 := d.Op, d.Rd, d.Rs1, d.Rs2, d.F3, d.F7
 
 	switch op {
 	case rv.OpLui:
-		h.SetReg(rd, rv.ImmU(raw))
+		h.SetReg(rd, d.Imm)
 	case rv.OpAuipc:
-		h.SetReg(rd, h.PC+rv.ImmU(raw))
+		h.SetReg(rd, h.PC+d.Imm)
 	case rv.OpJal:
 		h.SetReg(rd, h.PC+4)
-		next = h.PC + rv.ImmJ(raw)
+		next = h.PC + d.Imm
 		h.charge(h.Cfg.Cost.Branch)
 	case rv.OpJalr:
 		if f3 != 0 {
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 			break
 		}
-		t := h.Reg(rs1) + rv.ImmI(raw)
+		t := h.Reg(rs1) + d.Imm
 		h.SetReg(rd, h.PC+4)
 		next = t &^ 1
 		h.charge(h.Cfg.Cost.Branch)
@@ -56,14 +59,14 @@ func (h *Hart) execute(raw uint32) {
 		case 7:
 			take = a >= b
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 		if ei == nil && take {
-			next = h.PC + rv.ImmB(raw)
+			next = h.PC + d.Imm
 			h.charge(h.Cfg.Cost.Branch)
 		}
 	case rv.OpLoad:
-		va := h.Reg(rs1) + rv.ImmI(raw)
+		va := h.Reg(rs1) + d.Imm
 		var v uint64
 		switch f3 {
 		case 0: // lb
@@ -81,28 +84,28 @@ func (h *Hart) execute(raw uint32) {
 		case 6: // lwu
 			v, ei = h.loadExt(va, 4, false)
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 		if ei == nil {
 			h.SetReg(rd, v)
 		}
 	case rv.OpStore:
-		va := h.Reg(rs1) + rv.ImmS(raw)
+		va := h.Reg(rs1) + d.Imm
 		switch f3 {
 		case 0, 1, 2, 3:
 			_, ei = h.MemAccess(va, 1<<f3, mem.Write, h.Reg(rs2), false)
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 	case rv.OpImm:
-		imm := rv.ImmI(raw)
+		imm := d.Imm
 		a := h.Reg(rs1)
 		switch f3 {
 		case 0:
 			h.SetReg(rd, a+imm)
 		case 1:
 			if raw>>26 != 0 {
-				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+				ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 				break
 			}
 			h.SetReg(rd, a<<(imm&63))
@@ -120,7 +123,7 @@ func (h *Hart) execute(raw uint32) {
 			case 0x10:
 				h.SetReg(rd, uint64(int64(a)>>sh))
 			default:
-				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+				ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 		case 6:
 			h.SetReg(rd, a|imm)
@@ -128,14 +131,14 @@ func (h *Hart) execute(raw uint32) {
 			h.SetReg(rd, a&imm)
 		}
 	case rv.OpImm32:
-		imm := rv.ImmI(raw)
+		imm := d.Imm
 		a := h.Reg(rs1)
 		switch f3 {
 		case 0: // addiw
 			h.SetReg(rd, rv.SignExtend(uint64(uint32(a+imm)), 32))
 		case 1: // slliw
 			if f7 != 0 {
-				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+				ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 				break
 			}
 			h.SetReg(rd, rv.SignExtend(uint64(uint32(a)<<(imm&31)), 32))
@@ -147,10 +150,10 @@ func (h *Hart) execute(raw uint32) {
 			case 0x20: // sraiw
 				h.SetReg(rd, rv.SignExtend(uint64(int32(a)>>sh), 32))
 			default:
-				ei = exc(rv.ExcIllegalInstr, uint64(raw))
+				ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 	case rv.OpReg:
 		a, b := h.Reg(rs1), h.Reg(rs2)
@@ -160,12 +163,12 @@ func (h *Hart) execute(raw uint32) {
 			h.SetReg(rd, mulDiv64(f3, a, b))
 		case f7 == 0x00 || f7 == 0x20:
 			var v uint64
-			v, ei = aluOp(f3, f7, a, b, raw)
+			v, ei = h.aluOp(f3, f7, a, b, raw)
 			if ei == nil {
 				h.SetReg(rd, v)
 			}
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 	case rv.OpReg32:
 		a, b := h.Reg(rs1), h.Reg(rs2)
@@ -173,25 +176,27 @@ func (h *Hart) execute(raw uint32) {
 		case f7 == 0x01: // M extension, word forms
 			h.charge(h.Cfg.Cost.MulDiv)
 			var v uint64
-			v, ei = mulDiv32(f3, a, b, raw)
+			v, ei = h.mulDiv32(f3, a, b, raw)
 			if ei == nil {
 				h.SetReg(rd, v)
 			}
 		case f7 == 0x00 || f7 == 0x20:
 			var v uint64
-			v, ei = aluOp32(f3, f7, a, b, raw)
+			v, ei = h.aluOp32(f3, f7, a, b, raw)
 			if ei == nil {
 				h.SetReg(rd, v)
 			}
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 	case rv.OpMiscMem:
 		switch f3 {
 		case 0: // fence: no-op in this memory model
-		case 1: // fence.i
+		case 1: // fence.i: synchronize the instruction stream with prior
+			// stores — for the host that means dropping predecoded pages.
+			h.flushDecode()
 		default:
-			ei = exc(rv.ExcIllegalInstr, uint64(raw))
+			ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 	case rv.OpAmo:
 		var v uint64
@@ -202,7 +207,7 @@ func (h *Hart) execute(raw uint32) {
 	case rv.OpSystem:
 		next, ei = h.system(raw, f3, rd, rs1, rs2, f7, next)
 	default:
-		ei = exc(rv.ExcIllegalInstr, uint64(raw))
+		ei = h.exc(rv.ExcIllegalInstr, uint64(raw))
 	}
 
 	if ei != nil {
@@ -234,7 +239,7 @@ func (h *Hart) loadExt(va uint64, size int, signed bool) (uint64, *Exc) {
 	return v, nil
 }
 
-func aluOp(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
+func (h *Hart) aluOp(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
 	switch {
 	case f3 == 0 && f7 == 0:
 		return a + b, nil
@@ -257,10 +262,10 @@ func aluOp(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
 	case f3 == 7 && f7 == 0:
 		return a & b, nil
 	}
-	return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+	return 0, h.exc(rv.ExcIllegalInstr, uint64(raw))
 }
 
-func aluOp32(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
+func (h *Hart) aluOp32(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
 	switch {
 	case f3 == 0 && f7 == 0:
 		return rv.SignExtend(uint64(uint32(a)+uint32(b)), 32), nil
@@ -273,7 +278,7 @@ func aluOp32(f3, f7 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
 	case f3 == 5 && f7 == 0x20:
 		return rv.SignExtend(uint64(int32(a)>>(b&31)), 32), nil
 	}
-	return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+	return 0, h.exc(rv.ExcIllegalInstr, uint64(raw))
 }
 
 func mulDiv64(f3 uint32, a, b uint64) uint64 {
@@ -316,7 +321,7 @@ func mulDiv64(f3 uint32, a, b uint64) uint64 {
 	return 0
 }
 
-func mulDiv32(f3 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
+func (h *Hart) mulDiv32(f3 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
 	x, y := int32(a), int32(b)
 	switch f3 {
 	case 0: // mulw
@@ -348,7 +353,7 @@ func mulDiv32(f3 uint32, a, b uint64, raw uint32) (uint64, *Exc) {
 		}
 		return rv.SignExtend(uint64(uint32(a)%uint32(b)), 32), nil
 	}
-	return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+	return 0, h.exc(rv.ExcIllegalInstr, uint64(raw))
 }
 
 // 128-bit high-multiply helpers.
@@ -402,13 +407,13 @@ func (h *Hart) amo(raw, f3 uint32, f5 uint32, rs1, rs2 uint32) (uint64, *Exc) {
 	case 3:
 		size = 8
 	default:
-		return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+		return 0, h.exc(rv.ExcIllegalInstr, uint64(raw))
 	}
 	va := h.Reg(rs1)
 	switch f5 {
 	case 0x02: // lr
 		if rs2 != 0 {
-			return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+			return 0, h.exc(rv.ExcIllegalInstr, uint64(raw))
 		}
 		v, ei := h.MemAccess(va, size, mem.Read, 0, true)
 		if ei != nil {
@@ -424,7 +429,7 @@ func (h *Hart) amo(raw, f3 uint32, f5 uint32, rs1, rs2 uint32) (uint64, *Exc) {
 			h.resValid = false
 			// Still must be a valid access; probe alignment.
 			if va%uint64(size) != 0 {
-				return 0, exc(rv.ExcStoreAddrMisaligned, va)
+				return 0, h.exc(rv.ExcStoreAddrMisaligned, va)
 			}
 			return 1, nil // failure
 		}
@@ -437,7 +442,7 @@ func (h *Hart) amo(raw, f3 uint32, f5 uint32, rs1, rs2 uint32) (uint64, *Exc) {
 	}
 	// Read-modify-write AMOs.
 	if _, ok := rv.AmoCompute(f5, size, 0, 0); !ok {
-		return 0, exc(rv.ExcIllegalInstr, uint64(raw))
+		return 0, h.exc(rv.ExcIllegalInstr, uint64(raw))
 	}
 	old, ei := h.MemAccess(va, size, mem.Read, 0, true)
 	if ei != nil {
@@ -468,38 +473,42 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 			default:
 				cause = rv.ExcEcallFromM
 			}
-			return next, exc(cause, 0)
+			return next, h.exc(cause, 0)
 		case raw == rv.InstrEbreak:
-			return next, exc(rv.ExcBreakpoint, h.PC)
+			return next, h.exc(rv.ExcBreakpoint, h.PC)
 		case raw == rv.InstrMret:
 			if h.Mode != rv.ModeM {
-				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 			h.ReturnMRET()
 			return h.PC, nil
 		case raw == rv.InstrSret:
 			if h.Mode == rv.ModeU ||
 				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTSR) != 0) {
-				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 			h.returnSRET()
 			return h.PC, nil
 		case raw == rv.InstrWfi:
 			if h.Mode == rv.ModeU ||
 				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTW) != 0) {
-				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 			h.Waiting = true
 			return next, nil
 		case f7 == rv.SfenceVMAFunct7 && rd == 0:
 			if h.Mode == rv.ModeU ||
 				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTVM) != 0) {
-				return next, exc(rv.ExcIllegalInstr, uint64(raw))
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 			h.charge(h.Cfg.Cost.TLBFlush)
+			// sfence.vma: drop cached translations. The host TLB has no
+			// per-vaddr/ASID precision, so specific forms flush globally —
+			// conservative, never wrong.
+			h.flushTLB()
 			return next, nil
 		}
-		return next, exc(rv.ExcIllegalInstr, uint64(raw))
+		return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 	}
 
 	// Zicsr.
@@ -512,7 +521,7 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 	case rv.F3Csrrs, rv.F3Csrrc, rv.F3Csrrsi, rv.F3Csrrci:
 		wantWrite, wantRead = rs1 != 0, true
 	default:
-		return next, exc(rv.ExcIllegalInstr, uint64(raw))
+		return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 	}
 	if f3 >= rv.F3Csrrwi {
 		operand = uint64(rs1) // zimm
@@ -521,11 +530,11 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 	}
 
 	if wantWrite && rv.CSRReadOnly(csr) {
-		return next, exc(rv.ExcIllegalInstr, uint64(raw))
+		return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 	}
 	old, ei := h.csrRead(csr)
 	if ei != nil {
-		return next, exc(ei.Cause, uint64(raw))
+		return next, h.exc(ei.Cause, uint64(raw))
 	}
 	if wantWrite {
 		var newVal uint64
@@ -538,7 +547,7 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 			newVal = old &^ operand
 		}
 		if ei := h.csrWrite(csr, newVal); ei != nil {
-			return next, exc(ei.Cause, uint64(raw))
+			return next, h.exc(ei.Cause, uint64(raw))
 		}
 	}
 	if wantRead {

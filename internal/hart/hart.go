@@ -94,6 +94,12 @@ type Hart struct {
 	// envCache is reused across memory accesses to keep the hot path
 	// allocation-free.
 	envCache mmu.Env
+
+	// fast holds the host-side acceleration caches (predecoded
+	// instructions, software TLB); excs is the allocation-free exception
+	// scratch ring. See hostfast.go.
+	fast fastState
+	excs excScratch
 }
 
 // New creates a hart with reset state: M-mode, all CSRs at reset values.
@@ -106,6 +112,12 @@ func New(id int, cfg *Config, bus *mem.Bus) *Hart {
 		CSR:  newCSRFile(cfg),
 	}
 	h.TimeFn = func() uint64 { return 0 }
+	h.fast.pages = make(map[uint64]*decPage)
+	h.fast.ptePages = make(map[uint64]struct{})
+	if bus != nil {
+		bus.AddPageWatcher(h)
+		h.SetFastPath(true)
+	}
 	return h
 }
 
@@ -140,12 +152,12 @@ func (h *Hart) Halt(reason string) {
 }
 
 // Exc carries a pending synchronous exception out of the execute path.
+// Values returned as *Exc come from a small per-hart scratch ring (see
+// hostfast.go) and must be consumed promptly, which all callers do.
 type Exc struct {
 	Cause uint64
 	Tval  uint64
 }
-
-func exc(cause, tval uint64) *Exc { return &Exc{Cause: cause, Tval: tval} }
 
 // Exception takes a synchronous exception at the current PC.
 func (h *Hart) Exception(cause, tval uint64) {
@@ -261,7 +273,7 @@ func (h *Hart) pendingInterrupt() (uint64, bool) {
 
 	mPending := pending &^ h.CSR.Mideleg
 	if mEnabled && mPending != 0 {
-		for _, code := range []uint64{rv.IntMExt, rv.IntMSoft, rv.IntMTimer, rv.IntSExt, rv.IntSSoft, rv.IntSTimer} {
+		for _, code := range mIntPriority {
 			if mPending&(1<<code) != 0 {
 				return rv.Cause(code, true), true
 			}
@@ -269,7 +281,7 @@ func (h *Hart) pendingInterrupt() (uint64, bool) {
 	}
 	sPending := pending & h.CSR.Mideleg
 	if h.Mode != rv.ModeM && sEnabled && sPending != 0 {
-		for _, code := range []uint64{rv.IntSExt, rv.IntSSoft, rv.IntSTimer} {
+		for _, code := range sIntPriority {
 			if sPending&(1<<code) != 0 {
 				return rv.Cause(code, true), true
 			}
@@ -277,6 +289,12 @@ func (h *Hart) pendingInterrupt() (uint64, bool) {
 	}
 	return 0, false
 }
+
+// Interrupt priority orders, hoisted so pendingInterrupt allocates nothing.
+var (
+	mIntPriority = [...]uint64{rv.IntMExt, rv.IntMSoft, rv.IntMTimer, rv.IntSExt, rv.IntSSoft, rv.IntSTimer}
+	sIntPriority = [...]uint64{rv.IntSExt, rv.IntSSoft, rv.IntSTimer}
+)
 
 // Step advances the hart by one instruction (or one interrupt/idle poll).
 // The caller (Machine) refreshes hardware interrupt lines beforehand.
@@ -304,6 +322,15 @@ func (h *Hart) Step() {
 			return
 		}
 	}
+	if h.fast.on {
+		d, ei := h.fetchFast()
+		if ei != nil {
+			h.Exception(ei.Cause, ei.Tval)
+			return
+		}
+		h.exec(d)
+		return
+	}
 	raw, ei := h.fetch()
 	if ei != nil {
 		h.Exception(ei.Cause, ei.Tval)
@@ -312,23 +339,24 @@ func (h *Hart) Step() {
 	h.execute(raw)
 }
 
-// fetch reads the 32-bit instruction at PC.
+// fetch reads the 32-bit instruction at PC (reference path; fetchFast is
+// the accelerated equivalent).
 func (h *Hart) fetch() (uint32, *Exc) {
 	if h.PC&3 != 0 {
-		return 0, exc(rv.ExcInstrAddrMisaligned, h.PC)
+		return 0, h.exc(rv.ExcInstrAddrMisaligned, h.PC)
 	}
 	// Fetch always uses the true privilege mode; MPRV affects data only.
 	env := h.mmuEnv(h.Mode)
 	res := mmu.Translate(env, h.PC, mem.Exec)
 	if !res.OK {
-		return 0, exc(res.Cause, h.PC)
+		return 0, h.exc(res.Cause, h.PC)
 	}
 	if !h.CSR.PMP.Check(res.PA, 4, mem.Exec, h.Mode) {
-		return 0, exc(rv.ExcInstrAccessFault, h.PC)
+		return 0, h.exc(rv.ExcInstrAccessFault, h.PC)
 	}
 	v, ok := h.Bus.Load(res.PA, 4)
 	if !ok {
-		return 0, exc(rv.ExcInstrAccessFault, h.PC)
+		return 0, h.exc(rv.ExcInstrAccessFault, h.PC)
 	}
 	return uint32(v), nil
 }
@@ -376,32 +404,31 @@ func accessFaultCause(acc mem.AccessType) uint64 {
 func (h *Hart) MemAccess(va uint64, size int, acc mem.AccessType, value uint64, requireAligned bool) (uint64, *Exc) {
 	if va%uint64(size) != 0 {
 		if requireAligned || !h.Cfg.HWMisaligned {
-			return 0, exc(misalignedCause(acc), va)
+			return 0, h.exc(misalignedCause(acc), va)
 		}
 	}
 	priv := h.effectivePriv()
-	env := h.mmuEnv(priv)
-	res := mmu.Translate(env, va, acc)
-	if !res.OK {
-		return 0, exc(res.Cause, va)
+	pa, ei := h.translate(va, acc, priv)
+	if ei != nil {
+		return 0, ei
 	}
-	if !h.CSR.PMP.Check(res.PA, size, acc, priv) {
-		return 0, exc(accessFaultCause(acc), va)
+	if !h.CSR.PMP.Check(pa, size, acc, priv) {
+		return 0, h.exc(accessFaultCause(acc), va)
 	}
 	h.charge(h.Cfg.Cost.MemAccess)
 	if acc == mem.Write {
-		if !h.Bus.Store(res.PA, size, value) {
-			return 0, exc(rv.ExcStoreAccessFault, va)
+		if !h.Bus.Store(pa, size, value) {
+			return 0, h.exc(rv.ExcStoreAccessFault, va)
 		}
 		// A store to the reservation's region kills it.
-		if h.resValid && res.PA&^7 == h.resAddr&^7 {
+		if h.resValid && pa&^7 == h.resAddr&^7 {
 			h.resValid = false
 		}
 		return 0, nil
 	}
-	v, ok := h.Bus.Load(res.PA, size)
+	v, ok := h.Bus.Load(pa, size)
 	if !ok {
-		return 0, exc(rv.ExcLoadAccessFault, va)
+		return 0, h.exc(rv.ExcLoadAccessFault, va)
 	}
 	return v, nil
 }
@@ -429,7 +456,7 @@ func (h *Hart) Translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 	env := h.mmuEnv(priv)
 	res := mmu.Translate(env, va, acc)
 	if !res.OK {
-		return 0, exc(res.Cause, va)
+		return 0, h.exc(res.Cause, va)
 	}
 	return res.PA, nil
 }

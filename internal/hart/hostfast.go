@@ -1,0 +1,225 @@
+package hart
+
+// Host-side acceleration caches. Everything in this file trades host time
+// only: the simulated machine's architectural state and cycle accounting
+// are bit-identical with the fast paths on or off (the fastpath-equivalence
+// fuzz gate in internal/verif/fuzz runs the two configurations in lockstep
+// and fails on any divergence). See DESIGN.md, "Host fast paths vs. the
+// simulated cycle model".
+
+import (
+	"govfm/internal/mem"
+	"govfm/internal/mmu"
+	"govfm/internal/rv"
+)
+
+// decPage caches the predecoded form of one 4KiB physical page of
+// instruction memory (1024 potential 32-bit slots, filled on first fetch).
+// A slot is valid iff its generation tag equals the page's current
+// generation, so invalidation is an O(1) counter bump that keeps the 40KiB
+// allocation alive — essential when code and data share a page (e.g. a
+// firmware whose stack sits next to its text), where every store would
+// otherwise free and reallocate the page.
+type decPage struct {
+	gen   uint32 // current generation; starts at 1 so zeroed tags are invalid
+	armed bool   // bus write-watch currently armed for this page
+	tags  [1024]uint32
+	ins   [1024]rv.Decoded
+}
+
+// invalidate drops every slot and remembers that the consumed write-watch
+// must be re-armed before the page is trusted again.
+func (dp *decPage) invalidate() {
+	dp.gen++
+	if dp.gen == 0 { // tag wrap: make all stale tags unambiguously invalid
+		clear(dp.tags[:])
+		dp.gen = 1
+	}
+	dp.armed = false
+}
+
+// fastState bundles the per-hart host caches.
+type fastState struct {
+	on bool
+
+	// tlb caches successful leaf translations (see mmu.TLB for the
+	// validity-by-comparison scheme).
+	tlb mmu.TLB
+
+	// pages maps physical page base -> predecoded instructions, with a
+	// 1-entry lookup cache in front (straight-line code stays on one
+	// page). Pages are cached only when the bus can watch them (RAM);
+	// any write into a cached page — this hart, another hart, DMA, the
+	// fault injector — drops the page via InvalidatePhysPage.
+	pages        map[uint64]*decPage
+	lastPageBase uint64
+	lastPage     *decPage
+
+	// ptePages is the set of physical pages some cached TLB entry read
+	// its PTEs from. A write to any of them flushes the whole TLB: page
+	// tables change rarely, so precision is not worth per-entry tracking.
+	ptePages map[uint64]struct{}
+
+	// scratch holds the decode of fetches that cannot be cached (MMIO).
+	scratch rv.Decoded
+}
+
+// excScratch is a small ring of Exc values so the hot fault paths return
+// pointers without heap allocation. Callers treat a returned *Exc as
+// transient — consumed before the next handful of exceptions — which every
+// consumer in this module does (checked by review: core, bench, fuzz all
+// read Cause/Tval immediately).
+type excScratch struct {
+	buf [16]Exc
+	i   int
+}
+
+// exc fills the next ring slot and returns it.
+func (h *Hart) exc(cause, tval uint64) *Exc {
+	e := &h.excs.buf[h.excs.i%len(h.excs.buf)]
+	h.excs.i++
+	e.Cause, e.Tval = cause, tval
+	return e
+}
+
+// SetFastPath switches the host acceleration caches on or off, flushing
+// them in both directions so stale state can never be consulted later.
+func (h *Hart) SetFastPath(on bool) {
+	h.fast.on = on
+	h.CSR.PMP.SetFast(on)
+	h.flushDecode()
+	h.flushTLB()
+}
+
+// FastPathEnabled reports whether the host caches are in use.
+func (h *Hart) FastPathEnabled() bool { return h.fast.on }
+
+// InvalidatePhysPage implements mem.PageWatcher: a watched page was
+// written, so drop any predecoded instructions on it and, if a cached
+// translation walked through it, the TLB.
+func (h *Hart) InvalidatePhysPage(page uint64) {
+	if dp, ok := h.fast.pages[page]; ok {
+		dp.invalidate()
+	}
+	if _, ok := h.fast.ptePages[page]; ok {
+		h.fast.tlb.Flush()
+		clear(h.fast.ptePages)
+	}
+}
+
+// flushDecode drops every predecoded page (fence.i, snapshot restore,
+// fast-path toggle). The bus watch bits stay armed; a later notification
+// for an already-dropped page is a no-op.
+func (h *Hart) flushDecode() {
+	clear(h.fast.pages)
+	h.fast.lastPage = nil
+}
+
+// flushTLB drops every cached translation (sfence.vma, satp write,
+// snapshot restore, fast-path toggle).
+func (h *Hart) flushTLB() {
+	h.fast.tlb.Flush()
+	clear(h.fast.ptePages)
+}
+
+// tlbFill caches a successful translation, first arming a write watch on
+// every page the walk read PTEs from so software page-table edits
+// invalidate it. PTE pages outside RAM cannot be watched; such walks stay
+// uncached. Arming happens after the walk so the walker's own A/D-bit
+// store does not immediately kill the entry.
+func (h *Hart) tlbFill(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool, res *mmu.Result) {
+	for i := 0; i < res.WalkLen; i++ {
+		p := res.Walk[i] &^ 4095
+		if !h.Bus.WatchPage(p) {
+			return
+		}
+		h.fast.ptePages[p] = struct{}{}
+	}
+	h.fast.tlb.Insert(acc, vpn, satp, epoch, priv, sum, mxr, res.PA&^4095)
+}
+
+// translate maps a virtual address for an access at the given effective
+// privilege, using the TLB when the fast path is on. Architecturally
+// identical to calling mmu.Translate directly: the TLB only ever caches
+// what a full walk produced, keyed on all state the walk depends on, and
+// walks charge no simulated cycles, so hits change host time only.
+func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *Exc) {
+	if priv == rv.ModeM || rv.SatpMode(h.CSR.Satp) != rv.SatpModeSv39 {
+		return va, nil
+	}
+	if !h.fast.on {
+		res := mmu.Translate(h.mmuEnv(priv), va, acc)
+		if !res.OK {
+			return 0, h.exc(res.Cause, va)
+		}
+		return res.PA, nil
+	}
+	vpn := va >> 12
+	satp := h.CSR.Satp
+	epoch := h.CSR.PMP.Epoch()
+	sum := rv.Bit(h.CSR.Mstatus, rv.MstatusSUM) != 0
+	mxr := rv.Bit(h.CSR.Mstatus, rv.MstatusMXR) != 0
+	if paPage, ok := h.fast.tlb.Lookup(acc, vpn, satp, epoch, priv, sum, mxr); ok {
+		return paPage | va&4095, nil
+	}
+	res := mmu.Translate(h.mmuEnv(priv), va, acc)
+	if !res.OK {
+		return 0, h.exc(res.Cause, va)
+	}
+	h.tlbFill(acc, vpn, satp, epoch, priv, sum, mxr, &res)
+	return res.PA, nil
+}
+
+// fetchFast returns the predecoded instruction at PC. It performs exactly
+// the architectural work of fetch() — alignment check, translation, PMP,
+// bus read — except that translation may hit the TLB and the decode may
+// hit the per-page cache.
+func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
+	if h.PC&3 != 0 {
+		return nil, h.exc(rv.ExcInstrAddrMisaligned, h.PC)
+	}
+	// Fetch always uses the true privilege mode; MPRV affects data only.
+	pa, ei := h.translate(h.PC, mem.Exec, h.Mode)
+	if ei != nil {
+		return nil, ei
+	}
+	if !h.CSR.PMP.Check(pa, 4, mem.Exec, h.Mode) {
+		return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
+	}
+	pageBase := pa &^ 4095
+	dp := h.fast.lastPage
+	if dp == nil || h.fast.lastPageBase != pageBase {
+		dp = h.fast.pages[pageBase]
+		if dp == nil {
+			if !h.Bus.WatchPage(pageBase) {
+				// Not RAM: execute-in-place from a device; never cache.
+				v, ok := h.Bus.Load(pa, 4)
+				if !ok {
+					return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
+				}
+				h.fast.scratch = rv.Decode(uint32(v))
+				return &h.fast.scratch, nil
+			}
+			dp = &decPage{gen: 1}
+			h.fast.pages[pageBase] = dp
+		}
+		h.fast.lastPage, h.fast.lastPageBase = dp, pageBase
+	}
+	if !dp.armed {
+		// First use, or a write consumed the watch: re-arm before trusting
+		// any slot filled from here on. Always succeeds — the page was RAM
+		// when it entered the cache and regions never go away.
+		h.Bus.WatchPage(pageBase)
+		dp.armed = true
+	}
+	i := (pa & 4095) >> 2
+	if dp.tags[i] != dp.gen {
+		v, ok := h.Bus.Load(pa, 4)
+		if !ok {
+			return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
+		}
+		dp.ins[i] = rv.Decode(uint32(v))
+		dp.tags[i] = dp.gen
+	}
+	return &dp.ins[i], nil
+}

@@ -122,6 +122,18 @@ func (m *Machine) halt(reason string) {
 // Halted reports whether the machine has stopped, and why.
 func (m *Machine) Halted() (bool, string) { return m.halted, m.haltReason }
 
+// SetFastPath toggles every host-side acceleration cache in the machine:
+// the harts' predecode/TLB/flattened-PMP caches and the PLIC's pending
+// memoization. Off reproduces the pre-acceleration simulator exactly; the
+// architectural results are identical either way (enforced by the
+// fastpath-equivalence fuzz gate).
+func (m *Machine) SetFastPath(on bool) {
+	for _, h := range m.Harts {
+		h.SetFastPath(on)
+	}
+	m.Plic.SetCache(on)
+}
+
 // LoadImage copies a binary image into RAM at addr.
 func (m *Machine) LoadImage(addr uint64, img []byte) error {
 	return m.Bus.WriteBytes(addr, img)

@@ -82,6 +82,13 @@ func (h *Hart) Restore(s *Snapshot) {
 	h.resAddr = s.ResAddr
 	h.CSR = s.CSR.clone()
 	h.CSR.cfg = cfg
+	// The restored PMP clone carries the snapshot-time fast flag and — more
+	// importantly — a rewound mutation epoch, which could re-validate stale
+	// TLB entries tagged with a since-reused epoch value. Reapply the mode
+	// and drop every host cache.
+	h.CSR.PMP.SetFast(h.fast.on)
+	h.flushDecode()
+	h.flushTLB()
 }
 
 // MipSW returns the software-writable mip bits, for differential harnesses

@@ -51,6 +51,12 @@ type Region struct {
 	Size uint64
 	Dev  Device // nil for RAM regions
 	ram  []byte
+
+	// watch is a lazily allocated per-4KiB-page bitmap of pages some
+	// PageWatcher has asked to be told about. A bit is set by WatchPage,
+	// cleared when the page is written (the watchers are notified once and
+	// must re-arm on their next cache fill). nil until the first WatchPage.
+	watch []uint64
 }
 
 // Contains reports whether addr (with an access of size bytes) falls fully
@@ -59,15 +65,68 @@ func (r *Region) Contains(addr uint64, size int) bool {
 	return addr >= r.Base && addr-r.Base+uint64(size) <= r.Size
 }
 
+// PageWatcher is notified when a watched RAM page is written. Harts
+// register as watchers to invalidate host-side caches (predecoded
+// instructions, TLB entries whose page tables live on the page) when
+// anything — another hart, DMA, a fault injector — mutates the page.
+type PageWatcher interface {
+	InvalidatePhysPage(pageBase uint64)
+}
+
 // Bus is the physical address space. It is not safe for concurrent use; the
 // machine serializes hart steps (see internal/hart.Machine).
 type Bus struct {
 	regions []*Region // sorted by base
+	last    *Region   // 1-entry find cache; most accesses hit one region
+
+	watchers []PageWatcher
 
 	// failDev makes the next N device accesses return a bus error, as a
 	// flaky peripheral would. Fault-injection harnesses arm it through
 	// InjectDeviceFaults; RAM accesses are never affected.
 	failDev int
+}
+
+// AddPageWatcher registers w for watched-page write notifications.
+func (b *Bus) AddPageWatcher(w PageWatcher) { b.watchers = append(b.watchers, w) }
+
+// WatchPage arms write notification for the 4KiB page containing pa. It
+// returns false when pa is not RAM-backed (MMIO contents cannot be watched
+// and must not be cached by callers).
+func (b *Bus) WatchPage(pa uint64) bool {
+	r := b.find(pa&^4095, 1)
+	if r == nil || r.Dev != nil {
+		return false
+	}
+	if r.watch == nil {
+		r.watch = make([]uint64, (r.Size>>12)/64+1)
+	}
+	p := (pa - r.Base) >> 12
+	r.watch[p/64] |= 1 << (p % 64)
+	return true
+}
+
+// IsRAM reports whether [addr, addr+size) is fully RAM-backed.
+func (b *Bus) IsRAM(addr uint64, size int) bool {
+	r := b.find(addr, size)
+	return r != nil && r.Dev == nil
+}
+
+// noteWrite fires watchers for every watched page the write [off, off+size)
+// touches, clearing the watch bits (watchers re-arm on their next fill).
+func (b *Bus) noteWrite(r *Region, off uint64, size int) {
+	p1 := off >> 12
+	p2 := (off + uint64(size) - 1) >> 12
+	for p := p1; p <= p2; p++ {
+		if r.watch[p/64]&(1<<(p%64)) == 0 {
+			continue
+		}
+		r.watch[p/64] &^= 1 << (p % 64)
+		page := r.Base + p<<12
+		for _, w := range b.watchers {
+			w.InvalidatePhysPage(page)
+		}
+	}
 }
 
 // InjectDeviceFaults arms the bus to reject the next n device (MMIO)
@@ -122,6 +181,11 @@ func (b *Bus) Regions() []*Region { return b.regions }
 
 // find locates the region containing [addr, addr+size).
 func (b *Bus) find(addr uint64, size int) *Region {
+	// Accesses cluster heavily in one region (DRAM), so try the last hit
+	// before the binary search.
+	if r := b.last; r != nil && r.Contains(addr, size) {
+		return r
+	}
 	// Binary search for the last region with Base <= addr.
 	i := sort.Search(len(b.regions), func(i int) bool { return b.regions[i].Base > addr })
 	if i == 0 {
@@ -131,6 +195,7 @@ func (b *Bus) find(addr uint64, size int) *Region {
 	if !r.Contains(addr, size) {
 		return nil
 	}
+	b.last = r
 	return r
 }
 
@@ -187,6 +252,9 @@ func (b *Bus) Store(addr uint64, size int, value uint64) bool {
 	default:
 		return false
 	}
+	if r.watch != nil {
+		b.noteWrite(r, off, size)
+	}
 	return true
 }
 
@@ -200,6 +268,9 @@ func (b *Bus) WriteBytes(addr uint64, p []byte) error {
 		}
 		off := addr - r.Base
 		n := copy(r.ram[off:], p)
+		if r.watch != nil {
+			b.noteWrite(r, off, n)
+		}
 		p = p[n:]
 		addr += uint64(n)
 	}

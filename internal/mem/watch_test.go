@@ -1,0 +1,77 @@
+package mem
+
+import "testing"
+
+type recordWatcher struct{ pages []uint64 }
+
+func (w *recordWatcher) InvalidatePhysPage(p uint64) { w.pages = append(w.pages, p) }
+
+func TestWatchPageNotifiesOnceThenRearms(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x80000000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	w := &recordWatcher{}
+	b.AddPageWatcher(w)
+
+	if !b.WatchPage(0x80001008) {
+		t.Fatal("WatchPage on RAM returned false")
+	}
+	// Write to a different page: no notification.
+	b.Store(0x80000000, 8, 1)
+	if len(w.pages) != 0 {
+		t.Fatalf("unexpected notify %x", w.pages)
+	}
+	// Write to the watched page: one notification with the page base.
+	b.Store(0x80001FF8, 8, 2)
+	if len(w.pages) != 1 || w.pages[0] != 0x80001000 {
+		t.Fatalf("notify = %x, want [0x80001000]", w.pages)
+	}
+	// The bit is consumed: a second write is silent until re-armed.
+	b.Store(0x80001000, 8, 3)
+	if len(w.pages) != 1 {
+		t.Fatalf("notify after consume = %x", w.pages)
+	}
+	if !b.WatchPage(0x80001000) {
+		t.Fatal("re-arm failed")
+	}
+	b.Store(0x80001004, 4, 4)
+	if len(w.pages) != 2 || w.pages[1] != 0x80001000 {
+		t.Fatalf("re-armed notify = %x", w.pages)
+	}
+}
+
+func TestWatchPageSpanningWrites(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x80000000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	w := &recordWatcher{}
+	b.AddPageWatcher(w)
+	b.WatchPage(0x80000000)
+	b.WatchPage(0x80001000)
+	b.WatchPage(0x80002000)
+	// WriteBytes across three pages notifies each watched page.
+	if err := b.WriteBytes(0x80000F00, make([]byte, 0x1200)); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.pages) != 3 {
+		t.Fatalf("notify = %x, want three pages", w.pages)
+	}
+}
+
+func TestWatchPageRejectsMMIO(t *testing.T) {
+	b := NewBus()
+	if err := b.AddRAM(0x80000000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if b.WatchPage(0x10000000) {
+		t.Fatal("WatchPage on unmapped space returned true")
+	}
+	if !b.IsRAM(0x80000000, 8) {
+		t.Fatal("IsRAM false for RAM")
+	}
+	if b.IsRAM(0x10000000, 8) {
+		t.Fatal("IsRAM true for unmapped")
+	}
+}

@@ -31,6 +31,12 @@ type Result struct {
 	PA    uint64 // physical address; valid when Cause == 0 and OK
 	Cause uint64 // exception cause on failure
 	OK    bool
+
+	// Walk records the physical address of each PTE read during the walk
+	// (root first). A TLB caching this translation watches the pages these
+	// live on so software page-table edits invalidate the cached entry.
+	Walk    [3]uint64
+	WalkLen int
 }
 
 func fault(acc mem.AccessType, pageFault bool) Result {
@@ -83,9 +89,13 @@ func Translate(e *Env, va uint64, acc mem.AccessType) Result {
 		return fault(acc, true)
 	}
 	a := rv.SatpPPN(e.Satp) * PageSize
+	var walk [3]uint64
+	walkLen := 0
 	for level := 2; level >= 0; level-- {
 		vpn := rv.Bits(va, uint(12+9*level+8), uint(12+9*level))
 		pteAddr := a + vpn*8
+		walk[walkLen] = pteAddr
+		walkLen++
 		// The walker's implicit accesses are checked against PMP with
 		// effective privilege S.
 		if !e.PMP.Check(pteAddr, 8, mem.Read, rv.ModeS) {
@@ -127,7 +137,7 @@ func Translate(e *Env, va uint64, acc mem.AccessType) Result {
 		}
 		pageMask := rv.Mask(uint(12 + 9*level))
 		pa := ppn*PageSize&^pageMask | va&pageMask
-		return Result{PA: pa, OK: true}
+		return Result{PA: pa, OK: true, Walk: walk, WalkLen: walkLen}
 	}
 	// All three levels were pointers: malformed tree.
 	return fault(acc, true)

@@ -1,0 +1,83 @@
+package mmu
+
+import (
+	"govfm/internal/mem"
+	"govfm/internal/rv"
+)
+
+// TLB is a host-side cache of successful leaf translations, direct-mapped
+// per access type. It is purely a host accelerator: the simulated machine
+// has no architectural TLB, and the cycle model charges translation costs
+// identically whether an access hits here or performs the full walk (the
+// Sv39 walk charges no cycles of its own — see DESIGN.md, "Host fast paths
+// vs. simulated cycle model").
+//
+// Validity is established by comparison rather than eager invalidation:
+// every entry is tagged with the satp value, effective privilege, SUM/MXR
+// bits, the PMP file's mutation epoch, and this TLB's flush generation. A
+// lookup under different state simply misses, so satp rewrites, privilege
+// changes, mstatus edits, and PMP reprogramming all invalidate for free.
+// Explicit flushes (sfence.vma, snapshot restore) bump the generation —
+// O(1). Software edits of page-table memory are caught by the bus page
+// watch: the hart watches every page a cached walk read its PTEs from and
+// flushes on any write to one (see hart's InvalidatePhysPage).
+//
+// Entries are per 4KiB page even inside superpages; Sv39 maps each 4KiB
+// virtual page to a fixed physical page regardless of leaf level, so this
+// is lossless.
+type TLB struct {
+	gen  uint64
+	sets [3][tlbSets]tlbEntry // indexed by AccessType
+}
+
+const tlbSets = 64
+
+type tlbEntry struct {
+	valid  bool
+	priv   rv.Mode
+	flags  uint8 // bit0 SUM, bit1 MXR
+	vpn    uint64
+	satp   uint64
+	epoch  uint64 // pmp.File.Epoch at fill
+	gen    uint64
+	paPage uint64
+}
+
+func tlbFlags(sum, mxr bool) uint8 {
+	var f uint8
+	if sum {
+		f |= 1
+	}
+	if mxr {
+		f |= 2
+	}
+	return f
+}
+
+// Flush invalidates every entry in O(1) by advancing the generation.
+func (t *TLB) Flush() { t.gen++ }
+
+// Lookup returns the cached physical page for virtual page vpn (va>>12)
+// under the given translation state, if present.
+func (t *TLB) Lookup(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool) (uint64, bool) {
+	e := &t.sets[acc][vpn%tlbSets]
+	if e.valid && e.vpn == vpn && e.satp == satp && e.epoch == epoch &&
+		e.gen == t.gen && e.priv == priv && e.flags == tlbFlags(sum, mxr) {
+		return e.paPage, true
+	}
+	return 0, false
+}
+
+// Insert caches a successful leaf translation.
+func (t *TLB) Insert(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool, paPage uint64) {
+	t.sets[acc][vpn%tlbSets] = tlbEntry{
+		valid:  true,
+		priv:   priv,
+		flags:  tlbFlags(sum, mxr),
+		vpn:    vpn,
+		satp:   satp,
+		epoch:  epoch,
+		gen:    t.gen,
+		paPage: paPage,
+	}
+}

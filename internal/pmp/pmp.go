@@ -66,6 +66,29 @@ type File struct {
 	regLast  [MaxEntries]uint64
 	regOK    [MaxEntries]bool
 	regDirty bool
+
+	// epoch counts register mutations. External caches that embed a
+	// translation or permission decision derived from this file (the
+	// hart's software TLB) tag their entries with the epoch at fill time
+	// and treat any mismatch as a miss, which makes PMP reprogramming —
+	// including the monitor's ForceCfg/ForceAddr world-switch writes —
+	// an O(1) global invalidation with no explicit hook.
+	epoch uint64
+
+	// Flattened-range cache: the address space partitioned into segments
+	// on which the "lowest-numbered matching entry" function is constant.
+	// segBase[k] is the first address of segment k (segment k ends where
+	// segment k+1 begins, the last one at the top of the address space);
+	// segOwner[k] is the lowest-numbered entry covering that segment, or
+	// -1 when none does. An access's verdict is decided by the minimum
+	// owner over the segments it spans (see checkFast), replacing the
+	// linear TOR/NAPOT scan with a binary search. All state lives in
+	// fixed arrays so File copies (snapshot clone) stay self-contained.
+	fast     bool
+	segDirty bool
+	nSeg     int
+	segBase  [2*MaxEntries + 2]uint64
+	segOwner [2*MaxEntries + 2]int8
 }
 
 // NewFile returns a PMP file with n implemented entries (0..64).
@@ -73,8 +96,30 @@ func NewFile(n int) *File {
 	if n < 0 || n > MaxEntries {
 		panic(fmt.Sprintf("pmp: invalid entry count %d", n))
 	}
-	return &File{n: n, regDirty: true}
+	return &File{n: n, regDirty: true, segDirty: true}
 }
+
+// markDirty records a register mutation: both decode caches go stale and
+// the epoch advances so external caches keyed on it miss.
+func (f *File) markDirty() {
+	f.regDirty = true
+	f.segDirty = true
+	f.epoch++
+}
+
+// Epoch returns the mutation counter. It increases on every cfg/addr
+// write (locked-entry writes that hardware ignores may still bump it;
+// spurious bumps only cost external caches a refill, never correctness).
+func (f *File) Epoch() uint64 { return f.epoch }
+
+// SetFast selects the flattened-range lookup (true) or the architectural
+// linear scan (false) for Check. Both produce identical verdicts — the
+// fastpath-equivalence fuzz gate runs them against each other — so this
+// only trades host time.
+func (f *File) SetFast(on bool) { f.fast = on }
+
+// FastEnabled reports whether the flattened-range lookup is in use.
+func (f *File) FastEnabled() bool { return f.fast }
 
 // NumEntries returns the number of implemented entries.
 func (f *File) NumEntries() int { return f.n }
@@ -106,7 +151,7 @@ func (f *File) SetCfg(i int, v byte) {
 		return
 	}
 	f.cfg[i] = LegalizeCfg(v)
-	f.regDirty = true
+	f.markDirty()
 }
 
 // ForceCfg writes entry i's cfg ignoring locks; this models machine reset
@@ -116,7 +161,7 @@ func (f *File) ForceCfg(i int, v byte) {
 		return
 	}
 	f.cfg[i] = LegalizeCfg(v)
-	f.regDirty = true
+	f.markDirty()
 }
 
 // SetAddr writes pmpaddr[i]. The write is ignored if entry i is locked, or
@@ -131,7 +176,7 @@ func (f *File) SetAddr(i int, v uint64) {
 		return
 	}
 	f.addr[i] = v & rv.Mask(54)
-	f.regDirty = true
+	f.markDirty()
 }
 
 // ForceAddr writes pmpaddr[i] ignoring locks (monitor/reset use only).
@@ -140,7 +185,7 @@ func (f *File) ForceAddr(i int, v uint64) {
 		return
 	}
 	f.addr[i] = v & rv.Mask(54)
-	f.regDirty = true
+	f.markDirty()
 }
 
 // CfgReg reads the packed pmpcfg register (reg must be even on RV64):
@@ -259,6 +304,18 @@ func (f *File) matchEntry(i int, addr uint64, size int) MatchResult {
 //   - if no entry matches: M-mode succeeds, S/U fail when at least one
 //     entry is implemented.
 func (f *File) Check(addr uint64, size int, acc mem.AccessType, mode rv.Mode) bool {
+	if f.fast {
+		if allowed, ok := f.checkFast(addr, size, acc, mode); ok {
+			return allowed
+		}
+	}
+	return f.checkScan(addr, size, acc, mode)
+}
+
+// checkScan is the architectural priority scan over all entries; it is the
+// reference Check implementation and the fallback for the rare access
+// shapes checkFast declines (wrap-around).
+func (f *File) checkScan(addr uint64, size int, acc mem.AccessType, mode rv.Mode) bool {
 	for i := 0; i < f.n; i++ {
 		switch f.matchEntry(i, addr, size) {
 		case NoMatch:
@@ -287,6 +344,117 @@ func (f *File) Check(addr uint64, size int, acc mem.AccessType, mode rv.Mode) bo
 	return f.n == 0
 }
 
+// rebuildSegs flattens the decoded regions into the sorted segment table.
+// Boundary points are each region's first address and the address just past
+// its last (omitted when the region reaches the top of the address space),
+// plus 0; the owner of each resulting segment is the lowest-numbered entry
+// covering it. With n ≤ 64 entries the point set is tiny, so a simple
+// insertion sort avoids any allocation.
+func (f *File) rebuildSegs() {
+	if f.regDirty {
+		f.refreshRegions()
+	}
+	var pts [2*MaxEntries + 2]uint64
+	np := 1 // pts[0] = 0
+	for i := 0; i < f.n; i++ {
+		if !f.regOK[i] {
+			continue
+		}
+		pts[np] = f.regLo[i]
+		np++
+		if f.regLast[i] != ^uint64(0) {
+			pts[np] = f.regLast[i] + 1
+			np++
+		}
+	}
+	for i := 1; i < np; i++ {
+		v := pts[i]
+		j := i - 1
+		for j >= 0 && pts[j] > v {
+			pts[j+1] = pts[j]
+			j--
+		}
+		pts[j+1] = v
+	}
+	f.nSeg = 0
+	for k := 0; k < np; k++ {
+		if k > 0 && pts[k] == pts[k-1] {
+			continue
+		}
+		s := pts[k]
+		owner := int8(-1)
+		for i := 0; i < f.n; i++ {
+			if f.regOK[i] && f.regLo[i] <= s && s <= f.regLast[i] {
+				owner = int8(i)
+				break
+			}
+		}
+		f.segBase[f.nSeg] = s
+		f.segOwner[f.nSeg] = owner
+		f.nSeg++
+	}
+	f.segDirty = false
+}
+
+// checkFast resolves the access via the flattened segment table. It returns
+// ok=false when it cannot decide (the access wraps the address space), in
+// which case the caller falls back to the architectural scan.
+//
+// The matching entry, per the spec, is the lowest-numbered entry covering
+// any byte of the access. Since each segment's owner is the lowest-numbered
+// entry covering that segment, that matching entry is exactly the minimum
+// owner over the segments the access spans (min over bytes of min over
+// entries = min over the per-segment minima). Partial match is then a
+// simple containment test of the access against that entry's region.
+func (f *File) checkFast(addr uint64, size int, acc mem.AccessType, mode rv.Mode) (allowed, ok bool) {
+	aLast := addr + uint64(size) - 1
+	if aLast < addr {
+		return false, false // wrap-around: let the scan handle it
+	}
+	if f.segDirty {
+		f.rebuildSegs()
+	}
+	// Binary search for the segment containing addr: greatest k with
+	// segBase[k] <= addr. Segment 0 starts at 0, so k is well-defined.
+	lo, hi := 0, f.nSeg-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.segBase[mid] <= addr {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	m := -1 // lowest-numbered entry covering any byte of the access
+	for k := lo; k < f.nSeg && f.segBase[k] <= aLast; k++ {
+		if o := int(f.segOwner[k]); o >= 0 && (m < 0 || o < m) {
+			m = o
+		}
+	}
+	if m < 0 {
+		if mode == rv.ModeM {
+			return true, true
+		}
+		return f.n == 0, true
+	}
+	if addr < f.regLo[m] || aLast > f.regLast[m] {
+		return false, true // partial match always faults
+	}
+	cfg := f.cfg[m]
+	if mode == rv.ModeM && cfg&CfgL == 0 {
+		return true, true
+	}
+	switch acc {
+	case mem.Read:
+		return cfg&CfgR != 0, true
+	case mem.Write:
+		return cfg&CfgW != 0, true
+	case mem.Exec:
+		return cfg&CfgX != 0, true
+	}
+	return false, true
+}
+
 // NAPOTAddr encodes the pmpaddr value covering the naturally aligned
 // power-of-two region [base, base+size). It panics if base/size do not
 // form a valid NAPOT region of at least 8 bytes.
@@ -311,5 +479,5 @@ func (f *File) Snapshot() (cfg []byte, addr []uint64) {
 func (f *File) Reset() {
 	f.cfg = [MaxEntries]byte{}
 	f.addr = [MaxEntries]uint64{}
-	f.regDirty = true
+	f.markDirty()
 }

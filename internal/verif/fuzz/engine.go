@@ -130,6 +130,8 @@ func NewEngine(profile string) (*Engine, error) {
 		CSRs:       csrSpecs(e.VirtCfg),
 	}
 
+	e.SetFastPath(DefaultFastPath)
+
 	// Baselines. The CLINT comparator resets to zero, which asserts MTIP
 	// immediately; silence it so the native machine sees no machine-timer
 	// interrupt (interrupt delivery timing is inherently asymmetric and is

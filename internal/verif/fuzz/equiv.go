@@ -1,0 +1,178 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"govfm/internal/hart"
+	"govfm/internal/refmodel"
+)
+
+// This file implements the fastpath-equivalence mode: every test case runs
+// twice, once with the host acceleration caches on and once with them off,
+// and the two executions must agree on everything architectural — final
+// findings, lockstep step counts, registers, CSRs, memory, and (crucially)
+// the simulated cycle counters. Any disagreement means a host cache leaked
+// into the architecture, which is the one bug class the caches must never
+// have.
+
+// DefaultFastPath is the host-acceleration setting NewEngine applies to
+// freshly built engines. cmd/fuzzdiff's -fastpath=off sets it false so a
+// whole fuzzing run can exercise the reference paths.
+var DefaultFastPath = true
+
+// SetFastPath toggles host-side acceleration on both of the engine's
+// machines (the native one and the monitor-virtualized one).
+func (e *Engine) SetFastPath(on bool) {
+	e.Native.SetFastPath(on)
+	e.Virt.SetFastPath(on)
+}
+
+// EquivMismatch is one fast-vs-slow divergence.
+type EquivMismatch struct {
+	Profile string
+	Case    *TestCase
+	Desc    string
+}
+
+func (m *EquivMismatch) String() string {
+	return fmt.Sprintf("[%s] %s in %s", m.Profile, m.Desc, m.Case)
+}
+
+// EquivStats summarizes an equivalence run.
+type EquivStats struct {
+	Cases      int
+	Steps      int // lockstep steps on the fast side
+	Mismatches []*EquivMismatch
+}
+
+// enginePair is one profile's fast/slow engine duo plus its case corpus.
+type enginePair struct {
+	fast, slow *Engine
+	corpus     []*TestCase
+}
+
+// NewEquivalence builds paired engines for each profile: one with all host
+// caches enabled, one with the reference (cache-free) configuration.
+func newEquivPairs(profiles []string) ([]*enginePair, error) {
+	var pairs []*enginePair
+	for _, p := range profiles {
+		ef, err := NewEngine(p)
+		if err != nil {
+			return nil, err
+		}
+		es, err := NewEngine(p)
+		if err != nil {
+			return nil, err
+		}
+		ef.SetFastPath(true)
+		es.SetFastPath(false)
+		pairs = append(pairs, &enginePair{fast: ef, slow: es})
+	}
+	return pairs, nil
+}
+
+// RunEquivalence fuzzes `cases` test cases per profile through the paired
+// engines, using the fast side's coverage signal to grow a shared corpus
+// (the same coverage-guided exploration as the normal fuzzer, so the
+// equivalence gate visits the same interesting trap/emulation paths).
+func RunEquivalence(profiles []string, seed int64, cases int) (*EquivStats, error) {
+	pairs, err := newEquivPairs(profiles)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coverage := map[uint64]struct{}{}
+	st := &EquivStats{}
+	for c := 0; c < cases*len(pairs); c++ {
+		pr := pairs[c%len(pairs)]
+		var tc *TestCase
+		if len(pr.corpus) == 0 || rng.Intn(3) == 0 {
+			tc = pr.fast.GenCase(rng)
+		} else {
+			parent := pr.corpus[rng.Intn(len(pr.corpus))]
+			var other *TestCase
+			if len(pr.corpus) > 1 {
+				other = pr.corpus[rng.Intn(len(pr.corpus))]
+			}
+			tc = pr.fast.Mutate(rng, parent, other)
+		}
+
+		newKeys := 0
+		pr.fast.Cov = func(key uint64) {
+			if _, ok := coverage[key]; !ok {
+				coverage[key] = struct{}{}
+				newKeys++
+			}
+		}
+		fF, stepsF := pr.fast.Run(tc)
+		pr.fast.Cov = nil
+		fS, stepsS := pr.slow.Run(tc)
+
+		st.Cases++
+		st.Steps += stepsF
+		if desc := equivCompare(pr.fast, pr.slow, fF, fS, stepsF, stepsS); desc != "" {
+			st.Mismatches = append(st.Mismatches, &EquivMismatch{
+				Profile: pr.fast.Profile, Case: tc, Desc: desc})
+			if len(st.Mismatches) >= 10 {
+				break
+			}
+		}
+		if newKeys > 0 && len(pr.corpus) < corpusCap {
+			pr.corpus = append(pr.corpus, tc)
+		}
+	}
+	return st, nil
+}
+
+// equivCompare checks every observable of a finished case pair and returns
+// a description of the first divergence, or "".
+func equivCompare(eF, eS *Engine, fF, fS *Finding, stepsF, stepsS int) string {
+	if (fF == nil) != (fS == nil) {
+		return fmt.Sprintf("finding presence: fast=%v slow=%v", fF, fS)
+	}
+	if fF != nil && (fF.Where != fS.Where || fF.Step != fS.Step) {
+		return fmt.Sprintf("finding: fast=%s@%d slow=%s@%d", fF.Where, fF.Step, fS.Where, fS.Step)
+	}
+	if stepsF != stepsS {
+		return fmt.Sprintf("lockstep steps: fast=%d slow=%d", stepsF, stepsS)
+	}
+	for _, side := range []struct {
+		name   string
+		mF, mS *hart.Machine
+	}{{"native", eF.Native, eS.Native}, {"virt", eF.Virt, eS.Virt}} {
+		hF, hS := side.mF.Harts[0], side.mS.Harts[0]
+		// Cycle-count equivalence is the paper-metric invariant: the host
+		// caches must not change a single charged cycle.
+		if hF.Cycles != hS.Cycles {
+			return fmt.Sprintf("%s cycles: fast=%d slow=%d", side.name, hF.Cycles, hS.Cycles)
+		}
+		if hF.Instret != hS.Instret || hF.SInstret != hS.SInstret {
+			return fmt.Sprintf("%s instret: fast=%d/%d slow=%d/%d",
+				side.name, hF.Instret, hF.SInstret, hS.Instret, hS.SInstret)
+		}
+		if hF.PC != hS.PC || hF.Mode != hS.Mode || hF.Waiting != hS.Waiting {
+			return fmt.Sprintf("%s pc/mode/wfi: fast=%#x/%v/%v slow=%#x/%v/%v",
+				side.name, hF.PC, hF.Mode, hF.Waiting, hS.PC, hS.Mode, hS.Waiting)
+		}
+		if hF.Regs != hS.Regs {
+			return side.name + " register file differs"
+		}
+		for _, r := range [][2]uint64{{ProgBase, ProgCap}, {ScratchBase, ScratchSize}} {
+			bF, err1 := side.mF.Bus.ReadBytes(r[0], int(r[1]))
+			bS, err2 := side.mS.Bus.ReadBytes(r[0], int(r[1]))
+			if err1 != nil || err2 != nil || !bytes.Equal(bF, bS) {
+				return fmt.Sprintf("%s memory at %#x differs", side.name, r[0])
+			}
+		}
+	}
+	// Full CSR comparison through the reference-model views.
+	if ds := refmodel.Diff(eF.PhysCfg, eF.nativeView(), eS.nativeView()); len(ds) > 0 {
+		return "native CSR state: " + ds[0].String()
+	}
+	if ds := refmodel.Diff(eF.VirtCfg, eF.virtView(), eS.virtView()); len(ds) > 0 {
+		return "virt CSR state: " + ds[0].String()
+	}
+	return ""
+}

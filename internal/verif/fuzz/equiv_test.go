@@ -1,0 +1,23 @@
+package fuzz
+
+import "testing"
+
+// TestEquivalenceSmoke runs a short fast-vs-slow lockstep batch on both
+// profiles and requires zero divergences in architectural state and cycle
+// counts. The full-size run is scripts/verify.sh's tier-2 gate.
+func TestEquivalenceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence smoke is not short")
+	}
+	st, err := RunEquivalence([]string{"visionfive2", "p550"}, 1, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cases == 0 || st.Steps == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+	for _, m := range st.Mismatches {
+		t.Errorf("fastpath divergence: %s", m)
+	}
+	t.Logf("equivalence: %d cases, %d steps, %d mismatches", st.Cases, st.Steps, len(st.Mismatches))
+}
