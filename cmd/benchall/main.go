@@ -7,6 +7,12 @@
 //
 //	benchall [-only fig3,table4,table5,fig10,fig11,fig12,fig13,fig14,boot,ablation,rva23,simhost]
 //	         [-simhost-out BENCH_simhost.json] [-cpuprofile f] [-memprofile f]
+//	         [-simhost-baseline BENCH_simhost.json] [-max-regress 30]
+//
+// -simhost-baseline compares the measured simhost geomean speedup against
+// a checked-in baseline report and exits nonzero if it regressed by more
+// than -max-regress percent — the CI guard against silently losing the
+// host fast paths.
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments")
 	simhostOut := flag.String("simhost-out", "BENCH_simhost.json", "simhost JSON output path")
+	simhostBaseline := flag.String("simhost-baseline", "", "baseline simhost JSON to guard against regressions")
+	maxRegress := flag.Float64("max-regress", 30, "max %% geomean-speedup regression vs. the baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -205,8 +213,8 @@ func main() {
 	if sel("simhost") {
 		fmt.Println("================================================================")
 		fmt.Println("Simulator host throughput: fast paths off vs. on")
-		fmt.Printf("%-14s %-18s %10s %9s %9s %8s\n",
-			"platform", "workload", "instret", "MIPS-off", "MIPS-on", "speedup")
+		fmt.Printf("%-14s %-18s %10s %9s %9s %8s %6s %6s\n",
+			"platform", "workload", "instret", "MIPS-off", "MIPS-on", "speedup", "tlb%", "dec%")
 		var all []*bench.SimHostResult
 		for _, mk := range []func() *hart.Config{hart.VisionFive2, hart.PremierP550} {
 			res, err := bench.SimHost(mk)
@@ -214,18 +222,51 @@ func main() {
 				fail(err)
 			}
 			for _, r := range res {
-				fmt.Printf("%-14s %-18s %10d %9.2f %9.2f %7.2fx\n",
-					r.Platform, r.Workload, r.Instret, r.MIPSOff, r.MIPSOn, r.Speedup)
+				fmt.Printf("%-14s %-18s %10d %9.2f %9.2f %7.2fx %5d%% %5d%%\n",
+					r.Platform, r.Workload, r.Instret, r.MIPSOff, r.MIPSOn, r.Speedup,
+					r.TLBHitPct, r.DecodeHitPct)
 			}
 			all = append(all, res...)
 		}
-		fmt.Printf("geomean speedup: %.2fx (simulated cycles bit-identical in every row)\n", bench.GeomeanSpeedup(all))
+		geomean := bench.GeomeanSpeedup(all)
+		fmt.Printf("geomean speedup: %.2fx (simulated cycles bit-identical in every row)\n", geomean)
 		if err := writeSimHostJSON(*simhostOut, all); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *simhostOut)
+		if *simhostBaseline != "" {
+			if err := checkSimHostBaseline(*simhostBaseline, geomean, *maxRegress); err != nil {
+				fail(err)
+			}
+		}
 		fmt.Println()
 	}
+}
+
+// checkSimHostBaseline fails if the measured geomean speedup fell more
+// than maxRegress percent below the checked-in baseline's.
+func checkSimHostBaseline(path string, geomean, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base struct {
+		GeomeanSpeedup float64 `json:"geomean_speedup"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.GeomeanSpeedup <= 0 {
+		return fmt.Errorf("baseline %s: missing geomean_speedup", path)
+	}
+	floor := base.GeomeanSpeedup * (1 - maxRegress/100)
+	if geomean < floor {
+		return fmt.Errorf("simhost geomean speedup %.2fx regressed >%.0f%% vs. baseline %.2fx (floor %.2fx)",
+			geomean, maxRegress, base.GeomeanSpeedup, floor)
+	}
+	fmt.Printf("baseline check: %.2fx vs. baseline %.2fx (floor %.2fx) ok\n",
+		geomean, base.GeomeanSpeedup, floor)
+	return nil
 }
 
 // writeSimHostJSON emits the simhost results as a JSON report for the

@@ -10,6 +10,7 @@
 //	go run ./cmd/chaos -smoke              # fixed-seed CI gate (~2s)
 //	go run ./cmd/chaos -faults 50 -seed 7  # longer campaign, chosen seed
 //	go run ./cmd/chaos -profile vf2        # one platform only
+//	go run ./cmd/chaos -smoke -metrics-out chaos.json  # detection metrics
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"govfm/internal/inject"
+	"govfm/internal/obs"
 )
 
 var profileAlias = map[string][]string{
@@ -36,6 +38,10 @@ func run() int {
 		smoke   = flag.Bool("smoke", false, "fixed-seed smoke campaign: every firmware x policy x platform, used as a CI gate")
 		profile = flag.String("profile", "all", "platform profile: vf2, p550, or all")
 		budget  = flag.Uint64("budget", 0, "watchdog cycle budget (0 = default)")
+
+		metricsOut  = flag.String("metrics-out", "", "write campaign detection metrics (JSON) to this file")
+		metricsDump = flag.Bool("metrics", false, "print campaign detection metrics on exit")
+		traceOut    = flag.String("trace-out", "", "write injection instants as Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
@@ -50,18 +56,52 @@ func run() int {
 		profiles = profileAlias["all"]
 	}
 
+	var ob *obs.Observer
+	if *metricsOut != "" || *metricsDump || *traceOut != "" {
+		ob = obs.New(obs.Options{})
+	}
+
 	start := time.Now()
 	rep, err := inject.RunCampaign(inject.CampaignConfig{
 		Seed:           *seed,
 		Platforms:      profiles,
 		FaultsPerCombo: *faults,
 		WatchdogBudget: *budget,
+		Obs:            ob,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 		return 2
 	}
 	fmt.Print(rep.Format())
+	if ob != nil {
+		// Surface the campaign's detection metrics into the registry: the
+		// Report already aggregates across every combo and rebuild.
+		ob.Metrics.Collect(func(emit func(name string, value uint64)) {
+			emit("chaos.injected", uint64(rep.TotalInjected))
+			emit("chaos.detected", uint64(rep.TotalReported))
+			emit("chaos.contained", uint64(rep.TotalContained))
+			emit("chaos.failures", uint64(rep.TotalFailures))
+			for k := inject.Kind(0); int(k) < inject.NumKinds; k++ {
+				if n := rep.ByKind[k]; n > 0 {
+					emit("chaos.inject."+k.String(), uint64(n))
+				}
+			}
+		})
+		if *metricsDump {
+			fmt.Printf("metrics:\n%s", ob.Metrics.Dump())
+		}
+		if *metricsOut != "" {
+			if err := ob.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			}
+		}
+		if *traceOut != "" {
+			if err := ob.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			}
+		}
+	}
 	fmt.Printf("campaign: %d combos in %.1fs\n", len(rep.Results), time.Since(start).Seconds())
 	for _, r := range rep.Results {
 		for _, f := range r.Failures {

@@ -14,6 +14,9 @@
 //	-policy none|sandbox|keystone|ace  isolation policy (default sandbox)
 //	-harts N                           core count override
 //	-max-steps N                       step budget (default 2e9)
+//	-trace-out FILE                    write Chrome trace_event JSON (Perfetto)
+//	-metrics-out FILE                  write a metrics snapshot as JSON
+//	-metrics                           print a metrics dump on exit
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"os"
 
 	govfm "govfm"
+	"govfm/internal/obs"
 )
 
 func main() {
@@ -32,6 +36,9 @@ func main() {
 	policy := flag.String("policy", "sandbox", "isolation policy")
 	harts := flag.Int("harts", 1, "core count")
 	maxSteps := flag.Uint64("max-steps", 0, "step budget (0 = default)")
+	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file")
+	metricsDump := flag.Bool("metrics", false, "print a metrics dump on exit")
 	flag.Parse()
 
 	var pol govfm.Policy
@@ -48,6 +55,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	var ob *obs.Observer
+	if *traceOut != "" || *metricsOut != "" || *metricsDump {
+		ob = obs.New(obs.Options{})
+	}
+
 	sys, err := govfm.New(govfm.Config{
 		Platform:   govfm.Platform(*platform),
 		Firmware:   govfm.FirmwareKind(*fw),
@@ -55,6 +67,7 @@ func main() {
 		Virtualize: !*native,
 		Offload:    !*noOffload,
 		Policy:     pol,
+		Obs:        ob,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "miralis: %v\n", err)
@@ -71,6 +84,21 @@ func main() {
 			"fw-traps=%d os-traps=%d virt-interrupts=%d\n",
 			st.Emulations, st.WorldSwitches, st.FastPathHits,
 			st.FirmwareTraps, st.OSTraps, st.VirtInterrupts)
+	}
+	if ob != nil {
+		if *metricsDump {
+			fmt.Printf("metrics:\n%s", ob.Metrics.Dump())
+		}
+		if *metricsOut != "" {
+			if err := ob.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "miralis: %v\n", err)
+			}
+		}
+		if *traceOut != "" {
+			if err := ob.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "miralis: %v\n", err)
+			}
+		}
 	}
 	if !halted || reason != "guest-exit-pass" {
 		os.Exit(1)

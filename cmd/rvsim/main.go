@@ -1,12 +1,21 @@
 // Command rvsim runs a raw binary image on the bare machine simulator —
 // no monitor, no default firmware — starting in M-mode at the image base.
-// It is the debugging workhorse for firmware and kernel images.
+// It is the debugging workhorse for firmware and kernel images. With no
+// -image it instead boots the built-in gosbi firmware and default boot
+// kernel under the monitor — the quickest way to a fully populated trace
+// (per-hart tracks plus the monitor track).
 //
 // Usage:
 //
-//	rvsim -image prog.bin [-base 0x80100000] [-platform visionfive2]
+//	rvsim [-image prog.bin] [-base 0x80100000] [-platform visionfive2]
 //	      [-harts 1] [-max-steps N] [-trace] [-fastpath=true]
+//	      [-trace-out boot.json] [-metrics-out metrics.json] [-metrics]
 //	      [-cpuprofile prof.out] [-memprofile heap.out]
+//
+// -trace-out writes the run's structured events as Chrome trace_event
+// JSON (open in Perfetto); -metrics-out writes a metrics snapshot as
+// JSON; -metrics dumps the snapshot as text on exit. All three record
+// simulated time only — cycle counts are unchanged by enabling them.
 package main
 
 import (
@@ -16,8 +25,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	govfm "govfm"
 	"govfm/internal/core"
 	"govfm/internal/hart"
+	"govfm/internal/obs"
 	"govfm/internal/rv"
 )
 
@@ -29,6 +40,9 @@ func main() {
 	maxSteps := flag.Uint64("max-steps", 100_000_000, "step budget")
 	traceTraps := flag.Bool("trace", false, "print every trap")
 	fastpath := flag.Bool("fastpath", true, "enable host acceleration caches")
+	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file")
+	metricsDump := flag.Bool("metrics", false, "print a metrics dump on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -46,31 +60,52 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if *image == "" {
-		fmt.Fprintln(os.Stderr, "rvsim: -image is required")
-		os.Exit(2)
-	}
-	img, err := os.ReadFile(*image)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
-		os.Exit(1)
+	var ob *obs.Observer
+	if *traceOut != "" || *metricsOut != "" || *metricsDump {
+		ob = obs.New(obs.Options{})
 	}
 
-	mk, ok := hart.Profiles()[*platform]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rvsim: unknown platform %q\n", *platform)
-		os.Exit(2)
-	}
-	cfg := mk()
-	cfg.Harts = *harts
-	m, err := hart.NewMachine(cfg, core.DramSize)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
-		os.Exit(1)
-	}
-	if err := m.LoadImage(*base, img); err != nil {
-		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
-		os.Exit(1)
+	var m *hart.Machine
+	if *image == "" {
+		// No image: boot the built-in monitored gosbi system.
+		sys, err := govfm.New(govfm.Config{
+			Platform:   govfm.Platform(*platform),
+			Harts:      *harts,
+			Virtualize: true,
+			Offload:    true,
+			Obs:        ob,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			os.Exit(1)
+		}
+		m = sys.Machine
+	} else {
+		img, err := os.ReadFile(*image)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			os.Exit(1)
+		}
+		mk, ok := hart.Profiles()[*platform]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rvsim: unknown platform %q\n", *platform)
+			os.Exit(2)
+		}
+		cfg := mk()
+		cfg.Harts = *harts
+		m, err = hart.NewMachine(cfg, core.DramSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := m.LoadImage(*base, img); err != nil {
+			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			os.Exit(1)
+		}
+		if ob != nil {
+			m.AttachObs(ob)
+		}
+		m.Reset(*base)
 	}
 	if *traceTraps {
 		for _, h := range m.Harts {
@@ -81,7 +116,6 @@ func main() {
 			}
 		}
 	}
-	m.Reset(*base)
 	m.SetFastPath(*fastpath)
 	steps, halted := m.Run(*maxSteps)
 
@@ -90,6 +124,21 @@ func main() {
 	fmt.Printf("steps=%d halted=%v reason=%q\n", steps, ok2, reason)
 	for _, h := range m.Harts {
 		fmt.Printf("%v instret=%d\n", h, h.Instret)
+	}
+	if ob != nil {
+		if *metricsDump {
+			fmt.Printf("metrics:\n%s", ob.Metrics.Dump())
+		}
+		if *metricsOut != "" {
+			if err := ob.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			}
+		}
+		if *traceOut != "" {
+			if err := ob.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+			}
+		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

@@ -34,6 +34,7 @@ import (
 	"govfm/internal/firmware"
 	"govfm/internal/hart"
 	"govfm/internal/kernel"
+	"govfm/internal/obs"
 	"govfm/internal/policy/ace"
 	"govfm/internal/policy/keystone"
 	"govfm/internal/policy/sandbox"
@@ -117,6 +118,14 @@ type Config struct {
 	// enforces when Containment is on (0 disables the watchdog).
 	WatchdogBudget uint64
 
+	// Obs, when non-nil, attaches the observability layer: the machine's
+	// perf counters and the monitor's dispatch/world-switch/SBI metrics
+	// register with Obs.Metrics, and structured events (traps, world
+	// switches, boot, faults) flow to Obs.Trace. Observability never
+	// charges simulated cycles — counts are bit-identical with it on or
+	// off.
+	Obs *obs.Observer
+
 	// VirtualizePLIC enables the experimental virtual PLIC (paper §4.3).
 	VirtualizePLIC bool
 	// IOPMP adds an IOPMP unit to the machine and virtualizes it (§4.3);
@@ -185,6 +194,7 @@ func New(cfg Config) (*System, error) {
 		if kern == nil {
 			kern = kernel.BuildBoot(core.OSBase, kernel.BootOptions{
 				Harts: pcfg.Harts, TimeReads: 10, TimerSets: 1, Misaligned: 3,
+				Paging: true,
 			})
 		}
 		if err := m.LoadImage(core.OSBase, kern); err != nil {
@@ -193,6 +203,9 @@ func New(cfg Config) (*System, error) {
 	}
 
 	sys := &System{Machine: m, Platform: pcfg}
+	if cfg.Obs != nil {
+		m.AttachObs(cfg.Obs)
+	}
 	if cfg.Virtualize {
 		mon, err := core.Attach(m, core.Options{
 			Policy:          cfg.Policy,
@@ -202,6 +215,7 @@ func New(cfg Config) (*System, error) {
 			VirtualizeIOPMP: cfg.IOPMP,
 			Containment:     cfg.Containment,
 			WatchdogBudget:  cfg.WatchdogBudget,
+			Obs:             cfg.Obs,
 		})
 		if err != nil {
 			return nil, err

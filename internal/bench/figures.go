@@ -9,6 +9,7 @@ import (
 	"govfm/internal/firmware"
 	"govfm/internal/hart"
 	"govfm/internal/kernel"
+	"govfm/internal/obs"
 	"govfm/internal/policy/keystone"
 	"govfm/internal/trace"
 )
@@ -327,8 +328,13 @@ func Fig3(newCfg func() *hart.Config, windowTicks uint64) (*Fig3Result, error) {
 	if err := m.LoadImage(core.OSBase, BootWorkload(1)); err != nil {
 		return nil, err
 	}
+	// Ride the observability event stream rather than the hart trap hook:
+	// a storeless tracer delivers every trap instant to the collector
+	// without paying for ring storage.
 	col := trace.NewCollector(windowTicks, m.Clint.Time)
-	col.Attach(m.Harts[0])
+	evs := obs.NewTracer(0)
+	m.Harts[0].Trace = evs
+	col.AttachTracer(evs)
 	m.Reset(core.FirmwareBase)
 	m.Run(2_000_000_000)
 	if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {

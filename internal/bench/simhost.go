@@ -8,6 +8,7 @@ import (
 	"govfm/internal/core"
 	"govfm/internal/hart"
 	"govfm/internal/kernel"
+	"govfm/internal/obs"
 )
 
 // Simulator host-throughput measurement: how fast the simulator itself
@@ -32,6 +33,11 @@ type SimHostResult struct {
 	MIPSOff   float64 `json:"mips_off"`
 	MIPSOn    float64 `json:"mips_on"`
 	Speedup   float64 `json:"speedup"`
+
+	// Host-cache effectiveness in the fast-path-on run, from the hart's
+	// perf counters (absent in pre-observability baselines).
+	TLBHitPct    uint64 `json:"tlb_hit_pct"`
+	DecodeHitPct uint64 `json:"decode_hit_pct"`
 }
 
 // simHostCase is one workload: a setup function returning a machine that
@@ -76,33 +82,33 @@ const simHostReps = 2
 
 // measureSimHost runs one freshly set-up machine with the given fast-path
 // setting and reports the architectural outcome plus host wall time.
-func measureSimHost(c simHostCase, newCfg func() *hart.Config, fast bool) (cycles, instret uint64, ns int64, err error) {
+func measureSimHost(c simHostCase, newCfg func() *hart.Config, fast bool) (cycles, instret uint64, ns int64, perf hart.PerfCounters, err error) {
 	for rep := 0; rep < simHostReps; rep++ {
 		m, err := c.setup(newCfg)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, perf, err
 		}
 		m.SetFastPath(fast)
 		start := time.Now()
 		m.Run(2_000_000_000)
 		elapsed := time.Since(start).Nanoseconds()
 		if ok, reason := m.Halted(); !ok || reason != "guest-exit-pass" {
-			return 0, 0, 0, fmt.Errorf("simhost %s: run did not complete: %v %q", c.name, ok, reason)
+			return 0, 0, 0, perf, fmt.Errorf("simhost %s: run did not complete: %v %q", c.name, ok, reason)
 		}
 		h := m.Harts[0]
 		if rep == 0 {
-			cycles, instret, ns = h.Cycles, h.Instret, elapsed
+			cycles, instret, ns, perf = h.Cycles, h.Instret, elapsed, h.Perf
 			continue
 		}
 		if h.Cycles != cycles || h.Instret != instret {
-			return 0, 0, 0, fmt.Errorf("simhost %s: nondeterministic run (cycles %d vs %d)",
+			return 0, 0, 0, perf, fmt.Errorf("simhost %s: nondeterministic run (cycles %d vs %d)",
 				c.name, h.Cycles, cycles)
 		}
 		if elapsed < ns {
 			ns = elapsed
 		}
 	}
-	return cycles, instret, ns, nil
+	return cycles, instret, ns, perf, nil
 }
 
 // SimHost measures host throughput for every simhost workload on one
@@ -111,11 +117,11 @@ func SimHost(newCfg func() *hart.Config) ([]*SimHostResult, error) {
 	cfg := newCfg()
 	var out []*SimHostResult
 	for _, c := range simHostCases() {
-		cycOff, insOff, nsOff, err := measureSimHost(c, newCfg, false)
+		cycOff, insOff, nsOff, _, err := measureSimHost(c, newCfg, false)
 		if err != nil {
 			return nil, err
 		}
-		cycOn, insOn, nsOn, err := measureSimHost(c, newCfg, true)
+		cycOn, insOn, nsOn, perf, err := measureSimHost(c, newCfg, true)
 		if err != nil {
 			return nil, err
 		}
@@ -128,6 +134,8 @@ func SimHost(newCfg func() *hart.Config) ([]*SimHostResult, error) {
 			Platform: cfg.Name, Workload: c.name,
 			Instret: insOn, Cycles: cycOn,
 			HostNsOff: nsOff, HostNsOn: nsOn,
+			TLBHitPct:    obs.HitRatePct(perf.TLBHits, perf.TLBMisses),
+			DecodeHitPct: obs.HitRatePct(perf.DecodeHits, perf.DecodeMisses),
 		}
 		if nsOff > 0 {
 			r.MIPSOff = float64(insOff) * 1e3 / float64(nsOff)

@@ -134,6 +134,7 @@ func (m *Monitor) containFirmware(ctx *HartCtx, f *MonitorFault, fallback uint64
 		m.installPhysCSRs(ctx, WorldFirmware)
 		m.installPMP(ctx, WorldFirmware)
 		m.trace("contain:restart", ctx)
+		m.observeContain(ctx, "contain:restart")
 		return m.Opts.FirmwareEntry
 	}
 
@@ -154,6 +155,7 @@ func (m *Monitor) containFirmware(ctx *HartCtx, f *MonitorFault, fallback uint64
 	ctx.lastOSInstret = h.Instret
 	ctx.osProgressCycles = h.Cycles
 	m.trace("contain:degraded", ctx)
+	m.observeContain(ctx, "contain:degraded")
 	if fromWorld == WorldOS {
 		// No world switch will happen on resume (OS → OS), so push the
 		// repaired state — degraded delegation, allow-all virtual PMP —
@@ -444,6 +446,7 @@ func (m *Monitor) fwWakeupPossible(ctx *HartCtx) bool {
 func (m *Monitor) watchdogFire(ctx *HartCtx, reason string) {
 	h := ctx.Hart
 	ctx.Stats.WatchdogFires++
+	m.observeContain(ctx, "watchdog:fire")
 	h.ChargeCycles(h.Cfg.Cost.MonitorEntry)
 	f := m.newFault(ctx, FaultWatchdog, reason)
 	prev := ctx.World()

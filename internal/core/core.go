@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"govfm/internal/hart"
+	"govfm/internal/obs"
 	"govfm/internal/pmp"
 	"govfm/internal/rv"
 )
@@ -232,6 +233,11 @@ type Options struct {
 	FirmwareEntry uint64
 	// Trace, when non-nil, receives monitor events.
 	Trace func(event string, c *HartCtx)
+	// Obs, when non-nil, receives the monitor's metrics (via registry
+	// collectors) and structured events (world spans, SBI instants,
+	// containment outcomes) on the simulated timeline. Purely
+	// observational: attaching it never changes cycle counts.
+	Obs *obs.Observer
 
 	// Containment enables crash containment and recovery: double faults
 	// and fatal conditions in the virtual firmware restart it from the
@@ -355,6 +361,12 @@ type HartCtx struct {
 	// cycle clock only slides on retirement beyond that baseline.
 	lastOSInstret    uint64
 	osProgressCycles uint64
+
+	// EmuByOp counts emulated instructions by decoded class; SBIByExt
+	// counts OS SBI calls by extension label. Both are surfaced through
+	// the metrics collector registered by attachObs.
+	EmuByOp  [emuNumOps]uint64
+	SBIByExt map[string]uint64
 }
 
 // osResume is the OS-side resume point captured at an OS→firmware switch.
@@ -422,6 +434,10 @@ type Monitor struct {
 	// reinitializes a crashed firmware.
 	bootFW    []byte
 	bootSnaps []*hart.Snapshot
+
+	// obsv/fwResidency hold the attached observer (see obs.go).
+	obsv        *obs.Observer
+	fwResidency *obs.Histogram
 }
 
 // Attach installs a monitor on every hart of the machine. The machine must
@@ -456,9 +472,13 @@ func Attach(m *hart.Machine, opts Options) (*Monitor, error) {
 			Hart:     h,
 			V:        newVirtCSRs(nvpmp),
 			VirtMode: rv.ModeM,
+			SBIByExt: map[string]uint64{},
 		}
 		mon.Ctx = append(mon.Ctx, ctx)
 		h.Monitor = &hartMonitor{mon: mon, ctx: ctx}
+	}
+	if opts.Obs != nil {
+		mon.attachObs(opts.Obs)
 	}
 	return mon, nil
 }
@@ -507,6 +527,7 @@ func (m *Monitor) Boot() {
 		m.installPMP(ctx, WorldFirmware)
 		m.installIOPMP(ctx)
 	}
+	m.observeBoot()
 	if m.Opts.Containment {
 		// Capture the boot snapshot containment restores a crashed firmware
 		// from: the image bytes plus each hart's post-install state.

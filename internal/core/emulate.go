@@ -44,6 +44,7 @@ func (m *Monitor) emulateInstr(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	ctx.Stats.Emulations++
 
 	ins := decode(raw)
+	ctx.EmuByOp[ins.Op]++
 	switch ins.Op {
 	case EmuMRET:
 		return m.emulateMRET(ctx, raw, epc)

@@ -107,6 +107,7 @@ func (m *Monitor) newFault(ctx *HartCtx, kind FaultKind, reason string) *Monitor
 // recordFault appends to the bounded fault log.
 func (m *Monitor) recordFault(f *MonitorFault) {
 	m.FaultCount++
+	m.observeFault(f)
 	if len(m.Faults) < maxFaults {
 		m.Faults = append(m.Faults, f)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"govfm/internal/asm"
 	"govfm/internal/rv"
 )
 
@@ -104,6 +105,8 @@ func (m *Monitor) handleFirmwareTrap(ctx *HartCtx, code, tval, epc uint64) uint6
 func (m *Monitor) handleOSTrap(ctx *HartCtx, code, tval, epc uint64) uint64 {
 	switch code {
 	case rv.ExcEcallFromS, rv.ExcEcallFromU:
+		h := ctx.Hart
+		m.observeSBI(ctx, h.Reg(asm.A7), h.Reg(asm.A6), h.Reg(asm.A0))
 		switch m.Policy.OnOSEcall(ctx) {
 		case ActHandled:
 			return ctx.takeOverride(epc + 4)

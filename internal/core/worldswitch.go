@@ -25,6 +25,7 @@ const physTrapCtl = uint64(1)<<rv.MstatusTVM | 1<<rv.MstatusTW | 1<<rv.MstatusTS
 // switchWorld performs the transition bookkeeping for entering `to`.
 func (m *Monitor) switchWorld(ctx *HartCtx, to World) {
 	ctx.Stats.WorldSwitches++
+	m.observeWorldSwitch(ctx, to) // before fwEnterCycles is re-armed below
 	m.Policy.OnWorldSwitch(ctx, to)
 	if m.Opts.OnWorldSwitch != nil {
 		m.Opts.OnWorldSwitch(ctx, to)

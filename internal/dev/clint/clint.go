@@ -23,6 +23,13 @@ type Clint struct {
 	msip     []uint32
 	mtimecmp []uint64
 	mtime    uint64
+
+	// Perf counts programming operations, whether they arrive as MMIO
+	// stores or through the monitor's fast-path setters.
+	Perf struct {
+		TimerPrograms uint64 // mtimecmp writes
+		IPIPosts      uint64 // msip set operations (clears not counted)
+	}
 }
 
 // New returns a CLINT serving nHarts harts, with all mtimecmp registers
@@ -68,10 +75,14 @@ func (c *Clint) Store(off uint64, size int, v uint64) bool {
 		if size != 4 || off%4 != 0 {
 			return false
 		}
+		if v&1 != 0 {
+			c.Perf.IPIPosts++
+		}
 		c.msip[(off-MsipOff)/4] = uint32(v & 1) // only bit 0 is writable
 		return true
 	case off >= MtimecmpOff && off < MtimecmpOff+uint64(8*len(c.mtimecmp)):
 		hart := (off - MtimecmpOff) / 8
+		c.Perf.TimerPrograms++
 		return writeReg(&c.mtimecmp[hart], off%8, size, v)
 	case off >= MtimeOff && off < MtimeOff+8:
 		return writeReg(&c.mtime, off-MtimeOff, size, v)
@@ -118,7 +129,10 @@ func (c *Clint) Advance(ticks uint64) { c.mtime += ticks }
 func (c *Clint) Mtimecmp(hart int) uint64 { return c.mtimecmp[hart] }
 
 // SetMtimecmp sets hart's timer deadline (SBI set_timer fast path).
-func (c *Clint) SetMtimecmp(hart int, v uint64) { c.mtimecmp[hart] = v }
+func (c *Clint) SetMtimecmp(hart int, v uint64) {
+	c.Perf.TimerPrograms++
+	c.mtimecmp[hart] = v
+}
 
 // Msip reports whether hart's software-interrupt bit is set.
 func (c *Clint) Msip(hart int) bool { return c.msip[hart] != 0 }
@@ -126,6 +140,7 @@ func (c *Clint) Msip(hart int) bool { return c.msip[hart] != 0 }
 // SetMsip sets or clears hart's software-interrupt bit (IPI fast path).
 func (c *Clint) SetMsip(hart int, set bool) {
 	if set {
+		c.Perf.IPIPosts++
 		c.msip[hart] = 1
 	} else {
 		c.msip[hart] = 0

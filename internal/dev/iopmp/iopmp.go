@@ -28,7 +28,8 @@ const (
 // (paper §4.3 note on Protego-style enablement cost).
 type IOPMP struct {
 	file *pmp.File
-	// Denials counts blocked master accesses.
+	// Checks counts master accesses consulted; Denials the blocked subset.
+	Checks  uint64
 	Denials uint64
 }
 
@@ -48,6 +49,7 @@ func (p *IOPMP) File() *pmp.File { return p.file }
 // bytes at addr is permitted. An unprogrammed unit (all entries OFF)
 // permits everything.
 func (p *IOPMP) Check(addr uint64, size int, write bool) bool {
+	p.Checks++
 	enabled := false
 	for i := 0; i < p.file.NumEntries(); i++ {
 		if pmp.AMode(p.file.Cfg(i)) != pmp.AOff {

@@ -39,6 +39,12 @@ type Plic struct {
 	cacheOn bool
 	pend    []uint64 // per hart
 	pendOK  []bool
+
+	// Perf counts interrupt servicing operations.
+	Perf struct {
+		Claims    uint64 // successful claim reads (nonzero irq handed out)
+		Completes uint64 // completion writes for a valid source
+	}
 }
 
 // New returns a PLIC with two contexts (M and S) per hart.
@@ -146,6 +152,7 @@ func (p *Plic) Load(off uint64, size int) (uint64, bool) {
 		case 4: // claim
 			irq := p.best(ctx)
 			if irq != 0 {
+				p.Perf.Claims++
 				p.claimed |= 1 << irq
 				p.invalidate()
 			}
@@ -185,6 +192,7 @@ func (p *Plic) Store(off uint64, size int, v uint64) bool {
 		case 4: // complete
 			irq := int(v)
 			if irq > 0 && irq < MaxSources {
+				p.Perf.Completes++
 				p.claimed &^= 1 << irq
 			}
 			return true

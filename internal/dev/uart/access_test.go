@@ -6,10 +6,10 @@ import "testing"
 // access sizes the bus can issue.
 func TestRegisterMatrix(t *testing.T) {
 	tests := []struct {
-		name    string
-		off     uint64
-		size    int
-		ok      bool
+		name string
+		off  uint64
+		size int
+		ok   bool
 	}{
 		{"rbr byte", RBR, 1, true},
 		{"rbr word", RBR, 4, true}, // word-wide register access, as some drivers do

@@ -80,5 +80,8 @@ func (u *Uart) Store(off uint64, size int, v uint64) bool {
 // Output returns everything transmitted so far.
 func (u *Uart) Output() string { return u.tx.String() }
 
+// TxLen returns the number of bytes transmitted so far.
+func (u *Uart) TxLen() int { return u.tx.Len() }
+
 // Feed queues input bytes for the receive path.
 func (u *Uart) Feed(p []byte) { u.rx = append(u.rx, p...) }

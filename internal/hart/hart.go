@@ -17,6 +17,7 @@ import (
 
 	"govfm/internal/mem"
 	"govfm/internal/mmu"
+	"govfm/internal/obs"
 	"govfm/internal/rv"
 )
 
@@ -86,6 +87,14 @@ type Hart struct {
 
 	// OnTrap, when non-nil, is called for every trap taken (tracing).
 	OnTrap func(TrapInfo)
+
+	// Perf accumulates always-on observability counters (fast-path hit
+	// rates, trap frequencies). Counting never feeds back into simulated
+	// state: cycles are bit-identical whether or not anyone reads them.
+	Perf PerfCounters
+	// Trace, when non-nil, receives trap instants and monitor-handling
+	// spans on this hart's track of the simulated timeline.
+	Trace *obs.Tracer
 
 	// LR/SC reservation.
 	resValid bool
@@ -205,11 +214,27 @@ func (h *Hart) trap(cause, tval, epc uint64) {
 	h.PC = vectorPC(h.CSR.Mtvec, cause)
 	h.notifyTrap(cause, tval, epc, from, rv.ModeM)
 	if h.Monitor != nil {
+		// The "m-trap" span brackets the monitor's handling of this trap:
+		// it closes when HandleMTrap returns, which encloses the mret
+		// (ReturnMRET runs inside the handler), so the span reads as
+		// trap-to-mret on the simulated timeline however the monitor exits
+		// (emulate+mret, world switch, firmware restart).
+		h.Trace.Begin(int32(h.ID), h.Cycles, "m-trap")
 		h.Monitor.HandleMTrap(h)
+		h.Trace.End(int32(h.ID), h.Cycles)
 	}
 }
 
 func (h *Hart) notifyTrap(cause, tval, epc uint64, from, to rv.Mode) {
+	h.Perf.Traps++
+	h.Perf.TrapsByCause[trapCauseIndex(cause)]++
+	if h.Trace != nil {
+		h.Trace.Emit(obs.Event{
+			Kind: obs.KInstant, Track: int32(h.ID), TS: h.Cycles,
+			Name: trapNames[trapCauseIndex(cause)],
+			Args: [4]uint64{cause, tval, h.Reg(17), uint64(from)<<8 | uint64(to)},
+		})
+	}
 	if h.OnTrap != nil {
 		h.OnTrap(TrapInfo{
 			Hart: h.ID, Cause: cause, Tval: tval, EPC: epc,

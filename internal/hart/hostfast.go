@@ -148,6 +148,7 @@ func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 		return va, nil
 	}
 	if !h.fast.on {
+		h.Perf.PageWalks++
 		res := mmu.Translate(h.mmuEnv(priv), va, acc)
 		if !res.OK {
 			return 0, h.exc(res.Cause, va)
@@ -160,8 +161,11 @@ func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 	sum := rv.Bit(h.CSR.Mstatus, rv.MstatusSUM) != 0
 	mxr := rv.Bit(h.CSR.Mstatus, rv.MstatusMXR) != 0
 	if paPage, ok := h.fast.tlb.Lookup(acc, vpn, satp, epoch, priv, sum, mxr); ok {
+		h.Perf.TLBHits++
 		return paPage | va&4095, nil
 	}
+	h.Perf.TLBMisses++
+	h.Perf.PageWalks++
 	res := mmu.Translate(h.mmuEnv(priv), va, acc)
 	if !res.OK {
 		return 0, h.exc(res.Cause, va)
@@ -193,6 +197,7 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 		if dp == nil {
 			if !h.Bus.WatchPage(pageBase) {
 				// Not RAM: execute-in-place from a device; never cache.
+				h.Perf.DecodeMisses++
 				v, ok := h.Bus.Load(pa, 4)
 				if !ok {
 					return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
@@ -214,12 +219,15 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 	}
 	i := (pa & 4095) >> 2
 	if dp.tags[i] != dp.gen {
+		h.Perf.DecodeMisses++
 		v, ok := h.Bus.Load(pa, 4)
 		if !ok {
 			return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
 		}
 		dp.ins[i] = rv.Decode(uint32(v))
 		dp.tags[i] = dp.gen
+	} else {
+		h.Perf.DecodeHits++
 	}
 	return &dp.ins[i], nil
 }

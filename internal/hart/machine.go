@@ -203,8 +203,12 @@ func (m *Machine) RunUntil(cond func() bool, maxSteps uint64) bool {
 }
 
 // Cycles returns hart 0's cycle counter, the conventional clock for
-// single-workload measurements.
-func (m *Machine) Cycles() uint64 { return m.Harts[0].Cycles }
+// single-workload measurements. It deliberately reads only hart 0 — on a
+// multi-hart machine, use HartCycles to name the hart you mean.
+func (m *Machine) Cycles() uint64 { return m.HartCycles(0) }
+
+// HartCycles returns hart i's cycle counter.
+func (m *Machine) HartCycles(i int) uint64 { return m.Harts[i].Cycles }
 
 // DMARegionSize is the size of the DMA engine's register window.
 const DMARegionSize = 0x1000

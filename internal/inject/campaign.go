@@ -7,6 +7,7 @@ import (
 
 	"govfm"
 	"govfm/internal/core"
+	"govfm/internal/obs"
 	"govfm/internal/policy/sandbox"
 )
 
@@ -29,6 +30,12 @@ type CampaignConfig struct {
 	GapSteps       uint64   // steps between injections (default 500)
 	RecoverySteps  uint64   // progress window after a fault (default 400k)
 	WatchdogBudget uint64   // firmware cycle budget (default 2M)
+
+	// Obs, when non-nil, receives an "inject:<kind>" instant for every
+	// injection on the trace. Detection metrics live in the Report (the
+	// campaign rebuilds injectors, so per-injector collectors would
+	// shadow each other); cmd/chaos surfaces them into the registry.
+	Obs *obs.Observer
 }
 
 func (c *CampaignConfig) defaults() {
@@ -72,6 +79,10 @@ type ComboResult struct {
 	Reported  int // total fault records
 	Rebuilds  int // fresh systems built (after halts / prolonged degraded mode)
 
+	// ByKind breaks Injected down by fault kind (accumulated across
+	// rebuilds).
+	ByKind [NumKinds]int
+
 	WatchdogFires    uint64
 	FirmwareRestarts uint64
 	DegradedCalls    uint64
@@ -100,6 +111,9 @@ type Report struct {
 	TotalContained int
 	TotalReported  int
 	TotalFailures  int
+
+	// ByKind is the campaign-wide injection breakdown.
+	ByKind [NumKinds]int
 }
 
 // Format renders the campaign as an aligned table.
@@ -131,6 +145,9 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 				rep.TotalContained += res.Contained
 				rep.TotalReported += res.Reported
 				rep.TotalFailures += len(res.Failures)
+				for k := 0; k < NumKinds; k++ {
+					rep.ByKind[k] += res.ByKind[k]
+				}
 			}
 		}
 	}
@@ -241,10 +258,16 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 		return nil, err
 	}
 	inj := New(seed, cs.sys.Monitor)
+	if cfg.Obs != nil {
+		inj.AttachTracer(cfg.Obs.Trace)
+	}
 	degradedRounds := 0
 
 	finishCombo := func() {
 		mon := cs.sys.Monitor
+		for k := 0; k < NumKinds; k++ {
+			res.ByKind[k] += inj.Counts[k]
+		}
 		for _, f := range mon.Faults {
 			res.Reported++
 			if f.Contained {
@@ -272,6 +295,9 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 		}
 		cs = ncs
 		inj = New(seed+int64(res.Rebuilds), cs.sys.Monitor)
+		if cfg.Obs != nil {
+			inj.AttachTracer(cfg.Obs.Trace)
+		}
 		return nil
 	}
 

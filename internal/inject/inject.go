@@ -15,6 +15,7 @@ import (
 
 	"govfm/internal/core"
 	"govfm/internal/hart"
+	"govfm/internal/obs"
 )
 
 // Kind classifies an injectable fault.
@@ -125,6 +126,7 @@ type Injector struct {
 	rng *rand.Rand
 	mon *core.Monitor
 	m   *hart.Machine
+	tr  *obs.Tracer // nil unless observability is attached (obs.go)
 
 	// Total counts all injected faults; Counts breaks them down by kind.
 	Total  int
@@ -244,5 +246,6 @@ func (in *Injector) InjectKind(ctx *core.HartCtx, k Kind) Fault {
 
 	in.Total++
 	in.Counts[k]++
+	in.observe(k, h.ID, h.PC, h.Cycles, uint64(ctx.World()))
 	return Fault{Kind: k, Hart: h.ID, Cycles: h.Cycles, World: ctx.World(), Detail: detail}
 }

@@ -1,0 +1,65 @@
+package inject
+
+import "govfm/internal/obs"
+
+// Observability wiring: every injection is visible on the event stream as
+// an "inject:<kind>" instant on the monitor track (so a Perfetto view of a
+// chaos run shows exactly when each perturbation landed, against the
+// containment reactions it provoked), and a snapshot-time collector
+// reports faults injected vs. faults the monitor detected.
+
+// injectEventNames precomputes the instant names so the injection path
+// allocates nothing.
+var injectEventNames = func() [NumKinds]string {
+	var names [NumKinds]string
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		names[k] = "inject:" + k.String()
+	}
+	return names
+}()
+
+// AttachTracer wires only the event stream — no metrics collector. The
+// chaos campaign uses this for its short-lived per-rebuild injectors,
+// whose counts are aggregated into the campaign Report instead (a
+// registry collector per rebuild would shadow its predecessors).
+func (in *Injector) AttachTracer(t *obs.Tracer) { in.tr = t }
+
+// AttachObs wires the injector into an observer: injection instants on
+// the trace, plus a collector reporting inject.total, inject.detected
+// (monitor fault records since attachment — the faults the monitor
+// caught), and per-kind injection counts.
+func (in *Injector) AttachObs(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	in.tr = o.Trace
+	r := o.Metrics
+	if r == nil {
+		return
+	}
+	base := in.mon.FaultCount
+	r.Collect(func(emit func(name string, value uint64)) {
+		emit("inject.total", uint64(in.Total))
+		emit("inject.detected", uint64(in.mon.FaultCount-base))
+		for k := Kind(0); int(k) < NumKinds; k++ {
+			if n := in.Counts[k]; n > 0 {
+				emit("inject."+k.String(), uint64(n))
+			}
+		}
+	})
+}
+
+// observe emits the injection instant. Args: hart, pc at injection, kind,
+// world.
+func (in *Injector) observe(k Kind, hartID int, pc, cycles uint64, w uint64) {
+	if in.tr == nil {
+		return
+	}
+	in.tr.Emit(obs.Event{
+		Kind:  obs.KInstant,
+		Track: obs.MonitorTrack,
+		TS:    cycles,
+		Name:  injectEventNames[k],
+		Args:  [4]uint64{uint64(hartID), pc, uint64(k), w},
+	})
+}

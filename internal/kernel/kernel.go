@@ -8,6 +8,7 @@ package kernel
 import (
 	"govfm/internal/asm"
 	"govfm/internal/hart"
+	"govfm/internal/mmu"
 	"govfm/internal/rv"
 )
 
@@ -19,6 +20,12 @@ type BootOptions struct {
 	TimeReads  int
 	TimerSets  int
 	Misaligned int
+	// Paging adds an Sv39 phase: build a one-PTE identity map of the
+	// DRAM gigapage in scratch RAM, enable translation, run a short
+	// virtually-addressed load loop, and return to bare mode. This is
+	// what makes a default boot exercise address translation (and the
+	// simulator's TLB) at all.
+	Paging bool
 	// ScratchAddr is OS RAM the kernel may scribble on.
 	ScratchAddr uint64
 }
@@ -38,7 +45,8 @@ func emitConsole(a *asm.Asm, ch byte) {
 
 // BuildBoot assembles the boot kernel at base. The kernel runs through a
 // boot sequence — console banner, SBI probes, time reads, a timer
-// interrupt round trip, misaligned accesses, secondary-hart bring-up with
+// interrupt round trip, misaligned accesses, an optional Sv39 paging
+// phase, secondary-hart bring-up with
 // IPI and remote-fence round trips — and shuts the machine down through
 // the SBI reset extension. Reaching the shutdown is the pass criterion:
 // any divergence wedges or faults the machine instead.
@@ -112,6 +120,32 @@ func BuildBoot(base uint64, opt BootOptions) []byte {
 		a.Lw(asm.T2, asm.S3, 0) // sign-extended low word
 		a.Sext32(asm.T3, asm.T0)
 		a.BneFar(asm.T2, asm.T3, "fail")
+	}
+
+	if opt.Paging {
+		// Sv39 phase. A single gigapage PTE identity-maps the DRAM
+		// gigapage (firmware, kernel, and scratch all live in it), so
+		// the whole phase — fetches included — runs translated.
+		giga := base &^ (uint64(1)<<30 - 1)
+		table := (scratch + 0x3000) &^ uint64(0xFFF) // 4KiB-aligned, zeroed RAM
+		pte := giga>>2 | mmu.PteD | mmu.PteA | mmu.PteX | mmu.PteW | mmu.PteR | mmu.PteV
+		a.Li(asm.T0, table+(giga>>30&0x1FF)*8)
+		a.Li(asm.T1, pte)
+		a.Sd(asm.T1, asm.T0, 0)
+		a.Li(asm.T0, rv.SatpModeSv39<<60|table>>12)
+		a.Csrw(rv.CSRSatp, asm.T0)
+		a.SfenceVMA(asm.X0, asm.X0)
+		// Virtually-addressed loads: the first walks the table, the
+		// rest (and every fetch in the loop) hit cached translations.
+		a.La(asm.T0, "tick_seen")
+		a.Li(asm.S4, 64)
+		a.Label("page_loop")
+		a.Ld(asm.T1, asm.T0, 0)
+		a.Addi(asm.S4, asm.S4, -1)
+		a.Bnez(asm.S4, "page_loop")
+		// Back to bare mode for the rest of the boot.
+		a.Csrw(rv.CSRSatp, asm.X0)
+		a.SfenceVMA(asm.X0, asm.X0)
 	}
 
 	if nharts > 1 {

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome/Perfetto trace_event export. The emitted JSON is the
+// {"traceEvents": [...]} object form, loadable in ui.perfetto.dev and
+// chrome://tracing. Each hart is one named thread ("hart0", "hart1", ...)
+// of process 1 ("govfm"); machine/monitor events form the "monitor"
+// thread. Timestamps are simulated cycles written into the "ts"
+// microsecond field (1 simulated cycle renders as 1 µs — the absolute
+// scale is meaningless for a simulator, the shape is what matters).
+//
+// The exporter makes two repairs so the output is always well-formed:
+//
+//   - Per-track timestamps are clamped to be monotonically non-decreasing.
+//     Monitor-track events are emitted by whichever hart was executing, so
+//     on multi-hart machines their clocks interleave.
+//
+//   - Begin/End pairs are re-matched per track: an End with no open Begin
+//     (its Begin was evicted from the ring, or a firmware executed mret
+//     without a prior trap) is dropped, and spans still open at the end of
+//     the trace are closed at the final timestamp. Chrome's "E" events
+//     take their name from the matched "B".
+
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Meta        string        `json:"metadata_note,omitempty"`
+}
+
+const chromePID = 1
+
+// chromeTID maps a track id to a stable Chrome thread id: the monitor
+// track sorts first, harts follow in order.
+func chromeTID(track int32) int {
+	if track == MonitorTrack {
+		return 1
+	}
+	return int(track) + 2
+}
+
+// WorldTrackBase offsets the per-hart world-residency tracks: track
+// WorldTrackBase+i carries hart i's firmware/OS residency spans, kept
+// separate from hart i's instruction-level track so world spans and
+// trap-handling spans never have to nest into each other.
+const WorldTrackBase int32 = 1 << 16
+
+// TrackName renders the conventional name of a track.
+func TrackName(track int32) string {
+	if track == MonitorTrack {
+		return "monitor"
+	}
+	if track >= WorldTrackBase {
+		return fmt.Sprintf("hart%d-world", track-WorldTrackBase)
+	}
+	return fmt.Sprintf("hart%d", track)
+}
+
+// WriteChromeTrace writes events as Chrome trace_event JSON. Events must
+// be in emission order (as returned by Tracer.Events).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// Discover tracks and emit thread metadata in a stable order.
+	trackSet := map[int32]bool{}
+	for i := range events {
+		trackSet[events[i].Track] = true
+	}
+	tracks := make([]int32, 0, len(trackSet))
+	for tr := range trackSet {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return chromeTID(tracks[i]) < chromeTID(tracks[j]) })
+
+	out := chromeTrace{Meta: "govfm simulated-time trace; ts unit = 1 simulated cycle"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "govfm"},
+	})
+	for _, tr := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTID(tr),
+			Args: map[string]any{"name": TrackName(tr)},
+		})
+	}
+
+	// Per-track normalization state.
+	lastTS := map[int32]uint64{} // monotonic clamp
+	open := map[int32][]string{} // stack of open span names
+	for i := range events {
+		e := &events[i]
+		ts := e.TS
+		if prev, ok := lastTS[e.Track]; ok && ts < prev {
+			ts = prev
+		}
+		lastTS[e.Track] = ts
+
+		ce := chromeEvent{
+			Name: e.Name, PID: chromePID, TID: chromeTID(e.Track), TS: float64(ts),
+		}
+		if e.Args != [4]uint64{} {
+			ce.Args = map[string]any{
+				"a0": e.Args[0], "a1": e.Args[1], "a2": e.Args[2], "a3": e.Args[3],
+			}
+		}
+		switch e.Kind {
+		case KInstant:
+			// Thread-scoped instant: stays on its own track instead of
+			// drawing a full-height line across the whole trace.
+			ce.Ph, ce.S = "i", "t"
+		case KBegin:
+			ce.Ph = "B"
+			open[e.Track] = append(open[e.Track], e.Name)
+		case KEnd:
+			stack := open[e.Track]
+			if len(stack) == 0 {
+				continue // orphan End: its Begin predates the ring
+			}
+			ce.Ph = "E"
+			ce.Name = stack[len(stack)-1]
+			open[e.Track] = stack[:len(stack)-1]
+		default:
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	// Close spans still open at the end of the trace.
+	for _, tr := range tracks {
+		for i := len(open[tr]) - 1; i >= 0; i-- {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: open[tr][i], Ph: "E", PID: chromePID,
+				TID: chromeTID(tr), TS: float64(lastTS[tr]),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

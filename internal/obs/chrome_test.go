@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// parseChrome decodes exported JSON back into the generic trace_event
+// shape for validation.
+func parseChrome(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(top.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	return top.TraceEvents
+}
+
+// checkWellFormed asserts per-tid monotonic timestamps and balanced B/E
+// nesting — the invariants the exporter promises regardless of input.
+func checkWellFormed(t *testing.T, evs []map[string]any) {
+	t.Helper()
+	lastTS := map[float64]float64{}
+	depth := map[float64]int{}
+	for i, e := range evs {
+		ph, _ := e["ph"].(string)
+		tid, _ := e["tid"].(float64)
+		ts, _ := e["ts"].(float64)
+		if ph == "M" {
+			continue
+		}
+		if prev, ok := lastTS[tid]; ok && ts < prev {
+			t.Fatalf("event %d: tid %v timestamp went backwards (%v < %v)", i, tid, ts, prev)
+		}
+		lastTS[tid] = ts
+		switch ph {
+		case "B":
+			depth[tid]++
+		case "E":
+			depth[tid]--
+			if depth[tid] < 0 {
+				t.Fatalf("event %d: unmatched E on tid %v", i, tid)
+			}
+			if _, hasName := e["name"]; !hasName {
+				t.Fatalf("event %d: E without a name", i)
+			}
+		case "i":
+			if s, _ := e["s"].(string); s != "t" {
+				t.Fatalf("event %d: instant scope = %q, want thread scope", i, s)
+			}
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("tid %v ends with %d unclosed spans", tid, d)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(64)
+	// Two harts plus the monitor, with interleaved clocks and a nested span.
+	tr.Begin(0, 10, "world:firmware")
+	tr.Begin(MonitorTrack, 12, "m-trap")
+	tr.Instant(MonitorTrack, 13, "sbi:TIME")
+	tr.End(MonitorTrack, 20)
+	tr.Begin(1, 5, "world:firmware") // hart 1 clock behind hart 0 — fine, separate track
+	tr.Instant(1, 6, "trap:ecall-s")
+	tr.End(1, 9)
+	tr.End(0, 30)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	evs := parseChrome(t, buf.Bytes())
+	checkWellFormed(t, evs)
+
+	// Thread metadata must name the monitor and both harts.
+	names := map[string]bool{}
+	for _, e := range evs {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			args := e["args"].(map[string]any)
+			names[args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"monitor", "hart0", "hart1"} {
+		if !names[want] {
+			t.Errorf("missing thread_name metadata for %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestChromeTraceRepairsOrphans(t *testing.T) {
+	// Simulate ring eviction: an End whose Begin is gone, and a Begin that
+	// never Ends.
+	events := []Event{
+		{Kind: KEnd, Track: 0, TS: 5},                      // orphan End — must be dropped
+		{Kind: KBegin, Track: 0, TS: 10, Name: "world:os"}, // never closed — must be auto-closed
+		{Kind: KInstant, Track: 0, TS: 40, Name: "x"},
+		{Kind: KInstant, Track: MonitorTrack, TS: 7, Name: "y"},
+		{Kind: KInstant, Track: MonitorTrack, TS: 3, Name: "z"}, // backwards — must be clamped
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, parseChrome(t, buf.Bytes()))
+}
+
+func TestTrackName(t *testing.T) {
+	if got := TrackName(MonitorTrack); got != "monitor" {
+		t.Fatalf("monitor track named %q", got)
+	}
+	if got := TrackName(3); got != "hart3" {
+		t.Fatalf("hart track named %q", got)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race (scripts/verify.sh does) this doubles as the registry's
+// race-freedom gate.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.concurrent")
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				// Exercise the get-or-create path concurrently too.
+				r.Counter("test.concurrent").Add(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("lost increments: got %d want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(3)
+	r.Histogram("x").Observe(7)
+	r.Collect(func(func(string, uint64)) { t.Fatal("collector ran on nil registry") })
+	if s := r.Snapshot(); len(s.Values) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %v", s.Values)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1<<63 - 1, 63}, {1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := HistBucketIndex(c.v); got != c.bucket {
+			t.Errorf("HistBucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := HistBucketBounds(c.bucket)
+		if c.v < lo || c.v > hi {
+			t.Errorf("value %d outside its bucket %d bounds [%d, %d]", c.v, c.bucket, lo, hi)
+		}
+	}
+
+	h := &Histogram{}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestDumpAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.counter").Add(2)
+	r.Gauge("a.gauge").Set(7)
+	r.Histogram("c.hist").Observe(100)
+	r.Collect(func(emit func(string, uint64)) { emit("d.collected", 42) })
+
+	dump := r.Dump()
+	for _, want := range []string{"a.gauge", "b.counter", "c.hist", "d.collected"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	// Sorted output: a.gauge before b.counter.
+	if strings.Index(dump, "a.gauge") > strings.Index(dump, "b.counter") {
+		t.Error("dump not sorted by name")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if got.Values["b.counter"] != 2 || got.Values["a.gauge"] != 7 || got.Values["d.collected"] != 42 {
+		t.Fatalf("JSON round-trip mismatch: %v", got.Values)
+	}
+	if got.Hists["c.hist"].Count != 1 || got.Hists["c.hist"].Sum != 100 {
+		t.Fatalf("histogram JSON mismatch: %+v", got.Hists["c.hist"])
+	}
+}
+
+func TestHitRatePct(t *testing.T) {
+	if got := HitRatePct(0, 0); got != 0 {
+		t.Fatalf("empty rate = %d", got)
+	}
+	if got := HitRatePct(3, 1); got != 75 {
+		t.Fatalf("75%% rate = %d", got)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import "sync"
+
+// Kind discriminates event records.
+type Kind uint8
+
+// Event kinds. Spans are recorded as raw Begin/End pairs on a track; the
+// exporter pairs them up (and repairs ring-eviction orphans), matching the
+// Chrome trace_event "B"/"E" phases.
+const (
+	KInstant Kind = iota
+	KBegin
+	KEnd
+)
+
+// MonitorTrack is the track id for events attributed to the machine or
+// the monitor rather than a specific hart. Hart events use the hart id as
+// their track.
+const MonitorTrack int32 = -1
+
+// Event is one record on the simulated timeline. TS is in simulated
+// cycles of the emitting hart (tracks are independently clocked; the
+// exporter normalizes each track to monotonic time). Args carry
+// event-specific payload — for trap events: cause, tval, a7 (the SBI
+// extension register at the trap), and the from/to privilege modes packed
+// as from<<8|to.
+type Event struct {
+	Kind  Kind
+	Track int32
+	TS    uint64
+	Name  string
+	Args  [4]uint64
+}
+
+// Trap-event arg indexes (the hart's trap instants fill these; the Fig. 3
+// collector and the exporter read them back).
+const (
+	TrapArgCause = 0
+	TrapArgTval  = 1
+	TrapArgA7    = 2
+	TrapArgModes = 3 // from<<8 | to
+)
+
+// Tracer records events into a bounded ring and fans them out to
+// subscribers. All methods tolerate a nil receiver. The ring is guarded by
+// a mutex — event rates are per-trap, not per-instruction, so contention
+// is negligible and concurrent harnesses stay race-free.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event // ring storage; nil when capacity is 0
+	start   int     // index of the oldest event
+	n       int     // live events
+	emitted uint64  // total events ever emitted
+	subs    []func(*Event)
+}
+
+// NewTracer builds a tracer with the given ring capacity. Capacity 0
+// stores nothing — subscribers still see every event, which is how the
+// Fig. 3 collector rides the stream without paying for storage.
+func NewTracer(capacity int) *Tracer {
+	t := &Tracer{}
+	if capacity > 0 {
+		t.buf = make([]Event, 0, capacity)
+	}
+	return t
+}
+
+// Subscribe registers fn to run synchronously on every subsequent event.
+// The *Event is only valid for the duration of the call.
+func (t *Tracer) Subscribe(fn func(*Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.subs = append(t.subs, fn)
+	t.mu.Unlock()
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emitted++
+	for _, fn := range t.subs {
+		fn(&e)
+	}
+	if cap(t.buf) > 0 {
+		if t.n < cap(t.buf) {
+			t.buf = append(t.buf, e)
+			t.n++
+		} else {
+			// Full: overwrite the oldest.
+			t.buf[t.start] = e
+			t.start = (t.start + 1) % cap(t.buf)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(track int32, ts uint64, name string) {
+	t.Emit(Event{Kind: KInstant, Track: track, TS: ts, Name: name})
+}
+
+// Begin opens a span on track.
+func (t *Tracer) Begin(track int32, ts uint64, name string) {
+	t.Emit(Event{Kind: KBegin, Track: track, TS: ts, Name: name})
+}
+
+// End closes the innermost open span on track. The name is taken from the
+// matching Begin at export time.
+func (t *Tracer) End(track int32, ts uint64) {
+	t.Emit(Event{Kind: KEnd, Track: track, TS: ts})
+}
+
+// Events returns the ring contents, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%cap(t.buf)])
+	}
+	return out
+}
+
+// Emitted returns the total number of events ever emitted (including ones
+// the ring has since evicted).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Dropped returns how many events the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cap(t.buf) == 0 {
+		return 0 // storeless tracers drop nothing they promised to keep
+	}
+	return t.emitted - uint64(t.n)
+}

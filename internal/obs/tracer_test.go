@@ -1,0 +1,59 @@
+package obs
+
+import "testing"
+
+func TestRingOverflowKeepsNewestInOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KInstant, Track: 0, TS: uint64(i), Name: "e"})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.TS != want {
+			t.Fatalf("event %d has TS %d, want %d (oldest-first ordering)", i, e.TS, want)
+		}
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Fatalf("Emitted() = %d, want 10", got)
+	}
+}
+
+func TestStorelessTracerStillNotifiesSubscribers(t *testing.T) {
+	tr := NewTracer(0)
+	var seen int
+	tr.Subscribe(func(e *Event) {
+		if e.Name != "x" {
+			t.Errorf("subscriber saw %q", e.Name)
+		}
+		seen++
+	})
+	for i := 0; i < 5; i++ {
+		tr.Instant(2, uint64(i), "x")
+	}
+	if seen != 5 {
+		t.Fatalf("subscriber saw %d events, want 5", seen)
+	}
+	if evs := tr.Events(); len(evs) != 0 {
+		t.Fatalf("storeless tracer retained %d events", len(evs))
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("storeless tracer reported drops")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Instant(0, 0, "x")
+	tr.Begin(0, 0, "x")
+	tr.End(0, 1)
+	tr.Subscribe(func(*Event) {})
+	if tr.Events() != nil || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}

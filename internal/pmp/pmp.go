@@ -89,6 +89,14 @@ type File struct {
 	nSeg     int
 	segBase  [2*MaxEntries + 2]uint64
 	segOwner [2*MaxEntries + 2]int8
+
+	// Perf counts access checks. Plain counters: Check runs on every
+	// simulated access, single-goroutine per file, and metrics snapshots
+	// read them between steps. Never consulted by the check itself.
+	Perf struct {
+		Checks   uint64 // total Check calls
+		FastHits uint64 // resolved by the flattened-range lookup
+	}
 }
 
 // NewFile returns a PMP file with n implemented entries (0..64).
@@ -304,8 +312,10 @@ func (f *File) matchEntry(i int, addr uint64, size int) MatchResult {
 //   - if no entry matches: M-mode succeeds, S/U fail when at least one
 //     entry is implemented.
 func (f *File) Check(addr uint64, size int, acc mem.AccessType, mode rv.Mode) bool {
+	f.Perf.Checks++
 	if f.fast {
 		if allowed, ok := f.checkFast(addr, size, acc, mode); ok {
+			f.Perf.FastHits++
 			return allowed
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"govfm/internal/hart"
+	"govfm/internal/obs"
 	"govfm/internal/rv"
 )
 
@@ -69,15 +70,35 @@ func (c *Collector) Attach(h *hart.Hart) {
 		if t.ToMode != rv.ModeM || t.FromMode == rv.ModeM {
 			return
 		}
-		c.record(classify(h, t))
+		c.record(Classify(t.Cause, t.Tval, h.Reg(17)))
 	}
 }
 
-// classify maps a trap to a Fig. 3 bucket using the trap cause and, for
-// ecalls, the SBI extension register.
-func classify(h *hart.Hart, t hart.TrapInfo) string {
-	if rv.CauseIsInterrupt(t.Cause) {
-		switch rv.CauseCode(t.Cause) {
+// AttachTracer hooks the collector into an observability event stream
+// instead of hart trap hooks: it subscribes to the tracer and classifies
+// "trap:*" instants from the cause, tval, and SBI-extension args the hart
+// recorded at emission time. A storeless tracer (obs.NewTracer(0)) makes
+// this equivalent to Attach on every traced hart with zero ring cost.
+func (c *Collector) AttachTracer(t *obs.Tracer) {
+	t.Subscribe(func(e *obs.Event) {
+		if e.Kind != obs.KInstant || !strings.HasPrefix(e.Name, "trap:") {
+			return
+		}
+		modes := e.Args[obs.TrapArgModes]
+		from, to := rv.Mode(modes>>8), rv.Mode(modes&0xff)
+		if to != rv.ModeM || from == rv.ModeM {
+			return
+		}
+		c.record(Classify(e.Args[obs.TrapArgCause], e.Args[obs.TrapArgTval],
+			e.Args[obs.TrapArgA7]))
+	})
+}
+
+// Classify maps a trap to a Fig. 3 bucket using the trap cause, the trap
+// value, and (for ecalls) the SBI extension register a7 at the trap.
+func Classify(cause, tval, a7 uint64) string {
+	if rv.CauseIsInterrupt(cause) {
+		switch rv.CauseCode(cause) {
 		case rv.IntMSoft:
 			return CauseIPI
 		case rv.IntMTimer:
@@ -87,10 +108,10 @@ func classify(h *hart.Hart, t hart.TrapInfo) string {
 		}
 		return CauseOther
 	}
-	switch rv.CauseCode(t.Cause) {
+	switch rv.CauseCode(cause) {
 	case rv.ExcIllegalInstr:
 		// Time CSR reads surface as illegal instructions.
-		raw := uint32(t.Tval)
+		raw := uint32(tval)
 		if raw>>20 == uint32(rv.CSRTime) && rv.OpcodeOf(raw) == rv.OpSystem {
 			return CauseReadTime
 		}
@@ -98,7 +119,7 @@ func classify(h *hart.Hart, t hart.TrapInfo) string {
 	case rv.ExcLoadAddrMisaligned, rv.ExcStoreAddrMisaligned:
 		return CauseMisaligned
 	case rv.ExcEcallFromS, rv.ExcEcallFromU:
-		switch h.Reg(17) { // a7: SBI extension
+		switch a7 {
 		case rv.SBIExtTimer, rv.SBILegacySetTimer:
 			return CauseSetTimer
 		case rv.SBIExtIPI, rv.SBILegacySendIPI:

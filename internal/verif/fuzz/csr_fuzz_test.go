@@ -81,11 +81,11 @@ func checkCSRAccess(t *testing.T, csrSel, formSel, rd, rs1, privSel uint8, val u
 }
 
 func FuzzCSRAccess(f *testing.F) {
-	f.Add(uint8(0), uint8(0), uint8(5), uint8(6), uint8(0), uint64(0))            // csrrw on mstatus, M-mode
-	f.Add(uint8(0), uint8(1), uint8(7), uint8(8), uint8(1), ^uint64(0))          // csrrs all-ones from S-mode
-	f.Add(uint8(3), uint8(0), uint8(1), uint8(2), uint8(0), uint64(0x222))       // mideleg set-form
-	f.Add(uint8(20), uint8(3), uint8(10), uint8(31), uint8(2), uint64(1)<<63)    // U-mode access
-	f.Add(uint8(36), uint8(0), uint8(9), uint8(0), uint8(0), uint64(0xFFFFFFF))  // pmp surface
+	f.Add(uint8(0), uint8(0), uint8(5), uint8(6), uint8(0), uint64(0))          // csrrw on mstatus, M-mode
+	f.Add(uint8(0), uint8(1), uint8(7), uint8(8), uint8(1), ^uint64(0))         // csrrs all-ones from S-mode
+	f.Add(uint8(3), uint8(0), uint8(1), uint8(2), uint8(0), uint64(0x222))      // mideleg set-form
+	f.Add(uint8(20), uint8(3), uint8(10), uint8(31), uint8(2), uint64(1)<<63)   // U-mode access
+	f.Add(uint8(36), uint8(0), uint8(9), uint8(0), uint8(0), uint64(0xFFFFFFF)) // pmp surface
 	f.Add(uint8(255), uint8(255), uint8(0), uint8(0), uint8(255), uint64(0x5A)) // selector wraparound, rd=x0
 	f.Fuzz(checkCSRAccess)
 }

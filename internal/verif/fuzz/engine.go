@@ -16,10 +16,10 @@ import (
 // Finding is one divergence between the three derivations of the
 // specification (native machine, virtualized machine, reference model).
 type Finding struct {
-	Case  *TestCase
-	Step  int    // lockstep steps completed when the divergence appeared
-	Where string // which pair diverged
-	Word  uint32 // instruction word fetched at the diverging step
+	Case   *TestCase
+	Step   int    // lockstep steps completed when the divergence appeared
+	Where  string // which pair diverged
+	Word   uint32 // instruction word fetched at the diverging step
 	Deltas []refmodel.Delta
 }
 

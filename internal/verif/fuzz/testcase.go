@@ -51,9 +51,9 @@ const (
 // and a starting architectural state. It serializes to JSON for corpus
 // storage and reproducers.
 type TestCase struct {
-	Profile string           `json:"profile"`
-	Prog    []uint32         `json:"prog"`
-	State   *refmodel.State  `json:"state"`
+	Profile string          `json:"profile"`
+	Prog    []uint32        `json:"prog"`
+	State   *refmodel.State `json:"state"`
 }
 
 // Marshal renders the case as indented JSON.

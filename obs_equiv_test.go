@@ -1,0 +1,143 @@
+package govfm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	govfm "govfm"
+	"govfm/internal/obs"
+)
+
+// Observability acceptance tests: the obs layer must be architecturally
+// invisible (identical cycle/instret counts with it on or off — the same
+// discipline scripts/verify.sh enforces on the host fast paths), and a
+// monitored boot must export well-formed Chrome trace_event JSON with
+// per-hart and monitor tracks.
+
+// bootMonitored boots the default gosbi firmware + boot kernel under the
+// monitor with offloading, optionally observed.
+func bootMonitored(t *testing.T, harts int, ob *obs.Observer) *govfm.System {
+	t.Helper()
+	sys, err := govfm.New(govfm.Config{
+		Harts:      harts,
+		Virtualize: true,
+		Offload:    true,
+		Obs:        ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halted, reason := sys.Run(0)
+	if !halted || reason != "guest-exit-pass" {
+		t.Fatalf("halted=%v reason=%q", halted, reason)
+	}
+	return sys
+}
+
+func TestObsInvisible(t *testing.T) {
+	plain := bootMonitored(t, 2, nil)
+	ob := obs.New(obs.Options{})
+	observed := bootMonitored(t, 2, ob)
+
+	for i := range plain.Machine.Harts {
+		pc, oc := plain.Machine.HartCycles(i), observed.Machine.HartCycles(i)
+		if pc != oc {
+			t.Errorf("hart%d cycles: plain=%d observed=%d", i, pc, oc)
+		}
+		pi, oi := plain.Machine.Harts[i].Instret, observed.Machine.Harts[i].Instret
+		if pi != oi {
+			t.Errorf("hart%d instret: plain=%d observed=%d", i, pi, oi)
+		}
+	}
+
+	// And the metrics agree with the architectural counters they mirror.
+	snap := ob.Metrics.Snapshot()
+	if got := snap.Values["hart0.cycles"]; got != observed.Machine.HartCycles(0) {
+		t.Errorf("hart0.cycles metric %d != machine %d", got, observed.Machine.HartCycles(0))
+	}
+	if snap.Values["mon.world_switches"] == 0 {
+		t.Error("monitored boot recorded no world switches")
+	}
+	if snap.Values["sim.decode.hit_pct"] == 0 {
+		t.Error("fast-path boot reports zero decode-cache hit rate")
+	}
+	if snap.Values["sim.tlb.hit_pct"] == 0 {
+		t.Error("paging boot phase reports zero TLB hit rate")
+	}
+}
+
+// TestBootChromeTrace is the golden-shape test for the exporter on a real
+// boot: the JSON parses, timestamps are monotonic per thread, B/E pairs
+// match, and both per-hart and monitor tracks are present.
+func TestBootChromeTrace(t *testing.T) {
+	ob := obs.New(obs.Options{})
+	bootMonitored(t, 2, ob)
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, ob.Trace.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			S    string  `json:"s"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	threads := map[string]bool{}
+	lastTS := map[int]float64{}
+	depth := map[int]int{}
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				threads[e.Args.Name] = true
+			}
+			continue
+		}
+		if prev, ok := lastTS[e.TID]; ok && e.TS < prev {
+			t.Fatalf("tid %d: timestamp %v < %v", e.TID, e.TS, prev)
+		}
+		lastTS[e.TID] = e.TS
+		switch e.Ph {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("tid %d: E without matching B", e.TID)
+			}
+			if e.Name == "" {
+				t.Fatalf("tid %d: E without a name", e.TID)
+			}
+		case "i":
+			if e.S != "t" {
+				t.Fatalf("instant %q: scope %q, want thread scope", e.Name, e.S)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %d: %d unclosed span(s)", tid, d)
+		}
+	}
+	for _, want := range []string{"monitor", "hart0", "hart1", "hart0-world"} {
+		if !threads[want] {
+			t.Errorf("missing %q track (have %v)", want, threads)
+		}
+	}
+}

@@ -35,4 +35,21 @@ go test ./internal/bench -run '^$' -bench BenchmarkTable4Operations -benchtime 1
 echo "== chaos smoke"
 go run ./cmd/chaos -smoke
 
+echo "== obs overhead (simulated cycles bit-identical with observability on vs. off)"
+# The same built-in gosbi boot, once bare and once with the full
+# observability layer attached (metrics + trace ring). Observability must
+# stay architecturally invisible: identical cycle and instret counts.
+# The JSON outputs land in OBS_ARTIFACT_DIR (default /tmp/govfm-obs) so CI
+# can upload them as artifacts.
+obs_dir="${OBS_ARTIFACT_DIR:-/tmp/govfm-obs}"
+mkdir -p "$obs_dir"
+plain=$(go run ./cmd/rvsim | grep -o 'cycles=[0-9]* instret=[0-9]*')
+traced=$(go run ./cmd/rvsim -metrics-out "$obs_dir/boot_metrics.json" \
+    -trace-out "$obs_dir/boot_trace.json" | grep -o 'cycles=[0-9]* instret=[0-9]*')
+if [ "$plain" != "$traced" ]; then
+    echo "obs overhead gate FAILED: bare [$plain] vs. observed [$traced]"
+    exit 1
+fi
+echo "   $plain (identical; trace + metrics in $obs_dir)"
+
 echo "verify: all gates passed"
