@@ -230,7 +230,22 @@ func main() {
 		}
 		geomean := bench.GeomeanSpeedup(all)
 		fmt.Printf("geomean speedup: %.2fx (simulated cycles bit-identical in every row)\n", geomean)
-		if err := writeSimHostJSON(*simhostOut, all); err != nil {
+
+		fmt.Println()
+		fmt.Println("Scheduler scaling: sequential round-robin vs. quantum-parallel")
+		fmt.Printf("%-14s %6s %10s %9s %9s %8s\n",
+			"platform", "harts", "steps", "MIPS-seq", "MIPS-par", "speedup")
+		scale, err := bench.SchedScale(hart.VisionFive2, []int{1, 2, 4})
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range scale {
+			fmt.Printf("%-14s %6d %10d %9.2f %9.2f %7.2fx\n",
+				r.Platform, r.Harts, r.Steps, r.MIPSSeq, r.MIPSPar, r.Speedup)
+		}
+		fmt.Println("(per-hart cycle counters asserted bit-identical between schedulers)")
+
+		if err := writeSimHostJSON(*simhostOut, all, scale); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *simhostOut)
@@ -270,23 +285,28 @@ func checkSimHostBaseline(path string, geomean, maxRegress float64) error {
 }
 
 // writeSimHostJSON emits the simhost results as a JSON report for the
-// repository's BENCH_simhost.json artifact.
-func writeSimHostJSON(path string, results []*bench.SimHostResult) error {
+// repository's BENCH_simhost.json artifact. The sched_scale section is
+// informational and deliberately outside the geomean_speedup basis the
+// -simhost-baseline guard reads.
+func writeSimHostJSON(path string, results []*bench.SimHostResult, scale []*bench.SchedScaleResult) error {
 	report := struct {
-		Note           string                 `json:"note"`
-		GOOS           string                 `json:"goos"`
-		GOARCH         string                 `json:"goarch"`
-		NumCPU         int                    `json:"num_cpu"`
-		GeomeanSpeedup float64                `json:"geomean_speedup"`
-		Results        []*bench.SimHostResult `json:"results"`
+		Note           string                    `json:"note"`
+		GOOS           string                    `json:"goos"`
+		GOARCH         string                    `json:"goarch"`
+		NumCPU         int                       `json:"num_cpu"`
+		GeomeanSpeedup float64                   `json:"geomean_speedup"`
+		Results        []*bench.SimHostResult    `json:"results"`
+		SchedScale     []*bench.SchedScaleResult `json:"sched_scale"`
 	}{
 		Note: "host throughput with acceleration caches off vs. on; " +
-			"cycles/instret are asserted bit-identical between settings",
+			"cycles/instret are asserted bit-identical between settings; " +
+			"sched_scale compares the sequential and quantum-parallel schedulers",
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		NumCPU:         runtime.NumCPU(),
 		GeomeanSpeedup: bench.GeomeanSpeedup(results),
 		Results:        results,
+		SchedScale:     scale,
 	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

@@ -17,6 +17,7 @@
 //	go run ./cmd/fuzzdiff -budget 1000000        # long fuzzing run
 //	go run ./cmd/fuzzdiff -profile vf2 -seed 7   # one profile, chosen seed
 //	go run ./cmd/fuzzdiff -inject 50             # fault-injection mode
+//	go run ./cmd/fuzzdiff -sched both            # seq-vs-par scheduler equivalence
 package main
 
 import (
@@ -53,7 +54,8 @@ func run(args []string, out, errw io.Writer) int {
 		repros   = fs.String("repros", "internal/verif/fuzz/testdata/repros", "directory for minimized reproducer files")
 		injectN  = fs.Int("inject", 0, "fault-injection mode: run N randomized cases with containment armed instead of lockstep fuzzing")
 		fastpath = fs.String("fastpath", "on", "host acceleration caches: on, off, or both (both = equivalence mode, every case run fast and slow and compared)")
-		equivN   = fs.Int("equiv-cases", 1000, "cases per profile in -fastpath=both equivalence mode")
+		equivN   = fs.Int("equiv-cases", 1000, "cases per profile in -fastpath=both and -sched=both equivalence modes")
+		sched    = fs.String("sched", "", "scheduler equivalence: both = every multi-hart case run under the sequential and parallel schedulers and compared")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +74,15 @@ func run(args []string, out, errw io.Writer) int {
 
 	if *injectN > 0 {
 		return runInject(profiles, *seed, *injectN, out, errw)
+	}
+
+	switch *sched {
+	case "":
+	case "both":
+		return runSchedEquiv(profiles, *seed, *equivN, out, errw)
+	default:
+		fmt.Fprintf(errw, "fuzzdiff: unknown -sched %q (want both)\n", *sched)
+		return 2
 	}
 
 	switch *fastpath {
@@ -136,6 +147,28 @@ func runInject(profiles []string, seed int64, cases int, out, errw io.Writer) in
 		}
 	}
 	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runSchedEquiv drives the scheduler-equivalence mode: each randomized
+// multi-hart case runs under the sequential round-robin and the parallel
+// quantum scheduler, and any divergence in per-hart end state (cycle
+// counters included) or machine halt state is a failure.
+func runSchedEquiv(profiles []string, seed int64, cases int, out, errw io.Writer) int {
+	t0 := time.Now()
+	st, err := fuzz.RunSchedEquivalence(profiles, seed, cases)
+	if err != nil {
+		fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "sched-equivalence: %d cases, %d seq steps, %d divergence(s) across %d profile(s) in %.1fs\n",
+		st.Cases, st.Steps, len(st.Mismatches), len(profiles), time.Since(t0).Seconds())
+	for _, m := range st.Mismatches {
+		fmt.Fprintf(out, "  DIVERGENCE %s\n", m)
+	}
+	if len(st.Mismatches) > 0 {
 		return 1
 	}
 	return 0

@@ -9,6 +9,7 @@
 //
 //	rvsim [-image prog.bin] [-base 0x80100000] [-platform visionfive2]
 //	      [-harts 1] [-max-steps N] [-trace] [-fastpath=true]
+//	      [-sched seq] [-quantum 1024]
 //	      [-trace-out boot.json] [-metrics-out metrics.json] [-metrics]
 //	      [-cpuprofile prof.out] [-memprofile heap.out]
 //
@@ -40,6 +41,8 @@ func main() {
 	maxSteps := flag.Uint64("max-steps", 100_000_000, "step budget")
 	traceTraps := flag.Bool("trace", false, "print every trap")
 	fastpath := flag.Bool("fastpath", true, "enable host acceleration caches")
+	sched := flag.String("sched", "seq", "execution scheduler: seq (round-robin) or par (quantum-parallel)")
+	quantum := flag.Uint64("quantum", 0, "parallel scheduler slice length in cycles (0 = default)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot (JSON) to this file")
 	metricsDump := flag.Bool("metrics", false, "print a metrics dump on exit")
@@ -74,6 +77,8 @@ func main() {
 			Virtualize: true,
 			Offload:    true,
 			Obs:        ob,
+			Sched:      *sched,
+			Quantum:    *quantum,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
@@ -107,6 +112,13 @@ func main() {
 		}
 		m.Reset(*base)
 	}
+	kind, err := hart.ParseSched(*sched)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvsim: %v\n", err)
+		os.Exit(2)
+	}
+	m.Sched = kind
+	m.Quantum = *quantum
 	if *traceTraps {
 		for _, h := range m.Harts {
 			h.OnTrap = func(t hart.TrapInfo) {

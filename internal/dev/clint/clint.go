@@ -51,6 +51,19 @@ func (c *Clint) Name() string { return "clint" }
 // NumHarts returns the number of harts served.
 func (c *Clint) NumHarts() int { return len(c.msip) }
 
+// Reset returns the CLINT to power-on state: no IPIs pending, every
+// comparator at all-ones (timer disarmed), mtime zero. The Perf counters
+// (host-side observability) survive.
+func (c *Clint) Reset() {
+	for i := range c.msip {
+		c.msip[i] = 0
+	}
+	for i := range c.mtimecmp {
+		c.mtimecmp[i] = ^uint64(0)
+	}
+	c.mtime = 0
+}
+
 // Load implements mem.Device.
 func (c *Clint) Load(off uint64, size int) (uint64, bool) {
 	switch {

@@ -36,6 +36,16 @@ type IOPMP struct {
 // New returns an IOPMP with n entries.
 func New(n int) *IOPMP { return &IOPMP{file: pmp.NewFile(n)} }
 
+// Reset clears every entry (lock bits included), returning the unit to its
+// permissive power-on state. The Checks/Denials counters (host-side
+// observability) survive.
+func (p *IOPMP) Reset() {
+	for i := 0; i < p.file.NumEntries(); i++ {
+		p.file.ForceCfg(i, 0)
+		p.file.ForceAddr(i, 0)
+	}
+}
+
 // Name implements mem.Device.
 func (p *IOPMP) Name() string { return "iopmp" }
 

@@ -60,6 +60,21 @@ func New(nHarts int) *Plic {
 	}
 }
 
+// Reset returns the PLIC to power-on state: all priorities zero, nothing
+// pending or claimed, every context disabled with threshold zero. The
+// cache mode and the Perf counters (host-side) survive.
+func (p *Plic) Reset() {
+	p.priority = [MaxSources]uint32{}
+	p.pending, p.claimed = 0, 0
+	for i := range p.enable {
+		p.enable[i] = 0
+	}
+	for i := range p.threshold {
+		p.threshold[i] = 0
+	}
+	p.invalidate()
+}
+
 // SetCache enables or disables the Pending memoization (a host-side
 // accelerator with no architectural effect).
 func (p *Plic) SetCache(on bool) {

@@ -30,6 +30,14 @@ type Uart struct {
 // New returns an idle UART.
 func New() *Uart { return &Uart{} }
 
+// Reset returns the UART to power-on state, discarding transmitted output
+// and queued input.
+func (u *Uart) Reset() {
+	u.tx.Reset()
+	u.rx = nil
+	u.ier = 0
+}
+
 // Name implements mem.Device.
 func (u *Uart) Name() string { return "uart" }
 

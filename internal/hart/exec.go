@@ -16,6 +16,14 @@ func (h *Hart) execute(raw uint32) {
 // instruction (PC and instret update); on an exception it performs trap
 // entry with the PC still pointing at the faulting instruction.
 func (h *Hart) exec(d *rv.Decoded) {
+	if h.inSlice && d.Op == rv.OpAmo {
+		// AMOs are globally ordered read-modify-writes; park so the barrier
+		// replays them with direct bus access, where cross-hart atomicity
+		// holds trivially.
+		h.park = parkReplay
+		return
+	}
+	start := h.Cycles
 	h.charge(h.Cfg.Cost.Instr)
 	mode := h.Mode // retirement mode: sret/mret change h.Mode mid-execute
 	next := h.PC + 4
@@ -211,6 +219,15 @@ func (h *Hart) exec(d *rv.Decoded) {
 	}
 
 	if ei != nil {
+		if ei == errParked {
+			// The instruction needed a device mid-slice. Nothing
+			// architectural changed before the refused access (registers,
+			// PC, and the reservation are only touched on success); undo
+			// the cycle charges and let the barrier replay it.
+			h.Cycles = start
+			h.park = parkReplay
+			return
+		}
 		h.Exception(ei.Cause, ei.Tval)
 		return
 	}

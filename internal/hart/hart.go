@@ -109,6 +109,21 @@ type Hart struct {
 	// scratch ring. See hostfast.go.
 	fast fastState
 	excs excScratch
+
+	// mem is this hart's private port onto the bus: a pass-through in
+	// sequential mode, a write-buffering frozen-RAM view during parallel
+	// slices. All of the hart's own accesses go through it; Bus stays the
+	// shared bus for external agents (monitor, harnesses), which only run
+	// while the harts are quiesced.
+	mem *mem.Port
+	// peers lists the machine's other harts, for cross-hart LR/SC
+	// reservation kills on stores (wired by NewMachine).
+	peers []*Hart
+
+	// inSlice is set while the hart executes inside a parallel quantum
+	// slice; park records why the slice ended early. See sched.go.
+	inSlice bool
+	park    parkKind
 }
 
 // New creates a hart with reset state: M-mode, all CSRs at reset values.
@@ -124,6 +139,7 @@ func New(id int, cfg *Config, bus *mem.Bus) *Hart {
 	h.fast.pages = make(map[uint64]*decPage)
 	h.fast.ptePages = make(map[uint64]struct{})
 	if bus != nil {
+		h.mem = mem.NewPort(bus)
 		bus.AddPageWatcher(h)
 		h.SetFastPath(true)
 	}
@@ -214,6 +230,13 @@ func (h *Hart) trap(cause, tval, epc uint64) {
 	h.PC = vectorPC(h.CSR.Mtvec, cause)
 	h.notifyTrap(cause, tval, epc, from, rv.ModeM)
 	if h.Monitor != nil {
+		if h.inSlice {
+			// Parallel slice: architectural M-trap entry is complete, but
+			// the monitor is shared host-side state — defer HandleMTrap to
+			// the quantum barrier, where harts run in deterministic order.
+			h.park = parkMonitor
+			return
+		}
 		// The "m-trap" span brackets the monitor's handling of this trap:
 		// it closes when HandleMTrap returns, which encloses the mret
 		// (ReturnMRET runs inside the handler), so the span reads as
@@ -350,6 +373,10 @@ func (h *Hart) Step() {
 	if h.fast.on {
 		d, ei := h.fetchFast()
 		if ei != nil {
+			if ei == errParked {
+				h.park = parkReplay
+				return
+			}
 			h.Exception(ei.Cause, ei.Tval)
 			return
 		}
@@ -358,6 +385,10 @@ func (h *Hart) Step() {
 	}
 	raw, ei := h.fetch()
 	if ei != nil {
+		if ei == errParked {
+			h.park = parkReplay
+			return
+		}
 		h.Exception(ei.Cause, ei.Tval)
 		return
 	}
@@ -374,13 +405,19 @@ func (h *Hart) fetch() (uint32, *Exc) {
 	env := h.mmuEnv(h.Mode)
 	res := mmu.Translate(env, h.PC, mem.Exec)
 	if !res.OK {
+		if h.inSlice && h.mem.TakeBlocked() {
+			return 0, errParked
+		}
 		return 0, h.exc(res.Cause, h.PC)
 	}
 	if !h.CSR.PMP.Check(res.PA, 4, mem.Exec, h.Mode) {
 		return 0, h.exc(rv.ExcInstrAccessFault, h.PC)
 	}
-	v, ok := h.Bus.Load(res.PA, 4)
+	v, ok := h.mem.Load(res.PA, 4)
 	if !ok {
+		if h.inSlice && h.mem.TakeBlocked() {
+			return 0, errParked
+		}
 		return 0, h.exc(rv.ExcInstrAccessFault, h.PC)
 	}
 	return uint32(v), nil
@@ -388,7 +425,7 @@ func (h *Hart) fetch() (uint32, *Exc) {
 
 func (h *Hart) mmuEnv(priv rv.Mode) *mmu.Env {
 	e := &h.envCache
-	e.Bus = h.Bus
+	e.Bus = h.mem
 	e.PMP = h.CSR.PMP
 	e.Satp = h.CSR.Satp
 	e.Priv = priv
@@ -442,17 +479,31 @@ func (h *Hart) MemAccess(va uint64, size int, acc mem.AccessType, value uint64, 
 	}
 	h.charge(h.Cfg.Cost.MemAccess)
 	if acc == mem.Write {
-		if !h.Bus.Store(pa, size, value) {
+		if !h.mem.Store(pa, size, value) {
+			if h.inSlice && h.mem.TakeBlocked() {
+				return 0, errParked
+			}
 			return 0, h.exc(rv.ExcStoreAccessFault, va)
 		}
-		// A store to the reservation's region kills it.
+		// A store to the reservation's region kills it — this hart's
+		// immediately, and every peer's, as cache coherence would. During a
+		// parallel slice the store is buffered; peers' reservations are
+		// killed when it commits at the barrier.
 		if h.resValid && pa&^7 == h.resAddr&^7 {
 			h.resValid = false
 		}
+		if !h.inSlice {
+			for _, p := range h.peers {
+				p.KillReservation(pa)
+			}
+		}
 		return 0, nil
 	}
-	v, ok := h.Bus.Load(pa, size)
+	v, ok := h.mem.Load(pa, size)
 	if !ok {
+		if h.inSlice && h.mem.TakeBlocked() {
+			return 0, errParked
+		}
 		return 0, h.exc(rv.ExcLoadAccessFault, va)
 	}
 	return v, nil

@@ -130,7 +130,7 @@ func (h *Hart) flushTLB() {
 func (h *Hart) tlbFill(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool, res *mmu.Result) {
 	for i := 0; i < res.WalkLen; i++ {
 		p := res.Walk[i] &^ 4095
-		if !h.Bus.WatchPage(p) {
+		if !h.mem.WatchPage(p) {
 			return
 		}
 		h.fast.ptePages[p] = struct{}{}
@@ -151,6 +151,9 @@ func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 		h.Perf.PageWalks++
 		res := mmu.Translate(h.mmuEnv(priv), va, acc)
 		if !res.OK {
+			if h.inSlice && h.mem.TakeBlocked() {
+				return 0, errParked
+			}
 			return 0, h.exc(res.Cause, va)
 		}
 		return res.PA, nil
@@ -168,6 +171,9 @@ func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 	h.Perf.PageWalks++
 	res := mmu.Translate(h.mmuEnv(priv), va, acc)
 	if !res.OK {
+		if h.inSlice && h.mem.TakeBlocked() {
+			return 0, errParked
+		}
 		return 0, h.exc(res.Cause, va)
 	}
 	h.tlbFill(acc, vpn, satp, epoch, priv, sum, mxr, &res)
@@ -195,11 +201,14 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 	if dp == nil || h.fast.lastPageBase != pageBase {
 		dp = h.fast.pages[pageBase]
 		if dp == nil {
-			if !h.Bus.WatchPage(pageBase) {
+			if !h.mem.WatchPage(pageBase) {
 				// Not RAM: execute-in-place from a device; never cache.
 				h.Perf.DecodeMisses++
-				v, ok := h.Bus.Load(pa, 4)
+				v, ok := h.mem.Load(pa, 4)
 				if !ok {
+					if h.inSlice && h.mem.TakeBlocked() {
+						return nil, errParked
+					}
 					return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
 				}
 				h.fast.scratch = rv.Decode(uint32(v))
@@ -214,13 +223,13 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 		// First use, or a write consumed the watch: re-arm before trusting
 		// any slot filled from here on. Always succeeds — the page was RAM
 		// when it entered the cache and regions never go away.
-		h.Bus.WatchPage(pageBase)
+		h.mem.WatchPage(pageBase)
 		dp.armed = true
 	}
 	i := (pa & 4095) >> 2
 	if dp.tags[i] != dp.gen {
 		h.Perf.DecodeMisses++
-		v, ok := h.Bus.Load(pa, 4)
+		v, ok := h.mem.Load(pa, 4)
 		if !ok {
 			return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
 		}

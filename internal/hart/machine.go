@@ -8,6 +8,8 @@ import (
 	"govfm/internal/dev/plic"
 	"govfm/internal/dev/uart"
 	"govfm/internal/mem"
+	"govfm/internal/obs"
+	"govfm/internal/rv"
 )
 
 // Physical memory map of the simulated platforms (the usual RISC-V SoC
@@ -65,10 +67,23 @@ type Machine struct {
 
 	DramSize uint64
 
+	// Sched selects the execution engine: SchedSeq (default) is the
+	// per-instruction round-robin; SchedPar runs each hart on its own
+	// goroutine for Quantum simulated cycles between barriers (sched.go).
+	Sched SchedKind
+	// Quantum is the parallel slice length in simulated cycles
+	// (0 = DefaultQuantum). Ignored under SchedSeq.
+	Quantum uint64
+
 	halted     bool
 	haltReason string
 
 	timeRemainder uint64
+
+	// trace receives scheduler barrier instants (AttachObs).
+	trace *obs.Tracer
+	// par is the parallel scheduler's reusable round state.
+	par parScratch
 }
 
 // NewMachine builds a platform from a profile with the given DRAM size.
@@ -111,6 +126,17 @@ func NewMachine(cfg *Config, dramSize uint64) (*Machine, error) {
 		h.TimeFn = m.Clint.Time
 		m.Harts = append(m.Harts, h)
 	}
+	// Wire every hart to its peers so a store can kill their overlapping
+	// LR/SC reservations, as cache coherence does on real hardware.
+	if cfg.Harts > 1 {
+		for _, h := range m.Harts {
+			for _, p := range m.Harts {
+				if p != h {
+					h.peers = append(h.peers, p)
+				}
+			}
+		}
+	}
 	return m, nil
 }
 
@@ -139,29 +165,63 @@ func (m *Machine) LoadImage(addr uint64, img []byte) error {
 	return m.Bus.WriteBytes(addr, img)
 }
 
-// Reset puts every hart at the reset vector with a0 = hartid, the standard
-// RISC-V boot convention (a1, the devicetree pointer, is left zero).
+// Reset returns the machine to power-on state: every hart at the reset
+// vector with a0 = hartid, the standard RISC-V boot convention (a1, the
+// devicetree pointer, is left zero); CSRs (including PMP) at reset values;
+// cycle/instret counters zeroed; LR/SC reservations dropped; and the
+// devices — CLINT, PLIC, UART, DMA, IOPMP — back to their power-on state
+// with mtime zero. Host-side hooks (Monitor, Watchdog, Trace, TimeFn,
+// OnTrap) and the Perf counters survive, so a harness can keep observing
+// across boots. A second boot on a reused machine is indistinguishable
+// from a first boot on a fresh one.
 func (m *Machine) Reset(pc uint64) {
 	for _, h := range m.Harts {
 		h.PC = pc
-		h.Mode = 3
+		h.Mode = rv.ModeM
 		h.Regs = [32]uint64{}
 		h.Regs[10] = uint64(h.ID) // a0
 		h.Waiting = false
 		h.Stopped = false
 		h.Halted = false
+		h.HaltReason = ""
+		h.Cycles, h.Instret, h.SInstret = 0, 0, 0
+		h.resValid, h.resAddr = false, 0
+		h.CSR = newCSRFile(h.Cfg)
+		h.inSlice, h.park = false, parkNone
+		if h.mem != nil {
+			h.mem.Discard()
+		}
+		// The fresh CSR file brings a fresh PMP: reapply the fast-path mode
+		// and drop every host cache keyed on the old file's epoch.
+		h.SetFastPath(h.fast.on)
 	}
 	m.halted = false
 	m.haltReason = ""
+	m.timeRemainder = 0
+	m.Clint.Reset()
+	m.Plic.Reset()
+	m.Uart.Reset()
+	m.DMA.Reset()
+	if m.IOPMP != nil {
+		m.IOPMP.Reset()
+	}
 }
 
 // Step advances every runnable hart by one instruction and the global time
-// by the cycles the slowest hart consumed (cores share a wall clock).
+// by the cycles the slowest hart consumed (cores share a wall clock). This
+// is always the sequential scheduler; Run dispatches on Sched.
 func (m *Machine) Step() {
+	// Latch every hart's interrupt lines before any hart steps, so an MSIP
+	// or mtimecmp write during this step becomes visible to every hart at
+	// the same step boundary. (Sampling per hart just before its own step
+	// made visibility asymmetric by hart ID: hart 0's IPI reached hart 1
+	// within the step, but not vice versa.)
+	for _, h := range m.Harts {
+		h.CSR.SetHWLines(m.Clint.Pending(h.ID) | m.Plic.Pending(h.ID))
+	}
 	var maxConsumed uint64
 	for _, h := range m.Harts {
 		before := h.Cycles
-		h.CSR.SetHWLines(m.Clint.Pending(h.ID) | m.Plic.Pending(h.ID))
 		h.Step()
 		if h.Watchdog != nil {
 			h.Watchdog(h)
@@ -180,9 +240,14 @@ func (m *Machine) Step() {
 	}
 }
 
-// Run steps until the machine halts or maxSteps machine steps elapse.
-// It returns the number of steps taken and whether the machine halted.
+// Run advances the machine until it halts or maxSteps machine steps elapse
+// (under SchedPar, until every hart has executed up to maxSteps
+// instructions). It returns the number of steps taken and whether the
+// machine halted.
 func (m *Machine) Run(maxSteps uint64) (uint64, bool) {
+	if m.Sched == SchedPar {
+		return m.runPar(maxSteps)
+	}
 	var steps uint64
 	for steps = 0; steps < maxSteps && !m.halted; steps++ {
 		m.Step()
@@ -191,8 +256,12 @@ func (m *Machine) Run(maxSteps uint64) (uint64, bool) {
 }
 
 // RunUntil steps until cond returns true, the machine halts, or maxSteps
-// elapse; it reports whether cond was met.
+// elapse; it reports whether cond was met. Under SchedPar, cond is
+// evaluated at quantum-round boundaries.
 func (m *Machine) RunUntil(cond func() bool, maxSteps uint64) bool {
+	if m.Sched == SchedPar {
+		return m.runParUntil(cond, maxSteps)
+	}
 	for steps := uint64(0); steps < maxSteps && !m.halted; steps++ {
 		if cond() {
 			return true
@@ -241,6 +310,11 @@ const (
 
 // NewDMAEngine returns a DMA engine operating on bus.
 func NewDMAEngine(bus *mem.Bus) *DMAEngine { return &DMAEngine{bus: bus} }
+
+// Reset returns the engine to power-on register values.
+func (d *DMAEngine) Reset() {
+	d.src, d.dst, d.len, d.stat = 0, 0, 0, 0
+}
 
 // Name implements mem.Device.
 func (d *DMAEngine) Name() string { return "dma" }

@@ -67,6 +67,7 @@ func (m *Machine) AttachObs(o *obs.Observer) {
 	for _, h := range m.Harts {
 		h.Trace = o.Trace
 	}
+	m.trace = o.Trace // scheduler barrier instants (SchedPar)
 	r := o.Metrics
 	if r == nil {
 		return

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // AccessType distinguishes the three architectural access kinds, matching
@@ -52,11 +53,46 @@ type Region struct {
 	Dev  Device // nil for RAM regions
 	ram  []byte
 
-	// watch is a lazily allocated per-4KiB-page bitmap of pages some
-	// PageWatcher has asked to be told about. A bit is set by WatchPage,
-	// cleared when the page is written (the watchers are notified once and
-	// must re-arm on their next cache fill). nil until the first WatchPage.
+	// watch is a per-4KiB-page bitmap of pages some PageWatcher has asked
+	// to be told about. A bit is set by WatchPage, cleared when the page is
+	// written (the watchers are notified once and must re-arm on their next
+	// cache fill). Allocated eagerly for RAM regions so that bits can be
+	// armed with atomic ops from concurrently executing hart slices; writes
+	// (and hence noteWrite) only ever happen while the harts are quiesced.
 	watch []uint64
+}
+
+// loadRAM reads size little-endian bytes at byte offset off of a RAM region.
+func (r *Region) loadRAM(off uint64, size int) (uint64, bool) {
+	switch size {
+	case 1:
+		return uint64(r.ram[off]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(r.ram[off:])), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(r.ram[off:])), true
+	case 8:
+		return binary.LittleEndian.Uint64(r.ram[off:]), true
+	}
+	return 0, false
+}
+
+// storeRAM writes size little-endian bytes at byte offset off of a RAM
+// region. It does not fire write watches; callers do.
+func (r *Region) storeRAM(off uint64, size int, value uint64) bool {
+	switch size {
+	case 1:
+		r.ram[off] = byte(value)
+	case 2:
+		binary.LittleEndian.PutUint16(r.ram[off:], uint16(value))
+	case 4:
+		binary.LittleEndian.PutUint32(r.ram[off:], uint32(value))
+	case 8:
+		binary.LittleEndian.PutUint64(r.ram[off:], value)
+	default:
+		return false
+	}
+	return true
 }
 
 // Contains reports whether addr (with an access of size bytes) falls fully
@@ -98,12 +134,21 @@ func (b *Bus) WatchPage(pa uint64) bool {
 	if r == nil || r.Dev != nil {
 		return false
 	}
-	if r.watch == nil {
-		r.watch = make([]uint64, (r.Size>>12)/64+1)
-	}
 	p := (pa - r.Base) >> 12
-	r.watch[p/64] |= 1 << (p % 64)
+	atomicSetBit(&r.watch[p/64], 1<<(p%64))
 	return true
+}
+
+// atomicSetBit ORs mask into *word with a CAS loop. Hart slices arm watch
+// bits concurrently during parallel execution; writes that clear them are
+// barrier-ordered, so a set-set race is the only one possible.
+func atomicSetBit(word *uint64, mask uint64) {
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask == mask || atomic.CompareAndSwapUint64(word, old, old|mask) {
+			return
+		}
+	}
 }
 
 // IsRAM reports whether [addr, addr+size) is fully RAM-backed.
@@ -147,7 +192,11 @@ func NewBus() *Bus { return &Bus{} }
 
 // AddRAM maps size bytes of zeroed RAM at base.
 func (b *Bus) AddRAM(base, size uint64) error {
-	return b.add(&Region{Base: base, Size: size, ram: make([]byte, size)})
+	return b.add(&Region{
+		Base: base, Size: size,
+		ram:   make([]byte, size),
+		watch: make([]uint64, (size>>12)/64+1),
+	})
 }
 
 // AddDevice maps dev at [base, base+size).
@@ -186,6 +235,17 @@ func (b *Bus) find(addr uint64, size int) *Region {
 	if r := b.last; r != nil && r.Contains(addr, size) {
 		return r
 	}
+	r := b.lookup(addr, size)
+	if r != nil {
+		b.last = r
+	}
+	return r
+}
+
+// lookup is find without the shared 1-entry cache: safe for concurrent
+// readers (the region list is immutable once the machine runs). Per-hart
+// Ports keep their own cache in front of it.
+func (b *Bus) lookup(addr uint64, size int) *Region {
 	// Binary search for the last region with Base <= addr.
 	i := sort.Search(len(b.regions), func(i int) bool { return b.regions[i].Base > addr })
 	if i == 0 {
@@ -195,7 +255,6 @@ func (b *Bus) find(addr uint64, size int) *Region {
 	if !r.Contains(addr, size) {
 		return nil
 	}
-	b.last = r
 	return r
 }
 
@@ -213,18 +272,7 @@ func (b *Bus) Load(addr uint64, size int) (uint64, bool) {
 		}
 		return r.Dev.Load(addr-r.Base, size)
 	}
-	off := addr - r.Base
-	switch size {
-	case 1:
-		return uint64(r.ram[off]), true
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(r.ram[off:])), true
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(r.ram[off:])), true
-	case 8:
-		return binary.LittleEndian.Uint64(r.ram[off:]), true
-	}
-	return 0, false
+	return r.loadRAM(addr-r.Base, size)
 }
 
 // Store writes size bytes (1, 2, 4, or 8) at physical address addr.
@@ -240,21 +288,10 @@ func (b *Bus) Store(addr uint64, size int, value uint64) bool {
 		return r.Dev.Store(addr-r.Base, size, value)
 	}
 	off := addr - r.Base
-	switch size {
-	case 1:
-		r.ram[off] = byte(value)
-	case 2:
-		binary.LittleEndian.PutUint16(r.ram[off:], uint16(value))
-	case 4:
-		binary.LittleEndian.PutUint32(r.ram[off:], uint32(value))
-	case 8:
-		binary.LittleEndian.PutUint64(r.ram[off:], value)
-	default:
+	if !r.storeRAM(off, size, value) {
 		return false
 	}
-	if r.watch != nil {
-		b.noteWrite(r, off, size)
-	}
+	b.noteWrite(r, off, size)
 	return true
 }
 

@@ -1,0 +1,360 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"govfm/internal/asm"
+	"govfm/internal/core"
+	"govfm/internal/hart"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// This file implements the scheduler-equivalence mode: randomized
+// multi-hart cases run twice, once under the sequential round-robin
+// scheduler and once under the quantum-based parallel scheduler, and the
+// two executions must agree on every architectural observable — per-hart
+// cycle counters, registers, CSRs, memory, and the machine halt state.
+//
+// The generated system is *closed per hart* so bit-exact agreement is a
+// theorem rather than a hope: each hart is confined by locked PMP entries
+// to its own program and scratch windows (locked entries bind M-mode too,
+// and only a full reset clears them), the CLINT is quiesced (CyclesPerTick
+// is zero so mtime never moves, comparators sit at the reset "never"
+// value), and the generator never touches an interrupt-pending CSR. Under
+// those constraints the parallel scheduler's quantum-granular cross-hart
+// visibility has nothing to reorder, so for any quantum the end state of
+// RunParBudget(k) must equal k sequential machine steps exactly. Monitored
+// machines are deliberately out of scope: HandleMTrap runs at barriers, so
+// monitored timing is quantum-granular by design (see DESIGN.md).
+
+// schedQuanta are the slice lengths cases cycle through; 1 maximizes
+// barrier crossings, 1024 is the production default.
+var schedQuanta = []uint64{1, 7, 64, 1024}
+
+// schedHartCounts are the machine sizes cases cycle through.
+var schedHartCounts = []int{2, 4}
+
+// schedGenCSRs is the CSR surface generated programs may touch. All of it
+// is hart-local plumbing; interrupt-pending and translation CSRs stay off
+// the list so the closed-system invariant holds.
+var schedGenCSRs = []asm.GenCSR{
+	{CSR: rv.CSRMscratch, Forms: asm.FormsAll},
+	{CSR: rv.CSRSscratch, Forms: asm.FormsAll},
+	{CSR: rv.CSRMtvec, Forms: asm.FormsAll},
+	{CSR: rv.CSRStvec, Forms: asm.FormsAll},
+	{CSR: rv.CSRMepc, Forms: asm.FormsAll},
+	{CSR: rv.CSRSepc, Forms: asm.FormsAll},
+	{CSR: rv.CSRMcause, Forms: asm.FormsAll},
+	{CSR: rv.CSRScause, Forms: asm.FormsAll},
+	{CSR: rv.CSRMtval, Forms: asm.FormsAll},
+	{CSR: rv.CSRStval, Forms: asm.FormsAll},
+	{CSR: rv.CSRMie, Forms: asm.FormsAll},
+	{CSR: rv.CSRMedeleg, Forms: asm.FormsAll},
+	{CSR: rv.CSRMstatus, Forms: asm.FormsImm},
+	{CSR: rv.CSRMhartid, Forms: asm.FormsRead},
+}
+
+// schedHartInit is one hart's generated starting state.
+type schedHartInit struct {
+	Regs    [32]uint64
+	Mstatus uint64
+	Mie     uint64
+	Medeleg uint64
+	Mtvec   uint64
+	Stvec   uint64
+	Mepc    uint64
+	Sepc    uint64
+
+	Mscratch, Sscratch uint64
+	Mcause, Scause     uint64
+	Mtval, Stval       uint64
+}
+
+// SchedCase is one scheduler-equivalence input: per-hart programs and
+// starting states, plus the quantum the parallel side runs with.
+type SchedCase struct {
+	Profile string
+	Harts   int
+	Quantum uint64
+	Progs   [][]uint32
+	Init    []schedHartInit
+}
+
+func (tc *SchedCase) String() string {
+	return fmt.Sprintf("schedcase{%s, harts=%d, quantum=%d}",
+		tc.Profile, tc.Harts, tc.Quantum)
+}
+
+// SchedMismatch is one seq-vs-par divergence.
+type SchedMismatch struct {
+	Case *SchedCase
+	Desc string
+}
+
+func (m *SchedMismatch) String() string { return m.Desc + " in " + m.Case.String() }
+
+// SchedEquivStats summarizes a scheduler-equivalence run.
+type SchedEquivStats struct {
+	Cases      int
+	Steps      int // sequential machine steps across all cases
+	Mismatches []*SchedMismatch
+}
+
+// schedPair is one (profile, hart-count) configuration's machine duo,
+// reused across cases through full machine resets — which also soak-tests
+// that Reset really does return locked PMP entries and device state to
+// power-on (the reset bugfix this PR carries).
+type schedPair struct {
+	profile  string
+	harts    int
+	seq, par *hart.Machine
+	genCfg   asm.GenCfg
+	progZero []byte
+	scrZero  []byte
+}
+
+func newSchedPair(profile string, harts int) (*schedPair, error) {
+	mk, ok := hart.Profiles()[profile]
+	if !ok {
+		return nil, fmt.Errorf("fuzz: unknown profile %q", profile)
+	}
+	p := &schedPair{
+		profile:  profile,
+		harts:    harts,
+		progZero: make([]byte, ProgCap),
+		scrZero:  make([]byte, ScratchSize),
+		genCfg: asm.GenCfg{
+			Slots:      Slots,
+			DataRegs:   []int{10, 11, 12, 13, 14, 15},
+			BaseRegs:   []int{16, 17, 18},
+			BaseWindow: 2048,
+			CSRs:       schedGenCSRs,
+		},
+	}
+	for _, dst := range []**hart.Machine{&p.seq, &p.par} {
+		cfg := mk()
+		cfg.Harts = harts
+		// Freeze the wall clock: mtime must not depend on how steps group
+		// into rounds, so it simply never advances.
+		cfg.CyclesPerTick = 0
+		m, err := hart.NewMachine(cfg, core.DramSize)
+		if err != nil {
+			return nil, err
+		}
+		*dst = m
+	}
+	p.par.Sched = hart.SchedPar
+	return p, nil
+}
+
+// Per-hart window addresses. Prog windows tile the firmware region,
+// scratch windows the OS region; both strides keep NAPOT alignment.
+func (p *schedPair) progBase(i int) uint64 { return ProgBase + uint64(i)*ProgCap }
+func (p *schedPair) scratchBase(i int) uint64 {
+	return ScratchBase + uint64(i)*ScratchSize
+}
+
+// napotAddr encodes a pmpaddr NAPOT match over [base, base+size) — size a
+// power of two ≥ 8, base size-aligned.
+func napotAddr(base, size uint64) uint64 { return (base >> 2) | (size>>3 - 1) }
+
+// genSchedCase draws one case for this pair's configuration.
+func (p *schedPair) genSchedCase(rng *rand.Rand, quantum uint64) *SchedCase {
+	tc := &SchedCase{
+		Profile: p.profile,
+		Harts:   p.harts,
+		Quantum: quantum,
+		Progs:   make([][]uint32, p.harts),
+		Init:    make([]schedHartInit, p.harts),
+	}
+	for i := 0; i < p.harts; i++ {
+		tc.Progs[i] = asm.Generate(rng, &p.genCfg)
+		in := &tc.Init[i]
+		for r := 1; r < 32; r++ {
+			in.Regs[r] = randValue(rng)
+		}
+		for _, r := range p.genCfg.BaseRegs {
+			base := p.scratchBase(i) + uint64(rng.Intn(ScratchSize-4096))&^7
+			if rng.Intn(6) == 0 {
+				base |= uint64(rng.Intn(8))
+			}
+			in.Regs[r] = base
+		}
+		slot := func() uint64 { return p.progBase(i) + uint64(4*rng.Intn(Slots)) }
+		in.Mtvec = slot() | uint64(rng.Intn(2))
+		in.Stvec = slot() | uint64(rng.Intn(2))
+		in.Mepc, in.Sepc = slot(), slot()
+		in.Mstatus = rng.Uint64()&(uint64(1)<<1|1<<3|1<<5|1<<7|1<<8) |
+			[]uint64{0, 1, 3}[rng.Intn(3)]<<11
+		in.Mie = rng.Uint64() & 0xAAA
+		in.Medeleg = rng.Uint64() & 0xB3FF
+		in.Mscratch, in.Sscratch = rng.Uint64(), rng.Uint64()
+		in.Mcause, in.Scause = rng.Uint64(), rng.Uint64()
+		in.Mtval, in.Stval = rng.Uint64(), rng.Uint64()
+	}
+	return tc
+}
+
+// install writes the case onto a machine: full reset, per-hart program and
+// scratch images, starting CSR/register state, and the locked-PMP
+// confinement that makes each hart a closed system. Entry 0 grants the
+// hart its own program window, entry 1 its own scratch window, and locked
+// entry 2 blankets the rest of the address space with no permissions —
+// shadowing everything else from every privilege level, M included.
+func (p *schedPair) install(m *hart.Machine, tc *SchedCase) {
+	m.Reset(ProgBase)
+	m.Quantum = tc.Quantum
+	for i, h := range m.Harts {
+		prog := make([]byte, 4*len(tc.Progs[i]))
+		for j, w := range tc.Progs[i] {
+			binary.LittleEndian.PutUint32(prog[4*j:], w)
+		}
+		m.LoadImage(p.progBase(i), p.progZero)
+		m.LoadImage(p.scratchBase(i), p.scrZero)
+		m.LoadImage(p.progBase(i), prog)
+
+		in := &tc.Init[i]
+		h.Regs = in.Regs
+		h.Regs[0] = 0
+		h.PC = p.progBase(i)
+		h.Mode = rv.ModeM
+		c := &h.CSR
+		c.WriteMstatus(in.Mstatus)
+		c.Mie = in.Mie
+		c.Medeleg = in.Medeleg
+		c.Mtvec, c.Stvec = in.Mtvec, in.Stvec
+		c.Mepc, c.Sepc = in.Mepc, in.Sepc
+		c.Mscratch, c.Sscratch = in.Mscratch, in.Sscratch
+		c.Mcause, c.Scause = in.Mcause, in.Scause
+		c.Mtval, c.Stval = in.Mtval, in.Stval
+
+		f := c.PMP
+		rwxNapot := uint8(pmp.CfgL | pmp.CfgR | pmp.CfgW | pmp.CfgX | pmp.ANapot<<3)
+		f.ForceAddr(0, napotAddr(p.progBase(i), ProgCap))
+		f.ForceCfg(0, rwxNapot)
+		f.ForceAddr(1, napotAddr(p.scratchBase(i), ScratchSize))
+		f.ForceCfg(1, rwxNapot)
+		f.ForceAddr(2, rv.Mask(54))
+		f.ForceCfg(2, pmp.CfgL|pmp.ANapot<<3)
+	}
+}
+
+// csrDelta returns the first CSR field differing between the two harts'
+// files, or "".
+func csrDelta(a, b *hart.CSRFile) string {
+	fields := []struct {
+		name string
+		a, b uint64
+	}{
+		{"mstatus", a.Mstatus, b.Mstatus}, {"medeleg", a.Medeleg, b.Medeleg},
+		{"mideleg", a.Mideleg, b.Mideleg}, {"mie", a.Mie, b.Mie},
+		{"mtvec", a.Mtvec, b.Mtvec}, {"mcounteren", a.Mcounteren, b.Mcounteren},
+		{"menvcfg", a.Menvcfg, b.Menvcfg}, {"mscratch", a.Mscratch, b.Mscratch},
+		{"mepc", a.Mepc, b.Mepc}, {"mcause", a.Mcause, b.Mcause},
+		{"mtval", a.Mtval, b.Mtval}, {"mseccfg", a.Mseccfg, b.Mseccfg},
+		{"mcountinhibit", a.Mcountinhibit, b.Mcountinhibit},
+		{"stvec", a.Stvec, b.Stvec}, {"scounteren", a.Scounteren, b.Scounteren},
+		{"senvcfg", a.Senvcfg, b.Senvcfg}, {"sscratch", a.Sscratch, b.Sscratch},
+		{"sepc", a.Sepc, b.Sepc}, {"scause", a.Scause, b.Scause},
+		{"stval", a.Stval, b.Stval}, {"satp", a.Satp, b.Satp},
+		{"stimecmp", a.Stimecmp, b.Stimecmp},
+		{"mip", a.Mip(0), b.Mip(0)},
+	}
+	for _, f := range fields {
+		if f.a != f.b {
+			return fmt.Sprintf("%s: seq=%#x par=%#x", f.name, f.a, f.b)
+		}
+	}
+	for i := 0; i < a.PMP.NumEntries(); i++ {
+		if a.PMP.Cfg(i) != b.PMP.Cfg(i) || a.PMP.Addr(i) != b.PMP.Addr(i) {
+			return fmt.Sprintf("pmp%d: seq=%#x/%#x par=%#x/%#x",
+				i, a.PMP.Cfg(i), a.PMP.Addr(i), b.PMP.Cfg(i), b.PMP.Addr(i))
+		}
+	}
+	return ""
+}
+
+// schedCompare checks every observable of a finished case pair and returns
+// a description of the first divergence, or "".
+func (p *schedPair) schedCompare() string {
+	sh, sr := p.seq.Halted()
+	ph, pr := p.par.Halted()
+	if sh != ph || sr != pr {
+		return fmt.Sprintf("machine halt: seq=%v/%q par=%v/%q", sh, sr, ph, pr)
+	}
+	for i := range p.seq.Harts {
+		hS, hP := p.seq.Harts[i], p.par.Harts[i]
+		if hS.Cycles != hP.Cycles {
+			return fmt.Sprintf("hart%d cycles: seq=%d par=%d", i, hS.Cycles, hP.Cycles)
+		}
+		if hS.Instret != hP.Instret || hS.SInstret != hP.SInstret {
+			return fmt.Sprintf("hart%d instret: seq=%d/%d par=%d/%d",
+				i, hS.Instret, hS.SInstret, hP.Instret, hP.SInstret)
+		}
+		if hS.PC != hP.PC || hS.Mode != hP.Mode || hS.Waiting != hP.Waiting ||
+			hS.Halted != hP.Halted {
+			return fmt.Sprintf("hart%d pc/mode/wfi/halt: seq=%#x/%v/%v/%v par=%#x/%v/%v/%v",
+				i, hS.PC, hS.Mode, hS.Waiting, hS.Halted,
+				hP.PC, hP.Mode, hP.Waiting, hP.Halted)
+		}
+		if hS.Regs != hP.Regs {
+			return fmt.Sprintf("hart%d register file differs", i)
+		}
+		if d := csrDelta(&hS.CSR, &hP.CSR); d != "" {
+			return fmt.Sprintf("hart%d %s", i, d)
+		}
+		for _, r := range [][2]uint64{
+			{p.progBase(i), ProgCap}, {p.scratchBase(i), ScratchSize}} {
+			bS, err1 := p.seq.Bus.ReadBytes(r[0], int(r[1]))
+			bP, err2 := p.par.Bus.ReadBytes(r[0], int(r[1]))
+			if err1 != nil || err2 != nil || !bytes.Equal(bS, bP) {
+				return fmt.Sprintf("hart%d memory at %#x differs", i, r[0])
+			}
+		}
+	}
+	return ""
+}
+
+// RunSchedEquivalence fuzzes `cases` scheduler-equivalence cases per
+// profile, spread across hart counts and quanta. Every case runs the
+// sequential scheduler for up to StepBudget machine steps, then replays
+// the identical initial state under the parallel scheduler with the same
+// per-hart step budget, and compares end states bit for bit.
+func RunSchedEquivalence(profiles []string, seed int64, cases int) (*SchedEquivStats, error) {
+	var pairs []*schedPair
+	for _, prof := range profiles {
+		for _, n := range schedHartCounts {
+			p, err := newSchedPair(prof, n)
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, p)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st := &SchedEquivStats{}
+	for c := 0; c < cases*len(profiles); c++ {
+		p := pairs[c%len(pairs)]
+		tc := p.genSchedCase(rng, schedQuanta[c%len(schedQuanta)])
+
+		p.install(p.seq, tc)
+		k, _ := p.seq.Run(StepBudget)
+
+		p.install(p.par, tc)
+		p.par.RunParBudget(k)
+
+		st.Cases++
+		st.Steps += int(k)
+		if desc := p.schedCompare(); desc != "" {
+			st.Mismatches = append(st.Mismatches, &SchedMismatch{Case: tc, Desc: desc})
+			if len(st.Mismatches) >= 10 {
+				break
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,25 @@
+package fuzz
+
+import "testing"
+
+// TestSchedEquivalenceSmoke runs a short seq-vs-par scheduler batch on
+// both profiles across hart counts and quanta and requires bit-exact
+// end-state agreement. The full-size run is scripts/verify.sh's tier-2
+// gate.
+func TestSchedEquivalenceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduler-equivalence smoke is not short")
+	}
+	st, err := RunSchedEquivalence([]string{"visionfive2", "p550"}, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cases == 0 || st.Steps == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+	for _, m := range st.Mismatches {
+		t.Errorf("scheduler divergence: %s", m)
+	}
+	t.Logf("sched equivalence: %d cases, %d steps, %d mismatches",
+		st.Cases, st.Steps, len(st.Mismatches))
+}

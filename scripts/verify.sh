@@ -29,6 +29,9 @@ go run ./cmd/fuzzdiff -smoke
 echo "== fastpath equivalence (host caches on vs. off, state + cycles)"
 go run ./cmd/fuzzdiff -fastpath both -equiv-cases 400
 
+echo "== scheduler equivalence (sequential vs. quantum-parallel, state + cycles)"
+go run ./cmd/fuzzdiff -sched both -equiv-cases 400
+
 echo "== Table 4 host-throughput benchmark (compile-and-run gate)"
 go test ./internal/bench -run '^$' -bench BenchmarkTable4Operations -benchtime 1x
 
