@@ -245,7 +245,21 @@ func main() {
 		}
 		fmt.Println("(per-hart cycle counters asserted bit-identical between schedulers)")
 
-		if err := writeSimHostJSON(*simhostOut, all, scale); err != nil {
+		fmt.Println()
+		fmt.Println("Fork latency: COW spawn-from-snapshot vs. cold boot (200-case campaign)")
+		fmt.Printf("%-14s %6s %12s %12s %12s %8s\n",
+			"platform", "cases", "spawn-ns", "fork-c/s", "cold-c/s", "speedup")
+		fork, err := bench.ForkLatency(hart.VisionFive2, 200)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-14s %6d %12d %12.0f %12.0f %7.2fx\n",
+			fork.Platform, fork.Cases, fork.SpawnNsPerCase,
+			fork.ForkCasesPerSec, fork.ColdCasesPerSec, fork.Speedup)
+		fmt.Printf("(shared image %d pages; every case must still finish with guest-exit-pass)\n",
+			fork.ImagePages)
+
+		if err := writeSimHostJSON(*simhostOut, all, scale, fork); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *simhostOut)
@@ -285,10 +299,10 @@ func checkSimHostBaseline(path string, geomean, maxRegress float64) error {
 }
 
 // writeSimHostJSON emits the simhost results as a JSON report for the
-// repository's BENCH_simhost.json artifact. The sched_scale section is
-// informational and deliberately outside the geomean_speedup basis the
-// -simhost-baseline guard reads.
-func writeSimHostJSON(path string, results []*bench.SimHostResult, scale []*bench.SchedScaleResult) error {
+// repository's BENCH_simhost.json artifact. The sched_scale and fork
+// sections are informational and deliberately outside the
+// geomean_speedup basis the -simhost-baseline guard reads.
+func writeSimHostJSON(path string, results []*bench.SimHostResult, scale []*bench.SchedScaleResult, fork *bench.ForkLatencyResult) error {
 	report := struct {
 		Note           string                    `json:"note"`
 		GOOS           string                    `json:"goos"`
@@ -297,16 +311,19 @@ func writeSimHostJSON(path string, results []*bench.SimHostResult, scale []*benc
 		GeomeanSpeedup float64                   `json:"geomean_speedup"`
 		Results        []*bench.SimHostResult    `json:"results"`
 		SchedScale     []*bench.SchedScaleResult `json:"sched_scale"`
+		Fork           *bench.ForkLatencyResult  `json:"fork"`
 	}{
 		Note: "host throughput with acceleration caches off vs. on; " +
 			"cycles/instret are asserted bit-identical between settings; " +
-			"sched_scale compares the sequential and quantum-parallel schedulers",
+			"sched_scale compares the sequential and quantum-parallel schedulers; " +
+			"fork compares COW spawn-from-snapshot against cold boot per campaign case",
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		NumCPU:         runtime.NumCPU(),
 		GeomeanSpeedup: bench.GeomeanSpeedup(results),
 		Results:        results,
 		SchedScale:     scale,
+		Fork:           fork,
 	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

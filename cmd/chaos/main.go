@@ -21,6 +21,7 @@ import (
 
 	"govfm/internal/inject"
 	"govfm/internal/obs"
+	"govfm/internal/vfmd"
 )
 
 var profileAlias = map[string][]string{
@@ -42,6 +43,7 @@ func run() int {
 		metricsOut  = flag.String("metrics-out", "", "write campaign detection metrics (JSON) to this file")
 		metricsDump = flag.Bool("metrics", false, "print campaign detection metrics on exit")
 		traceOut    = flag.String("trace-out", "", "write injection instants as Chrome trace_event JSON to this file")
+		server      = flag.String("server", "", "run the campaign through a vfmd fleet server at this base URL (e.g. http://127.0.0.1:9400) instead of in-process; combo rebuilds spawn from shared post-warmup snapshots")
 	)
 	flag.Parse()
 
@@ -54,6 +56,10 @@ func run() int {
 		*seed = 1
 		*faults = 12
 		profiles = profileAlias["all"]
+	}
+
+	if *server != "" {
+		return runServer(*server, profiles, *seed, *faults)
 	}
 
 	var ob *obs.Observer
@@ -116,6 +122,44 @@ func run() int {
 		if len(r.Failures) > 0 || !r.HashIntact {
 			return 1
 		}
+	}
+	return 0
+}
+
+// runServer runs the campaign through a vfmd fleet server: the server
+// boots each combo once and spawns every rebuild from the post-warmup
+// COW snapshot instead of re-simulating the boot.
+func runServer(base string, profiles []string, seed int64, faults int) int {
+	c := vfmd.NewClient(base)
+	t0 := time.Now()
+	j, err := c.Campaign(vfmd.CampaignSpec{
+		Kind:           "chaos",
+		Profiles:       profiles,
+		Seed:           seed,
+		FaultsPerCombo: faults,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: server: %v\n", err)
+		return 2
+	}
+	fmt.Printf("campaign job %s queued on %s\n", j.ID, base)
+	j, err = c.WaitJob(j.ID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: server: %v\n", err)
+		return 2
+	}
+	res, err := vfmd.CampaignResultOf(j)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: server: %v\n", err)
+		return 2
+	}
+	for _, line := range res.Lines {
+		fmt.Println(line)
+	}
+	fmt.Printf("server campaign (chaos): %d shard(s), %d faults injected, %d failure(s) in %.1fs\n",
+		res.Shards, res.Cases, res.Findings, time.Since(t0).Seconds())
+	if res.Findings > 0 {
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"govfm/internal/vfmd"
+)
+
+// runServerCampaign runs the campaign through a vfmd fleet server
+// instead of in-process: the server shards the campaign across its
+// worker pool and spawns cases from shared post-boot snapshots, so
+// client processes stay thin. kind is "fuzz" or "chaos".
+func runServerCampaign(base, kind string, profiles []string, seed int64, budget int, out, errw io.Writer) int {
+	c := vfmd.NewClient(base)
+	t0 := time.Now()
+	j, err := c.Campaign(vfmd.CampaignSpec{
+		Kind:     kind,
+		Profiles: profiles,
+		Seed:     seed,
+		Budget:   budget,
+	})
+	if err != nil {
+		fmt.Fprintf(errw, "%s: server: %v\n", kind, err)
+		return 2
+	}
+	fmt.Fprintf(out, "campaign job %s queued on %s\n", j.ID, base)
+	j, err = c.WaitJob(j.ID)
+	if err != nil {
+		fmt.Fprintf(errw, "%s: server: %v\n", kind, err)
+		return 2
+	}
+	res, err := vfmd.CampaignResultOf(j)
+	if err != nil {
+		fmt.Fprintf(errw, "%s: server: %v\n", kind, err)
+		return 2
+	}
+	for _, line := range res.Lines {
+		fmt.Fprintln(out, line)
+	}
+	fmt.Fprintf(out, "server campaign (%s): %d shard(s), %d cases, %d findings in %.1fs\n",
+		res.Kind, res.Shards, res.Cases, res.Findings, time.Since(t0).Seconds())
+	if res.Findings > 0 {
+		return 1
+	}
+	return 0
+}

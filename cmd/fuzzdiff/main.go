@@ -27,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"govfm/internal/verif"
 	"govfm/internal/verif/fuzz"
 )
 
@@ -56,6 +57,8 @@ func run(args []string, out, errw io.Writer) int {
 		fastpath = fs.String("fastpath", "on", "host acceleration caches: on, off, or both (both = equivalence mode, every case run fast and slow and compared)")
 		equivN   = fs.Int("equiv-cases", 1000, "cases per profile in -fastpath=both and -sched=both equivalence modes")
 		sched    = fs.String("sched", "", "scheduler equivalence: both = every multi-hart case run under the sequential and parallel schedulers and compared")
+		forkN    = fs.Int("fork", 0, "fork-equivalence mode: run N cases per profile, each forked mid-run and compared bit-for-bit against a cold replay, swept across schedulers and fastpath settings")
+		server   = fs.String("server", "", "run the fuzz campaign through a vfmd fleet server at this base URL (e.g. http://127.0.0.1:9400) instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +73,14 @@ func run(args []string, out, errw io.Writer) int {
 		*seed = 1
 		*budget = 60_000 // per profile; ≥100k total across both
 		profiles = profileAlias["all"]
+	}
+
+	if *forkN > 0 {
+		return runForkEquiv(profiles, *seed, *forkN, out, errw)
+	}
+
+	if *server != "" {
+		return runServerCampaign(*server, "fuzz", profiles, *seed, *budget, out, errw)
 	}
 
 	if *injectN > 0 {
@@ -125,6 +136,28 @@ func run(args []string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "total: %d lockstep steps across %d profile(s) in %.1fs, %d divergence(s)\n",
 		totalSteps, len(profiles), time.Since(start).Seconds(), rawFindings)
 	if rawFindings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runForkEquiv drives the fork-equivalence mode: each case runs a parent,
+// forks it mid-run, and compares child and post-fork parent bit-for-bit
+// (cycle counters included) against a cold replay of the same trajectory,
+// swept across both schedulers and both fastpath settings.
+func runForkEquiv(profiles []string, seed int64, cases int, out, errw io.Writer) int {
+	t0 := time.Now()
+	st, err := verif.RunForkEquivalence(profiles, seed, cases)
+	if err != nil {
+		fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "fork-equivalence: %d cases, %d steps, %d image pages, %d divergence(s) across %d profile(s) in %.1fs\n",
+		st.Cases, st.Steps, st.ForkPages, len(st.Mismatches), len(profiles), time.Since(t0).Seconds())
+	for _, m := range st.Mismatches {
+		fmt.Fprintf(out, "  DIVERGENCE %s\n", m)
+	}
+	if len(st.Mismatches) > 0 {
 		return 1
 	}
 	return 0

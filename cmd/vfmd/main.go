@@ -1,0 +1,54 @@
+// Command vfmd serves the virtual-firmware-monitor fleet over HTTP/JSON:
+// boot machines, snapshot them into copy-on-write images, spawn children
+// from an image (monitor state forked alongside), run step budgets on a
+// worker pool, and pull per-machine metrics and Perfetto traces.
+//
+// Usage:
+//
+//	go run ./cmd/vfmd                      # listen on 127.0.0.1:9400
+//	go run ./cmd/vfmd -addr :8080 -workers 8
+//
+// Quick start against a running server:
+//
+//	curl -X POST localhost:9400/v1/machines \
+//	     -d '{"profile":"visionfive2","firmware":"gosbi","virtualize":true,"policy":"sandbox","warmup_steps":4000}'
+//	curl -X POST localhost:9400/v1/machines/m1/snapshot
+//	curl -X POST localhost:9400/v1/snapshots/s1/spawn -d '{"count":4}'
+//	curl -X POST localhost:9400/v1/machines/m2/run -d '{"steps":1000000}'
+//	curl    localhost:9400/v1/jobs/j1?wait=1
+//	curl    localhost:9400/v1/machines/m2/metrics
+//	curl    localhost:9400/v1/machines/m2/trace > trace.json   # open in Perfetto
+//
+// Campaign clients: `fuzzdiff -server URL` and `chaos -server URL` run
+// their campaigns through the fleet instead of in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+)
+
+import "govfm/internal/vfmd"
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9400", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool width for run/campaign jobs")
+	)
+	flag.Parse()
+
+	fleet := vfmd.NewFleet(*workers)
+	defer fleet.Close()
+
+	fmt.Printf("vfmd: serving fleet API on http://%s (%d workers)\n", *addr, *workers)
+	if err := http.ListenAndServe(*addr, vfmd.NewServer(fleet)); err != nil {
+		fmt.Fprintf(os.Stderr, "vfmd: %v\n", err)
+		return 1
+	}
+	return 0
+}

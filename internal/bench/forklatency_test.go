@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"testing"
+
+	"govfm/internal/hart"
+)
+
+func TestForkLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork latency benchmark in -short mode")
+	}
+	res, err := ForkLatency(hart.VisionFive2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 20 || res.ImagePages == 0 || res.CaseSteps == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	// The acceptance bar is 5x on the 200-case campaign (measures ~15x
+	// here); the smoke test asserts a loose floor to stay robust on
+	// loaded CI hosts.
+	if res.Speedup < 3 {
+		t.Fatalf("fork-spawned campaign not faster than cold boot: %+v", res)
+	}
+	t.Logf("fork=%.0f cases/s cold=%.0f cases/s speedup=%.1fx spawn=%dns image=%d pages",
+		res.ForkCasesPerSec, res.ColdCasesPerSec, res.Speedup, res.SpawnNsPerCase, res.ImagePages)
+}

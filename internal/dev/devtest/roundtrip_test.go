@@ -1,0 +1,213 @@
+// Package devtest holds cross-device contract tests: every device in
+// internal/dev must support snapshot → mutate → restore → state-equal, the
+// cheap-fork contract Machine.Snapshot builds on. (The DMA engine, whose
+// registers live in internal/hart, gets the same coverage there.)
+package devtest
+
+import (
+	"reflect"
+	"testing"
+
+	"govfm/internal/dev/clint"
+	"govfm/internal/dev/iopmp"
+	"govfm/internal/dev/plic"
+	"govfm/internal/dev/uart"
+	"govfm/internal/mem"
+)
+
+// access is one MMIO store used to drive a device into a non-reset state.
+type access struct {
+	off  uint64
+	size int
+	v    uint64
+}
+
+func apply(t *testing.T, d mem.Device, writes []access) {
+	t.Helper()
+	for _, w := range writes {
+		if !d.Store(w.off, w.size, w.v) {
+			t.Fatalf("%s: store %#x size %d rejected", d.Name(), w.off, w.size)
+		}
+	}
+}
+
+// probe reads a set of offsets so two same-shape devices can be compared
+// through their architectural register window.
+func probe(t *testing.T, d mem.Device, reads []access) []uint64 {
+	t.Helper()
+	out := make([]uint64, 0, len(reads))
+	for _, r := range reads {
+		v, ok := d.Load(r.off, r.size)
+		if !ok {
+			t.Fatalf("%s: load %#x size %d rejected", d.Name(), r.off, r.size)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestDeviceSnapshotRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		// build returns the device plus checkpoint/restore closures bound
+		// to it (the Snapshot types differ per device).
+		build func() (dev mem.Device, checkpoint func() any, restore func(any))
+		// mutate1 drives the device into the state to be captured;
+		// mutate2 perturbs it afterwards.
+		mutate1, mutate2 []access
+		// probes are side-effect-free register reads used for equality.
+		probes []access
+	}{
+		{
+			name: "clint",
+			build: func() (mem.Device, func() any, func(any)) {
+				c := clint.New(2)
+				return c, func() any { return c.Checkpoint() }, func(s any) { c.Restore(s.(clint.Snapshot)) }
+			},
+			mutate1: []access{
+				{clint.MsipOff, 4, 1},
+				{clint.MtimecmpOff + 8, 8, 0x1234_5678},
+				{clint.MtimeOff, 8, 999},
+			},
+			mutate2: []access{
+				{clint.MsipOff, 4, 0},
+				{clint.MtimecmpOff + 8, 8, 1},
+				{clint.MtimeOff, 8, 0},
+			},
+			probes: []access{
+				{clint.MsipOff, 4, 0}, {clint.MsipOff + 4, 4, 0},
+				{clint.MtimecmpOff, 8, 0}, {clint.MtimecmpOff + 8, 8, 0},
+				{clint.MtimeOff, 8, 0},
+			},
+		},
+		{
+			name: "plic",
+			build: func() (mem.Device, func() any, func(any)) {
+				p := plic.New(2)
+				p.Raise(3)
+				return p, func() any { return p.Checkpoint() }, func(s any) { p.Restore(s.(plic.Snapshot)) }
+			},
+			mutate1: []access{
+				{plic.PriorityOff + 4*3, 4, 7},
+				{plic.EnableOff, 4, 1 << 3},
+				{plic.ContextOff, 4, 2},
+			},
+			mutate2: []access{
+				{plic.PriorityOff + 4*3, 4, 0},
+				{plic.EnableOff, 4, 0},
+				{plic.ContextOff, 4, 6},
+				{plic.ContextOff + 4, 4, 3}, // complete (clears claimed)
+			},
+			probes: []access{
+				{plic.PriorityOff + 4*3, 4, 0},
+				{plic.PendingOff, 4, 0},
+				{plic.EnableOff, 4, 0},
+				{plic.ContextOff, 4, 0},
+			},
+		},
+		{
+			name: "uart",
+			build: func() (mem.Device, func() any, func(any)) {
+				u := uart.New()
+				u.Feed([]byte("in"))
+				return u, func() any { return u.Checkpoint() }, func(s any) { u.Restore(s.(uart.Snapshot)) }
+			},
+			mutate1: []access{
+				{uart.RBR, 1, 'x'},
+				{uart.IER, 1, 0x5},
+			},
+			mutate2: []access{
+				{uart.RBR, 1, 'y'},
+				{uart.IER, 1, 0},
+			},
+			probes: []access{
+				{uart.IER, 1, 0}, {uart.LSR, 1, 0},
+			},
+		},
+		{
+			name: "iopmp",
+			build: func() (mem.Device, func() any, func(any)) {
+				p := iopmp.New(8)
+				return p, func() any { return p.Checkpoint() }, func(s any) { p.Restore(s.(iopmp.Snapshot)) }
+			},
+			mutate1: []access{
+				{iopmp.AddrOff, 8, 0x2000_3FFF},
+				{iopmp.CfgOff, 8, 0x9B}, // locked NAPOT RW entry 0
+			},
+			mutate2: []access{
+				{iopmp.AddrOff + 8, 8, 0xFFFF},
+				// Entry 0 is locked: only Restore can rewrite it, which is
+				// exactly what the round-trip must prove.
+			},
+			probes: []access{
+				{iopmp.CfgOff, 8, 0}, {iopmp.AddrOff, 8, 0}, {iopmp.AddrOff + 8, 8, 0},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev, checkpoint, restore := tc.build()
+			apply(t, dev, tc.mutate1)
+			want := probe(t, dev, tc.probes)
+			snap := checkpoint()
+
+			apply(t, dev, tc.mutate2)
+			if got := probe(t, dev, tc.probes); reflect.DeepEqual(got, want) {
+				t.Fatalf("mutation did not change probed state %v", got)
+			}
+
+			restore(snap)
+			if got := probe(t, dev, tc.probes); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round-trip: got %v want %v", got, want)
+			}
+			// The checkpoint of the restored device must equal the original
+			// checkpoint (deep state equality, beyond the probed window).
+			if again := checkpoint(); !reflect.DeepEqual(again, snap) {
+				t.Fatalf("re-checkpoint differs:\n got %+v\nwant %+v", again, snap)
+			}
+		})
+	}
+}
+
+// TestUartRestoreReplaysOutput checks the parts of the UART contract the
+// MMIO probes cannot see: accumulated transmit output and queued input.
+func TestUartRestoreReplaysOutput(t *testing.T) {
+	u := uart.New()
+	u.Store(uart.RBR, 1, 'h')
+	u.Store(uart.RBR, 1, 'i')
+	u.Feed([]byte("abc"))
+	snap := u.Checkpoint()
+	u.Store(uart.RBR, 1, '!')
+	u.Load(uart.RBR, 1) // consume 'a'
+	u.Restore(snap)
+	if u.Output() != "hi" {
+		t.Fatalf("output = %q", u.Output())
+	}
+	if v, _ := u.Load(uart.RBR, 1); v != 'a' {
+		t.Fatalf("rx head = %q", v)
+	}
+}
+
+// TestPlicClaimStateSurvives checks the claimed bitmap — invisible to
+// plain register probes — round-trips: a source claimed at checkpoint time
+// must still be claimed (and not re-claimable) after restore.
+func TestPlicClaimStateSurvives(t *testing.T) {
+	p := plic.New(1)
+	p.Raise(5)
+	p.Store(plic.PriorityOff+4*5, 4, 3)
+	p.Store(plic.EnableOff, 4, 1<<5)
+	if irq, _ := p.Load(plic.ContextOff+4, 4); irq != 5 {
+		t.Fatalf("claim = %d", irq)
+	}
+	snap := p.Checkpoint()
+	p.Store(plic.ContextOff+4, 4, 5) // complete
+	p.Restore(snap)
+	// Still claimed: a second claim hands out nothing.
+	if irq, _ := p.Load(plic.ContextOff+4, 4); irq != 0 {
+		t.Fatalf("re-claim after restore = %d, want 0", irq)
+	}
+	if !reflect.DeepEqual(p.Checkpoint(), snap) {
+		t.Fatal("restored checkpoint differs")
+	}
+}

@@ -82,6 +82,28 @@ func (p *IOPMP) Check(addr uint64, size int, write bool) bool {
 	return ok
 }
 
+// Snapshot is a deep copy of the IOPMP's entry table. The Checks/Denials
+// counters (host-side observability) are not captured.
+type Snapshot struct {
+	Cfg  []byte
+	Addr []uint64
+}
+
+// Checkpoint captures the entry table for later Restore.
+func (p *IOPMP) Checkpoint() Snapshot {
+	cfg, addr := p.file.Snapshot()
+	return Snapshot{Cfg: cfg, Addr: addr}
+}
+
+// Restore rewinds the entry table to a checkpoint taken on a same-size
+// unit, lock bits included.
+func (p *IOPMP) Restore(s Snapshot) {
+	for i := 0; i < p.file.NumEntries() && i < len(s.Cfg); i++ {
+		p.file.ForceCfg(i, s.Cfg[i])
+		p.file.ForceAddr(i, s.Addr[i])
+	}
+}
+
 // Load implements mem.Device.
 func (p *IOPMP) Load(off uint64, size int) (uint64, bool) {
 	if size != 8 || off%8 != 0 {

@@ -140,6 +140,40 @@ func (p *Plic) Pending(hart int) uint64 {
 	return bitsOut
 }
 
+// Snapshot is a deep copy of the PLIC's architectural register state. The
+// Pending memoization (host-side cache) and the Perf counters (host-side
+// observability) are not part of the architecture and are not captured.
+type Snapshot struct {
+	Priority  [MaxSources]uint32
+	Pending   uint32
+	Claimed   uint32
+	Enable    []uint32
+	Threshold []uint32
+}
+
+// Checkpoint captures the register state for later Restore, on this PLIC
+// or on a same-shape PLIC of a forked machine.
+func (p *Plic) Checkpoint() Snapshot {
+	return Snapshot{
+		Priority:  p.priority,
+		Pending:   p.pending,
+		Claimed:   p.claimed,
+		Enable:    append([]uint32(nil), p.enable...),
+		Threshold: append([]uint32(nil), p.threshold...),
+	}
+}
+
+// Restore rewinds the PLIC to a checkpoint taken on a same-shape PLIC and
+// drops the Pending memoization.
+func (p *Plic) Restore(s Snapshot) {
+	p.priority = s.Priority
+	p.pending = s.Pending
+	p.claimed = s.Claimed
+	copy(p.enable, s.Enable)
+	copy(p.threshold, s.Threshold)
+	p.invalidate()
+}
+
 // Load implements mem.Device. All PLIC registers are 32-bit.
 func (p *Plic) Load(off uint64, size int) (uint64, bool) {
 	if size != 4 || off%4 != 0 {

@@ -85,6 +85,31 @@ func (u *Uart) Store(off uint64, size int, v uint64) bool {
 	return off < Size // unmodelled registers swallow writes
 }
 
+// Snapshot is a deep copy of the UART's state: accumulated transmit
+// output, queued receive bytes, and the interrupt-enable register.
+type Snapshot struct {
+	Tx  []byte
+	Rx  []byte
+	Ier byte
+}
+
+// Checkpoint captures the UART state for later Restore.
+func (u *Uart) Checkpoint() Snapshot {
+	return Snapshot{
+		Tx:  append([]byte(nil), u.tx.Bytes()...),
+		Rx:  append([]byte(nil), u.rx...),
+		Ier: u.ier,
+	}
+}
+
+// Restore rewinds the UART to a checkpoint.
+func (u *Uart) Restore(s Snapshot) {
+	u.tx.Reset()
+	u.tx.Write(s.Tx)
+	u.rx = append([]byte(nil), s.Rx...)
+	u.ier = s.Ier
+}
+
 // Output returns everything transmitted so far.
 func (u *Uart) Output() string { return u.tx.String() }
 

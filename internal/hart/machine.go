@@ -2,6 +2,7 @@ package hart
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"govfm/internal/dev/clint"
 	"govfm/internal/dev/iopmp"
@@ -84,6 +85,10 @@ type Machine struct {
 	trace *obs.Tracer
 	// par is the parallel scheduler's reusable round state.
 	par parScratch
+	// inRound is set for the duration of a parallel quantum round, during
+	// which per-hart store buffers hold uncommitted state; Snapshot refuses
+	// to run while it is set.
+	inRound atomic.Bool
 }
 
 // NewMachine builds a platform from a profile with the given DRAM size.

@@ -154,6 +154,8 @@ func (h *Hart) runSlice(quantum, stepCap uint64) uint64 {
 // budget harness narrows it; runPar passes the quantum). Results land in
 // m.par.progress; the return value is the slowest hart's cycle consumption.
 func (m *Machine) parRound(quantum uint64, caps []uint64) uint64 {
+	m.inRound.Store(true)
+	defer m.inRound.Store(false)
 	harts := m.Harts
 	// Latch every hart's interrupt lines from the quiesced devices. The
 	// lines stay frozen for the whole round; effects produced during the

@@ -1,0 +1,32 @@
+package inject
+
+import "testing"
+
+// TestForkCampaignMatchesColdCampaign runs a small chaos slice twice —
+// cold-boot rebuilds vs fork-spawned rebuilds — and expects the same
+// robustness verdict (zero failures) from both.
+func TestForkCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign slice is slow")
+	}
+	for _, fork := range []bool{false, true} {
+		cfg := CampaignConfig{
+			Seed: 3, Platforms: []string{"visionfive2"},
+			Firmwares: []string{"gosbi"}, Policies: []string{"sandbox"},
+			FaultsPerCombo: 6, Fork: fork,
+		}
+		rep, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatalf("fork=%v: %v", fork, err)
+		}
+		if rep.TotalFailures > 0 {
+			t.Fatalf("fork=%v: %d failures:\n%s", fork, rep.TotalFailures, rep.Format())
+		}
+		if rep.TotalInjected != 6 {
+			t.Fatalf("fork=%v: injected %d", fork, rep.TotalInjected)
+		}
+		if !rep.Results[0].HashIntact {
+			t.Fatalf("fork=%v: hash invariant broken", fork)
+		}
+	}
+}

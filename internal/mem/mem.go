@@ -2,6 +2,17 @@
 // machine: a DRAM region plus memory-mapped I/O devices dispatched by
 // address range. All accesses are little-endian, as mandated for RISC-V
 // memory.
+//
+// RAM is backed by a two-level, generation-tagged page table (4 KiB pages
+// grouped into 4 MiB chunks) rather than a flat byte slice. Pages are
+// copy-on-write: Bus.Snapshot captures all RAM in O(chunk directory) time
+// by sharing the page objects, and a bus spawned from a snapshot (a fork)
+// shares every clean page with its ancestor. A page is written in place
+// only when its (owner, generation) tag matches the writing bus; any
+// mismatch breaks the page off the shared backing first. The break-off
+// check lives in the same write funnel (Store, WriteBytes, Port.Commit)
+// that fires the page-watch notifications, so copy-on-first-write rides
+// the exact choke point the host fast paths already trust.
 package mem
 
 import (
@@ -46,12 +57,46 @@ type Device interface {
 	Store(offset uint64, size int, value uint64) bool
 }
 
+// RAM page-table geometry: 4 KiB pages, 1024 pages (4 MiB) per chunk.
+const (
+	pageShift  = 12
+	pageSize   = 1 << pageShift
+	pageMask   = pageSize - 1
+	chunkShift = pageShift + 10
+	chunkPages = 1 << (chunkShift - pageShift)
+)
+
+// ramPage is one 4 KiB page of RAM. The (owner, gen) tag records which bus
+// allocated it and during which snapshot generation; the page may be
+// written in place only by that bus while its generation is still current.
+// Every other writer — the same bus after a snapshot, or a forked child —
+// must break a copy off first. Pages whose tag is stale are therefore
+// immutable forever, which is what makes sharing them across concurrently
+// executing machines safe without any per-access synchronization.
+type ramPage struct {
+	owner, gen uint64
+	data       [pageSize]byte
+}
+
+// ramChunk is a directory of 1024 page pointers, tagged like a page so the
+// pointer array itself is copy-on-write too. A nil page pointer reads as
+// zeros (RAM starts zeroed and untouched pages are never materialized).
+type ramChunk struct {
+	owner, gen uint64
+	pages      [chunkPages]*ramPage
+}
+
 // Region is a mapped address range.
 type Region struct {
 	Base uint64
 	Size uint64
 	Dev  Device // nil for RAM regions
-	ram  []byte
+
+	// dir is the chunk directory of a RAM region (nil entries are
+	// all-zero 4 MiB spans). It belongs to exactly one bus; snapshots and
+	// forks copy the directory, never share it.
+	dir []*ramChunk
+	bus *Bus
 
 	// watch is a per-4KiB-page bitmap of pages some PageWatcher has asked
 	// to be told about. A bit is set by WatchPage, cleared when the page is
@@ -59,38 +104,125 @@ type Region struct {
 	// cache fill). Allocated eagerly for RAM regions so that bits can be
 	// armed with atomic ops from concurrently executing hart slices; writes
 	// (and hence noteWrite) only ever happen while the harts are quiesced.
+	// Watch bits are host-cache state: they are per-bus and never travel
+	// with snapshots.
 	watch []uint64
+}
+
+// page returns the page containing byte offset off, or nil for an
+// untouched (all-zero) page. Safe for concurrent readers: the directory
+// only changes while the machine is quiesced.
+func (r *Region) page(off uint64) *ramPage {
+	c := r.dir[off>>chunkShift]
+	if c == nil {
+		return nil
+	}
+	return c.pages[(off>>pageShift)&(chunkPages-1)]
+}
+
+// writablePage returns the page containing off, breaking it (and its
+// chunk) off the shared copy-on-write backing if its generation tag does
+// not match the owning bus. Must only be called while the machine is
+// quiesced (direct-mode stores, barrier commits, image loads).
+func (r *Region) writablePage(off uint64) *ramPage {
+	b := r.bus
+	ci := off >> chunkShift
+	c := r.dir[ci]
+	if c == nil || c.owner != b.id || c.gen != b.gen {
+		nc := &ramChunk{owner: b.id, gen: b.gen}
+		if c != nil {
+			nc.pages = c.pages
+		}
+		c = nc
+		r.dir[ci] = c
+	}
+	pi := (off >> pageShift) & (chunkPages - 1)
+	pg := c.pages[pi]
+	if pg == nil || pg.owner != b.id || pg.gen != b.gen {
+		np := &ramPage{owner: b.id, gen: b.gen}
+		if pg != nil {
+			np.data = pg.data
+			b.cowCopied++
+		}
+		pg = np
+		c.pages[pi] = pg
+		b.touched++
+	}
+	return pg
 }
 
 // loadRAM reads size little-endian bytes at byte offset off of a RAM region.
 func (r *Region) loadRAM(off uint64, size int) (uint64, bool) {
-	switch size {
-	case 1:
-		return uint64(r.ram[off]), true
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(r.ram[off:])), true
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(r.ram[off:])), true
-	case 8:
-		return binary.LittleEndian.Uint64(r.ram[off:]), true
+	if (off&pageMask)+uint64(size) <= pageSize {
+		pg := r.page(off)
+		if pg == nil {
+			switch size {
+			case 1, 2, 4, 8:
+				return 0, true
+			}
+			return 0, false
+		}
+		b := off & pageMask
+		switch size {
+		case 1:
+			return uint64(pg.data[b]), true
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(pg.data[b:])), true
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg.data[b:])), true
+		case 8:
+			return binary.LittleEndian.Uint64(pg.data[b:]), true
+		}
+		return 0, false
 	}
-	return 0, false
+	// Page-straddling access (hardware-handled misalignment): byte loop.
+	switch size {
+	case 2, 4, 8:
+	default:
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		if pg := r.page(off + uint64(i)); pg != nil {
+			v |= uint64(pg.data[(off+uint64(i))&pageMask]) << (8 * uint(i))
+		}
+	}
+	return v, true
 }
 
 // storeRAM writes size little-endian bytes at byte offset off of a RAM
-// region. It does not fire write watches; callers do.
+// region, breaking pages off the shared backing as needed. It does not
+// fire write watches; callers do.
 func (r *Region) storeRAM(off uint64, size int, value uint64) bool {
+	if (off&pageMask)+uint64(size) <= pageSize {
+		b := off & pageMask
+		var pg *ramPage
+		switch size {
+		case 1, 2, 4, 8:
+			pg = r.writablePage(off)
+		default:
+			return false
+		}
+		switch size {
+		case 1:
+			pg.data[b] = byte(value)
+		case 2:
+			binary.LittleEndian.PutUint16(pg.data[b:], uint16(value))
+		case 4:
+			binary.LittleEndian.PutUint32(pg.data[b:], uint32(value))
+		case 8:
+			binary.LittleEndian.PutUint64(pg.data[b:], value)
+		}
+		return true
+	}
 	switch size {
-	case 1:
-		r.ram[off] = byte(value)
-	case 2:
-		binary.LittleEndian.PutUint16(r.ram[off:], uint16(value))
-	case 4:
-		binary.LittleEndian.PutUint32(r.ram[off:], uint32(value))
-	case 8:
-		binary.LittleEndian.PutUint64(r.ram[off:], value)
+	case 2, 4, 8:
 	default:
 		return false
+	}
+	for i := 0; i < size; i++ {
+		pg := r.writablePage(off + uint64(i))
+		pg.data[(off+uint64(i))&pageMask] = byte(value >> (8 * uint(i)))
 	}
 	return true
 }
@@ -109,13 +241,32 @@ type PageWatcher interface {
 	InvalidatePhysPage(pageBase uint64)
 }
 
+// busIDs hands out a process-unique identity per Bus. Identities are never
+// reused, so a page tagged by a dead bus can never be mistaken for
+// writable by a live one.
+var busIDs atomic.Uint64
+
 // Bus is the physical address space. It is not safe for concurrent use; the
-// machine serializes hart steps (see internal/hart.Machine).
+// machine serializes hart steps (see internal/hart.Machine). Distinct buses
+// forked from a common snapshot may run fully in parallel: the pages they
+// share are immutable, and each bus breaks private copies into its own
+// directory before writing.
 type Bus struct {
+	// id is this bus's process-unique copy-on-write identity; gen counts
+	// the snapshots taken (each Snapshot/LoadSnapshot seals every page
+	// created before it).
+	id, gen uint64
+
 	regions []*Region // sorted by base
 	last    *Region   // 1-entry find cache; most accesses hit one region
 
 	watchers []PageWatcher
+
+	// touched counts pages made writable since the last snapshot (the
+	// O(pages-touched) bound on the next Snapshot's sharing cost);
+	// cowCopied counts pages ever broken off a shared ancestor.
+	touched   uint64
+	cowCopied uint64
 
 	// failDev makes the next N device accesses return a bus error, as a
 	// flaky peripheral would. Fault-injection harnesses arm it through
@@ -187,14 +338,16 @@ func (b *Bus) takeDevFault() bool {
 	return false
 }
 
-// NewBus returns an empty address space.
-func NewBus() *Bus { return &Bus{} }
+// NewBus returns an empty address space with a fresh copy-on-write
+// identity.
+func NewBus() *Bus { return &Bus{id: busIDs.Add(1)} }
 
-// AddRAM maps size bytes of zeroed RAM at base.
+// AddRAM maps size bytes of zeroed RAM at base. Pages materialize on first
+// write; untouched spans cost no host memory.
 func (b *Bus) AddRAM(base, size uint64) error {
 	return b.add(&Region{
 		Base: base, Size: size,
-		ram:   make([]byte, size),
+		dir:   make([]*ramChunk, (size+(1<<chunkShift)-1)>>chunkShift),
 		watch: make([]uint64, (size>>12)/64+1),
 	})
 }
@@ -220,6 +373,7 @@ func (b *Bus) add(r *Region) error {
 			return fmt.Errorf("mem: region %#x+%#x overlaps %s at %#x", r.Base, r.Size, name, o.Base)
 		}
 	}
+	r.bus = b
 	b.regions = append(b.regions, r)
 	sort.Slice(b.regions, func(i, j int) bool { return b.regions[i].Base < b.regions[j].Base })
 	return nil
@@ -304,10 +458,16 @@ func (b *Bus) WriteBytes(addr uint64, p []byte) error {
 			return fmt.Errorf("mem: WriteBytes: %#x is not RAM", addr)
 		}
 		off := addr - r.Base
-		n := copy(r.ram[off:], p)
-		if r.watch != nil {
-			b.noteWrite(r, off, n)
+		n := pageSize - int(off&pageMask) // bytes left in this page
+		if rem := int(r.Size - off); n > rem {
+			n = rem
 		}
+		if n > len(p) {
+			n = len(p)
+		}
+		pg := r.writablePage(off)
+		copy(pg.data[off&pageMask:], p[:n])
+		b.noteWrite(r, off, n)
 		p = p[n:]
 		addr += uint64(n)
 	}
@@ -323,12 +483,18 @@ func (b *Bus) ReadBytes(addr uint64, n int) ([]byte, error) {
 			return nil, fmt.Errorf("mem: ReadBytes: %#x is not RAM", addr)
 		}
 		off := addr - r.Base
-		avail := int(r.Size - off)
-		take := n
-		if take > avail {
+		take := pageSize - int(off&pageMask)
+		if avail := int(r.Size - off); take > avail {
 			take = avail
 		}
-		out = append(out, r.ram[off:off+uint64(take)]...)
+		if take > n {
+			take = n
+		}
+		if pg := r.page(off); pg != nil {
+			out = append(out, pg.data[off&pageMask:int(off&pageMask)+take]...)
+		} else {
+			out = append(out, make([]byte, take)...)
+		}
 		addr += uint64(take)
 		n -= take
 	}

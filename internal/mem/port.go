@@ -214,9 +214,12 @@ func (p *Port) Commit(kill func(wordPA uint64)) {
 		if e.mask == 0xFF {
 			r.storeRAM(off, 8, e.val)
 		} else {
+			// A word-aligned 8-byte span never straddles a page.
+			pg := r.writablePage(off)
+			base := off & pageMask
 			for j := uint64(0); j < 8; j++ {
 				if e.mask&(1<<j) != 0 {
-					r.ram[off+j] = byte(e.val >> (8 * j))
+					pg.data[base+j] = byte(e.val >> (8 * j))
 				}
 			}
 		}

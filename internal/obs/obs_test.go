@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+func TestObserverChild(t *testing.T) {
+	parent := New(Options{TraceCap: 4})
+	parent.Metrics.Counter("traps").Add(7)
+	parent.Trace.Instant(0, 100, "boot")
+
+	child := parent.Child()
+	if child == parent || child.Metrics == parent.Metrics || child.Trace == parent.Trace {
+		t.Fatal("child must not share registry or tracer with parent")
+	}
+	if n := len(child.Trace.Events()); n != 0 {
+		t.Fatalf("child trace ring not empty: %d events", n)
+	}
+	// The child inherits the parent's trace capacity: a cap-4 ring holds
+	// at most 4 events no matter how many are emitted.
+	for i := 0; i < 10; i++ {
+		child.Trace.Instant(0, uint64(i), "e")
+	}
+	if n := len(child.Trace.Events()); n != 4 {
+		t.Fatalf("child trace cap not inherited: ring holds %d events, want 4", n)
+	}
+	if parent.Metrics.Counter("traps").Load() != 7 {
+		t.Fatal("parent counters disturbed by fork")
+	}
+
+	var nilObs *Observer
+	c := nilObs.Child()
+	if c == nil || c.Metrics == nil || c.Trace == nil {
+		t.Fatal("nil parent must yield a default observer")
+	}
+}

@@ -485,6 +485,16 @@ func (f *File) Snapshot() (cfg []byte, addr []uint64) {
 	return cfg, addr
 }
 
+// Clone returns an independent copy of the file: entries (locked ones
+// included), lock state, and every derived cache. All File state lives in
+// fixed arrays, so a value copy is self-contained; cloned files diverge
+// freely afterwards. Monitor forks use this to duplicate virtual PMP and
+// protection files onto a child machine.
+func (f *File) Clone() *File {
+	c := *f
+	return &c
+}
+
 // Reset clears all entries, including locked ones (power-on reset).
 func (f *File) Reset() {
 	f.cfg = [MaxEntries]byte{}

@@ -98,6 +98,19 @@ func New() *Policy { return &Policy{host: make(map[int]*hostSlot)} }
 // Name implements core.Policy.
 func (p *Policy) Name() string { return "ace" }
 
+// ForkPolicy implements core.PolicyForker: confidential VMs and saved host
+// slots are deep-copied, so a forked monitor's CVM world is independent of
+// the parent's.
+func (p *Policy) ForkPolicy() core.Policy {
+	c := *p
+	c.host = make(map[int]*hostSlot, len(p.host))
+	for k, v := range p.host {
+		sv := *v
+		c.host[k] = &sv
+	}
+	return &c
+}
+
 func (p *Policy) running(hartID int) (*hostSlot, bool) {
 	s, ok := p.host[hartID]
 	return s, ok

@@ -90,6 +90,19 @@ func New() *Policy {
 // Name implements core.Policy.
 func (p *Policy) Name() string { return "keystone" }
 
+// ForkPolicy implements core.PolicyForker: enclaves and saved host
+// contexts are deep-copied, so a forked monitor's enclave world is
+// independent of the parent's.
+func (p *Policy) ForkPolicy() core.Policy {
+	c := *p
+	c.host = make(map[int]*hostCtx, len(p.host))
+	for k, v := range p.host {
+		hv := *v
+		c.host[k] = &hv
+	}
+	return &c
+}
+
 // inEnclave reports whether hart id is currently executing an enclave.
 func (p *Policy) inEnclave(hartID int) (*hostCtx, bool) {
 	h, ok := p.host[hartID]

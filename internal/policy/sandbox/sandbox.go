@@ -73,6 +73,18 @@ func New(opt Options) *Policy {
 // Name implements core.Policy.
 func (p *Policy) Name() string { return "sandbox" }
 
+// ForkPolicy implements core.PolicyForker: the clone carries the lockdown
+// state, boot hash, and saved per-hart contexts, so a forked monitor's
+// sandbox picks up exactly where the parent's stood.
+func (p *Policy) ForkPolicy() core.Policy {
+	c := *p
+	c.saved = make(map[int][32]uint64, len(p.saved))
+	for k, v := range p.saved {
+		c.saved[k] = v
+	}
+	return &c
+}
+
 // PolicyPMP implements core.Policy: while the firmware runs (after
 // lockdown), OS memory and the DMA controller are inaccessible; while the
 // OS runs, the firmware's memory is inaccessible (defence in depth on top

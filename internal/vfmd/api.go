@@ -1,0 +1,144 @@
+package vfmd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// NewServer wraps the fleet in an HTTP/JSON API:
+//
+//	POST   /v1/machines                  create+boot (MachineSpec body)
+//	GET    /v1/machines                  list
+//	GET    /v1/machines/{id}             inspect
+//	DELETE /v1/machines/{id}             remove
+//	POST   /v1/machines/{id}/run         queue a step-budget job {"steps":N}
+//	POST   /v1/machines/{id}/snapshot    capture a COW image
+//	GET    /v1/machines/{id}/metrics     obs metrics registry JSON
+//	GET    /v1/machines/{id}/trace       Perfetto/Chrome trace JSON
+//	POST   /v1/snapshots/{id}/spawn      spawn children {"count":N}
+//	POST   /v1/campaigns                 queue a campaign job (CampaignSpec)
+//	GET    /v1/jobs/{id}                 job state/result (?wait=1 blocks)
+func NewServer(f *Fleet) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/machines", func(w http.ResponseWriter, r *http.Request) {
+		var spec MachineSpec
+		if !decode(w, r, &spec) {
+			return
+		}
+		info, err := f.CreateMachine(spec)
+		reply(w, info, err, http.StatusBadRequest)
+	})
+	mux.HandleFunc("GET /v1/machines", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, f.Machines(), nil, 0)
+	})
+	mux.HandleFunc("GET /v1/machines/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := f.MachineInfo(r.PathValue("id"))
+		reply(w, info, err, http.StatusNotFound)
+	})
+	mux.HandleFunc("DELETE /v1/machines/{id}", func(w http.ResponseWriter, r *http.Request) {
+		err := f.DeleteMachine(r.PathValue("id"))
+		reply(w, map[string]bool{"deleted": err == nil}, err, http.StatusNotFound)
+	})
+	mux.HandleFunc("POST /v1/machines/{id}/run", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Steps uint64 `json:"steps"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.Steps == 0 {
+			http.Error(w, `{"error":"steps must be positive"}`, http.StatusBadRequest)
+			return
+		}
+		j, err := f.Run(r.PathValue("id"), req.Steps)
+		if err != nil {
+			reply(w, nil, err, http.StatusNotFound)
+			return
+		}
+		reply(w, j.snapshot(), nil, 0)
+	})
+	mux.HandleFunc("POST /v1/machines/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		info, err := f.Snapshot(r.PathValue("id"))
+		reply(w, info, err, http.StatusBadRequest)
+	})
+	mux.HandleFunc("GET /v1/machines/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := f.MetricsJSON(r.PathValue("id"), w); err != nil {
+			http.Error(w, jsonErr(err), http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("GET /v1/machines/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := f.TraceJSON(r.PathValue("id"), w); err != nil {
+			http.Error(w, jsonErr(err), http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("POST /v1/snapshots/{id}/spawn", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Count int `json:"count"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		infos, err := f.Spawn(r.PathValue("id"), req.Count)
+		reply(w, infos, err, http.StatusBadRequest)
+	})
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec CampaignSpec
+		if !decode(w, r, &spec) {
+			return
+		}
+		j, err := f.Campaign(spec)
+		if err != nil {
+			reply(w, nil, err, http.StatusBadRequest)
+			return
+		}
+		reply(w, j.snapshot(), nil, 0)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+			j, err := f.jobHandle(id)
+			if err != nil {
+				reply(w, nil, err, http.StatusNotFound)
+				return
+			}
+			reply(w, j.Wait(), nil, 0)
+			return
+		}
+		j, err := f.Job(id)
+		reply(w, j, err, http.StatusNotFound)
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Body == nil || r.ContentLength == 0 {
+		return true // empty body = zero-value request
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, jsonErr(err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func jsonErr(err error) string {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return string(b)
+}
+
+func reply(w http.ResponseWriter, v any, err error, errCode int) {
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		if errCode == 0 {
+			errCode = http.StatusInternalServerError
+		}
+		w.WriteHeader(errCode)
+		w.Write([]byte(jsonErr(err)))
+		return
+	}
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,138 @@
+package vfmd
+
+import (
+	"fmt"
+	"sync"
+
+	"govfm/internal/inject"
+	"govfm/internal/verif/fuzz"
+)
+
+// CampaignSpec describes a campaign job: a fuzz (lockstep differential)
+// or chaos (fault-injection) sweep run inside the fleet, sharded across
+// the worker pool. Chaos campaigns run with fork-spawned rebuilds: each
+// combo boots once and every rebuild spawns from the post-warmup image.
+type CampaignSpec struct {
+	Kind     string   `json:"kind"` // fuzz | chaos
+	Profiles []string `json:"profiles,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+
+	// Fuzz: lockstep step budget per profile shard.
+	Budget int `json:"budget,omitempty"`
+
+	// Chaos: faults per combo; Fork defaults to true (cold-boot rebuilds
+	// on request, mostly for A/B measurement).
+	FaultsPerCombo int      `json:"faults_per_combo,omitempty"`
+	ColdBoot       bool     `json:"cold_boot,omitempty"`
+	Firmwares      []string `json:"firmwares,omitempty"`
+	Policies       []string `json:"policies,omitempty"`
+}
+
+// CampaignResult aggregates a campaign job's shards.
+type CampaignResult struct {
+	Kind     string   `json:"kind"`
+	Shards   int      `json:"shards"`
+	Cases    int      `json:"cases"`
+	Steps    int      `json:"steps"`
+	Findings int      `json:"findings"` // divergences (fuzz) or failures (chaos)
+	Lines    []string `json:"lines,omitempty"`
+}
+
+func (s *CampaignSpec) defaults() {
+	if len(s.Profiles) == 0 {
+		s.Profiles = []string{"visionfive2", "p550"}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Budget == 0 {
+		s.Budget = 60_000
+	}
+	if s.FaultsPerCombo == 0 {
+		s.FaultsPerCombo = 12
+	}
+}
+
+// Campaign queues a campaign job. The job itself fans shards out as
+// nested worker-pool jobs (one per profile), so a campaign saturates the
+// pool instead of serializing on one worker.
+func (f *Fleet) Campaign(spec CampaignSpec) (*Job, error) {
+	spec.defaults()
+	switch spec.Kind {
+	case "fuzz", "chaos":
+	default:
+		return nil, fmt.Errorf("unknown campaign kind %q (want fuzz or chaos)", spec.Kind)
+	}
+	return f.submit("campaign:"+spec.Kind, func() (any, error) {
+		return f.runCampaign(spec)
+	})
+}
+
+// runCampaign executes the shards concurrently. Shards run on their own
+// goroutines rather than nested pool jobs — a campaign job already holds
+// a worker, and nesting would deadlock a single-worker pool.
+func (f *Fleet) runCampaign(spec CampaignSpec) (*CampaignResult, error) {
+	res := &CampaignResult{Kind: spec.Kind}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for i, profile := range spec.Profiles {
+		i, profile := i, profile
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lines, cases, steps, findings, err := runShard(spec, profile, spec.Seed+int64(i))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shard %s: %w", profile, err)
+				return
+			}
+			res.Shards++
+			res.Cases += cases
+			res.Steps += steps
+			res.Findings += findings
+			res.Lines = append(res.Lines, lines...)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runShard executes one profile's slice of the campaign.
+func runShard(spec CampaignSpec, profile string, seed int64) (lines []string, cases, steps, findings int, err error) {
+	switch spec.Kind {
+	case "fuzz":
+		fz, ferr := fuzz.NewFuzzer([]string{profile}, seed)
+		if ferr != nil {
+			return nil, 0, 0, 0, ferr
+		}
+		found := fz.RunBudget(spec.Budget, 5)
+		lines = append(lines, fmt.Sprintf("%-12s seed=%d cases=%d steps=%d coverage=%d findings=%d",
+			profile, seed, fz.Cases, fz.Steps, fz.Coverage(), len(fz.Findings)))
+		for _, fd := range found {
+			lines = append(lines, fmt.Sprintf("DIVERGENCE (%s): %s", profile, fd))
+		}
+		return lines, fz.Cases, fz.Steps, len(fz.Findings), nil
+	case "chaos":
+		rep, cerr := inject.RunCampaign(inject.CampaignConfig{
+			Seed:           seed,
+			Platforms:      []string{profile},
+			Firmwares:      spec.Firmwares,
+			Policies:       spec.Policies,
+			FaultsPerCombo: spec.FaultsPerCombo,
+			Fork:           !spec.ColdBoot,
+		})
+		if cerr != nil {
+			return nil, 0, 0, 0, cerr
+		}
+		for i := range rep.Results {
+			lines = append(lines, rep.Results[i].String())
+		}
+		return lines, rep.TotalInjected, 0, rep.TotalFailures, nil
+	}
+	return nil, 0, 0, 0, fmt.Errorf("unknown campaign kind %q", spec.Kind)
+}

@@ -1,0 +1,207 @@
+package vfmd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a vfmd server. The zero HTTPClient defaults to a
+// client with no timeout — campaign jobs block on /v1/jobs/{id}?wait=1
+// for as long as the campaign runs.
+type Client struct {
+	Base string // e.g. http://127.0.0.1:9400
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// CreateMachine boots a machine on the server.
+func (c *Client) CreateMachine(spec MachineSpec) (*MachineInfo, error) {
+	var info MachineInfo
+	if err := c.do("POST", "/v1/machines", spec, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Machines lists the server's machines.
+func (c *Client) Machines() ([]*MachineInfo, error) {
+	var out []*MachineInfo
+	if err := c.do("GET", "/v1/machines", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MachineInfo fetches one machine's state.
+func (c *Client) MachineInfo(id string) (*MachineInfo, error) {
+	var info MachineInfo
+	if err := c.do("GET", "/v1/machines/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeleteMachine removes a machine.
+func (c *Client) DeleteMachine(id string) error {
+	return c.do("DELETE", "/v1/machines/"+id, nil, nil)
+}
+
+// Snapshot captures a machine into a server-side COW image.
+func (c *Client) Snapshot(machineID string) (*SnapshotInfo, error) {
+	var info SnapshotInfo
+	if err := c.do("POST", "/v1/machines/"+machineID+"/snapshot", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Spawn builds count machines from a snapshot.
+func (c *Client) Spawn(snapshotID string, count int) ([]*MachineInfo, error) {
+	var out []*MachineInfo
+	req := struct {
+		Count int `json:"count"`
+	}{count}
+	if err := c.do("POST", "/v1/snapshots/"+snapshotID+"/spawn", req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run queues a step-budget job and returns its initial snapshot.
+func (c *Client) Run(machineID string, steps uint64) (*Job, error) {
+	var j Job
+	req := struct {
+		Steps uint64 `json:"steps"`
+	}{steps}
+	if err := c.do("POST", "/v1/machines/"+machineID+"/run", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Campaign queues a fuzz/chaos campaign job.
+func (c *Client) Campaign(spec CampaignSpec) (*Job, error) {
+	var j Job
+	if err := c.do("POST", "/v1/campaigns", spec, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches a job's current state.
+func (c *Client) Job(id string) (*Job, error) {
+	var j Job
+	if err := c.do("GET", "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// WaitJob blocks server-side until the job reaches a terminal state,
+// falling back to polling if the blocking request fails transiently.
+func (c *Client) WaitJob(id string) (*Job, error) {
+	var j Job
+	if err := c.do("GET", "/v1/jobs/"+id+"?wait=1", nil, &j); err == nil {
+		return &j, nil
+	}
+	for {
+		jj, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		if jj.State == JobDone || jj.State == JobFailed {
+			return jj, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Metrics fetches a machine's metrics registry JSON.
+func (c *Client) Metrics(id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do("GET", "/v1/machines/"+id+"/metrics", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Trace fetches a machine's Chrome trace_event JSON.
+func (c *Client) Trace(id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do("GET", "/v1/machines/"+id+"/trace", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// CampaignResultOf decodes a finished campaign job's result payload.
+func CampaignResultOf(j *Job) (*CampaignResult, error) {
+	if j.State == JobFailed {
+		return nil, fmt.Errorf("campaign failed: %s", j.Error)
+	}
+	if j.State != JobDone {
+		return nil, fmt.Errorf("campaign not finished (state %s)", j.State)
+	}
+	b, err := json.Marshal(j.Result)
+	if err != nil {
+		return nil, err
+	}
+	var res CampaignResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

@@ -1,0 +1,486 @@
+// Package vfmd is the virtual-firmware-monitor fleet service: a control
+// plane that boots simulated machines, snapshots them into copy-on-write
+// images, spawns any number of children from an image (monitor state
+// forked alongside), and runs step-budget jobs on a bounded worker pool.
+// cmd/vfmd serves it over HTTP/JSON; cmd/fuzzdiff and cmd/chaos can run
+// their campaigns through it as clients, so campaign cases spawn from a
+// shared post-boot snapshot instead of each re-simulating the boot.
+//
+// Every machine carries its own obs.Observer; per-machine metrics and
+// Perfetto traces are served from the API. Machines are serialized by a
+// per-machine mutex (a machine runs one job at a time); distinct machines
+// run concurrently — COW fork isolation is what makes that safe, and the
+// -race server test is the gate.
+package vfmd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"govfm"
+	"govfm/internal/hart"
+	"govfm/internal/obs"
+)
+
+// MachineSpec describes a machine to boot, mirroring govfm.Config in
+// JSON-friendly form.
+type MachineSpec struct {
+	Profile        string `json:"profile,omitempty"`  // visionfive2 (default), p550, rva23
+	Harts          int    `json:"harts,omitempty"`    // 0 = profile default
+	Firmware       string `json:"firmware,omitempty"` // gosbi (default), minsbi, rtos
+	Virtualize     bool   `json:"virtualize,omitempty"`
+	Offload        bool   `json:"offload,omitempty"`
+	Policy         string `json:"policy,omitempty"` // "", sandbox, keystone, ace
+	Containment    bool   `json:"containment,omitempty"`
+	WatchdogBudget uint64 `json:"watchdog_budget,omitempty"`
+	Sched          string `json:"sched,omitempty"` // seq (default), par
+	Quantum        uint64 `json:"quantum,omitempty"`
+	IOPMP          bool   `json:"iopmp,omitempty"`
+
+	// WarmupSteps runs the machine this many steps right after boot,
+	// before the create call returns — the "boot to steady state once,
+	// snapshot, spawn many" idiom in one round trip.
+	WarmupSteps uint64 `json:"warmup_steps,omitempty"`
+}
+
+// MachineInfo is the externally visible machine state.
+type MachineInfo struct {
+	ID         string      `json:"id"`
+	Spec       MachineSpec `json:"spec"`
+	Halted     bool        `json:"halted"`
+	HaltReason string      `json:"halt_reason,omitempty"`
+	Cycles     uint64      `json:"cycles"`
+	Instret    uint64      `json:"instret"`
+	Monitored  bool        `json:"monitored"`
+	Console    string      `json:"console,omitempty"`
+}
+
+// SnapshotInfo describes a stored image.
+type SnapshotInfo struct {
+	ID      string `json:"id"`
+	Machine string `json:"machine"`
+	Pages   int    `json:"pages"`
+}
+
+// RunResult is a run job's outcome.
+type RunResult struct {
+	Machine    string `json:"machine"`
+	Steps      uint64 `json:"steps"`
+	Halted     bool   `json:"halted"`
+	HaltReason string `json:"halt_reason,omitempty"`
+	Cycles     uint64 `json:"cycles"`
+}
+
+// machineEntry is one live machine. mu serializes everything that touches
+// the simulation (runs, snapshots, state reads that must be coherent);
+// the fleet lock is never held while a machine runs.
+type machineEntry struct {
+	id   string
+	spec MachineSpec
+
+	mu  sync.Mutex
+	sys *govfm.System
+	obs *obs.Observer
+}
+
+// snapshotEntry is one stored image plus, for monitored machines, a
+// never-run template system whose monitor state matches the image exactly
+// — the fork source for spawns (the origin machine may run on and diverge
+// after the snapshot; the template cannot).
+type snapshotEntry struct {
+	id       string
+	machine  string
+	spec     MachineSpec
+	img      *hart.Image
+	template *govfm.System
+	obs      *obs.Observer // origin's observer; spawns inherit its config
+	pages    int
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one unit of worker-pool work.
+type Job struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// Result holds the job's outcome once State is JobDone: *RunResult
+	// for run jobs, *CampaignResult for campaign jobs.
+	Result any `json:"result,omitempty"`
+
+	// mu is a pointer so Job value snapshots (which drop fn/done/mu
+	// semantics and are plain data) copy cleanly.
+	fn   func() (any, error)
+	done chan struct{}
+	mu   *sync.Mutex
+}
+
+func (j *Job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Job{ID: j.ID, Kind: j.Kind, State: j.State, Error: j.Error, Result: j.Result}
+}
+
+// Wait blocks until the job finishes and returns its terminal snapshot.
+func (j *Job) Wait() Job {
+	<-j.done
+	return j.snapshot()
+}
+
+// Fleet is the machine/snapshot/job store plus the worker pool.
+type Fleet struct {
+	mu        sync.Mutex
+	machines  map[string]*machineEntry
+	snapshots map[string]*snapshotEntry
+	jobs      map[string]*Job
+	nextID    uint64
+
+	jobQ   chan *Job
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewFleet builds a fleet with the given worker-pool width (minimum 1).
+func NewFleet(workers int) *Fleet {
+	if workers < 1 {
+		workers = 1
+	}
+	f := &Fleet{
+		machines:  map[string]*machineEntry{},
+		snapshots: map[string]*snapshotEntry{},
+		jobs:      map[string]*Job{},
+		jobQ:      make(chan *Job, 256),
+	}
+	for i := 0; i < workers; i++ {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			for j := range f.jobQ {
+				j.mu.Lock()
+				j.State = JobRunning
+				j.mu.Unlock()
+				res, err := j.fn()
+				j.mu.Lock()
+				if err != nil {
+					j.State, j.Error = JobFailed, err.Error()
+				} else {
+					j.State, j.Result = JobDone, res
+				}
+				j.mu.Unlock()
+				close(j.done)
+			}
+		}()
+	}
+	return f
+}
+
+// Close drains the worker pool. Queued jobs still run; new submissions
+// fail.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.jobQ)
+	f.wg.Wait()
+}
+
+func (f *Fleet) newID(prefix string) string {
+	f.nextID++
+	return fmt.Sprintf("%s%d", prefix, f.nextID)
+}
+
+// buildPolicy maps a policy name to an instance (each machine gets its
+// own — policies hold per-machine state).
+func buildPolicy(name string) (govfm.Policy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "sandbox":
+		return govfm.SandboxPolicy(), nil
+	case "keystone":
+		return govfm.KeystonePolicy(), nil
+	case "ace":
+		return govfm.ACEPolicy(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+// CreateMachine boots a machine from the spec (plus optional warmup) and
+// registers it.
+func (f *Fleet) CreateMachine(spec MachineSpec) (*MachineInfo, error) {
+	pol, err := buildPolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	o := obs.New(obs.Options{})
+	sys, err := govfm.New(govfm.Config{
+		Platform:       govfm.Platform(spec.Profile),
+		Harts:          spec.Harts,
+		Firmware:       govfm.FirmwareKind(spec.Firmware),
+		Virtualize:     spec.Virtualize,
+		Offload:        spec.Offload,
+		Policy:         pol,
+		Containment:    spec.Containment,
+		WatchdogBudget: spec.WatchdogBudget,
+		Sched:          spec.Sched,
+		Quantum:        spec.Quantum,
+		IOPMP:          spec.IOPMP,
+		Obs:            o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spec.WarmupSteps > 0 {
+		sys.Machine.Run(spec.WarmupSteps)
+	}
+	e := &machineEntry{spec: spec, sys: sys, obs: o}
+	f.mu.Lock()
+	e.id = f.newID("m")
+	f.machines[e.id] = e
+	f.mu.Unlock()
+	return e.info(), nil
+}
+
+func (f *Fleet) machine(id string) (*machineEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.machines[id]
+	if !ok {
+		return nil, fmt.Errorf("no machine %q", id)
+	}
+	return e, nil
+}
+
+// info renders the entry's current state; callers need not hold e.mu.
+func (e *machineEntry) info() *MachineInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.sys.Machine
+	halted, reason := m.Halted()
+	return &MachineInfo{
+		ID: e.id, Spec: e.spec,
+		Halted: halted, HaltReason: reason,
+		Cycles:    m.Harts[0].Cycles,
+		Instret:   m.Harts[0].Instret,
+		Monitored: e.sys.Monitor != nil,
+		Console:   m.Uart.Output(),
+	}
+}
+
+// Machines lists the fleet's machines, ID-sorted.
+func (f *Fleet) Machines() []*MachineInfo {
+	f.mu.Lock()
+	entries := make([]*machineEntry, 0, len(f.machines))
+	for _, e := range f.machines {
+		entries = append(entries, e)
+	}
+	f.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]*MachineInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.info()
+	}
+	return out
+}
+
+// MachineInfo returns one machine's state.
+func (f *Fleet) MachineInfo(id string) (*MachineInfo, error) {
+	e, err := f.machine(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.info(), nil
+}
+
+// DeleteMachine removes a machine. Its snapshots survive (images are
+// self-contained).
+func (f *Fleet) DeleteMachine(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.machines[id]; !ok {
+		return fmt.Errorf("no machine %q", id)
+	}
+	delete(f.machines, id)
+	return nil
+}
+
+// Snapshot captures a machine into a stored image. For monitored machines
+// a never-run template fork is captured with it, so later spawns get
+// monitor state consistent with the image no matter what the origin does
+// afterwards.
+func (f *Fleet) Snapshot(machineID string) (*SnapshotInfo, error) {
+	e, err := f.machine(machineID)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	img, err := e.sys.Machine.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s := &snapshotEntry{
+		machine: machineID,
+		spec:    e.spec,
+		img:     img,
+		obs:     e.obs,
+		pages:   img.Mem.Pages(),
+	}
+	if e.sys.Monitor != nil {
+		tm, err := hart.SpawnFromImage(img)
+		if err != nil {
+			return nil, err
+		}
+		tmon, err := e.sys.Monitor.Fork(tm)
+		if err != nil {
+			return nil, fmt.Errorf("monitor fork: %w", err)
+		}
+		s.template = &govfm.System{Machine: tm, Monitor: tmon, Platform: e.sys.Platform}
+	}
+	f.mu.Lock()
+	s.id = f.newID("s")
+	f.snapshots[s.id] = s
+	f.mu.Unlock()
+	return &SnapshotInfo{ID: s.id, Machine: s.machine, Pages: s.pages}, nil
+}
+
+func (f *Fleet) snapshotEntry(id string) (*snapshotEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.snapshots[id]
+	if !ok {
+		return nil, fmt.Errorf("no snapshot %q", id)
+	}
+	return s, nil
+}
+
+// Spawn builds count machines from a snapshot; each child shares clean
+// RAM pages copy-on-write with the image and carries a forked monitor
+// when the origin was monitored.
+func (f *Fleet) Spawn(snapshotID string, count int) ([]*MachineInfo, error) {
+	if count < 1 {
+		count = 1
+	}
+	s, err := f.snapshotEntry(snapshotID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MachineInfo, 0, count)
+	for i := 0; i < count; i++ {
+		child, err := hart.SpawnFromImage(s.img)
+		if err != nil {
+			return nil, err
+		}
+		o := s.obs.Child()
+		child.AttachObs(o)
+		sys := &govfm.System{Machine: child}
+		if s.template != nil {
+			sys.Platform = s.template.Platform
+			sys.Monitor, err = s.template.Monitor.Fork(child)
+			if err != nil {
+				return nil, fmt.Errorf("monitor fork: %w", err)
+			}
+			sys.Monitor.AttachObs(o)
+		}
+		e := &machineEntry{spec: s.spec, sys: sys, obs: o}
+		f.mu.Lock()
+		e.id = f.newID("m")
+		f.machines[e.id] = e
+		f.mu.Unlock()
+		out = append(out, e.info())
+	}
+	return out, nil
+}
+
+// submit queues fn on the worker pool.
+func (f *Fleet) submit(kind string, fn func() (any, error)) (*Job, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet is shut down")
+	}
+	j := &Job{ID: f.newID("j"), Kind: kind, State: JobQueued, fn: fn, done: make(chan struct{}), mu: &sync.Mutex{}}
+	f.jobs[j.ID] = j
+	f.mu.Unlock()
+	f.jobQ <- j
+	return j, nil
+}
+
+// Run queues a step-budget job for the machine.
+func (f *Fleet) Run(machineID string, steps uint64) (*Job, error) {
+	e, err := f.machine(machineID)
+	if err != nil {
+		return nil, err
+	}
+	return f.submit("run", func() (any, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		done, _ := e.sys.Machine.Run(steps)
+		halted, reason := e.sys.Machine.Halted()
+		return &RunResult{
+			Machine: e.id, Steps: done,
+			Halted: halted, HaltReason: reason,
+			Cycles: e.sys.Machine.Harts[0].Cycles,
+		}, nil
+	})
+}
+
+// Job returns a job's current snapshot.
+func (f *Fleet) Job(id string) (Job, error) {
+	f.mu.Lock()
+	j, ok := f.jobs[id]
+	f.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("no job %q", id)
+	}
+	return j.snapshot(), nil
+}
+
+// jobHandle returns the live job (internal; Wait support).
+func (f *Fleet) jobHandle(id string) (*Job, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("no job %q", id)
+	}
+	return j, nil
+}
+
+// MetricsJSON renders a machine's metrics registry as JSON.
+func (f *Fleet) MetricsJSON(id string, w io.Writer) error {
+	e, err := f.machine(id)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.obs.Metrics.WriteJSON(w)
+}
+
+// TraceJSON renders a machine's event ring as Chrome trace_event JSON.
+func (f *Fleet) TraceJSON(id string, w io.Writer) error {
+	e, err := f.machine(id)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	events := e.obs.Trace.Events()
+	e.mu.Unlock()
+	return obs.WriteChromeTrace(w, events)
+}

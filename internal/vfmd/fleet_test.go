@@ -1,0 +1,177 @@
+package vfmd
+
+import (
+	"strings"
+	"testing"
+)
+
+func bootSpec() MachineSpec {
+	// Offload matters: the stock boot kernel's misaligned accesses are
+	// emulated by firmware touching OS memory, which the sandbox blocks
+	// unless the monitor offloads that emulation.
+	return MachineSpec{
+		Profile:     "visionfive2",
+		Firmware:    "gosbi",
+		Virtualize:  true,
+		Offload:     true,
+		Policy:      "sandbox",
+		WarmupSteps: 1_000,
+	}
+}
+
+func TestFleetSpawnDeterminism(t *testing.T) {
+	f := NewFleet(4)
+	defer f.Close()
+
+	origin, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if !origin.Monitored {
+		t.Fatal("expected a monitored machine")
+	}
+	if origin.Halted {
+		t.Fatalf("origin halted during warmup: %s", origin.HaltReason)
+	}
+
+	snap, err := f.Snapshot(origin.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if snap.Pages == 0 {
+		t.Fatal("snapshot recorded zero touched pages")
+	}
+
+	kids, err := f.Spawn(snap.ID, 2)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if len(kids) != 2 {
+		t.Fatalf("spawned %d machines, want 2", len(kids))
+	}
+
+	// Children from the same image must replay identically: same halt,
+	// same cycle counter, same console transcript.
+	var results []*RunResult
+	for _, k := range kids {
+		j, err := f.Run(k.ID, 3_000_000)
+		if err != nil {
+			t.Fatalf("run %s: %v", k.ID, err)
+		}
+		got := j.Wait()
+		if got.State != JobDone {
+			t.Fatalf("run %s: state %s, error %q", k.ID, got.State, got.Error)
+		}
+		results = append(results, got.Result.(*RunResult))
+	}
+	a, b := results[0], results[1]
+	if a.Halted != b.Halted || a.HaltReason != b.HaltReason || a.Cycles != b.Cycles {
+		t.Fatalf("siblings diverged: %+v vs %+v", a, b)
+	}
+	if !a.Halted || a.HaltReason != "guest-exit-pass" {
+		t.Fatalf("child did not finish the boot: halted=%v reason=%q", a.Halted, a.HaltReason)
+	}
+	ia, err := f.MachineInfo(kids[0].ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	ib, _ := f.MachineInfo(kids[1].ID)
+	if ia.Console != ib.Console {
+		t.Fatalf("sibling consoles diverged:\n%q\nvs\n%q", ia.Console, ib.Console)
+	}
+	if !strings.Contains(ia.Console, "boot") && ia.Console == "" {
+		t.Fatal("child console empty after full boot")
+	}
+}
+
+func TestFleetSnapshotSurvivesOriginDivergence(t *testing.T) {
+	f := NewFleet(2)
+	defer f.Close()
+
+	origin, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	snap, err := f.Snapshot(origin.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	// Run the origin forward, then delete it; spawns must still work and
+	// reflect image-time state, not the origin's later state.
+	oj, err := f.Run(origin.ID, 500_000)
+	if err != nil {
+		t.Fatalf("origin run: %v", err)
+	}
+	oj.Wait()
+	if err := f.DeleteMachine(origin.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	kids, err := f.Spawn(snap.ID, 1)
+	if err != nil {
+		t.Fatalf("spawn after origin deletion: %v", err)
+	}
+	kj, err := f.Run(kids[0].ID, 3_000_000)
+	if err != nil {
+		t.Fatalf("child run: %v", err)
+	}
+	got := kj.Wait()
+	if got.State != JobDone {
+		t.Fatalf("child run: state %s, error %q", got.State, got.Error)
+	}
+	r := got.Result.(*RunResult)
+	if !r.Halted || r.HaltReason != "guest-exit-pass" {
+		t.Fatalf("child from orphaned snapshot failed to boot: halted=%v reason=%q", r.Halted, r.HaltReason)
+	}
+}
+
+func TestFleetErrors(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+
+	if _, err := f.CreateMachine(MachineSpec{Profile: "nonesuch"}); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+	if _, err := f.CreateMachine(MachineSpec{Policy: "nonesuch"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := f.MachineInfo("m999"); err == nil {
+		t.Fatal("missing machine lookup succeeded")
+	}
+	if _, err := f.Snapshot("m999"); err == nil {
+		t.Fatal("snapshot of missing machine succeeded")
+	}
+	if _, err := f.Spawn("s999", 1); err == nil {
+		t.Fatal("spawn from missing snapshot succeeded")
+	}
+	if _, err := f.Job("j999"); err == nil {
+		t.Fatal("missing job lookup succeeded")
+	}
+	if _, err := f.Campaign(CampaignSpec{Kind: "nonesuch"}); err == nil {
+		t.Fatal("bogus campaign kind accepted")
+	}
+}
+
+func TestFleetCampaignFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	f := NewFleet(2)
+	defer f.Close()
+
+	j, err := f.Campaign(CampaignSpec{Kind: "fuzz", Profiles: []string{"visionfive2"}, Seed: 1, Budget: 5_000})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	got := j.Wait()
+	if got.State != JobDone {
+		t.Fatalf("campaign: state %s, error %q", got.State, got.Error)
+	}
+	res := got.Result.(*CampaignResult)
+	if res.Shards != 1 || res.Cases == 0 || res.Steps == 0 {
+		t.Fatalf("implausible campaign result: %+v", res)
+	}
+	if res.Findings != 0 {
+		t.Fatalf("fuzz campaign found %d divergences:\n%s", res.Findings, strings.Join(res.Lines, "\n"))
+	}
+}

@@ -1,0 +1,203 @@
+package vfmd
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestServerConcurrentClients hammers the HTTP API with overlapping
+// spawn / run / delete / metrics / trace requests from many goroutines.
+// Run under -race this is the gate for the fleet's locking story: the
+// fleet map lock, the per-machine mutexes, and COW page isolation
+// between siblings running concurrently.
+func TestServerConcurrentClients(t *testing.T) {
+	f := NewFleet(4)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	origin, err := c.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	snap, err := c.Snapshot(origin.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	const clients = 6
+	type outcome struct {
+		cycles uint64
+		reason string
+	}
+	results := make(chan outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kids, err := c.Spawn(snap.ID, 1)
+			if err != nil {
+				t.Errorf("client %d: spawn: %v", i, err)
+				return
+			}
+			id := kids[0].ID
+			// Run in two overlapping chunks, poking metrics/trace/info
+			// between them, then kill the machine.
+			for _, steps := range []uint64{1_500_000, 1_500_000} {
+				j, err := c.Run(id, steps)
+				if err != nil {
+					t.Errorf("client %d: run: %v", i, err)
+					return
+				}
+				if _, err := c.Metrics(id); err != nil {
+					t.Errorf("client %d: metrics: %v", i, err)
+				}
+				if _, err := c.Trace(id); err != nil {
+					t.Errorf("client %d: trace: %v", i, err)
+				}
+				done, err := c.WaitJob(j.ID)
+				if err != nil {
+					t.Errorf("client %d: wait: %v", i, err)
+					return
+				}
+				if done.State != JobDone {
+					t.Errorf("client %d: job %s: state %s, error %q", i, j.ID, done.State, done.Error)
+					return
+				}
+			}
+			info, err := c.MachineInfo(id)
+			if err != nil {
+				t.Errorf("client %d: info: %v", i, err)
+				return
+			}
+			results <- outcome{cycles: info.Cycles, reason: info.HaltReason}
+			if err := c.DeleteMachine(id); err != nil {
+				t.Errorf("client %d: delete: %v", i, err)
+			}
+		}()
+	}
+
+	// Concurrent list + origin metrics traffic while the clients churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 20; k++ {
+			if _, err := c.Machines(); err != nil {
+				t.Errorf("list: %v", err)
+				return
+			}
+			if _, err := c.Metrics(origin.ID); err != nil {
+				t.Errorf("origin metrics: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(results)
+
+	// Every sibling ran in isolation from one image: identical outcomes.
+	var first *outcome
+	n := 0
+	for r := range results {
+		r := r
+		n++
+		if first == nil {
+			first = &r
+			continue
+		}
+		if r != *first {
+			t.Fatalf("concurrent siblings diverged: %+v vs %+v", r, *first)
+		}
+	}
+	if n != clients {
+		t.Fatalf("only %d/%d clients completed", n, clients)
+	}
+	if first.reason != "guest-exit-pass" {
+		t.Fatalf("siblings halted with %q, want guest-exit-pass", first.reason)
+	}
+}
+
+// TestServerEndpoints exercises each endpoint once, including error
+// paths, through real HTTP.
+func TestServerEndpoints(t *testing.T) {
+	f := NewFleet(2)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if _, err := c.MachineInfo("m999"); err == nil {
+		t.Fatal("missing machine GET succeeded")
+	}
+	if err := c.DeleteMachine("m999"); err == nil {
+		t.Fatal("missing machine DELETE succeeded")
+	}
+	if _, err := c.Run("m999", 10); err == nil {
+		t.Fatal("run on missing machine succeeded")
+	}
+	if _, err := c.Job("j999"); err == nil {
+		t.Fatal("missing job GET succeeded")
+	}
+	if _, err := c.CreateMachine(MachineSpec{Profile: "nonesuch"}); err == nil {
+		t.Fatal("bogus profile accepted over HTTP")
+	}
+
+	m, err := c.CreateMachine(MachineSpec{Profile: "visionfive2", Firmware: "gosbi", WarmupSteps: 1_000})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if m.Monitored {
+		t.Fatal("bare machine reported as monitored")
+	}
+	list, err := c.Machines()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("list: %v (len %d)", err, len(list))
+	}
+	if _, err := c.Run(m.ID, 0); err == nil {
+		t.Fatal("zero-step run accepted")
+	}
+	j, err := c.Run(m.ID, 5_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	done, err := c.WaitJob(j.ID)
+	if err != nil || done.State != JobDone {
+		t.Fatalf("wait: %v, state %v", err, done)
+	}
+	raw, err := c.Metrics(m.ID)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if _, err := c.Trace(m.ID); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+
+	snap, err := c.Snapshot(m.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	kids, err := c.Spawn(snap.ID, 3)
+	if err != nil || len(kids) != 3 {
+		t.Fatalf("spawn: %v (len %d)", err, len(kids))
+	}
+	for _, k := range kids {
+		if k.ID == m.ID {
+			t.Fatal("child reused origin ID")
+		}
+	}
+	if err := c.DeleteMachine(m.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Spawn(snap.ID, 1); err != nil {
+		t.Fatalf("spawn after origin delete: %v", err)
+	}
+}

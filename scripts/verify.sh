@@ -3,7 +3,9 @@
 # static analysis, the race detector, and a differential-fuzzer smoke run.
 #
 # The race pass uses -short because internal/bench honors testing.Short();
-# the full -race run takes ~2 minutes and is available via RACE_FULL=1.
+# the full -race run takes several minutes (internal/bench alone can exceed
+# go test's default 10m under the race detector) and is available via
+# RACE_FULL=1.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,7 +20,7 @@ go vet ./...
 
 echo "== go test -race -short ./..."
 if [ "${RACE_FULL:-0}" = "1" ]; then
-    go test -race ./...
+    go test -race -timeout 30m ./...
 else
     go test -race -short ./...
 fi
@@ -31,6 +33,12 @@ go run ./cmd/fuzzdiff -fastpath both -equiv-cases 400
 
 echo "== scheduler equivalence (sequential vs. quantum-parallel, state + cycles)"
 go run ./cmd/fuzzdiff -sched both -equiv-cases 400
+
+echo "== fork equivalence (COW fork vs. cold replay, state + cycles, 400 cases)"
+# Each case forks a parent mid-run and requires the child AND the
+# post-fork parent to match a cold replay bit-for-bit (cycle counters
+# included), swept across both schedulers and both fastpath settings.
+go run ./cmd/fuzzdiff -fork 200
 
 echo "== Table 4 host-throughput benchmark (compile-and-run gate)"
 go test ./internal/bench -run '^$' -bench BenchmarkTable4Operations -benchtime 1x
