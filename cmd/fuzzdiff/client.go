@@ -41,6 +41,9 @@ func runServerCampaign(base, kind string, profiles []string, seed int64, budget 
 	}
 	fmt.Fprintf(out, "server campaign (%s): %d shard(s), %d cases, %d findings in %.1fs\n",
 		res.Kind, res.Shards, res.Cases, res.Findings, time.Since(t0).Seconds())
+	if retries, dropped := c.Stats(); retries > 0 || dropped > 0 {
+		fmt.Fprintf(out, "client robustness: %d transient retries, %d calls dropped\n", retries, dropped)
+	}
 	if res.Findings > 0 {
 		return 1
 	}

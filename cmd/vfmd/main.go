@@ -1,12 +1,17 @@
 // Command vfmd serves the virtual-firmware-monitor fleet over HTTP/JSON:
 // boot machines, snapshot them into copy-on-write images, spawn children
 // from an image (monitor state forked alongside), run step budgets on a
-// worker pool, and pull per-machine metrics and Perfetto traces.
+// supervised worker pool, and pull per-machine metrics and Perfetto
+// traces. The pool is a supervision boundary: jobs carry wall-clock
+// deadlines, panicking simulations become structured fault reports, the
+// bounded queue sheds load with 429s, and machines whose jobs keep dying
+// are quarantined and respawned from their originating snapshot.
 //
 // Usage:
 //
 //	go run ./cmd/vfmd                      # listen on 127.0.0.1:9400
 //	go run ./cmd/vfmd -addr :8080 -workers 8
+//	go run ./cmd/vfmd -deadline 30s -queue 512 -strikes 3 -respawns 3
 //
 // Quick start against a running server:
 //
@@ -14,21 +19,29 @@
 //	     -d '{"profile":"visionfive2","firmware":"gosbi","virtualize":true,"policy":"sandbox","warmup_steps":4000}'
 //	curl -X POST localhost:9400/v1/machines/m1/snapshot
 //	curl -X POST localhost:9400/v1/snapshots/s1/spawn -d '{"count":4}'
-//	curl -X POST localhost:9400/v1/machines/m2/run -d '{"steps":1000000}'
-//	curl    localhost:9400/v1/jobs/j1?wait=1
+//	curl -X POST localhost:9400/v1/machines/m2/run -d '{"steps":1000000,"wall_ms":30000}'
+//	curl    localhost:9400/v1/jobs/j1?wait=1\&timeout_ms=30000
+//	curl    localhost:9400/v1/fleet                            # health: queue, quarantines, faults
 //	curl    localhost:9400/v1/machines/m2/metrics
 //	curl    localhost:9400/v1/machines/m2/trace > trace.json   # open in Perfetto
 //
 // Campaign clients: `fuzzdiff -server URL` and `chaos -server URL` run
-// their campaigns through the fleet instead of in-process.
+// their campaigns through the fleet instead of in-process. SIGINT/SIGTERM
+// drain gracefully: intake stops, in-flight jobs get the -drain grace to
+// finish, stragglers are cancelled cooperatively and force-failed, so
+// every accepted job still reaches a terminal state.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 )
 
 import "govfm/internal/vfmd"
@@ -39,16 +52,47 @@ func run() int {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9400", "listen address")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool width for run/campaign jobs")
+
+		queueCap = flag.Int("queue", 256, "bounded job-queue capacity; submissions beyond it are load-shed with 429")
+		deadline = flag.Duration("deadline", 0, "default per-job wall-clock budget (0 = unbounded); jobs may override with wall_ms")
+		maxSteps = flag.Uint64("max-steps", 0, "admission cap on a run job's step budget (0 = unbounded)")
+		strikes  = flag.Int("strikes", 3, "strike threshold that quarantines a machine")
+		respawns = flag.Int("respawns", 3, "max respawns of a quarantined machine from its originating snapshot")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace before cooperative cancellation kicks in")
 	)
 	flag.Parse()
 
-	fleet := vfmd.NewFleet(*workers)
-	defer fleet.Close()
+	fleet := vfmd.NewFleetWith(vfmd.FleetOptions{
+		Workers:           *workers,
+		QueueCap:          *queueCap,
+		DefaultWall:       *deadline,
+		MaxSteps:          *maxSteps,
+		QuarantineStrikes: *strikes,
+		RespawnCap:        *respawns,
+		DrainGrace:        *drain,
+	})
 
-	fmt.Printf("vfmd: serving fleet API on http://%s (%d workers)\n", *addr, *workers)
-	if err := http.ListenAndServe(*addr, vfmd.NewServer(fleet)); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: vfmd.NewServer(fleet)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	fmt.Printf("vfmd: serving fleet API on http://%s (%d workers, queue %d, deadline %v)\n",
+		*addr, *workers, *queueCap, *deadline)
+	select {
+	case err := <-errc:
+		fleet.Close()
 		fmt.Fprintf(os.Stderr, "vfmd: %v\n", err)
 		return 1
+	case sig := <-sigc:
+		fmt.Printf("vfmd: %v — draining (grace %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		srv.Shutdown(ctx)
+		cancel()
+		fleet.Close()
+		fmt.Println("vfmd: drained, every job terminal")
+		return 0
 	}
-	return 0
 }

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -37,6 +38,12 @@ type CampaignConfig struct {
 	// campaign rebuilds injectors, so per-injector collectors would
 	// shadow each other); cmd/chaos surfaces them into the registry.
 	Obs *obs.Observer
+
+	// Cancelled, when non-nil, is polled between combos and between
+	// injected faults; a true return abandons the campaign with
+	// ErrCampaignCanceled. The vfmd fleet threads its per-job deadlines
+	// and shutdown drain through this.
+	Cancelled func() bool
 
 	// Fork makes every combo boot once: the post-warmup machine is
 	// snapshotted (copy-on-write, with the monitor and policy forked
@@ -136,6 +143,10 @@ func (r *Report) Format() string {
 	return b.String()
 }
 
+// ErrCampaignCanceled reports a campaign abandoned through
+// CampaignConfig.Cancelled (deadline, shutdown).
+var ErrCampaignCanceled = errors.New("campaign canceled")
+
 // RunCampaign executes the full sweep.
 func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	cfg.defaults()
@@ -144,6 +155,9 @@ func RunCampaign(cfg CampaignConfig) (*Report, error) {
 	for _, plat := range cfg.Platforms {
 		for _, fw := range cfg.Firmwares {
 			for _, pol := range cfg.Policies {
+				if cfg.Cancelled != nil && cfg.Cancelled() {
+					return nil, ErrCampaignCanceled
+				}
 				combo++
 				res, err := runCombo(cfg, plat, fw, pol, cfg.Seed*1000+combo)
 				if err != nil {
@@ -375,6 +389,9 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 	}
 
 	for i := 0; i < cfg.FaultsPerCombo; i++ {
+		if cfg.Cancelled != nil && cfg.Cancelled() {
+			return nil, ErrCampaignCanceled
+		}
 		if halted, _ := cs.sys.Machine.Halted(); halted || degradedRounds >= 4 {
 			if err := rebuild(); err != nil {
 				return nil, err

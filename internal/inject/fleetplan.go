@@ -1,0 +1,103 @@
+// Fleet-level fault planning: where inject.go perturbs a single running
+// machine, the fleet plan attacks the control plane that hosts many of
+// them — worker panics, jobs that stall or crawl, requests that vanish or
+// arrive twice, machines halted mid-job. The vfmd fleet chaos campaign
+// (internal/vfmd/fleetchaos.go) draws faults from this planner and
+// asserts the supervision layer's invariants hold: the service never
+// crashes, every job reaches a terminal state, no machine lock leaks.
+package inject
+
+import "math/rand"
+
+// FleetFaultKind classifies a control-plane fault.
+type FleetFaultKind int
+
+const (
+	// FleetWorkerPanic crashes the job function on the worker — the
+	// supervision boundary must convert it into a JobFailed with a
+	// structured fault report.
+	FleetWorkerPanic FleetFaultKind = iota
+	// FleetStuckJob stalls a job well past its wall-clock deadline; the
+	// cooperative cancellation check after the stall must kill it.
+	FleetStuckJob
+	// FleetSlowJob stalls a job briefly but within its deadline; it must
+	// still complete.
+	FleetSlowJob
+	// FleetDropRequest discards an HTTP response after the server
+	// processed the request — the client sees a transport error and must
+	// retry without double-running anything.
+	FleetDropRequest
+	// FleetDupRequest sends the same submission twice; idempotency keys
+	// must dedupe it to one job.
+	FleetDupRequest
+	// FleetMachineKill halts a machine mid-job, modeling a node loss; the
+	// job fails with a kill fault and the machine is quarantined and
+	// respawned from its snapshot.
+	FleetMachineKill
+
+	NumFleetKinds int = iota
+)
+
+func (k FleetFaultKind) String() string {
+	switch k {
+	case FleetWorkerPanic:
+		return "worker-panic"
+	case FleetStuckJob:
+		return "stuck-job"
+	case FleetSlowJob:
+		return "slow-job"
+	case FleetDropRequest:
+		return "drop-request"
+	case FleetDupRequest:
+		return "dup-request"
+	case FleetMachineKill:
+		return "machine-kill"
+	}
+	return "unknown"
+}
+
+// FleetPlanner deals fault kinds deterministically from a seed. Kinds are
+// drawn deck-style — every kind appears once per round of NumFleetKinds
+// draws, in seeded-shuffled order — so even a short campaign covers every
+// fault class instead of leaving coverage to chance.
+type FleetPlanner struct {
+	rng  *rand.Rand
+	deck []FleetFaultKind
+	pos  int
+}
+
+// NewFleetPlanner builds a planner; the same seed deals the same
+// sequence.
+func NewFleetPlanner(seed int64) *FleetPlanner {
+	p := &FleetPlanner{rng: rand.New(rand.NewSource(seed))}
+	p.reshuffle()
+	return p
+}
+
+func (p *FleetPlanner) reshuffle() {
+	if p.deck == nil {
+		p.deck = make([]FleetFaultKind, NumFleetKinds)
+		for i := range p.deck {
+			p.deck[i] = FleetFaultKind(i)
+		}
+	}
+	p.rng.Shuffle(len(p.deck), func(i, j int) {
+		p.deck[i], p.deck[j] = p.deck[j], p.deck[i]
+	})
+	p.pos = 0
+}
+
+// Next deals the next fault kind.
+func (p *FleetPlanner) Next() FleetFaultKind {
+	if p.pos >= len(p.deck) {
+		p.reshuffle()
+	}
+	k := p.deck[p.pos]
+	p.pos++
+	return k
+}
+
+// Intn exposes the planner's seeded stream for auxiliary choices (which
+// machine to kill, how long to stall) so a whole campaign replays from
+// one seed.
+func (p *FleetPlanner) Intn(n int) int { return p.rng.Intn(n) }

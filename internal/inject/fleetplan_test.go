@@ -1,0 +1,38 @@
+package inject
+
+import "testing"
+
+func TestFleetPlannerDeterministic(t *testing.T) {
+	a, b := NewFleetPlanner(7), NewFleetPlanner(7)
+	for i := 0; i < 5*NumFleetKinds; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ka, kb)
+		}
+	}
+}
+
+func TestFleetPlannerDeckCoverage(t *testing.T) {
+	p := NewFleetPlanner(1)
+	// Every round of NumFleetKinds draws must contain each kind exactly
+	// once — that is the deck guarantee.
+	for round := 0; round < 4; round++ {
+		seen := map[FleetFaultKind]int{}
+		for i := 0; i < NumFleetKinds; i++ {
+			seen[p.Next()]++
+		}
+		for k := 0; k < NumFleetKinds; k++ {
+			if seen[FleetFaultKind(k)] != 1 {
+				t.Fatalf("round %d: kind %v dealt %d times, want 1",
+					round, FleetFaultKind(k), seen[FleetFaultKind(k)])
+			}
+		}
+	}
+}
+
+func TestFleetFaultKindStrings(t *testing.T) {
+	for k := 0; k < NumFleetKinds; k++ {
+		if s := FleetFaultKind(k).String(); s == "unknown" || s == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

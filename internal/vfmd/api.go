@@ -2,23 +2,43 @@ package vfmd
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 )
+
+// IdempotencyHeader carries a client-chosen key on job submissions (run,
+// campaign). Re-submitting with the same key returns the already-accepted
+// job instead of double-running it, which is what makes client-side
+// retries of POSTs safe.
+const IdempotencyHeader = "Idempotency-Key"
 
 // NewServer wraps the fleet in an HTTP/JSON API:
 //
 //	POST   /v1/machines                  create+boot (MachineSpec body)
 //	GET    /v1/machines                  list
-//	GET    /v1/machines/{id}             inspect
+//	GET    /v1/machines/{id}             inspect (incl. quarantine state)
 //	DELETE /v1/machines/{id}             remove
-//	POST   /v1/machines/{id}/run         queue a step-budget job {"steps":N}
+//	POST   /v1/machines/{id}/run         queue a step-budget job {"steps":N,"wall_ms":M}
+//	POST   /v1/machines/{id}/kill        halt the machine mid-job (fault injection)
 //	POST   /v1/machines/{id}/snapshot    capture a COW image
 //	GET    /v1/machines/{id}/metrics     obs metrics registry JSON
 //	GET    /v1/machines/{id}/trace       Perfetto/Chrome trace JSON
 //	POST   /v1/snapshots/{id}/spawn      spawn children {"count":N}
 //	POST   /v1/campaigns                 queue a campaign job (CampaignSpec)
-//	GET    /v1/jobs/{id}                 job state/result (?wait=1 blocks)
+//	GET    /v1/jobs/{id}                 job state/result (?wait=1 blocks,
+//	                                     &timeout_ms=N bounds the block)
+//	GET    /v1/fleet                     control-plane health: queue depth,
+//	                                     job counts, quarantine + fault reports
+//
+// Every error response is JSON ({"error":...}) with a consistent status:
+// 400 malformed/invalid request, 404 unknown ID, 405 wrong method,
+// 409 quarantined machine, 429 queue full (retry with backoff),
+// 503 shutting down. Handler panics are caught and become 500s — the
+// service process never dies to a request.
 func NewServer(f *Fleet) http.Handler {
 	mux := http.NewServeMux()
 
@@ -43,37 +63,49 @@ func NewServer(f *Fleet) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/machines/{id}/run", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
-			Steps uint64 `json:"steps"`
+			Steps  uint64 `json:"steps"`
+			WallMS int64  `json:"wall_ms"`
 		}
 		if !decode(w, r, &req) {
 			return
 		}
 		if req.Steps == 0 {
-			http.Error(w, `{"error":"steps must be positive"}`, http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "steps must be positive")
 			return
 		}
-		j, err := f.Run(r.PathValue("id"), req.Steps)
+		j, err := f.RunJob(r.PathValue("id"), req.Steps,
+			JobLimits{WallMS: req.WallMS}, r.Header.Get(IdempotencyHeader))
 		if err != nil {
 			reply(w, nil, err, http.StatusNotFound)
 			return
 		}
 		reply(w, j.snapshot(), nil, 0)
 	})
+	mux.HandleFunc("POST /v1/machines/{id}/kill", func(w http.ResponseWriter, r *http.Request) {
+		err := f.KillMachine(r.PathValue("id"))
+		reply(w, map[string]bool{"killed": err == nil}, err, http.StatusNotFound)
+	})
 	mux.HandleFunc("POST /v1/machines/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		info, err := f.Snapshot(r.PathValue("id"))
 		reply(w, info, err, http.StatusBadRequest)
 	})
 	mux.HandleFunc("GET /v1/machines/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := f.MetricsJSON(r.PathValue("id"), w); err != nil {
-			http.Error(w, jsonErr(err), http.StatusNotFound)
+		e, err := f.machine(r.PathValue("id"))
+		if err != nil {
+			reply(w, nil, err, http.StatusNotFound)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		f.MetricsJSON(e.id, w)
 	})
 	mux.HandleFunc("GET /v1/machines/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := f.TraceJSON(r.PathValue("id"), w); err != nil {
-			http.Error(w, jsonErr(err), http.StatusNotFound)
+		e, err := f.machine(r.PathValue("id"))
+		if err != nil {
+			reply(w, nil, err, http.StatusNotFound)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		f.TraceJSON(e.id, w)
 	})
 	mux.HandleFunc("POST /v1/snapshots/{id}/spawn", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -90,7 +122,7 @@ func NewServer(f *Fleet) http.Handler {
 		if !decode(w, r, &spec) {
 			return
 		}
-		j, err := f.Campaign(spec)
+		j, err := f.CampaignJob(spec, r.Header.Get(IdempotencyHeader))
 		if err != nil {
 			reply(w, nil, err, http.StatusBadRequest)
 			return
@@ -105,13 +137,69 @@ func NewServer(f *Fleet) http.Handler {
 				reply(w, nil, err, http.StatusNotFound)
 				return
 			}
-			reply(w, j.Wait(), nil, 0)
+			timeoutMS, _ := strconv.ParseInt(r.URL.Query().Get("timeout_ms"), 10, 64)
+			reply(w, j.waitTimeout(time.Duration(timeoutMS)*time.Millisecond), nil, 0)
 			return
 		}
 		j, err := f.Job(id)
 		reply(w, j, err, http.StatusNotFound)
 	})
-	return mux
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, f.Status(), nil, 0)
+	})
+	return supervised(mux)
+}
+
+// supervised wraps the mux in the API-level supervision boundary: a
+// panicking handler becomes a JSON 500 (the serving goroutine survives
+// regardless, but the client gets a structured error instead of a reset
+// connection), and the mux's own text/plain 404/405 responses are
+// rewritten to the API's JSON error shape so every error path speaks
+// JSON.
+func supervised(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &jsonErrWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil && !sw.wrote {
+				jsonError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// jsonErrWriter rewrites non-JSON 404/405 bodies (the mux's defaults)
+// into the API's JSON error shape. Handlers that already set a JSON
+// content type pass through untouched.
+type jsonErrWriter struct {
+	http.ResponseWriter
+	wrote    bool
+	replaced bool
+}
+
+func (s *jsonErrWriter) WriteHeader(code int) {
+	s.wrote = true
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.Contains(s.Header().Get("Content-Type"), "json") {
+		s.replaced = true
+		s.Header().Set("Content-Type", "application/json")
+		s.ResponseWriter.WriteHeader(code)
+		msg := "not found"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		s.ResponseWriter.Write([]byte(jsonErr(errors.New(msg))))
+		return
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *jsonErrWriter) Write(b []byte) (int, error) {
+	s.wrote = true
+	if s.replaced {
+		return len(b), nil // swallow the mux's text body; ours is written
+	}
+	return s.ResponseWriter.Write(b)
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -119,7 +207,7 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		return true // empty body = zero-value request
 	}
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		http.Error(w, jsonErr(err), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
 		return false
 	}
 	return true
@@ -130,13 +218,37 @@ func jsonErr(err error) string {
 	return string(b)
 }
 
+// jsonError writes a JSON error body with the given status, the single
+// error path every handler uses (http.Error would set text/plain).
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(jsonErr(errors.New(msg))))
+}
+
+// statusFor maps supervision errors to their canonical status codes so
+// the client can classify transient (429/503) vs. permanent failures.
+func statusFor(err error, fallback int) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrFleetClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQuarantined):
+		return http.StatusConflict
+	case errors.Is(err, ErrStepBudget):
+		return http.StatusBadRequest
+	}
+	if fallback == 0 {
+		return http.StatusInternalServerError
+	}
+	return fallback
+}
+
 func reply(w http.ResponseWriter, v any, err error, errCode int) {
 	w.Header().Set("Content-Type", "application/json")
 	if err != nil {
-		if errCode == 0 {
-			errCode = http.StatusInternalServerError
-		}
-		w.WriteHeader(errCode)
+		w.WriteHeader(statusFor(err, errCode))
 		w.Write([]byte(jsonErr(err)))
 		return
 	}

@@ -1,0 +1,192 @@
+package vfmd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAPIErrorHygiene drives every error path through the full handler
+// stack and asserts the contract the client relies on: the right status
+// code, Content-Type: application/json, and a decodable {"error": ...}
+// body — including the mux's own 404/405 defaults, which the supervision
+// middleware rewrites.
+func TestAPIErrorHygiene(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"malformed machine spec", "POST", "/v1/machines", `{"profile": 42}`, 400},
+		{"malformed run body", "POST", "/v1/machines/m1/run", `not json`, 400},
+		{"zero steps", "POST", "/v1/machines/m1/run", `{"steps":0}`, 400},
+		{"unknown machine", "GET", "/v1/machines/nope", "", 404},
+		{"unknown machine run", "POST", "/v1/machines/nope/run", `{"steps":10}`, 404},
+		{"unknown machine kill", "POST", "/v1/machines/nope/kill", "", 404},
+		{"unknown machine delete", "DELETE", "/v1/machines/nope", "", 404},
+		{"unknown machine metrics", "GET", "/v1/machines/nope/metrics", "", 404},
+		{"unknown machine trace", "GET", "/v1/machines/nope/trace", "", 404},
+		{"unknown snapshot spawn", "POST", "/v1/snapshots/nope/spawn", `{"count":1}`, 400},
+		{"unknown job", "GET", "/v1/jobs/nope", "", 404},
+		{"unknown job wait", "GET", "/v1/jobs/nope?wait=1", "", 404},
+		{"unknown route", "GET", "/v1/nothing/here", "", 404},
+		{"method not allowed on machines", "PUT", "/v1/machines", "", 405},
+		{"method not allowed on fleet", "POST", "/v1/fleet", "", 405},
+		{"bad campaign kind", "POST", "/v1/campaigns", `{"kind":"nope"}`, 400},
+		{"malformed campaign body", "POST", "/v1/campaigns", `[`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Errorf("body not decodable JSON: %v", err)
+			} else if e.Error == "" {
+				t.Errorf("error field empty")
+			}
+		})
+	}
+}
+
+// TestAPIQuarantineStatus exercises the 409 path: a permanently fenced
+// machine rejects runs with a conflict status.
+func TestAPIQuarantineStatus(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	m, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Booted machines have no origin snapshot: quarantine has no respawn
+	// path, so the fence is permanent.
+	e, _ := f.machine(m.ID)
+	j, _ := f.submit("run", e, JobLimits{}, "", func(jc *JobCtx) (any, error) { panic("crash") })
+	j.Wait()
+
+	resp, err := http.Post(srv.URL+"/v1/machines/"+m.ID+"/run", "application/json",
+		strings.NewReader(`{"steps":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestAPIFleetStatus checks the control-plane health endpoint shape.
+func TestAPIFleetStatus(t *testing.T) {
+	f := NewFleet(2)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Workers != 2 || st.QueueCap != 256 || st.Closed {
+		t.Fatalf("fleet status = %+v", st)
+	}
+}
+
+// TestAPIBoundedWait checks ?wait=1&timeout_ms returns a non-terminal
+// snapshot once the bound expires instead of blocking forever.
+func TestAPIBoundedWait(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	j, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "?wait=1&timeout_ms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Job
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.State.Terminal() {
+		t.Fatalf("state = %s, want non-terminal (job is blocked)", got.State)
+	}
+}
+
+// TestAPIIdempotencyHeader submits the same run twice with one key and
+// expects the same job back.
+func TestAPIIdempotencyHeader(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	m, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	submit := func() string {
+		req, _ := http.NewRequest("POST", srv.URL+"/v1/machines/"+m.ID+"/run",
+			strings.NewReader(`{"steps":100}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(IdempotencyHeader, "same-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var j Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		return j.ID
+	}
+	id1, id2 := submit(), submit()
+	if id1 != id2 {
+		t.Fatalf("idempotent resubmit got %s then %s, want same job", id1, id2)
+	}
+}

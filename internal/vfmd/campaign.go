@@ -17,6 +17,12 @@ type CampaignSpec struct {
 	Profiles []string `json:"profiles,omitempty"`
 	Seed     int64    `json:"seed,omitempty"`
 
+	// WallMS is the job's host wall-clock budget in milliseconds (0 =
+	// fleet default). Campaign shards poll for cancellation between
+	// injected faults and fuzz slices, so an overrunning campaign stops
+	// at the next case boundary instead of holding a worker forever.
+	WallMS int64 `json:"wall_ms,omitempty"`
+
 	// Fuzz: lockstep step budget per profile shard.
 	Budget int `json:"budget,omitempty"`
 
@@ -53,25 +59,32 @@ func (s *CampaignSpec) defaults() {
 	}
 }
 
-// Campaign queues a campaign job. The job itself fans shards out as
-// nested worker-pool jobs (one per profile), so a campaign saturates the
-// pool instead of serializing on one worker.
+// Campaign queues a campaign job with no idempotency key.
 func (f *Fleet) Campaign(spec CampaignSpec) (*Job, error) {
+	return f.CampaignJob(spec, "")
+}
+
+// CampaignJob queues a campaign job. The job itself fans shards out as
+// goroutines (one per profile), so a campaign saturates the pool's
+// worker without serializing shards; each shard polls the job context so
+// a deadline or shutdown stops the whole fan-out.
+func (f *Fleet) CampaignJob(spec CampaignSpec, idemKey string) (*Job, error) {
 	spec.defaults()
 	switch spec.Kind {
 	case "fuzz", "chaos":
 	default:
 		return nil, fmt.Errorf("unknown campaign kind %q (want fuzz or chaos)", spec.Kind)
 	}
-	return f.submit("campaign:"+spec.Kind, func() (any, error) {
-		return f.runCampaign(spec)
-	})
+	return f.submit("campaign:"+spec.Kind, nil, JobLimits{WallMS: spec.WallMS}, idemKey,
+		func(jc *JobCtx) (any, error) {
+			return runCampaign(jc, spec)
+		})
 }
 
 // runCampaign executes the shards concurrently. Shards run on their own
 // goroutines rather than nested pool jobs — a campaign job already holds
 // a worker, and nesting would deadlock a single-worker pool.
-func (f *Fleet) runCampaign(spec CampaignSpec) (*CampaignResult, error) {
+func runCampaign(jc *JobCtx, spec CampaignSpec) (*CampaignResult, error) {
 	res := &CampaignResult{Kind: spec.Kind}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -81,7 +94,7 @@ func (f *Fleet) runCampaign(spec CampaignSpec) (*CampaignResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lines, cases, steps, findings, err := runShard(spec, profile, spec.Seed+int64(i))
+			lines, cases, steps, findings, err := runShard(jc, spec, profile, spec.Seed+int64(i))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
@@ -99,18 +112,36 @@ func (f *Fleet) runCampaign(spec CampaignSpec) (*CampaignResult, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := jc.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
+// fuzzSlice is the cancellation granularity for fuzz shards: the step
+// budget is consumed in slices this large, with the job context polled
+// between slices.
+const fuzzSlice = 10_000
+
 // runShard executes one profile's slice of the campaign.
-func runShard(spec CampaignSpec, profile string, seed int64) (lines []string, cases, steps, findings int, err error) {
+func runShard(jc *JobCtx, spec CampaignSpec, profile string, seed int64) (lines []string, cases, steps, findings int, err error) {
 	switch spec.Kind {
 	case "fuzz":
 		fz, ferr := fuzz.NewFuzzer([]string{profile}, seed)
 		if ferr != nil {
 			return nil, 0, 0, 0, ferr
 		}
-		found := fz.RunBudget(spec.Budget, 5)
+		var found []*fuzz.Finding
+		for target := 0; target < spec.Budget; {
+			if cerr := jc.Err(); cerr != nil {
+				return nil, 0, 0, 0, cerr
+			}
+			target += fuzzSlice
+			if target > spec.Budget {
+				target = spec.Budget
+			}
+			found = append(found, fz.RunBudget(target, 5)...)
+		}
 		lines = append(lines, fmt.Sprintf("%-12s seed=%d cases=%d steps=%d coverage=%d findings=%d",
 			profile, seed, fz.Cases, fz.Steps, fz.Coverage(), len(fz.Findings)))
 		for _, fd := range found {
@@ -125,6 +156,7 @@ func runShard(spec CampaignSpec, profile string, seed int64) (lines []string, ca
 			Policies:       spec.Policies,
 			FaultsPerCombo: spec.FaultsPerCombo,
 			Fork:           !spec.ColdBoot,
+			Cancelled:      jc.Cancelled,
 		})
 		if cerr != nil {
 			return nil, 0, 0, 0, cerr

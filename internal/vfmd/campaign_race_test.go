@@ -1,0 +1,149 @@
+package vfmd
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCampaignSpawnSnapshot drives a campaign, machine spawns,
+// snapshots, and status reads against the same fleet concurrently. Run
+// under -race (CI does): the assertion is freedom from data races between
+// the campaign's shard goroutines and the fleet's machine/snapshot
+// bookkeeping.
+func TestConcurrentCampaignSpawnSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	f := NewFleet(4)
+	defer f.Close()
+
+	origin, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	snap, err := f.Snapshot(origin.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	cj, err := f.Campaign(CampaignSpec{Kind: "fuzz", Profiles: []string{"visionfive2"}, Budget: 20_000})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				kids, err := f.Spawn(snap.ID, 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := f.Snapshot(kids[0].ID); err != nil {
+					errs <- err
+					return
+				}
+				j, err := f.Run(kids[0].ID, 300)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := j.Wait(); got.State != JobDone {
+					errs <- &APIError{Status: 500, Msg: "run " + got.ID + " " + got.Error}
+					return
+				}
+				f.Status()
+				f.Machines()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent op: %v", err)
+	}
+
+	if got := cj.Wait(); got.State != JobDone {
+		t.Fatalf("campaign = %s/%q, want done", got.State, got.Error)
+	}
+	if leaked := f.LeakedLocks(); len(leaked) != 0 {
+		t.Fatalf("leaked machine locks: %v", leaked)
+	}
+}
+
+// TestFailingJobReleasesMachineLock is the lock-leak regression test: a
+// job that panics while holding its machine's mutex must release it
+// during unwinding (the deferred unlock runs before the worker's recover),
+// leaving the machine usable.
+func TestFailingJobReleasesMachineLock(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	_, child, _ := spawnChild(t, f)
+	e, err := f.machine(child.ID)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+
+	j, err := f.submit("run", e, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		panic("crash while holding the machine lock")
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := j.Wait()
+	if got.State != JobFailed || !strings.Contains(got.Error, "worker panic") {
+		t.Fatalf("got %s/%q, want failed/panic", got.State, got.Error)
+	}
+	if leaked := f.LeakedLocks(); len(leaked) != 0 {
+		t.Fatalf("machine lock leaked across panic: %v", leaked)
+	}
+	// The machine was respawned from its snapshot and must run again.
+	j2, err := f.Run(child.ID, 400)
+	if err != nil {
+		t.Fatalf("run after panic: %v", err)
+	}
+	if got := j2.Wait(); got.State != JobDone {
+		t.Fatalf("run after panic = %s/%q, want done", got.State, got.Error)
+	}
+}
+
+// TestDeadlineReleasesMachineLock: same invariant for the deadline path —
+// cooperative cancellation returns through the deferred unlock.
+func TestDeadlineReleasesMachineLock(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	_, child, _ := spawnChild(t, f)
+
+	// Stall each chunk so a tight wall budget trips mid-run.
+	stall := make(chan struct{})
+	f.opts.Hook = func(point string, j *Job) {
+		if point == "run:chunk" {
+			<-stall
+		}
+	}
+	j, err := f.RunJob(child.ID, 50_000_000, JobLimits{WallMS: 30}, "")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Hold the first chunk past the wall budget, then release; the
+	// deadline check right after the stall kills the job.
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		close(stall)
+	}()
+	got := j.Wait()
+	if got.State != JobFailed || !strings.Contains(got.Error, ErrDeadline.Error()) {
+		t.Fatalf("got %s/%q, want failed/deadline", got.State, got.Error)
+	}
+	if leaked := f.LeakedLocks(); len(leaked) != 0 {
+		t.Fatalf("machine lock leaked across deadline kill: %v", leaked)
+	}
+}

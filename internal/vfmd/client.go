@@ -2,28 +2,126 @@ package vfmd
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Client talks to a vfmd server. The zero HTTPClient defaults to a
-// client with no timeout — campaign jobs block on /v1/jobs/{id}?wait=1
-// for as long as the campaign runs.
+// APIError is a non-2xx response from the server, preserving the status
+// code so callers (and the retry loop) can classify it.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Transient reports whether the failure is worth retrying: load shedding
+// (429), a draining or briefly absent server (502/503/504), or a
+// server-side timeout (408).
+func (e *APIError) Transient() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+		http.StatusRequestTimeout:
+		return true
+	}
+	return false
+}
+
+// IsTransient classifies an error from a Client call: true for network
+// errors (connection refused/reset, client-side timeout) and transient
+// API errors, false for permanent API errors (400/404/409...) and
+// everything else. Permanent errors must not be retried; transient ones
+// are safe to retry when the request is idempotent.
+func IsTransient(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Transient()
+	}
+	// Anything that never produced an HTTP status is a transport-level
+	// failure: DNS, refused connection, reset, timeout. All retryable.
+	return err != nil
+}
+
+// Client talks to a vfmd server with production HTTP hygiene: every
+// request carries a timeout, response bodies are always drained and
+// closed (keep-alive reuse), errors are typed transient vs. permanent,
+// transient failures are retried with jittered exponential backoff, and
+// job submissions carry idempotency keys so a retried POST never
+// double-runs a job.
 type Client struct {
 	Base string // e.g. http://127.0.0.1:9400
-	HTTP *http.Client
+
+	// HTTP serves ordinary calls; its timeout bounds each attempt
+	// (default 30s). WaitHTTP serves long-poll job waits and out-waits
+	// the server-side bound (default 75s).
+	HTTP     *http.Client
+	WaitHTTP *http.Client
+
+	// MaxAttempts bounds retries per call (default 4: one try + three
+	// retries). Backoff is the first retry delay (default 100ms),
+	// doubling per attempt with ±50% jitter.
+	MaxAttempts int
+	Backoff     time.Duration
+
+	retries atomic.Uint64
+	dropped atomic.Uint64 // permanent failures after exhausting retries
+
+	jitterMu sync.Mutex
+	jitter   *mrand.Rand
 }
+
+// defaultTimeout bounds each ordinary request attempt.
+const defaultTimeout = 30 * time.Second
+
+// waitPollMS is the server-side bound the client asks for on blocking
+// job waits; the WaitHTTP timeout must exceed it.
+const waitPollMS = 60_000
 
 // NewClient builds a client for the given base URL.
 func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+	return &Client{
+		Base:        strings.TrimRight(base, "/"),
+		HTTP:        &http.Client{Timeout: defaultTimeout},
+		WaitHTTP:    &http.Client{Timeout: (waitPollMS + 15_000) * time.Millisecond},
+		MaxAttempts: 4,
+		Backoff:     100 * time.Millisecond,
+		jitter:      mrand.New(mrand.NewSource(time.Now().UnixNano())),
+	}
 }
 
-func (c *Client) do(method, path string, in, out any) error {
+// Stats reports the client's robustness counters: transient retries
+// performed and calls dropped after exhausting them.
+func (c *Client) Stats() (retries, dropped uint64) {
+	return c.retries.Load(), c.dropped.Load()
+}
+
+// NewIdempotencyKey returns a fresh random key for job submission.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: time-based, still unique enough per client process.
+		return fmt.Sprintf("k%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// doOnce performs one HTTP attempt. The response body is always fully
+// drained and closed, success or failure, so keep-alive connections are
+// reusable.
+func (c *Client) doOnce(hc *http.Client, method, path, idemKey string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -39,16 +137,21 @@ func (c *Client) do(method, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	hc := c.HTTP
+	if idemKey != "" {
+		req.Header.Set(IdempotencyHeader, idemKey)
+	}
 	if hc == nil {
-		hc = &http.Client{}
+		hc = &http.Client{Timeout: defaultTimeout}
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
+	// Drain any remainder before closing so the connection is reusable
+	// even if ReadAll stopped early on error.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 	if err != nil {
 		return err
 	}
@@ -56,15 +159,65 @@ func (c *Client) do(method, path string, in, out any) error {
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := strings.TrimSpace(string(raw))
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+			msg = e.Error
 		}
-		return fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(raw)))
+		return &APIError{Status: resp.StatusCode, Msg: fmt.Sprintf("%s %s: %s", method, path, msg)}
 	}
 	if out == nil {
 		return nil
 	}
 	return json.Unmarshal(raw, out)
+}
+
+// do performs a request with retries. Retrying is only armed for
+// requests that are safe to repeat: reads, deletes, and submissions
+// carrying an idempotency key. A non-idempotent POST gets exactly one
+// attempt.
+func (c *Client) do(method, path string, in, out any) error {
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+	return c.doRetry(c.HTTP, method, path, "", idempotent, in, out)
+}
+
+func (c *Client) doRetry(hc *http.Client, method, path, idemKey string, idempotent bool, in, out any) error {
+	attempts := c.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	if !idempotent && idemKey == "" {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.retries.Add(1)
+			time.Sleep(c.backoff(i))
+		}
+		err = c.doOnce(hc, method, path, idemKey, in, out)
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	c.dropped.Add(1)
+	return fmt.Errorf("after %d attempts: %w", attempts, err)
+}
+
+// backoff computes the delay before retry i (1-based): exponential with
+// ±50% jitter so a fleet of retrying clients does not stampede.
+func (c *Client) backoff(i int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(i-1)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	c.jitterMu.Lock()
+	frac := 0.5 + c.jitter.Float64() // 0.5x .. 1.5x
+	c.jitterMu.Unlock()
+	return time.Duration(float64(d) * frac)
 }
 
 // CreateMachine boots a machine on the server.
@@ -99,6 +252,12 @@ func (c *Client) DeleteMachine(id string) error {
 	return c.do("DELETE", "/v1/machines/"+id, nil, nil)
 }
 
+// KillMachine halts a machine mid-job (fault injection / administrative
+// stop); the supervision layer quarantines and respawns it.
+func (c *Client) KillMachine(id string) error {
+	return c.do("POST", "/v1/machines/"+id+"/kill", nil, nil)
+}
+
 // Snapshot captures a machine into a server-side COW image.
 func (c *Client) Snapshot(machineID string) (*SnapshotInfo, error) {
 	var info SnapshotInfo
@@ -120,22 +279,32 @@ func (c *Client) Spawn(snapshotID string, count int) ([]*MachineInfo, error) {
 	return out, nil
 }
 
-// Run queues a step-budget job and returns its initial snapshot.
+// Run queues a step-budget job and returns its initial snapshot. The
+// submission carries a fresh idempotency key, so transient failures are
+// retried without ever double-running the job.
 func (c *Client) Run(machineID string, steps uint64) (*Job, error) {
+	return c.RunJob(machineID, steps, JobLimits{})
+}
+
+// RunJob is Run with explicit per-job limits.
+func (c *Client) RunJob(machineID string, steps uint64, limits JobLimits) (*Job, error) {
 	var j Job
 	req := struct {
-		Steps uint64 `json:"steps"`
-	}{steps}
-	if err := c.do("POST", "/v1/machines/"+machineID+"/run", req, &j); err != nil {
+		Steps  uint64 `json:"steps"`
+		WallMS int64  `json:"wall_ms,omitempty"`
+	}{steps, limits.WallMS}
+	key := NewIdempotencyKey()
+	if err := c.doRetry(c.HTTP, "POST", "/v1/machines/"+machineID+"/run", key, false, req, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
 }
 
-// Campaign queues a fuzz/chaos campaign job.
+// Campaign queues a fuzz/chaos campaign job, idempotently.
 func (c *Client) Campaign(spec CampaignSpec) (*Job, error) {
 	var j Job
-	if err := c.do("POST", "/v1/campaigns", spec, &j); err != nil {
+	key := NewIdempotencyKey()
+	if err := c.doRetry(c.HTTP, "POST", "/v1/campaigns", key, false, spec, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
@@ -150,22 +319,29 @@ func (c *Client) Job(id string) (*Job, error) {
 	return &j, nil
 }
 
-// WaitJob blocks server-side until the job reaches a terminal state,
-// falling back to polling if the blocking request fails transiently.
-func (c *Client) WaitJob(id string) (*Job, error) {
-	var j Job
-	if err := c.do("GET", "/v1/jobs/"+id+"?wait=1", nil, &j); err == nil {
-		return &j, nil
+// Fleet fetches the control plane's health surface.
+func (c *Client) Fleet() (*FleetStatus, error) {
+	var st FleetStatus
+	if err := c.do("GET", "/v1/fleet", nil, &st); err != nil {
+		return nil, err
 	}
+	return &st, nil
+}
+
+// WaitJob blocks until the job reaches a terminal state, using bounded
+// server-side long-polls (so one hung connection can never wedge the
+// client) with transient-failure retries between polls.
+func (c *Client) WaitJob(id string) (*Job, error) {
+	path := fmt.Sprintf("/v1/jobs/%s?wait=1&timeout_ms=%d", id, waitPollMS)
 	for {
-		jj, err := c.Job(id)
+		var j Job
+		err := c.doRetry(c.WaitHTTP, "GET", path, "", true, nil, &j)
 		if err != nil {
 			return nil, err
 		}
-		if jj.State == JobDone || jj.State == JobFailed {
-			return jj, nil
+		if j.State.Terminal() {
+			return &j, nil
 		}
-		time.Sleep(100 * time.Millisecond)
 	}
 }
 

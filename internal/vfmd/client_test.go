@@ -1,0 +1,240 @@
+package vfmd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastClient shrinks the retry backoff so tests run in milliseconds.
+func fastClient(base string) *Client {
+	c := NewClient(base)
+	c.Backoff = time.Millisecond
+	return c
+}
+
+func TestClientRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			jsonError(w, http.StatusTooManyRequests, "queue full")
+			return
+		}
+		json.NewEncoder(w).Encode([]*MachineInfo{{ID: "m1"}})
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	ms, err := c.Machines()
+	if err != nil {
+		t.Fatalf("Machines after transient failures: %v", err)
+	}
+	if len(ms) != 1 || ms[0].ID != "m1" {
+		t.Fatalf("got %+v", ms)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 429s then success)", calls.Load())
+	}
+	retries, dropped := c.Stats()
+	if retries != 2 || dropped != 0 {
+		t.Fatalf("stats = %d retries / %d dropped, want 2/0", retries, dropped)
+	}
+}
+
+func TestClientPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		jsonError(w, http.StatusNotFound, "no machine")
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	_, err := c.MachineInfo("nope")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 404 {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("404 classified transient")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on permanent)", calls.Load())
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "draining")
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	c.MaxAttempts = 3
+	_, err := c.Machines()
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 503 {
+		t.Fatalf("err = %v, want wrapped APIError 503", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if _, dropped := c.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestClientRunRetryIsIdempotent(t *testing.T) {
+	// The server sheds the first submission; the retry carries the same
+	// idempotency key, so a real fleet would dedupe. Assert the key is
+	// stable across attempts.
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get(IdempotencyHeader))
+		if len(keys) == 1 {
+			jsonError(w, http.StatusTooManyRequests, "queue full")
+			return
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: JobQueued})
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	j, err := c.Run("m1", 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if j.ID != "j1" {
+		t.Fatalf("job = %+v", j)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("server saw %d submissions, want 2", len(keys))
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys across retry = %q, %q — want same non-empty key", keys[0], keys[1])
+	}
+}
+
+func TestClientNetworkErrorTransient(t *testing.T) {
+	// Point at a closed port: every attempt fails at the transport layer,
+	// which is transient by definition.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // immediately, so the address refuses connections
+
+	c := fastClient(srv.URL)
+	c.MaxAttempts = 2
+	_, err := c.Machines()
+	if err == nil {
+		t.Fatal("want connection error")
+	}
+	if retries, dropped := c.Stats(); retries != 1 || dropped != 1 {
+		t.Fatalf("stats = %d/%d, want 1 retry, 1 dropped", retries, dropped)
+	}
+}
+
+func TestClientWaitJobBoundedPolls(t *testing.T) {
+	// First poll returns a running snapshot (simulating a timeout-bounded
+	// wait expiring), second returns terminal; WaitJob must loop.
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("wait") != "1" || r.URL.Query().Get("timeout_ms") == "" {
+			t.Errorf("WaitJob must long-poll with a bound; got %s", r.URL.RawQuery)
+		}
+		st := JobRunning
+		if polls.Add(1) >= 2 {
+			st = JobDone
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: st})
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	j, err := c.WaitJob("j1")
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if j.State != JobDone || polls.Load() != 2 {
+		t.Fatalf("state=%s polls=%d, want done after 2 polls", j.State, polls.Load())
+	}
+}
+
+func TestClientAgainstRealServer(t *testing.T) {
+	// End-to-end: boot, snapshot, spawn, run with limits, wait, fleet
+	// status — through the retrying client.
+	f := NewFleet(2)
+	defer f.Close()
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	m, err := c.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	snap, err := c.Snapshot(m.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	kids, err := c.Spawn(snap.ID, 2)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if len(kids) != 2 {
+		t.Fatalf("spawned %d, want 2", len(kids))
+	}
+	j, err := c.RunJob(kids[0].ID, 500, JobLimits{WallMS: 60_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	done, err := c.WaitJob(j.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if done.State != JobDone {
+		t.Fatalf("job = %s/%q, want done", done.State, done.Error)
+	}
+	st, err := c.Fleet()
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if st.Machines != 3 {
+		t.Fatalf("fleet machines = %d, want 3", st.Machines)
+	}
+	if retries, _ := c.Stats(); retries != 0 {
+		t.Fatalf("unexpected retries against healthy server: %d", retries)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&APIError{Status: 429}, true},
+		{&APIError{Status: 503}, true},
+		{&APIError{Status: 502}, true},
+		{&APIError{Status: 504}, true},
+		{&APIError{Status: 400}, false},
+		{&APIError{Status: 404}, false},
+		{&APIError{Status: 409}, false},
+		{&APIError{Status: 500}, false},
+		{fmt.Errorf("wrapped: %w", &APIError{Status: 429}), true},
+		{errors.New("connection refused"), true},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package vfmd
+
+// Fleet chaos: the control-plane analog of the firmware chaos campaign.
+// Where internal/inject perturbs a running machine and asserts the
+// monitor contains it, RunFleetChaos perturbs the fleet service itself —
+// worker panics, stuck and slow jobs, dropped and duplicated requests,
+// machines halted mid-job — and asserts the supervision layer contains
+// that: the service never crashes, every accepted job reaches a terminal
+// state, no machine lock leaks, no request is double-run, and quarantined
+// machines are respawned within the cap.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"govfm/internal/inject"
+	"govfm/internal/obs"
+)
+
+// FleetChaosConfig parameterizes a control-plane chaos campaign.
+type FleetChaosConfig struct {
+	Seed    int64
+	Faults  int // total faults to inject (default 120)
+	Workers int // fleet worker-pool width (default 2)
+	Pool    int // machines spawned from the shared snapshot (default 3)
+
+	// RespawnCap bounds per-machine respawns (default 3); permanently
+	// fenced machines are replaced by fresh spawns, as a real operator
+	// would.
+	RespawnCap int
+
+	Verbose func(string) // per-fault narration; nil = quiet
+}
+
+func (c *FleetChaosConfig) defaults() {
+	if c.Faults <= 0 {
+		c.Faults = 120
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Pool <= 0 {
+		c.Pool = 3
+	}
+	if c.RespawnCap <= 0 {
+		c.RespawnCap = 3
+	}
+	if c.Verbose == nil {
+		c.Verbose = func(string) {}
+	}
+}
+
+// FleetChaosReport is the campaign outcome plus every invariant checked.
+type FleetChaosReport struct {
+	Seed    int            `json:"seed"`
+	Faults  int            `json:"faults"`
+	PerKind map[string]int `json:"per_kind"`
+
+	Jobs        int      `json:"jobs"`
+	Terminal    int      `json:"terminal"`
+	NonTerminal []string `json:"non_terminal,omitempty"`
+
+	Quarantines  int      `json:"quarantines"`
+	Respawns     int      `json:"respawns"`
+	Replacements int      `json:"replacements"` // fresh spawns for fenced machines
+	LeakedLocks  []string `json:"leaked_locks,omitempty"`
+
+	ClientRetries uint64 `json:"client_retries"`
+	ClientDropped uint64 `json:"client_dropped"`
+	DroppedResps  int    `json:"dropped_responses"`
+	DupedReqs     int    `json:"duplicated_requests"`
+
+	// Failures lists every violated invariant; empty means the control
+	// plane survived the campaign.
+	Failures []string `json:"failures,omitempty"`
+}
+
+func (r *FleetChaosReport) fail(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// armory holds at most one pending chaos behavior, consumed by the fleet
+// hook at the matching supervision point. The campaign injects faults
+// sequentially, so the single slot is never contended for attribution.
+type armory struct {
+	mu    sync.Mutex
+	point string
+	act   func(*Job)
+}
+
+func (a *armory) arm(point string, act func(*Job)) {
+	a.mu.Lock()
+	a.point, a.act = point, act
+	a.mu.Unlock()
+}
+
+func (a *armory) hook(point string, j *Job) {
+	a.mu.Lock()
+	var act func(*Job)
+	if a.act != nil && a.point == point {
+		act, a.act = a.act, nil
+	}
+	a.mu.Unlock()
+	if act != nil {
+		act(j)
+	}
+}
+
+// chaoticTransport attacks the client-server link: it can discard one
+// response after the server has processed the request (the client must
+// retry, and idempotency must prevent a double-run) or send one request
+// twice (the server must dedupe).
+type chaoticTransport struct {
+	base http.RoundTripper
+
+	mu       sync.Mutex
+	dropNext bool
+	dupNext  bool
+	drops    int
+	dups     int
+}
+
+var errChaosDropped = errors.New("chaos: response dropped in transit")
+
+func (t *chaoticTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	drop, dup := t.dropNext, t.dupNext
+	t.dropNext, t.dupNext = false, false
+	t.mu.Unlock()
+
+	if dup {
+		// First send: the server processes it; the response is discarded.
+		if resp, err := t.base.RoundTrip(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		// Second send of the same request (same idempotency key).
+		req2 := req.Clone(req.Context())
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req2.Body = body
+		}
+		t.mu.Lock()
+		t.dups++
+		t.mu.Unlock()
+		return t.base.RoundTrip(req2)
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if drop && err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.mu.Lock()
+		t.drops++
+		t.mu.Unlock()
+		return nil, errChaosDropped
+	}
+	return resp, err
+}
+
+// chaosSpec is the machine the campaign farms: the stock monitored boot
+// configuration.
+func chaosSpec() MachineSpec {
+	return MachineSpec{
+		Profile: "visionfive2", Firmware: "gosbi",
+		Virtualize: true, Offload: true, Policy: "sandbox",
+		WarmupSteps: 1_000,
+	}
+}
+
+// RunFleetChaos stands up an in-process fleet service, attacks its
+// control plane with cfg.Faults seeded faults, and verifies the
+// supervision invariants. The returned report is non-nil whenever err is
+// nil; invariant violations are in report.Failures, not err.
+func RunFleetChaos(cfg FleetChaosConfig) (*FleetChaosReport, error) {
+	cfg.defaults()
+	rep := &FleetChaosReport{Seed: int(cfg.Seed), PerKind: map[string]int{}}
+	arm := &armory{}
+
+	o := obs.New(obs.Options{})
+	f := NewFleetWith(FleetOptions{
+		Workers:    cfg.Workers,
+		RespawnCap: cfg.RespawnCap,
+		DrainGrace: 2 * time.Second,
+		Obs:        o,
+		Hook:       arm.hook,
+	})
+	srv := httptest.NewServer(NewServer(f))
+	defer srv.Close()
+
+	ct := &chaoticTransport{base: http.DefaultTransport}
+	c := NewClient(srv.URL)
+	c.HTTP = &http.Client{Timeout: defaultTimeout, Transport: ct}
+	c.Backoff = 5 * time.Millisecond
+
+	// Farm setup: one booted origin, one shared snapshot, a pool of
+	// respawnable children.
+	origin, err := c.CreateMachine(chaosSpec())
+	if err != nil {
+		return nil, fmt.Errorf("boot origin: %w", err)
+	}
+	snap, err := c.Snapshot(origin.ID)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot origin: %w", err)
+	}
+	pool, err := c.Spawn(snap.ID, cfg.Pool)
+	if err != nil {
+		return nil, fmt.Errorf("spawn pool: %w", err)
+	}
+	ids := make([]string, len(pool))
+	for i, m := range pool {
+		ids[i] = m.ID
+	}
+
+	// expectedJobs counts every distinct successful submission; dropped
+	// responses and duplicated requests must not inflate the server's job
+	// count past it.
+	expectedJobs := 0
+
+	// replaceIfFenced swaps a permanently quarantined machine for a fresh
+	// spawn, like an operator replacing a dead node.
+	replaceIfFenced := func(i int) {
+		info, err := c.MachineInfo(ids[i])
+		if err != nil || !info.Quarantined {
+			return
+		}
+		kids, err := c.Spawn(snap.ID, 1)
+		if err != nil || len(kids) != 1 {
+			rep.fail("replace fenced %s: %v", ids[i], err)
+			return
+		}
+		cfg.Verbose(fmt.Sprintf("  machine %s fenced for good, replaced by %s", ids[i], kids[0].ID))
+		ids[i] = kids[0].ID
+		rep.Replacements++
+	}
+
+	// waitTerminal waits out one job and checks it landed in the state
+	// the fault predicts.
+	waitTerminal := func(j *Job, wantFailed bool, wantErr string, kind inject.FleetFaultKind) {
+		got, err := c.WaitJob(j.ID)
+		if err != nil {
+			rep.fail("%v: wait %s: %v", kind, j.ID, err)
+			return
+		}
+		if !got.State.Terminal() {
+			rep.fail("%v: job %s not terminal: %s", kind, j.ID, got.State)
+			return
+		}
+		if wantFailed && got.State != JobFailed {
+			rep.fail("%v: job %s = %s, want failed", kind, j.ID, got.State)
+		}
+		if !wantFailed && got.State != JobDone {
+			rep.fail("%v: job %s = %s/%q, want done", kind, j.ID, got.State, got.Error)
+		}
+		if wantErr != "" && !errContains(got.Error, wantErr) {
+			rep.fail("%v: job %s error %q, want %q", kind, j.ID, got.Error, wantErr)
+		}
+	}
+
+	plan := inject.NewFleetPlanner(cfg.Seed)
+	const runSteps = 4000
+	for i := 0; i < cfg.Faults; i++ {
+		kind := plan.Next()
+		rep.PerKind[kind.String()]++
+		rep.Faults++
+		mi := plan.Intn(len(ids))
+		replaceIfFenced(mi)
+		target := ids[mi]
+		cfg.Verbose(fmt.Sprintf("fault %3d: %-13s on %s", i+1, kind, target))
+
+		switch kind {
+		case inject.FleetWorkerPanic:
+			arm.arm("job:start", func(*Job) { panic(fmt.Sprintf("chaos panic #%d", i)) })
+			j, err := c.RunJob(target, runSteps, JobLimits{})
+			if err != nil {
+				rep.fail("%v: submit: %v", kind, err)
+				continue
+			}
+			expectedJobs++
+			waitTerminal(j, true, "worker panic", kind)
+			replaceIfFenced(mi)
+
+		case inject.FleetStuckJob:
+			// Stall far past the wall budget; the deadline check after
+			// the stall must kill the job.
+			arm.arm("run:chunk", func(*Job) { time.Sleep(150 * time.Millisecond) })
+			j, err := c.RunJob(target, runSteps, JobLimits{WallMS: 40})
+			if err != nil {
+				rep.fail("%v: submit: %v", kind, err)
+				continue
+			}
+			expectedJobs++
+			waitTerminal(j, true, ErrDeadline.Error(), kind)
+			replaceIfFenced(mi)
+
+		case inject.FleetSlowJob:
+			// Stall briefly but inside the budget; the job must finish.
+			arm.arm("run:chunk", func(*Job) { time.Sleep(10 * time.Millisecond) })
+			j, err := c.RunJob(target, runSteps, JobLimits{WallMS: 30_000})
+			if err != nil {
+				rep.fail("%v: submit: %v", kind, err)
+				continue
+			}
+			expectedJobs++
+			waitTerminal(j, false, "", kind)
+
+		case inject.FleetDropRequest:
+			// The server processes the submission but the response dies
+			// in transit; the retry carries the same idempotency key.
+			ct.mu.Lock()
+			ct.dropNext = true
+			ct.mu.Unlock()
+			j, err := c.RunJob(target, runSteps, JobLimits{})
+			if err != nil {
+				rep.fail("%v: submit after drop: %v", kind, err)
+				continue
+			}
+			expectedJobs++
+			waitTerminal(j, false, "", kind)
+
+		case inject.FleetDupRequest:
+			// The submission arrives twice; idempotency must dedupe it to
+			// one job (checked globally by the job-count invariant).
+			ct.mu.Lock()
+			ct.dupNext = true
+			ct.mu.Unlock()
+			j, err := c.RunJob(target, runSteps, JobLimits{})
+			if err != nil {
+				rep.fail("%v: submit duplicated: %v", kind, err)
+				continue
+			}
+			expectedJobs++
+			waitTerminal(j, false, "", kind)
+
+		case inject.FleetMachineKill:
+			// Hold the job at its first chunk, yank the machine, release.
+			started := make(chan struct{})
+			killed := make(chan struct{})
+			arm.arm("run:chunk", func(*Job) { close(started); <-killed })
+			j, err := c.RunJob(target, runSteps, JobLimits{})
+			if err != nil {
+				close(killed)
+				rep.fail("%v: submit: %v", kind, err)
+				continue
+			}
+			expectedJobs++
+			select {
+			case <-started:
+				if err := c.KillMachine(target); err != nil {
+					rep.fail("%v: kill: %v", kind, err)
+				}
+			case <-time.After(5 * time.Second):
+				rep.fail("%v: job %s never reached a chunk boundary", kind, j.ID)
+			}
+			close(killed)
+			waitTerminal(j, true, ErrMachineKilled.Error(), kind)
+			replaceIfFenced(mi)
+		}
+
+		// Periodic health probe: the service must keep serving healthy
+		// work mid-campaign.
+		if (i+1)%10 == 0 {
+			replaceIfFenced(mi)
+			j, err := c.RunJob(ids[mi], runSteps, JobLimits{})
+			if err != nil {
+				rep.fail("health probe after fault %d: %v", i+1, err)
+				continue
+			}
+			expectedJobs++
+			waitTerminal(j, false, "", inject.FleetFaultKind(-1))
+		}
+	}
+
+	// Drain, then check the global invariants.
+	f.Close()
+
+	st, err := c.Fleet()
+	if err != nil {
+		rep.fail("final fleet status: %v", err)
+	} else {
+		rep.Quarantines = len(st.Quarantines)
+		for _, q := range st.Quarantines {
+			if q.Respawned {
+				rep.Respawns++
+			}
+		}
+	}
+
+	jobs := f.JobsSnapshot()
+	rep.Jobs = len(jobs)
+	for _, j := range jobs {
+		if j.State.Terminal() {
+			rep.Terminal++
+		} else {
+			rep.NonTerminal = append(rep.NonTerminal, fmt.Sprintf("%s(%s)", j.ID, j.State))
+		}
+	}
+	if len(rep.NonTerminal) > 0 {
+		rep.fail("%d jobs never reached a terminal state: %v", len(rep.NonTerminal), rep.NonTerminal)
+	}
+	if rep.Jobs != expectedJobs {
+		rep.fail("job count %d != %d distinct submissions (drop/dup broke idempotency)", rep.Jobs, expectedJobs)
+	}
+	rep.LeakedLocks = f.LeakedLocks()
+	if len(rep.LeakedLocks) > 0 {
+		rep.fail("leaked machine locks: %v", rep.LeakedLocks)
+	}
+	for _, m := range f.Machines() {
+		if m.Respawns > cfg.RespawnCap {
+			rep.fail("machine %s respawned %d times, cap %d", m.ID, m.Respawns, cfg.RespawnCap)
+		}
+	}
+	ct.mu.Lock()
+	rep.DroppedResps, rep.DupedReqs = ct.drops, ct.dups
+	ct.mu.Unlock()
+	rep.ClientRetries, rep.ClientDropped = c.Stats()
+	return rep, nil
+}
+
+func errContains(s, sub string) bool {
+	return sub == "" || strings.Contains(s, sub)
+}

@@ -1,0 +1,65 @@
+package vfmd
+
+import "testing"
+
+// TestFleetChaosCampaign runs a short control-plane chaos campaign (two
+// full decks of fault kinds) and requires every supervision invariant to
+// hold. CI runs this package under -race, which also makes it the "no
+// lock leaked" data-race gate.
+func TestFleetChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign in -short mode")
+	}
+	rep, err := RunFleetChaos(FleetChaosConfig{Seed: 42, Faults: 24, Pool: 2})
+	if err != nil {
+		t.Fatalf("campaign setup: %v", err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if rep.Faults != 24 {
+		t.Fatalf("injected %d faults, want 24", rep.Faults)
+	}
+	// The deck planner guarantees full kind coverage in 24 draws.
+	for kind, n := range rep.PerKind {
+		if n == 0 {
+			t.Errorf("fault kind %s never injected", kind)
+		}
+	}
+	if len(rep.PerKind) != 6 {
+		t.Errorf("covered %d fault kinds, want 6: %v", len(rep.PerKind), rep.PerKind)
+	}
+	if rep.Terminal != rep.Jobs {
+		t.Errorf("%d/%d jobs terminal", rep.Terminal, rep.Jobs)
+	}
+	if rep.DroppedResps == 0 || rep.DupedReqs == 0 {
+		t.Errorf("transport chaos not exercised: %d drops, %d dups", rep.DroppedResps, rep.DupedReqs)
+	}
+	if rep.ClientRetries == 0 {
+		t.Errorf("dropped responses should have forced client retries")
+	}
+	if rep.Quarantines == 0 || rep.Respawns == 0 {
+		t.Errorf("quarantine machinery not exercised: %d quarantines, %d respawns", rep.Quarantines, rep.Respawns)
+	}
+}
+
+// TestFleetChaosDeterministicPlan: same seed, same fault sequence — the
+// per-kind histogram must match exactly across runs.
+func TestFleetChaosDeterministicPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign in -short mode")
+	}
+	a, err := RunFleetChaos(FleetChaosConfig{Seed: 7, Faults: 12, Pool: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleetChaos(FleetChaosConfig{Seed: 7, Faults: 12, Pool: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range a.PerKind {
+		if b.PerKind[k] != n {
+			t.Errorf("kind %s: %d vs %d across same-seed runs", k, n, b.PerKind[k])
+		}
+	}
+}

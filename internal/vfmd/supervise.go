@@ -1,0 +1,335 @@
+package vfmd
+
+// Supervision layer for the fleet: per-job deadlines with cooperative
+// cancellation, worker panic boundaries that turn a crashing simulation
+// into a structured fault report, bounded-queue admission control with
+// load shedding, and machine quarantine with capped respawn from the
+// originating snapshot.
+//
+// The design deliberately mirrors the monitor's own containment story one
+// level up (DESIGN.md, "Fleet supervision vs. monitor containment"): the
+// monitor walls itself off from the firmware it hosts; the fleet walls
+// itself off from the machines it hosts. A panic inside a simulation is
+// caught at the worker boundary — never inside the sim, whose own panic
+// boundaries already produce MonitorFaults for the failures the paper
+// models — and a machine that keeps misbehaving is fenced out of
+// scheduling and rebuilt from its snapshot, exactly as the monitor
+// restarts a misbehaving firmware from its boot snapshot, with the same
+// kind of restart cap.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed supervision errors. API handlers map these to status codes and
+// the client maps the codes back, so both sides agree on what is
+// retryable: a full queue is transient (retry with backoff), a
+// quarantined machine or exhausted admission check is permanent.
+var (
+	// ErrQueueFull is load shedding: the job queue is at capacity and the
+	// submission was rejected rather than queued. Transient — retry.
+	ErrQueueFull = errors.New("job queue full (load shed)")
+
+	// ErrFleetClosed means the fleet is shutting down and accepts no new
+	// work.
+	ErrFleetClosed = errors.New("fleet is shut down")
+
+	// ErrQuarantined means the target machine is fenced out of scheduling
+	// (its respawn cap is exhausted or it has no originating snapshot).
+	ErrQuarantined = errors.New("machine is quarantined")
+
+	// ErrDeadline is a job killed by its host wall-clock budget.
+	ErrDeadline = errors.New("job deadline exceeded")
+
+	// ErrShed is a queued job failed during shutdown drain instead of run.
+	ErrShed = errors.New("job shed during shutdown")
+
+	// ErrMachineKilled is a run job whose machine was halted out from
+	// under it mid-job (fault injection or administrative kill).
+	ErrMachineKilled = errors.New("machine killed mid-job")
+
+	// ErrStepBudget rejects a run submission whose step budget exceeds
+	// the fleet's admission cap. Permanent — shrink the request.
+	ErrStepBudget = errors.New("step budget exceeds fleet cap")
+)
+
+// JobLimits are the per-job budgets a submission may carry. Zero values
+// inherit the fleet defaults.
+type JobLimits struct {
+	// WallMS is the host wall-clock budget in milliseconds, measured from
+	// the moment the job starts executing (queue time does not count).
+	// Exceeding it fails the job with ErrDeadline at the next cooperative
+	// cancellation point and strikes the machine.
+	WallMS int64 `json:"wall_ms,omitempty"`
+}
+
+// JobCtx is the cooperative-cancellation handle threaded into every job
+// function. Long-running jobs must poll Err at natural boundaries (run
+// jobs do so between step chunks, campaign jobs between injected faults
+// and fuzz slices); a non-nil result means stop now and return it.
+type JobCtx struct {
+	job   *Job
+	fleet *Fleet
+}
+
+// Err returns nil while the job may keep running, ErrDeadline once the
+// job's wall budget is spent, and ErrShed once the fleet has entered
+// forced drain.
+func (jc *JobCtx) Err() error {
+	if jc == nil {
+		return nil
+	}
+	select {
+	case <-jc.fleet.cancelAll:
+		return ErrShed
+	default:
+	}
+	if !jc.job.deadline.IsZero() && time.Now().After(jc.job.deadline) {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// Cancelled is a convenience predicate over Err for callees that only
+// need a bool (inject.CampaignConfig.Cancelled).
+func (jc *JobCtx) Cancelled() bool { return jc.Err() != nil }
+
+// FaultReport is the structured record of a job the supervision layer had
+// to kill: a panic caught at the worker boundary, a deadline overrun, or
+// a mid-job machine kill. The fleet keeps a bounded ring of these
+// (surfaced via GET /v1/fleet) and attaches each to its job.
+type FaultReport struct {
+	Job     string `json:"job"`
+	Kind    string `json:"kind"`              // job kind (run, campaign:...)
+	Machine string `json:"machine,omitempty"` // machine involved, if any
+	Reason  string `json:"reason"`            // panic | deadline | killed | shed
+	Panic   string `json:"panic,omitempty"`   // recovered panic value
+	Stack   string `json:"stack,omitempty"`   // goroutine stack at recovery
+}
+
+func (r FaultReport) String() string {
+	s := fmt.Sprintf("job %s (%s) %s", r.Job, r.Kind, r.Reason)
+	if r.Machine != "" {
+		s += " on " + r.Machine
+	}
+	if r.Panic != "" {
+		s += ": " + r.Panic
+	}
+	return s
+}
+
+// QuarantineReport records one quarantine decision: a machine crossed the
+// strike threshold and was fenced, then respawned from its originating
+// snapshot (Respawned=true) or left fenced (cap exhausted / no
+// snapshot).
+type QuarantineReport struct {
+	Machine   string `json:"machine"`
+	Reason    string `json:"reason"`
+	Strikes   int    `json:"strikes"`
+	Snapshot  string `json:"snapshot,omitempty"` // originating snapshot, if any
+	Respawned bool   `json:"respawned"`
+	Respawns  int    `json:"respawns"` // lifetime respawn count after this event
+	Error     string `json:"error,omitempty"`
+}
+
+func (r QuarantineReport) String() string {
+	verdict := "fenced"
+	if r.Respawned {
+		verdict = fmt.Sprintf("respawned from %s (#%d)", r.Snapshot, r.Respawns)
+	}
+	return fmt.Sprintf("machine %s quarantined (%s, %d strikes): %s",
+		r.Machine, r.Reason, r.Strikes, verdict)
+}
+
+// FleetStatus is the control plane's own health surface (GET /v1/fleet).
+type FleetStatus struct {
+	Workers     int            `json:"workers"`
+	QueueDepth  int            `json:"queue_depth"`
+	QueueCap    int            `json:"queue_cap"`
+	Closed      bool           `json:"closed"`
+	Jobs        map[string]int `json:"jobs"` // state -> count
+	Machines    int            `json:"machines"`
+	Quarantined int            `json:"quarantined"`
+
+	Quarantines []QuarantineReport `json:"quarantines,omitempty"`
+	Faults      []FaultReport      `json:"faults,omitempty"`
+}
+
+// strike weights: a containment trip is one strike; panics, deadline
+// overruns, and mid-job kills quarantine immediately by weighing a full
+// threshold.
+const containStrike = 1
+
+// noteJobOutcome applies supervision policy after a job finishes: fault
+// accounting, machine strikes, quarantine, respawn.
+func (f *Fleet) noteJobOutcome(j *Job, err error) {
+	e := j.entry
+	switch {
+	case err == nil:
+		f.counters.jobsDone.Inc()
+		if e != nil && j.containTrips > 0 {
+			f.strike(e, containStrike*j.containTrips, "containment trips")
+		}
+	case errors.Is(err, errPanic):
+		f.counters.jobsPanic.Inc()
+		f.counters.jobsFailed.Inc()
+		if e != nil {
+			f.strike(e, f.opts.QuarantineStrikes, "job panic")
+		}
+	case errors.Is(err, ErrDeadline):
+		f.counters.jobsDeadline.Inc()
+		f.recordFault(&FaultReport{Job: j.ID, Kind: j.Kind, Machine: j.machineID(), Reason: "deadline"})
+		if e != nil {
+			f.strike(e, f.opts.QuarantineStrikes, "deadline exceeded")
+		}
+	case errors.Is(err, ErrMachineKilled):
+		f.counters.jobsFailed.Inc()
+		f.recordFault(&FaultReport{Job: j.ID, Kind: j.Kind, Machine: j.machineID(), Reason: "killed"})
+		if e != nil {
+			f.strike(e, f.opts.QuarantineStrikes, "machine killed mid-job")
+		}
+	case errors.Is(err, ErrShed):
+		f.counters.jobsShed.Inc()
+	default:
+		f.counters.jobsFailed.Inc()
+	}
+}
+
+// strike charges a machine with n strikes; crossing the threshold fences
+// it and attempts a respawn from its originating snapshot, capped at
+// RespawnCap (mirroring the monitor's firmware restart cap).
+func (f *Fleet) strike(e *machineEntry, n int, reason string) {
+	f.mu.Lock()
+	e.strikes += n
+	if e.quarantined || e.strikes < f.opts.QuarantineStrikes {
+		f.mu.Unlock()
+		return
+	}
+	e.quarantined = true
+	e.quarReason = reason
+	rep := QuarantineReport{
+		Machine:  e.id,
+		Reason:   reason,
+		Strikes:  e.strikes,
+		Snapshot: e.originSnap,
+		Respawns: e.respawns,
+	}
+	var src *snapshotEntry
+	if e.originSnap != "" && e.respawns < f.opts.RespawnCap {
+		src = f.snapshots[e.originSnap]
+	}
+	f.mu.Unlock()
+	f.counters.quarantines.Inc()
+
+	if src != nil {
+		if err := f.respawn(e, src); err != nil {
+			rep.Error = err.Error()
+		} else {
+			f.mu.Lock()
+			e.quarantined = false
+			e.quarReason = ""
+			e.strikes = 0
+			e.respawns++
+			rep.Respawned = true
+			rep.Respawns = e.respawns
+			f.mu.Unlock()
+			f.counters.respawns.Inc()
+		}
+	}
+	f.recordQuarantine(rep)
+}
+
+// respawn rebuilds a fenced machine in place from its originating
+// snapshot: fresh COW spawn, fresh forked monitor, fresh observer. The
+// machine keeps its identity; its simulation state is image-time state.
+func (f *Fleet) respawn(e *machineEntry, s *snapshotEntry) error {
+	sys, o, err := s.spawnOne()
+	if err != nil {
+		return fmt.Errorf("respawn %s from %s: %w", e.id, s.id, err)
+	}
+	e.mu.Lock()
+	e.sys = sys
+	e.obs = o
+	e.killed.Store(false)
+	e.mu.Unlock()
+	return nil
+}
+
+// recordFault appends to the bounded fault ring (oldest dropped).
+func (f *Fleet) recordFault(r *FaultReport) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.faults) >= faultRingCap {
+		f.faults = f.faults[1:]
+	}
+	f.faults = append(f.faults, *r)
+}
+
+// recordQuarantine appends to the bounded quarantine ring.
+func (f *Fleet) recordQuarantine(r QuarantineReport) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.quarantines) >= faultRingCap {
+		f.quarantines = f.quarantines[1:]
+	}
+	f.quarantines = append(f.quarantines, r)
+}
+
+const faultRingCap = 256
+
+// FaultReports returns a copy of the fault ring.
+func (f *Fleet) FaultReports() []FaultReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FaultReport(nil), f.faults...)
+}
+
+// QuarantineReports returns a copy of the quarantine ring.
+func (f *Fleet) QuarantineReports() []QuarantineReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]QuarantineReport(nil), f.quarantines...)
+}
+
+// LeakedLocks reports machines whose mutex is still held after the fleet
+// has quiesced — the chaos campaign's "no leaked machine lock" invariant.
+// Only meaningful once no jobs are running.
+func (f *Fleet) LeakedLocks() []string {
+	f.mu.Lock()
+	entries := make([]*machineEntry, 0, len(f.machines))
+	for _, e := range f.machines {
+		entries = append(entries, e)
+	}
+	f.mu.Unlock()
+	var leaked []string
+	for _, e := range entries {
+		if e.mu.TryLock() {
+			e.mu.Unlock()
+		} else {
+			leaked = append(leaked, e.id)
+		}
+	}
+	return leaked
+}
+
+// JobsSnapshot returns a snapshot of every job the fleet has ever
+// accepted — the chaos campaign's "every job reaches a terminal state"
+// invariant walks this.
+func (f *Fleet) JobsSnapshot() []Job {
+	f.mu.Lock()
+	jobs := make([]*Job, 0, len(f.jobs))
+	for _, j := range f.jobs {
+		jobs = append(jobs, j)
+	}
+	f.mu.Unlock()
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Terminal reports whether the state is a job end state.
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }

@@ -1,0 +1,397 @@
+package vfmd
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// spawnChild boots a machine, snapshots it, and spawns one child — the
+// respawnable unit the quarantine tests exercise.
+func spawnChild(t *testing.T, f *Fleet) (origin, child *MachineInfo, snap *SnapshotInfo) {
+	t.Helper()
+	origin, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	snap, err = f.Snapshot(origin.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	kids, err := f.Spawn(snap.ID, 1)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	return origin, kids[0], snap
+}
+
+func TestJobDeadline(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+
+	j, err := f.submit("run", nil, JobLimits{WallMS: 20}, "", func(jc *JobCtx) (any, error) {
+		for {
+			if err := jc.Err(); err != nil {
+				return nil, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := j.Wait()
+	if got.State != JobFailed {
+		t.Fatalf("state = %s, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, ErrDeadline.Error()) {
+		t.Fatalf("error = %q, want deadline", got.Error)
+	}
+	// The deadline overrun must show up in the fault ring.
+	found := false
+	for _, fr := range f.FaultReports() {
+		if fr.Job == got.ID && fr.Reason == "deadline" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no deadline fault report: %+v", f.FaultReports())
+	}
+}
+
+func TestDefaultWallDeadline(t *testing.T) {
+	f := NewFleetWith(FleetOptions{Workers: 1, DefaultWall: 20 * time.Millisecond})
+	defer f.Close()
+
+	j, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		for {
+			if err := jc.Err(); err != nil {
+				return nil, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if got := j.Wait(); got.State != JobFailed || !strings.Contains(got.Error, ErrDeadline.Error()) {
+		t.Fatalf("got %s/%q, want failed/deadline", got.State, got.Error)
+	}
+}
+
+func TestWorkerPanicBecomesFaultReport(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+
+	j, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		panic("simulated simulator crash")
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := j.Wait()
+	if got.State != JobFailed {
+		t.Fatalf("state = %s, want failed", got.State)
+	}
+	if got.Fault == nil || got.Fault.Reason != "panic" ||
+		!strings.Contains(got.Fault.Panic, "simulated simulator crash") ||
+		got.Fault.Stack == "" {
+		t.Fatalf("fault report = %+v, want panic with stack", got.Fault)
+	}
+
+	// The pool must survive the panic: the next job runs normally.
+	j2, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+	if got := j2.Wait(); got.State != JobDone {
+		t.Fatalf("job after panic = %s/%q, want done", got.State, got.Error)
+	}
+}
+
+func TestQueueFullLoadShed(t *testing.T) {
+	release := make(chan struct{})
+	f := NewFleetWith(FleetOptions{Workers: 1, QueueCap: 1})
+	defer f.Close()
+	defer close(release)
+
+	blocker := func(jc *JobCtx) (any, error) { <-release; return nil, nil }
+	// First job occupies the worker; second fills the queue of one.
+	if _, err := f.submit("run", nil, JobLimits{}, "", blocker); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	// Wait until the worker has dequeued job 1 so the queue is empty.
+	deadline := time.Now().Add(2 * time.Second)
+	for f.depth.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up job 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := f.submit("run", nil, JobLimits{}, "", blocker); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	_, err := f.submit("run", nil, JobLimits{}, "", blocker)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit 3 err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestIdempotentSubmission(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+
+	fn := func(jc *JobCtx) (any, error) { return "x", nil }
+	j1, err := f.submit("run", nil, JobLimits{}, "key-1", fn)
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	j2, err := f.submit("run", nil, JobLimits{}, "key-1", fn)
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if j1.ID != j2.ID {
+		t.Fatalf("idempotent resubmit got job %s, want %s", j2.ID, j1.ID)
+	}
+	j3, err := f.submit("run", nil, JobLimits{}, "key-2", fn)
+	if err != nil {
+		t.Fatalf("submit 3: %v", err)
+	}
+	if j3.ID == j1.ID {
+		t.Fatal("distinct keys must get distinct jobs")
+	}
+}
+
+func TestStepBudgetAdmission(t *testing.T) {
+	f := NewFleetWith(FleetOptions{Workers: 1, MaxSteps: 1000})
+	defer f.Close()
+	m, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Run(m.ID, 999_999); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	j, err := f.Run(m.ID, 1000)
+	if err != nil {
+		t.Fatalf("run within cap: %v", err)
+	}
+	if got := j.Wait(); got.State != JobDone {
+		t.Fatalf("run = %s/%q, want done", got.State, got.Error)
+	}
+}
+
+func TestPanicQuarantinesAndRespawns(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	_, child, snap := spawnChild(t, f)
+
+	e, err := f.machine(child.ID)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	j, err := f.submit("run", e, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		panic("crash inside the sim")
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if got := j.Wait(); got.State != JobFailed {
+		t.Fatalf("state = %s, want failed", got.State)
+	}
+
+	// The machine was spawned from a snapshot, so quarantine respawns it:
+	// fence lifted, strikes cleared, respawn counted.
+	info, err := f.MachineInfo(child.ID)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.Quarantined {
+		t.Fatalf("machine still quarantined after respawn: %+v", info)
+	}
+	if info.Respawns != 1 {
+		t.Fatalf("respawns = %d, want 1", info.Respawns)
+	}
+	if info.Strikes != 0 {
+		t.Fatalf("strikes = %d, want 0 after respawn", info.Strikes)
+	}
+	if info.OriginSnapshot != snap.ID {
+		t.Fatalf("origin = %q, want %q", info.OriginSnapshot, snap.ID)
+	}
+	reps := f.QuarantineReports()
+	if len(reps) != 1 || !reps[0].Respawned {
+		t.Fatalf("quarantine reports = %+v, want one respawned", reps)
+	}
+
+	// The respawned machine must be schedulable and runnable.
+	j2, err := f.Run(child.ID, 500)
+	if err != nil {
+		t.Fatalf("run after respawn: %v", err)
+	}
+	if got := j2.Wait(); got.State != JobDone {
+		t.Fatalf("run after respawn = %s/%q, want done", got.State, got.Error)
+	}
+}
+
+func TestRespawnCapFencesForGood(t *testing.T) {
+	f := NewFleetWith(FleetOptions{Workers: 1, RespawnCap: 1})
+	defer f.Close()
+	_, child, _ := spawnChild(t, f)
+	e, err := f.machine(child.ID)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+
+	crash := func(jc *JobCtx) (any, error) { panic("crash") }
+	for i := 0; i < 2; i++ {
+		j, err := f.submit("run", e, JobLimits{}, "", crash)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		j.Wait()
+	}
+
+	info, _ := f.MachineInfo(child.ID)
+	if !info.Quarantined {
+		t.Fatalf("machine not fenced after cap exhausted: %+v", info)
+	}
+	if info.Respawns != 1 {
+		t.Fatalf("respawns = %d, want 1 (capped)", info.Respawns)
+	}
+	if _, err := f.Run(child.ID, 100); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("run on fenced machine err = %v, want ErrQuarantined", err)
+	}
+	if _, err := f.Snapshot(child.ID); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("snapshot on fenced machine err = %v, want ErrQuarantined", err)
+	}
+}
+
+func TestBootedMachineQuarantineHasNoRespawn(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	m, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	e, _ := f.machine(m.ID)
+	j, _ := f.submit("run", e, JobLimits{}, "", func(jc *JobCtx) (any, error) { panic("crash") })
+	j.Wait()
+	info, _ := f.MachineInfo(m.ID)
+	if !info.Quarantined || info.Respawns != 0 {
+		t.Fatalf("booted machine should stay fenced (no origin snapshot): %+v", info)
+	}
+}
+
+func TestKillMachineMidJob(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	_, child, _ := spawnChild(t, f)
+
+	// The hook stalls the job at its first chunk boundary until the kill
+	// has been issued; the loop re-checks the kill flag right after.
+	started := make(chan struct{})
+	killed := make(chan struct{})
+	var once sync.Once
+	f.opts.Hook = func(point string, j *Job) {
+		if point == "run:chunk" {
+			once.Do(func() { close(started) })
+			<-killed
+		}
+	}
+	j, err := f.Run(child.ID, 50_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	<-started
+	if err := f.KillMachine(child.ID); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	close(killed)
+	got := j.Wait()
+	if got.State != JobFailed || !strings.Contains(got.Error, ErrMachineKilled.Error()) {
+		t.Fatalf("got %s/%q, want failed/killed", got.State, got.Error)
+	}
+	// Kill quarantines; snapshot origin means it respawns with the flag
+	// cleared, so the machine is schedulable again.
+	info, _ := f.MachineInfo(child.ID)
+	if info.Quarantined {
+		t.Fatalf("killed machine not respawned: %+v", info)
+	}
+	if info.Respawns != 1 {
+		t.Fatalf("respawns = %d, want 1", info.Respawns)
+	}
+	if leaked := f.LeakedLocks(); len(leaked) != 0 {
+		t.Fatalf("leaked machine locks: %v", leaked)
+	}
+}
+
+func TestShutdownForcesTerminalStates(t *testing.T) {
+	f := NewFleetWith(FleetOptions{Workers: 1, DrainGrace: 30 * time.Millisecond})
+
+	// A hostile job that ignores cooperative cancellation entirely.
+	stuck, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		time.Sleep(2 * time.Second)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit stuck: %v", err)
+	}
+	// And a queued job behind it that will be shed.
+	queued, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() { f.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stuck job")
+	}
+
+	for _, j := range []*Job{stuck, queued} {
+		got := j.snapshot()
+		if !got.State.Terminal() {
+			t.Fatalf("job %s state = %s, want terminal", got.ID, got.State)
+		}
+	}
+	// New work is refused after shutdown.
+	if _, err := f.submit("run", nil, JobLimits{}, "", func(jc *JobCtx) (any, error) { return nil, nil }); !errors.Is(err, ErrFleetClosed) {
+		t.Fatalf("submit after close err = %v, want ErrFleetClosed", err)
+	}
+}
+
+func TestContainmentTripsStrikeGradually(t *testing.T) {
+	f := NewFleetWith(FleetOptions{Workers: 1, QuarantineStrikes: 3})
+	defer f.Close()
+	m, err := f.CreateMachine(bootSpec())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	e, _ := f.machine(m.ID)
+
+	// Simulate a job that completed but tripped containment once: one
+	// strike, below the threshold — no quarantine.
+	j := &Job{ID: "jx", Kind: "run", Machine: m.ID, mu: &sync.Mutex{}, entry: e, containTrips: 1}
+	f.noteJobOutcome(j, nil)
+	info, _ := f.MachineInfo(m.ID)
+	if info.Quarantined || info.Strikes != 1 {
+		t.Fatalf("after 1 trip: %+v, want 1 strike no fence", info)
+	}
+	// Two more trips cross the threshold.
+	j2 := &Job{ID: "jy", Kind: "run", Machine: m.ID, mu: &sync.Mutex{}, entry: e, containTrips: 2}
+	f.noteJobOutcome(j2, nil)
+	info, _ = f.MachineInfo(m.ID)
+	if !info.Quarantined {
+		t.Fatalf("after 3 trips: %+v, want quarantined", info)
+	}
+}

@@ -46,6 +46,16 @@ go test ./internal/bench -run '^$' -bench BenchmarkTable4Operations -benchtime 1
 echo "== chaos smoke"
 go run ./cmd/chaos -smoke
 
+echo "== fleet chaos smoke (120 control-plane faults; supervision invariants)"
+# Attacks the vfmd control plane itself — worker panics, stuck/slow jobs,
+# dropped/duplicated requests, mid-job machine kills — and asserts the
+# supervision invariants: service never crashes, every job terminal, no
+# machine lock leaked, no double-runs, respawns within cap. The full
+# report lands in OBS_ARTIFACT_DIR so CI can upload it on failure.
+fleet_obs_dir="${OBS_ARTIFACT_DIR:-/tmp/govfm-obs}"
+mkdir -p "$fleet_obs_dir"
+go run ./cmd/chaos -fleet -smoke -fleet-report "$fleet_obs_dir/fleet_chaos.json"
+
 echo "== obs overhead (simulated cycles bit-identical with observability on vs. off)"
 # The same built-in gosbi boot, once bare and once with the full
 # observability layer attached (metrics + trace ring). Observability must
