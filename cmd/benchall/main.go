@@ -33,6 +33,7 @@ func main() {
 	simhostOut := flag.String("simhost-out", "BENCH_simhost.json", "simhost JSON output path")
 	simhostBaseline := flag.String("simhost-baseline", "", "baseline simhost JSON to guard against regressions")
 	maxRegress := flag.Float64("max-regress", 30, "max %% geomean-speedup regression vs. the baseline")
+	superblock := flag.Bool("superblock", true, "enable the superblock translation tier in the full-stack simhost measurement")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -212,19 +213,19 @@ func main() {
 
 	if sel("simhost") {
 		fmt.Println("================================================================")
-		fmt.Println("Simulator host throughput: fast paths off vs. on")
-		fmt.Printf("%-14s %-18s %10s %9s %9s %8s %6s %6s\n",
-			"platform", "workload", "instret", "MIPS-off", "MIPS-on", "speedup", "tlb%", "dec%")
+		fmt.Println("Simulator host throughput: interpreter vs. fast path vs. superblocks")
+		fmt.Printf("%-14s %-18s %10s %9s %9s %9s %8s %6s %6s %6s\n",
+			"platform", "workload", "instret", "MIPS-off", "MIPS-fast", "MIPS-on", "speedup", "tlb%", "dec%", "sb%")
 		var all []*bench.SimHostResult
 		for _, mk := range []func() *hart.Config{hart.VisionFive2, hart.PremierP550} {
-			res, err := bench.SimHost(mk)
+			res, err := bench.SimHost(mk, *superblock)
 			if err != nil {
 				fail(err)
 			}
 			for _, r := range res {
-				fmt.Printf("%-14s %-18s %10d %9.2f %9.2f %7.2fx %5d%% %5d%%\n",
-					r.Platform, r.Workload, r.Instret, r.MIPSOff, r.MIPSOn, r.Speedup,
-					r.TLBHitPct, r.DecodeHitPct)
+				fmt.Printf("%-14s %-18s %10d %9.2f %9.2f %9.2f %7.2fx %5d%% %5d%% %5d%%\n",
+					r.Platform, r.Workload, r.Instret, r.MIPSOff, r.MIPSFast, r.MIPSOn, r.Speedup,
+					r.TLBHitPct, r.DecodeHitPct, r.SBRetiredPct)
 			}
 			all = append(all, res...)
 		}
@@ -313,8 +314,9 @@ func writeSimHostJSON(path string, results []*bench.SimHostResult, scale []*benc
 		SchedScale     []*bench.SchedScaleResult `json:"sched_scale"`
 		Fork           *bench.ForkLatencyResult  `json:"fork"`
 	}{
-		Note: "host throughput with acceleration caches off vs. on; " +
-			"cycles/instret are asserted bit-identical between settings; " +
+		Note: "host throughput across three execution tiers: interpreter (off), " +
+			"acceleration caches (fast), and caches + superblock translation (on); " +
+			"cycles/instret are asserted bit-identical between all tiers; " +
 			"sched_scale compares the sequential and quantum-parallel schedulers; " +
 			"fork compares COW spawn-from-snapshot against cold boot per campaign case",
 		GOOS:           runtime.GOOS,

@@ -57,6 +57,7 @@ func run(args []string, out, errw io.Writer) int {
 		fastpath = fs.String("fastpath", "on", "host acceleration caches: on, off, or both (both = equivalence mode, every case run fast and slow and compared)")
 		equivN   = fs.Int("equiv-cases", 1000, "cases per profile in -fastpath=both and -sched=both equivalence modes")
 		sched    = fs.String("sched", "", "scheduler equivalence: both = every multi-hart case run under the sequential and parallel schedulers and compared")
+		sb       = fs.String("superblock", "", "superblock equivalence: both = every case run on the interpreter, the fast path, and the superblock tier and compared")
 		forkN    = fs.Int("fork", 0, "fork-equivalence mode: run N cases per profile, each forked mid-run and compared bit-for-bit against a cold replay, swept across schedulers and fastpath settings")
 		server   = fs.String("server", "", "run the fuzz campaign through a vfmd fleet server at this base URL (e.g. http://127.0.0.1:9400) instead of in-process")
 	)
@@ -93,6 +94,15 @@ func run(args []string, out, errw io.Writer) int {
 		return runSchedEquiv(profiles, *seed, *equivN, out, errw)
 	default:
 		fmt.Fprintf(errw, "fuzzdiff: unknown -sched %q (want both)\n", *sched)
+		return 2
+	}
+
+	switch *sb {
+	case "":
+	case "both":
+		return runSBEquiv(profiles, *seed, *equivN, out, errw)
+	default:
+		fmt.Fprintf(errw, "fuzzdiff: unknown -superblock %q (want both)\n", *sb)
 		return 2
 	}
 
@@ -198,6 +208,29 @@ func runSchedEquiv(profiles []string, seed int64, cases int, out, errw io.Writer
 	}
 	fmt.Fprintf(out, "sched-equivalence: %d cases, %d seq steps, %d divergence(s) across %d profile(s) in %.1fs\n",
 		st.Cases, st.Steps, len(st.Mismatches), len(profiles), time.Since(t0).Seconds())
+	for _, m := range st.Mismatches {
+		fmt.Fprintf(out, "  DIVERGENCE %s\n", m)
+	}
+	if len(st.Mismatches) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSBEquiv drives the superblock-equivalence mode: each randomized
+// single-hart case runs three times from the identical initial state — on
+// the plain interpreter, on the fast path without superblocks, and on the
+// full stack — under the same scheduler with a live wall clock, and any
+// divergence in end state (cycle counters included) is a failure.
+func runSBEquiv(profiles []string, seed int64, cases int, out, errw io.Writer) int {
+	t0 := time.Now()
+	st, err := fuzz.RunSuperblockEquivalence(profiles, seed, cases)
+	if err != nil {
+		fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "superblock-equivalence: %d cases, %d interp steps, %d sb-retired, %d divergence(s) across %d profile(s) in %.1fs\n",
+		st.Cases, st.Steps, st.SBRetired, len(st.Mismatches), len(profiles), time.Since(t0).Seconds())
 	for _, m := range st.Mismatches {
 		fmt.Fprintf(out, "  DIVERGENCE %s\n", m)
 	}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	rvsim [-image prog.bin] [-base 0x80100000] [-platform visionfive2]
-//	      [-harts 1] [-max-steps N] [-trace] [-fastpath=true]
+//	      [-harts 1] [-max-steps N] [-trace] [-fastpath=true] [-superblock=true]
 //	      [-sched seq] [-quantum 1024]
 //	      [-trace-out boot.json] [-metrics-out metrics.json] [-metrics]
 //	      [-cpuprofile prof.out] [-memprofile heap.out]
@@ -41,6 +41,7 @@ func main() {
 	maxSteps := flag.Uint64("max-steps", 100_000_000, "step budget")
 	traceTraps := flag.Bool("trace", false, "print every trap")
 	fastpath := flag.Bool("fastpath", true, "enable host acceleration caches")
+	superblock := flag.Bool("superblock", true, "enable the superblock translation tier (requires -fastpath)")
 	sched := flag.String("sched", "seq", "execution scheduler: seq (round-robin) or par (quantum-parallel)")
 	quantum := flag.Uint64("quantum", 0, "parallel scheduler slice length in cycles (0 = default)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file")
@@ -129,6 +130,7 @@ func main() {
 		}
 	}
 	m.SetFastPath(*fastpath)
+	m.SetSuperblock(*superblock)
 	steps, halted := m.Run(*maxSteps)
 
 	fmt.Printf("console:\n%s\n", m.Uart.Output())

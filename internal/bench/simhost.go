@@ -12,32 +12,42 @@ import (
 )
 
 // Simulator host-throughput measurement: how fast the simulator itself
-// runs on the host, with the host acceleration caches on versus off. The
-// caches (predecode, software TLB, flattened PMP, PLIC memoization) must
-// be invisible to the architecture, so each workload's simulated cycle
-// count is asserted bit-identical between the two settings — the speedup
-// is pure host-side gain, never a cycle-model change.
+// runs on the host, across three execution tiers — the plain interpreter,
+// the host acceleration caches (predecode, software TLB, flattened PMP,
+// PLIC memoization), and the superblock binary-translation tier on top.
+// Every tier must be invisible to the architecture, so each workload's
+// simulated cycle and instret counts are asserted bit-identical across
+// all three settings — the speedup is pure host-side gain, never a
+// cycle-model change.
 
-// SimHostResult is one workload's on/off comparison on one platform.
+// SimHostResult is one workload's tier comparison on one platform. The
+// "on" fields are the full stack (fast path + superblocks) so the
+// top-line speedup keeps its meaning across baseline recordings; the
+// "fast" fields isolate the cache tier without translation.
 type SimHostResult struct {
 	Platform string `json:"platform"`
 	Workload string `json:"workload"`
 
-	// Architectural outcome — identical for both settings (asserted).
+	// Architectural outcome — identical for all tiers (asserted).
 	Instret uint64 `json:"instret"`
 	Cycles  uint64 `json:"cycles"`
 
 	// Host wall time (best of reps) and derived throughput.
-	HostNsOff int64   `json:"host_ns_off"`
-	HostNsOn  int64   `json:"host_ns_on"`
-	MIPSOff   float64 `json:"mips_off"`
-	MIPSOn    float64 `json:"mips_on"`
-	Speedup   float64 `json:"speedup"`
+	HostNsOff   int64   `json:"host_ns_off"`
+	HostNsFast  int64   `json:"host_ns_fast"` // caches on, superblocks off
+	HostNsOn    int64   `json:"host_ns_on"`   // full stack
+	MIPSOff     float64 `json:"mips_off"`
+	MIPSFast    float64 `json:"mips_fast"`
+	MIPSOn      float64 `json:"mips_on"`
+	SpeedupFast float64 `json:"speedup_fast"` // caches alone vs. interpreter
+	Speedup     float64 `json:"speedup"`      // full stack vs. interpreter
 
-	// Host-cache effectiveness in the fast-path-on run, from the hart's
+	// Host-tier effectiveness in the full-stack run, from the hart's
 	// perf counters (absent in pre-observability baselines).
 	TLBHitPct    uint64 `json:"tlb_hit_pct"`
 	DecodeHitPct uint64 `json:"decode_hit_pct"`
+	// Share of retired instructions executed inside superblocks.
+	SBRetiredPct uint64 `json:"sb_retired_pct"`
 }
 
 // simHostCase is one workload: a setup function returning a machine that
@@ -80,15 +90,16 @@ func simHostCases() []simHostCase {
 // fastest host time wins, damping scheduler noise on a shared host.
 const simHostReps = 2
 
-// measureSimHost runs one freshly set-up machine with the given fast-path
-// setting and reports the architectural outcome plus host wall time.
-func measureSimHost(c simHostCase, newCfg func() *hart.Config, fast bool) (cycles, instret uint64, ns int64, perf hart.PerfCounters, err error) {
+// measureSimHost runs one freshly set-up machine with the given tier
+// settings and reports the architectural outcome plus host wall time.
+func measureSimHost(c simHostCase, newCfg func() *hart.Config, fast, sb bool) (cycles, instret uint64, ns int64, perf hart.PerfCounters, err error) {
 	for rep := 0; rep < simHostReps; rep++ {
 		m, err := c.setup(newCfg)
 		if err != nil {
 			return 0, 0, 0, perf, err
 		}
 		m.SetFastPath(fast)
+		m.SetSuperblock(sb)
 		start := time.Now()
 		m.Run(2_000_000_000)
 		elapsed := time.Since(start).Nanoseconds()
@@ -112,33 +123,53 @@ func measureSimHost(c simHostCase, newCfg func() *hart.Config, fast bool) (cycle
 }
 
 // SimHost measures host throughput for every simhost workload on one
-// platform, fast paths off then on, and asserts cycle-count invariance.
-func SimHost(newCfg func() *hart.Config) ([]*SimHostResult, error) {
+// platform across the three execution tiers — interpreter, fast path,
+// full stack — and asserts cycle-count invariance between all of them.
+// superblock gates the translation tier in the full-stack measurement
+// (the -superblock benchall flag; with it off, "on" degenerates to a
+// second fast-path run).
+func SimHost(newCfg func() *hart.Config, superblock bool) ([]*SimHostResult, error) {
 	cfg := newCfg()
 	var out []*SimHostResult
 	for _, c := range simHostCases() {
-		cycOff, insOff, nsOff, _, err := measureSimHost(c, newCfg, false)
+		cycOff, insOff, nsOff, _, err := measureSimHost(c, newCfg, false, false)
 		if err != nil {
 			return nil, err
 		}
-		cycOn, insOn, nsOn, perf, err := measureSimHost(c, newCfg, true)
+		cycFast, insFast, nsFast, _, err := measureSimHost(c, newCfg, true, false)
 		if err != nil {
 			return nil, err
+		}
+		cycOn, insOn, nsOn, perf, err := measureSimHost(c, newCfg, true, superblock)
+		if err != nil {
+			return nil, err
+		}
+		if cycOff != cycFast || insOff != insFast {
+			return nil, fmt.Errorf(
+				"simhost %s/%s: host caches changed the cycle model: off=%d/%d fast=%d/%d",
+				cfg.Name, c.name, cycOff, insOff, cycFast, insFast)
 		}
 		if cycOff != cycOn || insOff != insOn {
 			return nil, fmt.Errorf(
-				"simhost %s/%s: host caches changed the cycle model: off=%d/%d on=%d/%d",
+				"simhost %s/%s: superblock tier changed the cycle model: off=%d/%d on=%d/%d",
 				cfg.Name, c.name, cycOff, insOff, cycOn, insOn)
 		}
 		r := &SimHostResult{
 			Platform: cfg.Name, Workload: c.name,
 			Instret: insOn, Cycles: cycOn,
-			HostNsOff: nsOff, HostNsOn: nsOn,
+			HostNsOff: nsOff, HostNsFast: nsFast, HostNsOn: nsOn,
 			TLBHitPct:    obs.HitRatePct(perf.TLBHits, perf.TLBMisses),
 			DecodeHitPct: obs.HitRatePct(perf.DecodeHits, perf.DecodeMisses),
 		}
+		if insOn >= perf.SBRetired {
+			r.SBRetiredPct = obs.HitRatePct(perf.SBRetired, insOn-perf.SBRetired)
+		}
 		if nsOff > 0 {
 			r.MIPSOff = float64(insOff) * 1e3 / float64(nsOff)
+		}
+		if nsFast > 0 {
+			r.MIPSFast = float64(insFast) * 1e3 / float64(nsFast)
+			r.SpeedupFast = float64(nsOff) / float64(nsFast)
 		}
 		if nsOn > 0 {
 			r.MIPSOn = float64(insOn) * 1e3 / float64(nsOn)

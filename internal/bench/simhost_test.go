@@ -14,7 +14,7 @@ func TestSimHostInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simhost sweep is not short")
 	}
-	res, err := SimHost(hart.VisionFive2)
+	res, err := SimHost(hart.VisionFive2, true)
 	if err != nil {
 		t.Fatal(err)
 	}

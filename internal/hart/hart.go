@@ -109,6 +109,9 @@ type Hart struct {
 	// scratch ring. See hostfast.go.
 	fast fastState
 	excs excScratch
+	// sb holds the superblock binary-translation tier's dispatch state.
+	// See superblock.go.
+	sb sbState
 
 	// mem is this hart's private port onto the bus: a pass-through in
 	// sequential mode, a write-buffering frozen-RAM view during parallel
@@ -142,6 +145,7 @@ func New(id int, cfg *Config, bus *mem.Bus) *Hart {
 		h.mem = mem.NewPort(bus)
 		bus.AddPageWatcher(h)
 		h.SetFastPath(true)
+		h.sb.on = true
 	}
 	return h
 }
@@ -346,7 +350,12 @@ var (
 
 // Step advances the hart by one instruction (or one interrupt/idle poll).
 // The caller (Machine) refreshes hardware interrupt lines beforehand.
+// When the scheduler armed the superblock tier (h.sb.armed), one Step call
+// may retire a whole translated block; h.sb.retired reports how many
+// sequential steps the call was equivalent to (1 otherwise, no-op steps of
+// halted or stopped harts included).
 func (h *Hart) Step() {
+	h.sb.retired = 1
 	if h.Stopped || h.Halted {
 		return
 	}
@@ -379,6 +388,16 @@ func (h *Hart) Step() {
 			}
 			h.Exception(ei.Cause, ei.Tval)
 			return
+		}
+		// Superblock dispatch point: the pending-interrupt check above has
+		// already run for this step, and the scheduler's cycle/step limits
+		// (set when it armed us) bound the block so later latch points
+		// land exactly where per-instruction stepping would put them.
+		if h.sb.armed {
+			if n := h.sbTry(); n > 0 {
+				h.sb.retired = n
+				return
+			}
 		}
 		h.exec(d)
 		return

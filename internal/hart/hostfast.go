@@ -25,6 +25,14 @@ type decPage struct {
 	armed bool   // bus write-watch currently armed for this page
 	tags  [1024]uint32
 	ins   [1024]rv.Decoded
+
+	// Superblock tier state (superblock.go), lazily allocated: hot counts
+	// dispatches per entry slot until translation; blocks holds the
+	// translated superblocks by entry slot (a direct array, not a map —
+	// the lookup is on the per-dispatch hot path), each guarded by the
+	// gen it was translated under.
+	hot    *[1024]uint8
+	blocks *[1024]*sblock
 }
 
 // invalidate drops every slot and remembers that the consumed write-watch
@@ -33,6 +41,9 @@ func (dp *decPage) invalidate() {
 	dp.gen++
 	if dp.gen == 0 { // tag wrap: make all stale tags unambiguously invalid
 		clear(dp.tags[:])
+		// Superblocks are gen-guarded too: after a wrap a stale block's
+		// recorded gen could collide with a future value, so drop them all.
+		dp.blocks = nil
 		dp.gen = 1
 	}
 	dp.armed = false
@@ -62,6 +73,13 @@ type fastState struct {
 
 	// scratch holds the decode of fetches that cannot be cached (MMIO).
 	scratch rv.Decoded
+
+	// fetchDP/fetchSlot/fetchPA record where fetchFast found the current
+	// instruction, so the superblock dispatcher (sbTry) can locate the
+	// block keyed at that physical slot. fetchDP is nil for MMIO fetches.
+	fetchDP   *decPage
+	fetchSlot int
+	fetchPA   uint64
 }
 
 // excScratch is a small ring of Exc values so the hot fault paths return
@@ -100,6 +118,12 @@ func (h *Hart) FastPathEnabled() bool { return h.fast.on }
 func (h *Hart) InvalidatePhysPage(page uint64) {
 	if dp, ok := h.fast.pages[page]; ok {
 		dp.invalidate()
+		// Drop the 1-entry lookup cache too when it fronts this page, so
+		// no later fetch can trust a stale pointer without going through
+		// the map (and the re-arm/tag checks) again.
+		if h.fast.lastPage == dp {
+			h.fast.lastPage, h.fast.lastPageBase = nil, 0
+		}
 	}
 	if _, ok := h.fast.ptePages[page]; ok {
 		h.fast.tlb.Flush()
@@ -112,7 +136,8 @@ func (h *Hart) InvalidatePhysPage(page uint64) {
 // for an already-dropped page is a no-op.
 func (h *Hart) flushDecode() {
 	clear(h.fast.pages)
-	h.fast.lastPage = nil
+	h.fast.lastPage, h.fast.lastPageBase = nil, 0
+	h.fast.fetchDP = nil
 }
 
 // flushTLB drops every cached translation (sfence.vma, satp write,
@@ -127,7 +152,7 @@ func (h *Hart) flushTLB() {
 // invalidate it. PTE pages outside RAM cannot be watched; such walks stay
 // uncached. Arming happens after the walk so the walker's own A/D-bit
 // store does not immediately kill the entry.
-func (h *Hart) tlbFill(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool, res *mmu.Result) {
+func (h *Hart) tlbFill(acc mem.AccessType, vpn uint64, k mmu.Key, res *mmu.Result) {
 	for i := 0; i < res.WalkLen; i++ {
 		p := res.Walk[i] &^ 4095
 		if !h.mem.WatchPage(p) {
@@ -135,7 +160,18 @@ func (h *Hart) tlbFill(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode
 		}
 		h.fast.ptePages[p] = struct{}{}
 	}
-	h.fast.tlb.Insert(acc, vpn, satp, epoch, priv, sum, mxr, res.PA&^4095)
+	h.fast.tlb.InsertK(acc, vpn, k, res.PA&^4095)
+}
+
+// tlbKey bundles the current translation-validity state for priv.
+func (h *Hart) tlbKey(priv rv.Mode) mmu.Key {
+	return mmu.Key{
+		Satp:  h.CSR.Satp,
+		Epoch: h.CSR.PMP.Epoch(),
+		Priv:  priv,
+		SUM:   rv.Bit(h.CSR.Mstatus, rv.MstatusSUM) != 0,
+		MXR:   rv.Bit(h.CSR.Mstatus, rv.MstatusMXR) != 0,
+	}
 }
 
 // translate maps a virtual address for an access at the given effective
@@ -159,11 +195,8 @@ func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 		return res.PA, nil
 	}
 	vpn := va >> 12
-	satp := h.CSR.Satp
-	epoch := h.CSR.PMP.Epoch()
-	sum := rv.Bit(h.CSR.Mstatus, rv.MstatusSUM) != 0
-	mxr := rv.Bit(h.CSR.Mstatus, rv.MstatusMXR) != 0
-	if paPage, ok := h.fast.tlb.Lookup(acc, vpn, satp, epoch, priv, sum, mxr); ok {
+	k := h.tlbKey(priv)
+	if paPage, ok := h.fast.tlb.LookupK(acc, vpn, k); ok {
 		h.Perf.TLBHits++
 		return paPage | va&4095, nil
 	}
@@ -176,7 +209,7 @@ func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *
 		}
 		return 0, h.exc(res.Cause, va)
 	}
-	h.tlbFill(acc, vpn, satp, epoch, priv, sum, mxr, &res)
+	h.tlbFill(acc, vpn, k, &res)
 	return res.PA, nil
 }
 
@@ -212,6 +245,7 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 					return nil, h.exc(rv.ExcInstrAccessFault, h.PC)
 				}
 				h.fast.scratch = rv.Decode(uint32(v))
+				h.fast.fetchDP = nil // never translated into superblocks
 				return &h.fast.scratch, nil
 			}
 			dp = &decPage{gen: 1}
@@ -227,6 +261,7 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 		dp.armed = true
 	}
 	i := (pa & 4095) >> 2
+	h.fast.fetchDP, h.fast.fetchSlot, h.fast.fetchPA = dp, int(i), pa
 	if dp.tags[i] != dp.gen {
 		h.Perf.DecodeMisses++
 		v, ok := h.mem.Load(pa, 4)

@@ -55,9 +55,10 @@ type Image struct {
 	Halted        bool
 	HaltReason    string
 
-	Sched    SchedKind
-	Quantum  uint64
-	FastPath bool
+	Sched      SchedKind
+	Quantum    uint64
+	FastPath   bool
+	Superblock bool
 }
 
 // Snapshot captures the complete machine as an Image in O(pages touched
@@ -88,6 +89,7 @@ func (m *Machine) Snapshot() (*Image, error) {
 		Sched:         m.Sched,
 		Quantum:       m.Quantum,
 		FastPath:      m.Harts[0].fast.on,
+		Superblock:    m.Harts[0].sb.on,
 	}
 	if m.IOPMP != nil {
 		s := m.IOPMP.Checkpoint()
@@ -129,6 +131,10 @@ func (m *Machine) LoadImageState(img *Image) error {
 	m.halted = img.Halted
 	m.haltReason = img.HaltReason
 	m.SetFastPath(img.FastPath)
+	// Only the tier switch travels in the image: translated blocks are host
+	// state, dropped with the predecode pages above; the child re-heats and
+	// re-translates (bit-identical — the fork-equivalence gate sweeps this).
+	m.SetSuperblock(img.Superblock)
 	return nil
 }
 

@@ -165,6 +165,21 @@ func (m *Machine) SetFastPath(on bool) {
 	m.Plic.SetCache(on)
 }
 
+// SetSuperblock toggles the superblock binary-translation tier on every
+// hart (superblock.go). Translations are host state only; toggling drops
+// them all and changes no architectural state.
+func (m *Machine) SetSuperblock(on bool) {
+	for _, h := range m.Harts {
+		h.SetSuperblock(on)
+	}
+}
+
+// SuperblockEnabled reports whether the superblock tier is on (hart 0
+// stands for the machine; the setter applies uniformly).
+func (m *Machine) SuperblockEnabled() bool {
+	return len(m.Harts) > 0 && m.Harts[0].sb.on
+}
+
 // LoadImage copies a binary image into RAM at addr.
 func (m *Machine) LoadImage(addr uint64, img []byte) error {
 	return m.Bus.WriteBytes(addr, img)
@@ -193,6 +208,7 @@ func (m *Machine) Reset(pc uint64) {
 		h.resValid, h.resAddr = false, 0
 		h.CSR = newCSRFile(h.Cfg)
 		h.inSlice, h.park = false, parkNone
+		h.sb.armed = false
 		if h.mem != nil {
 			h.mem.Discard()
 		}
@@ -215,7 +231,17 @@ func (m *Machine) Reset(pc uint64) {
 // Step advances every runnable hart by one instruction and the global time
 // by the cycles the slowest hart consumed (cores share a wall clock). This
 // is always the sequential scheduler; Run dispatches on Sched.
-func (m *Machine) Step() {
+func (m *Machine) Step() { m.stepSeq(1) }
+
+// stepSeq runs one sequential machine step with a step budget. With a
+// budget above one and an eligible machine — a single hart with the
+// superblock tier and fast paths on, and no per-step watchdog — the hart
+// may retire up to budget instructions from one translated superblock
+// within this step. The block is bounded by sbSeqHeadroom so mtime, the
+// interrupt latch points, and the whole architectural trace stay
+// bit-identical to per-instruction stepping. The return value is the
+// number of sequential steps this call was equivalent to (>= 1).
+func (m *Machine) stepSeq(budget uint64) uint64 {
 	// Latch every hart's interrupt lines before any hart steps, so an MSIP
 	// or mtimecmp write during this step becomes visible to every hart at
 	// the same step boundary. (Sampling per hart just before its own step
@@ -224,10 +250,52 @@ func (m *Machine) Step() {
 	for _, h := range m.Harts {
 		h.CSR.SetHWLines(m.Clint.Pending(h.ID) | m.Plic.Pending(h.ID))
 	}
+	stepEq := uint64(1)
 	var maxConsumed uint64
+	// Superblocks stay off on multi-hart machines under this scheduler:
+	// one hart leaping ahead would change the per-instruction round-robin
+	// interleaving the machine's memory model is defined by.
+	arm := budget > 1 && len(m.Harts) == 1
 	for _, h := range m.Harts {
 		before := h.Cycles
-		h.Step()
+		if arm && h.sb.on && h.fast.on && h.Watchdog == nil &&
+			h.Waiting && !h.Stopped && !h.Halted {
+			// WFI fast-forward: batch the idle polls this step's latch has
+			// already proven identical (see wfiBatch). Falls through to a
+			// normal step when the hart is waking or a comparator is close.
+			if k := m.wfiBatch(h, budget); k > 0 {
+				if k > stepEq {
+					stepEq = k
+				}
+				if c := h.Cycles - before; c > maxConsumed {
+					maxConsumed = c
+				}
+				continue
+			}
+		}
+		if arm && h.sb.on && h.fast.on && h.Watchdog == nil &&
+			!h.Waiting && !h.Stopped && !h.Halted {
+			// The timer-headroom cycle limit is deferred to runBlock via
+			// the lazy closure: most armed steps never dispatch a block
+			// (cold code, untranslatable entries, waiting in a trap
+			// handler), and paying sbSeqHeadroom's divisions on each of
+			// them shows up on trap-heavy workloads.
+			if h.sb.limitFn == nil {
+				hh := h
+				h.sb.limitFn = func() uint64 { return m.sbSeqHeadroom(hh) }
+			}
+			h.sb.armed = true
+			h.sb.lazyLimit = true
+			h.sb.stepLimit = budget
+			h.Step()
+			h.sb.armed = false
+			h.sb.lazyLimit = false
+			if h.sb.retired > stepEq {
+				stepEq = h.sb.retired
+			}
+		} else {
+			h.Step()
+		}
 		if h.Watchdog != nil {
 			h.Watchdog(h)
 		}
@@ -243,19 +311,102 @@ func (m *Machine) Step() {
 		m.Clint.Advance(m.timeRemainder / m.Cfg.CyclesPerTick)
 		m.timeRemainder %= m.Cfg.CyclesPerTick
 	}
+	return stepEq
+}
+
+// wfiBatch advances a WFI-waiting hart by up to budget idle polls in one
+// call, returning how many sequential steps it was equivalent to (0 = not
+// applicable, the caller must take a normal step). It is the idle-tail
+// counterpart of the superblock cycle-budget argument: an idle poll reads
+// only state that is constant between timer-comparator crossings (devices
+// change state on MMIO or mtime ticks, never spontaneously, and no other
+// hart runs — the caller gates on a single-hart machine), so k identical
+// polls can be charged at once provided every batched poll's latch point
+// would still have seen the comparators in the future. sbSeqHeadroom gives
+// exactly that horizon. Cycles, mtime advancement, and the wake step all
+// land bit-identically with per-instruction stepping.
+func (m *Machine) wfiBatch(h *Hart, budget uint64) uint64 {
+	// Mirror the idle-poll preconditions of Hart.Step exactly: a deliverable
+	// or merely-pending-and-enabled interrupt wakes the hart, and Mie == 0
+	// is a lockup halt — all handled by the normal step path.
+	if h.CSR.Mip(h.Time())&h.CSR.Mie != 0 || h.CSR.Mie == 0 {
+		return 0
+	}
+	w := h.Cfg.Cost.WFIIdle
+	if w == 0 {
+		return 0
+	}
+	l := m.sbSeqHeadroom(h)
+	if l == 0 {
+		return 0 // a comparator crosses at this step's Advance: step normally
+	}
+	// Poll i (1-based) latches with consumed (i-1)*w, which must stay
+	// strictly below the headroom, so at most ceil(l/w) polls batch.
+	k := budget
+	if l != ^uint64(0) && (l+w-1)/w < k {
+		k = (l + w - 1) / w
+	}
+	if k > 1<<32 {
+		k = 1 << 32 // bound the per-call leap; Run simply calls again
+	}
+	if k == 0 {
+		return 0
+	}
+	h.Cycles += k * w
+	return k
+}
+
+// sbSeqHeadroom returns how many cycles hart h may consume inside one
+// sequential machine step before a timer comparator that is currently in
+// the future would fire — i.e. before per-instruction stepping would have
+// latched a newly pending timer interrupt between two instructions. Blocks
+// must stop strictly below this limit. Timers are the only mip sources
+// that can change mid-block: every other contributor needs an MMIO store,
+// a CSR write, or a trap, all of which terminate a block (and external
+// input from a harness arrives between Run calls, not mid-step).
+func (m *Machine) sbSeqHeadroom(h *Hart) uint64 {
+	cpt := m.Cfg.CyclesPerTick
+	if cpt == 0 {
+		return ^uint64(0) // frozen clock: no timer can ever fire
+	}
+	now := m.Clint.Time()
+	limit := ^uint64(0)
+	consider := func(t uint64) {
+		if t <= now {
+			// Already expired: pending (or masked) exactly as the
+			// interpreter sees it; nothing new can fire mid-block.
+			return
+		}
+		d := t - now
+		if d > ^uint64(0)/cpt {
+			return // unreachably far: d*cpt would overflow
+		}
+		// The interpreter latches before each instruction with
+		// mtime = now + (timeRemainder+consumed)/cpt, so the comparator
+		// stays in the future exactly while consumed < d*cpt - remainder.
+		if l := d*cpt - m.timeRemainder; l < limit {
+			limit = l
+		}
+	}
+	consider(m.Clint.Mtimecmp(h.ID))
+	if h.CSR.SstcEnabled() {
+		consider(h.CSR.Stimecmp)
+	}
+	return limit
 }
 
 // Run advances the machine until it halts or maxSteps machine steps elapse
 // (under SchedPar, until every hart has executed up to maxSteps
 // instructions). It returns the number of steps taken and whether the
-// machine halted.
+// machine halted. Under SchedSeq each iteration may retire a whole
+// superblock, counted as the equivalent number of per-instruction steps.
 func (m *Machine) Run(maxSteps uint64) (uint64, bool) {
 	if m.Sched == SchedPar {
 		return m.runPar(maxSteps)
 	}
 	var steps uint64
-	for steps = 0; steps < maxSteps && !m.halted; steps++ {
-		m.Step()
+	for steps < maxSteps && !m.halted {
+		steps += m.stepSeq(maxSteps - steps)
 	}
 	return steps, m.halted
 }

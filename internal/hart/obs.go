@@ -27,6 +27,15 @@ type PerfCounters struct {
 	// Traps taken, total and by cause (see trapCauseIndex).
 	Traps        uint64
 	TrapsByCause [64]uint64
+	// Superblock tier outcomes (superblock.go): translations built, block
+	// dispatches that retired at least one instruction, instructions
+	// retired inside blocks, entry-guard misses, and in-block op aborts
+	// that fell back to the interpreter.
+	SBTranslations uint64
+	SBHits         uint64
+	SBRetired      uint64
+	SBGuardMisses  uint64
+	SBAborts       uint64
 }
 
 // trapCauseIndex maps an mcause value into TrapsByCause: exception codes
@@ -74,6 +83,7 @@ func (m *Machine) AttachObs(o *obs.Observer) {
 	}
 	r.Collect(func(emit func(name string, value uint64)) {
 		var tlbH, tlbM, decH, decM, walks, traps, instret, cycles uint64
+		var sbT, sbH, sbR, sbG, sbA uint64
 		for _, h := range m.Harts {
 			p := &h.Perf
 			pfx := fmt.Sprintf("hart%d.", h.ID)
@@ -93,6 +103,11 @@ func (m *Machine) AttachObs(o *obs.Observer) {
 			}
 			emit(pfx+"pmp.checks", h.CSR.PMP.Perf.Checks)
 			emit(pfx+"pmp.fast_hits", h.CSR.PMP.Perf.FastHits)
+			emit(pfx+"sb.translations", p.SBTranslations)
+			emit(pfx+"sb.hits", p.SBHits)
+			emit(pfx+"sb.retired", p.SBRetired)
+			emit(pfx+"sb.guard_misses", p.SBGuardMisses)
+			emit(pfx+"sb.aborts", p.SBAborts)
 			tlbH += p.TLBHits
 			tlbM += p.TLBMisses
 			decH += p.DecodeHits
@@ -101,6 +116,11 @@ func (m *Machine) AttachObs(o *obs.Observer) {
 			traps += p.Traps
 			instret += h.Instret
 			cycles += h.Cycles
+			sbT += p.SBTranslations
+			sbH += p.SBHits
+			sbR += p.SBRetired
+			sbG += p.SBGuardMisses
+			sbA += p.SBAborts
 		}
 		emit("sim.cycles", cycles)
 		emit("sim.instret", instret)
@@ -112,6 +132,17 @@ func (m *Machine) AttachObs(o *obs.Observer) {
 		emit("sim.decode.hits", decH)
 		emit("sim.decode.misses", decM)
 		emit("sim.decode.hit_pct", obs.HitRatePct(decH, decM))
+		emit("sim.sb.translations", sbT)
+		emit("sim.sb.hits", sbH)
+		emit("sim.sb.retired", sbR)
+		emit("sim.sb.guard_misses", sbG)
+		emit("sim.sb.aborts", sbA)
+		// Share of all retired instructions that ran inside superblocks.
+		// (Perf counters survive Machine.Reset while instret does not, so
+		// guard the subtraction across reboots.)
+		if instret >= sbR {
+			emit("sim.sb.retired_pct", obs.HitRatePct(sbR, instret-sbR))
+		}
 
 		emit("dev.clint.timer_programs", m.Clint.Perf.TimerPrograms)
 		emit("dev.clint.ipi_posts", m.Clint.Perf.IPIPosts)

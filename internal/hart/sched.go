@@ -133,13 +133,27 @@ func (h *Hart) runSlice(quantum, stepCap uint64) uint64 {
 	h.park = parkNone
 	h.mem.BeginSlice()
 	start := h.Cycles
+	// The superblock tier is armed per step with the remaining quantum and
+	// step cap as limits, so a block stops exactly where this loop's own
+	// conditions would have stopped per-instruction execution. The slice
+	// is the natural home for blocks: interrupt lines and mtime are frozen
+	// for the whole round, so no new interrupt can appear mid-block.
+	arm := h.sb.on && h.fast.on
 	var steps uint64
 	for steps < stepCap && !h.Halted && !h.Stopped && h.Cycles-start < quantum {
-		h.Step()
+		if arm && stepCap-steps > 1 {
+			h.sb.armed = true
+			h.sb.cycleLimit = quantum - (h.Cycles - start)
+			h.sb.stepLimit = stepCap - steps
+			h.Step()
+			h.sb.armed = false
+		} else {
+			h.Step()
+		}
 		if h.park == parkReplay {
 			break
 		}
-		steps++
+		steps += h.sb.retired
 		if h.park != parkNone || h.mem.Full() {
 			break
 		}

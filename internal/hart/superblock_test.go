@@ -1,0 +1,469 @@
+package hart
+
+import (
+	"testing"
+
+	"govfm/internal/asm"
+	"govfm/internal/rv"
+)
+
+// Superblock-tier tests. The tier only arms when a machine step carries a
+// budget above one (Machine.Run under the sequential scheduler, or a
+// parallel slice), so these tests compare END STATES after Run(budget)
+// rather than stepping per-instruction — per-step lockstep would never
+// execute a block. The interpreter configuration of the same program is
+// the oracle; cycle and instret counters must match bit for bit.
+
+// sbMachine builds one single-hart machine loaded with body, with the
+// fast path and superblock tier set as given.
+func sbMachine(t *testing.T, body func(a *asm.Asm), fast, sb bool) *Machine {
+	t.Helper()
+	return sbMachineN(t, 1, body, fast, sb)
+}
+
+func sbMachineN(t *testing.T, harts int, body func(a *asm.Asm), fast, sb bool) *Machine {
+	t.Helper()
+	a := asm.New(DramBase)
+	body(a)
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := VisionFive2()
+	cfg.Harts = harts
+	m, err := NewMachine(cfg, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(DramBase, img); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(DramBase)
+	m.SetFastPath(fast)
+	m.SetSuperblock(sb)
+	return m
+}
+
+// sbCompareEnd asserts two finished machines agree on every per-hart
+// architectural observable, cycle counters included.
+func sbCompareEnd(t *testing.T, want, got *Machine) {
+	t.Helper()
+	wh, wr := want.Halted()
+	gh, gr := got.Halted()
+	if wh != gh || wr != gr {
+		t.Fatalf("halt: want=%v/%q got=%v/%q", wh, wr, gh, gr)
+	}
+	for i := range want.Harts {
+		hw, hg := want.Harts[i], got.Harts[i]
+		if hw.Cycles != hg.Cycles || hw.Instret != hg.Instret || hw.SInstret != hg.SInstret {
+			t.Fatalf("hart%d counters: want cycles=%d instret=%d/%d got cycles=%d instret=%d/%d",
+				i, hw.Cycles, hw.Instret, hw.SInstret, hg.Cycles, hg.Instret, hg.SInstret)
+		}
+		if hw.PC != hg.PC || hw.Mode != hg.Mode {
+			t.Fatalf("hart%d pc/mode: want=%#x/%v got=%#x/%v", i, hw.PC, hw.Mode, hg.PC, hg.Mode)
+		}
+		if hw.Regs != hg.Regs {
+			for r := range hw.Regs {
+				if hw.Regs[r] != hg.Regs[r] {
+					t.Fatalf("hart%d x%d: want=%#x got=%#x", i, r, hw.Regs[r], hg.Regs[r])
+				}
+			}
+		}
+		for _, c := range []struct {
+			name    string
+			wv, gv  uint64
+		}{
+			{"mstatus", hw.CSR.Mstatus, hg.CSR.Mstatus},
+			{"mcause", hw.CSR.Mcause, hg.CSR.Mcause},
+			{"mepc", hw.CSR.Mepc, hg.CSR.Mepc},
+			{"satp", hw.CSR.Satp, hg.CSR.Satp},
+		} {
+			if c.wv != c.gv {
+				t.Fatalf("hart%d %s: want=%#x got=%#x", i, c.name, c.wv, c.gv)
+			}
+		}
+	}
+}
+
+// hotLoopBody emits a straight-line ALU loop of `iters` passes — long
+// enough to cross the translation heat threshold many times over.
+func hotLoopBody(iters uint64) func(a *asm.Asm) {
+	return func(a *asm.Asm) {
+		a.Li(asm.A0, 0)
+		a.Li(asm.A1, 3)
+		a.Li(asm.S1, iters)
+		a.Label("loop")
+		a.Add(asm.A0, asm.A0, asm.A1)
+		a.Xor(asm.A2, asm.A0, asm.S1)
+		a.Slli(asm.A3, asm.A2, 1)
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "loop")
+		exit(a)
+	}
+}
+
+// TestSuperblockHotLoop runs a hot loop under the interpreter, the fast
+// path, and the full stack, and requires bit-identical end states while
+// the full stack actually retires instructions inside blocks.
+func TestSuperblockHotLoop(t *testing.T) {
+	interp := sbMachine(t, hotLoopBody(200), false, false)
+	fast := sbMachine(t, hotLoopBody(200), true, false)
+	full := sbMachine(t, hotLoopBody(200), true, true)
+	for _, m := range []*Machine{interp, fast, full} {
+		m.Run(5000)
+		mustHalt(t, m)
+	}
+	sbCompareEnd(t, interp, fast)
+	sbCompareEnd(t, interp, full)
+	p := &full.Harts[0].Perf
+	if p.SBTranslations == 0 || p.SBRetired == 0 {
+		t.Fatalf("superblock tier never engaged: translations=%d retired=%d",
+			p.SBTranslations, p.SBRetired)
+	}
+	if fast.Harts[0].Perf.SBRetired != 0 {
+		t.Fatalf("superblocks retired with the tier off: %d", fast.Harts[0].Perf.SBRetired)
+	}
+}
+
+// TestSuperblockSelfModify patches an instruction inside a loop that has
+// already been translated into a superblock: the store must invalidate
+// the block (via the predecode page watch) and the patched encoding must
+// execute, with counters identical to the interpreter.
+func TestSuperblockSelfModify(t *testing.T) {
+	patched := encodeOne(t, func(a *asm.Asm) { a.Addi(asm.A0, asm.A0, 100) })
+	body := func(a *asm.Asm) {
+		a.Li(asm.A0, 0)
+		a.Li(asm.S1, 40) // well past the heat threshold before the patch
+		a.La(asm.T0, "target")
+		a.Li(asm.T1, uint64(patched))
+		a.Label("loop")
+		a.Label("target")
+		a.Addi(asm.A0, asm.A0, 1)
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "loop")
+		a.Bnez(asm.T3, "done") // second fall-through: finished
+		// Loop is hot and translated; patch its first instruction and run
+		// it once more — the re-entry must fetch the patched encoding.
+		a.Li(asm.T3, 1)
+		a.Sw(asm.T1, asm.T0, 0)
+		a.Li(asm.S1, 1)
+		a.J("loop")
+		a.Label("done")
+		exit(a)
+	}
+	interp := sbMachine(t, body, false, false)
+	full := sbMachine(t, body, true, true)
+	interp.Run(5000)
+	full.Run(5000)
+	mustHalt(t, interp)
+	mustHalt(t, full)
+	sbCompareEnd(t, interp, full)
+	h := full.Harts[0]
+	if h.Regs[asm.A0] != 40+100 {
+		t.Errorf("a0 = %d, want 140 (stale superblock executed?)", h.Regs[asm.A0])
+	}
+	if h.Perf.SBRetired == 0 {
+		t.Fatalf("superblock tier never engaged")
+	}
+}
+
+// TestSuperblockSv39Loop runs a hot S-mode loop through a translated
+// address, rewrites the leaf PTE mid-run (with sfence.vma), and loops
+// again: blocks translated under the old mapping must not survive, and
+// counters must match the interpreter exactly.
+func TestSuperblockSv39Loop(t *testing.T) {
+	body := func(a *asm.Asm) {
+		sv39Prologue(a)
+		a.Label("smain")
+		a.Li(asm.S2, testVA)
+		a.Li(asm.A0, 0)
+		a.Li(asm.S1, 40)
+		a.Label("loop1")
+		a.Ld(asm.T0, asm.S2, 0) // 111
+		a.Add(asm.A0, asm.A0, asm.T0)
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "loop1")
+		a.Li(asm.T0, ptL0) // remap the leaf through the identity window
+		a.Li(asm.T1, pte(frameP2, pteRWAD))
+		a.Sd(asm.T1, asm.T0, 0)
+		a.SfenceVMA(asm.X0, asm.X0)
+		a.Li(asm.S1, 40)
+		a.Label("loop2")
+		a.Ld(asm.T0, asm.S2, 0) // must read 222 now
+		a.Add(asm.A1, asm.A1, asm.T0)
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "loop2")
+		a.Ecall()
+		a.Label("mtrap")
+		exit(a)
+	}
+	interp := sbMachine(t, body, false, false)
+	full := sbMachine(t, body, true, true)
+	interp.Run(5000)
+	full.Run(5000)
+	mustHalt(t, interp)
+	mustHalt(t, full)
+	sbCompareEnd(t, interp, full)
+	h := full.Harts[0]
+	if h.Regs[asm.A0] != 40*111 || h.Regs[asm.A1] != 40*222 {
+		t.Errorf("a0/a1 = %d/%d, want %d/%d (stale translation in a block?)",
+			h.Regs[asm.A0], h.Regs[asm.A1], 40*111, 40*222)
+	}
+	if h.Perf.SBRetired == 0 {
+		t.Fatalf("superblock tier never engaged under Sv39")
+	}
+}
+
+// TestSuperblockPMPEpochGuard reconfigures a PMP entry on every loop pass:
+// each reconfiguration bumps the PMP epoch, so every translated block's
+// entry guard goes stale immediately. End state must still be identical,
+// and guard misses must actually occur.
+func TestSuperblockPMPEpochGuard(t *testing.T) {
+	body := func(a *asm.Asm) {
+		pmpOpen(a)
+		a.Li(asm.A0, 0)
+		a.Li(asm.S1, 200)
+		a.Label("loop")
+		a.Csrw(rv.CSRPmpaddr0+6, asm.S1) // entry 6 is OFF: inert, but bumps the epoch
+		a.Addi(asm.A0, asm.A0, 1)
+		a.Xor(asm.A2, asm.A0, asm.S1)
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "loop")
+		exit(a)
+	}
+	interp := sbMachine(t, body, false, false)
+	full := sbMachine(t, body, true, true)
+	interp.Run(5000)
+	full.Run(5000)
+	mustHalt(t, interp)
+	mustHalt(t, full)
+	sbCompareEnd(t, interp, full)
+	if full.Harts[0].Perf.SBGuardMisses == 0 {
+		t.Fatalf("no guard misses despite per-pass PMP epoch bumps")
+	}
+}
+
+// TestSuperblockTimerInterruptExact is the interrupt-placement regression
+// test: a machine timer comparator crosses in the middle of a hot,
+// translated loop, with the interrupt enabled. The superblock machine
+// must take the trap after exactly the same retired instruction — same
+// instret, same cycles, same loop counter — as the interpreter, i.e. a
+// block never runs past the cycle at which the interpreter's per-step
+// interrupt latch would have preempted.
+func TestSuperblockTimerInterruptExact(t *testing.T) {
+	body := func(a *asm.Asm) {
+		a.La(asm.T0, "mtrap")
+		a.Csrw(rv.CSRMtvec, asm.T0)
+		a.Li(asm.T0, 1<<7) // MTIE
+		a.Csrw(rv.CSRMie, asm.T0)
+		a.Li(asm.T0, 1<<3) // MIE
+		a.Csrrs(asm.X0, rv.CSRMstatus, asm.T0)
+		a.Li(asm.A0, 0)
+		a.Li(asm.S1, 100000)
+		a.Label("loop")
+		a.Addi(asm.A0, asm.A0, 1)
+		a.Xor(asm.A2, asm.A0, asm.S1)
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "loop")
+		exit(a) // only reached if the interrupt never fires
+		a.Label("mtrap")
+		a.Csrr(asm.A5, rv.CSRMcause)
+		exit(a)
+	}
+	const cmp = 13 // mtime ticks; crosses a few thousand cycles in, mid-loop
+	interp := sbMachine(t, body, false, false)
+	full := sbMachine(t, body, true, true)
+	interp.Clint.SetMtimecmp(0, cmp)
+	full.Clint.SetMtimecmp(0, cmp)
+	interp.Run(100000)
+	full.Run(100000)
+	mustHalt(t, interp)
+	mustHalt(t, full)
+	sbCompareEnd(t, interp, full)
+	h := full.Harts[0]
+	if h.Regs[asm.A5] != rv.Cause(7, true) {
+		t.Fatalf("mcause = %#x, want machine timer interrupt", h.Regs[asm.A5])
+	}
+	if h.Regs[asm.A0] == 0 || h.Regs[asm.A0] >= 100000 {
+		t.Fatalf("interrupt did not land mid-loop: a0 = %d", h.Regs[asm.A0])
+	}
+	if h.Perf.SBRetired == 0 {
+		t.Fatalf("superblock tier never engaged before the interrupt")
+	}
+}
+
+// TestSuperblockParQuantumBoundary runs the hot loop under the parallel
+// scheduler with a deliberately odd quantum, superblocks on and off: a
+// block must stop at exactly the cycle the per-instruction slice loop
+// would have, so end states (cycles included) match bit for bit.
+func TestSuperblockParQuantumBoundary(t *testing.T) {
+	for _, q := range []uint64{7, 64, 1024} {
+		off := sbMachine(t, hotLoopBody(300), true, false)
+		on := sbMachine(t, hotLoopBody(300), true, true)
+		for _, m := range []*Machine{off, on} {
+			m.Sched = SchedPar
+			m.Quantum = q
+			m.RunParBudget(5000)
+		}
+		mustHalt(t, off)
+		mustHalt(t, on)
+		sbCompareEnd(t, off, on)
+		if on.Harts[0].Perf.SBRetired == 0 {
+			t.Fatalf("quantum %d: superblock tier never engaged under par", q)
+		}
+	}
+}
+
+// TestSuperblockForkDropsTranslations is the snapshot/fork satellite: a
+// fork taken mid-run must not carry translated blocks (they are host
+// state), the child must re-heat and re-translate, and parent and child
+// must finish bit-identically.
+func TestSuperblockForkDropsTranslations(t *testing.T) {
+	parent := sbMachine(t, hotLoopBody(400), true, true)
+	parent.Run(600) // hot: blocks translated and running
+	if parent.Harts[0].Perf.SBTranslations == 0 {
+		t.Fatalf("parent never translated before the fork")
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := child.Harts[0]
+	if !hc.sb.on {
+		t.Fatalf("child lost the superblock tier switch")
+	}
+	if len(hc.fast.pages) != 0 || hc.fast.lastPage != nil {
+		t.Fatalf("child carried host decode state across the fork")
+	}
+	parent.Run(5000)
+	child.Run(5000)
+	mustHalt(t, parent)
+	mustHalt(t, child)
+	sbCompareEnd(t, parent, child)
+	if hc.Perf.SBTranslations == 0 {
+		t.Fatalf("child never re-translated after the fork")
+	}
+}
+
+// TestSuperblockImageRoundTrip checks the tier switch travels in the
+// image both ways.
+func TestSuperblockImageRoundTrip(t *testing.T) {
+	for _, sb := range []bool{true, false} {
+		m := sbMachine(t, hotLoopBody(50), true, sb)
+		m.Run(100)
+		img, err := m.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.Superblock != sb {
+			t.Fatalf("image records superblock=%v, want %v", img.Superblock, sb)
+		}
+		spawned, err := SpawnFromImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spawned.SuperblockEnabled() != sb {
+			t.Fatalf("spawned machine superblock=%v, want %v", spawned.SuperblockEnabled(), sb)
+		}
+	}
+}
+
+// TestInvalidatePhysPageDropsLastPage is the satellite-1 regression: the
+// 1-entry page-lookup cache must be dropped when the page it fronts is
+// invalidated, so no later fetch can trust the stale pointer without
+// re-entering the map.
+func TestInvalidatePhysPageDropsLastPage(t *testing.T) {
+	m := sbMachine(t, hotLoopBody(100), true, true)
+	m.Run(20)
+	h := m.Harts[0]
+	if h.fast.lastPage == nil {
+		t.Fatalf("precondition: lookup cache not warm after 20 steps")
+	}
+	page := h.fast.lastPageBase
+	h.InvalidatePhysPage(page)
+	if h.fast.lastPage != nil || h.fast.lastPageBase != 0 {
+		t.Fatalf("lookup cache survived InvalidatePhysPage of its own page")
+	}
+	// Invalidating an unrelated page must keep the cache.
+	m.Run(20)
+	if h.fast.lastPage == nil {
+		t.Fatalf("precondition: lookup cache not re-warmed")
+	}
+	h.InvalidatePhysPage(h.fast.lastPageBase + 0x100000)
+	if h.fast.lastPage == nil {
+		t.Fatalf("lookup cache dropped by an unrelated page invalidation")
+	}
+}
+
+// TestCrossHartCodePatch is the behavioral half of satellite 1: another
+// hart stores into the page hart 0 is currently executing (and fronting
+// with the 1-entry lookup cache); hart 0 must fetch the patched encoding.
+func TestCrossHartCodePatch(t *testing.T) {
+	patched := encodeOne(t, func(a *asm.Asm) { a.Addi(asm.A0, asm.A0, 100) })
+	body := func(a *asm.Asm) {
+		a.Csrr(asm.T0, rv.CSRMhartid)
+		a.Bnez(asm.T0, "hart1")
+		// Hart 0: delay loop long enough for hart 1's patch to land, then
+		// fall through the patched slot.
+		a.Li(asm.A0, 0)
+		a.Li(asm.S1, 200)
+		a.Label("delay")
+		a.Addi(asm.S1, asm.S1, -1)
+		a.Bnez(asm.S1, "delay")
+		a.Label("slot")
+		a.Nop() // hart 1 patches this to addi a0,a0,100
+		exit(a)
+		// Hart 1: patch hart 0's slot, then spin until the machine halts.
+		a.Label("hart1")
+		a.La(asm.T1, "slot")
+		a.Li(asm.T2, uint64(patched))
+		a.Sw(asm.T2, asm.T1, 0)
+		a.Label("spin")
+		a.J("spin")
+	}
+	for _, sb := range []bool{false, true} {
+		m := sbMachineN(t, 2, body, true, sb)
+		m.Run(2000)
+		mustHalt(t, m)
+		if got := m.Harts[0].Regs[asm.A0]; got != 100 {
+			t.Errorf("sb=%v: a0 = %d, want 100 (stale decode after cross-hart patch)", sb, got)
+		}
+	}
+}
+
+// TestDecPageGenWrap is the satellite-2 regression: forcing the predecode
+// generation counter through its uint32 wrap must leave no stale tag
+// valid and no translated block alive.
+func TestDecPageGenWrap(t *testing.T) {
+	dp := &decPage{gen: ^uint32(0)}
+	for i := range dp.tags {
+		dp.tags[i] = dp.gen // every slot valid at the pre-wrap generation
+	}
+	dp.blocks = new([1024]*sblock)
+	dp.blocks[3] = &sblock{gen: dp.gen}
+	dp.invalidate()
+	if dp.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", dp.gen)
+	}
+	for i, tag := range dp.tags {
+		if tag == dp.gen {
+			t.Fatalf("slot %d still validates after generation wrap", i)
+		}
+	}
+	if dp.blocks != nil {
+		t.Fatalf("translated blocks survived the generation wrap")
+	}
+	// A non-wrapping invalidate must keep the block array (guard checks
+	// catch the gen change) but advance the generation.
+	dp2 := &decPage{gen: 7}
+	dp2.tags[0] = 7
+	dp2.blocks = new([1024]*sblock)
+	dp2.blocks[0] = &sblock{gen: 7}
+	dp2.invalidate()
+	if dp2.gen != 8 || dp2.tags[0] == dp2.gen {
+		t.Fatalf("plain invalidate broken: gen=%d tag=%d", dp2.gen, dp2.tags[0])
+	}
+	if b := dp2.blocks[0]; b == nil || b.gen == dp2.gen {
+		t.Fatalf("plain invalidate must leave blocks to the entry guard")
+	}
+}

@@ -57,6 +57,43 @@ func tlbFlags(sum, mxr bool) uint8 {
 // Flush invalidates every entry in O(1) by advancing the generation.
 func (t *TLB) Flush() { t.gen++ }
 
+// Key bundles the translation-validity state a lookup is performed under.
+// Callers that perform many lookups under unchanged state (the superblock
+// tier hoists one Key per block dispatch — CSR writes, traps, and xrets are
+// all block terminators, so the state cannot change mid-block) build it
+// once and use LookupK/InsertK.
+type Key struct {
+	Satp  uint64
+	Epoch uint64 // pmp.File.Epoch at lookup
+	Priv  rv.Mode
+	SUM   bool
+	MXR   bool
+}
+
+// LookupK is Lookup with the validity state pre-bundled in a Key.
+func (t *TLB) LookupK(acc mem.AccessType, vpn uint64, k Key) (uint64, bool) {
+	e := &t.sets[acc][vpn%tlbSets]
+	if e.valid && e.vpn == vpn && e.satp == k.Satp && e.epoch == k.Epoch &&
+		e.gen == t.gen && e.priv == k.Priv && e.flags == tlbFlags(k.SUM, k.MXR) {
+		return e.paPage, true
+	}
+	return 0, false
+}
+
+// InsertK is Insert with the validity state pre-bundled in a Key.
+func (t *TLB) InsertK(acc mem.AccessType, vpn uint64, k Key, paPage uint64) {
+	t.sets[acc][vpn%tlbSets] = tlbEntry{
+		valid:  true,
+		priv:   k.Priv,
+		flags:  tlbFlags(k.SUM, k.MXR),
+		vpn:    vpn,
+		satp:   k.Satp,
+		epoch:  k.Epoch,
+		gen:    t.gen,
+		paPage: paPage,
+	}
+}
+
 // Lookup returns the cached physical page for virtual page vpn (va>>12)
 // under the given translation state, if present.
 func (t *TLB) Lookup(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool) (uint64, bool) {

@@ -84,8 +84,15 @@ func (t *Tracer) Emit(e Event) {
 	}
 	t.mu.Lock()
 	t.emitted++
-	for _, fn := range t.subs {
-		fn(&e)
+	if len(t.subs) > 0 {
+		// Copy before taking the address: handing &e itself to the
+		// subscribers makes the parameter escape, which would heap-allocate
+		// every Event at every call site — including the nil-receiver and
+		// subscriber-less calls the trap path makes unconditionally.
+		ec := e
+		for _, fn := range t.subs {
+			fn(&ec)
+		}
 	}
 	if cap(t.buf) > 0 {
 		if t.n < cap(t.buf) {

@@ -87,6 +87,7 @@ type File struct {
 	fast     bool
 	segDirty bool
 	nSeg     int
+	lastSeg  int // hint: segment that resolved the previous check
 	segBase  [2*MaxEntries + 2]uint64
 	segOwner [2*MaxEntries + 2]int8
 
@@ -403,6 +404,7 @@ func (f *File) rebuildSegs() {
 		f.segOwner[f.nSeg] = owner
 		f.nSeg++
 	}
+	f.lastSeg = 0
 	f.segDirty = false
 }
 
@@ -424,16 +426,25 @@ func (f *File) checkFast(addr uint64, size int, acc mem.AccessType, mode rv.Mode
 	if f.segDirty {
 		f.rebuildSegs()
 	}
-	// Binary search for the segment containing addr: greatest k with
-	// segBase[k] <= addr. Segment 0 starts at 0, so k is well-defined.
-	lo, hi := 0, f.nSeg-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if f.segBase[mid] <= addr {
-			lo = mid
-		} else {
-			hi = mid - 1
+	// Find the segment containing addr: greatest k with segBase[k] <= addr
+	// (segment 0 starts at 0, so k is well-defined). Consecutive checks
+	// overwhelmingly land in the segment that answered the last one — the
+	// straight-line fetch stream, a superblock's data accesses — so a
+	// one-entry hint short-circuits the binary search.
+	lo := f.lastSeg
+	if lo >= f.nSeg || f.segBase[lo] > addr ||
+		(lo+1 < f.nSeg && f.segBase[lo+1] <= addr) {
+		hi := f.nSeg - 1
+		lo = 0
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if f.segBase[mid] <= addr {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
 		}
+		f.lastSeg = lo
 	}
 	m := -1 // lowest-numbered entry covering any byte of the access
 	for k := lo; k < f.nSeg && f.segBase[k] <= aLast; k++ {

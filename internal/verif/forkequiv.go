@@ -75,12 +75,13 @@ type forkHartInit struct {
 
 // ForkCase is one fork-equivalence input.
 type ForkCase struct {
-	Profile  string
-	Harts    int
-	Quantum  uint64
-	Sched    hart.SchedKind
-	FastPath bool
-	K1, K2   uint64 // steps before the fork / steps after it
+	Profile    string
+	Harts      int
+	Quantum    uint64
+	Sched      hart.SchedKind
+	FastPath   bool
+	Superblock bool   // superblock tier on (only meaningful with FastPath)
+	K1, K2     uint64 // steps before the fork / steps after it
 
 	Progs [][]uint32
 	Init  []forkHartInit
@@ -90,6 +91,9 @@ func (tc *ForkCase) String() string {
 	fp := "fast"
 	if !tc.FastPath {
 		fp = "nofast"
+	}
+	if tc.Superblock {
+		fp += "+sb"
 	}
 	return fmt.Sprintf("forkcase{%s, harts=%d, sched=%v, %s, quantum=%d, k1=%d, k2=%d}",
 		tc.Profile, tc.Harts, tc.Sched, fp, tc.Quantum, tc.K1, tc.K2)
@@ -160,18 +164,19 @@ func newForkRig(profile string, harts int) (*forkRig, error) {
 }
 
 // genForkCase draws one case for this rig's configuration.
-func (rig *forkRig) genForkCase(rng *rand.Rand, sched hart.SchedKind, fast bool, quantum uint64) *ForkCase {
+func (rig *forkRig) genForkCase(rng *rand.Rand, sched hart.SchedKind, fast, sb bool, quantum uint64) *ForkCase {
 	k1 := uint64(16 + rng.Intn(forkStepBudget/2))
 	tc := &ForkCase{
-		Profile:  rig.profile,
-		Harts:    rig.harts,
-		Quantum:  quantum,
-		Sched:    sched,
-		FastPath: fast,
-		K1:       k1,
-		K2:       uint64(forkStepBudget) - k1,
-		Progs:    make([][]uint32, rig.harts),
-		Init:     make([]forkHartInit, rig.harts),
+		Profile:    rig.profile,
+		Harts:      rig.harts,
+		Quantum:    quantum,
+		Sched:      sched,
+		FastPath:   fast,
+		Superblock: sb,
+		K1:         k1,
+		K2:         uint64(forkStepBudget) - k1,
+		Progs:      make([][]uint32, rig.harts),
+		Init:       make([]forkHartInit, rig.harts),
 	}
 	for i := 0; i < rig.harts; i++ {
 		tc.Progs[i] = asm.Generate(rng, &rig.genCfg)
@@ -208,6 +213,7 @@ func (rig *forkRig) install(m *hart.Machine, tc *ForkCase) {
 	m.Sched = tc.Sched
 	m.Quantum = tc.Quantum
 	m.SetFastPath(tc.FastPath)
+	m.SetSuperblock(tc.Superblock)
 	for i, h := range m.Harts {
 		prog := make([]byte, 4*len(tc.Progs[i]))
 		for j, w := range tc.Progs[i] {
@@ -353,7 +359,10 @@ func RunForkEquivalence(profiles []string, seed int64, cases int) (*ForkEquivSta
 			sched = hart.SchedPar
 		}
 		fast := (c/2)%2 == 0
-		tc := rig.genForkCase(rng, sched, fast, forkQuanta[c%len(forkQuanta)])
+		// Superblock sweep rides fastpath-on cases (the tier requires the
+		// fast path); a forked machine must re-translate bit-identically.
+		sb := fast && (c/4)%2 == 0
+		tc := rig.genForkCase(rng, sched, fast, sb, forkQuanta[c%len(forkQuanta)])
 
 		rig.install(rig.parent, tc)
 		rig.parent.Run(tc.K1)

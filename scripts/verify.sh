@@ -40,6 +40,24 @@ echo "== fork equivalence (COW fork vs. cold replay, state + cycles, 400 cases)"
 # included), swept across both schedulers and both fastpath settings.
 go run ./cmd/fuzzdiff -fork 200
 
+echo "== superblock equivalence (translation tier vs. fast path vs. interpreter)"
+# Three-machine differential gate for the superblock binary-translation
+# tier: every case runs on an interpreter-only, a caches-only, and a
+# full-stack machine under a live wall clock and must match bit-for-bit
+# (registers, CSRs, memory, cycle counters), swept across both schedulers,
+# timer interrupts, self-modifying code, and PMP reprogramming. The log —
+# including any divergence dumps — lands in OBS_ARTIFACT_DIR so CI can
+# upload it on failure.
+sb_obs_dir="${OBS_ARTIFACT_DIR:-/tmp/govfm-obs}"
+mkdir -p "$sb_obs_dir"
+if ! go run ./cmd/fuzzdiff -superblock both -equiv-cases 400 \
+    >"$sb_obs_dir/superblock_equiv.log" 2>&1; then
+    cat "$sb_obs_dir/superblock_equiv.log"
+    echo "superblock equivalence gate FAILED (log: $sb_obs_dir/superblock_equiv.log)"
+    exit 1
+fi
+cat "$sb_obs_dir/superblock_equiv.log"
+
 echo "== Table 4 host-throughput benchmark (compile-and-run gate)"
 go test ./internal/bench -run '^$' -bench BenchmarkTable4Operations -benchtime 1x
 
