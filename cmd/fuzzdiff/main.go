@@ -18,6 +18,7 @@
 //	go run ./cmd/fuzzdiff -profile vf2 -seed 7   # one profile, chosen seed
 //	go run ./cmd/fuzzdiff -inject 50             # fault-injection mode
 //	go run ./cmd/fuzzdiff -sched both            # seq-vs-par scheduler equivalence
+//	go run ./cmd/fuzzdiff -hext -smoke           # hypervisor-extension lockstep gate
 package main
 
 import (
@@ -59,6 +60,8 @@ func run(args []string, out, errw io.Writer) int {
 		sched    = fs.String("sched", "", "scheduler equivalence: both = every multi-hart case run under the sequential and parallel schedulers and compared")
 		sb       = fs.String("superblock", "", "superblock equivalence: both = every case run on the interpreter, the fast path, and the superblock tier and compared")
 		forkN    = fs.Int("fork", 0, "fork-equivalence mode: run N cases per profile, each forked mid-run and compared bit-for-bit against a cold replay, swept across schedulers and fastpath settings")
+		hext     = fs.Bool("hext", false, "hypervisor-extension mode: H-biased lockstep fuzzing on the H-capable profiles (guest V-states, hfence, VS CSRs)")
+		hextN    = fs.Int("hext-cases", 500, "cases per profile in -hext mode")
 		server   = fs.String("server", "", "run the fuzz campaign through a vfmd fleet server at this base URL (e.g. http://127.0.0.1:9400) instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +77,13 @@ func run(args []string, out, errw io.Writer) int {
 		*seed = 1
 		*budget = 60_000 // per profile; ≥100k total across both
 		profiles = profileAlias["all"]
+	}
+
+	if *hext {
+		if *profile == "all" {
+			profiles = []string{"p550"} // the H-capable profile
+		}
+		return runHext(profiles, *seed, *hextN, *repros, out, errw)
 	}
 
 	if *forkN > 0 {
@@ -145,6 +155,50 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	fmt.Fprintf(out, "total: %d lockstep steps across %d profile(s) in %.1fs, %d divergence(s)\n",
 		totalSteps, len(profiles), time.Since(start).Seconds(), rawFindings)
+	if rawFindings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runHext drives the hypervisor-extension mode: the same three-way
+// lockstep comparison as the default mode, but case-denominated and with
+// the generator biased toward the H surface — guest (V=1) starting
+// states, hfence, VS CSR traffic, dense hedeleg/hvip delegation. Any
+// architectural or cycle-count divergence between the native hart, the
+// monitor-virtualized hart, and the reference model is a finding.
+func runHext(profiles []string, seed int64, cases int, repros string, out, errw io.Writer) int {
+	rawFindings := 0
+	start := time.Now()
+	for i, p := range profiles {
+		f, err := fuzz.NewFuzzer([]string{p}, seed+int64(i))
+		if err != nil {
+			fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+			return 2
+		}
+		if !f.Engines[0].VirtCfg.HasH {
+			fmt.Fprintf(errw, "fuzzdiff: profile %q has no hypervisor extension (use -profile p550)\n", p)
+			return 2
+		}
+		f.Engines[0].HextBias = true
+		t0 := time.Now()
+		findings := f.RunCases(cases, 5)
+		dt := time.Since(t0)
+		fmt.Fprintf(out, "%-12s hext: seed=%d cases=%d guest-cases=%d steps=%d coverage=%d findings=%d (%.1fs)\n",
+			p, seed+int64(i), f.Cases, f.GuestCases, f.Steps, f.Coverage(), len(findings), dt.Seconds())
+		rawFindings += len(f.Findings)
+		for _, fd := range findings {
+			fmt.Fprintf(out, "\n=== DIVERGENCE (%s) ===\n%s\n", p, fd)
+			path, err := fuzz.WriteRepro(repros, fd)
+			if err != nil {
+				fmt.Fprintf(errw, "fuzzdiff: writing reproducer: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "minimized reproducer written to %s\n", path)
+		}
+	}
+	fmt.Fprintf(out, "hext: %d divergence(s) across %d profile(s) in %.1fs\n",
+		rawFindings, len(profiles), time.Since(start).Seconds())
 	if rawFindings > 0 {
 		return 1
 	}

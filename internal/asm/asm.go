@@ -525,6 +525,18 @@ func (a *Asm) SfenceVMA(rs1, rs2 int) {
 	a.Word(encR(rv.SfenceVMAFunct7, uint32(rs2), uint32(rs1), 0, 0, rv.OpSystem))
 }
 
+// HfenceVVMA emits hfence.vvma rs1, rs2 (VS-stage fence, H extension).
+func (a *Asm) HfenceVVMA(rs1, rs2 int) {
+	checkReg(a, rs1, rs2)
+	a.Word(encR(rv.HfenceVVMAFunct7, uint32(rs2), uint32(rs1), 0, 0, rv.OpSystem))
+}
+
+// HfenceGVMA emits hfence.gvma rs1, rs2 (G-stage fence, H extension).
+func (a *Asm) HfenceGVMA(rs1, rs2 int) {
+	checkReg(a, rs1, rs2)
+	a.Word(encR(rv.HfenceGVMAFunct7, uint32(rs2), uint32(rs1), 0, 0, rv.OpSystem))
+}
+
 // --- Pseudo-instructions ---
 
 // Li loads an arbitrary 64-bit constant into rd using the shortest of the

@@ -64,6 +64,9 @@ type GenCfg struct {
 	BaseWindow int64
 	// CSRs lists the CSRs Zicsr instructions may touch.
 	CSRs []GenCSR
+	// HFence, on platforms with the hypervisor extension, lets the
+	// privileged class emit hfence.vvma/hfence.gvma.
+	HFence bool
 }
 
 // Instruction class weights. CSR and privileged instructions dominate: they
@@ -318,7 +321,11 @@ func genCSROp(rng *rand.Rand, cfg *GenCfg, _ int) uint32 {
 }
 
 func genPriv(rng *rand.Rand, cfg *GenCfg, _ int) uint32 {
-	switch rng.Intn(22) {
+	n := 22
+	if cfg.HFence {
+		n = 26
+	}
+	switch rng.Intn(n) {
 	case 0, 1, 2, 3, 4: // mret: the main world-switch trigger
 		return rv.InstrMret
 	case 5, 6, 7, 8, 9:
@@ -334,6 +341,10 @@ func genPriv(rng *rand.Rand, cfg *GenCfg, _ int) uint32 {
 		return encR(rv.SfenceVMAFunct7, rs2, rs1, 0, 0, rv.OpSystem)
 	case 20:
 		return rv.InstrFence
+	case 22, 23: // hfence.vvma (only drawn when cfg.HFence)
+		return encR(rv.HfenceVVMAFunct7, srcReg(rng, cfg), srcReg(rng, cfg), 0, 0, rv.OpSystem)
+	case 24, 25: // hfence.gvma
+		return encR(rv.HfenceGVMAFunct7, srcReg(rng, cfg), srcReg(rng, cfg), 0, 0, rv.OpSystem)
 	default:
 		return rv.InstrFenceI
 	}

@@ -96,6 +96,9 @@ func (m *Monitor) containFirmware(ctx *HartCtx, f *MonitorFault, fallback uint64
 	// S-mode shadow — that state belongs to the OS, not the firmware.
 	old := ctx.V
 	nv := newVirtCSRs(m.NumVirtPMP())
+	if ctx.Hart.Cfg.HasH {
+		nv.enableH()
+	}
 	nv.Stvec, nv.Scounteren, nv.Senvcfg = old.Stvec, old.Scounteren, old.Senvcfg
 	nv.Sscratch, nv.Sepc, nv.Scause = old.Sscratch, old.Sepc, old.Scause
 	nv.Stval, nv.Satp, nv.Stimecmp = old.Stval, old.Satp, old.Stimecmp
@@ -216,8 +219,14 @@ func (m *Monitor) capturePendingSBI(ctx *HartCtx, cause, epc uint64) {
 // would have (time-CSR reads, misaligned accesses) and delivers the rest
 // to the OS's own handler, as a fully-delegating recovery firmware would.
 func (m *Monitor) rejectToFirmware(ctx *HartCtx, code, tval, epc uint64) uint64 {
+	// The physical mtval2 is still live from the trap that got us here; a
+	// guest-page fault re-injected into the virtual firmware carries it.
+	var tval2 uint64
+	if ctx.Hart.Cfg.HasH {
+		tval2 = ctx.Hart.CSR.Mtval2
+	}
 	if !ctx.Degraded {
-		return m.injectVirtTrap(ctx, code, tval, epc)
+		return m.injectVirtTrapG(ctx, code, tval, tval2, epc)
 	}
 	m.forceOffload = true
 	defer func() { m.forceOffload = false }()
@@ -233,7 +242,7 @@ func (m *Monitor) rejectToFirmware(ctx *HartCtx, code, tval, epc uint64) uint64 
 			return vpc
 		}
 	}
-	return m.injectVirtSTrap(ctx, code, tval, epc)
+	return m.injectVirtSTrap(ctx, code, tval, tval2, epc)
 }
 
 // degradedEcall answers an OS SBI call with the monitor's own fallback
@@ -305,7 +314,7 @@ func (m *Monitor) degradedEcall(ctx *HartCtx, epc uint64) uint64 {
 // injectVirtSTrap performs virtual supervisor trap entry: scause/sepc/
 // stval latched, SIE stacked into SPIE, SPP set, resume at stvec. Shared
 // by the delegated branch of injectVirtTrap and degraded-mode delivery.
-func (m *Monitor) injectVirtSTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
+func (m *Monitor) injectVirtSTrap(ctx *HartCtx, cause, tval, tval2, epc uint64) uint64 {
 	v := ctx.V
 	v.Scause = cause
 	v.Sepc = vLegalizeEpc(epc)
@@ -320,6 +329,24 @@ func (m *Monitor) injectVirtSTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 
 		v.Mstatus |= 1 << 8
 	} else {
 		v.Mstatus &^= 1 << 8
+	}
+	if ctx.Hart.Cfg.HasH {
+		hs := v.Hstatus &^ (uint64(1)<<rv.HstatusSPV | 1<<rv.HstatusGVA)
+		if ctx.VirtV {
+			hs |= 1 << rv.HstatusSPV
+			hs &^= 1 << rv.HstatusSPVP
+			if ctx.VirtMode == rv.ModeS {
+				hs |= 1 << rv.HstatusSPVP
+			}
+			if !rv.CauseIsInterrupt(cause) &&
+				rv.CauseWritesGVA(rv.CauseCode(cause)) {
+				hs |= 1 << rv.HstatusGVA
+			}
+		}
+		v.Hstatus = hs
+		v.Htval = tval2
+		v.Htinst = 0
+		ctx.VirtV = false
 	}
 	ctx.VirtMode = rv.ModeS
 	ctx.VirtWaiting = false

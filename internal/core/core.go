@@ -300,6 +300,12 @@ type HartCtx struct {
 	// the firmware executes (vM), S/U during direct execution of the OS.
 	VirtMode rv.Mode
 
+	// VirtV is the virtual machine's virtualization mode (hypervisor
+	// extension): true while the guest of the virtualized hypervisor runs
+	// in VS/VU. Always false in vM; during direct execution it mirrors the
+	// physical V bit and is resynchronized from mstatus.MPV on trap entry.
+	VirtV bool
+
 	// VirtWaiting marks that the virtual firmware executed wfi.
 	VirtWaiting bool
 
@@ -473,6 +479,9 @@ func Attach(m *hart.Machine, opts Options) (*Monitor, error) {
 			V:        newVirtCSRs(nvpmp),
 			VirtMode: rv.ModeM,
 			SBIByExt: map[string]uint64{},
+		}
+		if h.Cfg.HasH {
+			ctx.V.enableH()
 		}
 		mon.Ctx = append(mon.Ctx, ctx)
 		h.Monitor = &hartMonitor{mon: mon, ctx: ctx}

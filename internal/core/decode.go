@@ -27,7 +27,10 @@ const (
 	EmuFENCEI
 	EmuLoad // for MPRV and MMIO emulation paths
 	EmuStore
-	EmuAmo // A-extension (AMO/LR/SC); funct5 lives in Raw bits 31:27
+	EmuAmo     // A-extension (AMO/LR/SC); funct5 lives in Raw bits 31:27
+	EmuHFenceV // hfence.vvma
+	EmuHFenceG // hfence.gvma
+	EmuHLSV    // hlv/hlvx/hsv (decoded further by rv.HLSVDecode)
 )
 
 // EmuInstr is a decoded instruction.
@@ -123,7 +126,13 @@ func decode(raw uint32) EmuInstr {
 			ins.Op = EmuWFI
 		case rv.Funct7Of(raw) == rv.SfenceVMAFunct7 && ins.Rd == 0:
 			ins.Op = EmuSFENCE
+		case rv.Funct7Of(raw) == rv.HfenceVVMAFunct7 && ins.Rd == 0:
+			ins.Op = EmuHFenceV
+		case rv.Funct7Of(raw) == rv.HfenceGVMAFunct7 && ins.Rd == 0:
+			ins.Op = EmuHFenceG
 		}
+	case rv.F3HLSV:
+		ins.Op = EmuHLSV
 	case rv.F3Csrrw:
 		ins.Op = EmuCSRRW
 	case rv.F3Csrrs:

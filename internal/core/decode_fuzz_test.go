@@ -36,6 +36,9 @@ var modelToEmu = map[refmodel.Op]EmuOp{
 	refmodel.OpSFENCE:  EmuSFENCE,
 	refmodel.OpFENCE:   EmuFENCE,
 	refmodel.OpFENCEI:  EmuFENCEI,
+
+	refmodel.OpHFenceVVMA: EmuHFenceV,
+	refmodel.OpHFenceGVMA: EmuHFenceG,
 }
 
 func isCSROp(op refmodel.Op) bool {
@@ -54,6 +57,16 @@ func checkDecodeAgainstModel(t *testing.T, raw uint32) {
 		case EmuIllegal, EmuLoad, EmuStore, EmuAmo:
 		default:
 			t.Fatalf("decode(%#08x): op %v for non-privileged opcode %#x", raw, got.Op, op)
+		}
+		return
+	}
+	if op == rv.OpSystem && rv.Funct3Of(raw) == rv.F3HLSV {
+		// Hypervisor loads/stores are outside the model's scope (the
+		// model has no memory, so hlv/hsv stay OpIllegal there); the
+		// monitor classifies the whole f3=4 space as EmuHLSV and lets
+		// rv.HLSVDecode reject bad encodings at emulation time.
+		if got.Op != EmuHLSV || want.Op != refmodel.OpIllegal {
+			t.Fatalf("decode(%#08x) = %v, model decodes %v (hlsv space)", raw, got.Op, want.Op)
 		}
 		return
 	}

@@ -53,7 +53,14 @@ func (m *Monitor) emulateInstr(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	case EmuWFI:
 		return m.emulateWFI(ctx, raw, epc)
 	case EmuSFENCE:
-		if ctx.VirtMode == rv.ModeU ||
+		if ctx.VirtV {
+			// Guest context: sfence.vma is trapped virtually from VU, and
+			// from VS under hstatus.VTVM.
+			if ctx.VirtMode == rv.ModeU ||
+				ctx.V.Hstatus&(1<<rv.HstatusVTVM) != 0 {
+				return m.injectVirtTrap(ctx, rv.ExcVirtualInstr, uint64(raw), epc)
+			}
+		} else if ctx.VirtMode == rv.ModeU ||
 			(ctx.VirtMode == rv.ModeS && ctx.V.Mstatus&(1<<rv.MstatusTVM) != 0) {
 			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
 		}
@@ -61,6 +68,22 @@ func (m *Monitor) emulateInstr(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 		// charge the flush the real instruction would cost.
 		h.ChargeCycles(h.Cfg.Cost.TLBFlush)
 		return epc + 4
+	case EmuHFenceV, EmuHFenceG:
+		if !h.Cfg.HasH {
+			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+		}
+		if ctx.VirtV {
+			return m.injectVirtTrap(ctx, rv.ExcVirtualInstr, uint64(raw), epc)
+		}
+		if ctx.VirtMode == rv.ModeU ||
+			(ins.Op == EmuHFenceG && ctx.VirtMode == rv.ModeS &&
+				ctx.V.Mstatus&(1<<rv.MstatusTVM) != 0) {
+			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+		}
+		h.ChargeCycles(h.Cfg.Cost.TLBFlush)
+		return epc + 4
+	case EmuHLSV:
+		return m.emulateHLSV(ctx, ins, epc)
 	case EmuFENCE, EmuFENCEI:
 		return epc + 4
 	case EmuCSRRW, EmuCSRRS, EmuCSRRC, EmuCSRRWI, EmuCSRRSI, EmuCSRRCI:
@@ -70,6 +93,9 @@ func (m *Monitor) emulateInstr(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 		switch ctx.VirtMode {
 		case rv.ModeS:
 			cause = rv.ExcEcallFromS
+			if ctx.VirtV {
+				cause = rv.ExcEcallFromVS
+			}
 		case rv.ModeM:
 			cause = rv.ExcEcallFromM
 		}
@@ -102,6 +128,10 @@ func (m *Monitor) emulateMRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	if prev != rv.ModeM {
 		v.Mstatus &^= 1 << rv.MstatusMPRV
 	}
+	if ctx.Hart.Cfg.HasH {
+		ctx.VirtV = prev != rv.ModeM && v.Mstatus>>rv.MstatusMPV&1 != 0
+		v.Mstatus &^= 1 << rv.MstatusMPV
+	}
 	if ctx.vTrapDepth > 0 {
 		ctx.vTrapDepth--
 	}
@@ -113,6 +143,22 @@ func (m *Monitor) emulateMRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 // M-mode may).
 func (m *Monitor) emulateSRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	v := ctx.V
+	if ctx.VirtV {
+		// Guest sret: trapped virtually from VU, and from VS under
+		// hstatus.VTSR; otherwise it unstacks vsstatus and stays in V.
+		if ctx.VirtMode == rv.ModeU ||
+			v.Hstatus&(1<<rv.HstatusVTSR) != 0 {
+			return m.injectVirtTrap(ctx, rv.ExcVirtualInstr, uint64(raw), epc)
+		}
+		vs := v.Vsstatus
+		prev := rv.Mode(vs >> 8 & 1)
+		vs = vs&^(1<<1) | vs>>4&(1<<1) // SIE <- SPIE
+		vs |= 1 << 5                   // SPIE = 1
+		vs &^= 1 << 8                  // SPP = U
+		v.Vsstatus = vs
+		ctx.VirtMode = prev
+		return v.Vsepc
+	}
 	if ctx.VirtMode == rv.ModeU ||
 		(ctx.VirtMode == rv.ModeS && v.Mstatus&(1<<rv.MstatusTSR) != 0) {
 		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
@@ -126,6 +172,10 @@ func (m *Monitor) emulateSRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 	v.Mstatus |= 1 << 5  // SPIE = 1
 	v.Mstatus &^= 1 << 8 // SPP = U
 	v.Mstatus &^= 1 << rv.MstatusMPRV
+	if ctx.Hart.Cfg.HasH {
+		ctx.VirtV = v.Hstatus&(1<<rv.HstatusSPV) != 0
+		v.Hstatus &^= 1 << rv.HstatusSPV
+	}
 	ctx.VirtMode = prev
 	return v.Sepc
 }
@@ -134,7 +184,17 @@ func (m *Monitor) emulateSRET(ctx *HartCtx, raw uint32, epc uint64) uint64 {
 // pends; the physical hart is parked in its own wait state so the machine
 // does not spin.
 func (m *Monitor) emulateWFI(ctx *HartCtx, raw uint32, epc uint64) uint64 {
-	if ctx.VirtMode == rv.ModeU ||
+	if ctx.VirtV {
+		// Guest wfi: mstatus.TW traps it as illegal from any guest mode;
+		// otherwise VU, and VS under hstatus.VTW, trap virtually.
+		if ctx.V.Mstatus&(1<<rv.MstatusTW) != 0 {
+			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+		}
+		if ctx.VirtMode == rv.ModeU ||
+			ctx.V.Hstatus&(1<<rv.HstatusVTW) != 0 {
+			return m.injectVirtTrap(ctx, rv.ExcVirtualInstr, uint64(raw), epc)
+		}
+	} else if ctx.VirtMode == rv.ModeU ||
 		(ctx.VirtMode == rv.ModeS && ctx.V.Mstatus&(1<<rv.MstatusTW) != 0) {
 		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
 	}
@@ -169,10 +229,11 @@ func (m *Monitor) emulateCSR(ctx *HartCtx, ins EmuInstr, epc uint64) uint64 {
 	if wantWrite && rv.CSRReadOnly(ins.CSR) {
 		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
 	}
-	if !m.vcsrAccessible(ctx, ins.CSR) {
-		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
+	csr, cause := m.vcsrCheck(ctx, ins.CSR)
+	if cause != 0 {
+		return m.injectVirtTrap(ctx, cause, uint64(ins.Raw), epc)
 	}
-	old, ok := m.vcsrRead(ctx, ins.CSR)
+	old, ok := m.vcsrRead(ctx, csr)
 	if !ok {
 		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
 	}
@@ -190,7 +251,7 @@ func (m *Monitor) emulateCSR(ctx *HartCtx, ins EmuInstr, epc uint64) uint64 {
 		case EmuCSRRC, EmuCSRRCI:
 			newVal = old &^ src
 		}
-		if !m.vcsrWrite(ctx, ins.CSR, newVal) {
+		if !m.vcsrWrite(ctx, csr, newVal) {
 			return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(ins.Raw), epc)
 		}
 	}
@@ -200,39 +261,176 @@ func (m *Monitor) emulateCSR(ctx *HartCtx, ins EmuInstr, epc uint64) uint64 {
 	return epc + 4
 }
 
-// vcsrAccessible checks the virtual privilege, existence, and gating
-// rules for a CSR access from the current virtual mode. In production the
-// emulator only ever runs for vM-mode (which passes every privilege
-// check), but the emulator is total over modes so the faithful-emulation
-// criterion holds state-for-state against the reference model.
-func (m *Monitor) vcsrAccessible(ctx *HartCtx, csr uint16) bool {
-	cfg := ctx.Hart.Cfg
+// emulateHLSV executes a virtual hlv/hlvx/hsv: a single guest memory
+// access performed with the virtual machine's two-stage translation
+// context (virtual vsatp + hgatp) at the privilege selected by the
+// virtual hstatus.SPVP, mirroring Hart.hlsv against the shadow CSRs.
+func (m *Monitor) emulateHLSV(ctx *HartCtx, ins EmuInstr, epc uint64) uint64 {
+	h := ctx.Hart
 	v := ctx.V
-	if ctx.VirtMode < rv.CSRPriv(csr) {
-		return false
+	raw := ins.Raw
+	store, size, signed, hlvx, ok := rv.HLSVDecode(raw)
+	if !ok || !h.Cfg.HasH {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
 	}
-	switch csr {
+	if ctx.VirtV {
+		return m.injectVirtTrap(ctx, rv.ExcVirtualInstr, uint64(raw), epc)
+	}
+	if ctx.VirtMode == rv.ModeU && rv.Bit(v.Hstatus, rv.HstatusHU) == 0 {
+		return m.injectVirtTrap(ctx, rv.ExcIllegalInstr, uint64(raw), epc)
+	}
+	priv := rv.ModeU
+	if rv.Bit(v.Hstatus, rv.HstatusSPVP) != 0 {
+		priv = rv.ModeS
+	}
+	acc := mem.Read
+	faultCause := rv.ExcLoadAccessFault
+	misCause := rv.ExcLoadAddrMisaligned
+	if store {
+		acc = mem.Write
+		faultCause = rv.ExcStoreAccessFault
+		misCause = rv.ExcStoreAddrMisaligned
+	}
+	va := h.Reg(ins.Rs1)
+	if va%uint64(size) != 0 && !h.Cfg.HWMisaligned {
+		return m.injectVirtTrap(ctx, misCause, va, epc)
+	}
+	env := &mmu.Env{
+		Bus:   h.Bus,
+		PMP:   v.PMP,
+		Satp:  v.Vsatp,
+		Priv:  priv,
+		SUM:   rv.Bit(v.Vsstatus, rv.MstatusSUM) != 0,
+		MXR:   rv.Bit(v.Vsstatus, rv.MstatusMXR) != 0,
+		V:     true,
+		Hgatp: v.Hgatp,
+		HLVX:  hlvx,
+	}
+	res := mmu.Translate(env, va, acc)
+	if !res.OK {
+		return m.injectVirtTrapG(ctx, res.Cause, va, res.GPA>>2, epc)
+	}
+	if !v.PMP.Check(res.PA, size, acc, priv) {
+		return m.injectVirtTrap(ctx, faultCause, va, epc)
+	}
+	h.ChargeCycles(h.Cfg.Cost.MemAccess)
+	if store {
+		if !h.Bus.Store(res.PA, size, h.Reg(ins.Rs2)) {
+			return m.injectVirtTrap(ctx, rv.ExcStoreAccessFault, va, epc)
+		}
+		h.KillReservation(res.PA)
+		return epc + 4
+	}
+	val, loaded := h.Bus.Load(res.PA, size)
+	if !loaded {
+		return m.injectVirtTrap(ctx, rv.ExcLoadAccessFault, va, epc)
+	}
+	if signed {
+		val = rv.SignExtend(val, uint(8*size))
+	}
+	h.SetReg(ins.Rd, val)
+	return epc + 4
+}
+
+// vcsrAccessible reports whether a CSR access from the current virtual
+// mode would succeed. In production the emulator only ever runs for
+// vM-mode (which passes every check), but the emulator is total over
+// modes so the faithful-emulation criterion holds state-for-state
+// against the reference model.
+func (m *Monitor) vcsrAccessible(ctx *HartCtx, csr uint16) bool {
+	_, cause := m.vcsrCheck(ctx, csr)
+	return cause == 0
+}
+
+// vcsrCheck performs the existence, V=1 S-to-VS substitution, privilege,
+// and gating checks for a virtual CSR access (the monitor's rendering of
+// the Zicsr chapter extended by the hypervisor chapter, cross-checked
+// against refmodel's csrCheck). It returns the CSR number the access
+// actually touches plus a zero cause on success, or the denial cause
+// (illegal-instruction or virtual-instruction).
+func (m *Monitor) vcsrCheck(ctx *HartCtx, csr uint16) (uint16, uint64) {
+	v := ctx.V
+	if !m.vcsrExists(ctx, csr) {
+		return csr, rv.ExcIllegalInstr
+	}
+	mapped := csr
+	if ctx.VirtV {
+		// From V=1, S-level CSRs are virtual-instruction faults for VU
+		// code and for the hypervisor's own registers; the architectural
+		// S CSRs are substituted by their VS shadows.
+		if rv.CSRPriv(csr) == rv.ModeS && (ctx.VirtMode == rv.ModeU || vcsrIsHypLevel(csr)) {
+			return csr, rv.ExcVirtualInstr
+		}
+		switch csr {
+		case rv.CSRSstatus:
+			mapped = rv.CSRVsstatus
+		case rv.CSRSie:
+			mapped = rv.CSRVsie
+		case rv.CSRStvec:
+			mapped = rv.CSRVstvec
+		case rv.CSRSscratch:
+			mapped = rv.CSRVsscratch
+		case rv.CSRSepc:
+			mapped = rv.CSRVsepc
+		case rv.CSRScause:
+			mapped = rv.CSRVscause
+		case rv.CSRStval:
+			mapped = rv.CSRVstval
+		case rv.CSRSip:
+			mapped = rv.CSRVsip
+		case rv.CSRSatp:
+			if v.Hstatus&(1<<rv.HstatusVTVM) != 0 {
+				return csr, rv.ExcVirtualInstr
+			}
+			mapped = rv.CSRVsatp
+		case rv.CSRStimecmp:
+			// No vstimecmp: the access traps to the hypervisor when
+			// Sstc is live and is illegal otherwise.
+			if v.Menvcfg>>63&1 != 0 {
+				return csr, rv.ExcVirtualInstr
+			}
+			return csr, rv.ExcIllegalInstr
+		}
+	}
+	if ctx.VirtMode < rv.CSRPriv(mapped) {
+		return mapped, rv.ExcIllegalInstr
+	}
+	switch mapped {
 	case rv.CSRCycle, rv.CSRTime, rv.CSRInstret:
-		bit := uint(csr - rv.CSRCycle)
+		bit := uint(mapped - rv.CSRCycle)
 		if ctx.VirtMode < rv.ModeM && rv.Bit(v.Mcounteren, bit) == 0 {
-			return false
+			return mapped, rv.ExcIllegalInstr
+		}
+		if ctx.VirtV && rv.Bit(v.Hcounteren, bit) == 0 {
+			return mapped, rv.ExcVirtualInstr
 		}
 		if ctx.VirtMode == rv.ModeU && rv.Bit(v.Scounteren, bit) == 0 {
-			return false
+			if ctx.VirtV {
+				return mapped, rv.ExcVirtualInstr
+			}
+			return mapped, rv.ExcIllegalInstr
 		}
-	case rv.CSRSatp:
+	case rv.CSRSatp, rv.CSRHgatp:
 		if ctx.VirtMode == rv.ModeS && v.Mstatus&(1<<rv.MstatusTVM) != 0 {
-			return false
+			return mapped, rv.ExcIllegalInstr
+		}
+	case rv.CSRStimecmp:
+		if ctx.VirtMode == rv.ModeS && v.Menvcfg>>63&1 == 0 {
+			return mapped, rv.ExcIllegalInstr
 		}
 	}
+	return mapped, 0
+}
+
+// vcsrExists reports whether the virtual hardware implements csr at all,
+// independent of privilege and gating.
+func (m *Monitor) vcsrExists(ctx *HartCtx, csr uint16) bool {
+	cfg := ctx.Hart.Cfg
 	switch csr {
 	case rv.CSRTime:
 		return cfg.HasTimeCSR
 	case rv.CSRStimecmp:
-		if !cfg.HasSstc {
-			return false
-		}
-		return ctx.VirtMode != rv.ModeS || m.sstcEnabled(ctx)
+		return cfg.HasSstc
 	}
 	if i, ok := rv.IsPmpaddr(csr); ok {
 		return i < ctx.V.PMP.NumEntries()
@@ -250,6 +448,17 @@ func (m *Monitor) vcsrAccessible(ctx *HartCtx, csr uint16) bool {
 		return true
 	}
 	return vcsrKnown(csr)
+}
+
+// vcsrIsHypLevel mirrors refmodel csrIsHyp: the hypervisor and VS CSRs
+// that always raise a virtual-instruction exception when touched from
+// V=1 (the monitor's mtinst/mtval2 are M-level and excluded).
+func vcsrIsHypLevel(csr uint16) bool {
+	switch csr {
+	case rv.CSRMtinst, rv.CSRMtval2:
+		return false
+	}
+	return vcsrIsH(csr)
 }
 
 // vcsrIsH reports whether csr belongs to the hypervisor-extension subset,
@@ -346,7 +555,7 @@ func (m *Monitor) vcsrRead(ctx *HartCtx, csr uint16) (uint64, bool) {
 	case rv.CSRSstatus:
 		return v.sstatus(), true
 	case rv.CSRSie:
-		return v.Mie & v.Mideleg, true
+		return v.Mie & v.Mideleg & rv.SIntMask, true
 	case rv.CSRStvec:
 		return v.Stvec, true
 	case rv.CSRScounteren:
@@ -362,7 +571,7 @@ func (m *Monitor) vcsrRead(ctx *HartCtx, csr uint16) (uint64, bool) {
 	case rv.CSRStval:
 		return v.Stval, true
 	case rv.CSRSip:
-		return m.virtMip(ctx) & v.Mideleg, true
+		return m.virtMip(ctx) & v.Mideleg & rv.SIntMask, true
 	case rv.CSRSatp:
 		return v.Satp, true
 	case rv.CSRStimecmp:
@@ -378,17 +587,18 @@ func (m *Monitor) vcsrRead(ctx *HartCtx, csr uint16) (uint64, bool) {
 	case rv.CSRHcounteren:
 		return v.Hcounteren, true
 	case rv.CSRHgeie:
-		return v.Hgeie, true
+		return 0, true // no guest-external interrupt files
 	case rv.CSRHtval:
 		return v.Htval, true
 	case rv.CSRHip:
-		return v.Hip, true
+		// hip is a view of the virtual-interrupt pending bits.
+		return v.Hvip & rv.VSIntMask, true
 	case rv.CSRHvip:
 		return v.Hvip, true
 	case rv.CSRHtinst:
 		return v.Htinst, true
 	case rv.CSRHenvcfg:
-		return v.Henvcfg, true
+		return 0, true // no henvcfg-gated features for guests
 	case rv.CSRHgatp:
 		return v.Hgatp, true
 	case rv.CSRHgeip:
@@ -400,7 +610,7 @@ func (m *Monitor) vcsrRead(ctx *HartCtx, csr uint16) (uint64, bool) {
 	case rv.CSRVsstatus:
 		return v.Vsstatus, true
 	case rv.CSRVsie:
-		return v.Vsie, true
+		return (v.Hie & v.Hideleg & rv.VSIntMask) >> 1, true
 	case rv.CSRVstvec:
 		return v.Vstvec, true
 	case rv.CSRVsscratch:
@@ -412,7 +622,7 @@ func (m *Monitor) vcsrRead(ctx *HartCtx, csr uint16) (uint64, bool) {
 	case rv.CSRVstval:
 		return v.Vstval, true
 	case rv.CSRVsip:
-		return v.Vsip, true
+		return (v.Hvip & v.Hideleg & rv.VSIntMask) >> 1, true
 	case rv.CSRVsatp:
 		return v.Vsatp, true
 	}
@@ -441,7 +651,11 @@ func (m *Monitor) vcsrWrite(ctx *HartCtx, csr uint16, val uint64) bool {
 	case rv.CSRMisa:
 		// WARL; the virtual misa is hardwired.
 	case rv.CSRMedeleg:
-		v.Medeleg = val & vMedelegMask
+		mask := vMedelegMask
+		if v.hasH {
+			mask |= vMedelegHMask
+		}
+		v.Medeleg = val & mask
 	case rv.CSRMideleg:
 		v.writeMideleg(val)
 	case rv.CSRMie:
@@ -481,7 +695,8 @@ func (m *Monitor) vcsrWrite(ctx *HartCtx, csr uint16, val uint64) bool {
 	case rv.CSRSstatus:
 		v.writeSstatus(val)
 	case rv.CSRSie:
-		v.Mie = v.Mie&^v.Mideleg | val&v.Mideleg
+		mask := v.Mideleg & rv.SIntMask
+		v.Mie = v.Mie&^mask | val&mask
 	case rv.CSRStvec:
 		v.Stvec = vLegalizeTvec(val)
 	case rv.CSRScounteren:
@@ -508,33 +723,37 @@ func (m *Monitor) vcsrWrite(ctx *HartCtx, csr uint16, val uint64) bool {
 	case rv.CSRStimecmp:
 		v.Stimecmp = val
 	case rv.CSRHstatus:
-		v.Hstatus = val
+		v.Hstatus = val&vHstatusWritable | vHstatusVSXL
 	case rv.CSRHedeleg:
-		v.Hedeleg = val
+		v.Hedeleg = val & vHedelegMask
 	case rv.CSRHideleg:
-		v.Hideleg = val
+		v.Hideleg = val & rv.VSIntMask
 	case rv.CSRHie:
-		v.Hie = val
+		v.Hie = val & rv.VSIntMask
 	case rv.CSRHcounteren:
 		v.Hcounteren = val & 0xFFFF_FFFF
 	case rv.CSRHgeie:
-		v.Hgeie = val
+		// Hardwired zero: no guest-external interrupt files.
 	case rv.CSRHtval:
 		v.Htval = val
 	case rv.CSRHip:
-		v.Hip = val
+		// Only VSSIP is writable; it aliases hvip.VSSIP.
+		v.Hvip = v.Hvip&^(1<<rv.IntVSSoft) | val&(1<<rv.IntVSSoft)
 	case rv.CSRHvip:
-		v.Hvip = val
+		v.Hvip = val & rv.VSIntMask
 	case rv.CSRHtinst:
 		v.Htinst = val
 	case rv.CSRHenvcfg:
-		v.Henvcfg = val
+		// Hardwired zero: no henvcfg-gated features for guests.
 	case rv.CSRHgatp:
-		v.Hgatp = val
+		if mode := val >> 60; mode == 0 || mode == 8 {
+			v.Hgatp = val &^ (uint64(3)<<58 | 3) // VMID[1:0], PPN[1:0] zero
+		}
 	case rv.CSRVsstatus:
-		v.Vsstatus = val
+		v.Vsstatus = val&vVsstatusMask | uint64(2)<<32
 	case rv.CSRVsie:
-		v.Vsie = val
+		mask := v.Hideleg & rv.VSIntMask
+		v.Hie = v.Hie&^mask | val<<1&mask
 	case rv.CSRVstvec:
 		v.Vstvec = vLegalizeTvec(val)
 	case rv.CSRVsscratch:
@@ -546,9 +765,12 @@ func (m *Monitor) vcsrWrite(ctx *HartCtx, csr uint16, val uint64) bool {
 	case rv.CSRVstval:
 		v.Vstval = val
 	case rv.CSRVsip:
-		v.Vsip = val
+		mask := v.Hideleg & (1 << rv.IntVSSoft)
+		v.Hvip = v.Hvip&^mask | val<<1&mask
 	case rv.CSRVsatp:
-		v.Vsatp = val
+		if mode := val >> 60; mode == 0 || mode == 8 {
+			v.Vsatp = val
+		}
 	default:
 		if i, ok := rv.IsPmpaddr(csr); ok {
 			v.PMP.SetAddr(i, val)

@@ -136,6 +136,11 @@ func (m *Monitor) fastPathIllegal(ctx *HartCtx, raw uint32, epc uint64) (uint64,
 	if !m.offloads(OffloadTimeRead) {
 		return 0, false
 	}
+	if ctx.VirtV {
+		// Guest (VS/VU) traps follow the architectural H routing through
+		// re-injection; the fast path only answers for the host supervisor.
+		return 0, false
+	}
 	if raw == 0 {
 		raw = m.fetchGuestInstr(ctx, epc)
 	}
@@ -162,6 +167,12 @@ func (m *Monitor) fastPathIllegal(ctx *HartCtx, raw uint32, epc uint64) (uint64,
 func (m *Monitor) fastPathMisaligned(ctx *HartCtx, code, addr, epc uint64) (uint64, bool) {
 	h := ctx.Hart
 	if m.Opts.Offload && !m.forceOffload && !m.offloads(OffloadMisaligned) {
+		return 0, false
+	}
+	if ctx.VirtV {
+		// MPRV byte accesses below would use single-stage translation; a
+		// guest's misaligned access takes the architectural re-injection
+		// path instead.
 		return 0, false
 	}
 	raw := m.fetchOSInstr(ctx, epc)

@@ -72,6 +72,7 @@ func (c *HartCtx) forkOnto(nm *Monitor, h *hart.Hart) *HartCtx {
 		Hart:             h,
 		V:                c.V.clone(),
 		VirtMode:         c.VirtMode,
+		VirtV:            c.VirtV,
 		VirtWaiting:      c.VirtWaiting,
 		Stats:            c.Stats,
 		mprvActive:       c.mprvActive,

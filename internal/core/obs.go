@@ -13,8 +13,8 @@ import (
 // cycles are charged and no architectural or virtual state is touched,
 // so runs are bit-identical with an observer attached or not.
 
-// emuNumOps is the number of EmuOp values (EmuAmo is the last).
-const emuNumOps = int(EmuAmo) + 1
+// emuNumOps is the number of EmuOp values (EmuHLSV is the last).
+const emuNumOps = int(EmuHLSV) + 1
 
 // emuOpNames labels each EmuOp for metrics.
 var emuOpNames = [emuNumOps]string{
@@ -36,6 +36,9 @@ var emuOpNames = [emuNumOps]string{
 	EmuLoad:    "load",
 	EmuStore:   "store",
 	EmuAmo:     "amo",
+	EmuHFenceV: "hfence.vvma",
+	EmuHFenceG: "hfence.gvma",
+	EmuHLSV:    "hlsv",
 }
 
 // sbiExtNames labels the SBI extensions the guests exercise; unknown EIDs

@@ -25,6 +25,10 @@ func (m *Monitor) handleTrap(ctx *HartCtx) {
 	// physical trap entry: mstatus.MPP holds the mode the trap came from.
 	if ctx.VirtMode != rv.ModeM {
 		ctx.VirtMode = rv.MPP(h.CSR.Mstatus)
+		if h.Cfg.HasH {
+			// mstatus.MPV holds the virtualization mode the trap came from.
+			ctx.VirtV = h.CSR.Mstatus>>rv.MstatusMPV&1 != 0
+		}
 	}
 
 	prevWorld := ctx.World()
@@ -118,7 +122,7 @@ func (m *Monitor) handleOSTrap(ctx *HartCtx, code, tval, epc uint64) uint64 {
 			// The firmware has been written off: the monitor answers.
 			return m.degradedEcall(ctx, epc)
 		}
-		if m.Opts.Offload {
+		if m.Opts.Offload && !ctx.VirtV {
 			if vpc, ok := m.fastPathEcall(ctx, epc); ok {
 				ctx.Stats.FastPathHits++
 				return vpc
@@ -262,14 +266,25 @@ func (m *Monitor) checkVirtInterrupt(ctx *HartCtx, vpc uint64) uint64 {
 // virtual one — but the emulator is total so faithful emulation holds for
 // every state.)
 func (m *Monitor) injectVirtTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
+	return m.injectVirtTrapG(ctx, cause, tval, 0, epc)
+}
+
+// injectVirtTrapG is injectVirtTrap with an explicit guest-physical trap
+// value (already shifted right by 2, as the htval/mtval2 registers hold
+// it); guest-page faults raised on the firmware's behalf carry one.
+func (m *Monitor) injectVirtTrapG(ctx *HartCtx, cause, tval, tval2, epc uint64) uint64 {
 	if m.Opts.OnVirtTrap != nil {
 		m.Opts.OnVirtTrap(ctx, cause, tval)
 	}
 	v := ctx.V
 	if !rv.CauseIsInterrupt(cause) && ctx.VirtMode != rv.ModeM &&
 		v.Medeleg>>rv.CauseCode(cause)&1 != 0 {
+		if ctx.VirtV && v.Hedeleg>>rv.CauseCode(cause)&1 != 0 {
+			// Delegated twice: the virtual guest handles its own trap.
+			return m.injectVirtVSTrap(ctx, cause, tval, epc)
+		}
 		// Virtual supervisor trap entry.
-		return m.injectVirtSTrap(ctx, cause, tval, epc)
+		return m.injectVirtSTrap(ctx, cause, tval, tval2, epc)
 	}
 	// Double-fault detection (containment only): an exception raised while
 	// the firmware is already handling a virtual M trap, or with no trap
@@ -298,6 +313,19 @@ func (m *Monitor) injectVirtTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
 	}
 	v.Mstatus &^= 1 << 3 // MIE = 0
 	v.SetMPP(ctx.VirtMode)
+	if ctx.Hart.Cfg.HasH {
+		v.Mstatus &^= 1<<rv.MstatusMPV | 1<<rv.MstatusGVA
+		if ctx.VirtV {
+			v.Mstatus |= 1 << rv.MstatusMPV
+			if !rv.CauseIsInterrupt(cause) &&
+				rv.CauseWritesGVA(rv.CauseCode(cause)) {
+				v.Mstatus |= 1 << rv.MstatusGVA
+			}
+		}
+		v.Mtval2 = tval2
+		v.Mtinst = 0
+		ctx.VirtV = false
+	}
 	ctx.VirtMode = rv.ModeM
 	ctx.VirtWaiting = false
 	base := v.Mtvec &^ 3
@@ -305,6 +333,28 @@ func (m *Monitor) injectVirtTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
 		return base + 4*rv.CauseCode(cause)
 	}
 	return base
+}
+
+// injectVirtVSTrap performs virtual VS-mode trap entry: an exception the
+// virtual firmware delegated by both its medeleg and its hedeleg while the
+// guest of the virtualized hypervisor (VirtV) was running. The raw
+// vsstatus shadow stacks SIE/SPP and the guest stays in V.
+func (m *Monitor) injectVirtVSTrap(ctx *HartCtx, cause, tval, epc uint64) uint64 {
+	v := ctx.V
+	v.Vscause = cause // exceptions only; no VS interrupt code transform
+	v.Vsepc = vLegalizeEpc(epc)
+	v.Vstval = tval
+	vs := v.Vsstatus
+	vs = vs&^(1<<5) | vs>>1&1<<5 // SPIE <- SIE
+	vs &^= 1 << 1                // SIE = 0
+	vs &^= 1 << 8                // SPP <- from
+	if ctx.VirtMode == rv.ModeS {
+		vs |= 1 << 8
+	}
+	v.Vsstatus = vs
+	ctx.VirtMode = rv.ModeS
+	ctx.VirtWaiting = false
+	return v.Vstvec &^ 3 // synchronous: always the base
 }
 
 // fetchGuestInstr reads the instruction word at a guest PC. In firmware

@@ -58,6 +58,10 @@ type VirtCSRs struct {
 
 	// Counter state for the virtual machine.
 	Mcycle, Minstret uint64
+
+	// hasH records that the platform implements the hypervisor extension
+	// (set once at construction; drives the H-aware WARL masks).
+	hasH bool
 }
 
 // Writable-field masks, written out independently of internal/hart (these
@@ -71,6 +75,15 @@ const (
 	vMipSWMask   = uint64(0x222)
 	vUXLFixed    = uint64(2)<<32 | uint64(2)<<34
 	vSstatusMask = uint64(1)<<1 | 1<<5 | 1<<8 | 1<<18 | 1<<19 | uint64(3)<<32 | 1<<63
+
+	// Hypervisor CSR masks (only live when hasH).
+	vMedelegHMask    = uint64(1)<<10 | 1<<20 | 1<<21 | 1<<22 | 1<<23
+	vHstatusWritable = uint64(1)<<rv.HstatusGVA | 1<<rv.HstatusSPV |
+		1<<rv.HstatusSPVP | 1<<rv.HstatusHU | 1<<rv.HstatusVTVM |
+		1<<rv.HstatusVTW | 1<<rv.HstatusVTSR
+	vHstatusVSXL  = uint64(2) << 32
+	vHedelegMask  = uint64(0xB1FF)
+	vVsstatusMask = uint64(1)<<1 | 1<<5 | 1<<8 | 1<<18 | 1<<19
 )
 
 func newVirtCSRs(nvpmp int) *VirtCSRs {
@@ -84,7 +97,11 @@ func newVirtCSRs(nvpmp int) *VirtCSRs {
 
 // writeMstatus applies the virtual mstatus WARL rules.
 func (v *VirtCSRs) writeMstatus(val uint64) {
-	next := v.Mstatus&^vMstatusWritable | val&vMstatusWritable
+	writable := vMstatusWritable
+	if v.hasH {
+		writable |= 1<<38 | 1<<39 // GVA, MPV
+	}
+	next := v.Mstatus&^writable | val&writable
 	if mpp := next >> 11 & 3; mpp == 2 {
 		next = next&^(3<<11) | v.Mstatus&(3<<11)
 	}
@@ -98,9 +115,13 @@ func (v *VirtCSRs) writeSstatus(val uint64) {
 }
 
 func (v *VirtCSRs) writeMideleg(val uint64) {
-	// The S-interrupt bits are hardwired to 1 (forced delegation); other
-	// writable bits do not exist, so mideleg is effectively constant.
+	// The S-interrupt bits are hardwired to 1 (forced delegation); with H
+	// the VS bits are hardwired-delegated too. Other writable bits do not
+	// exist, so mideleg is effectively constant.
 	v.Mideleg = 0x222 | val&0
+	if v.hasH {
+		v.Mideleg |= rv.VSIntMask
+	}
 }
 
 func vLegalizeTvec(val uint64) uint64 {
@@ -116,6 +137,14 @@ func (v *VirtCSRs) writeSatp(val uint64) {
 	if m := val >> 60; m == 0 || m == 8 {
 		v.Satp = val
 	}
+}
+
+// enableH marks the virtual machine as implementing the hypervisor
+// extension: the VS interrupt bits become hardwired-delegated in the
+// virtual mideleg and MPV/GVA become writable mstatus fields.
+func (v *VirtCSRs) enableH() {
+	v.hasH = true
+	v.Mideleg |= rv.VSIntMask
 }
 
 // MPP returns the virtual mstatus.MPP as a mode.

@@ -82,7 +82,11 @@ func (m *Monitor) VerifInstallState(ctx *HartCtx) {
 // harnesses use it between test cases; Boot does not reset this state.
 func (m *Monitor) ResetVirt(ctx *HartCtx) {
 	ctx.V = newVirtCSRs(m.NumVirtPMP())
+	if ctx.Hart.Cfg.HasH {
+		ctx.V.enableH()
+	}
 	ctx.VirtMode = rv.ModeM
+	ctx.VirtV = false
 	ctx.VirtWaiting = false
 	ctx.Stats = Stats{}
 	ctx.mprvActive = false

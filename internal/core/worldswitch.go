@@ -114,6 +114,16 @@ func (m *Monitor) installPhysCSRs(ctx *HartCtx, to World) {
 		c.WriteSstatus(0)
 		c.Mstatus &^= physTrapCtl // physical U-mode traps regardless
 		c.SetMip(0)
+		if h.Cfg.HasH {
+			// VS-interrupt sources must not fire while the firmware world
+			// runs (mideleg is 0, so a pending VS bit would reach the
+			// monitor as an M interrupt storm); the guest's hvip lives in
+			// the shadow until the OS world returns. A stale hstatus.HU
+			// would let the deprivileged vM execute hlv/hsv natively.
+			c.Hvip = 0
+			c.Hstatus &^= 1 << rv.HstatusHU
+			c.Mstatus &^= 1 << rv.MstatusMPV // vM always runs with V=0
+		}
 		return
 	}
 	// Entering the OS: install the virtual supervisor state physically.
@@ -143,8 +153,12 @@ func (m *Monitor) installPhysCSRs(ctx *HartCtx, to World) {
 	// Exceptions the firmware delegated go natively to the OS; all others
 	// trap to the monitor for re-injection.
 	c.Medeleg = v.Medeleg
-	// All S interrupts are force-delegated (paper §4.3).
+	// All S interrupts are force-delegated (paper §4.3); with H the VS
+	// interrupts are hardwired-delegated too.
 	c.Mideleg = rv.SIntMask
+	if h.Cfg.HasH {
+		c.Mideleg |= rv.VSIntMask
+	}
 	c.Mie = monitorMIE | v.Mie&rv.SIntMask
 	c.SetMip(v.MipSW & (1<<rv.IntSSoft | 1<<rv.IntSTimer))
 	if h.Cfg.HasH {
@@ -350,6 +364,15 @@ func (m *Monitor) resume(ctx *HartCtx, prevWorld World, vpc uint64) {
 	}
 	h.CSR.Mepc = vpc &^ 3
 	h.CSR.Mstatus = rv.WithMPP(h.CSR.Mstatus, physMode)
+	if h.Cfg.HasH {
+		// ReturnMRET derives the physical V bit from mstatus.MPV: set it
+		// for a guest (VS/VU) resuming direct execution, clear it for the
+		// firmware world and for the host supervisor.
+		h.CSR.Mstatus &^= 1 << rv.MstatusMPV
+		if ctx.World() == WorldOS && ctx.VirtV {
+			h.CSR.Mstatus |= 1 << rv.MstatusMPV
+		}
+	}
 	// Park the physical hart while the virtual firmware waits in wfi; any
 	// hardware interrupt re-enters the monitor, which re-evaluates the
 	// virtual wait condition.

@@ -98,8 +98,13 @@ func BuildGosbi(base uint64, opt Options) Image {
 	a.Csrw(rv.CSRPmpcfg0, asm.T0)
 
 	// Delegation: the OpenSBI defaults — misaligned fetch, breakpoint,
-	// ecall-from-U, and page faults go straight to S-mode.
-	a.Li(asm.T0, 0xB109)
+	// ecall-from-U, and page faults go straight to S-mode — plus the
+	// hypervisor causes (ecall-from-VS, guest-page faults, virtual
+	// instruction). The H bits are WARL and drop out on non-H harts.
+	a.Li(asm.T0, 0xB109|
+		1<<rv.ExcEcallFromVS|1<<rv.ExcInstrGuestPageFault|
+		1<<rv.ExcLoadGuestPageFault|1<<rv.ExcVirtualInstr|
+		1<<rv.ExcStoreGuestPageFault)
 	a.Csrw(rv.CSRMedeleg, asm.T0)
 	a.Li(asm.T0, 0x222)
 	a.Csrw(rv.CSRMideleg, asm.T0)

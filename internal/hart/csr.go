@@ -39,8 +39,11 @@ type CSRFile struct {
 	Satp       uint64
 	Stimecmp   uint64
 
-	// Hypervisor-extension shadow state (P550 profile; used by the ACE
-	// policy for confidential-VM world switches).
+	// Hypervisor-extension state (HasH profiles). Hip, Vsie, Vsip, Hgeie,
+	// and Henvcfg are raw storage only: their architectural values are
+	// views computed from hvip/hie/hideleg (see Hip/Vsie/Vsip), and the
+	// fields stay so world-switch save/restore and the verif field walkers
+	// keep a stable layout.
 	Hstatus, Hedeleg, Hideleg, Hie, Hcounteren, Hgeie uint64
 	Htval, Hip, Hvip, Htinst, Hgatp, Henvcfg          uint64
 	Vsstatus, Vsie, Vstvec, Vsscratch                 uint64
@@ -68,6 +71,30 @@ const (
 	uxlFixed    = uint64(2)<<rv.MstatusUXLLo | 2<<rv.MstatusSXLLo
 )
 
+// Hypervisor-extension writable-bit masks (HasH profiles).
+const (
+	// mstatus gains MPV and GVA.
+	mstatusHWritable = uint64(1)<<rv.MstatusMPV | 1<<rv.MstatusGVA
+	// medeleg gains ecall-from-VS (10) and the guest-page-fault /
+	// virtual-instruction causes (20-23).
+	medelegHMask = medelegMask | 1<<rv.ExcEcallFromVS |
+		1<<rv.ExcInstrGuestPageFault | 1<<rv.ExcLoadGuestPageFault |
+		1<<rv.ExcVirtualInstr | 1<<rv.ExcStoreGuestPageFault
+	// hstatus writable fields: GVA, SPV, SPVP, HU, VTVM, VTW, VTSR.
+	// VSXL is read-only 64-bit; VGEIN/VSBE hardwired 0.
+	hstatusMask = uint64(1)<<rv.HstatusGVA | 1<<rv.HstatusSPV |
+		1<<rv.HstatusSPVP | 1<<rv.HstatusHU | 1<<rv.HstatusVTVM |
+		1<<rv.HstatusVTW | 1<<rv.HstatusVTSR
+	hstatusVSXL = uint64(2) << 32
+	// hedeleg: causes a hypervisor may delegate onward to VS (no ecall-
+	// from-S/VS/M, no guest-page faults, no virtual instruction).
+	hedelegMask = uint64(0xB1FF)
+	// vsstatus writable fields; UXL read-only 64-bit.
+	vsstatusMask = uint64(1)<<rv.MstatusSIE | 1<<rv.MstatusSPIE |
+		1<<rv.MstatusSPP | 1<<rv.MstatusSUM | 1<<rv.MstatusMXR
+	vsstatusUXL = uint64(2) << rv.MstatusUXLLo
+)
+
 func newCSRFile(cfg *Config) CSRFile {
 	misa := rv.MisaMXL64 | rv.MisaI | rv.MisaM | rv.MisaA | rv.MisaS | rv.MisaU
 	if cfg.HasH {
@@ -79,6 +106,13 @@ func newCSRFile(cfg *Config) CSRFile {
 		Mstatus: uxlFixed,
 		PMP:     pmp.NewFile(cfg.NumPMP),
 		Custom:  make(map[uint16]uint64),
+	}
+	if cfg.HasH {
+		// The VS interrupt bits of mideleg read as ones (always delegated
+		// past M); hstatus.VSXL and vsstatus.UXL are read-only 64-bit.
+		c.Mideleg = rv.VSIntMask
+		c.Hstatus = hstatusVSXL
+		c.Vsstatus = vsstatusUXL
 	}
 	for _, n := range cfg.CustomCSRs {
 		c.Custom[n] = 0
@@ -122,9 +156,26 @@ func (c *CSRFile) SstcEnabled() bool {
 	return c.cfg.HasSstc && c.Menvcfg&(1<<63) != 0
 }
 
+// mstatusMask returns the writable mstatus bits for this hart.
+func (c *CSRFile) mstatusMask() uint64 {
+	if c.cfg.HasH {
+		return mstatusWritable | mstatusHWritable
+	}
+	return mstatusWritable
+}
+
+// MedelegMask returns the writable medeleg bits for this hart.
+func (c *CSRFile) MedelegMask() uint64 {
+	if c.cfg.HasH {
+		return medelegHMask
+	}
+	return medelegMask
+}
+
 // WriteMstatus applies the WARL rules for mstatus.
 func (c *CSRFile) WriteMstatus(v uint64) {
-	next := c.Mstatus&^mstatusWritable | v&mstatusWritable
+	mask := c.mstatusMask()
+	next := c.Mstatus&^mask | v&mask
 	// MPP must hold a supported mode; an illegal write keeps the old value.
 	if !rv.MPP(next).Valid() {
 		next = rv.WithMPP(next, rv.MPP(c.Mstatus))
@@ -164,18 +215,98 @@ func (c *CSRFile) WriteSatp(v uint64) {
 }
 
 // Sie returns the supervisor view of mie.
-func (c *CSRFile) Sie() uint64 { return c.Mie & c.Mideleg }
+func (c *CSRFile) Sie() uint64 { return c.Mie & c.Mideleg & rv.SIntMask }
 
 // WriteSie updates the delegated bits of mie.
 func (c *CSRFile) WriteSie(v uint64) {
-	c.Mie = c.Mie&^c.Mideleg | v&c.Mideleg
+	// The VS bits forced into mideleg stay out of reach of sie.
+	mask := c.Mideleg & rv.SIntMask
+	c.Mie = c.Mie&^mask | v&mask
 }
 
 // Sip returns the supervisor view of mip.
-func (c *CSRFile) Sip(time uint64) uint64 { return c.Mip(time) & c.Mideleg }
+func (c *CSRFile) Sip(time uint64) uint64 {
+	return c.Mip(time) & c.Mideleg & rv.SIntMask
+}
 
 // WriteSip updates the S-writable bit of mip (only SSIP is S-writable).
 func (c *CSRFile) WriteSip(v uint64) {
 	mask := c.Mideleg & (1 << rv.IntSSoft)
 	c.mipSW = c.mipSW&^mask | v&mask
+}
+
+// Hypervisor-extension CSR semantics. Writes legalize; hip/vsie/vsip are
+// views over hvip/hie/hideleg (this machine has no guest external
+// interrupts or VS timer lines, so hvip is the only VS interrupt source
+// and hip mirrors it exactly).
+
+// WriteMideleg applies the WARL rule: S bits writable, VS bits read-only
+// one when the hypervisor extension is present.
+func (c *CSRFile) WriteMideleg(v uint64) {
+	c.Mideleg = v & midelegMask
+	if c.cfg.HasH {
+		c.Mideleg |= rv.VSIntMask
+	}
+}
+
+// WriteHstatus applies the WARL rules for hstatus.
+func (c *CSRFile) WriteHstatus(v uint64) {
+	c.Hstatus = v&hstatusMask | hstatusVSXL
+}
+
+// WriteVsstatus applies the WARL rules for vsstatus.
+func (c *CSRFile) WriteVsstatus(v uint64) {
+	c.Vsstatus = v&vsstatusMask | vsstatusUXL
+}
+
+// WriteHgatp applies the WARL rules: only Bare and Sv39x4 are supported
+// (writes of other modes are ignored), ASID bits 59:58 beyond this
+// implementation's VMIDLEN read as zero, and the root is 16KiB-aligned
+// (PPN[1:0] read-only zero).
+func (c *CSRFile) WriteHgatp(v uint64) {
+	switch rv.SatpMode(v) {
+	case rv.SatpModeBare, rv.HgatpModeSv39x4:
+		c.Hgatp = v &^ (3<<58 | 3)
+	}
+}
+
+// WriteVsatp applies the satp WARL rule to vsatp.
+func (c *CSRFile) WriteVsatp(v uint64) {
+	switch rv.SatpMode(v) {
+	case rv.SatpModeBare, rv.SatpModeSv39:
+		c.Vsatp = v
+	}
+}
+
+// HipView returns the architectural hip value: the VS interrupt bits
+// pending in hvip (VSEIP/VSTIP/VSSIP aliases).
+func (c *CSRFile) HipView() uint64 { return c.Hvip & rv.VSIntMask }
+
+// WriteHipView writes hip: only VSSIP is writable, aliasing hvip.VSSIP.
+func (c *CSRFile) WriteHipView(v uint64) {
+	c.Hvip = c.Hvip&^(1<<rv.IntVSSoft) | v&(1<<rv.IntVSSoft)
+}
+
+// VsieView returns the architectural vsie value: the hideleg-selected VS
+// bits of hie, shifted to S positions.
+func (c *CSRFile) VsieView() uint64 {
+	return (c.Hie & c.Hideleg & rv.VSIntMask) >> 1
+}
+
+// WriteVsieView writes vsie, updating the delegated VS bits of hie.
+func (c *CSRFile) WriteVsieView(v uint64) {
+	mask := c.Hideleg & rv.VSIntMask
+	c.Hie = c.Hie&^mask | (v<<1)&mask
+}
+
+// VsipView returns the architectural vsip value: delegated hvip bits at
+// S positions.
+func (c *CSRFile) VsipView() uint64 {
+	return (c.Hvip & c.Hideleg & rv.VSIntMask) >> 1
+}
+
+// WriteVsipView writes vsip: only VSSIP (via hideleg) is writable.
+func (c *CSRFile) WriteVsipView(v uint64) {
+	mask := c.Hideleg & (1 << rv.IntVSSoft)
+	c.Hvip = c.Hvip&^mask | (v<<1)&mask
 }

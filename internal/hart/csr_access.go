@@ -41,39 +41,112 @@ func (h *Hart) csrExists(n uint16) bool {
 	return h.Cfg.HasCustomCSR(n)
 }
 
-// csrPermitted checks the privilege and counter-enable gates for access.
-func (h *Hart) csrPermitted(n uint16) bool {
-	if h.Mode < rv.CSRPriv(n) {
-		return false
+// csrIsH reports whether n is one of the hypervisor or VS CSRs, which are
+// HS-qualified: accessible from M and HS, virtual-instruction from V=1.
+func csrIsH(n uint16) bool {
+	switch n {
+	case rv.CSRHstatus, rv.CSRHedeleg, rv.CSRHideleg, rv.CSRHie,
+		rv.CSRHcounteren, rv.CSRHgeie, rv.CSRHtval, rv.CSRHip, rv.CSRHvip,
+		rv.CSRHtinst, rv.CSRHenvcfg, rv.CSRHgatp, rv.CSRHgeip,
+		rv.CSRVsstatus, rv.CSRVsie, rv.CSRVstvec, rv.CSRVsscratch,
+		rv.CSRVsepc, rv.CSRVscause, rv.CSRVstval, rv.CSRVsip, rv.CSRVsatp:
+		return true
 	}
-	// Counter-enable gating for the unprivileged counters.
+	return false
+}
+
+// csrMap applies the V=1 CSR substitutions: VS-mode accesses to the
+// supervisor CSRs operate on their vs* counterparts, VU-mode accesses to
+// any supervisor CSR raise a virtual instruction, and the hypervisor CSRs
+// themselves are never reachable from a guest.
+func (h *Hart) csrMap(n uint16) (uint16, *Exc) {
+	if !h.V {
+		return n, nil
+	}
+	if rv.CSRPriv(n) == rv.ModeS && (h.Mode == rv.ModeU || csrIsH(n)) {
+		return n, h.exc(rv.ExcVirtualInstr, 0)
+	}
+	switch n {
+	case rv.CSRSstatus:
+		return rv.CSRVsstatus, nil
+	case rv.CSRSie:
+		return rv.CSRVsie, nil
+	case rv.CSRStvec:
+		return rv.CSRVstvec, nil
+	case rv.CSRSscratch:
+		return rv.CSRVsscratch, nil
+	case rv.CSRSepc:
+		return rv.CSRVsepc, nil
+	case rv.CSRScause:
+		return rv.CSRVscause, nil
+	case rv.CSRStval:
+		return rv.CSRVstval, nil
+	case rv.CSRSip:
+		return rv.CSRVsip, nil
+	case rv.CSRSatp:
+		// hstatus.VTVM traps the guest hypervisor's satp accesses.
+		if rv.Bit(h.CSR.Hstatus, rv.HstatusVTVM) != 0 {
+			return n, h.exc(rv.ExcVirtualInstr, 0)
+		}
+		return rv.CSRVsatp, nil
+	case rv.CSRStimecmp:
+		// No vstimecmp: with Sstc on, the VS access raises a virtual
+		// instruction (henvcfg.STCE is hardwired 0); otherwise illegal.
+		if h.CSR.SstcEnabled() {
+			return n, h.exc(rv.ExcVirtualInstr, 0)
+		}
+		return n, h.exc(rv.ExcIllegalInstr, 0)
+	}
+	return n, nil
+}
+
+// csrGate checks the privilege and counter-enable gates for access,
+// returning the exception to raise when the access is denied.
+func (h *Hart) csrGate(n uint16) *Exc {
+	if h.Mode < rv.CSRPriv(n) {
+		return h.exc(rv.ExcIllegalInstr, 0)
+	}
 	switch n {
 	case rv.CSRCycle, rv.CSRTime, rv.CSRInstret:
 		bit := uint(n - rv.CSRCycle)
 		if h.Mode < rv.ModeM && rv.Bit(h.CSR.Mcounteren, bit) == 0 {
-			return false
+			return h.exc(rv.ExcIllegalInstr, 0)
+		}
+		if h.V && rv.Bit(h.CSR.Hcounteren, bit) == 0 {
+			return h.exc(rv.ExcVirtualInstr, 0)
 		}
 		if h.Mode == rv.ModeU && rv.Bit(h.CSR.Scounteren, bit) == 0 {
-			return false
+			if h.V {
+				return h.exc(rv.ExcVirtualInstr, 0)
+			}
+			return h.exc(rv.ExcIllegalInstr, 0)
 		}
-	case rv.CSRSatp:
-		// TVM traps satp access from S-mode.
+	case rv.CSRSatp, rv.CSRHgatp:
+		// TVM traps satp and hgatp accesses from HS-mode. (A V=1 satp
+		// access was already redirected to vsatp by csrMap.)
 		if h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTVM) != 0 {
-			return false
+			return h.exc(rv.ExcIllegalInstr, 0)
 		}
 	case rv.CSRStimecmp:
 		// Sstc access from S-mode requires menvcfg.STCE.
 		if h.Mode == rv.ModeS && !h.CSR.SstcEnabled() {
-			return false
+			return h.exc(rv.ExcIllegalInstr, 0)
 		}
 	}
-	return true
+	return nil
 }
 
-// csrRead returns the CSR value or an illegal-instruction exception.
+// csrRead returns the CSR value or the exception denying the access.
 func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
-	if !h.csrExists(n) || !h.csrPermitted(n) {
+	if !h.csrExists(n) {
 		return 0, h.exc(rv.ExcIllegalInstr, 0)
+	}
+	n, ei := h.csrMap(n)
+	if ei != nil {
+		return 0, ei
+	}
+	if ei := h.csrGate(n); ei != nil {
+		return 0, ei
 	}
 	c := &h.CSR
 	switch n {
@@ -162,17 +235,17 @@ func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
 	case rv.CSRHcounteren:
 		return c.Hcounteren, nil
 	case rv.CSRHgeie:
-		return c.Hgeie, nil
+		return 0, nil // no guest external interrupts
 	case rv.CSRHtval:
 		return c.Htval, nil
 	case rv.CSRHip:
-		return c.Hip, nil
+		return c.HipView(), nil
 	case rv.CSRHvip:
 		return c.Hvip, nil
 	case rv.CSRHtinst:
 		return c.Htinst, nil
 	case rv.CSRHenvcfg:
-		return c.Henvcfg, nil
+		return 0, nil // hardwired: no VS-visible envcfg extensions
 	case rv.CSRHgatp:
 		return c.Hgatp, nil
 	case rv.CSRHgeip:
@@ -180,7 +253,7 @@ func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
 	case rv.CSRVsstatus:
 		return c.Vsstatus, nil
 	case rv.CSRVsie:
-		return c.Vsie, nil
+		return c.VsieView(), nil
 	case rv.CSRVstvec:
 		return c.Vstvec, nil
 	case rv.CSRVsscratch:
@@ -192,7 +265,7 @@ func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
 	case rv.CSRVstval:
 		return c.Vstval, nil
 	case rv.CSRVsip:
-		return c.Vsip, nil
+		return c.VsipView(), nil
 	case rv.CSRVsatp:
 		return c.Vsatp, nil
 	}
@@ -212,10 +285,17 @@ func (h *Hart) csrRead(n uint16) (uint64, *Exc) {
 }
 
 // csrWrite stores a value into the CSR, applying WARL legalization, or
-// returns an illegal-instruction exception.
+// returns the exception denying the access.
 func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
-	if !h.csrExists(n) || !h.csrPermitted(n) || rv.CSRReadOnly(n) {
+	if !h.csrExists(n) || rv.CSRReadOnly(n) {
 		return h.exc(rv.ExcIllegalInstr, 0)
+	}
+	n, ei := h.csrMap(n)
+	if ei != nil {
+		return ei
+	}
+	if ei := h.csrGate(n); ei != nil {
+		return ei
 	}
 	c := &h.CSR
 	switch n {
@@ -224,9 +304,9 @@ func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
 	case rv.CSRMisa:
 		// misa is WARL; this implementation hardwires it.
 	case rv.CSRMedeleg:
-		c.Medeleg = v & medelegMask
+		c.Medeleg = v & c.MedelegMask()
 	case rv.CSRMideleg:
-		c.Mideleg = v & midelegMask
+		c.WriteMideleg(v)
 	case rv.CSRMie:
 		c.Mie = v & mieMask
 	case rv.CSRMtvec:
@@ -292,33 +372,35 @@ func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
 	case rv.CSRStimecmp:
 		c.Stimecmp = v
 	case rv.CSRHstatus:
-		c.Hstatus = v
+		c.WriteHstatus(v)
 	case rv.CSRHedeleg:
-		c.Hedeleg = v
+		c.Hedeleg = v & hedelegMask
 	case rv.CSRHideleg:
-		c.Hideleg = v
+		c.Hideleg = v & rv.VSIntMask
 	case rv.CSRHie:
-		c.Hie = v
+		c.Hie = v & rv.VSIntMask
 	case rv.CSRHcounteren:
 		c.Hcounteren = v & 0xFFFF_FFFF
 	case rv.CSRHgeie:
-		c.Hgeie = v
+		// hardwired 0: no guest external interrupts
 	case rv.CSRHtval:
 		c.Htval = v
 	case rv.CSRHip:
-		c.Hip = v
+		c.WriteHipView(v)
 	case rv.CSRHvip:
-		c.Hvip = v
+		c.Hvip = v & rv.VSIntMask
 	case rv.CSRHtinst:
 		c.Htinst = v
 	case rv.CSRHenvcfg:
-		c.Henvcfg = v
+		// hardwired 0
 	case rv.CSRHgatp:
-		c.Hgatp = v
+		c.WriteHgatp(v)
+		h.charge(h.Cfg.Cost.TLBFlush)
+		h.flushTLB()
 	case rv.CSRVsstatus:
-		c.Vsstatus = v
+		c.WriteVsstatus(v)
 	case rv.CSRVsie:
-		c.Vsie = v
+		c.WriteVsieView(v)
 	case rv.CSRVstvec:
 		c.Vstvec = legalizeTvec(v)
 	case rv.CSRVsscratch:
@@ -330,9 +412,11 @@ func (h *Hart) csrWrite(n uint16, v uint64) *Exc {
 	case rv.CSRVstval:
 		c.Vstval = v
 	case rv.CSRVsip:
-		c.Vsip = v
+		c.WriteVsipView(v)
 	case rv.CSRVsatp:
-		c.Vsatp = v
+		c.WriteVsatp(v)
+		h.charge(h.Cfg.Cost.TLBFlush)
+		h.flushTLB()
 	default:
 		if i, ok := rv.IsPmpaddr(n); ok {
 			c.PMP.SetAddr(i, v)

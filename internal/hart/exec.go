@@ -2,6 +2,7 @@ package hart
 
 import (
 	"govfm/internal/mem"
+	"govfm/internal/mmu"
 	"govfm/internal/rv"
 )
 
@@ -228,7 +229,7 @@ func (h *Hart) exec(d *rv.Decoded) {
 			h.park = parkReplay
 			return
 		}
-		h.Exception(ei.Cause, ei.Tval)
+		h.raise(ei)
 		return
 	}
 	h.PC = next
@@ -487,6 +488,9 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 				cause = rv.ExcEcallFromU
 			case rv.ModeS:
 				cause = rv.ExcEcallFromS
+				if h.V {
+					cause = rv.ExcEcallFromVS
+				}
 			default:
 				cause = rv.ExcEcallFromM
 			}
@@ -500,21 +504,43 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 			h.ReturnMRET()
 			return h.PC, nil
 		case raw == rv.InstrSret:
-			if h.Mode == rv.ModeU ||
+			if h.V {
+				// From the guest: VU always traps, VS traps under VTSR
+				// (mstatus.TSR governs HS-mode only).
+				if h.Mode == rv.ModeU ||
+					rv.Bit(h.CSR.Hstatus, rv.HstatusVTSR) != 0 {
+					return next, h.exc(rv.ExcVirtualInstr, uint64(raw))
+				}
+			} else if h.Mode == rv.ModeU ||
 				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTSR) != 0) {
 				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 			h.returnSRET()
 			return h.PC, nil
 		case raw == rv.InstrWfi:
-			if h.Mode == rv.ModeU ||
+			if h.V {
+				// TW traps any less-privileged wfi as illegal; below it,
+				// VU-mode and VTW raise the virtual-instruction exception.
+				if rv.Bit(h.CSR.Mstatus, rv.MstatusTW) != 0 {
+					return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+				}
+				if h.Mode == rv.ModeU ||
+					rv.Bit(h.CSR.Hstatus, rv.HstatusVTW) != 0 {
+					return next, h.exc(rv.ExcVirtualInstr, uint64(raw))
+				}
+			} else if h.Mode == rv.ModeU ||
 				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTW) != 0) {
 				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
 			h.Waiting = true
 			return next, nil
 		case f7 == rv.SfenceVMAFunct7 && rd == 0:
-			if h.Mode == rv.ModeU ||
+			if h.V {
+				if h.Mode == rv.ModeU ||
+					rv.Bit(h.CSR.Hstatus, rv.HstatusVTVM) != 0 {
+					return next, h.exc(rv.ExcVirtualInstr, uint64(raw))
+				}
+			} else if h.Mode == rv.ModeU ||
 				(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusTVM) != 0) {
 				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
 			}
@@ -524,8 +550,30 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 			// conservative, never wrong.
 			h.flushTLB()
 			return next, nil
+		case (f7 == rv.HfenceVVMAFunct7 || f7 == rv.HfenceGVMAFunct7) && rd == 0:
+			if !h.Cfg.HasH {
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			if h.V {
+				return next, h.exc(rv.ExcVirtualInstr, uint64(raw))
+			}
+			if h.Mode == rv.ModeU {
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			// TVM traps hfence.gvma from HS-mode, like hgatp accesses.
+			if f7 == rv.HfenceGVMAFunct7 && h.Mode == rv.ModeS &&
+				rv.Bit(h.CSR.Mstatus, rv.MstatusTVM) != 0 {
+				return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+			}
+			h.charge(h.Cfg.Cost.TLBFlush)
+			h.flushTLB()
+			return next, nil
 		}
 		return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+
+	if f3 == rv.F3HLSV {
+		return h.hlsv(raw, rd, rs1, rs2, next)
 	}
 
 	// Zicsr.
@@ -570,5 +618,79 @@ func (h *Hart) system(raw uint32, f3, rd, rs1, rs2, f7 uint32, next uint64) (uin
 	if wantRead {
 		h.SetReg(rd, old)
 	}
+	return next, nil
+}
+
+// hlsv executes the hypervisor virtual-machine load/store instructions
+// (hlv/hlvx/hsv): a single memory access performed with the guest's
+// two-stage translation context from HS-mode (or from U-mode when
+// hstatus.HU permits), at the privilege selected by hstatus.SPVP. hlvx
+// checks execute permission at the VS stage in place of read.
+func (h *Hart) hlsv(raw uint32, rd, rs1, rs2 uint32, next uint64) (uint64, *Exc) {
+	store, size, signed, hlvx, ok := rv.HLSVDecode(raw)
+	if !ok || !h.Cfg.HasH {
+		return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+	if h.V {
+		return next, h.exc(rv.ExcVirtualInstr, uint64(raw))
+	}
+	if h.Mode == rv.ModeU && rv.Bit(h.CSR.Hstatus, rv.HstatusHU) == 0 {
+		return next, h.exc(rv.ExcIllegalInstr, uint64(raw))
+	}
+	priv := rv.ModeU
+	if rv.Bit(h.CSR.Hstatus, rv.HstatusSPVP) != 0 {
+		priv = rv.ModeS
+	}
+	acc := mem.Read
+	if store {
+		acc = mem.Write
+	}
+	va := h.Reg(rs1)
+	if va%uint64(size) != 0 && !h.Cfg.HWMisaligned {
+		return next, h.exc(misalignedCause(acc), va)
+	}
+	env := h.mmuEnv(priv, true)
+	env.HLVX = hlvx
+	res := mmu.Translate(env, va, acc)
+	if !res.OK {
+		if h.inSlice && h.mem.TakeBlocked() {
+			return next, errParked
+		}
+		ei := h.exc(res.Cause, va)
+		ei.Gpa = res.GPA
+		return next, ei
+	}
+	if !h.CSR.PMP.Check(res.PA, size, acc, priv) {
+		return next, h.exc(accessFaultCause(acc), va)
+	}
+	h.charge(h.Cfg.Cost.MemAccess)
+	if store {
+		if !h.mem.Store(res.PA, size, h.Reg(rs2)) {
+			if h.inSlice && h.mem.TakeBlocked() {
+				return next, errParked
+			}
+			return next, h.exc(rv.ExcStoreAccessFault, va)
+		}
+		if h.resValid && res.PA&^7 == h.resAddr&^7 {
+			h.resValid = false
+		}
+		if !h.inSlice {
+			for _, p := range h.peers {
+				p.KillReservation(res.PA)
+			}
+		}
+		return next, nil
+	}
+	v, loaded := h.mem.Load(res.PA, size)
+	if !loaded {
+		if h.inSlice && h.mem.TakeBlocked() {
+			return next, errParked
+		}
+		return next, h.exc(rv.ExcLoadAccessFault, va)
+	}
+	if signed {
+		v = rv.SignExtend(v, uint(8*size))
+	}
+	h.SetReg(rd, v)
 	return next, nil
 }

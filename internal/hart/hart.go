@@ -59,6 +59,10 @@ type Hart struct {
 	Regs [32]uint64
 	PC   uint64
 	Mode rv.Mode
+	// V is the virtualization mode (hypervisor extension): with V set the
+	// hart executes as a guest — VS-mode when Mode is S, VU-mode when U —
+	// under two-stage address translation. Always false when !Cfg.HasH.
+	V bool
 
 	Cycles  uint64
 	Instret uint64
@@ -186,28 +190,68 @@ func (h *Hart) Halt(reason string) {
 type Exc struct {
 	Cause uint64
 	Tval  uint64
+	// Gpa is the faulting guest-physical address for the guest-page-fault
+	// causes; trap entry latches Gpa>>2 into htval/mtval2.
+	Gpa uint64
 }
 
 // Exception takes a synchronous exception at the current PC.
 func (h *Hart) Exception(cause, tval uint64) {
-	h.trap(rv.Cause(cause, false), tval, h.PC)
+	h.trap(rv.Cause(cause, false), tval, 0, h.PC)
+}
+
+// raise takes the synchronous exception described by ei at the current PC,
+// carrying its guest-physical address into trap entry.
+func (h *Hart) raise(ei *Exc) {
+	h.trap(rv.Cause(ei.Cause, false), ei.Tval, ei.Gpa, h.PC)
 }
 
 // trap performs architectural trap entry for the given cause, routing to
-// S-mode when delegated, otherwise to M-mode.
-func (h *Hart) trap(cause, tval, epc uint64) {
+// VS-mode when doubly delegated (medeleg/mideleg then hedeleg/hideleg,
+// from V=1 only), to HS-mode when delegated once, otherwise to M-mode.
+// gpa is the guest-physical address for guest-page faults (zero otherwise);
+// entry to HS/M latches gpa>>2 into htval/mtval2.
+func (h *Hart) trap(cause, tval, gpa, epc uint64) {
 	code := rv.CauseCode(cause)
 	interrupt := rv.CauseIsInterrupt(cause)
-	toS := false
+	toS, toVS := false, false
 	if h.Mode != rv.ModeM {
 		if interrupt {
 			toS = h.CSR.Mideleg&(1<<code) != 0
 		} else {
 			toS = h.CSR.Medeleg&(1<<code) != 0
 		}
+		if toS && h.V {
+			if interrupt {
+				toVS = h.CSR.Hideleg&(1<<code) != 0
+			} else {
+				toVS = h.CSR.Hedeleg&(1<<code) != 0
+			}
+		}
 	}
 	h.charge(h.Cfg.Cost.TrapEntry)
 	from := h.Mode
+	fromV := h.V
+	if toVS {
+		// VS-mode entry: the guest sees the S-level view, so delegated VS
+		// interrupts write the S-level code (VS code - 1) into vscause.
+		vcause := cause
+		if interrupt {
+			vcause = rv.Cause(code-1, true)
+		}
+		h.CSR.Vscause = vcause
+		h.CSR.Vsepc = legalizeEpc(epc)
+		h.CSR.Vstval = tval
+		st := h.CSR.Vsstatus
+		st = rv.SetBit(st, rv.MstatusSPIE, rv.Bit(st, rv.MstatusSIE) != 0)
+		st = rv.SetBit(st, rv.MstatusSIE, false)
+		st = rv.SetBit(st, rv.MstatusSPP, from == rv.ModeS)
+		h.CSR.Vsstatus = st
+		h.Mode = rv.ModeS
+		h.PC = vectorPC(h.CSR.Vstvec, vcause)
+		h.notifyTrap(cause, tval, epc, from, rv.ModeS)
+		return
+	}
 	if toS {
 		h.CSR.Scause = cause
 		h.CSR.Sepc = legalizeEpc(epc)
@@ -217,6 +261,19 @@ func (h *Hart) trap(cause, tval, epc uint64) {
 		st = rv.SetBit(st, rv.MstatusSIE, false)
 		st = rv.SetBit(st, rv.MstatusSPP, from == rv.ModeS)
 		h.CSR.Mstatus = st
+		if h.Cfg.HasH {
+			hs := h.CSR.Hstatus
+			hs = rv.SetBit(hs, rv.HstatusSPV, fromV)
+			if fromV {
+				hs = rv.SetBit(hs, rv.HstatusSPVP, from == rv.ModeS)
+			}
+			hs = rv.SetBit(hs, rv.HstatusGVA,
+				fromV && !interrupt && rv.CauseWritesGVA(code))
+			h.CSR.Hstatus = hs
+			h.CSR.Htval = gpa >> 2
+			h.CSR.Htinst = 0
+			h.V = false
+		}
 		h.Mode = rv.ModeS
 		h.PC = vectorPC(h.CSR.Stvec, cause)
 		h.notifyTrap(cause, tval, epc, from, rv.ModeS)
@@ -229,6 +286,14 @@ func (h *Hart) trap(cause, tval, epc uint64) {
 	st = rv.SetBit(st, rv.MstatusMPIE, rv.Bit(st, rv.MstatusMIE) != 0)
 	st = rv.SetBit(st, rv.MstatusMIE, false)
 	st = rv.WithMPP(st, from)
+	if h.Cfg.HasH {
+		st = rv.SetBit(st, rv.MstatusMPV, fromV)
+		st = rv.SetBit(st, rv.MstatusGVA,
+			fromV && !interrupt && rv.CauseWritesGVA(code))
+		h.CSR.Mtval2 = gpa >> 2
+		h.CSR.Mtinst = 0
+		h.V = false
+	}
 	h.CSR.Mstatus = st
 	h.Mode = rv.ModeM
 	h.PC = vectorPC(h.CSR.Mtvec, cause)
@@ -290,14 +355,32 @@ func (h *Hart) ReturnMRET() {
 	if prev != rv.ModeM {
 		st = rv.SetBit(st, rv.MstatusMPRV, false)
 	}
+	if h.Cfg.HasH {
+		h.V = prev != rv.ModeM && rv.Bit(st, rv.MstatusMPV) != 0
+		st = rv.SetBit(st, rv.MstatusMPV, false)
+	}
 	h.CSR.Mstatus = st
 	h.Mode = prev
 	h.PC = h.CSR.Mepc
 	h.charge(h.Cfg.Cost.XRet)
 }
 
-// returnSRET performs the sret state transition.
+// returnSRET performs the sret state transition. From VS-mode it operates
+// on the vsstatus stack and stays in the guest; from HS-mode it restores
+// the virtualization mode from hstatus.SPV.
 func (h *Hart) returnSRET() {
+	if h.V {
+		st := h.CSR.Vsstatus
+		prev := rv.SPP(st)
+		st = rv.SetBit(st, rv.MstatusSIE, rv.Bit(st, rv.MstatusSPIE) != 0)
+		st = rv.SetBit(st, rv.MstatusSPIE, true)
+		st = rv.SetBit(st, rv.MstatusSPP, false)
+		h.CSR.Vsstatus = st
+		h.Mode = prev
+		h.PC = h.CSR.Vsepc
+		h.charge(h.Cfg.Cost.XRet)
+		return
+	}
 	st := h.CSR.Mstatus
 	prev := rv.SPP(st)
 	st = rv.SetBit(st, rv.MstatusSIE, rv.Bit(st, rv.MstatusSPIE) != 0)
@@ -307,6 +390,10 @@ func (h *Hart) returnSRET() {
 		st = rv.SetBit(st, rv.MstatusMPRV, false)
 	}
 	h.CSR.Mstatus = st
+	if h.Cfg.HasH {
+		h.V = rv.Bit(h.CSR.Hstatus, rv.HstatusSPV) != 0
+		h.CSR.Hstatus = rv.SetBit(h.CSR.Hstatus, rv.HstatusSPV, false)
+	}
 	h.Mode = prev
 	h.PC = h.CSR.Sepc
 	h.charge(h.Cfg.Cost.XRet)
@@ -314,15 +401,18 @@ func (h *Hart) returnSRET() {
 
 // pendingInterrupt returns the cause of the highest-priority deliverable
 // interrupt, or 0,false. Priority order per the spec: MEI, MSI, MTI, SEI,
-// SSI, STI.
+// SSI, STI, then the VS interrupts. VS-level pending state lives in
+// hvip&hie; mideleg routes each code to M or (H)S, and hideleg splits the
+// supervisor tier into HS targets and in-guest VS delivery.
 func (h *Hart) pendingInterrupt() (uint64, bool) {
 	pending := h.CSR.Mip(h.Time()) & h.CSR.Mie
+	if h.Cfg.HasH {
+		pending |= h.CSR.Hvip & h.CSR.Hie
+	}
 	if pending == 0 {
 		return 0, false
 	}
 	mEnabled := h.Mode != rv.ModeM || rv.Bit(h.CSR.Mstatus, rv.MstatusMIE) != 0
-	sEnabled := h.Mode == rv.ModeU || (h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusSIE) != 0)
-
 	mPending := pending &^ h.CSR.Mideleg
 	if mEnabled && mPending != 0 {
 		for _, code := range mIntPriority {
@@ -331,11 +421,28 @@ func (h *Hart) pendingInterrupt() (uint64, bool) {
 			}
 		}
 	}
-	sPending := pending & h.CSR.Mideleg
+	// (H)S-level targets: delegated by mideleg, minus the VS codes hideleg
+	// sends on into the guest. From V=1 they always preempt the guest.
+	sPending := pending & h.CSR.Mideleg &^ (h.CSR.Hideleg & rv.VSIntMask)
+	sEnabled := h.V || h.Mode == rv.ModeU ||
+		(h.Mode == rv.ModeS && rv.Bit(h.CSR.Mstatus, rv.MstatusSIE) != 0)
 	if h.Mode != rv.ModeM && sEnabled && sPending != 0 {
 		for _, code := range sIntPriority {
 			if sPending&(1<<code) != 0 {
 				return rv.Cause(code, true), true
+			}
+		}
+	}
+	// VS-level targets deliver only inside the guest.
+	if h.V {
+		vsPending := pending & h.CSR.Mideleg & h.CSR.Hideleg & rv.VSIntMask
+		vsEnabled := h.Mode == rv.ModeU ||
+			rv.Bit(h.CSR.Vsstatus, rv.MstatusSIE) != 0
+		if vsEnabled && vsPending != 0 {
+			for _, code := range vsIntPriority {
+				if vsPending&(1<<code) != 0 {
+					return rv.Cause(code, true), true
+				}
 			}
 		}
 	}
@@ -344,8 +451,12 @@ func (h *Hart) pendingInterrupt() (uint64, bool) {
 
 // Interrupt priority orders, hoisted so pendingInterrupt allocates nothing.
 var (
-	mIntPriority = [...]uint64{rv.IntMExt, rv.IntMSoft, rv.IntMTimer, rv.IntSExt, rv.IntSSoft, rv.IntSTimer}
-	sIntPriority = [...]uint64{rv.IntSExt, rv.IntSSoft, rv.IntSTimer}
+	mIntPriority = [...]uint64{rv.IntMExt, rv.IntMSoft, rv.IntMTimer,
+		rv.IntSExt, rv.IntSSoft, rv.IntSTimer,
+		rv.IntVSExt, rv.IntVSSoft, rv.IntVSTimer}
+	sIntPriority = [...]uint64{rv.IntSExt, rv.IntSSoft, rv.IntSTimer,
+		rv.IntVSExt, rv.IntVSSoft, rv.IntVSTimer}
+	vsIntPriority = [...]uint64{rv.IntVSExt, rv.IntVSSoft, rv.IntVSTimer}
 )
 
 // Step advances the hart by one instruction (or one interrupt/idle poll).
@@ -361,17 +472,25 @@ func (h *Hart) Step() {
 	}
 	if cause, ok := h.pendingInterrupt(); ok {
 		h.Waiting = false
-		h.trap(cause, 0, h.PC)
+		h.trap(cause, 0, 0, h.PC)
 		return
 	}
 	if h.Waiting {
 		// WFI wakes when any enabled interrupt pends, regardless of global
 		// enables; that case was handled above only for *deliverable*
-		// interrupts, so also check the raw pending set.
-		if h.CSR.Mip(h.Time())&h.CSR.Mie != 0 {
+		// interrupts, so also check the raw pending set (including VS-level
+		// sources injected through hvip).
+		wake := h.CSR.Mip(h.Time())&h.CSR.Mie != 0
+		if h.Cfg.HasH && h.CSR.Hvip&h.CSR.Hie != 0 {
+			wake = true
+		}
+		if wake {
 			h.Waiting = false
 		} else {
-			if h.CSR.Mie == 0 {
+			// No wakeup is possible once every enable is clear: hvip only
+			// changes by this hart's own CSR writes, so pending VS state
+			// cannot appear while it sleeps.
+			if h.CSR.Mie == 0 && (!h.Cfg.HasH || h.CSR.Hie == 0) {
 				h.Halt(ErrLockup.Error())
 				return
 			}
@@ -386,7 +505,7 @@ func (h *Hart) Step() {
 				h.park = parkReplay
 				return
 			}
-			h.Exception(ei.Cause, ei.Tval)
+			h.raise(ei)
 			return
 		}
 		// Superblock dispatch point: the pending-interrupt check above has
@@ -408,7 +527,7 @@ func (h *Hart) Step() {
 			h.park = parkReplay
 			return
 		}
-		h.Exception(ei.Cause, ei.Tval)
+		h.raise(ei)
 		return
 	}
 	h.execute(raw)
@@ -421,13 +540,15 @@ func (h *Hart) fetch() (uint32, *Exc) {
 		return 0, h.exc(rv.ExcInstrAddrMisaligned, h.PC)
 	}
 	// Fetch always uses the true privilege mode; MPRV affects data only.
-	env := h.mmuEnv(h.Mode)
+	env := h.mmuEnv(h.Mode, h.V)
 	res := mmu.Translate(env, h.PC, mem.Exec)
 	if !res.OK {
 		if h.inSlice && h.mem.TakeBlocked() {
 			return 0, errParked
 		}
-		return 0, h.exc(res.Cause, h.PC)
+		ei := h.exc(res.Cause, h.PC)
+		ei.Gpa = res.GPA
+		return 0, ei
 	}
 	if !h.CSR.PMP.Check(res.PA, 4, mem.Exec, h.Mode) {
 		return 0, h.exc(rv.ExcInstrAccessFault, h.PC)
@@ -442,12 +563,25 @@ func (h *Hart) fetch() (uint32, *Exc) {
 	return uint32(v), nil
 }
 
-func (h *Hart) mmuEnv(priv rv.Mode) *mmu.Env {
+func (h *Hart) mmuEnv(priv rv.Mode, virt bool) *mmu.Env {
 	e := &h.envCache
 	e.Bus = h.mem
 	e.PMP = h.CSR.PMP
-	e.Satp = h.CSR.Satp
 	e.Priv = priv
+	e.HLVX = false
+	if virt {
+		// Guest context: VS-stage translation under vsatp with the guest's
+		// SUM/MXR, composed with the G-stage under hgatp.
+		e.Satp = h.CSR.Vsatp
+		e.V = true
+		e.Hgatp = h.CSR.Hgatp
+		e.SUM = rv.Bit(h.CSR.Vsstatus, rv.MstatusSUM) != 0
+		e.MXR = rv.Bit(h.CSR.Vsstatus, rv.MstatusMXR) != 0
+		return e
+	}
+	e.Satp = h.CSR.Satp
+	e.V = false
+	e.Hgatp = 0
 	e.SUM = rv.Bit(h.CSR.Mstatus, rv.MstatusSUM) != 0
 	e.MXR = rv.Bit(h.CSR.Mstatus, rv.MstatusMXR) != 0
 	return e
@@ -460,6 +594,19 @@ func (h *Hart) effectivePriv() rv.Mode {
 		return rv.MPP(h.CSR.Mstatus)
 	}
 	return h.Mode
+}
+
+// effectivePrivV returns the privilege mode and virtualization mode
+// governing a data access: MPRV substitutes MPP (and, with the hypervisor
+// extension, MPV unless MPP is M); otherwise the hart's current pair.
+func (h *Hart) effectivePrivV() (rv.Mode, bool) {
+	if rv.Bit(h.CSR.Mstatus, rv.MstatusMPRV) != 0 {
+		mpp := rv.MPP(h.CSR.Mstatus)
+		virt := h.Cfg.HasH && mpp != rv.ModeM &&
+			rv.Bit(h.CSR.Mstatus, rv.MstatusMPV) != 0
+		return mpp, virt
+	}
+	return h.Mode, h.V
 }
 
 // misalignedCause maps an access type to its misaligned-exception cause.
@@ -488,8 +635,8 @@ func (h *Hart) MemAccess(va uint64, size int, acc mem.AccessType, value uint64, 
 			return 0, h.exc(misalignedCause(acc), va)
 		}
 	}
-	priv := h.effectivePriv()
-	pa, ei := h.translate(va, acc, priv)
+	priv, virt := h.effectivePrivV()
+	pa, ei := h.translate(va, acc, priv, virt)
 	if ei != nil {
 		return 0, ei
 	}
@@ -548,10 +695,18 @@ func (h *Hart) KillReservation(pa uint64) {
 // monitor uses it for MPRV emulation (software page-table walk on behalf of
 // the firmware).
 func (h *Hart) Translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *Exc) {
-	env := h.mmuEnv(priv)
+	return h.TranslateV(va, acc, priv, false)
+}
+
+// TranslateV is Translate with an explicit virtualization mode: with virt
+// set the walk runs in the guest's two-stage context (vsatp + hgatp).
+func (h *Hart) TranslateV(va uint64, acc mem.AccessType, priv rv.Mode, virt bool) (uint64, *Exc) {
+	env := h.mmuEnv(priv, virt)
 	res := mmu.Translate(env, va, acc)
 	if !res.OK {
-		return 0, h.exc(res.Cause, va)
+		ei := h.exc(res.Cause, va)
+		ei.Gpa = res.GPA
+		return 0, ei
 	}
 	return res.PA, nil
 }

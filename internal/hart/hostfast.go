@@ -96,7 +96,7 @@ type excScratch struct {
 func (h *Hart) exc(cause, tval uint64) *Exc {
 	e := &h.excs.buf[h.excs.i%len(h.excs.buf)]
 	h.excs.i++
-	e.Cause, e.Tval = cause, tval
+	e.Cause, e.Tval, e.Gpa = cause, tval, 0
 	return e
 }
 
@@ -163,8 +163,22 @@ func (h *Hart) tlbFill(acc mem.AccessType, vpn uint64, k mmu.Key, res *mmu.Resul
 	h.fast.tlb.InsertK(acc, vpn, k, res.PA&^4095)
 }
 
-// tlbKey bundles the current translation-validity state for priv.
-func (h *Hart) tlbKey(priv rv.Mode) mmu.Key {
+// tlbKey bundles the current translation-validity state for priv. With
+// virt set the key carries the guest context (vsatp, hgatp, vsstatus
+// SUM/MXR, V) so two-stage fills can never satisfy host-context lookups
+// or vice versa — hgatp rewrites and V transitions miss by comparison.
+func (h *Hart) tlbKey(priv rv.Mode, virt bool) mmu.Key {
+	if virt {
+		return mmu.Key{
+			Satp:  h.CSR.Vsatp,
+			Hgatp: h.CSR.Hgatp,
+			Epoch: h.CSR.PMP.Epoch(),
+			Priv:  priv,
+			SUM:   rv.Bit(h.CSR.Vsstatus, rv.MstatusSUM) != 0,
+			MXR:   rv.Bit(h.CSR.Vsstatus, rv.MstatusMXR) != 0,
+			V:     true,
+		}
+	}
 	return mmu.Key{
 		Satp:  h.CSR.Satp,
 		Epoch: h.CSR.PMP.Epoch(),
@@ -174,40 +188,58 @@ func (h *Hart) tlbKey(priv rv.Mode) mmu.Key {
 	}
 }
 
+// translationActive reports whether any translation stage applies for a
+// (priv, virt) access context.
+func (h *Hart) translationActive(priv rv.Mode, virt bool) bool {
+	if priv == rv.ModeM {
+		return false
+	}
+	if virt {
+		return rv.SatpMode(h.CSR.Vsatp) == rv.SatpModeSv39 ||
+			rv.SatpMode(h.CSR.Hgatp) == rv.HgatpModeSv39x4
+	}
+	return rv.SatpMode(h.CSR.Satp) == rv.SatpModeSv39
+}
+
 // translate maps a virtual address for an access at the given effective
-// privilege, using the TLB when the fast path is on. Architecturally
-// identical to calling mmu.Translate directly: the TLB only ever caches
-// what a full walk produced, keyed on all state the walk depends on, and
-// walks charge no simulated cycles, so hits change host time only.
-func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode) (uint64, *Exc) {
-	if priv == rv.ModeM || rv.SatpMode(h.CSR.Satp) != rv.SatpModeSv39 {
+// privilege and virtualization mode, using the TLB when the fast path is
+// on. Architecturally identical to calling mmu.Translate directly: the TLB
+// only ever caches what a full walk produced, keyed on all state the walk
+// depends on, and walks charge no simulated cycles, so hits change host
+// time only.
+func (h *Hart) translate(va uint64, acc mem.AccessType, priv rv.Mode, virt bool) (uint64, *Exc) {
+	if !h.translationActive(priv, virt) {
 		return va, nil
 	}
 	if !h.fast.on {
 		h.Perf.PageWalks++
-		res := mmu.Translate(h.mmuEnv(priv), va, acc)
+		res := mmu.Translate(h.mmuEnv(priv, virt), va, acc)
 		if !res.OK {
 			if h.inSlice && h.mem.TakeBlocked() {
 				return 0, errParked
 			}
-			return 0, h.exc(res.Cause, va)
+			ei := h.exc(res.Cause, va)
+			ei.Gpa = res.GPA
+			return 0, ei
 		}
 		return res.PA, nil
 	}
 	vpn := va >> 12
-	k := h.tlbKey(priv)
+	k := h.tlbKey(priv, virt)
 	if paPage, ok := h.fast.tlb.LookupK(acc, vpn, k); ok {
 		h.Perf.TLBHits++
 		return paPage | va&4095, nil
 	}
 	h.Perf.TLBMisses++
 	h.Perf.PageWalks++
-	res := mmu.Translate(h.mmuEnv(priv), va, acc)
+	res := mmu.Translate(h.mmuEnv(priv, virt), va, acc)
 	if !res.OK {
 		if h.inSlice && h.mem.TakeBlocked() {
 			return 0, errParked
 		}
-		return 0, h.exc(res.Cause, va)
+		ei := h.exc(res.Cause, va)
+		ei.Gpa = res.GPA
+		return 0, ei
 	}
 	h.tlbFill(acc, vpn, k, &res)
 	return res.PA, nil
@@ -222,7 +254,7 @@ func (h *Hart) fetchFast() (*rv.Decoded, *Exc) {
 		return nil, h.exc(rv.ExcInstrAddrMisaligned, h.PC)
 	}
 	// Fetch always uses the true privilege mode; MPRV affects data only.
-	pa, ei := h.translate(h.PC, mem.Exec, h.Mode)
+	pa, ei := h.translate(h.PC, mem.Exec, h.Mode, h.V)
 	if ei != nil {
 		return nil, ei
 	}

@@ -129,6 +129,16 @@ func (h *Hart) SuperblockEnabled() bool { return h.sb.on }
 // ran; the caller interprets d as usual). Heat accounting, translation,
 // and the entry guard all live here.
 func (h *Hart) sbTry() uint64 {
+	if h.V {
+		// Guest (V=1) execution stays on the interpreter: superblocks are
+		// keyed and guarded on single-stage state only, and the H-mode trap
+		// funnels (virtual instructions, guest-page faults) are not worth a
+		// third compiled encoding of the gating rules.
+		return 0
+	}
+	if _, virt := h.effectivePrivV(); virt {
+		return 0 // MPRV+MPV data accesses need the two-stage walk
+	}
 	dp := h.fast.fetchDP
 	if dp == nil {
 		return 0 // MMIO fetch: never translated
@@ -255,7 +265,7 @@ func (h *Hart) runBlock(sb *sblock) uint64 {
 	h.sb.priv = priv
 	h.sb.bare = priv == rv.ModeM || rv.SatpMode(h.CSR.Satp) != rv.SatpModeSv39
 	if !h.sb.bare {
-		h.sb.key = h.tlbKey(priv)
+		h.sb.key = h.tlbKey(priv, false)
 	}
 	h.sb.endAfter = false
 	start := h.Cycles
@@ -312,7 +322,7 @@ func (h *Hart) sbTranslateData(va uint64, acc mem.AccessType) (uint64, bool) {
 	}
 	h.Perf.TLBMisses++
 	h.Perf.PageWalks++
-	res := mmu.Translate(h.mmuEnv(h.sb.priv), va, acc)
+	res := mmu.Translate(h.mmuEnv(h.sb.priv, false), va, acc)
 	if !res.OK {
 		return 0, false
 	}

@@ -70,8 +70,8 @@ func sbCompareEnd(t *testing.T, want, got *Machine) {
 			}
 		}
 		for _, c := range []struct {
-			name    string
-			wv, gv  uint64
+			name   string
+			wv, gv uint64
 		}{
 			{"mstatus", hw.CSR.Mstatus, hg.CSR.Mstatus},
 			{"mcause", hw.CSR.Mcause, hg.CSR.Mcause},

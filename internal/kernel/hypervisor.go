@@ -1,0 +1,392 @@
+package kernel
+
+import (
+	"govfm/internal/asm"
+	"govfm/internal/hart"
+	"govfm/internal/mmu"
+	"govfm/internal/rv"
+)
+
+// HypOptions parameterizes the type-1 hypervisor image.
+type HypOptions struct {
+	// Yields is the number of ping-pong rounds each guest runs before
+	// signalling done.
+	Yields int
+}
+
+// Hypercall ABI between the VS-mode guests and the HS-mode hypervisor:
+// a7 = hypExt, a6 = function, arguments in a0.
+const (
+	hypExt     = 0x4859 // "HY"
+	hypPutchar = 0
+	hypYield   = 1
+	hypDone    = 2
+	hypFail    = 3
+)
+
+// Guest frame layout: 256 bytes per guest, slot 0 holds the guest pc,
+// slots 1..31 hold x1..x31.
+const frameSize = 256
+
+// guestWindow is an unmapped guest-physical gigapage (VPN[2] = 4) the
+// guests touch to force demand faults. The hypervisor maps it on first
+// use to the DRAM gigapage, so guest address (window + x) aliases host
+// physical address (dramGiga + x).
+const (
+	guestWindow = uint64(1) << 32
+	dramGiga    = uint64(hart.DramBase) &^ (uint64(1)<<30 - 1)
+)
+
+// BuildHypervisor assembles a synthetic type-1 hypervisor at base. The
+// firmware mrets into it in HS-mode; it builds an initially empty Sv39x4
+// G-stage table, then launches two cooperative VS-mode guests and
+// round-robins them on yield hypercalls. Along the way the guests force
+// every hypervisor trap class at least once:
+//
+//   - instruction guest-page fault (20): the first guest fetch hits the
+//     empty G-stage table; the hypervisor demand-maps the DRAM gigapage.
+//   - load guest-page fault (21): guest 0 reads through guestWindow; the
+//     hypervisor maps the window read-only onto DRAM.
+//   - store guest-page fault (23): guest 0 writes through the read-only
+//     window; the hypervisor upgrades it to read-write.
+//   - virtual instruction (22): each guest executes hfence.vvma, which
+//     VS-mode may not; the hypervisor counts it and skips the word.
+//   - ecall-from-VS (10): the hypercall path (console bytes are proxied
+//     to the firmware SBI debug console from HS).
+//
+// Both guests signalling done shuts the machine down through SBI SRST;
+// the hypervisor first checks the per-class fault counters, so reaching
+// "guest-exit-pass" proves every class fired exactly as designed.
+func BuildHypervisor(base uint64, opt HypOptions) []byte {
+	a := asm.New(base)
+	yields := opt.Yields
+	if yields <= 0 {
+		yields = 3
+	}
+	// 16 KiB G-stage root (2048 entries), 16 KiB-aligned zeroed RAM well
+	// past the image.
+	gtable := (base + 0x20_0000) &^ uint64(0x3FFF)
+
+	a.Label("entry")
+	// HS trap vector, then a banner byte through the firmware SBI (the
+	// ecall-from-HS is not delegated, so it lands in M-mode firmware).
+	a.La(asm.T0, "htrap")
+	a.Csrw(rv.CSRStvec, asm.T0)
+	emitConsole(a, 'h')
+
+	// Nothing is delegated onward to VS: every guest trap enters HS.
+	a.Csrw(rv.CSRHedeleg, asm.X0)
+	a.Csrw(rv.CSRHideleg, asm.X0)
+
+	// G-stage on, table empty: the first guest fetch must fault.
+	a.Li(asm.T0, rv.HgatpModeSv39x4<<60|gtable>>12)
+	a.Csrw(rv.CSRHgatp, asm.T0)
+	a.HfenceGVMA(asm.X0, asm.X0)
+	// VS-stage stays bare for both guests.
+	a.Csrw(rv.CSRVsatp, asm.X0)
+
+	// Guest frames: zeroed RAM, only the entry pc and an identifying a0
+	// need storing.
+	a.La(asm.S0, "frame0")
+	a.La(asm.T0, "guest0")
+	a.Sd(asm.T0, asm.S0, 0)
+	a.La(asm.T0, "frame1")
+	a.La(asm.T1, "guest1")
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Li(asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 10*8) // guest 1 starts with a0 = 1
+	a.J("resume")
+
+	// --- Resume the guest whose frame s0 points at ---
+	a.Label("resume")
+	a.Ld(asm.T0, asm.S0, 0)
+	a.Csrw(rv.CSRSepc, asm.T0)
+	a.Csrw(rv.CSRSscratch, asm.S0)
+	// sret target: V=1 (hstatus.SPV), VS-mode (sstatus.SPP).
+	a.Li(asm.T0, 1<<rv.HstatusSPV)
+	a.Csrrs(asm.X0, rv.CSRHstatus, asm.T0)
+	a.Li(asm.T0, 1<<rv.MstatusSPP)
+	a.Csrrs(asm.X0, rv.CSRSstatus, asm.T0)
+	a.Mv(asm.SP, asm.S0)
+	for r := 1; r < 32; r++ {
+		if r == asm.SP {
+			continue
+		}
+		a.Ld(r, asm.SP, int64(r)*8)
+	}
+	a.Ld(asm.SP, asm.SP, asm.SP*8)
+	a.Sret()
+
+	// --- HS trap handler: all traps here come from a guest ---
+	a.Label("htrap")
+	a.Csrrw(asm.SP, rv.CSRSscratch, asm.SP) // sp = frame, sscratch = guest sp
+	for r := 1; r < 32; r++ {
+		if r == asm.SP {
+			continue
+		}
+		a.Sd(r, asm.SP, int64(r)*8)
+	}
+	a.Csrr(asm.T0, rv.CSRSscratch)
+	a.Sd(asm.T0, asm.SP, asm.SP*8)
+	a.Csrr(asm.T0, rv.CSRSepc)
+	a.Sd(asm.T0, asm.SP, 0)
+	a.Mv(asm.S0, asm.SP)
+
+	a.Csrr(asm.T0, rv.CSRScause)
+	a.BltFar(asm.T0, asm.X0, "fail") // no interrupts are armed
+	a.Li(asm.T1, rv.ExcEcallFromVS)
+	a.BeqFar(asm.T0, asm.T1, "hcall")
+	a.Li(asm.T1, rv.ExcInstrGuestPageFault)
+	a.BeqFar(asm.T0, asm.T1, "gpf_fetch")
+	a.Li(asm.T1, rv.ExcLoadGuestPageFault)
+	a.BeqFar(asm.T0, asm.T1, "gpf_load")
+	a.Li(asm.T1, rv.ExcVirtualInstr)
+	a.BeqFar(asm.T0, asm.T1, "virt_instr")
+	a.Li(asm.T1, rv.ExcStoreGuestPageFault)
+	a.BeqFar(asm.T0, asm.T1, "gpf_store")
+	a.J("fail")
+
+	// Fetch fault: htval<<2 must equal the faulting pc (VS-stage is
+	// bare, so GVA == GPA). Identity-map the faulting gigapage RWX and
+	// retry the same pc.
+	a.Label("gpf_fetch")
+	a.Csrr(asm.T0, rv.CSRHtval)
+	a.Slli(asm.T0, asm.T0, 2)
+	a.Csrr(asm.T1, rv.CSRSepc)
+	a.BneFar(asm.T0, asm.T1, "fail")
+	a.Srli(asm.T2, asm.T0, 30) // VPN[2]
+	a.Slli(asm.T3, asm.T2, 3)
+	a.Li(asm.T4, gtable)
+	a.Add(asm.T3, asm.T3, asm.T4)
+	a.Slli(asm.T4, asm.T2, 28) // gigapage base >> 2
+	a.Li(asm.T5, mmu.PteD|mmu.PteA|mmu.PteU|mmu.PteX|mmu.PteW|mmu.PteR|mmu.PteV)
+	a.Or(asm.T4, asm.T4, asm.T5)
+	a.Sd(asm.T4, asm.T3, 0)
+	a.HfenceGVMA(asm.X0, asm.X0)
+	a.La(asm.T0, "n_fetch")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.J("resume")
+
+	// Load fault: must be the guest window; map it read-only onto the
+	// DRAM gigapage and retry.
+	a.Label("gpf_load")
+	a.Csrr(asm.T0, rv.CSRHtval)
+	a.Slli(asm.T0, asm.T0, 2)
+	a.Srli(asm.T2, asm.T0, 30)
+	a.Li(asm.T1, guestWindow>>30)
+	a.BneFar(asm.T2, asm.T1, "fail")
+	a.Li(asm.T3, gtable+(guestWindow>>30)*8)
+	a.Li(asm.T4, dramGiga>>2|mmu.PteA|mmu.PteU|mmu.PteR|mmu.PteV)
+	a.Sd(asm.T4, asm.T3, 0)
+	a.HfenceGVMA(asm.X0, asm.X0)
+	a.La(asm.T0, "n_load")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.J("resume")
+
+	// Store fault: upgrade the window mapping to read-write and retry.
+	a.Label("gpf_store")
+	a.Csrr(asm.T0, rv.CSRHtval)
+	a.Slli(asm.T0, asm.T0, 2)
+	a.Srli(asm.T2, asm.T0, 30)
+	a.Li(asm.T1, guestWindow>>30)
+	a.BneFar(asm.T2, asm.T1, "fail")
+	a.Li(asm.T3, gtable+(guestWindow>>30)*8)
+	a.Li(asm.T4, dramGiga>>2|mmu.PteD|mmu.PteA|mmu.PteU|mmu.PteW|mmu.PteR|mmu.PteV)
+	a.Sd(asm.T4, asm.T3, 0)
+	a.HfenceGVMA(asm.X0, asm.X0)
+	a.La(asm.T0, "n_store")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.J("resume")
+
+	// Virtual instruction: count it and skip the trapping word.
+	a.Label("virt_instr")
+	a.La(asm.T0, "n_virt")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Addi(asm.T1, asm.T1, 1)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Ld(asm.T0, asm.S0, 0)
+	a.Addi(asm.T0, asm.T0, 4)
+	a.Sd(asm.T0, asm.S0, 0)
+	a.J("resume")
+
+	// Hypercall: dispatch on a6 from the frame. The ecall itself is
+	// complete, so the saved pc advances first.
+	a.Label("hcall")
+	a.Ld(asm.T0, asm.S0, 0)
+	a.Addi(asm.T0, asm.T0, 4)
+	a.Sd(asm.T0, asm.S0, 0)
+	a.Ld(asm.T0, asm.S0, 17*8) // a7
+	a.Li(asm.T1, hypExt)
+	a.BneFar(asm.T0, asm.T1, "fail")
+	a.Ld(asm.T0, asm.S0, 16*8) // a6
+	a.Beqz(asm.T0, "hc_putchar")
+	a.Li(asm.T1, hypYield)
+	a.Beq(asm.T0, asm.T1, "hc_yield")
+	a.Li(asm.T1, hypDone)
+	a.BeqFar(asm.T0, asm.T1, "hc_done")
+	a.J("fail")
+
+	// putchar: proxy a0 to the firmware debug console, return 0 in the
+	// guest's a0/a1.
+	a.Label("hc_putchar")
+	a.Ld(asm.A0, asm.S0, 10*8)
+	emitSBICall(a, rv.SBIExtDebug, rv.SBIDebugWriteByte)
+	a.Sd(asm.X0, asm.S0, 10*8)
+	a.Sd(asm.X0, asm.S0, 11*8)
+	a.J("resume")
+
+	// yield: switch to the other guest unless it is already done.
+	a.Label("hc_yield")
+	a.Label("switch")
+	a.La(asm.T0, "frame0")
+	a.La(asm.T1, "frame1")
+	a.Bne(asm.S0, asm.T0, "sw_to0")
+	a.Mv(asm.T2, asm.T1) // other = frame1, bit 2
+	a.Li(asm.T3, 2)
+	a.J("sw_check")
+	a.Label("sw_to0")
+	a.Mv(asm.T2, asm.T0) // other = frame0, bit 1
+	a.Li(asm.T3, 1)
+	a.Label("sw_check")
+	a.La(asm.T0, "done_mask")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.And(asm.T1, asm.T1, asm.T3)
+	a.Bnez(asm.T1, "resume") // other guest done: keep running this one
+	a.Mv(asm.S0, asm.T2)
+	a.J("resume")
+
+	// done: mark this guest finished; shut down when both are.
+	a.Label("hc_done")
+	a.La(asm.T0, "frame0")
+	a.Li(asm.T2, 1)
+	a.Beq(asm.S0, asm.T0, "done_bit")
+	a.Li(asm.T2, 2)
+	a.Label("done_bit")
+	a.La(asm.T0, "done_mask")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Or(asm.T1, asm.T1, asm.T2)
+	a.Sd(asm.T1, asm.T0, 0)
+	a.Li(asm.T3, 3)
+	a.BneFar(asm.T1, asm.T3, "switch")
+	// Both done: every trap class must have fired its designed count.
+	a.La(asm.T0, "n_fetch")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Li(asm.T2, 1)
+	a.BneFar(asm.T1, asm.T2, "fail")
+	a.La(asm.T0, "n_load")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.BneFar(asm.T1, asm.T2, "fail")
+	a.La(asm.T0, "n_store")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.BneFar(asm.T1, asm.T2, "fail")
+	a.La(asm.T0, "n_virt")
+	a.Ld(asm.T1, asm.T0, 0)
+	a.Li(asm.T2, 2)
+	a.BneFar(asm.T1, asm.T2, "fail")
+	emitConsole(a, 'H')
+	emitConsole(a, '\n')
+	a.Li(asm.A0, 0)
+	a.Li(asm.A1, 0)
+	emitSBICall(a, rv.SBIExtReset, 0)
+	a.Label("fail")
+	a.Li(asm.T6, hart.ExitBase)
+	a.Li(asm.T5, hart.ExitFail)
+	a.Sd(asm.T5, asm.T6, 0)
+	a.Label("hang")
+	a.J("hang")
+
+	// --- Guest 0 (VS-mode, a0 = 0) ---
+	a.Label("guest0")
+	emitGuestPutchar(a, 'a')
+	// Demand load fault through the window: guest address L+2^31 maps to
+	// host physical L once the hypervisor installs the window gigapage.
+	a.La(asm.T0, "gmagic")
+	a.Li(asm.T1, guestWindow-dramGiga)
+	a.Add(asm.S1, asm.T0, asm.T1)
+	a.Ld(asm.T2, asm.S1, 0)
+	a.Li(asm.T3, gmagicValue)
+	a.BneFar(asm.T2, asm.T3, "gfail")
+	// Store fault: the window is read-only until the hypervisor upgrades
+	// it. The slot aliases "gstore" in host RAM.
+	a.Li(asm.T4, 0x1122)
+	a.Sd(asm.T4, asm.S1, 8)
+	a.Ld(asm.T5, asm.S1, 8)
+	a.BneFar(asm.T4, asm.T5, "gfail")
+	// Virtual instruction: hfence.vvma is not VS-mode's to execute.
+	a.HfenceVVMA(asm.X0, asm.X0)
+	emitGuestRounds(a, 'A', yields, 0)
+	a.Label("gfail")
+	a.Li(asm.A7, hypExt)
+	a.Li(asm.A6, hypFail)
+	a.Ecall()
+	a.J("gfail")
+
+	// --- Guest 1 (VS-mode, a0 = 1) ---
+	a.Label("guest1")
+	emitGuestPutchar(a, 'b')
+	a.HfenceVVMA(asm.X0, asm.X0)
+	emitGuestRounds(a, 'B', yields, 1)
+	a.Label("gfail1")
+	a.Li(asm.A7, hypExt)
+	a.Li(asm.A6, hypFail)
+	a.Ecall()
+	a.J("gfail1")
+
+	// --- Data ---
+	a.Align(8)
+	a.Label("gmagic")
+	a.Raw64(gmagicValue)
+	a.Label("gstore")
+	a.Space(8)
+	a.Label("n_fetch")
+	a.Space(8)
+	a.Label("n_load")
+	a.Space(8)
+	a.Label("n_store")
+	a.Space(8)
+	a.Label("n_virt")
+	a.Space(8)
+	a.Label("done_mask")
+	a.Space(8)
+	a.Align(frameSize)
+	a.Label("frame0")
+	a.Space(frameSize)
+	a.Label("frame1")
+	a.Space(frameSize)
+
+	return a.MustAssemble()
+}
+
+// gmagicValue is the sentinel guest 0 expects to read through the window.
+const gmagicValue = uint64(0x5AFE_C0DE_D00D_F00D)
+
+// emitGuestPutchar emits a putchar hypercall for a constant byte.
+func emitGuestPutchar(a *asm.Asm, ch byte) {
+	a.Li(asm.A0, uint64(ch))
+	a.Li(asm.A7, hypExt)
+	a.Li(asm.A6, hypPutchar)
+	a.Ecall()
+}
+
+// emitGuestRounds emits n yield-then-putchar rounds followed by the done
+// hypercall.
+func emitGuestRounds(a *asm.Asm, ch byte, n, id int) {
+	a.Li(asm.S2, uint64(n))
+	loop := lbl(a, "ground", id)
+	a.Label(loop)
+	a.Li(asm.A7, hypExt)
+	a.Li(asm.A6, hypYield)
+	a.Ecall()
+	emitGuestPutchar(a, ch)
+	a.Addi(asm.S2, asm.S2, -1)
+	a.Bnez(asm.S2, loop)
+	a.Li(asm.A7, hypExt)
+	a.Li(asm.A6, hypDone)
+	a.Ecall()
+}

@@ -35,21 +35,25 @@ const tlbSets = 64
 type tlbEntry struct {
 	valid  bool
 	priv   rv.Mode
-	flags  uint8 // bit0 SUM, bit1 MXR
+	flags  uint8 // bit0 SUM, bit1 MXR, bit2 V
 	vpn    uint64
 	satp   uint64
+	hgatp  uint64 // G-stage root at fill (zero for single-stage entries)
 	epoch  uint64 // pmp.File.Epoch at fill
 	gen    uint64
 	paPage uint64
 }
 
-func tlbFlags(sum, mxr bool) uint8 {
+func tlbFlags(sum, mxr, v bool) uint8 {
 	var f uint8
 	if sum {
 		f |= 1
 	}
 	if mxr {
 		f |= 2
+	}
+	if v {
+		f |= 4
 	}
 	return f
 }
@@ -62,19 +66,28 @@ func (t *TLB) Flush() { t.gen++ }
 // tier hoists one Key per block dispatch — CSR writes, traps, and xrets are
 // all block terminators, so the state cannot change mid-block) build it
 // once and use LookupK/InsertK.
+//
+// Under two-stage translation V is set, Satp holds vsatp, and Hgatp the
+// G-stage root: validity-by-comparison extends unchanged — an entry filled
+// under a different hgatp (or the other virtualization mode) simply misses,
+// so hgatp rewrites and V transitions invalidate for free, exactly like
+// satp (see DESIGN.md, "Two-stage translation vs. the single-stage TLB").
 type Key struct {
 	Satp  uint64
+	Hgatp uint64 // zero unless V
 	Epoch uint64 // pmp.File.Epoch at lookup
 	Priv  rv.Mode
 	SUM   bool
 	MXR   bool
+	V     bool
 }
 
 // LookupK is Lookup with the validity state pre-bundled in a Key.
 func (t *TLB) LookupK(acc mem.AccessType, vpn uint64, k Key) (uint64, bool) {
 	e := &t.sets[acc][vpn%tlbSets]
-	if e.valid && e.vpn == vpn && e.satp == k.Satp && e.epoch == k.Epoch &&
-		e.gen == t.gen && e.priv == k.Priv && e.flags == tlbFlags(k.SUM, k.MXR) {
+	if e.valid && e.vpn == vpn && e.satp == k.Satp && e.hgatp == k.Hgatp &&
+		e.epoch == k.Epoch && e.gen == t.gen && e.priv == k.Priv &&
+		e.flags == tlbFlags(k.SUM, k.MXR, k.V) {
 		return e.paPage, true
 	}
 	return 0, false
@@ -85,9 +98,10 @@ func (t *TLB) InsertK(acc mem.AccessType, vpn uint64, k Key, paPage uint64) {
 	t.sets[acc][vpn%tlbSets] = tlbEntry{
 		valid:  true,
 		priv:   k.Priv,
-		flags:  tlbFlags(k.SUM, k.MXR),
+		flags:  tlbFlags(k.SUM, k.MXR, k.V),
 		vpn:    vpn,
 		satp:   k.Satp,
+		hgatp:  k.Hgatp,
 		epoch:  k.Epoch,
 		gen:    t.gen,
 		paPage: paPage,
@@ -95,26 +109,12 @@ func (t *TLB) InsertK(acc mem.AccessType, vpn uint64, k Key, paPage uint64) {
 }
 
 // Lookup returns the cached physical page for virtual page vpn (va>>12)
-// under the given translation state, if present.
+// under the given single-stage translation state, if present.
 func (t *TLB) Lookup(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool) (uint64, bool) {
-	e := &t.sets[acc][vpn%tlbSets]
-	if e.valid && e.vpn == vpn && e.satp == satp && e.epoch == epoch &&
-		e.gen == t.gen && e.priv == priv && e.flags == tlbFlags(sum, mxr) {
-		return e.paPage, true
-	}
-	return 0, false
+	return t.LookupK(acc, vpn, Key{Satp: satp, Epoch: epoch, Priv: priv, SUM: sum, MXR: mxr})
 }
 
-// Insert caches a successful leaf translation.
+// Insert caches a successful single-stage leaf translation.
 func (t *TLB) Insert(acc mem.AccessType, vpn, satp, epoch uint64, priv rv.Mode, sum, mxr bool, paPage uint64) {
-	t.sets[acc][vpn%tlbSets] = tlbEntry{
-		valid:  true,
-		priv:   priv,
-		flags:  tlbFlags(sum, mxr),
-		vpn:    vpn,
-		satp:   satp,
-		epoch:  epoch,
-		gen:    t.gen,
-		paPage: paPage,
-	}
+	t.InsertK(acc, vpn, Key{Satp: satp, Epoch: epoch, Priv: priv, SUM: sum, MXR: mxr}, paPage)
 }

@@ -4,45 +4,106 @@ package refmodel
 // them) rather than shared with the simulator, keeping the two derivations
 // of the specification independent.
 
-// csrAccessOK performs the existence and privilege checks of the Zicsr
-// chapter: address-encoded minimum privilege, read-only top bits, counter
-// enables, TVM, and Sstc gating.
-func csrAccessOK(c *Config, s *State, csr uint16, write bool) bool {
-	if write && csr>>10&3 == 3 {
-		return false
-	}
-	minPriv := uint8(0)
+// csrMinPriv decodes the address-encoded minimum privilege.
+func csrMinPriv(csr uint16) uint8 {
 	switch csr >> 8 & 3 {
 	case 1, 2:
-		minPriv = S
+		return S
 	case 3:
-		minPriv = M
+		return M
 	}
-	if s.Priv < minPriv {
-		return false
+	return U
+}
+
+// csrIsHyp reports whether csr is a hypervisor or VS-level CSR, which from
+// V=1 always raises the virtual-instruction exception.
+func csrIsHyp(csr uint16) bool {
+	switch csr {
+	case 0x600, 0x602, 0x603, 0x604, 0x606, 0x607, 0x60A, 0x643, 0x644,
+		0x645, 0x64A, 0x680, 0xE12,
+		0x200, 0x204, 0x205, 0x240, 0x241, 0x242, 0x243, 0x244, 0x280:
+		return true
+	}
+	return false
+}
+
+// csrCheck performs the existence, substitution, and privilege checks of
+// the Zicsr chapter extended by the hypervisor chapter: read-only top bits,
+// address-encoded minimum privilege, the V=1 S-to-VS CSR substitution,
+// counter enables (mcounteren, then hcounteren, then scounteren), TVM, and
+// Sstc gating. It returns the CSR number the access actually touches plus
+// a zero cause on success, or causeIllegal/causeVirtual on denial.
+func csrCheck(c *Config, s *State, csr uint16, write bool) (uint16, uint64) {
+	if write && csr>>10&3 == 3 {
+		return csr, causeIllegal
 	}
 	if !csrExists(c, csr) {
-		return false
+		return csr, causeIllegal
 	}
-	switch csr {
+	mapped := csr
+	if s.V {
+		if csrMinPriv(csr) == S && (s.Priv == U || csrIsHyp(csr)) {
+			return csr, causeVirtual
+		}
+		switch csr {
+		case 0x100:
+			mapped = 0x200
+		case 0x104:
+			mapped = 0x204
+		case 0x105:
+			mapped = 0x205
+		case 0x140:
+			mapped = 0x240
+		case 0x141:
+			mapped = 0x241
+		case 0x142:
+			mapped = 0x242
+		case 0x143:
+			mapped = 0x243
+		case 0x144:
+			mapped = 0x244
+		case 0x180:
+			if s.Hstatus&hstatusVTVM != 0 {
+				return csr, causeVirtual
+			}
+			mapped = 0x280
+		case 0x14D:
+			// No vstimecmp in this model: the access traps to the
+			// hypervisor when Sstc is live, and is illegal otherwise.
+			if s.Menvcfg>>63&1 != 0 {
+				return csr, causeVirtual
+			}
+			return csr, causeIllegal
+		}
+	}
+	if s.Priv < csrMinPriv(mapped) {
+		return mapped, causeIllegal
+	}
+	switch mapped {
 	case 0xC00, 0xC01, 0xC02: // cycle, time, instret
-		bit := uint(csr - 0xC00)
+		bit := uint(mapped - 0xC00)
 		if s.Priv < M && s.Mcounteren>>bit&1 == 0 {
-			return false
+			return mapped, causeIllegal
+		}
+		if s.V && s.Hcounteren>>bit&1 == 0 {
+			return mapped, causeVirtual
 		}
 		if s.Priv == U && s.Scounteren>>bit&1 == 0 {
-			return false
+			if s.V {
+				return mapped, causeVirtual
+			}
+			return mapped, causeIllegal
 		}
-	case 0x180: // satp
+	case 0x180, 0x680: // satp, hgatp
 		if s.Priv == S && s.Status.TVM {
-			return false
+			return mapped, causeIllegal
 		}
 	case 0x14D: // stimecmp
 		if s.Priv == S && s.Menvcfg>>63&1 == 0 {
-			return false
+			return mapped, causeIllegal
 		}
 	}
-	return true
+	return mapped, 0
 }
 
 func csrExists(c *Config, csr uint16) bool {
@@ -106,10 +167,14 @@ func sstatusBits(m Mstatus) uint64 {
 	return v
 }
 
-func legalizeMstatusWrite(old Mstatus, v uint64) Mstatus {
+func legalizeMstatusWrite(c *Config, old Mstatus, v uint64) Mstatus {
 	n := MstatusFromBits(v)
 	if v>>11&3 == 2 { // MPP=H is not a supported mode: keep the old value
 		n.MPP = old.MPP
+	}
+	if !c.HasH { // MPV/GVA exist only with the hypervisor extension
+		n.GVA = false
+		n.MPV = false
 	}
 	return n
 }
@@ -149,7 +214,8 @@ func readCSR(c *Config, s *State, csr uint16) uint64 {
 	case 0x100:
 		return sstatusBits(s.Status)
 	case 0x104:
-		return s.Mie & s.Mideleg
+		// The VS bits forced into mideleg are not visible through sie.
+		return s.Mie & s.Mideleg & 0x222
 	case 0x105:
 		return s.Stvec
 	case 0x106:
@@ -165,7 +231,7 @@ func readCSR(c *Config, s *State, csr uint16) uint64 {
 	case 0x143:
 		return s.Stval
 	case 0x144:
-		return s.Mip(c) & s.Mideleg
+		return s.Mip(c) & s.Mideleg & 0x222
 	case 0x14D:
 		return s.Stimecmp
 	case 0x180:
@@ -235,13 +301,14 @@ func readCSR(c *Config, s *State, csr uint16) uint64 {
 	case 0x606:
 		return s.Hcounteren
 	case 0x607:
-		return s.Hgeie
+		return 0 // hgeie: no guest external interrupts modelled
 	case 0x60A:
-		return s.Henvcfg
+		return 0 // henvcfg: no guest-visible extensions to enable
 	case 0x643:
 		return s.Htval
 	case 0x644:
-		return s.Hip
+		// hip is a view of the injectable VS interrupt lines.
+		return s.Hvip & vsIntMask
 	case 0x645:
 		return s.Hvip
 	case 0x64A:
@@ -253,7 +320,9 @@ func readCSR(c *Config, s *State, csr uint16) uint64 {
 	case 0x200:
 		return s.Vsstatus
 	case 0x204:
-		return s.Vsie
+		// vsie is the guest's sie view: hie gated by hideleg, shifted to
+		// the S-level bit positions.
+		return (s.Hie & s.Hideleg & vsIntMask) >> 1
 	case 0x205:
 		return s.Vstvec
 	case 0x240:
@@ -265,7 +334,7 @@ func readCSR(c *Config, s *State, csr uint16) uint64 {
 	case 0x243:
 		return s.Vstval
 	case 0x244:
-		return s.Vsip
+		return (s.Hvip & s.Hideleg & vsIntMask) >> 1
 	case 0x280:
 		return s.Vsatp
 	}
@@ -295,7 +364,8 @@ func writeCSR(c *Config, s *State, csr uint16, v uint64) {
 	case 0x100:
 		s.Status = legalizeSstatusWrite(s.Status, v)
 	case 0x104:
-		s.Mie = s.Mie&^s.Mideleg | v&s.Mideleg
+		mask := s.Mideleg & 0x222 // sie cannot reach the forced VS bits
+		s.Mie = s.Mie&^mask | v&mask
 	case 0x105:
 		s.Stvec = legalizeTvecWrite(v)
 	case 0x106:
@@ -324,16 +394,26 @@ func writeCSR(c *Config, s *State, csr uint16, v uint64) {
 			s.Satp = v
 		}
 	case 0x300:
-		s.Status = legalizeMstatusWrite(s.Status, v)
+		s.Status = legalizeMstatusWrite(c, s.Status, v)
 	case 0x301:
 		// misa is hardwired in this model.
 	case 0x302:
-		s.Medeleg = v & 0xB3FF
+		mask := uint64(0xB3FF)
+		if c.HasH {
+			// ecall-from-VS plus the virtual-instruction and guest-page
+			// fault causes become delegatable.
+			mask |= 1<<10 | 1<<20 | 1<<21 | 1<<22 | 1<<23
+		}
+		s.Medeleg = v & mask
 	case 0x303:
 		if c.MidelegForced {
 			s.Mideleg = 1<<1 | 1<<5 | 1<<9
 		} else {
 			s.Mideleg = v & (1<<1 | 1<<5 | 1<<9)
+		}
+		if c.HasH {
+			// The VS interrupt bits are hardwired delegated.
+			s.Mideleg |= vsIntMask
 		}
 	case 0x304:
 		s.Mie = v & 0xAAA
@@ -370,33 +450,40 @@ func writeCSR(c *Config, s *State, csr uint16, v uint64) {
 	case 0x34B:
 		s.Mtval2 = v
 	case 0x600:
-		s.Hstatus = v
+		wmask := hstatusGVA | hstatusSPV | hstatusSPVP | hstatusHU |
+			hstatusVTVM | hstatusVTW | hstatusVTSR
+		s.Hstatus = v&wmask | 2<<32 // VSXL hardwired to 64-bit
 	case 0x602:
-		s.Hedeleg = v
+		s.Hedeleg = v & 0xB1FF
 	case 0x603:
-		s.Hideleg = v
+		s.Hideleg = v & vsIntMask
 	case 0x604:
-		s.Hie = v
+		s.Hie = v & vsIntMask
 	case 0x606:
 		s.Hcounteren = v & 0xFFFFFFFF
 	case 0x607:
-		s.Hgeie = v
+		// hgeie: hardwired zero, writes discarded
 	case 0x60A:
-		s.Henvcfg = v
+		// henvcfg: hardwired zero, writes discarded
 	case 0x643:
 		s.Htval = v
 	case 0x644:
-		s.Hip = v
+		// Only VSSIP is software-writable through hip; it aliases hvip.
+		s.Hvip = s.Hvip&^(1<<2) | v&(1<<2)
 	case 0x645:
-		s.Hvip = v
+		s.Hvip = v & vsIntMask
 	case 0x64A:
 		s.Htinst = v
 	case 0x680:
-		s.Hgatp = v
+		if mode := v >> 60; mode == 0 || mode == 8 {
+			s.Hgatp = v &^ (3<<58 | 3) // low VMID bits hardwired zero
+		}
 	case 0x200:
-		s.Vsstatus = v
+		wmask := uint64(1<<1 | 1<<5 | 1<<8 | 1<<18 | 1<<19)
+		s.Vsstatus = v&wmask | 2<<32 // UXL hardwired to 64-bit
 	case 0x204:
-		s.Vsie = v
+		mask := s.Hideleg & vsIntMask
+		s.Hie = s.Hie&^mask | v<<1&mask
 	case 0x205:
 		s.Vstvec = legalizeTvecWrite(v)
 	case 0x240:
@@ -408,9 +495,13 @@ func writeCSR(c *Config, s *State, csr uint16, v uint64) {
 	case 0x243:
 		s.Vstval = v
 	case 0x244:
-		s.Vsip = v
+		// Only VSSIP is writable through vsip, and only when delegated.
+		mask := s.Hideleg & (1 << 2)
+		s.Hvip = s.Hvip&^mask | v<<1&mask
 	case 0x280:
-		s.Vsatp = v
+		if mode := v >> 60; mode == 0 || mode == 8 {
+			s.Vsatp = v
+		}
 	default:
 		if csr >= 0x3A0 && csr < 0x3B0 {
 			writePmpCfgReg(c, s, int(csr-0x3A0), v)

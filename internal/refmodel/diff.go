@@ -18,8 +18,8 @@ func (d Delta) String() string {
 // state past instructions the model does not itself decode (plain loads,
 // stores, ALU ops): the harness observes the concrete machine trap and
 // replays the architectural consequence here.
-func TakeException(s *State, cause, tval uint64) Event {
-	return takeException(s, cause, tval)
+func TakeException(c *Config, s *State, cause, tval uint64) Event {
+	return takeException(c, s, cause, tval)
 }
 
 // Diff compares two states field by field and returns every mismatch.
@@ -81,6 +81,7 @@ func Diff(c *Config, a, b *State) []Delta {
 		add(fmt.Sprintf("custom[%#x]", n), a.Custom[n], b.Custom[n])
 	}
 	if c.HasH {
+		add("v", b2u(a.V), b2u(b.V))
 		add("hstatus", a.Hstatus, b.Hstatus)
 		add("hedeleg", a.Hedeleg, b.Hedeleg)
 		add("hideleg", a.Hideleg, b.Hideleg)

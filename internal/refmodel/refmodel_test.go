@@ -286,7 +286,7 @@ func TestTakeInterruptEntry(t *testing.T) {
 	s.Priv = S
 	s.PC = 0x1234
 	s.Mtvec = 0x8001 // vectored
-	TakeInterrupt(s, 7)
+	TakeInterrupt(&Config{}, s, 7)
 	if s.Priv != M {
 		t.Error("must enter M")
 	}

@@ -59,6 +59,7 @@ type Mstatus struct {
 	MPRV         bool
 	SUM, MXR     bool
 	TVM, TW, TSR bool
+	GVA, MPV     bool // hypervisor extension (writable only when HasH)
 }
 
 // Bits reassembles the architectural mstatus value (RV64, UXL=SXL=2,
@@ -82,6 +83,8 @@ func (m Mstatus) Bits() uint64 {
 	set(m.TVM, 20)
 	set(m.TW, 21)
 	set(m.TSR, 22)
+	set(m.GVA, 38)
+	set(m.MPV, 39)
 	v |= 2<<32 | 2<<34 // UXL, SXL
 	return v
 }
@@ -103,6 +106,8 @@ func MstatusFromBits(v uint64) Mstatus {
 		TVM:  get(20),
 		TW:   get(21),
 		TSR:  get(22),
+		GVA:  get(38),
+		MPV:  get(39),
 	}
 	if m.MPP == 2 {
 		m.MPP = U // never constructed by hardware; normalize
@@ -115,6 +120,10 @@ type State struct {
 	Regs [32]uint64
 	PC   uint64
 	Priv uint8
+
+	// V is the virtualization mode (hypervisor extension): set while the
+	// hart executes in VS- or VU-mode. Always false when Priv is M.
+	V bool
 
 	Status Mstatus
 

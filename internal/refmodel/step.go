@@ -30,6 +30,8 @@ const (
 	OpSFENCE
 	OpFENCE
 	OpFENCEI
+	OpHFenceVVMA
+	OpHFenceGVMA
 )
 
 // Instr is a decoded privileged instruction.
@@ -80,6 +82,10 @@ func Decode(raw uint32) Instr {
 			ins.Op = OpWFI
 		case raw>>25 == 0x09 && ins.Rd == 0:
 			ins.Op = OpSFENCE
+		case raw>>25 == 0x11 && ins.Rd == 0:
+			ins.Op = OpHFenceVVMA
+		case raw>>25 == 0x31 && ins.Rd == 0:
+			ins.Op = OpHFenceGVMA
 		}
 	case 1:
 		ins.Op = OpCSRRW
@@ -103,8 +109,24 @@ const (
 	causeBreak   = 3
 	causeEcallU  = 8
 	causeEcallS  = 9
+	causeEcallVS = 10
 	causeEcallM  = 11
+	causeVirtual = 22
 )
+
+// hstatus field bits (the model keeps hstatus as a raw register).
+const (
+	hstatusGVA  = uint64(1) << 6
+	hstatusSPV  = uint64(1) << 7
+	hstatusSPVP = uint64(1) << 8
+	hstatusHU   = uint64(1) << 9
+	hstatusVTVM = uint64(1) << 20
+	hstatusVTW  = uint64(1) << 21
+	hstatusVTSR = uint64(1) << 22
+)
+
+// vsIntMask selects the VS-level interrupt codes (VSSIP, VSTIP, VSEIP).
+const vsIntMask = uint64(1<<2 | 1<<6 | 1<<10)
 
 // HW is the hardware transition function hw(c, s, i): execute the (decoded)
 // privileged instruction i from state s under configuration c. The state is
@@ -113,7 +135,7 @@ func HW(c *Config, s *State, raw uint32) Event {
 	ins := Decode(raw)
 	switch ins.Op {
 	case OpIllegal:
-		return takeException(s, causeIllegal, uint64(raw))
+		return takeException(c, s, causeIllegal, uint64(raw))
 	case OpFENCE, OpFENCEI:
 		s.PC += 4
 		s.Instret++
@@ -123,37 +145,76 @@ func HW(c *Config, s *State, raw uint32) Event {
 		switch s.Priv {
 		case S:
 			cause = causeEcallS
+			if s.V {
+				cause = causeEcallVS
+			}
 		case M:
 			cause = causeEcallM
 		}
-		return takeException(s, cause, 0)
+		return takeException(c, s, cause, 0)
 	case OpEBREAK:
-		return takeException(s, causeBreak, s.PC)
+		return takeException(c, s, causeBreak, s.PC)
 	case OpMRET:
 		if s.Priv != M {
-			return takeException(s, causeIllegal, uint64(raw))
+			return takeException(c, s, causeIllegal, uint64(raw))
 		}
-		execMRET(s)
+		execMRET(c, s)
 		s.Instret++
 		return EvRetired
 	case OpSRET:
-		if s.Priv == U || (s.Priv == S && s.Status.TSR) {
-			return takeException(s, causeIllegal, uint64(raw))
+		if s.V {
+			// From the guest: VU always traps, VS traps under hstatus.VTSR
+			// (mstatus.TSR governs HS-mode only).
+			if s.Priv == U || s.Hstatus&hstatusVTSR != 0 {
+				return takeException(c, s, causeVirtual, uint64(raw))
+			}
+		} else if s.Priv == U || (s.Priv == S && s.Status.TSR) {
+			return takeException(c, s, causeIllegal, uint64(raw))
 		}
-		execSRET(s)
+		execSRET(c, s)
 		s.Instret++
 		return EvRetired
 	case OpWFI:
-		if s.Priv == U || (s.Priv == S && s.Status.TW) {
-			return takeException(s, causeIllegal, uint64(raw))
+		if s.V {
+			// TW traps any less-privileged wfi as illegal; below it, VU-mode
+			// and hstatus.VTW raise the virtual-instruction exception.
+			if s.Status.TW {
+				return takeException(c, s, causeIllegal, uint64(raw))
+			}
+			if s.Priv == U || s.Hstatus&hstatusVTW != 0 {
+				return takeException(c, s, causeVirtual, uint64(raw))
+			}
+		} else if s.Priv == U || (s.Priv == S && s.Status.TW) {
+			return takeException(c, s, causeIllegal, uint64(raw))
 		}
 		s.WFI = true
 		s.PC += 4
 		s.Instret++
 		return EvWFI
 	case OpSFENCE:
-		if s.Priv == U || (s.Priv == S && s.Status.TVM) {
-			return takeException(s, causeIllegal, uint64(raw))
+		if s.V {
+			if s.Priv == U || s.Hstatus&hstatusVTVM != 0 {
+				return takeException(c, s, causeVirtual, uint64(raw))
+			}
+		} else if s.Priv == U || (s.Priv == S && s.Status.TVM) {
+			return takeException(c, s, causeIllegal, uint64(raw))
+		}
+		s.PC += 4
+		s.Instret++
+		return EvRetired
+	case OpHFenceVVMA, OpHFenceGVMA:
+		if !c.HasH {
+			return takeException(c, s, causeIllegal, uint64(raw))
+		}
+		if s.V {
+			return takeException(c, s, causeVirtual, uint64(raw))
+		}
+		if s.Priv == U {
+			return takeException(c, s, causeIllegal, uint64(raw))
+		}
+		// TVM traps hfence.gvma from HS-mode, like hgatp accesses.
+		if ins.Op == OpHFenceGVMA && s.Priv == S && s.Status.TVM {
+			return takeException(c, s, causeIllegal, uint64(raw))
 		}
 		s.PC += 4
 		s.Instret++
@@ -168,10 +229,11 @@ func HW(c *Config, s *State, raw uint32) Event {
 	case OpCSRRS, OpCSRRC, OpCSRRSI, OpCSRRCI:
 		write = ins.Rs1 != 0
 	}
-	if !csrAccessOK(c, s, ins.CSR, write) {
-		return takeException(s, causeIllegal, uint64(raw))
+	mapped, deny := csrCheck(c, s, ins.CSR, write)
+	if deny != 0 {
+		return takeException(c, s, deny, uint64(raw))
 	}
-	old := readCSR(c, s, ins.CSR)
+	old := readCSR(c, s, mapped)
 	if write {
 		src := s.Reg(ins.Rs1)
 		if ins.Op >= OpCSRRWI {
@@ -186,7 +248,7 @@ func HW(c *Config, s *State, raw uint32) Event {
 		case OpCSRRC, OpCSRRCI:
 			newVal = old &^ src
 		}
-		writeCSR(c, s, ins.CSR, newVal)
+		writeCSR(c, s, mapped, newVal)
 	}
 	if read {
 		s.SetReg(ins.Rd, old)
@@ -197,22 +259,67 @@ func HW(c *Config, s *State, raw uint32) Event {
 }
 
 // takeException performs trap entry for a synchronous exception at the
-// current PC, honouring medeleg.
-func takeException(s *State, cause, tval uint64) Event {
-	deleg := s.Priv != M && s.Medeleg>>cause&1 != 0
-	enterTrap(s, cause, tval, deleg)
+// current PC, honouring medeleg and (from V=1) hedeleg.
+func takeException(c *Config, s *State, cause, tval uint64) Event {
+	return takeExceptionG(c, s, cause, tval, 0)
+}
+
+// takeExceptionG is takeException with a guest-physical address for the
+// guest-page-fault causes; HS/M entry latches gpa>>2 into htval/mtval2.
+func takeExceptionG(c *Config, s *State, cause, tval, gpa uint64) Event {
+	toS := s.Priv != M && s.Medeleg>>cause&1 != 0
+	toVS := toS && s.V && s.Hedeleg>>cause&1 != 0
+	enterTrap(c, s, cause, tval, gpa, toS, toVS)
 	return EvTrap
 }
 
-// TakeInterrupt performs trap entry for interrupt code, honouring mideleg.
-// The caller is responsible for having checked deliverability (this is the
-// trap-entry half of the interrupt rules; PendingInterrupt is the check).
-func TakeInterrupt(s *State, code uint64) {
-	deleg := s.Priv != M && s.Mideleg>>code&1 != 0
-	enterTrap(s, code|1<<63, 0, deleg)
+// TakeInterrupt performs trap entry for interrupt code, honouring mideleg
+// and (from V=1) hideleg. The caller is responsible for having checked
+// deliverability (this is the trap-entry half of the interrupt rules;
+// PendingInterrupt is the check).
+func TakeInterrupt(c *Config, s *State, code uint64) {
+	toS := s.Priv != M && s.Mideleg>>code&1 != 0
+	toVS := toS && s.V && s.Hideleg>>code&1 != 0
+	enterTrap(c, s, code|1<<63, 0, 0, toS, toVS)
 }
 
-func enterTrap(s *State, cause, tval uint64, toS bool) {
+// causeWritesGVA reports whether an exception cause carries a guest virtual
+// address in xtval, which is what mstatus.GVA/hstatus.GVA latch on traps
+// taken from V=1.
+func causeWritesGVA(code uint64) bool {
+	switch code {
+	case 0, 1, 3, 4, 5, 6, 7, 12, 13, 15, 20, 21, 23:
+		return true
+	}
+	return false
+}
+
+func enterTrap(c *Config, s *State, cause, tval, gpa uint64, toS, toVS bool) {
+	intr := cause>>63 != 0
+	code := cause &^ (uint64(1) << 63)
+	fromV := s.V
+	if toVS {
+		// VS-mode entry: the guest sees the S-level view, so delegated VS
+		// interrupts write the S-level code (VS code - 1) into vscause.
+		vcause := cause
+		if intr {
+			vcause = (code - 1) | 1<<63
+		}
+		s.Vscause = vcause
+		s.Vsepc = legalizeXepc(s.PC)
+		s.Vstval = tval
+		vs := s.Vsstatus
+		vs = vs&^(1<<5) | vs>>1&1<<5 // SPIE <- SIE
+		vs &^= 1 << 1                // SIE <- 0
+		vs &^= 1 << 8                // SPP <- from
+		if s.Priv == S {
+			vs |= 1 << 8
+		}
+		s.Vsstatus = vs
+		s.Priv = S
+		s.PC = trapVector(s.Vstvec, vcause)
+		return
+	}
 	if toS {
 		s.Scause = cause
 		s.Sepc = legalizeXepc(s.PC)
@@ -222,6 +329,23 @@ func enterTrap(s *State, cause, tval uint64, toS bool) {
 		s.Status.SPP = 0
 		if s.Priv == S {
 			s.Status.SPP = 1
+		}
+		if c.HasH {
+			hs := s.Hstatus &^ (hstatusSPV | hstatusGVA)
+			if fromV {
+				hs |= hstatusSPV
+				hs &^= hstatusSPVP
+				if s.Priv == S {
+					hs |= hstatusSPVP
+				}
+				if !intr && causeWritesGVA(code) {
+					hs |= hstatusGVA
+				}
+			}
+			s.Hstatus = hs
+			s.Htval = gpa >> 2
+			s.Htinst = 0
+			s.V = false
 		}
 		s.Priv = S
 		s.PC = trapVector(s.Stvec, cause)
@@ -233,6 +357,13 @@ func enterTrap(s *State, cause, tval uint64, toS bool) {
 	s.Status.MPIE = s.Status.MIE
 	s.Status.MIE = false
 	s.Status.MPP = s.Priv
+	if c.HasH {
+		s.Status.MPV = fromV
+		s.Status.GVA = fromV && !intr && causeWritesGVA(code)
+		s.Mtval2 = gpa >> 2
+		s.Mtinst = 0
+		s.V = false
+	}
 	s.Priv = M
 	s.PC = trapVector(s.Mtvec, cause)
 }
@@ -245,7 +376,7 @@ func trapVector(tvec, cause uint64) uint64 {
 	return base
 }
 
-func execMRET(s *State) {
+func execMRET(c *Config, s *State) {
 	prev := s.Status.MPP
 	s.Status.MIE = s.Status.MPIE
 	s.Status.MPIE = true
@@ -253,11 +384,27 @@ func execMRET(s *State) {
 	if prev != M {
 		s.Status.MPRV = false
 	}
+	if c.HasH {
+		s.V = prev != M && s.Status.MPV
+		s.Status.MPV = false
+	}
 	s.Priv = prev
 	s.PC = s.Mepc
 }
 
-func execSRET(s *State) {
+func execSRET(c *Config, s *State) {
+	if s.V {
+		// sret executed by the guest: unstack vsstatus, stay in V.
+		vs := s.Vsstatus
+		prev := vs >> 8 & 1
+		vs = vs&^(1<<1) | vs>>4&(1<<1) // SIE <- SPIE
+		vs |= 1 << 5                   // SPIE <- 1
+		vs &^= 1 << 8                  // SPP <- 0
+		s.Vsstatus = vs
+		s.Priv = uint8(prev)
+		s.PC = s.Vsepc
+		return
+	}
 	prev := s.Status.SPP
 	s.Status.SIE = s.Status.SPIE
 	s.Status.SPIE = true
@@ -265,32 +412,50 @@ func execSRET(s *State) {
 	if prev != M { // SPP can only be U or S, both below M
 		s.Status.MPRV = false
 	}
+	if c.HasH {
+		s.V = s.Hstatus&hstatusSPV != 0
+		s.Hstatus &^= hstatusSPV
+	}
 	s.Priv = prev
 	s.PC = s.Sepc
 }
 
 // PendingInterrupt returns the interrupt code the machine would take from
 // state s, applying the priority and delegation rules of the privileged
-// spec, or -1 when none is deliverable.
+// spec, or -1 when none is deliverable. VS-level interrupt sources live in
+// hvip&hie (the model's simplification: mip/mie exclude the VS bits).
 func PendingInterrupt(c *Config, s *State) int {
 	pending := s.Mip(c) & s.Mie
+	if c.HasH {
+		pending |= s.Hvip & s.Hie
+	}
 	if pending == 0 {
 		return -1
 	}
 	mEnabled := s.Priv != M || s.Status.MIE
-	sEnabled := s.Priv == U || (s.Priv == S && s.Status.SIE)
+	sEnabled := s.V || s.Priv == U || (s.Priv == S && s.Status.SIE)
 
 	if mPending := pending &^ s.Mideleg; mEnabled && mPending != 0 {
-		for _, code := range []int{11, 3, 7, 9, 1, 5} {
+		for _, code := range []int{11, 3, 7, 9, 1, 5, 10, 2, 6} {
 			if mPending>>code&1 != 0 {
 				return code
 			}
 		}
 	}
-	if sPending := pending & s.Mideleg; s.Priv != M && sEnabled && sPending != 0 {
-		for _, code := range []int{9, 1, 5} {
+	sPending := pending & s.Mideleg &^ (s.Hideleg & vsIntMask)
+	if s.Priv != M && sEnabled && sPending != 0 {
+		for _, code := range []int{9, 1, 5, 10, 2, 6} {
 			if sPending>>code&1 != 0 {
 				return code
+			}
+		}
+	}
+	if s.V && (s.Priv == U || s.Vsstatus>>1&1 != 0) {
+		if vsPending := pending & s.Mideleg & s.Hideleg & vsIntMask; vsPending != 0 {
+			for _, code := range []int{10, 2, 6} {
+				if vsPending>>code&1 != 0 {
+					return code
+				}
 			}
 		}
 	}

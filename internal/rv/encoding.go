@@ -20,10 +20,11 @@ const (
 
 // SYSTEM funct3 values.
 const (
-	F3Priv   uint32 = 0 // ecall/ebreak/mret/sret/wfi/sfence.vma
+	F3Priv   uint32 = 0 // ecall/ebreak/mret/sret/wfi/sfence.vma/hfence
 	F3Csrrw  uint32 = 1
 	F3Csrrs  uint32 = 2
 	F3Csrrc  uint32 = 3
+	F3HLSV   uint32 = 4 // hypervisor virtual-machine load/store (hlv/hlvx/hsv)
 	F3Csrrwi uint32 = 5
 	F3Csrrsi uint32 = 6
 	F3Csrrci uint32 = 7
@@ -49,6 +50,31 @@ const (
 	HfenceVVMAFunct7 uint32 = 0x11
 	HfenceGVMAFunct7 uint32 = 0x31
 )
+
+// HLSVDecode classifies a SYSTEM/F3HLSV word as a hypervisor load or store.
+// Odd funct7 values are stores (hsv.b/h/w/d); even ones are loads, with the
+// width in funct7 bits 2:1 and the rs2 field selecting unsigned (bit 0) and
+// execute-permission (hlvx, bit 1) variants.
+func HLSVDecode(raw uint32) (store bool, size int, signed, hlvx bool, ok bool) {
+	f7 := Funct7Of(raw)
+	if f7 < 0x30 || f7 > 0x37 {
+		return false, 0, false, false, false
+	}
+	size = 1 << (f7 >> 1 & 3)
+	if f7&1 != 0 { // hsv: rd must be 0
+		return true, size, false, false, RdOf(raw) == 0
+	}
+	switch v := Rs2Of(raw); v {
+	case 0: // hlv.b/h/w/d
+		return false, size, true, false, true
+	case 1: // hlv.bu/hu/wu (no hlv.du)
+		return false, size, false, false, size < 8
+	case 3: // hlvx.hu/wu
+		return false, size, false, true, size == 2 || size == 4
+	default:
+		return false, 0, false, false, false
+	}
+}
 
 // Field accessors on raw 32-bit instruction words.
 

@@ -59,6 +59,24 @@ const (
 	MstatusSD    = 63
 )
 
+// mstatus hypervisor-extension field positions (RV64, present when misa.H).
+const (
+	MstatusGVA = 38 // trap value was a guest virtual address
+	MstatusMPV = 39 // virtualization mode before the trap to M
+)
+
+// hstatus field positions.
+const (
+	HstatusVSBE = 5  // VS-mode big-endian (hardwired 0)
+	HstatusGVA  = 6  // trap value was a guest virtual address
+	HstatusSPV  = 7  // virtualization mode before the trap to HS
+	HstatusSPVP = 8  // privilege before the trap, when taken from V=1
+	HstatusHU   = 9  // hlv/hsv usable from U-mode
+	HstatusVTVM = 20 // trap VS-mode satp/sfence.vma accesses
+	HstatusVTW  = 21 // trap VS-mode wfi
+	HstatusVTSR = 22 // trap VS-mode sret
+)
+
 // MPP extracts mstatus.MPP as a Mode.
 func MPP(mstatus uint64) Mode { return Mode(Bits(mstatus, MstatusMPPHi, MstatusMPPLo)) }
 
@@ -72,19 +90,30 @@ func SPP(mstatus uint64) Mode { return Mode(Bit(mstatus, MstatusSPP)) }
 
 // Interrupt bit positions in mip/mie/mideleg (and sip/sie).
 const (
-	IntSSoft  = 1  // supervisor software interrupt (SSIP/SSIE)
-	IntMSoft  = 3  // machine software interrupt (MSIP/MSIE)
-	IntSTimer = 5  // supervisor timer interrupt (STIP/STIE)
-	IntMTimer = 7  // machine timer interrupt (MTIP/MTIE)
-	IntSExt   = 9  // supervisor external interrupt (SEIP/SEIE)
-	IntMExt   = 11 // machine external interrupt (MEIP/MEIE)
+	IntSSoft   = 1  // supervisor software interrupt (SSIP/SSIE)
+	IntVSSoft  = 2  // virtual supervisor software interrupt (VSSIP/VSSIE)
+	IntMSoft   = 3  // machine software interrupt (MSIP/MSIE)
+	IntSTimer  = 5  // supervisor timer interrupt (STIP/STIE)
+	IntVSTimer = 6  // virtual supervisor timer interrupt (VSTIP/VSTIE)
+	IntMTimer  = 7  // machine timer interrupt (MTIP/MTIE)
+	IntSExt    = 9  // supervisor external interrupt (SEIP/SEIE)
+	IntVSExt   = 10 // virtual supervisor external interrupt (VSEIP/VSEIE)
+	IntMExt    = 11 // machine external interrupt (MEIP/MEIE)
 )
 
-// MIntMask is the set of M-mode interrupt bits; SIntMask the S-mode ones.
+// MIntMask is the set of M-mode interrupt bits; SIntMask the S-mode ones;
+// VSIntMask the VS-mode ones (hip/hie/hvip/hideleg).
 const (
-	MIntMask uint64 = 1<<IntMSoft | 1<<IntMTimer | 1<<IntMExt
-	SIntMask uint64 = 1<<IntSSoft | 1<<IntSTimer | 1<<IntSExt
+	MIntMask  uint64 = 1<<IntMSoft | 1<<IntMTimer | 1<<IntMExt
+	SIntMask  uint64 = 1<<IntSSoft | 1<<IntSTimer | 1<<IntSExt
+	VSIntMask uint64 = 1<<IntVSSoft | 1<<IntVSTimer | 1<<IntVSExt
 )
+
+// IsVSInt reports whether an interrupt code is one of the VS-level codes.
+// When delivered in VS-mode their vscause code is the S-level one (code-1).
+func IsVSInt(code uint64) bool {
+	return code == IntVSSoft || code == IntVSTimer || code == IntVSExt
+}
 
 // Exception cause codes (mcause with interrupt bit clear).
 const (
@@ -98,11 +127,31 @@ const (
 	ExcStoreAccessFault    uint64 = 7
 	ExcEcallFromU          uint64 = 8
 	ExcEcallFromS          uint64 = 9
+	ExcEcallFromVS         uint64 = 10
 	ExcEcallFromM          uint64 = 11
 	ExcInstrPageFault      uint64 = 12
 	ExcLoadPageFault       uint64 = 13
 	ExcStorePageFault      uint64 = 15
+	ExcInstrGuestPageFault uint64 = 20
+	ExcLoadGuestPageFault  uint64 = 21
+	ExcVirtualInstr        uint64 = 22
+	ExcStoreGuestPageFault uint64 = 23
 )
+
+// CauseWritesGVA reports whether a trap with this (exception) cause writes a
+// guest virtual address into xtval, which is what the GVA bits latch when
+// the trap was taken from V=1.
+func CauseWritesGVA(code uint64) bool {
+	switch code {
+	case ExcInstrAddrMisaligned, ExcInstrAccessFault, ExcBreakpoint,
+		ExcLoadAddrMisaligned, ExcLoadAccessFault,
+		ExcStoreAddrMisaligned, ExcStoreAccessFault,
+		ExcInstrPageFault, ExcLoadPageFault, ExcStorePageFault,
+		ExcInstrGuestPageFault, ExcLoadGuestPageFault, ExcStoreGuestPageFault:
+		return true
+	}
+	return false
+}
 
 // CauseInterruptBit is the top bit of mcause on RV64, set for interrupts.
 const CauseInterruptBit uint64 = 1 << 63
@@ -126,6 +175,12 @@ func CauseString(cause uint64) string {
 	code := CauseCode(cause)
 	if CauseIsInterrupt(cause) {
 		switch code {
+		case IntVSSoft:
+			return "vs-software-interrupt"
+		case IntVSTimer:
+			return "vs-timer-interrupt"
+		case IntVSExt:
+			return "vs-external-interrupt"
 		case IntSSoft:
 			return "supervisor-software-interrupt"
 		case IntMSoft:
@@ -162,6 +217,8 @@ func CauseString(cause uint64) string {
 		return "ecall-from-u"
 	case ExcEcallFromS:
 		return "ecall-from-s"
+	case ExcEcallFromVS:
+		return "ecall-from-vs"
 	case ExcEcallFromM:
 		return "ecall-from-m"
 	case ExcInstrPageFault:
@@ -170,6 +227,14 @@ func CauseString(cause uint64) string {
 		return "load-page-fault"
 	case ExcStorePageFault:
 		return "store-page-fault"
+	case ExcInstrGuestPageFault:
+		return "instr-guest-page-fault"
+	case ExcLoadGuestPageFault:
+		return "load-guest-page-fault"
+	case ExcVirtualInstr:
+		return "virtual-instruction"
+	case ExcStoreGuestPageFault:
+		return "store-guest-page-fault"
 	}
 	return fmt.Sprintf("exception(%d)", code)
 }
@@ -190,10 +255,12 @@ const (
 // MisaMXL64 encodes MXL=2 (XLEN=64) in misa[63:62].
 const MisaMXL64 uint64 = 2 << 62
 
-// satp fields (Sv39).
+// satp fields (Sv39). hgatp shares the layout with mode Sv39x4 and a
+// 16KiB-aligned root (PPN[1:0] = 0).
 const (
-	SatpModeBare uint64 = 0
-	SatpModeSv39 uint64 = 8
+	SatpModeBare    uint64 = 0
+	SatpModeSv39    uint64 = 8
+	HgatpModeSv39x4 uint64 = 8
 )
 
 // SatpMode extracts satp.MODE (bits 63:60).

@@ -23,11 +23,16 @@ const (
 	CauseIPI        = "ipi"
 	CauseRfence     = "rfence"
 	CauseOther      = "other"
+	// H-extension buckets (nested-virtualization workloads only).
+	CauseGuestPageFault = "guest-page-fault"
+	CauseVirtualInstr   = "virtual-instruction"
 )
 
-// Buckets lists the Fig. 3 categories in display order.
+// Buckets lists the Fig. 3 categories in display order, followed by the
+// H-extension buckets that only appear when a hypervisor guest runs.
 var Buckets = []string{CauseReadTime, CauseSetTimer, CauseMisaligned,
-	CauseIPI, CauseRfence, CauseOther}
+	CauseIPI, CauseRfence, CauseGuestPageFault, CauseVirtualInstr,
+	CauseOther}
 
 // Window is one sampling interval of trap-cause counts.
 type Window struct {
@@ -118,7 +123,12 @@ func Classify(cause, tval, a7 uint64) string {
 		return CauseOther
 	case rv.ExcLoadAddrMisaligned, rv.ExcStoreAddrMisaligned:
 		return CauseMisaligned
-	case rv.ExcEcallFromS, rv.ExcEcallFromU:
+	case rv.ExcInstrGuestPageFault, rv.ExcLoadGuestPageFault,
+		rv.ExcStoreGuestPageFault:
+		return CauseGuestPageFault
+	case rv.ExcVirtualInstr:
+		return CauseVirtualInstr
+	case rv.ExcEcallFromS, rv.ExcEcallFromU, rv.ExcEcallFromVS:
 		switch a7 {
 		case rv.SBIExtTimer, rv.SBILegacySetTimer:
 			return CauseSetTimer

@@ -73,6 +73,48 @@ func TestClassification(t *testing.T) {
 	}
 }
 
+// TestClassifyHExtension pins the bucketing of the hypervisor-extension
+// trap causes a nested-virtualization workload produces: the three
+// guest-page-fault flavors, the virtual-instruction trap, and VS-mode
+// ecalls classified by SBI extension like any other supervisor ecall.
+func TestClassifyHExtension(t *testing.T) {
+	tests := []struct {
+		name  string
+		cause uint64
+		tval  uint64
+		a7    uint64
+		want  string
+	}{
+		{"fetch-gpf", rv.ExcInstrGuestPageFault, 0x8820_0000 >> 2, 0, CauseGuestPageFault},
+		{"load-gpf", rv.ExcLoadGuestPageFault, 1 << 30, 0, CauseGuestPageFault},
+		{"store-gpf", rv.ExcStoreGuestPageFault, 1 << 30, 0, CauseGuestPageFault},
+		{"virtual-instr", rv.ExcVirtualInstr, 0x22000073, 0, CauseVirtualInstr},
+		{"vs-ecall-timer", rv.ExcEcallFromVS, 0, rv.SBIExtTimer, CauseSetTimer},
+		{"vs-ecall-ipi", rv.ExcEcallFromVS, 0, rv.SBIExtIPI, CauseIPI},
+		{"vs-ecall-rfence", rv.ExcEcallFromVS, 0, rv.SBIExtRfence, CauseRfence},
+		{"vs-ecall-hypercall", rv.ExcEcallFromVS, 0, 0x4859, CauseOther},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.cause, tc.tval, tc.a7); got != tc.want {
+				t.Errorf("Classify(%d, %#x, %#x) = %q, want %q",
+					tc.cause, tc.tval, tc.a7, got, tc.want)
+			}
+		})
+	}
+	for _, b := range []string{CauseGuestPageFault, CauseVirtualInstr} {
+		found := false
+		for _, have := range Buckets {
+			if have == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("bucket %q missing from Buckets", b)
+		}
+	}
+}
+
 func TestWindows(t *testing.T) {
 	var now uint64
 	c := NewCollector(100, func() uint64 { return now })

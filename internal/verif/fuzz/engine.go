@@ -61,6 +61,11 @@ type Engine struct {
 
 	GenCfg *asm.GenCfg
 
+	// HextBias, on H-capable profiles, skews GenCase toward the hypervisor
+	// surface: guest (V=1) starting states, rich hedeleg/hvip delegation,
+	// and guest trap vectors that land back inside the program.
+	HextBias bool
+
 	// Cov, when set, receives coverage keys derived from monitor and trap
 	// events; the fuzzer uses new keys as its corpus signal.
 	Cov func(key uint64)
@@ -128,6 +133,7 @@ func NewEngine(profile string) (*Engine, error) {
 		BaseRegs:   []int{16, 17, 18},
 		BaseWindow: 2048,
 		CSRs:       csrSpecs(e.VirtCfg),
+		HFence:     e.VirtCfg.HasH,
 	}
 
 	e.SetFastPath(DefaultFastPath)
@@ -253,13 +259,19 @@ func csrSpecs(cfg *refmodel.Config) []asm.GenCSR {
 		for _, n := range []uint16{
 			rv.CSRHstatus, rv.CSRHedeleg, rv.CSRHideleg, rv.CSRHie,
 			rv.CSRHcounteren, rv.CSRHgeie, rv.CSRHtval, rv.CSRHip, rv.CSRHvip,
-			rv.CSRHtinst, rv.CSRHenvcfg, rv.CSRHgatp,
+			rv.CSRHtinst, rv.CSRHenvcfg,
 			rv.CSRVsstatus, rv.CSRVsie, rv.CSRVstvec, rv.CSRVsscratch,
-			rv.CSRVsepc, rv.CSRVscause, rv.CSRVstval, rv.CSRVsip, rv.CSRVsatp,
+			rv.CSRVsepc, rv.CSRVscause, rv.CSRVstval, rv.CSRVsip,
 			rv.CSRMtinst, rv.CSRMtval2,
 		} {
 			specs = append(specs, asm.GenCSR{CSR: n, Forms: asm.FormsAll})
 		}
+		// hgatp and vsatp are immediate-only for the same reason satp is:
+		// a 5-bit immediate cannot reach the mode nibble, so a fuzzed write
+		// never switches real translation on mid-case.
+		specs = append(specs,
+			asm.GenCSR{CSR: rv.CSRHgatp, Forms: asm.FormsImm},
+			asm.GenCSR{CSR: rv.CSRVsatp, Forms: asm.FormsImm})
 	}
 	for _, n := range cfg.CustomCSRs {
 		specs = append(specs, asm.GenCSR{CSR: n, Forms: asm.FormsAll})
@@ -364,6 +376,7 @@ func (e *Engine) installNative(s *refmodel.State) {
 	c.Stimecmp = s.Stimecmp
 	c.SetMip(s.MipSW)
 	if e.PhysCfg.HasH {
+		h.V = s.V
 		c.Hstatus, c.Hedeleg, c.Hideleg = s.Hstatus, s.Hedeleg, s.Hideleg
 		c.Hie, c.Hcounteren, c.Hgeie = s.Hie, s.Hcounteren, s.Hgeie
 		c.Htval, c.Hip, c.Hvip = s.Htval, s.Hip, s.Hvip
@@ -418,6 +431,7 @@ func (e *Engine) installVirt(s *refmodel.State) {
 	v.Stimecmp = s.Stimecmp
 	v.MipSW = s.MipSW
 	if e.VirtCfg.HasH {
+		ctx.VirtV = s.V
 		v.Hstatus, v.Hedeleg, v.Hideleg = s.Hstatus, s.Hedeleg, s.Hideleg
 		v.Hie, v.Hcounteren, v.Hgeie = s.Hie, s.Hcounteren, s.Hgeie
 		v.Htval, v.Hip, v.Hvip = s.Htval, s.Hip, s.Hvip
@@ -440,8 +454,12 @@ func (e *Engine) installVirt(s *refmodel.State) {
 	h.PC = s.PC
 	if s.Priv == refmodel.M {
 		h.Mode = rv.ModeU // vM runs deprivileged
+		h.V = false
 	} else {
+		// Direct execution: the guest's virtualization mode is the physical
+		// one.
 		h.Mode = rv.Mode(s.Priv)
+		h.V = s.V
 	}
 	e.Mon.VerifInstallState(ctx)
 }
@@ -466,6 +484,7 @@ func (e *Engine) nativeView() *refmodel.State {
 	s.Sscratch, s.Sepc, s.Scause, s.Stval = c.Sscratch, c.Sepc, c.Scause, c.Stval
 	s.Satp, s.Stimecmp = c.Satp, c.Stimecmp
 	if e.PhysCfg.HasH {
+		s.V = h.V
 		s.Hstatus, s.Hedeleg, s.Hideleg = c.Hstatus, c.Hedeleg, c.Hideleg
 		s.Hie, s.Hcounteren, s.Hgeie = c.Hie, c.Hcounteren, c.Hgeie
 		s.Htval, s.Hip, s.Hvip = c.Htval, c.Hip, c.Hvip
@@ -513,6 +532,9 @@ func (e *Engine) virtView() *refmodel.State {
 	s.Sscratch, s.Sepc, s.Scause, s.Stval = v.Sscratch, v.Sepc, v.Scause, v.Stval
 	s.Satp, s.Stimecmp = v.Satp, v.Stimecmp
 	if e.VirtCfg.HasH {
+		if ctx.VirtMode != rv.ModeM {
+			s.V = h.V
+		}
 		s.Hstatus, s.Hedeleg, s.Hideleg = v.Hstatus, v.Hedeleg, v.Hideleg
 		s.Hie, s.Hcounteren, s.Hgeie = v.Hie, v.Hcounteren, v.Hgeie
 		s.Htval, s.Hip, s.Hvip = v.Htval, v.Hip, v.Hvip
@@ -593,8 +615,8 @@ func (e *Engine) Run(tc *TestCase) (*Finding, int) {
 			if sp.Mideleg>>uint(code)&1 == 0 || sp.Priv == refmodel.M {
 				break
 			}
-			refmodel.TakeInterrupt(sp, uint64(code))
-			refmodel.TakeInterrupt(sv, uint64(code))
+			refmodel.TakeInterrupt(e.PhysCfg, sp, uint64(code))
+			refmodel.TakeInterrupt(e.VirtCfg, sv, uint64(code))
 			e.natTrap = nil
 			e.Native.Step()
 			e.Virt.Step()
@@ -648,14 +670,14 @@ func (e *Engine) Run(tc *TestCase) (*Finding, int) {
 		case nat != nil && rv.CauseCode(nat.Cause) == rv.ExcInstrAccessFault:
 			// The fetch itself faulted (PMP); the word read above never
 			// reached the pipeline.
-			refmodel.TakeException(sp, rv.ExcInstrAccessFault, nat.Tval)
-			refmodel.TakeException(sv, rv.ExcInstrAccessFault, nat.Tval)
+			refmodel.TakeException(e.PhysCfg, sp, rv.ExcInstrAccessFault, nat.Tval)
+			refmodel.TakeException(e.VirtCfg, sv, rv.ExcInstrAccessFault, nat.Tval)
 		case modeled:
 			refmodel.HW(e.PhysCfg, sp, w)
 			refmodel.HW(e.VirtCfg, sv, w)
 		case nat != nil:
-			refmodel.TakeException(sp, rv.CauseCode(nat.Cause), nat.Tval)
-			refmodel.TakeException(sv, rv.CauseCode(nat.Cause), nat.Tval)
+			refmodel.TakeException(e.PhysCfg, sp, rv.CauseCode(nat.Cause), nat.Tval)
+			refmodel.TakeException(e.VirtCfg, sv, rv.CauseCode(nat.Cause), nat.Tval)
 		default:
 			// Unprivileged instruction, retired: the reference model does
 			// not model it; the native hart's own result is the oracle both

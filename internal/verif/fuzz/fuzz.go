@@ -18,9 +18,10 @@ type Fuzzer struct {
 	corpus   [][]*TestCase // per engine
 
 	// Stats.
-	Cases    int
-	Steps    int
-	Findings []*Finding
+	Cases      int
+	GuestCases int // cases whose starting state had V=1
+	Steps      int
+	Findings   []*Finding
 }
 
 // corpusCap bounds the per-profile corpus; beyond it new entries replace
@@ -77,6 +78,9 @@ func (f *Fuzzer) runOne(i int, tc *TestCase) *Finding {
 	finding, steps := e.Run(tc)
 	e.Cov = nil
 	f.Cases++
+	if tc.State != nil && tc.State.V {
+		f.GuestCases++
+	}
 	f.Steps += steps
 	if finding != nil {
 		f.Findings = append(f.Findings, finding)
@@ -99,6 +103,24 @@ func (f *Fuzzer) runOne(i int, tc *TestCase) *Finding {
 func (f *Fuzzer) RunBudget(budget int, maxFindings int) []*Finding {
 	var minimized []*Finding
 	for i := 0; f.Steps < budget; i = (i + 1) % len(f.Engines) {
+		tc := f.nextCase(i)
+		if fd := f.runOne(i, tc); fd != nil {
+			minimized = append(minimized, Minimize(f.Engines[i], fd))
+			if maxFindings > 0 && len(minimized) >= maxFindings {
+				break
+			}
+		}
+	}
+	return minimized
+}
+
+// RunCases fuzzes until the total case count reaches n, alternating
+// engines; otherwise identical to RunBudget. Case-denominated gates (the
+// -hext CI gate promises a minimum case count) use this instead of a step
+// budget.
+func (f *Fuzzer) RunCases(n int, maxFindings int) []*Finding {
+	var minimized []*Finding
+	for i := 0; f.Cases < n; i = (i + 1) % len(f.Engines) {
 		tc := f.nextCase(i)
 		if fd := f.runOne(i, tc); fd != nil {
 			minimized = append(minimized, Minimize(f.Engines[i], fd))

@@ -78,6 +78,10 @@ func legalizeTvec(v uint64) uint64 {
 	return v&^3 | mode
 }
 
+// hstatusWritable is the set of hstatus fields the platform implements
+// (GVA, SPV, SPVP, HU, VTVM, VTW, VTSR); VSXL is fixed at 64-bit.
+const hstatusWritable = uint64(1)<<6 | 1<<7 | 1<<8 | 1<<9 | 1<<20 | 1<<21 | 1<<22
+
 // canonicalize legalizes a test-case state in place so that it is exactly
 // representable on all three derivations (native CSR file, virtual CSR
 // shadow, reference state): every WARL mask is applied, fields absent from
@@ -118,6 +122,10 @@ func (e *Engine) canonicalize(tc *TestCase) {
 
 	s.Medeleg &= 0xB3FF
 	s.Mideleg = 0x222 // forced delegation, matching the virtual hardware
+	if cfg.HasH {
+		s.Medeleg &= 0xB3FF | 1<<10 | 1<<20 | 1<<21 | 1<<22 | 1<<23
+		s.Mideleg |= rv.VSIntMask // VS interrupts are hardwired-delegated
+	}
 	s.Mie &= 0xAAA
 	// Only SSIP is generator-reachable (immediate CSR forms); richer
 	// pending sets would need interrupt wiring the two machines don't
@@ -148,15 +156,33 @@ func (e *Engine) canonicalize(tc *TestCase) {
 	s.WFI = false
 
 	if cfg.HasH {
+		// Mirror every hypervisor WARL mask so install routines can copy
+		// the values verbatim into all three derivations.
+		s.Hstatus = s.Hstatus&hstatusWritable | uint64(2)<<32
+		s.Hedeleg &= 0xB1FF
+		s.Hideleg &= rv.VSIntMask
+		s.Hie &= rv.VSIntMask
+		s.Hvip &= rv.VSIntMask
 		s.Hcounteren &= 0xFFFF_FFFF
+		// G-stage and VS-stage translation are pinned to Bare, exactly as
+		// satp is: the remaining bits are storable data on every side.
+		s.Hgatp &^= uint64(0xF)<<60 | uint64(3)<<58 | 3
+		s.Vsatp &^= uint64(0xF) << 60
+		s.Vsstatus = s.Vsstatus & (uint64(1)<<1 | 1<<5 | 1<<8 | 1<<18 | 1<<19)
+		s.Vsstatus |= uint64(2) << 32
 		s.Vstvec = legalizeTvec(s.Vstvec)
 		s.Vsepc &^= 3
+		if s.Priv == refmodel.M {
+			s.V = false
+		}
 	} else {
 		s.Hstatus, s.Hedeleg, s.Hideleg, s.Hie, s.Hcounteren, s.Hgeie = 0, 0, 0, 0, 0, 0
 		s.Htval, s.Hip, s.Hvip, s.Htinst, s.Hgatp, s.Henvcfg = 0, 0, 0, 0, 0, 0
 		s.Vsstatus, s.Vsie, s.Vstvec, s.Vsscratch = 0, 0, 0, 0
 		s.Vsepc, s.Vscause, s.Vstval, s.Vsip, s.Vsatp = 0, 0, 0, 0, 0
 		s.Mtinst, s.Mtval2 = 0, 0
+		s.Status.MPV, s.Status.GVA = false, false
+		s.V = false
 	}
 
 	custom := make(map[uint16]uint64, len(cfg.CustomCSRs))
@@ -225,6 +251,9 @@ func (e *Engine) GenCase(rng *rand.Rand) *TestCase {
 	}
 
 	s.Priv = []uint8{refmodel.M, refmodel.M, refmodel.M, refmodel.S, refmodel.U}[rng.Intn(5)]
+	if cfg.HasH && s.Priv != refmodel.M && rng.Intn(2) == 0 {
+		s.V = true // start as a guest (VS or VU)
+	}
 	s.PC = ProgBase
 	if rng.Intn(4) == 0 {
 		s.PC = progSlot(rng)
@@ -282,6 +311,24 @@ func (e *Engine) GenCase(rng *rand.Rand) *TestCase {
 	}
 	for _, n := range cfg.CustomCSRs {
 		s.Custom[n] = rng.Uint64()
+	}
+
+	if e.HextBias && cfg.HasH {
+		// Hypervisor-focused campaigns start mostly as guests, with vM kept
+		// in the mix so H-CSR programming and world switches still occur.
+		s.Priv = []uint8{refmodel.M, refmodel.S, refmodel.S, refmodel.S, refmodel.U}[rng.Intn(5)]
+		s.V = s.Priv != refmodel.M && rng.Intn(4) != 0
+		// Dense delegation masks make VS-level trap entry and virtual
+		// interrupts reachable; guest vectors biased into the program keep
+		// trapped guests executing generated code.
+		s.Hedeleg |= rng.Uint64() & rng.Uint64()
+		s.Hideleg |= rng.Uint64()
+		s.Hie |= rng.Uint64()
+		s.Hvip |= rng.Uint64() & rng.Uint64()
+		s.Vstvec, s.Vsepc = tvec(), epc()
+		if rng.Intn(2) == 0 {
+			s.Hstatus |= 1 << 7 // SPV: guest-bound sret from HS
+		}
 	}
 
 	// PMP: most entries biased toward the scratch window so memory

@@ -70,6 +70,12 @@ func NewHarness(cfg *hart.Config) (*Harness, error) {
 	}, nil
 }
 
+// hstatusWritable is the set of hstatus fields the platform implements
+// (GVA, SPV, SPVP, HU, VTVM, VTW, VTSR); VSXL is fixed at 64-bit.
+const hstatusWritable = uint64(1)<<rv.HstatusGVA | 1<<rv.HstatusSPV |
+	1<<rv.HstatusSPVP | 1<<rv.HstatusHU | 1<<rv.HstatusVTVM |
+	1<<rv.HstatusVTW | 1<<rv.HstatusVTSR
+
 // counterCSRs are free-running hardware counters whose read values are
 // inherently asynchronous between the two models; rd comparison is skipped
 // for reads of these (the paper's ≃ "implicitly takes into account
@@ -101,12 +107,20 @@ func (h *Harness) GenState(rng *rand.Rand) *refmodel.State {
 	mode := []rv.Mode{rv.ModeM, rv.ModeM, rv.ModeM, rv.ModeS, rv.ModeU}[rng.Intn(5)]
 	h.Ctx.VirtMode = mode
 	s.Priv = uint8(mode)
+	// Virtualization mode: only guests (VS/VU) run with V=1; always
+	// reassign so a value from an earlier round cannot leak.
+	virtV := h.RefCfg.HasH && mode != rv.ModeM && rng.Intn(2) == 0
+	h.Ctx.VirtV = virtV
+	s.V = virtV
 
 	// mstatus: random writable fields, legal MPP.
 	mst := rng.Uint64() & (uint64(1)<<1 | 1<<3 | 1<<5 | 1<<7 | 1<<8 |
 		1<<17 | 1<<18 | 1<<19 | 1<<20 | 1<<21 | 1<<22)
 	mst |= []uint64{0, 1, 3}[rng.Intn(3)] << 11
 	mst |= uint64(2)<<32 | uint64(2)<<34
+	if h.RefCfg.HasH {
+		mst |= rng.Uint64() & (uint64(1)<<rv.MstatusGVA | 1<<rv.MstatusMPV)
+	}
 	v.Mstatus = mst
 	s.Status = refmodel.MstatusFromBits(mst)
 
@@ -114,8 +128,14 @@ func (h *Harness) GenState(rng *rand.Rand) *refmodel.State {
 		*dst = val
 		return val
 	}
-	s.Medeleg = set(&v.Medeleg, rng.Uint64()&0xB3FF)
-	s.Mideleg = set(&v.Mideleg, 0x222)
+	medelegMask := uint64(0xB3FF)
+	mideleg := uint64(0x222)
+	if h.RefCfg.HasH {
+		medelegMask |= 1<<10 | 1<<20 | 1<<21 | 1<<22 | 1<<23
+		mideleg |= rv.VSIntMask // hardwired-delegated with H
+	}
+	s.Medeleg = set(&v.Medeleg, rng.Uint64()&medelegMask)
+	s.Mideleg = set(&v.Mideleg, mideleg)
 	s.Mie = set(&v.Mie, rng.Uint64()&0xAAA)
 	s.Mtvec = set(&v.Mtvec, rng.Uint64()&^3|uint64(rng.Intn(2))) // mode 0/1 only
 	s.Mcounteren = set(&v.Mcounteren, rng.Uint64()&0xFFFF_FFFF)
@@ -152,26 +172,52 @@ func (h *Harness) GenState(rng *rand.Rand) *refmodel.State {
 		}
 		return set(dst, 0)
 	}
+	// Real (write-reachable) H registers carry their WARL-canonical forms;
+	// the inert raw fields (hip, hgeie, henvcfg, vsie, vsip) stay fully
+	// random — runtime writes never touch them on either side, so any
+	// shared value is preserved.
+	hMask := func(dst *uint64, mask uint64) uint64 {
+		if h.RefCfg.HasH {
+			return set(dst, rng.Uint64()&mask)
+		}
+		return set(dst, 0)
+	}
 	s.Mtinst = hGen(&v.Mtinst)
 	s.Mtval2 = hGen(&v.Mtval2)
-	s.Hstatus = hGen(&v.Hstatus)
-	s.Hedeleg = hGen(&v.Hedeleg)
-	s.Hideleg = hGen(&v.Hideleg)
-	s.Hie = hGen(&v.Hie)
+	if h.RefCfg.HasH {
+		s.Hstatus = set(&v.Hstatus, rng.Uint64()&hstatusWritable|uint64(2)<<32)
+		hg := rng.Uint64() &^ (uint64(0xF)<<60 | uint64(3)<<58 | 3)
+		if rng.Intn(2) == 0 {
+			hg |= uint64(rv.SatpModeSv39) << 60 // Sv39x4
+		}
+		s.Hgatp = set(&v.Hgatp, hg)
+		vsst := rng.Uint64()&(uint64(1)<<1|1<<5|1<<8|1<<18|1<<19) | uint64(2)<<32
+		s.Vsstatus = set(&v.Vsstatus, vsst)
+		vsa := rng.Uint64() &^ (uint64(0xF) << 60)
+		if rng.Intn(2) == 0 {
+			vsa |= uint64(rv.SatpModeSv39) << 60
+		}
+		s.Vsatp = set(&v.Vsatp, vsa)
+	} else {
+		s.Hstatus = set(&v.Hstatus, 0)
+		s.Hgatp = set(&v.Hgatp, 0)
+		s.Vsstatus = set(&v.Vsstatus, 0)
+		s.Vsatp = set(&v.Vsatp, 0)
+	}
+	s.Hedeleg = hMask(&v.Hedeleg, 0xB1FF)
+	s.Hideleg = hMask(&v.Hideleg, rv.VSIntMask)
+	s.Hie = hMask(&v.Hie, rv.VSIntMask)
+	s.Hvip = hMask(&v.Hvip, rv.VSIntMask)
 	s.Hgeie = hGen(&v.Hgeie)
 	s.Htval = hGen(&v.Htval)
 	s.Hip = hGen(&v.Hip)
-	s.Hvip = hGen(&v.Hvip)
 	s.Htinst = hGen(&v.Htinst)
-	s.Hgatp = hGen(&v.Hgatp)
 	s.Henvcfg = hGen(&v.Henvcfg)
-	s.Vsstatus = hGen(&v.Vsstatus)
 	s.Vsie = hGen(&v.Vsie)
 	s.Vsscratch = hGen(&v.Vsscratch)
 	s.Vscause = hGen(&v.Vscause)
 	s.Vstval = hGen(&v.Vstval)
 	s.Vsip = hGen(&v.Vsip)
-	s.Vsatp = hGen(&v.Vsatp)
 	if h.RefCfg.HasH {
 		s.Hcounteren = set(&v.Hcounteren, rng.Uint64()&0xFFFF_FFFF)
 		s.Vstvec = set(&v.Vstvec, rng.Uint64()&^3|uint64(rng.Intn(2)))
@@ -225,6 +271,9 @@ func (h *Harness) Compare(s *refmodel.State, vpc uint64, skipRd uint32) error {
 	hh := h.Machine.Harts[0]
 	if uint8(h.Ctx.VirtMode) != s.Priv {
 		return fmt.Errorf("virtual mode: vfm=%v ref=%d", h.Ctx.VirtMode, s.Priv)
+	}
+	if h.Ctx.VirtV != s.V {
+		return fmt.Errorf("virtualization mode: vfm=%v ref=%v", h.Ctx.VirtV, s.V)
 	}
 	if vpc != s.PC {
 		return fmt.Errorf("pc: vfm=%#x ref=%#x", vpc, s.PC)
@@ -383,7 +432,7 @@ func (h *Harness) CheckInterruptInjection(s *refmodel.State, vpc uint64) error {
 	s.PC = vpc
 	code := refmodel.PendingInterrupt(h.RefCfg, s)
 	if code >= 0 && s.Mideleg>>code&1 == 0 {
-		refmodel.TakeInterrupt(s, uint64(code))
+		refmodel.TakeInterrupt(h.RefCfg, s, uint64(code))
 	}
 	got := h.Mon.VerifCheckVirtInterrupt(h.Ctx, vpc)
 	return h.Compare(s, got, 0)
