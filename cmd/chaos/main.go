@@ -12,6 +12,16 @@
 //	go run ./cmd/chaos -profile vf2        # one platform only
 //	go run ./cmd/chaos -smoke -metrics-out chaos.json  # detection metrics
 //
+// With -tee the injector draws only from the TEE fault deck — forged
+// confidential-compute lifecycle hypercalls and probes at the Dorami
+// monitor wall — and after every fault the campaign additionally asserts
+// the confidential-compute invariants: the locked-PMP wall holds on every
+// hart, the ACE lifecycle FSM is structurally consistent, and the
+// monitor's protected state fingerprint never changes:
+//
+//	go run ./cmd/chaos -tee -smoke          # TEE CI gate, all three policies
+//	go run ./cmd/chaos -tee -faults 50      # longer TEE campaign
+//
 // With -fleet the campaign attacks the vfmd control plane itself instead
 // of a machine: worker panics, stuck/slow jobs, dropped and duplicated
 // requests, mid-job machine kills — asserting the fleet's supervision
@@ -50,6 +60,7 @@ func run() int {
 		smoke   = flag.Bool("smoke", false, "fixed-seed smoke campaign: every firmware x policy x platform, used as a CI gate")
 		profile = flag.String("profile", "all", "platform profile: vf2, p550, or all")
 		budget  = flag.Uint64("budget", 0, "watchdog cycle budget (0 = default)")
+		tee     = flag.Bool("tee", false, "restrict injection to the TEE fault deck and assert the confidential-compute invariants (wall, ACE FSM, monitor-state fingerprint) after every fault")
 
 		metricsOut  = flag.String("metrics-out", "", "write campaign detection metrics (JSON) to this file")
 		metricsDump = flag.Bool("metrics", false, "print campaign detection metrics on exit")
@@ -93,6 +104,7 @@ func run() int {
 		FaultsPerCombo: *faults,
 		WatchdogBudget: *budget,
 		Obs:            ob,
+		TEE:            *tee,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)

@@ -62,6 +62,7 @@ func run(args []string, out, errw io.Writer) int {
 		forkN    = fs.Int("fork", 0, "fork-equivalence mode: run N cases per profile, each forked mid-run and compared bit-for-bit against a cold replay, swept across schedulers and fastpath settings")
 		hext     = fs.Bool("hext", false, "hypervisor-extension mode: H-biased lockstep fuzzing on the H-capable profiles (guest V-states, hfence, VS CSRs)")
 		hextN    = fs.Int("hext-cases", 500, "cases per profile in -hext mode")
+		teeN     = fs.Int("tee", 0, "TEE lifecycle mode: run N shadow-model fuzz cases per profile over the ACE confidential-compute FSM instead of lockstep fuzzing")
 		server   = fs.String("server", "", "run the fuzz campaign through a vfmd fleet server at this base URL (e.g. http://127.0.0.1:9400) instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +85,10 @@ func run(args []string, out, errw io.Writer) int {
 			profiles = []string{"p550"} // the H-capable profile
 		}
 		return runHext(profiles, *seed, *hextN, *repros, out, errw)
+	}
+
+	if *teeN > 0 {
+		return runTEE(profiles, *seed, *teeN, out, errw)
 	}
 
 	if *forkN > 0 {
@@ -223,6 +228,36 @@ func runForkEquiv(profiles []string, seed int64, cases int, out, errw io.Writer)
 	}
 	if len(st.Mismatches) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// runTEE drives the TEE lifecycle mode: seeded random operation sequences
+// over the ACE confidential-compute FSM, each checked against an
+// independent shadow model, the policy's structural invariants, and the
+// Dorami monitor wall after every operation.
+func runTEE(profiles []string, seed int64, cases int, out, errw io.Writer) int {
+	t0 := time.Now()
+	rep, err := fuzz.RunTEE(profiles, seed, cases)
+	if err != nil {
+		fmt.Fprintf(errw, "fuzzdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out, "tee: %d cases, %d lifecycle ops, %d violations rejected, %d heavy switches, %d failure(s) across %d profile(s) in %.1fs\n",
+		rep.Cases, rep.Ops, rep.Violations, rep.HeavySwitches, len(rep.Failures),
+		len(profiles), time.Since(t0).Seconds())
+	for _, f := range rep.Failures {
+		fmt.Fprintf(out, "  FAIL %s\n", f)
+	}
+	if len(rep.Failures) > 0 {
+		return 1
+	}
+	if rep.Violations == 0 || rep.HeavySwitches == 0 {
+		// A TEE sweep that never tripped a guard or crossed the boundary
+		// exercised nothing; refuse to count it as a pass.
+		fmt.Fprintf(errw, "fuzzdiff: tee sweep exercised no guards (violations=%d, heavy switches=%d)\n",
+			rep.Violations, rep.HeavySwitches)
+		return 2
 	}
 	return 0
 }

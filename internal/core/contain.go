@@ -43,6 +43,27 @@ const degradedMedeleg = (uint64(1)<<rv.ExcInstrAddrMisaligned |
 // runs. Returns the PC execution resumes at.
 func (m *Monitor) misbehave(ctx *HartCtx, f *MonitorFault, fallback uint64) uint64 {
 	m.trace("misbehavior:"+f.Kind.String(), ctx)
+	if ctx.Degraded {
+		// Already degraded: the firmware is written off, so there is no
+		// containment left to fire. Whatever the policy answers, record the
+		// fault exactly once and never re-enter containFirmware — a second
+		// pass would burn a restart slot, rebuild the virtual M-state the
+		// degraded OS depends on, and (with an unlucky policy Action) leave
+		// two ring entries for one event.
+		act := m.Policy.OnFirmwareMisbehavior(ctx, f)
+		f.Contained = act != ActBlock
+		if !m.faultJustRecorded(ctx) {
+			m.recordFault(f)
+		}
+		if act == ActBlock {
+			m.halt(ctx, "policy blocked misbehaving firmware (degraded): "+f.Reason)
+			return fallback
+		}
+		// Re-arm the progress clocks so the surviving OS gets a full budget.
+		ctx.lastOSInstret = ctx.Hart.Instret
+		ctx.osProgressCycles = ctx.Hart.Cycles
+		return ctx.takeOverride(fallback)
+	}
 	switch m.Policy.OnFirmwareMisbehavior(ctx, f) {
 	case ActHandled:
 		// The policy claims the recovery; re-arm the budgets for it.

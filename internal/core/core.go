@@ -288,6 +288,8 @@ type Stats struct {
 	FirmwareRestarts uint64 // containment-driven firmware reinitializations
 	WatchdogFires    uint64 // watchdog budget exhaustions
 	DegradedCalls    uint64 // SBI calls answered by the degraded-mode fallback
+
+	WallChecks uint64 // Dorami-wall invariant checks passed after world switches
 }
 
 // HartCtx is the monitor's per-hart state.
@@ -585,6 +587,7 @@ func (m *Monitor) TotalStats() Stats {
 		t.FirmwareRestarts += c.Stats.FirmwareRestarts
 		t.WatchdogFires += c.Stats.WatchdogFires
 		t.DegradedCalls += c.Stats.DegradedCalls
+		t.WallChecks += c.Stats.WallChecks
 	}
 	return t
 }

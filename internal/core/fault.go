@@ -34,6 +34,12 @@ const (
 	// FaultHalt is a monitor-initiated machine stop (policy ActBlock or an
 	// unrecoverable condition).
 	FaultHalt
+	// FaultWallBreach is a violation of the Dorami-style monitor wall: the
+	// locked PMP entries that isolate the monitor's own state from hosted
+	// firmware were found missing, unlocked, or misprogrammed after a
+	// world switch. The monitor cannot trust its own state past this
+	// point, so the machine is halted.
+	FaultWallBreach
 )
 
 func (k FaultKind) String() string {
@@ -48,6 +54,8 @@ func (k FaultKind) String() string {
 		return "lockup"
 	case FaultHalt:
 		return "halt"
+	case FaultWallBreach:
+		return "wall-breach"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }

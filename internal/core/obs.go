@@ -82,7 +82,7 @@ func sbiExtName(eid uint64) string {
 // faultEventNames precomputes the "fault:<kind>" instant names.
 var faultEventNames = func() map[FaultKind]string {
 	m := map[FaultKind]string{}
-	for _, k := range []FaultKind{FaultPanic, FaultDoubleFault, FaultWatchdog, FaultLockup, FaultHalt} {
+	for _, k := range []FaultKind{FaultPanic, FaultDoubleFault, FaultWatchdog, FaultLockup, FaultHalt, FaultWallBreach} {
 		m[k] = "fault:" + k.String()
 	}
 	return m

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"govfm/internal/mem"
+	"govfm/internal/pmp"
+	"govfm/internal/rv"
+)
+
+// The Dorami wall (PAPERS.md, "Privilege Separating Security Monitor on
+// RISC-V TEEs"): the monitor's own memory — fault ring, boot snapshots,
+// vPMP shadow, everything in [MiralisBase, MiralisBase+MiralisSize) — is
+// covered by a LOCKED zero-permission PMP entry. A locked entry binds
+// M-mode too, so even a hosted firmware that somehow reached physical
+// M-mode privileges could not read or corrupt monitor state; only the
+// monitor's own Force* reprogramming path (the hardware reset analogue)
+// can touch the entry. CheckWall re-derives the invariant from the live
+// PMP file after every world switch; a breach means the monitor can no
+// longer trust its own state and the machine is halted.
+
+// wallCfg is the exact cfg byte the wall entry must hold: locked, NAPOT
+// address matching, no permissions.
+const wallCfg = pmp.CfgL | pmp.ANapot<<3
+
+// CheckWall asserts the Dorami-wall invariant on one hart's physical PMP
+// file: the self-protection entry is present, locked, correctly sized,
+// and actually denies access to monitor memory in every simulated mode.
+// Returns nil when the wall holds.
+func (m *Monitor) CheckWall(ctx *HartCtx) error {
+	phys := ctx.Hart.CSR.PMP
+	if phys.NumEntries() <= pmpSelf {
+		return fmt.Errorf("wall: PMP file has no entry %d", pmpSelf)
+	}
+	if cfg := phys.Cfg(pmpSelf); cfg != wallCfg {
+		return fmt.Errorf("wall: entry %d cfg=%#x, want %#x (locked NAPOT, no perms)",
+			pmpSelf, cfg, wallCfg)
+	}
+	if addr := phys.Addr(pmpSelf); addr != pmp.NAPOTAddr(MiralisBase, MiralisSize) {
+		return fmt.Errorf("wall: entry %d addr=%#x, want %#x (Miralis region)",
+			pmpSelf, addr, pmp.NAPOTAddr(MiralisBase, MiralisSize))
+	}
+	// Behavioural probe: the cfg/addr fields could be right while a
+	// higher-priority artifact still grants access, so ask the file for
+	// actual verdicts at the region's edges and middle. A locked match
+	// constrains every mode, M included.
+	for _, addr := range []uint64{
+		MiralisBase,
+		MiralisBase + MiralisSize/2,
+		MiralisBase + MiralisSize - 8,
+	} {
+		for _, acc := range []mem.AccessType{mem.Read, mem.Write, mem.Exec} {
+			for _, mode := range []rv.Mode{rv.ModeU, rv.ModeS, rv.ModeM} {
+				if phys.Check(addr, 8, acc, mode) {
+					return fmt.Errorf("wall: %v %v allowed at %#x", mode, acc, addr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MonitorStateHash fingerprints the monitor state the Dorami wall
+// protects: the boot firmware image copy and the per-hart boot snapshots
+// containment restarts from. Nothing the hosted firmware or OS does may
+// ever change this value; the TEE chaos campaign compares it before and
+// after every fault sweep. (The fault ring is deliberately excluded — it
+// legitimately grows as faults are recorded.)
+func (m *Monitor) MonitorStateHash() uint64 {
+	fh := fnv.New64a()
+	fh.Write(m.bootFW)
+	for _, s := range m.bootSnaps {
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(fh, "%v %v %v %v %v %v %v %v",
+			s.Regs, s.PC, s.Mode, s.CSR.Mstatus, s.CSR.Mtvec, s.CSR.Mepc,
+			s.CSR.Medeleg, s.CSR.Satp)
+		for i := 0; i < s.CSR.PMP.NumEntries(); i++ {
+			fmt.Fprintf(fh, ";%d:%x:%x", i, s.CSR.PMP.Cfg(i), s.CSR.PMP.Addr(i))
+		}
+	}
+	return fh.Sum64()
+}
+
+// checkWallAfterSwitch runs the wall invariant on the world-switch path.
+// A passing check bumps the per-hart counter (campaigns assert
+// WallChecks == WorldSwitches); a failing one records a FaultWallBreach
+// and halts the machine.
+func (m *Monitor) checkWallAfterSwitch(ctx *HartCtx) {
+	if err := m.CheckWall(ctx); err != nil {
+		f := m.newFault(ctx, FaultWallBreach, err.Error())
+		m.recordFault(f)
+		m.halt(ctx, "monitor wall breached: "+err.Error())
+		return
+	}
+	ctx.Stats.WallChecks++
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"govfm/internal/firmware"
+	"govfm/internal/hart"
+	"govfm/internal/kernel"
+	"govfm/internal/pmp"
+)
+
+// containScenario boots gosbi + the boot kernel under the monitor with
+// crash containment armed — the configuration the wall, restart, and
+// degraded-mode regressions exercise.
+func containScenario(t *testing.T, pol Policy) (*hart.Machine, *Monitor) {
+	t.Helper()
+	cfg := hart.VisionFive2()
+	cfg.Harts = 1
+	m, err := hart.NewMachine(cfg, DramSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := firmware.BuildGosbi(FirmwareBase, firmware.Options{
+		OSEntry: OSBase, Harts: 1, FirmwareSize: FirmwareSize,
+	})
+	kern := kernel.BuildBoot(OSBase, kernel.BootOptions{
+		Harts: 1, TimeReads: 5, TimerSets: 2, Misaligned: 3,
+	})
+	if err := m.LoadImage(FirmwareBase, fw.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(OSBase, kern); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := Attach(m, Options{
+		Policy:        pol,
+		Offload:       true,
+		FirmwareEntry: FirmwareBase,
+		Containment:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Boot()
+	return m, mon
+}
+
+// TestWallHeldThroughBoot asserts the Dorami wall from boot to guest
+// exit: the self-protection entry is locked from the first instruction,
+// the invariant checker passes after every world switch, and tampering
+// with the entry is detected.
+func TestWallHeldThroughBoot(t *testing.T) {
+	m, mon := containScenario(t, nil)
+	ctx := mon.Ctx[0]
+	if err := mon.CheckWall(ctx); err != nil {
+		t.Fatalf("wall must hold right after Boot: %v", err)
+	}
+	if !ctx.Hart.CSR.PMP.Locked(pmpSelf) {
+		t.Fatal("self-protection entry must be locked at boot")
+	}
+	runToExit(t, m, 3_000_000)
+	if err := mon.CheckWall(ctx); err != nil {
+		t.Errorf("wall must hold at guest exit: %v", err)
+	}
+	st := mon.TotalStats()
+	if st.WallChecks == 0 || st.WallChecks != st.WorldSwitches {
+		t.Errorf("wall checked on %d of %d world switches", st.WallChecks, st.WorldSwitches)
+	}
+
+	// Tampering must be detected: unlock, regrant, or resize the entry.
+	phys := ctx.Hart.CSR.PMP
+	goodCfg, goodAddr := phys.Cfg(pmpSelf), phys.Addr(pmpSelf)
+	phys.ForceCfg(pmpSelf, pmp.ANapot<<3) // unlocked
+	if mon.CheckWall(ctx) == nil {
+		t.Error("CheckWall must reject an unlocked wall entry")
+	}
+	phys.ForceCfg(pmpSelf, goodCfg|pmp.CfgR) // locked but readable
+	if mon.CheckWall(ctx) == nil {
+		t.Error("CheckWall must reject a readable wall entry")
+	}
+	phys.ForceCfg(pmpSelf, goodCfg)
+	phys.ForceAddr(pmpSelf, pmp.NAPOTAddr(MiralisBase, MiralisSize/2))
+	if mon.CheckWall(ctx) == nil {
+		t.Error("CheckWall must reject a shrunk wall entry")
+	}
+	phys.ForceAddr(pmpSelf, goodAddr)
+	if err := mon.CheckWall(ctx); err != nil {
+		t.Errorf("restored wall must pass again: %v", err)
+	}
+}
+
+// TestBootRestartReprogramsWall is the boot → restart → reprogram
+// regression: a containment restart from the boot snapshot must come back
+// with the wall locked and the PMP epoch advanced (never rewound), and a
+// full power cycle (Machine.Reset, which legitimately clears locks) must
+// re-lock on the next Boot, still without rewinding the epoch.
+func TestBootRestartReprogramsWall(t *testing.T) {
+	m, mon := containScenario(t, nil)
+	ctx := mon.Ctx[0]
+	h := ctx.Hart
+	epochBoot := h.CSR.PMP.Epoch()
+
+	// Declare the firmware dead right out of Boot, before the OS launches:
+	// containment must restart it from the boot snapshot. (No Run first —
+	// gosbi hands off to the OS within a few hundred steps.)
+	if ctx.osLive {
+		t.Fatal("test premise: OS must not be live yet")
+	}
+	epochPre := h.CSR.PMP.Epoch()
+	f := mon.newFault(ctx, FaultDoubleFault, "test-induced crash")
+	vpc := mon.misbehave(ctx, f, h.PC)
+	if vpc != FirmwareBase {
+		t.Errorf("pre-OS containment must restart at the firmware entry, got %#x", vpc)
+	}
+	if ctx.Stats.FirmwareRestarts != 1 {
+		t.Errorf("FirmwareRestarts = %d, want 1", ctx.Stats.FirmwareRestarts)
+	}
+	if err := mon.CheckWall(ctx); err != nil {
+		t.Errorf("wall must be re-locked after a snapshot restart: %v", err)
+	}
+	if !h.CSR.PMP.Locked(pmpSelf) {
+		t.Error("restart must come back with the wall entry locked")
+	}
+	if e := h.CSR.PMP.Epoch(); e <= epochPre {
+		t.Errorf("snapshot restore must advance the epoch: %d -> %d", epochPre, e)
+	}
+	// The restarted firmware must boot all the way to a passing guest.
+	runToExit(t, m, 3_000_000)
+
+	// Power cycle: Reset clears every PMP entry, locks included, per spec —
+	// but the epoch is host bookkeeping and keeps counting up.
+	epochRun := h.CSR.PMP.Epoch()
+	if epochRun <= epochBoot {
+		t.Fatalf("epoch did not advance across the run: %d -> %d", epochBoot, epochRun)
+	}
+	m.Reset(FirmwareBase)
+	if h.CSR.PMP.Cfg(pmpSelf) != 0 {
+		t.Error("power-on reset must clear the locked wall entry")
+	}
+	if e := h.CSR.PMP.Epoch(); e <= epochRun {
+		t.Errorf("Reset must advance, not rewind, the epoch: %d -> %d", epochRun, e)
+	}
+	epochReset := h.CSR.PMP.Epoch()
+	mon.Boot()
+	if err := mon.CheckWall(mon.Ctx[0]); err != nil {
+		t.Errorf("Boot after Reset must re-lock the wall: %v", err)
+	}
+	if e := h.CSR.PMP.Epoch(); e <= epochReset {
+		t.Errorf("Boot must advance the epoch past the reset point: %d -> %d", epochReset, e)
+	}
+}
+
+// misbehaviorPolicy scripts OnFirmwareMisbehavior for the degraded-mode
+// double-fault regression.
+type misbehaviorPolicy struct {
+	BasePolicy
+	act   Action
+	calls int
+}
+
+func (p *misbehaviorPolicy) OnFirmwareMisbehavior(*HartCtx, *MonitorFault) Action {
+	p.calls++
+	return p.act
+}
+
+// TestDegradedReentryNoDoubleFire is the degraded-mode re-entry
+// regression: once the firmware is written off, a second misbehavior
+// must not re-enter containment (no restart slot burned, no virtual
+// M-state rebuild) and must leave exactly one fault ring entry per event.
+func TestDegradedReentryNoDoubleFire(t *testing.T) {
+	pol := &misbehaviorPolicy{act: ActDefault}
+	m, mon := containScenario(t, pol)
+	ctx := mon.Ctx[0]
+	h := ctx.Hart
+
+	// Run until the OS is live so containment diverts to degraded mode.
+	m.RunUntil(func() bool { return h.SInstret > 64 }, 3_000_000)
+	if h.SInstret <= 64 {
+		t.Fatal("OS never launched")
+	}
+	f1 := mon.newFault(ctx, FaultDoubleFault, "induced fault #1")
+	mon.misbehave(ctx, f1, h.PC)
+	if !ctx.Degraded {
+		t.Fatal("first post-OS misbehavior must enter degraded mode")
+	}
+	restarts, faults := ctx.Stats.FirmwareRestarts, mon.FaultCount
+	vBefore := ctx.V
+
+	// Second misbehavior while degraded: recorded once, no containment.
+	h.Cycles += 1000 // a distinct detection instant
+	f2 := mon.newFault(ctx, FaultWatchdog, "induced fault #2")
+	mon.misbehave(ctx, f2, h.PC)
+	if h.Halted {
+		t.Fatal("ActDefault in degraded mode must not halt")
+	}
+	if mon.FaultCount != faults+1 {
+		t.Errorf("second fault left %d ring entries, want exactly 1", mon.FaultCount-faults)
+	}
+	if ctx.Stats.FirmwareRestarts != restarts {
+		t.Errorf("degraded re-entry burned a restart: %d -> %d", restarts, ctx.Stats.FirmwareRestarts)
+	}
+	if !ctx.Degraded || ctx.V != vBefore {
+		t.Error("degraded re-entry must not rebuild the virtual M-state the OS depends on")
+	}
+	if !f2.Contained {
+		t.Error("a degraded-mode fault the policy did not block counts as contained")
+	}
+
+	// The same event escalating to halt at the same instant (e.g. the halt
+	// path running right after the record) must not add a second entry.
+	mon.halt(ctx, "escalation at the same instant")
+	h.Halted, h.HaltReason = false, "" // undo for the next phase
+	mon.HaltedReason = ""
+	if mon.FaultCount != faults+1 {
+		t.Errorf("same-instant escalation added a ring entry: %d", mon.FaultCount-faults)
+	}
+
+	// ActBlock while degraded: halt with one fault entry, still no restart.
+	pol.act = ActBlock
+	h.Cycles += 1000
+	f3 := mon.newFault(ctx, FaultWatchdog, "induced fault #3")
+	mon.misbehave(ctx, f3, h.PC)
+	if !h.Halted || !strings.Contains(h.HaltReason, "policy blocked") {
+		t.Errorf("ActBlock in degraded mode must halt with attribution, got halted=%v %q", h.Halted, h.HaltReason)
+	}
+	if mon.FaultCount != faults+2 {
+		t.Errorf("blocked fault left %d ring entries for the event, want 1", mon.FaultCount-faults-1)
+	}
+	if ctx.Stats.FirmwareRestarts != restarts {
+		t.Errorf("blocked degraded fault burned a restart: %d", ctx.Stats.FirmwareRestarts)
+	}
+	if f3.Contained {
+		t.Error("a blocked fault must not be marked contained")
+	}
+	if pol.calls != 3 {
+		t.Errorf("policy saw %d misbehavior callbacks, want 3", pol.calls)
+	}
+}
+
+// TestForkPreservesWall is the fork-then-probe regression at the monitor
+// level: a forked monitor must carry the locked wall, the PMP epoch, and
+// the protected-state fingerprint, and stay independent of the parent.
+func TestForkPreservesWall(t *testing.T) {
+	m, mon := containScenario(t, nil)
+	ctx := mon.Ctx[0]
+	m.Run(20_000) // boot far enough that PMP state is warm
+
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := hart.SpawnFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmon, err := mon.Fork(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx := fmon.Ctx[0]
+	if err := fmon.CheckWall(fctx); err != nil {
+		t.Fatalf("forked monitor must inherit the wall: %v", err)
+	}
+	if !fctx.Hart.CSR.PMP.Locked(pmpSelf) {
+		t.Error("fork lost the wall entry's lock bit")
+	}
+	// The child spawns from a normalized image, so its live epoch restarts
+	// low — what matters is that it is nonzero (caches key off it) and
+	// advances monotonically under the child's own execution.
+	childEpoch := fctx.Hart.CSR.PMP.Epoch()
+	if childEpoch == 0 {
+		t.Error("spawned child must start with a nonzero PMP epoch")
+	}
+	if fmon.MonitorStateHash() != mon.MonitorStateHash() {
+		t.Error("fork changed the monitor-state fingerprint")
+	}
+
+	// Independence: wrecking the parent's wall must not touch the child.
+	ctx.Hart.CSR.PMP.ForceCfg(pmpSelf, 0)
+	if mon.CheckWall(ctx) == nil {
+		t.Fatal("sanity: parent wall should now be broken")
+	}
+	if err := fmon.CheckWall(fctx); err != nil {
+		t.Errorf("parent tamper leaked into the fork: %v", err)
+	}
+	// And the fork still boots to a passing guest on its own.
+	runToExit(t, child, 3_000_000)
+	if err := fmon.CheckWall(fctx); err != nil {
+		t.Errorf("fork wall must hold at guest exit: %v", err)
+	}
+	// A clean guest run never reprograms PMP, so the epoch must not have
+	// moved backwards (monotonicity survives the spawn).
+	if e := fctx.Hart.CSR.PMP.Epoch(); e < childEpoch {
+		t.Errorf("child epoch moved backwards across its run: %d -> %d", childEpoch, e)
+	}
+	if got := fmon.TotalStats(); got.WallChecks != got.WorldSwitches {
+		t.Errorf("fork wall checked on %d of %d world switches", got.WallChecks, got.WorldSwitches)
+	}
+}
+
+// TestWallBreachHaltsAndRecords drives a world switch with a sabotaged
+// reinstall path and asserts the monitor classifies it: since installPMP
+// itself always re-locks, simulate the breach by corrupting the wall and
+// calling the post-switch checker directly.
+func TestWallBreachHaltsAndRecords(t *testing.T) {
+	m, mon := containScenario(t, nil)
+	ctx := mon.Ctx[0]
+	ctx.Hart.CSR.PMP.ForceCfg(pmpSelf, pmp.CfgR|pmp.CfgW|pmp.CfgX|pmp.ANapot<<3)
+	mon.checkWallAfterSwitch(ctx)
+	h := ctx.Hart
+	if !h.Halted || !strings.Contains(h.HaltReason, "wall breached") {
+		t.Fatalf("breach must halt with attribution, got halted=%v %q", h.Halted, h.HaltReason)
+	}
+	_ = m
+	if len(mon.Faults) == 0 || mon.Faults[len(mon.Faults)-1].Kind != FaultWallBreach {
+		t.Fatal("breach must leave a FaultWallBreach record")
+	}
+	if mon.Faults[len(mon.Faults)-1].Contained {
+		t.Error("a wall breach is not containable")
+	}
+}

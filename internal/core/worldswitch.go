@@ -55,6 +55,7 @@ func (m *Monitor) switchWorld(ctx *HartCtx, to World) {
 	}
 	m.installPhysCSRs(ctx, to)
 	m.installPMP(ctx, to)
+	m.checkWallAfterSwitch(ctx)
 	ctx.Hart.ChargeCycles(ctx.Hart.Cfg.Cost.TLBFlush)
 	if m.Opts.Trace != nil { // skip building the event string when nobody listens
 		m.trace("world-switch:"+to.String(), ctx)
@@ -213,10 +214,15 @@ func (m *Monitor) installPMP(ctx *HartCtx, to World) {
 	cost := &h.Cfg.Cost
 	n := phys.NumEntries()
 
-	// Entry 0: Miralis self-protection. No permissions, unlocked: M-mode
-	// (the monitor itself) retains access, everything below M is denied.
+	// Entry 0: Miralis self-protection — the Dorami wall. No permissions
+	// and LOCKED: the monitor's own state (fault ring, boot snapshots,
+	// vPMP shadow — everything inside [MiralisBase, MiralisBase+MiralisSize))
+	// is walled off from every simulated mode, M included. The monitor
+	// itself runs as host code and reprograms entries through Force*,
+	// which models the hardware reset path and ignores locks; no simulated
+	// instruction can weaken this entry short of a power cycle.
 	phys.ForceAddr(pmpSelf, pmp.NAPOTAddr(MiralisBase, MiralisSize))
-	phys.ForceCfg(pmpSelf, pmp.ANapot<<3)
+	phys.ForceCfg(pmpSelf, wallCfg)
 
 	// Entry 1: virtual-device window over the CLINT: all firmware/OS
 	// accesses trap for emulation.
@@ -309,7 +315,7 @@ func (m *Monitor) installPMP(ctx *HartCtx, to World) {
 		pf = pmp.NewFile(PolicySlots + 3)
 	}
 	pf.ForceAddr(0, pmp.NAPOTAddr(MiralisBase, MiralisSize))
-	pf.ForceCfg(0, pmp.ANapot<<3)
+	pf.ForceCfg(0, wallCfg)
 	pf.ForceAddr(1, pmp.NAPOTAddr(clintBase, clintSize))
 	pf.ForceCfg(1, pmp.ANapot<<3)
 	for i := 0; i < PolicySlots; i++ {

@@ -10,6 +10,7 @@ import (
 	"govfm/internal/core"
 	"govfm/internal/hart"
 	"govfm/internal/obs"
+	"govfm/internal/policy/ace"
 	"govfm/internal/policy/sandbox"
 )
 
@@ -44,6 +45,13 @@ type CampaignConfig struct {
 	// ErrCampaignCanceled. The vfmd fleet threads its per-job deadlines
 	// and shutdown drain through this.
 	Cancelled func() bool
+
+	// TEE restricts the injector to the TEE fault deck (forged lifecycle
+	// hypercalls, wall probes) and adds the confidential-compute
+	// invariants after every fault: the Dorami wall holds on every hart,
+	// the ACE FSM's structural invariants hold, and the monitor-state
+	// fingerprint never changes.
+	TEE bool
 
 	// Fork makes every combo boot once: the post-warmup machine is
 	// snapshotted (copy-on-write, with the monitor and policy forked
@@ -103,6 +111,11 @@ type ComboResult struct {
 	FirmwareRestarts uint64
 	DegradedCalls    uint64
 
+	// WallChecks counts Dorami-wall invariant checks that passed on world
+	// switches (the campaign fails the combo if any world switch skipped
+	// or failed its check).
+	WallChecks uint64
+
 	// HashIntact reports the sandbox invariant: the policy's boot-image
 	// hash and the OS text window never changed (always true for non-
 	// sandbox policies, which do not hash).
@@ -114,9 +127,10 @@ type ComboResult struct {
 }
 
 func (r *ComboResult) String() string {
-	return fmt.Sprintf("%-12s %-7s %-9s inj=%-3d contained=%-3d reported=%-3d wdog=%-2d restarts=%-2d degraded=%-3d rebuilds=%-2d fail=%d",
+	return fmt.Sprintf("%-12s %-7s %-9s inj=%-3d contained=%-3d reported=%-3d wdog=%-2d restarts=%-2d degraded=%-3d rebuilds=%-2d wall=%-4d fail=%d",
 		r.Platform, r.Firmware, r.Policy, r.Injected, r.Contained, r.Reported,
-		r.WatchdogFires, r.FirmwareRestarts, r.DegradedCalls, r.Rebuilds, len(r.Failures))
+		r.WatchdogFires, r.FirmwareRestarts, r.DegradedCalls, r.Rebuilds,
+		r.WallChecks, len(r.Failures))
 }
 
 // Report aggregates a campaign.
@@ -348,7 +362,35 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 	if cfg.Obs != nil {
 		inj.AttachTracer(cfg.Obs.Trace)
 	}
+	if cfg.TEE {
+		inj.SetDeck(TEEDeck)
+	}
+	monHash := cs.sys.Monitor.MonitorStateHash()
 	degradedRounds := 0
+
+	// teeCheck asserts the confidential-compute invariants on the live
+	// system: the Dorami wall holds on every hart, the ACE FSM is
+	// structurally consistent, and the monitor's protected state is
+	// byte-identical to its post-boot fingerprint.
+	teeCheck := func(after string) {
+		mon := cs.sys.Monitor
+		for _, ctx := range mon.Ctx {
+			if werr := mon.CheckWall(ctx); werr != nil {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("%s: hart%d: %v", after, ctx.Hart.ID, werr))
+			}
+		}
+		if ap, ok := mon.Policy.(*ace.Policy); ok && ap != nil {
+			if ierr := ap.CheckInvariants(); ierr != nil {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("%s: %v", after, ierr))
+			}
+		}
+		if h := mon.MonitorStateHash(); h != monHash {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("%s: monitor state hash changed %#x -> %#x", after, monHash, h))
+		}
+	}
 
 	finishCombo := func() {
 		mon := cs.sys.Monitor
@@ -360,15 +402,27 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 			if f.Contained {
 				res.Contained++
 			}
+			if f.Kind == core.FaultWallBreach {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("wall breach recorded: %s", f.Reason))
+			}
 		}
 		st := mon.TotalStats()
 		res.WatchdogFires += st.WatchdogFires
 		res.FirmwareRestarts += st.FirmwareRestarts
 		res.DegradedCalls += st.DegradedCalls
+		res.WallChecks += st.WallChecks
+		if st.WallChecks != st.WorldSwitches {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"wall checked on %d of %d world switches", st.WallChecks, st.WorldSwitches))
+		}
 		if cs.sandbox != nil {
 			if cs.sandbox.BootHash != cs.vmHash || osTextHash(cs.sys) != cs.osHash {
 				res.HashIntact = false
 			}
+		}
+		if cfg.TEE {
+			teeCheck("combo finish")
 		}
 	}
 
@@ -385,6 +439,10 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 		if cfg.Obs != nil {
 			inj.AttachTracer(cfg.Obs.Trace)
 		}
+		if cfg.TEE {
+			inj.SetDeck(TEEDeck)
+		}
+		monHash = cs.sys.Monitor.MonitorStateHash()
 		return nil
 	}
 
@@ -429,6 +487,10 @@ func runCombo(cfg CampaignConfig, plat, fw, pol string, seed int64) (res *ComboR
 			if err := rebuild(); err != nil {
 				return nil, err
 			}
+		}
+
+		if cfg.TEE {
+			teeCheck(f.String())
 		}
 
 		if mon.Ctx[0].Degraded {

@@ -56,8 +56,37 @@ const (
 	// access fault while the firmware is executing.
 	MMIOError
 
+	// The TEE deck (tee.go): forged confidential-compute lifecycle calls
+	// and probes aimed at the Dorami monitor wall. The hypercall kinds
+	// hijack the OS into a generated gadget that issues real ecalls
+	// through the monitor's trap path, so the policy FSM sees exactly
+	// what a malicious host would send.
+
+	// TEEForgedSteal issues a COVH run-CVM call with an arbitrary id from
+	// host context — a forged hart steal.
+	TEEForgedSteal
+	// TEEForgedReturn issues a COVG guest call from host context with no
+	// CVM occupying the hart — the host impersonating a confidential
+	// guest.
+	TEEForgedReturn
+	// TEEDoubleDonate promotes the same physical region twice in a row;
+	// the second donation must be refused by the page ledger.
+	TEEDoubleDonate
+	// TEEReclaimStorm fires a reclaim/destroy/reclaim burst at a random
+	// CVM id — including reclaim-while-running and destroy-while-running
+	// orderings the FSM must refuse.
+	TEEReclaimStorm
+	// TEEWallProbe redirects the firmware's control flow into the
+	// monitor's own memory: the locked PMP wall must fault it.
+	TEEWallProbe
+
 	NumKinds int = iota
 )
+
+// TEEDeck lists the confidential-compute fault kinds, for campaigns that
+// sweep only the TEE boundary.
+var TEEDeck = []Kind{TEEForgedSteal, TEEForgedReturn, TEEDoubleDonate,
+	TEEReclaimStorm, TEEWallProbe}
 
 func (k Kind) String() string {
 	switch k {
@@ -83,6 +112,16 @@ func (k Kind) String() string {
 		return "never-mret"
 	case MMIOError:
 		return "mmio-error"
+	case TEEForgedSteal:
+		return "tee-forged-steal"
+	case TEEForgedReturn:
+		return "tee-forged-return"
+	case TEEDoubleDonate:
+		return "tee-double-donate"
+	case TEEReclaimStorm:
+		return "tee-reclaim-storm"
+	case TEEWallProbe:
+		return "tee-wall-probe"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -107,13 +146,25 @@ var firmwareOnly = [NumKinds]bool{
 	BitFlipGPR:   true,
 	PMPOverreach: true,
 	MMIOError:    true,
+	TEEWallProbe: true,
+}
+
+// osOnly marks kinds that hijack the OS into a hypercall gadget: they
+// need the hart executing the OS world directly (virtual S-mode, bare
+// addressing) so the generated ecall sequence reaches the policy through
+// the real trap path.
+var osOnly = [NumKinds]bool{
+	TEEForgedSteal:  true,
+	TEEForgedReturn: true,
+	TEEDoubleDonate: true,
+	TEEReclaimStorm: true,
 }
 
 // universal lists the kinds applicable in any world.
 var universal = func() []Kind {
 	var ks []Kind
 	for k := Kind(0); int(k) < NumKinds; k++ {
-		if !firmwareOnly[k] {
+		if !firmwareOnly[k] && !osOnly[k] {
 			ks = append(ks, k)
 		}
 	}
@@ -123,15 +174,20 @@ var universal = func() []Kind {
 // Injector applies seeded, deterministic faults to a monitored machine.
 // The same seed and injection schedule reproduce the same fault sequence.
 type Injector struct {
-	rng *rand.Rand
-	mon *core.Monitor
-	m   *hart.Machine
-	tr  *obs.Tracer // nil unless observability is attached (obs.go)
+	rng  *rand.Rand
+	mon  *core.Monitor
+	m    *hart.Machine
+	tr   *obs.Tracer // nil unless observability is attached (obs.go)
+	deck []Kind      // nil: all kinds; otherwise Inject draws from this set
 
 	// Total counts all injected faults; Counts breaks them down by kind.
 	Total  int
 	Counts [NumKinds]int
 }
+
+// SetDeck restricts Inject to the given fault kinds (world-gating
+// fallbacks still apply). A nil deck restores the full set.
+func (in *Injector) SetDeck(deck []Kind) { in.deck = deck }
 
 // New builds an injector for a monitored machine.
 func New(seed int64, mon *core.Monitor) *Injector {
@@ -147,8 +203,13 @@ func New(seed int64, mon *core.Monitor) *Injector {
 func (in *Injector) Inject() Fault {
 	ctx := in.mon.Ctx[in.rng.Intn(len(in.mon.Ctx))]
 	fw := ctx.World() == core.WorldFirmware && !ctx.Degraded
-	k := Kind(in.rng.Intn(NumKinds))
-	if firmwareOnly[k] && !fw {
+	var k Kind
+	if len(in.deck) > 0 {
+		k = in.deck[in.rng.Intn(len(in.deck))]
+	} else {
+		k = Kind(in.rng.Intn(NumKinds))
+	}
+	if (firmwareOnly[k] && !fw) || (osOnly[k] && !in.gadgetReady(ctx)) {
 		k = universal[in.rng.Intn(len(universal))]
 	}
 	return in.InjectKind(ctx, k)
@@ -242,6 +303,14 @@ func (in *Injector) InjectKind(ctx *core.HartCtx, k Kind) Fault {
 		n := 1 + in.rng.Intn(2)
 		in.m.Bus.InjectDeviceFaults(n)
 		detail = fmt.Sprintf("next %d device access(es) fail", n)
+
+	case TEEForgedSteal, TEEForgedReturn, TEEDoubleDonate, TEEReclaimStorm:
+		detail = in.injectTEECall(ctx, k)
+
+	case TEEWallProbe:
+		off := uint64(in.rng.Int63n(core.MiralisSize)) &^ 3
+		h.PC = core.MiralisBase + off
+		detail = fmt.Sprintf("firmware pc redirected into monitor memory %#x", h.PC)
 	}
 
 	in.Total++

@@ -1,0 +1,98 @@
+package inject
+
+import (
+	"fmt"
+
+	"govfm/internal/asm"
+	"govfm/internal/core"
+	"govfm/internal/policy/ace"
+	"govfm/internal/rv"
+)
+
+// The TEE fault deck: forged confidential-compute lifecycle calls. Rather
+// than poking policy hooks directly, the injector hijacks the OS into a
+// freshly assembled gadget that issues the forged calls as real ecalls —
+// the full trap path (monitor entry, policy dispatch, world switches, PMP
+// reprogramming) runs exactly as it would for a malicious host kernel.
+// The gadget ends in a counting spin loop, so the hart keeps retiring
+// instructions and the campaign's forward-progress invariant still
+// distinguishes a live machine from a wedged one.
+
+const (
+	// teeGadgetBase is scratch OS memory the gadgets are assembled into —
+	// far above any campaign kernel image, inside the OS window.
+	teeGadgetBase = core.OSBase + 0x700_0000
+	// teeRegionBase/teeRegionSize is the donation target for the
+	// double-donate attack: a NAPOT region in otherwise unused OS memory.
+	teeRegionBase = core.OSBase + 0x600_0000
+	teeRegionSize = 0x10000
+)
+
+// teeCall is one forged hypercall in a gadget sequence.
+type teeCall struct {
+	ext, fn, a0, a1, a2 uint64
+}
+
+// gadgetReady reports whether a hypercall gadget can be injected right
+// now: the hart must be directly executing the OS world in virtual S-mode
+// with bare addressing (the gadget lives at a physical address), and not
+// under degraded-mode servicing.
+func (in *Injector) gadgetReady(ctx *core.HartCtx) bool {
+	return ctx.World() == core.WorldOS && !ctx.Degraded &&
+		ctx.VirtMode == rv.ModeS && ctx.Hart.CSR.Satp == 0
+}
+
+// buildGadget assembles the forged-call sequence followed by the spin
+// loop.
+func buildGadget(calls []teeCall) []byte {
+	a := asm.New(teeGadgetBase)
+	for _, c := range calls {
+		a.Li(asm.A7, c.ext)
+		a.Li(asm.A6, c.fn)
+		a.Li(asm.A0, c.a0)
+		a.Li(asm.A1, c.a1)
+		a.Li(asm.A2, c.a2)
+		a.Ecall()
+	}
+	a.Label("spin")
+	a.Addi(asm.T6, asm.T6, 1)
+	a.J("spin")
+	return a.MustAssemble()
+}
+
+// injectTEECall writes the gadget for kind k and redirects the OS into it.
+func (in *Injector) injectTEECall(ctx *core.HartCtx, k Kind) string {
+	var calls []teeCall
+	var detail string
+	switch k {
+	case TEEForgedSteal:
+		id := uint64(in.rng.Intn(ace.MaxCVMs + 2)) // including out-of-range ids
+		calls = []teeCall{{ext: rv.SBIExtCoveHost, fn: ace.FnRunCVM, a0: id}}
+		detail = fmt.Sprintf("forged run-CVM(%d) from host", id)
+	case TEEForgedReturn:
+		fns := []uint64{ace.FnGuestExit, ace.FnGuestSharePage, ace.FnGuestAttest}
+		fn := fns[in.rng.Intn(len(fns))]
+		calls = []teeCall{{ext: rv.SBIExtCoveGuest, fn: fn, a0: in.rng.Uint64()}}
+		detail = fmt.Sprintf("forged COVG fn %#x with no CVM on the hart", fn)
+	case TEEDoubleDonate:
+		promote := teeCall{ext: rv.SBIExtCoveHost, fn: ace.FnPromoteToCVM,
+			a0: teeRegionBase, a1: teeRegionSize, a2: teeRegionBase}
+		calls = []teeCall{promote, promote}
+		detail = fmt.Sprintf("promote [%#x,+%#x) twice", uint64(teeRegionBase), uint64(teeRegionSize))
+	case TEEReclaimStorm:
+		id := uint64(in.rng.Intn(ace.MaxCVMs))
+		calls = []teeCall{
+			{ext: rv.SBIExtCoveHost, fn: ace.FnReclaimPage, a0: id},
+			{ext: rv.SBIExtCoveHost, fn: ace.FnDestroyCVM, a0: id},
+			{ext: rv.SBIExtCoveHost, fn: ace.FnReclaimPage, a0: id},
+		}
+		detail = fmt.Sprintf("reclaim/destroy/reclaim burst at cvm %d", id)
+	}
+	if err := in.m.Bus.WriteBytes(teeGadgetBase, buildGadget(calls)); err != nil {
+		return "gadget write failed: " + err.Error()
+	}
+	h := ctx.Hart
+	h.PC = teeGadgetBase
+	h.Waiting = false
+	return detail
+}

@@ -173,6 +173,7 @@ const (
 	fnPromote      = 0x10
 	fnDestroyCVM   = 0x11
 	fnRunCVM       = 0x12
+	fnAttestCVM    = 0x14
 	fnGuestExit    = 0x20
 	fnGuestShare   = 0x21
 	cvmInterrupted = 0x0FF1
@@ -220,6 +221,7 @@ func BuildCVMGuest(base uint64) []byte {
 //	[2] value read from the shared page (0x9A9A9A)
 //	[3] 1 if reading the CVM's private memory faulted (it must)
 //	[4] destroy return (0)
+//	[5] attest return (nonzero launch measurement of the CVM)
 func BuildACEHost(base uint64) []byte {
 	a := asm.New(base)
 	a.Label("entry")
@@ -260,6 +262,13 @@ func BuildACEHost(base uint64) []byte {
 	a.La(asm.T0, "fault_seen")
 	a.Ld(asm.T2, asm.T0, 0)
 	a.Sd(asm.T2, asm.S8, 24)
+
+	// attest(id): the launch measurement, queried while the CVM is live.
+	a.Mv(asm.A0, asm.S9)
+	a.Li(asm.A7, covhEID)
+	a.Li(asm.A6, fnAttestCVM)
+	a.Ecall()
+	a.Sd(asm.A0, asm.S8, 40)
 
 	// destroy(id).
 	a.Mv(asm.A0, asm.S9)

@@ -121,6 +121,30 @@ func (f *File) markDirty() {
 // spurious bumps only cost external caches a refill, never correctness).
 func (f *File) Epoch() uint64 { return f.epoch }
 
+// CloneSnapshot returns a deep copy with the mutation epoch cleared. The
+// epoch is host-cache bookkeeping, not architectural state: two snapshots
+// of the same architectural state must compare equal no matter when they
+// were taken, and Restore re-derives a monotonic epoch on the live file
+// (see AdvanceEpoch) rather than trusting a snapshot-time value.
+func (f *File) CloneSnapshot() *File {
+	c := *f
+	c.epoch = 0
+	return &c
+}
+
+// AdvanceEpoch raises the mutation counter to at least e. Machine reset
+// and snapshot restore replace or rewind a hart's PMP file; carrying the
+// epoch forward through those events keeps it monotonic per hart, so an
+// external cache entry tagged with an epoch value can never be
+// re-validated by a different (reset or restored) file that happens to
+// reuse the number. Raising the counter never invalidates anything
+// incorrectly — a mismatch is always just a refill.
+func (f *File) AdvanceEpoch(e uint64) {
+	if f.epoch < e {
+		f.epoch = e
+	}
+}
+
 // SetFast selects the flattened-range lookup (true) or the architectural
 // linear scan (false) for Check. Both produce identical verdicts — the
 // fastpath-equivalence fuzz gate runs them against each other — so this

@@ -320,3 +320,121 @@ func TestNewFilePanics(t *testing.T) {
 	}()
 	NewFile(65)
 }
+
+// Epoch regression tests: the mutation epoch is host-cache bookkeeping and
+// must be monotonic on a live file across resets and restores, while
+// snapshot copies normalize it away so architectural comparisons stay
+// bit-exact.
+
+func TestEpochAdvanceIsMonotonic(t *testing.T) {
+	f := NewFile(4)
+	if f.Epoch() != 0 {
+		t.Fatalf("fresh file epoch = %d", f.Epoch())
+	}
+	f.SetCfg(0, CfgR|ANapot<<3)
+	f.SetAddr(0, 0x100)
+	e := f.Epoch()
+	if e == 0 {
+		t.Fatal("mutations must advance the epoch")
+	}
+	f.AdvanceEpoch(e - 1) // rewind attempt is a no-op
+	if f.Epoch() != e {
+		t.Errorf("AdvanceEpoch rewound the epoch: %d -> %d", e, f.Epoch())
+	}
+	f.AdvanceEpoch(e + 10)
+	if f.Epoch() != e+10 {
+		t.Errorf("AdvanceEpoch(%d) left epoch %d", e+10, f.Epoch())
+	}
+	f.Reset()
+	if f.Epoch() <= e+10 {
+		t.Errorf("Reset must advance, not rewind, the epoch: %d", f.Epoch())
+	}
+}
+
+func TestCloneSnapshotNormalizesEpoch(t *testing.T) {
+	f := NewFile(4)
+	f.SetCfg(0, CfgL|CfgR|ANapot<<3)
+	f.SetAddr(1, 0x42) // note: SetAddr before a locked cfg on the same entry
+	live := f.Epoch()
+	if live == 0 {
+		t.Fatal("expected nonzero live epoch")
+	}
+	s := f.CloneSnapshot()
+	if s.Epoch() != 0 {
+		t.Errorf("snapshot clone epoch = %d, want 0", s.Epoch())
+	}
+	if f.Epoch() != live {
+		t.Errorf("CloneSnapshot mutated the source epoch: %d -> %d", live, f.Epoch())
+	}
+	// Architectural state is still a deep copy.
+	if s.Cfg(0) != CfgL|CfgR|ANapot<<3 || s.Addr(1) != 0x42 {
+		t.Error("snapshot clone lost architectural state")
+	}
+}
+
+// TestCloneForkThenProbe is the fork-then-probe regression: Clone must
+// carry lock bits, the epoch, and a coherent fast-path segment hint, and
+// the clone's verdicts must be independent of later parent mutations.
+func TestCloneForkThenProbe(t *testing.T) {
+	f := NewFile(8)
+	f.SetFast(true)
+	// Entry 0: the monitor-style locked deny-all region.
+	f.SetAddr(0, NAPOTAddr(0x8000_0000, 0x10_0000))
+	f.SetCfg(0, CfgL|ANapot<<3)
+	// Entry 1: an allow window.
+	f.SetAddr(1, NAPOTAddr(0x9000_0000, 0x1000))
+	f.SetCfg(1, CfgR|CfgW|ANapot<<3)
+	// Entry 7: background allow-all.
+	f.SetAddr(7, rv.Mask(54))
+	f.SetCfg(7, CfgR|CfgW|CfgX|ANapot<<3)
+
+	// Warm the fast path so lastSeg points at a high segment.
+	if !f.Check(0x9000_0800, 8, mem.Read, rv.ModeS) {
+		t.Fatal("warmup check failed")
+	}
+	epoch := f.Epoch()
+
+	c := f.Clone()
+	if c.Epoch() != epoch {
+		t.Errorf("clone epoch = %d, want %d (fork preserves the epoch)", c.Epoch(), epoch)
+	}
+	if !c.Locked(0) || c.Cfg(0) != CfgL|ANapot<<3 {
+		t.Errorf("clone lost the locked entry: cfg=%#x", c.Cfg(0))
+	}
+
+	// Mutate the parent: retarget the allow window and drop the background.
+	f.SetAddr(1, NAPOTAddr(0xA000_0000, 0x1000))
+	f.SetCfg(7, ANapot<<3)
+
+	// The clone's verdicts must be the parent's pre-fork verdicts — probe
+	// low addresses first so a stale shared lastSeg hint would be exposed.
+	if c.Check(0x8000_0100, 8, mem.Read, rv.ModeM) {
+		t.Error("clone must keep denying M-mode access to the locked region")
+	}
+	if !c.Check(0x9000_0800, 8, mem.Write, rv.ModeS) {
+		t.Error("clone must keep the original allow window")
+	}
+	if !c.Check(0x1000, 8, mem.Exec, rv.ModeS) {
+		t.Error("clone must keep the background allow-all")
+	}
+	if c.Epoch() != epoch {
+		t.Errorf("probing mutated the clone epoch: %d", c.Epoch())
+	}
+	// And every clone verdict must agree with a scan-only file built from
+	// the same architectural state (fast-path hint coherence).
+	slow := c.Clone()
+	slow.SetFast(false)
+	for _, a := range []uint64{0x8000_0000, 0x8000_8000, 0x9000_0000, 0x9000_0FF8, 0x1000, 0xA000_0000} {
+		for _, acc := range []mem.AccessType{mem.Read, mem.Write, mem.Exec} {
+			for _, mode := range []rv.Mode{rv.ModeU, rv.ModeS, rv.ModeM} {
+				if got, want := c.Check(a, 8, acc, mode), slow.Check(a, 8, acc, mode); got != want {
+					t.Fatalf("fast/slow divergence at %#x %v %v: fast=%v scan=%v", a, acc, mode, got, want)
+				}
+			}
+		}
+	}
+	// Locked entries survive in the parent too.
+	if !f.Locked(0) {
+		t.Error("parent lost its lock")
+	}
+}

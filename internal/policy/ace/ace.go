@@ -6,14 +6,29 @@
 // The policy follows the paper's co-location approach: while the host or a
 // CVM runs, the ACE policy handles traps directly (its hooks fire before
 // the monitor's default handling) and yields to the monitor only for
-// firmware interactions. The CVM executes with its own complete supervisor
-// context; on platforms with the hypervisor extension the host's H-state
-// is shadowed away from the CVM on every switch (the paper's "saving and
-// restoring the new CSRs on world switches").
+// firmware interactions. The lifecycle mirrors the ACE-RISCV monitor FSM:
+//
+//	free ──promote──▶ ready ──run──▶ running
+//	 ▲                  │ ▲             │
+//	 └─────destroy──────┘ └─exit/trap/──┘
+//	                         interrupt
+//
+// Promote measures the donated pages (an attestation hash the host and
+// guest can both query), records every 4 KiB page in a global donation
+// ledger (double donation is structurally impossible), and scrubbing plus
+// ledger reclamation happen on destroy. Every hart steal (run) and return
+// (exit/preempt/fault) performs ACE's heavy context switch: the full GPR
+// file and supervisor CSRs are zeroed before the other world's context is
+// loaded, so no register state ever leaks across the confidential
+// boundary. The CVM executes with its own complete supervisor context; on
+// platforms with the hypervisor extension the host's H-state is shadowed
+// away from the CVM on every switch (the paper's "saving and restoring
+// the new CSRs on world switches").
 package ace
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"govfm/internal/core"
 	"govfm/internal/hart"
@@ -24,20 +39,26 @@ import (
 // COVH (host-side) function IDs, in the spirit of the CoVE spec.
 const (
 	FnPromoteToCVM = 0x10 // a0=base, a1=size, a2=entry -> cvm id
-	FnDestroyCVM   = 0x11
-	FnRunCVM       = 0x12 // a0=id
+	FnDestroyCVM   = 0x11 // a0=id: scrub, reclaim pages, free the slot
+	FnRunCVM       = 0x12 // a0=id: steal this hart for the CVM
+	FnReclaimPage  = 0x13 // a0=id: revoke the shared-page window
+	FnAttestCVM    = 0x14 // a0=id -> measurement of the donated pages
 )
 
 // COVG (guest-side) function IDs.
 const (
 	FnGuestExit      = 0x20 // a0=value: voluntary exit to host
 	FnGuestSharePage = 0x21 // a0=guest page addr: make one page host-visible
+	FnGuestAttest    = 0x22 // -> own measurement (local attestation)
 )
 
 // Host return codes.
 const (
 	OK              = 0
 	ErrInvalidParam = ^uint64(0)
+	// ErrCVMBusy: the operation needs the CVM stopped, but it is running
+	// on a hart (destroy-while-running, reclaim-while-running).
+	ErrCVMBusy = ^uint64(1)
 	// Interrupted: the CVM was preempted; run again to resume.
 	Interrupted = 0x0FF1
 )
@@ -46,6 +67,9 @@ const (
 // deny-all rule while a CVM executes).
 const MaxCVMs = 4
 
+// pageSize is the donation granule.
+const pageSize = 4096
+
 type cvmState int
 
 const (
@@ -53,6 +77,18 @@ const (
 	stReady
 	stRunning
 )
+
+func (s cvmState) String() string {
+	switch s {
+	case stFree:
+		return "free"
+	case stReady:
+		return "ready"
+	case stRunning:
+		return "running"
+	}
+	return fmt.Sprintf("cvmState(%d)", int(s))
+}
 
 // sContext is a complete supervisor-mode register context.
 type sContext struct {
@@ -70,6 +106,10 @@ type cvm struct {
 	base, size uint64
 	guest      sContext
 	started    bool
+	// measure is the attestation measurement: an FNV-64a hash of the
+	// donated pages' contents taken at promote time, before the host
+	// loses access. Nonzero for every live CVM.
+	measure uint64
 	// sharedPage, when nonzero, is a single guest page the host may access
 	// (the CoVE shared-memory mechanism, minimally).
 	sharedPage uint64
@@ -90,23 +130,41 @@ type Policy struct {
 	core.BasePolicy
 	cvms [MaxCVMs]cvm
 	host map[int]*hostSlot
+	// donated is the global page-donation ledger: 4 KiB page base -> owning
+	// CVM id. Promote fails if any page of the candidate region is already
+	// donated, making double donation structurally impossible; destroy is
+	// the only operation that returns pages to the host.
+	donated map[uint64]int
+
+	// HeavySwitches counts full GPR+CSR scrub context switches (one per
+	// hart steal and one per return), and Violations counts rejected
+	// forged or ill-ordered lifecycle calls. Both are cheap evidence for
+	// the chaos/fuzz harnesses that the FSM actually exercised its guards.
+	HeavySwitches uint64
+	Violations    uint64
 }
 
 // New returns an empty ACE policy.
-func New() *Policy { return &Policy{host: make(map[int]*hostSlot)} }
+func New() *Policy {
+	return &Policy{host: make(map[int]*hostSlot), donated: make(map[uint64]int)}
+}
 
 // Name implements core.Policy.
 func (p *Policy) Name() string { return "ace" }
 
-// ForkPolicy implements core.PolicyForker: confidential VMs and saved host
-// slots are deep-copied, so a forked monitor's CVM world is independent of
-// the parent's.
+// ForkPolicy implements core.PolicyForker: confidential VMs, saved host
+// slots, and the donation ledger are deep-copied, so a forked monitor's
+// CVM world is independent of the parent's.
 func (p *Policy) ForkPolicy() core.Policy {
 	c := *p
 	c.host = make(map[int]*hostSlot, len(p.host))
 	for k, v := range p.host {
 		sv := *v
 		c.host[k] = &sv
+	}
+	c.donated = make(map[uint64]int, len(p.donated))
+	for k, v := range p.donated {
+		c.donated[k] = v
 	}
 	return &c
 }
@@ -137,7 +195,7 @@ func (p *Policy) PolicyPMP(c *core.HartCtx, w core.World) []core.PMPRule {
 			// rule; the rest of the CVM stays dark to host and firmware.
 			rules = append(rules, core.PMPRule{
 				Cfg:  pmp.CfgR | pmp.CfgW | pmp.ANapot<<3,
-				Addr: pmp.NAPOTAddr(v.sharedPage, 4096),
+				Addr: pmp.NAPOTAddr(v.sharedPage, pageSize),
 			})
 		}
 		rules = append(rules, core.PMPRule{
@@ -152,6 +210,9 @@ func (p *Policy) PolicyPMP(c *core.HartCtx, w core.World) []core.PMPRule {
 }
 
 // OnOSEcall implements core.Policy: COVH from the host, COVG from a CVM.
+// Calls arriving from the wrong side of the boundary — COVH from inside a
+// CVM, COVG with no CVM on the hart — are forged lifecycle transitions
+// and are denied without ever reaching the firmware.
 func (p *Policy) OnOSEcall(c *core.HartCtx) core.Action {
 	h := c.Hart
 	ext := h.Regs[17]
@@ -164,12 +225,21 @@ func (p *Policy) OnOSEcall(c *core.HartCtx) core.Action {
 			// applies.
 			return core.ActDefault
 		default:
-			// Everything else is denied inside a CVM.
+			// Everything else — COVH included — is denied inside a CVM.
+			p.Violations++
 			h.Regs[10] = sbiErrDenied
 			return core.ActHandled
 		}
 	}
-	if ext != rv.SBIExtCoveHost {
+	switch ext {
+	case rv.SBIExtCoveGuest:
+		// Forged guest call: no CVM occupies this hart, so whoever issued
+		// this is the host impersonating a confidential guest.
+		p.Violations++
+		h.Regs[10] = sbiErrDenied
+		return core.ActHandled
+	case rv.SBIExtCoveHost:
+	default:
 		return core.ActDefault
 	}
 	switch h.Regs[16] {
@@ -179,51 +249,141 @@ func (p *Policy) OnOSEcall(c *core.HartCtx) core.Action {
 		h.Regs[10] = p.destroy(c, h.Regs[10])
 	case FnRunCVM:
 		return p.run(c, h.Regs[10])
+	case FnReclaimPage:
+		h.Regs[10] = p.reclaim(c, h.Regs[10])
+	case FnAttestCVM:
+		h.Regs[10] = p.attest(h.Regs[10])
 	default:
+		p.Violations++
 		h.Regs[10] = ErrInvalidParam
 	}
 	return core.ActHandled
 }
 
-// promote converts a host memory range into a confidential VM. The range
-// is scrubbed from host page-cache perspective by simply revoking access;
-// its contents (the guest image the host loaded) remain for the guest.
+// promote converts a host memory range into a confidential VM: validate
+// the geometry, refuse any page that is already donated, measure the
+// contents, and register every page in the ledger. The range is scrubbed
+// from the host's perspective by revoking access; its contents (the guest
+// image the host loaded) remain for the guest and are what the
+// measurement covers.
 func (p *Policy) promote(c *core.HartCtx, base, size, entry uint64) uint64 {
-	if size < 4096 || size&(size-1) != 0 || base&(size-1) != 0 {
+	if size < pageSize || size&(size-1) != 0 || base&(size-1) != 0 {
 		return ErrInvalidParam
 	}
 	if entry < base || entry >= base+size {
 		return ErrInvalidParam
 	}
+	// The region must be ordinary host DRAM: inside the DRAM window and
+	// clear of the monitor's and firmware's own images.
+	if base < hart.DramBase || base+size > hart.DramBase+core.DramSize {
+		return ErrInvalidParam
+	}
+	if base < core.FirmwareBase+core.FirmwareSize && base+size > core.MiralisBase {
+		return ErrInvalidParam
+	}
+	// Double-donation check: every page must be free in the ledger.
+	for page := base; page < base+size; page += pageSize {
+		if _, taken := p.donated[page]; taken {
+			p.Violations++
+			return ErrInvalidParam
+		}
+	}
 	for i := range p.cvms {
 		v := &p.cvms[i]
-		if v.state == stFree {
-			*v = cvm{state: stReady, base: base, size: size}
-			v.guest.pc = entry
-			v.guest.regs[10] = uint64(i) // a0: cvm id
-			v.guest.regs[2] = base + size
-			for _, ctx := range c.Mon.Ctx {
-				c.Mon.ReinstallPMP(ctx)
-			}
-			return uint64(i)
+		if v.state != stFree {
+			continue
 		}
+		m := p.measurePages(c, base, size)
+		*v = cvm{state: stReady, base: base, size: size, measure: m}
+		v.guest.pc = entry
+		v.guest.regs[10] = uint64(i) // a0: cvm id
+		v.guest.regs[2] = base + size
+		for page := base; page < base+size; page += pageSize {
+			p.donated[page] = i
+		}
+		for _, ctx := range c.Mon.Ctx {
+			c.Mon.ReinstallPMP(ctx)
+		}
+		return uint64(i)
 	}
 	return ErrInvalidParam
 }
 
+// measurePages hashes the donated pages' contents (FNV-64a over base and
+// bytes). The hash is taken while the host still owns the range, so host
+// and guest can later agree on what was launched.
+func (p *Policy) measurePages(c *core.HartCtx, base, size uint64) uint64 {
+	fh := fnv.New64a()
+	var hdr [16]byte
+	for i := 0; i < 8; i++ {
+		hdr[i] = byte(base >> (8 * i))
+		hdr[8+i] = byte(size >> (8 * i))
+	}
+	fh.Write(hdr[:])
+	if img, err := c.Hart.Bus.ReadBytes(base, int(size)); err == nil {
+		fh.Write(img)
+	}
+	m := fh.Sum64()
+	if m == 0 {
+		m = 1 // a live CVM's measurement is always nonzero
+	}
+	return m
+}
+
+// destroy scrubs a stopped CVM's memory, returns its pages to the host
+// through the ledger, and frees the slot. A running CVM cannot be
+// destroyed — the host must wait for (or force, via interrupt) a return.
 func (p *Policy) destroy(c *core.HartCtx, id uint64) uint64 {
-	if id >= MaxCVMs || p.cvms[id].state != stReady {
+	if id >= MaxCVMs || p.cvms[id].state == stFree {
 		return ErrInvalidParam
 	}
 	v := &p.cvms[id]
+	if v.state == stRunning {
+		p.Violations++
+		return ErrCVMBusy
+	}
 	for off := uint64(0); off < v.size; off += 8 {
 		c.Hart.Bus.Store(v.base+off, 8, 0)
+	}
+	for page := v.base; page < v.base+v.size; page += pageSize {
+		delete(p.donated, page)
 	}
 	*v = cvm{}
 	for _, ctx := range c.Mon.Ctx {
 		c.Mon.ReinstallPMP(ctx)
 	}
 	return OK
+}
+
+// reclaim revokes the shared-page window of a stopped CVM, returning the
+// page to confidential-only visibility. Reclaiming while the CVM runs is
+// refused: the guest could be mid-write to the page under the assumption
+// the host can see it.
+func (p *Policy) reclaim(c *core.HartCtx, id uint64) uint64 {
+	if id >= MaxCVMs || p.cvms[id].state == stFree {
+		return ErrInvalidParam
+	}
+	v := &p.cvms[id]
+	if v.state == stRunning {
+		p.Violations++
+		return ErrCVMBusy
+	}
+	if v.sharedPage == 0 {
+		return ErrInvalidParam
+	}
+	v.sharedPage = 0
+	for _, ctx := range c.Mon.Ctx {
+		c.Mon.ReinstallPMP(ctx)
+	}
+	return OK
+}
+
+// attest returns the launch measurement of a live CVM.
+func (p *Policy) attest(id uint64) uint64 {
+	if id >= MaxCVMs || p.cvms[id].state == stFree {
+		return ErrInvalidParam
+	}
+	return p.cvms[id].measure
 }
 
 // saveS/loadS move a full supervisor context between the hart and a slot.
@@ -249,11 +409,29 @@ func loadS(h *hart.Hart, s *sContext) {
 	c.WriteSie(s.sie)
 }
 
-// run enters (or re-enters) a CVM on this hart.
+// scrubHart is ACE's heavy context switch: zero every GPR and the whole
+// supervisor CSR surface between saving one world and loading the other,
+// so no residual register value can cross the confidential boundary even
+// if a load path is ever incomplete.
+func (p *Policy) scrubHart(h *hart.Hart) {
+	for i := 1; i < 32; i++ {
+		h.Regs[i] = 0
+	}
+	c := &h.CSR
+	c.Stvec, c.Sscratch, c.Sepc, c.Scause, c.Stval = 0, 0, 0, 0, 0
+	c.WriteSatp(0)
+	c.Scounteren, c.Senvcfg = 0, 0
+	c.WriteSstatus(0)
+	c.WriteSie(0)
+	p.HeavySwitches++
+}
+
+// run enters (or re-enters) a CVM on this hart — the ACE "hart steal".
 func (p *Policy) run(c *core.HartCtx, id uint64) core.Action {
 	h := c.Hart
 	if _, busy := p.running(h.ID); busy || id >= MaxCVMs ||
 		p.cvms[id].state != stReady {
+		p.Violations++
 		h.Regs[10] = ErrInvalidParam
 		return core.ActHandled
 	}
@@ -264,9 +442,10 @@ func (p *Policy) run(c *core.HartCtx, id uint64) core.Action {
 		p.stashHState(h, hs)
 	}
 	p.host[h.ID] = hs
+	p.scrubHart(h)
 	// All CVM traps reach the security monitor.
 	h.CSR.Medeleg = 0
-	h.CSR.Mie = h.CSR.Mie & rv.MIntMask
+	h.CSR.Mie = hs.mie & rv.MIntMask
 	loadS(h, &v.guest)
 	v.state = stRunning
 	v.started = true
@@ -276,11 +455,13 @@ func (p *Policy) run(c *core.HartCtx, id uint64) core.Action {
 	return core.ActHandled
 }
 
-// leave returns to the host with retval in a0.
+// leave returns the hart to the host with retval in a0 — the ACE "hart
+// return". The caller has already saved the guest context.
 func (p *Policy) leave(c *core.HartCtx, retval uint64) {
 	h := c.Hart
 	hs := p.host[h.ID]
 	delete(p.host, h.ID)
+	p.scrubHart(h)
 	loadS(h, &hs.host)
 	h.Regs[10] = retval
 	h.CSR.Medeleg = hs.medeleg
@@ -306,7 +487,8 @@ func (p *Policy) guestCall(c *core.HartCtx) core.Action {
 		p.leave(c, value)
 	case FnGuestSharePage:
 		page := h.Regs[10]
-		if page%4096 != 0 || page < v.base || page+4096 > v.base+v.size {
+		if page%pageSize != 0 || page < v.base || page+pageSize > v.base+v.size {
+			p.Violations++
 			h.Regs[10] = ErrInvalidParam
 			return core.ActHandled
 		}
@@ -315,7 +497,10 @@ func (p *Policy) guestCall(c *core.HartCtx) core.Action {
 		for _, ctx := range c.Mon.Ctx {
 			c.Mon.ReinstallPMP(ctx)
 		}
+	case FnGuestAttest:
+		h.Regs[10] = v.measure
 	default:
+		p.Violations++
 		h.Regs[10] = ErrInvalidParam
 	}
 	return core.ActHandled
@@ -383,6 +568,83 @@ func (p *Policy) CVMState(id int) (state int, shared uint64, err error) {
 		return 0, 0, fmt.Errorf("ace: bad cvm id %d", id)
 	}
 	return int(p.cvms[id].state), p.cvms[id].sharedPage, nil
+}
+
+// Measurement exposes a CVM's launch measurement for tests and tooling
+// (0 for a free slot).
+func (p *Policy) Measurement(id int) uint64 {
+	if id < 0 || id >= MaxCVMs {
+		return 0
+	}
+	return p.cvms[id].measure
+}
+
+// CheckInvariants re-derives the FSM's structural invariants from the
+// live state. The TEE chaos campaign and fuzzdiff -tee call it after
+// every injected fault and lifecycle operation: any violation means a
+// forged or ill-ordered transition corrupted confidential-domain state.
+func (p *Policy) CheckInvariants() error {
+	var counts [MaxCVMs]int
+	for page, id := range p.donated {
+		if id < 0 || id >= MaxCVMs {
+			return fmt.Errorf("ace: ledger page %#x -> bad cvm id %d", page, id)
+		}
+		v := &p.cvms[id]
+		if v.state == stFree {
+			return fmt.Errorf("ace: ledger page %#x -> free cvm %d", page, id)
+		}
+		if page%pageSize != 0 || page < v.base || page >= v.base+v.size {
+			return fmt.Errorf("ace: ledger page %#x outside cvm %d [%#x,%#x)",
+				page, id, v.base, v.base+v.size)
+		}
+		counts[id]++
+	}
+	runningRef := make(map[int]int) // cvm id -> hart holding it
+	for hartID, hs := range p.host {
+		if hs == nil || hs.active < 0 || hs.active >= MaxCVMs {
+			return fmt.Errorf("ace: hart %d host slot references bad cvm", hartID)
+		}
+		if p.cvms[hs.active].state != stRunning {
+			return fmt.Errorf("ace: hart %d runs cvm %d in state %v",
+				hartID, hs.active, p.cvms[hs.active].state)
+		}
+		if prev, dup := runningRef[hs.active]; dup {
+			return fmt.Errorf("ace: cvm %d running on harts %d and %d",
+				hs.active, prev, hartID)
+		}
+		runningRef[hs.active] = hartID
+	}
+	for i := range p.cvms {
+		v := &p.cvms[i]
+		if v.state == stFree {
+			if counts[i] != 0 {
+				return fmt.Errorf("ace: free cvm %d holds %d ledger pages", i, counts[i])
+			}
+			if v.sharedPage != 0 || v.measure != 0 {
+				return fmt.Errorf("ace: free cvm %d has residual state", i)
+			}
+			continue
+		}
+		if want := int(v.size / pageSize); counts[i] != want {
+			return fmt.Errorf("ace: cvm %d owns %d ledger pages, want %d",
+				i, counts[i], want)
+		}
+		if v.measure == 0 {
+			return fmt.Errorf("ace: live cvm %d has zero measurement", i)
+		}
+		if v.sharedPage != 0 &&
+			(v.sharedPage%pageSize != 0 || v.sharedPage < v.base ||
+				v.sharedPage+pageSize > v.base+v.size) {
+			return fmt.Errorf("ace: cvm %d shared page %#x outside its region",
+				i, v.sharedPage)
+		}
+		if v.state == stRunning {
+			if _, ok := runningRef[i]; !ok {
+				return fmt.Errorf("ace: cvm %d marked running but no hart holds it", i)
+			}
+		}
+	}
+	return nil
 }
 
 // sbiErrDenied widens the SBI denial code through a function call, since

@@ -293,7 +293,7 @@ func testACE(t *testing.T, cfg *hart.Config) {
 	m.Run(10_000_000)
 	mustExitPass(t, m)
 
-	r := results(t, m, 5)
+	r := results(t, m, 6)
 	if r[0] != 0 {
 		t.Errorf("promote returned %#x", r[0])
 	}
@@ -308,6 +308,12 @@ func testACE(t *testing.T, cfg *hart.Config) {
 	}
 	if r[4] != 0 {
 		t.Errorf("destroy returned %#x", r[4])
+	}
+	if r[5] == 0 || r[5] == ace.ErrInvalidParam {
+		t.Errorf("attest returned %#x, want a nonzero measurement", r[5])
+	}
+	if err := pol.CheckInvariants(); err != nil {
+		t.Errorf("ace invariants after demo: %v", err)
 	}
 }
 

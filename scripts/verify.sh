@@ -100,6 +100,21 @@ run_gate bench_table4 go test ./internal/bench -run '^$' -bench BenchmarkTable4O
 echo "== chaos smoke"
 run_gate chaos_smoke go run ./cmd/chaos -smoke
 
+echo "== TEE chaos smoke (TEE fault deck; wall + lifecycle invariants)"
+# Restricts injection to the TEE deck — forged confidential-compute
+# lifecycle hypercalls, double-donations, reclaim storms, probes at the
+# Dorami monitor wall — across all three policies, asserting after every
+# fault that the locked-PMP wall holds on every hart, the ACE lifecycle
+# FSM is structurally intact, and the monitor's protected-state
+# fingerprint never changed.
+run_gate tee_chaos go run ./cmd/chaos -tee -smoke
+
+echo "== TEE lifecycle fuzz (shadow-model FSM sweep, 40 cases per profile)"
+# Randomized enclave lifecycle programs against an independent shadow
+# FSM: state, measurement, donation ledger, and wall checked after every
+# single operation; exits nonzero if the sweep exercised no guards.
+run_gate tee_fuzz go run ./cmd/fuzzdiff -tee 40
+
 echo "== fleet chaos smoke (120 control-plane faults; supervision invariants)"
 # Attacks the vfmd control plane itself — worker panics, stuck/slow jobs,
 # dropped/duplicated requests, mid-job machine kills — and asserts the
